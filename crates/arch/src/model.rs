@@ -1,0 +1,332 @@
+use strata_isa::{ControlKind, InstrClass};
+use strata_machine::{ExecutionObserver, RetireEvent};
+
+use crate::{ArchProfile, Btb, CacheSim, CondPredictor, Ras};
+
+/// Detailed cycle and event accounting produced by an [`ArchModel`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ModelStats {
+    /// Cycles from per-class base costs.
+    pub base_cycles: u64,
+    /// Cycles from I-cache miss penalties.
+    pub icache_stall_cycles: u64,
+    /// Cycles from D-cache miss penalties.
+    pub dcache_stall_cycles: u64,
+    /// Cycles from branch mispredictions (all kinds) and taken-branch
+    /// bubbles.
+    pub branch_stall_cycles: u64,
+    /// Cycles from flags save/restore taxes.
+    pub flags_cycles: u64,
+    /// Cycles from trap costs.
+    pub trap_cycles: u64,
+    /// Retired instruction count.
+    pub instructions: u64,
+    /// Retired indirect transfers (indirect jumps/calls and returns).
+    pub indirect_transfers: u64,
+}
+
+impl ModelStats {
+    /// Total cycles across all components.
+    pub fn total(&self) -> u64 {
+        self.base_cycles
+            + self.icache_stall_cycles
+            + self.dcache_stall_cycles
+            + self.branch_stall_cycles
+            + self.flags_cycles
+            + self.trap_cycles
+    }
+}
+
+/// A full microarchitecture cost model: per-class costs plus cache and
+/// branch-predictor simulation, parameterized by an [`ArchProfile`].
+///
+/// Use it directly as an [`ExecutionObserver`] for whole-run costing, or
+/// call [`ArchModel::cost_of`] per event when the embedder needs to
+/// attribute cycles (the SDT buckets them by instruction origin).
+#[derive(Debug)]
+pub struct ArchModel {
+    profile: ArchProfile,
+    icache: CacheSim,
+    dcache: CacheSim,
+    cond: CondPredictor,
+    btb: Btb,
+    ras: Ras,
+    stats: ModelStats,
+}
+
+impl ArchModel {
+    /// Creates a cold model for the given profile.
+    pub fn new(profile: ArchProfile) -> ArchModel {
+        ArchModel {
+            icache: CacheSim::new(profile.icache),
+            dcache: CacheSim::new(profile.dcache),
+            cond: CondPredictor::new(profile.cond_predictor_bits),
+            btb: Btb::new(profile.btb_entries),
+            ras: Ras::new(profile.ras_depth),
+            stats: ModelStats::default(),
+            profile,
+        }
+    }
+
+    /// The profile this model was built from.
+    pub fn profile(&self) -> &ArchProfile {
+        &self.profile
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &ModelStats {
+        &self.stats
+    }
+
+    /// Total cycles charged so far.
+    pub fn total_cycles(&self) -> u64 {
+        self.stats.total()
+    }
+
+    /// The instruction-cache simulator (for miss-rate reporting).
+    pub fn icache(&self) -> &CacheSim {
+        &self.icache
+    }
+
+    /// The data-cache simulator.
+    pub fn dcache(&self) -> &CacheSim {
+        &self.dcache
+    }
+
+    /// Indirect-transfer mispredictions (BTB + RAS) so far.
+    pub fn indirect_mispredicts(&self) -> u64 {
+        self.btb.mispredicts() + self.ras.mispredicts()
+    }
+
+    /// Conditional-branch mispredictions so far.
+    pub fn cond_mispredicts(&self) -> u64 {
+        self.cond.mispredicts()
+    }
+
+    /// Charges one retired instruction, updating predictor/cache state, and
+    /// returns the cycles it cost.
+    pub fn cost_of(&mut self, ev: &RetireEvent) -> u64 {
+        let p = &self.profile;
+        self.stats.instructions += 1;
+
+        // Base cost by class.
+        let (base, flags_tax) = match ev.class {
+            InstrClass::Alu => (p.alu_cost, 0),
+            InstrClass::Mul => (p.mul_cost, 0),
+            InstrClass::Div => (p.div_cost, 0),
+            InstrClass::Load => (p.load_cost, 0),
+            InstrClass::Store => (p.store_cost, 0),
+            InstrClass::FlagsSave => (p.store_cost, p.flags_save_cost),
+            InstrClass::FlagsRestore => (p.load_cost, p.flags_restore_cost),
+            InstrClass::CondBranch
+            | InstrClass::DirectJump
+            | InstrClass::DirectCall
+            | InstrClass::IndirectJump
+            | InstrClass::IndirectCall
+            | InstrClass::Return => (p.branch_cost, 0),
+            InstrClass::Trap => (p.other_cost, 0),
+            InstrClass::Other => (p.other_cost, 0),
+        };
+        self.stats.base_cycles += base;
+        self.stats.flags_cycles += flags_tax;
+        let mut cycles = base + flags_tax;
+
+        // Instruction fetch.
+        if !self.icache.access(ev.pc) {
+            self.stats.icache_stall_cycles += p.icache_miss_penalty;
+            cycles += p.icache_miss_penalty;
+        }
+
+        // Data access.
+        if let Some(mem) = ev.mem {
+            if !self.dcache.access(mem.addr) {
+                self.stats.dcache_stall_cycles += p.dcache_miss_penalty;
+                cycles += p.dcache_miss_penalty;
+            }
+        }
+
+        // Control flow.
+        let mut branch_stall = 0;
+        match ev.control.kind {
+            ControlKind::None => {}
+            ControlKind::Conditional => {
+                if !self.cond.predict_and_update(ev.pc, ev.control.taken) {
+                    branch_stall += p.mispredict_penalty;
+                }
+                if ev.control.taken {
+                    branch_stall += p.taken_branch_cost;
+                }
+            }
+            ControlKind::Direct => branch_stall += p.taken_branch_cost,
+            ControlKind::Call => {
+                branch_stall += p.taken_branch_cost;
+                self.ras.push(ev.pc.wrapping_add(4));
+                if ev.control.indirect {
+                    self.stats.indirect_transfers += 1;
+                    if !self.btb.predict_and_update(ev.pc, ev.control.target) {
+                        branch_stall += p.mispredict_penalty;
+                    }
+                }
+            }
+            ControlKind::Indirect => {
+                self.stats.indirect_transfers += 1;
+                branch_stall += p.taken_branch_cost;
+                if !self.btb.predict_and_update(ev.pc, ev.control.target) {
+                    branch_stall += p.mispredict_penalty;
+                }
+            }
+            ControlKind::Return => {
+                self.stats.indirect_transfers += 1;
+                branch_stall += p.taken_branch_cost;
+                if !self.ras.pop_and_check(ev.control.target) {
+                    branch_stall += p.mispredict_penalty;
+                }
+            }
+        }
+        self.stats.branch_stall_cycles += branch_stall;
+        cycles += branch_stall;
+
+        // Trap crossing.
+        if ev.class == InstrClass::Trap {
+            self.stats.trap_cycles += p.trap_cost;
+            cycles += p.trap_cost;
+        }
+
+        cycles
+    }
+
+    /// Charges host-side translator work: `instrs` newly translated
+    /// instructions plus one fragment-map lookup. Returns the cycles
+    /// charged (accounted under trap cycles, since they occur inside the
+    /// runtime crossing).
+    pub fn charge_translator(&mut self, instrs: u64, lookups: u64) -> u64 {
+        let cycles = instrs * self.profile.translation_cost_per_instr
+            + lookups * self.profile.translator_lookup_cost;
+        self.stats.trap_cycles += cycles;
+        cycles
+    }
+}
+
+impl ExecutionObserver for ArchModel {
+    #[inline]
+    fn on_retire(&mut self, event: &RetireEvent) {
+        self.cost_of(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strata_asm::assemble;
+    use strata_machine::{layout, Machine, StepOutcome};
+
+    fn run_costed(src: &str, profile: ArchProfile) -> (Machine, ArchModel) {
+        let code = assemble(layout::APP_BASE, src).expect("assembles");
+        let mut m = Machine::new(layout::DEFAULT_MEM_BYTES);
+        m.write_code(layout::APP_BASE, &code).unwrap();
+        m.cpu_mut().pc = layout::APP_BASE;
+        let mut model = ArchModel::new(profile);
+        loop {
+            match m.run(&mut model, 1_000_000).unwrap() {
+                StepOutcome::Trap(_) => continue,
+                StepOutcome::Halted => break,
+                StepOutcome::Running => unreachable!(),
+            }
+        }
+        (m, model)
+    }
+
+    #[test]
+    fn straightline_costs_accumulate() {
+        let (_, model) = run_costed("li r1, 1\nli r2, 2\nadd r3, r1, r2\nhalt\n", ArchProfile::x86_like());
+        let s = model.stats();
+        assert_eq!(s.instructions, 6); // li = 2 instrs each
+        assert!(s.base_cycles >= 6);
+        // One cold I-cache line covers all 6 instructions (32B line = 8 instrs).
+        assert_eq!(model.icache().misses(), 1);
+    }
+
+    #[test]
+    fn flags_tax_differs_by_profile() {
+        let src = "pushf\npopf\nhalt\n";
+        let (_, x86) = run_costed(src, ArchProfile::x86_like());
+        let (_, sparc) = run_costed(src, ArchProfile::sparc_like());
+        assert!(x86.stats().flags_cycles > sparc.stats().flags_cycles);
+    }
+
+    #[test]
+    fn trap_cost_charged() {
+        let (_, model) = run_costed("trap 0x1\nhalt\n", ArchProfile::x86_like());
+        assert_eq!(model.stats().trap_cycles, ArchProfile::x86_like().trap_cost);
+    }
+
+    #[test]
+    fn btb_predicts_monomorphic_indirect() {
+        // A loop whose jr always targets the same block: after warmup the
+        // x86-like BTB should predict it, the sparc-like (no BTB) never.
+        let src = r"
+            li r1, 16
+            li r9, body
+        top:
+            jr r9
+        body:
+            addi r1, r1, -1
+            cmpi r1, 0
+            bne top
+            halt
+        ";
+        let (_, x86) = run_costed(src, ArchProfile::x86_like());
+        let (_, sparc) = run_costed(src, ArchProfile::sparc_like());
+        assert!(x86.indirect_mispredicts() <= 2, "x86 BTB warms up");
+        assert_eq!(sparc.indirect_mispredicts(), 16, "no BTB: every jr mispredicts");
+    }
+
+    #[test]
+    fn ras_predicts_balanced_call_ret() {
+        let src = r"
+            li r1, 0
+            call f
+            call f
+            call f
+            halt
+        f:
+            addi r1, r1, 1
+            ret
+        ";
+        let (_, model) = run_costed(src, ArchProfile::x86_like());
+        // First return may miss nothing: calls push, rets pop — all hit.
+        assert_eq!(model.ras_mispredicts_for_test(), 0);
+    }
+
+    impl ArchModel {
+        fn ras_mispredicts_for_test(&self) -> u64 {
+            self.ras.mispredicts()
+        }
+    }
+
+    #[test]
+    fn dcache_pressure_counts() {
+        // Stride through 64 KiB of data — guaranteed D-cache misses.
+        let src = r"
+            li r1, 0x300000   ; APP_DATA_BASE
+            li r2, 2048
+        loop:
+            lw r3, 0(r1)
+            addi r1, r1, 32
+            addi r2, r2, -1
+            cmpi r2, 0
+            bne loop
+            halt
+        ";
+        let (_, model) = run_costed(src, ArchProfile::mips_like());
+        assert!(model.dcache().misses() >= 1024, "{}", model.dcache().misses());
+    }
+
+    #[test]
+    fn translator_charge_accumulates() {
+        let mut model = ArchModel::new(ArchProfile::x86_like());
+        let c = model.charge_translator(10, 1);
+        assert_eq!(c, 10 * 40 + 80);
+        assert_eq!(model.stats().trap_cycles, c);
+    }
+}

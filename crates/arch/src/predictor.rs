@@ -1,0 +1,265 @@
+/// A gshare conditional-branch predictor: a table of 2-bit saturating
+/// counters indexed by `pc ⊕ global-history`.
+///
+/// ```
+/// use strata_arch::CondPredictor;
+/// let mut p = CondPredictor::new(10);
+/// // An always-taken branch trains once the global history saturates.
+/// let pc = 0x1000;
+/// for _ in 0..16 { p.predict_and_update(pc, true); }
+/// assert!(p.predict_and_update(pc, true));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CondPredictor {
+    counters: Vec<u8>,
+    mask: u32,
+    history: u32,
+    hits: u64,
+    misses: u64,
+}
+
+impl CondPredictor {
+    /// Creates a predictor with `2^index_bits` counters, initialized to
+    /// weakly-not-taken.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index_bits` is 0 or greater than 24.
+    pub fn new(index_bits: u32) -> CondPredictor {
+        assert!((1..=24).contains(&index_bits), "index_bits must be in 1..=24");
+        CondPredictor {
+            counters: vec![1; 1 << index_bits],
+            mask: (1 << index_bits) - 1,
+            history: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Returns the prediction for (`pc`, current history), then updates the
+    /// predictor with the actual outcome. The return value is whether the
+    /// *prediction was correct*.
+    #[inline]
+    pub fn predict_and_update(&mut self, pc: u32, taken: bool) -> bool {
+        let idx = (((pc >> 2) ^ self.history) & self.mask) as usize;
+        let counter = self.counters[idx];
+        let predicted_taken = counter >= 2;
+        let correct = predicted_taken == taken;
+        self.counters[idx] = if taken {
+            (counter + 1).min(3)
+        } else {
+            counter.saturating_sub(1)
+        };
+        self.history = ((self.history << 1) | taken as u32) & self.mask;
+        if correct {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+        correct
+    }
+
+    /// Mispredictions so far.
+    pub fn mispredicts(&self) -> u64 {
+        self.misses
+    }
+
+    /// Correct predictions so far.
+    pub fn correct(&self) -> u64 {
+        self.hits
+    }
+}
+
+/// A direct-mapped branch target buffer for indirect transfers.
+///
+/// Each entry remembers the last target observed for an indirect branch at
+/// a given `pc`. A size of zero models architectures with no indirect-branch
+/// predictor (every indirect transfer mispredicts), as on the era SPARC and
+/// MIPS parts the paper measured.
+#[derive(Debug, Clone)]
+pub struct Btb {
+    /// `(tag_pc, target)` pairs; empty vector = no BTB.
+    entries: Vec<(u32, u32)>,
+    hits: u64,
+    misses: u64,
+}
+
+impl Btb {
+    /// Creates a BTB with `entries` slots (0 = no predictor; otherwise must
+    /// be a power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is nonzero and not a power of two.
+    pub fn new(entries: u32) -> Btb {
+        assert!(
+            entries == 0 || entries.is_power_of_two(),
+            "BTB entries must be 0 or a power of two"
+        );
+        Btb { entries: vec![(u32::MAX, 0); entries as usize], hits: 0, misses: 0 }
+    }
+
+    /// Predicts the target of the indirect branch at `pc`, then updates the
+    /// entry with the actual `target`. Returns `true` if the prediction was
+    /// correct.
+    #[inline]
+    pub fn predict_and_update(&mut self, pc: u32, target: u32) -> bool {
+        if self.entries.is_empty() {
+            self.misses += 1;
+            return false;
+        }
+        let idx = ((pc >> 2) as usize) & (self.entries.len() - 1);
+        let (tag, predicted) = self.entries[idx];
+        let correct = tag == pc && predicted == target;
+        self.entries[idx] = (pc, target);
+        if correct {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+        correct
+    }
+
+    /// Mispredictions so far.
+    pub fn mispredicts(&self) -> u64 {
+        self.misses
+    }
+
+    /// Correct predictions so far.
+    pub fn correct(&self) -> u64 {
+        self.hits
+    }
+}
+
+/// A fixed-depth return-address stack.
+///
+/// Calls push their fall-through address; returns pop and compare against
+/// the actual target. Overflow wraps (overwriting the oldest entry), as in
+/// real hardware.
+#[derive(Debug, Clone)]
+pub struct Ras {
+    stack: Vec<u32>,
+    top: usize,
+    depth: usize,
+    live: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl Ras {
+    /// Creates a return-address stack of the given depth (0 disables it —
+    /// every return mispredicts).
+    pub fn new(depth: usize) -> Ras {
+        Ras { stack: vec![0; depth.max(1)], top: 0, depth, live: 0, hits: 0, misses: 0 }
+    }
+
+    /// Records a call whose return will land at `return_addr`.
+    #[inline]
+    pub fn push(&mut self, return_addr: u32) {
+        if self.depth == 0 {
+            return;
+        }
+        self.top = (self.top + 1) % self.depth;
+        self.stack[self.top] = return_addr;
+        self.live = (self.live + 1).min(self.depth);
+    }
+
+    /// Pops a prediction and compares it with the actual return target.
+    /// Returns `true` if predicted correctly.
+    #[inline]
+    pub fn pop_and_check(&mut self, target: u32) -> bool {
+        if self.depth == 0 || self.live == 0 {
+            self.misses += 1;
+            return false;
+        }
+        let predicted = self.stack[self.top];
+        self.top = (self.top + self.depth - 1) % self.depth;
+        self.live -= 1;
+        if predicted == target {
+            self.hits += 1;
+            true
+        } else {
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Mispredictions so far.
+    pub fn mispredicts(&self) -> u64 {
+        self.misses
+    }
+
+    /// Correct predictions so far.
+    pub fn correct(&self) -> u64 {
+        self.hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gshare_learns_loop_branch() {
+        let mut p = CondPredictor::new(8);
+        let pc = 0x400;
+        // Warm up until the global history saturates (all-taken) and the
+        // final table entry trains, then expect sustained correct
+        // predictions.
+        for _ in 0..12 {
+            p.predict_and_update(pc, true);
+        }
+        let before = p.mispredicts();
+        for _ in 0..100 {
+            p.predict_and_update(pc, true);
+        }
+        assert_eq!(p.mispredicts(), before);
+    }
+
+    #[test]
+    fn btb_monomorphic_vs_polymorphic() {
+        let mut b = Btb::new(64);
+        let pc = 0x800;
+        b.predict_and_update(pc, 0x1000); // cold miss
+        assert!(b.predict_and_update(pc, 0x1000));
+        assert!(!b.predict_and_update(pc, 0x2000)); // target changed
+        assert!(b.predict_and_update(pc, 0x2000));
+    }
+
+    #[test]
+    fn zero_entry_btb_always_misses() {
+        let mut b = Btb::new(0);
+        assert!(!b.predict_and_update(0x100, 0x200));
+        assert!(!b.predict_and_update(0x100, 0x200));
+        assert_eq!(b.correct(), 0);
+    }
+
+    #[test]
+    fn ras_matches_balanced_calls() {
+        let mut r = Ras::new(8);
+        r.push(0x104);
+        r.push(0x204);
+        assert!(r.pop_and_check(0x204));
+        assert!(r.pop_and_check(0x104));
+        // Underflow mispredicts.
+        assert!(!r.pop_and_check(0x104));
+    }
+
+    #[test]
+    fn ras_overflow_wraps() {
+        let mut r = Ras::new(2);
+        r.push(1);
+        r.push(2);
+        r.push(3); // overwrites 1
+        assert!(r.pop_and_check(3));
+        assert!(r.pop_and_check(2));
+        assert!(!r.pop_and_check(1));
+    }
+
+    #[test]
+    fn zero_depth_ras() {
+        let mut r = Ras::new(0);
+        r.push(0x104);
+        assert!(!r.pop_and_check(0x104));
+    }
+}

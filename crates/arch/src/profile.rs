@@ -1,0 +1,226 @@
+use crate::CacheConfig;
+
+/// All the knobs that make one simulated microarchitecture different from
+/// another.
+///
+/// The three constructors model the space the paper measured across: a
+/// deeply pipelined x86 with good predictors but expensive flags handling
+/// and traps, an UltraSPARC-style machine with no indirect-branch predictor
+/// and very expensive traps (register-window flushes), and a simpler
+/// MIPS-style core with small caches. The *relative* costs are what produce
+/// the paper's mechanism-ranking flips; absolute cycle counts are nominal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArchProfile {
+    /// Human-readable profile name.
+    pub name: &'static str,
+
+    /// Base cost of simple ALU operations.
+    pub alu_cost: u64,
+    /// Base cost of integer multiply.
+    pub mul_cost: u64,
+    /// Base cost of integer divide/remainder.
+    pub div_cost: u64,
+    /// Base cost of a load (on L1 hit).
+    pub load_cost: u64,
+    /// Base cost of a store (on L1 hit).
+    pub store_cost: u64,
+    /// Base cost of `nop`/`halt`.
+    pub other_cost: u64,
+    /// Base cost of any control transfer instruction (before prediction
+    /// penalties).
+    pub branch_cost: u64,
+
+    /// Cost of `pushf` beyond its store (the x86 `pushf` tax).
+    pub flags_save_cost: u64,
+    /// Cost of `popf` beyond its load.
+    pub flags_restore_cost: u64,
+
+    /// Extra bubble cycles on any taken control transfer.
+    pub taken_branch_cost: u64,
+    /// Penalty for a mispredicted branch (conditional, indirect, or
+    /// return).
+    pub mispredict_penalty: u64,
+    /// Cost of a `trap` (crossing into the SDT runtime / kernel).
+    pub trap_cost: u64,
+
+    /// L1 instruction cache geometry.
+    pub icache: CacheConfig,
+    /// L1 data cache geometry.
+    pub dcache: CacheConfig,
+    /// Cycles per I-cache miss.
+    pub icache_miss_penalty: u64,
+    /// Cycles per D-cache miss.
+    pub dcache_miss_penalty: u64,
+
+    /// Branch-target-buffer entries for indirect transfers (0 = none).
+    pub btb_entries: u32,
+    /// Return-address-stack depth (0 = none).
+    pub ras_depth: usize,
+    /// log2 of the gshare conditional predictor table size.
+    pub cond_predictor_bits: u32,
+
+    /// Host-side translator cost charged per newly translated instruction.
+    pub translation_cost_per_instr: u64,
+    /// Host-side translator cost charged per fragment-map lookup when the
+    /// translator is re-entered.
+    pub translator_lookup_cost: u64,
+}
+
+impl ArchProfile {
+    /// A deeply pipelined x86-style machine (Pentium 4 era): large
+    /// mispredict penalty, a real BTB and RAS, expensive `pushf`/`popf`,
+    /// moderately expensive traps.
+    pub fn x86_like() -> ArchProfile {
+        ArchProfile {
+            name: "x86-like",
+            alu_cost: 1,
+            mul_cost: 4,
+            div_cost: 25,
+            load_cost: 1,
+            store_cost: 1,
+            other_cost: 1,
+            branch_cost: 1,
+            flags_save_cost: 8,
+            flags_restore_cost: 10,
+            taken_branch_cost: 1,
+            mispredict_penalty: 20,
+            trap_cost: 300,
+            icache: CacheConfig { sets: 128, ways: 4, line_bytes: 32 },
+            dcache: CacheConfig { sets: 128, ways: 4, line_bytes: 32 },
+            icache_miss_penalty: 24,
+            dcache_miss_penalty: 24,
+            btb_entries: 512,
+            ras_depth: 16,
+            cond_predictor_bits: 12,
+            translation_cost_per_instr: 40,
+            translator_lookup_cost: 80,
+        }
+    }
+
+    /// An UltraSPARC-style machine: shallow pipeline (small mispredict
+    /// penalty), *no* indirect-branch predictor, cheap flags handling, and
+    /// very expensive traps (register-window flush on every runtime
+    /// crossing).
+    pub fn sparc_like() -> ArchProfile {
+        ArchProfile {
+            name: "sparc-like",
+            alu_cost: 1,
+            mul_cost: 6,
+            div_cost: 40,
+            load_cost: 1,
+            store_cost: 1,
+            other_cost: 1,
+            branch_cost: 1,
+            flags_save_cost: 1,
+            flags_restore_cost: 1,
+            taken_branch_cost: 1,
+            mispredict_penalty: 6,
+            trap_cost: 700,
+            icache: CacheConfig { sets: 256, ways: 2, line_bytes: 32 },
+            dcache: CacheConfig { sets: 256, ways: 2, line_bytes: 32 },
+            icache_miss_penalty: 20,
+            dcache_miss_penalty: 20,
+            btb_entries: 0,
+            ras_depth: 8,
+            cond_predictor_bits: 11,
+            translation_cost_per_instr: 50,
+            translator_lookup_cost: 100,
+        }
+    }
+
+    /// A simpler MIPS-style core: small caches with slow memory, a small
+    /// BTB and RAS, cheap flags, moderate trap cost.
+    pub fn mips_like() -> ArchProfile {
+        ArchProfile {
+            name: "mips-like",
+            alu_cost: 1,
+            mul_cost: 5,
+            div_cost: 35,
+            load_cost: 1,
+            store_cost: 1,
+            other_cost: 1,
+            branch_cost: 1,
+            flags_save_cost: 1,
+            flags_restore_cost: 1,
+            taken_branch_cost: 1,
+            mispredict_penalty: 4,
+            trap_cost: 150,
+            icache: CacheConfig { sets: 64, ways: 2, line_bytes: 32 },
+            dcache: CacheConfig { sets: 64, ways: 2, line_bytes: 32 },
+            icache_miss_penalty: 30,
+            dcache_miss_penalty: 30,
+            btb_entries: 64,
+            ras_depth: 4,
+            cond_predictor_bits: 10,
+            translation_cost_per_instr: 45,
+            translator_lookup_cost: 90,
+        }
+    }
+
+    /// An idealized control machine: every instruction costs one cycle,
+    /// prediction is irrelevant (zero penalties), caches never stall, and
+    /// runtime crossings are free. Under this profile a run's cycle count
+    /// equals its retired-instruction count, so SDT slowdowns reduce to
+    /// pure instruction-count ratios — the analytic anchor the cost-model
+    /// profiles are compared against.
+    pub fn ideal() -> ArchProfile {
+        ArchProfile {
+            name: "ideal",
+            alu_cost: 1,
+            mul_cost: 1,
+            div_cost: 1,
+            load_cost: 1,
+            store_cost: 1,
+            other_cost: 1,
+            branch_cost: 1,
+            flags_save_cost: 0,
+            flags_restore_cost: 0,
+            taken_branch_cost: 0,
+            mispredict_penalty: 0,
+            trap_cost: 0,
+            icache: CacheConfig { sets: 64, ways: 2, line_bytes: 32 },
+            dcache: CacheConfig { sets: 64, ways: 2, line_bytes: 32 },
+            icache_miss_penalty: 0,
+            dcache_miss_penalty: 0,
+            btb_entries: 512,
+            ras_depth: 16,
+            cond_predictor_bits: 10,
+            translation_cost_per_instr: 0,
+            translator_lookup_cost: 0,
+        }
+    }
+
+    /// The three built-in cost-model profiles, in presentation order (the
+    /// [`ideal`](ArchProfile::ideal) control profile is excluded).
+    pub fn all() -> Vec<ArchProfile> {
+        vec![ArchProfile::x86_like(), ArchProfile::sparc_like(), ArchProfile::mips_like()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_are_distinct_where_it_matters() {
+        let x86 = ArchProfile::x86_like();
+        let sparc = ArchProfile::sparc_like();
+        // The paper's architecture-dependence levers:
+        assert!(x86.flags_save_cost > sparc.flags_save_cost);
+        assert!(sparc.trap_cost > x86.trap_cost);
+        assert!(x86.btb_entries > 0 && sparc.btb_entries == 0);
+        assert!(x86.mispredict_penalty > sparc.mispredict_penalty);
+    }
+
+    #[test]
+    fn all_returns_three() {
+        assert_eq!(ArchProfile::all().len(), 3);
+    }
+
+    #[test]
+    fn ideal_charges_exactly_one_cycle_per_instruction() {
+        let p = ArchProfile::ideal();
+        assert_eq!(p.flags_save_cost + p.trap_cost + p.mispredict_penalty, 0);
+        assert_eq!(p.alu_cost, 1);
+    }
+}

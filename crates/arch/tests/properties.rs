@@ -1,0 +1,90 @@
+//! Property tests for the microarchitecture simulators.
+
+use proptest::prelude::*;
+use strata_arch::{Btb, CacheConfig, CacheSim, CondPredictor, Ras};
+
+proptest! {
+    #[test]
+    fn cache_access_immediately_after_access_hits(addrs in prop::collection::vec(any::<u32>(), 1..200)) {
+        let mut c = CacheSim::new(CacheConfig { sets: 16, ways: 2, line_bytes: 32 });
+        for a in addrs {
+            c.access(a);
+            prop_assert!(c.access(a), "address {a:#x} must hit right after being brought in");
+        }
+    }
+
+    #[test]
+    fn cache_counters_are_consistent(addrs in prop::collection::vec(any::<u32>(), 0..500)) {
+        let mut c = CacheSim::new(CacheConfig { sets: 8, ways: 4, line_bytes: 16 });
+        for a in &addrs {
+            c.access(*a);
+        }
+        prop_assert_eq!(c.hits() + c.misses(), addrs.len() as u64);
+        let r = c.miss_ratio();
+        prop_assert!((0.0..=1.0).contains(&r));
+    }
+
+    #[test]
+    fn working_set_within_one_set_capacity_never_thrashes(ways in 1u32..8) {
+        // `ways` distinct lines in the same set: after the cold pass, every
+        // subsequent access hits (LRU keeps the whole working set).
+        let cfg = CacheConfig { sets: 4, ways, line_bytes: 32 };
+        let mut c = CacheSim::new(cfg);
+        let set_stride = cfg.sets * cfg.line_bytes;
+        let lines: Vec<u32> = (0..ways).map(|i| i * set_stride).collect();
+        for &l in &lines {
+            c.access(l);
+        }
+        let misses_after_warmup = c.misses();
+        for _ in 0..5 {
+            for &l in &lines {
+                c.access(l);
+            }
+        }
+        prop_assert_eq!(c.misses(), misses_after_warmup);
+    }
+
+    #[test]
+    fn btb_predicts_stable_targets_after_one_miss(
+        pcs in prop::collection::vec((0u32..64).prop_map(|i| i * 4), 1..20),
+    ) {
+        // Few distinct pcs, fixed targets, big BTB: at most one miss per pc.
+        let mut btb = Btb::new(256);
+        let target = |pc: u32| pc.wrapping_mul(13) & !3;
+        for _ in 0..4 {
+            for &pc in &pcs {
+                btb.predict_and_update(pc, target(pc));
+            }
+        }
+        let mut distinct = pcs.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        prop_assert!(btb.mispredicts() <= distinct.len() as u64);
+    }
+
+    #[test]
+    fn ras_is_perfect_on_balanced_nesting(depths in prop::collection::vec(1usize..8, 1..20)) {
+        // Nested call/return sequences within the RAS depth never mispredict.
+        let mut ras = Ras::new(16);
+        for (i, &d) in depths.iter().enumerate() {
+            let base = (i as u32 + 1) * 0x1000;
+            let frames: Vec<u32> = (0..d as u32).map(|j| base + j * 8).collect();
+            for &f in &frames {
+                ras.push(f);
+            }
+            for &f in frames.iter().rev() {
+                assert!(ras.pop_and_check(f));
+            }
+        }
+        prop_assert_eq!(ras.mispredicts(), 0);
+    }
+
+    #[test]
+    fn gshare_total_counts_match(outcomes in prop::collection::vec(any::<bool>(), 0..300)) {
+        let mut p = CondPredictor::new(8);
+        for (i, &taken) in outcomes.iter().enumerate() {
+            p.predict_and_update((i as u32 % 16) * 4, taken);
+        }
+        prop_assert_eq!(p.correct() + p.mispredicts(), outcomes.len() as u64);
+    }
+}

@@ -1,0 +1,30 @@
+use std::fmt;
+
+/// Error produced while building or assembling SimRISC code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A label was used as a branch/jump target but never bound.
+    UnboundLabel(usize),
+    /// A label was bound twice.
+    RebindLabel(usize),
+    /// A conditional-branch target is further than an `i16` word offset can
+    /// reach.
+    BranchOutOfRange { from: u32, to: u32 },
+    /// A parse error in the text assembler, with a 1-based line number.
+    Parse { line: usize, message: String },
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UnboundLabel(id) => write!(f, "label {id} was used but never bound"),
+            AsmError::RebindLabel(id) => write!(f, "label {id} was bound more than once"),
+            AsmError::BranchOutOfRange { from, to } => {
+                write!(f, "branch from {from:#x} to {to:#x} exceeds the i16 word-offset range")
+            }
+            AsmError::Parse { line, message } => write!(f, "line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}

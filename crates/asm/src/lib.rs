@@ -1,0 +1,38 @@
+//! # strata-asm — assembler for the SimRISC ISA
+//!
+//! Two front ends produce SimRISC machine code:
+//!
+//! * [`CodeBuilder`] — a programmatic builder with labels and forward
+//!   references, used by the workload generators and by tests. It also
+//!   provides the `li` pseudo-instruction (a fixed `lui`+`ori` pair, so the
+//!   emitted size is predictable and the constant patchable).
+//! * [`assemble`] — a small text assembler accepting the canonical syntax
+//!   printed by [`strata_isa::Instr`]'s `Display` impl, plus labels,
+//!   comments (`;` or `#`), and a `.word` data directive.
+//!
+//! ## Example
+//!
+//! ```
+//! use strata_asm::CodeBuilder;
+//! use strata_isa::Reg;
+//!
+//! let mut b = CodeBuilder::new(0x1000);
+//! let top = b.new_label();
+//! b.li(Reg::R1, 10);
+//! b.bind(top)?;
+//! b.addi(Reg::R1, Reg::R1, -1);
+//! b.cmpi(Reg::R1, 0);
+//! b.bne(top);
+//! b.halt();
+//! let code = b.finish()?;
+//! assert_eq!(code.len(), 6); // li expands to two instructions
+//! # Ok::<(), strata_asm::AsmError>(())
+//! ```
+
+mod builder;
+mod error;
+mod text;
+
+pub use builder::{CodeBuilder, Label};
+pub use error::AsmError;
+pub use text::assemble;

@@ -1,0 +1,479 @@
+use std::collections::HashMap;
+
+use strata_isa::{encode, Instr, Reg, INSTR_BYTES};
+
+use crate::AsmError;
+
+/// Assembles SimRISC source text into machine words laid out at `base`.
+///
+/// The accepted syntax is the canonical form printed by
+/// [`strata_isa::Instr`]'s `Display` impl, extended with:
+///
+/// * `label:` definitions; branch and `jmp`/`call` operands may name labels,
+/// * `li rd, imm` — expands to a `lui`+`ori` pair,
+/// * `.word value` — emits a raw data word,
+/// * comments introduced by `;` or `#`,
+/// * decimal, hexadecimal (`0x…`), and negative immediates.
+///
+/// # Errors
+///
+/// Returns [`AsmError::Parse`] (with a 1-based line number) for syntax
+/// errors, unknown mnemonics or registers, and out-of-range immediates, and
+/// the label errors of [`crate::CodeBuilder::finish`] for unresolvable
+/// control flow.
+///
+/// ```
+/// use strata_asm::assemble;
+/// let code = assemble(0x1000, r"
+///     li   r1, 5
+/// top:
+///     addi r1, r1, -1
+///     cmpi r1, 0
+///     bne  top
+///     halt
+/// ")?;
+/// assert_eq!(code.len(), 6);
+/// # Ok::<(), strata_asm::AsmError>(())
+/// ```
+pub fn assemble(base: u32, source: &str) -> Result<Vec<u32>, AsmError> {
+    // Pass 1: compute the word index of every label and statement.
+    let mut labels: HashMap<&str, u32> = HashMap::new();
+    let mut statements: Vec<(usize, &str)> = Vec::new();
+    let mut word_index = 0u32;
+
+    for (lineno, raw) in source.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut rest = line;
+        while let Some(colon) = rest.find(':') {
+            let (name, tail) = rest.split_at(colon);
+            let name = name.trim();
+            if name.is_empty() || !name.chars().all(|c| c.is_alphanumeric() || c == '_') {
+                break;
+            }
+            if labels.insert(name, word_index).is_some() {
+                return Err(parse_err(lineno, format!("label `{name}` defined twice")));
+            }
+            rest = tail[1..].trim_start();
+        }
+        if !rest.is_empty() {
+            statements.push((lineno, rest));
+            word_index += statement_words(rest);
+        }
+    }
+
+    // Pass 2: encode.
+    let mut out = Vec::with_capacity(word_index as usize);
+    for (lineno, stmt) in statements {
+        let pc = base + out.len() as u32 * INSTR_BYTES;
+        encode_statement(stmt, pc, base, &labels, &mut out)
+            .map_err(|message| parse_err(lineno, message))?;
+    }
+    Ok(out)
+}
+
+fn parse_err(lineno: usize, message: impl Into<String>) -> AsmError {
+    AsmError::Parse { line: lineno + 1, message: message.into() }
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find([';', '#']) {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+}
+
+/// Number of machine words a statement occupies (only `li` is multi-word).
+fn statement_words(stmt: &str) -> u32 {
+    let mnemonic = stmt.split_whitespace().next().unwrap_or("");
+    if mnemonic.eq_ignore_ascii_case("li") {
+        2
+    } else {
+        1
+    }
+}
+
+fn encode_statement(
+    stmt: &str,
+    pc: u32,
+    base: u32,
+    labels: &HashMap<&str, u32>,
+    out: &mut Vec<u32>,
+) -> Result<(), String> {
+    let (mnemonic, args_str) = match stmt.find(char::is_whitespace) {
+        Some(pos) => (&stmt[..pos], stmt[pos..].trim()),
+        None => (stmt, ""),
+    };
+    let mnemonic = mnemonic.to_ascii_lowercase();
+    let args: Vec<&str> = if args_str.is_empty() {
+        Vec::new()
+    } else {
+        args_str.split(',').map(str::trim).collect()
+    };
+
+    let resolve = |name: &str| -> Result<u32, String> {
+        if let Some(&idx) = labels.get(name) {
+            Ok(base + idx * INSTR_BYTES)
+        } else {
+            parse_u32(name).ok_or_else(|| format!("unknown label or address `{name}`"))
+        }
+    };
+
+    let nargs = args.len();
+    let want = |n: usize| -> Result<(), String> {
+        if nargs == n {
+            Ok(())
+        } else {
+            Err(format!("`{mnemonic}` expects {n} operand(s), got {nargs}"))
+        }
+    };
+
+    let rrr = |v: fn(Reg, Reg, Reg) -> Instr| -> Result<Instr, String> {
+        want(3)?;
+        Ok(v(parse_reg(args[0])?, parse_reg(args[1])?, parse_reg(args[2])?))
+    };
+    let branch = |v: fn(i16) -> Instr| -> Result<Instr, String> {
+        want(1)?;
+        // Label, or a literal numeric offset.
+        if let Some(&idx) = labels.get(args[0]) {
+            let target = base + idx * INSTR_BYTES;
+            let delta = (target as i64 - (pc as i64 + 4)) / INSTR_BYTES as i64;
+            let off = i16::try_from(delta)
+                .map_err(|_| format!("branch target `{}` out of range", args[0]))?;
+            Ok(v(off))
+        } else {
+            Ok(v(parse_i16(args[0])?))
+        }
+    };
+
+    let instr = match mnemonic.as_str() {
+        "add" => rrr(|rd, rs1, rs2| Instr::Add { rd, rs1, rs2 })?,
+        "sub" => rrr(|rd, rs1, rs2| Instr::Sub { rd, rs1, rs2 })?,
+        "mul" => rrr(|rd, rs1, rs2| Instr::Mul { rd, rs1, rs2 })?,
+        "divu" => rrr(|rd, rs1, rs2| Instr::Divu { rd, rs1, rs2 })?,
+        "remu" => rrr(|rd, rs1, rs2| Instr::Remu { rd, rs1, rs2 })?,
+        "and" => rrr(|rd, rs1, rs2| Instr::And { rd, rs1, rs2 })?,
+        "or" => rrr(|rd, rs1, rs2| Instr::Or { rd, rs1, rs2 })?,
+        "xor" => rrr(|rd, rs1, rs2| Instr::Xor { rd, rs1, rs2 })?,
+        "sll" => rrr(|rd, rs1, rs2| Instr::Sll { rd, rs1, rs2 })?,
+        "srl" => rrr(|rd, rs1, rs2| Instr::Srl { rd, rs1, rs2 })?,
+        "sra" => rrr(|rd, rs1, rs2| Instr::Sra { rd, rs1, rs2 })?,
+        "mov" => {
+            want(2)?;
+            Instr::Mov { rd: parse_reg(args[0])?, rs: parse_reg(args[1])? }
+        }
+        "addi" => {
+            want(3)?;
+            Instr::Addi { rd: parse_reg(args[0])?, rs1: parse_reg(args[1])?, imm: parse_i16(args[2])? }
+        }
+        "andi" => {
+            want(3)?;
+            Instr::Andi { rd: parse_reg(args[0])?, rs1: parse_reg(args[1])?, imm: parse_u16(args[2])? }
+        }
+        "ori" => {
+            want(3)?;
+            Instr::Ori { rd: parse_reg(args[0])?, rs1: parse_reg(args[1])?, imm: parse_u16(args[2])? }
+        }
+        "xori" => {
+            want(3)?;
+            Instr::Xori { rd: parse_reg(args[0])?, rs1: parse_reg(args[1])?, imm: parse_u16(args[2])? }
+        }
+        "slli" | "srli" | "srai" => {
+            want(3)?;
+            let rd = parse_reg(args[0])?;
+            let rs1 = parse_reg(args[1])?;
+            let shamt = parse_u32(args[2]).filter(|&s| s < 32).ok_or("bad shift amount")? as u8;
+            match mnemonic.as_str() {
+                "slli" => Instr::Slli { rd, rs1, shamt },
+                "srli" => Instr::Srli { rd, rs1, shamt },
+                _ => Instr::Srai { rd, rs1, shamt },
+            }
+        }
+        "lui" => {
+            want(2)?;
+            Instr::Lui { rd: parse_reg(args[0])?, imm: parse_u16(args[1])? }
+        }
+        "li" => {
+            want(2)?;
+            let rd = parse_reg(args[0])?;
+            let value = resolve(args[1])?;
+            out.push(encode(&Instr::Lui { rd, imm: (value >> 16) as u16 }));
+            out.push(encode(&Instr::Ori { rd, rs1: rd, imm: (value & 0xFFFF) as u16 }));
+            return Ok(());
+        }
+        "lw" | "lb" | "lbu" => {
+            want(2)?;
+            let rd = parse_reg(args[0])?;
+            let (off, rs1) = parse_mem_operand(args[1])?;
+            match mnemonic.as_str() {
+                "lw" => Instr::Lw { rd, rs1, off },
+                "lb" => Instr::Lb { rd, rs1, off },
+                _ => Instr::Lbu { rd, rs1, off },
+            }
+        }
+        "sw" | "sb" => {
+            want(2)?;
+            let rs2 = parse_reg(args[0])?;
+            let (off, rs1) = parse_mem_operand(args[1])?;
+            if mnemonic == "sw" {
+                Instr::Sw { rs2, rs1, off }
+            } else {
+                Instr::Sb { rs2, rs1, off }
+            }
+        }
+        "lwa" => {
+            want(2)?;
+            Instr::Lwa { rd: parse_reg(args[0])?, addr: parse_bracketed(args[1])? }
+        }
+        "swa" => {
+            want(2)?;
+            Instr::Swa { rs: parse_reg(args[0])?, addr: parse_bracketed(args[1])? }
+        }
+        "push" => {
+            want(1)?;
+            Instr::Push { rs: parse_reg(args[0])? }
+        }
+        "pop" => {
+            want(1)?;
+            Instr::Pop { rd: parse_reg(args[0])? }
+        }
+        "pushf" => {
+            want(0)?;
+            Instr::Pushf
+        }
+        "popf" => {
+            want(0)?;
+            Instr::Popf
+        }
+        "cmp" => {
+            want(2)?;
+            Instr::Cmp { rs1: parse_reg(args[0])?, rs2: parse_reg(args[1])? }
+        }
+        "cmpi" => {
+            want(2)?;
+            Instr::Cmpi { rs1: parse_reg(args[0])?, imm: parse_i16(args[1])? }
+        }
+        "beq" => branch(|off| Instr::Beq { off })?,
+        "bne" => branch(|off| Instr::Bne { off })?,
+        "blt" => branch(|off| Instr::Blt { off })?,
+        "bge" => branch(|off| Instr::Bge { off })?,
+        "bltu" => branch(|off| Instr::Bltu { off })?,
+        "bgeu" => branch(|off| Instr::Bgeu { off })?,
+        "jmp" => {
+            want(1)?;
+            Instr::Jmp { target: resolve(args[0])? }
+        }
+        "call" => {
+            want(1)?;
+            Instr::Call { target: resolve(args[0])? }
+        }
+        "jr" => {
+            want(1)?;
+            Instr::Jr { rs: parse_reg(args[0])? }
+        }
+        "callr" => {
+            want(1)?;
+            Instr::Callr { rs: parse_reg(args[0])? }
+        }
+        "ret" => {
+            want(0)?;
+            Instr::Ret
+        }
+        "jmem" => {
+            want(1)?;
+            Instr::Jmem { addr: parse_bracketed(args[0])? }
+        }
+        "trap" => {
+            want(1)?;
+            Instr::Trap { code: parse_u16(args[0])? }
+        }
+        "halt" => {
+            want(0)?;
+            Instr::Halt
+        }
+        "nop" => {
+            want(0)?;
+            Instr::Nop
+        }
+        ".word" => {
+            want(1)?;
+            out.push(parse_u32(args[0]).ok_or("bad .word value")?);
+            return Ok(());
+        }
+        other => return Err(format!("unknown mnemonic `{other}`")),
+    };
+    out.push(encode(&instr));
+    Ok(())
+}
+
+fn parse_reg(text: &str) -> Result<Reg, String> {
+    let t = text.to_ascii_lowercase();
+    if t == "sp" {
+        return Ok(Reg::SP);
+    }
+    t.strip_prefix('r')
+        .and_then(|n| n.parse::<u8>().ok())
+        .and_then(|n| Reg::try_from(n).ok())
+        .ok_or_else(|| format!("unknown register `{text}`"))
+}
+
+fn parse_u32(text: &str) -> Option<u32> {
+    let t = text.trim();
+    if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        u32::from_str_radix(hex, 16).ok()
+    } else if let Some(neg) = t.strip_prefix('-') {
+        neg.parse::<u32>().ok().map(|v| (v as i64).wrapping_neg() as u32)
+    } else {
+        t.parse::<u32>().ok()
+    }
+}
+
+fn parse_i16(text: &str) -> Result<i16, String> {
+    parse_u32(text)
+        .and_then(|v| {
+            let signed = v as i32;
+            // Accept 0xFFFF-style encodings of negative values.
+            i16::try_from(signed)
+                .ok()
+                .or(if v <= 0xFFFF { Some(v as u16 as i16) } else { None })
+        })
+        .ok_or_else(|| format!("immediate `{text}` out of i16 range"))
+}
+
+fn parse_u16(text: &str) -> Result<u16, String> {
+    parse_u32(text)
+        .and_then(|v| u16::try_from(v).ok())
+        .ok_or_else(|| format!("immediate `{text}` out of u16 range"))
+}
+
+/// Parses `off(reg)` memory operands.
+fn parse_mem_operand(text: &str) -> Result<(i16, Reg), String> {
+    let open = text.find('(').ok_or_else(|| format!("expected `off(reg)`, got `{text}`"))?;
+    let close = text.rfind(')').ok_or_else(|| format!("missing `)` in `{text}`"))?;
+    let off_text = text[..open].trim();
+    let off = if off_text.is_empty() { 0 } else { parse_i16(off_text)? };
+    let rs1 = parse_reg(text[open + 1..close].trim())?;
+    Ok((off, rs1))
+}
+
+/// Parses `[addr]` absolute operands.
+fn parse_bracketed(text: &str) -> Result<u32, String> {
+    let inner = text
+        .strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+        .ok_or_else(|| format!("expected `[addr]`, got `{text}`"))?;
+    parse_u32(inner.trim()).ok_or_else(|| format!("bad address `{inner}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strata_isa::decode;
+
+    #[test]
+    fn assembles_display_syntax() {
+        // Round-trip: Display output must be accepted by the assembler.
+        let instrs = [
+            Instr::Add { rd: Reg::R1, rs1: Reg::R2, rs2: Reg::R3 },
+            Instr::Addi { rd: Reg::R1, rs1: Reg::SP, imm: -4 },
+            Instr::Lw { rd: Reg::R2, rs1: Reg::SP, off: 8 },
+            Instr::Sw { rs2: Reg::R2, rs1: Reg::R3, off: -12 },
+            Instr::Lwa { rd: Reg::R1, addr: 0x200 },
+            Instr::Swa { rs: Reg::R1, addr: 0x204 },
+            Instr::Jmem { addr: 0x104 },
+            Instr::Trap { code: 0xF001 },
+            Instr::Pushf,
+            Instr::Ret,
+            Instr::Lui { rd: Reg::R4, imm: 0xBEEF },
+            Instr::Cmpi { rs1: Reg::R9, imm: -1 },
+            Instr::Srai { rd: Reg::R1, rs1: Reg::R1, shamt: 7 },
+        ];
+        for want in instrs {
+            let code = assemble(0, &want.to_string()).unwrap();
+            assert_eq!(decode(code[0]).unwrap(), want, "syntax: {want}");
+        }
+    }
+
+    #[test]
+    fn labels_and_branches() {
+        let code = assemble(
+            0x1000,
+            r"
+            start:
+                cmpi r1, 0
+                beq  done
+                jmp  start
+            done:
+                halt
+            ",
+        )
+        .unwrap();
+        assert_eq!(decode(code[1]).unwrap(), Instr::Beq { off: 1 });
+        assert_eq!(decode(code[2]).unwrap(), Instr::Jmp { target: 0x1000 });
+    }
+
+    #[test]
+    fn li_and_call_through_label() {
+        let code = assemble(
+            0x2000,
+            r"
+                li r1, 0x12345678
+                call fn1
+                halt
+            fn1:
+                ret
+            ",
+        )
+        .unwrap();
+        assert_eq!(decode(code[0]).unwrap(), Instr::Lui { rd: Reg::R1, imm: 0x1234 });
+        assert_eq!(
+            decode(code[1]).unwrap(),
+            Instr::Ori { rd: Reg::R1, rs1: Reg::R1, imm: 0x5678 }
+        );
+        // fn1 is the 5th word (indices 0..=3 before it) → 0x2010.
+        assert_eq!(decode(code[2]).unwrap(), Instr::Call { target: 0x2010 });
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let code = assemble(0, "; file header\n  nop # trailing\n\n  halt\n").unwrap();
+        assert_eq!(code.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let err = assemble(0, "a:\n nop\na:\n nop\n").unwrap_err();
+        assert!(matches!(err, AsmError::Parse { .. }), "{err}");
+    }
+
+    #[test]
+    fn unknown_mnemonic_reports_line() {
+        let err = assemble(0, "nop\n frobnicate r1\n").unwrap_err();
+        match err {
+            AsmError::Parse { line, message } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("frobnicate"));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn word_directive() {
+        let code = assemble(0, ".word 0xCAFEBABE").unwrap();
+        assert_eq!(code, vec![0xCAFEBABE]);
+    }
+
+    #[test]
+    fn negative_hex_and_decimal_immediates() {
+        let code = assemble(0, "addi r1, r1, -32768").unwrap();
+        assert_eq!(
+            decode(code[0]).unwrap(),
+            Instr::Addi { rd: Reg::R1, rs1: Reg::R1, imm: -32768 }
+        );
+        let code = assemble(0, "cmpi r1, 0xFFFF").unwrap();
+        assert_eq!(decode(code[0]).unwrap(), Instr::Cmpi { rs1: Reg::R1, imm: -1 });
+    }
+}

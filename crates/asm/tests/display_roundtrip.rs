@@ -1,0 +1,68 @@
+//! Property: the text assembler accepts exactly the syntax the ISA's
+//! `Display` impl prints — `assemble(instr.to_string())` re-encodes every
+//! instruction losslessly.
+
+use proptest::prelude::*;
+use strata_asm::assemble;
+use strata_isa::{decode, Instr, Reg};
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..16).prop_map(|i| Reg::try_from(i).unwrap())
+}
+
+fn arb_instr() -> impl Strategy<Value = Instr> {
+    let r = arb_reg;
+    prop_oneof![
+        (r(), r(), r()).prop_map(|(rd, rs1, rs2)| Instr::Add { rd, rs1, rs2 }),
+        (r(), r(), r()).prop_map(|(rd, rs1, rs2)| Instr::Divu { rd, rs1, rs2 }),
+        (r(), r()).prop_map(|(rd, rs)| Instr::Mov { rd, rs }),
+        (r(), r(), any::<i16>()).prop_map(|(rd, rs1, imm)| Instr::Addi { rd, rs1, imm }),
+        (r(), r(), any::<u16>()).prop_map(|(rd, rs1, imm)| Instr::Andi { rd, rs1, imm }),
+        (r(), r(), any::<u16>()).prop_map(|(rd, rs1, imm)| Instr::Xori { rd, rs1, imm }),
+        (r(), r(), 0u8..32).prop_map(|(rd, rs1, shamt)| Instr::Srai { rd, rs1, shamt }),
+        (r(), any::<u16>()).prop_map(|(rd, imm)| Instr::Lui { rd, imm }),
+        (r(), r(), any::<i16>()).prop_map(|(rd, rs1, off)| Instr::Lw { rd, rs1, off }),
+        (r(), r(), any::<i16>()).prop_map(|(rs2, rs1, off)| Instr::Sw { rs2, rs1, off }),
+        (r(), r(), any::<i16>()).prop_map(|(rd, rs1, off)| Instr::Lbu { rd, rs1, off }),
+        (r(), (0u32..(1 << 18)).prop_map(|w| w * 4)).prop_map(|(rd, addr)| Instr::Lwa { rd, addr }),
+        (r(), (0u32..(1 << 18)).prop_map(|w| w * 4)).prop_map(|(rs, addr)| Instr::Swa { rs, addr }),
+        r().prop_map(|rs| Instr::Push { rs }),
+        r().prop_map(|rd| Instr::Pop { rd }),
+        Just(Instr::Pushf),
+        Just(Instr::Popf),
+        (r(), r()).prop_map(|(rs1, rs2)| Instr::Cmp { rs1, rs2 }),
+        (r(), any::<i16>()).prop_map(|(rs1, imm)| Instr::Cmpi { rs1, imm }),
+        any::<i16>().prop_map(|off| Instr::Beq { off }),
+        any::<i16>().prop_map(|off| Instr::Bgeu { off }),
+        (0u32..(1 << 24)).prop_map(|w| Instr::Jmp { target: w * 4 }),
+        (0u32..(1 << 24)).prop_map(|w| Instr::Call { target: w * 4 }),
+        r().prop_map(|rs| Instr::Jr { rs }),
+        r().prop_map(|rs| Instr::Callr { rs }),
+        Just(Instr::Ret),
+        (0u32..(1 << 24)).prop_map(|w| Instr::Jmem { addr: w * 4 }),
+        any::<u16>().prop_map(|code| Instr::Trap { code }),
+        Just(Instr::Halt),
+        Just(Instr::Nop),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn display_syntax_reassembles(instr in arb_instr()) {
+        let text = instr.to_string();
+        let words = assemble(0, &text)
+            .unwrap_or_else(|e| panic!("`{text}` rejected: {e}"));
+        prop_assert_eq!(words.len(), 1, "`{}` produced {} words", text, words.len());
+        prop_assert_eq!(decode(words[0]).expect("assembled word decodes"), instr);
+    }
+
+    #[test]
+    fn whole_programs_roundtrip(instrs in prop::collection::vec(arb_instr(), 1..40)) {
+        let text: String = instrs.iter().map(|i| format!("{i}\n")).collect();
+        let words = assemble(0x4000, &text).expect("program assembles");
+        prop_assert_eq!(words.len(), instrs.len());
+        for (word, want) in words.iter().zip(&instrs) {
+            prop_assert_eq!(&decode(*word).expect("decodes"), want);
+        }
+    }
+}

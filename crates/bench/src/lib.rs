@@ -1,0 +1,167 @@
+//! # strata-bench — experiment binaries regenerating the paper's tables
+//! and figures
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of
+//! *“Evaluating Indirect Branch Handling Mechanisms in Software Dynamic
+//! Translation Systems”* (CGO 2007); DESIGN.md carries the full index and
+//! EXPERIMENTS.md the measured results. Run one with:
+//!
+//! ```text
+//! cargo run --release -p strata-bench --bin fig4_ibtc_size_sweep
+//! ```
+//!
+//! Environment knobs:
+//!
+//! * `STRATA_SCALE` — workload scale factor (default 1),
+//! * `STRATA_CSV=1` — additionally print each table as CSV.
+//!
+//! This library crate holds the shared experiment harness: workload
+//! construction, cached native baselines, slowdown helpers, and uniform
+//! table printing.
+
+use std::collections::HashMap;
+
+use strata_arch::ArchProfile;
+use strata_core::{run_native, NativeRun, RunReport, Sdt, SdtConfig};
+use strata_machine::Program;
+use strata_stats::{geomean, Table};
+use strata_workloads::{registry, Params, Spec};
+
+/// Fuel ceiling for every run — far above any workload at default scale.
+pub const FUEL: u64 = 4_000_000_000;
+
+/// Workload scale and variant, from `STRATA_SCALE` / `STRATA_VARIANT`
+/// (defaults 1 and 0).
+pub fn params() -> Params {
+    let scale = std::env::var("STRATA_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&s| s >= 1)
+        .unwrap_or(1);
+    let variant = std::env::var("STRATA_VARIANT")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    Params { scale, variant }
+}
+
+/// The benchmark names in presentation order.
+pub fn names() -> Vec<&'static str> {
+    registry().iter().map(|s| s.name).collect()
+}
+
+/// An experiment session: pre-built workloads plus memoized native
+/// baselines per architecture.
+pub struct Lab {
+    programs: Vec<(&'static Spec, Program)>,
+    natives: HashMap<(&'static str, &'static str), NativeRun>,
+}
+
+impl Lab {
+    /// Builds all workloads at the session scale.
+    pub fn new() -> Lab {
+        let p = params();
+        Lab {
+            programs: registry().iter().map(|s| (s, (s.build)(&p))).collect(),
+            natives: HashMap::new(),
+        }
+    }
+
+    /// The program for a benchmark.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown benchmark name.
+    pub fn program(&self, name: &str) -> &Program {
+        &self.programs.iter().find(|(s, _)| s.name == name).expect("known benchmark").1
+    }
+
+    /// Native baseline for (`name`, `profile`), memoized.
+    pub fn native(&mut self, name: &'static str, profile: &ArchProfile) -> NativeRun {
+        let key = (name, profile.name);
+        if let Some(r) = self.natives.get(&key) {
+            return r.clone();
+        }
+        let r = run_native(self.program(name), profile.clone(), FUEL)
+            .unwrap_or_else(|e| panic!("native {name} on {}: {e}", profile.name));
+        self.natives.insert(key, r.clone());
+        r
+    }
+
+    /// Runs `name` under translation with `cfg` on `profile`.
+    pub fn translated(&mut self, name: &str, cfg: SdtConfig, profile: &ArchProfile) -> RunReport {
+        let mut sdt = Sdt::new(cfg, self.program(name))
+            .unwrap_or_else(|e| panic!("sdt for {name} / {}: {e}", cfg.describe()));
+        let report = sdt
+            .run(profile.clone(), FUEL)
+            .unwrap_or_else(|e| panic!("run {name} / {} on {}: {e}", cfg.describe(), profile.name));
+        let native = self.native(
+            registry().iter().find(|s| s.name == name).expect("known").name,
+            profile,
+        );
+        assert_eq!(
+            report.checksum, native.checksum,
+            "{name}/{}: translated run diverged from native",
+            cfg.describe()
+        );
+        report
+    }
+
+    /// Slowdown of `cfg` on `name` under `profile`.
+    pub fn slowdown(&mut self, name: &'static str, cfg: SdtConfig, profile: &ArchProfile) -> f64 {
+        let native = self.native(name, profile).total_cycles;
+        self.translated(name, cfg, profile).slowdown(native)
+    }
+
+    /// Geometric-mean slowdown of `cfg` across all benchmarks.
+    pub fn geomean_slowdown(&mut self, cfg: SdtConfig, profile: &ArchProfile) -> f64 {
+        let names = names();
+        geomean(names.iter().map(|n| self.slowdown(n, cfg, profile)))
+            .expect("nonempty benchmark set")
+    }
+}
+
+impl Default for Lab {
+    fn default() -> Lab {
+        Lab::new()
+    }
+}
+
+/// Prints a table as aligned text (always) and CSV (when `STRATA_CSV=1`).
+pub fn print_table(table: &Table) {
+    println!("{}", table.render_text());
+    if std::env::var("STRATA_CSV").is_ok_and(|v| v == "1") {
+        println!("{}", table.render_csv());
+    }
+}
+
+/// Formats a slowdown as `1.234x`.
+pub fn fx(v: f64) -> String {
+    format!("{v:.3}x")
+}
+
+/// Formats a rate as a percentage.
+pub fn pct(v: f64) -> String {
+    format!("{:.2}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lab_builds_and_memoizes() {
+        let mut lab = Lab::new();
+        let x86 = ArchProfile::x86_like();
+        let a = lab.native("gzip", &x86);
+        let b = lab.native("gzip", &x86);
+        assert_eq!(a, b);
+        assert_eq!(lab.natives.len(), 1);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fx(1.5), "1.500x");
+        assert_eq!(pct(0.1234), "12.34%");
+    }
+}

@@ -1,0 +1,350 @@
+use crate::SdtError;
+
+/// Which indirect-branch handling mechanism translated code uses for
+/// indirect jumps and indirect calls (and, under
+/// [`RetMechanism::AsIb`], returns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IbMechanism {
+    /// Full context switch into the translator on every indirect branch —
+    /// the unoptimized baseline.
+    Reentry,
+    /// Indirect-branch translation cache: emitted code probes a tagged
+    /// software cache mapping application targets to fragment addresses.
+    Ibtc {
+        /// Table entries (power of two, `2..=65536`).
+        entries: u32,
+        /// One shared table, or one per indirect-branch site.
+        scope: IbtcScope,
+        /// Lookup code inlined at each site, or a shared out-of-line
+        /// routine reached by call/return.
+        placement: IbtcPlacement,
+    },
+    /// Sieve dispatch: hash into a bucket table whose entries point to
+    /// chains of compare-and-direct-jump stanzas in the code cache.
+    Sieve {
+        /// Bucket count (power of two, `2..=65536`).
+        buckets: u32,
+    },
+}
+
+/// IBTC table scope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IbtcScope {
+    /// All indirect-branch sites share one table.
+    Shared,
+    /// Each indirect-branch site owns a private table (captures per-branch
+    /// target locality at the cost of table space).
+    PerSite,
+}
+
+/// Where IBTC lookup code lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IbtcPlacement {
+    /// The probe sequence is emitted at every indirect-branch site.
+    Inline,
+    /// One shared probe routine; sites `call` it (cheaper I-cache
+    /// footprint, extra transfer per lookup).
+    OutOfLine,
+}
+
+/// How returns are handled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetMechanism {
+    /// Returns go through the generic [`IbMechanism`] like any other
+    /// indirect branch.
+    AsIb,
+    /// Return cache: a tagless table indexed by a hash of the return
+    /// address; transfers land on a verification prologue in the target
+    /// fragment.
+    ReturnCache {
+        /// Table entries (power of two, `2..=65536`).
+        entries: u32,
+    },
+    /// Calls push the *translated* return address so `ret` needs no lookup
+    /// at all. Fastest, but the application can observe fragment-cache
+    /// addresses on its stack (transparency violation).
+    FastReturn,
+    /// Shadow return stack: calls additionally push an
+    /// `(application return address, translated return address)` pair onto
+    /// a private circular stack; returns pop it, verify the application
+    /// address exactly, and jump. Transparent like the return cache but
+    /// immune to hash conflicts; mismatches (underflow, wrap-around,
+    /// unbalanced control flow) fall back to the translator.
+    ShadowStack {
+        /// Entries (power of two, `2..=8192`).
+        depth: u32,
+    },
+}
+
+/// Whether dispatch sequences preserve the application's flags register
+/// around their `cmp` instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlagsPolicy {
+    /// Save and restore flags around every lookup (safe default; on
+    /// x86-like profiles this is the expensive `pushf`/`popf` tax the
+    /// paper analyzes).
+    Always,
+    /// Never save flags — models an SDT whose liveness analysis proved the
+    /// flags dead across every indirect branch. Unsafe in general; the
+    /// bundled workloads do not carry flags across indirect branches, so
+    /// results remain correct and the configuration isolates the flags
+    /// tax.
+    None,
+}
+
+/// Complete SDT configuration.
+///
+/// Construct via one of the presets and adjust fields, or build the struct
+/// literally; call [`SdtConfig::validate`] (done automatically by
+/// [`Sdt::new`](crate::Sdt::new)).
+///
+/// ```
+/// use strata_core::{SdtConfig, RetMechanism};
+/// let mut cfg = SdtConfig::ibtc_inline(4096);
+/// cfg.ret = RetMechanism::ReturnCache { entries: 512 };
+/// assert!(cfg.validate().is_ok());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SdtConfig {
+    /// Mechanism for indirect jumps/calls.
+    pub ib: IbMechanism,
+    /// Mechanism for returns.
+    pub ret: RetMechanism,
+    /// Flags preservation policy around lookup code.
+    pub flags: FlagsPolicy,
+    /// Link direct branches fragment-to-fragment after first execution
+    /// (`true` in real SDTs; `false` forces a translator crossing on every
+    /// direct-branch exit, an ablation of Strata's fragment linking).
+    pub link_fragments: bool,
+    /// Fragment-cache capacity in bytes (`None` = the full cache region).
+    /// When the cache fills, the SDT *flushes* it — discarding every
+    /// fragment and lookup-structure entry, keeping only the shared stubs —
+    /// and retranslates on demand, as Strata does. Flushing is incompatible
+    /// with [`RetMechanism::FastReturn`] (live translated return addresses
+    /// on the application stack would dangle), so fast-return
+    /// configurations fail with `CacheFull` instead.
+    pub cache_limit: Option<u32>,
+    /// Inject a basic-block execution counter at the top of every
+    /// translated fragment — the classic SDT-as-instrumentation use case.
+    /// Counts are read back with [`Sdt::block_profile`](crate::Sdt::block_profile);
+    /// the counting code is real emitted instructions tagged
+    /// [`Origin::Instrumentation`](crate::Origin::Instrumentation), so its
+    /// overhead is measured like any other.
+    pub instrument_blocks: bool,
+    /// Elide unconditional direct jumps during translation: instead of
+    /// ending the fragment with a trampoline, keep translating at the jump
+    /// target (tail duplication, bounded per fragment). Strata's fragment
+    /// formation does this; it trades code-cache space for removing a
+    /// taken jump per elision.
+    pub elide_direct_jumps: bool,
+    /// IBTC associativity: 1 (direct mapped, the default) or 2 (two-way
+    /// sets probed sequentially, with LRU-by-shifting fills). Two-way
+    /// tables require inline lookup placement.
+    pub ibtc_ways: u8,
+}
+
+impl SdtConfig {
+    /// Baseline configuration: translator re-entry for everything.
+    pub fn reentry() -> SdtConfig {
+        SdtConfig {
+            ib: IbMechanism::Reentry,
+            ret: RetMechanism::AsIb,
+            flags: FlagsPolicy::Always,
+            link_fragments: true,
+            cache_limit: None,
+            instrument_blocks: false,
+            elide_direct_jumps: false,
+            ibtc_ways: 1,
+        }
+    }
+
+    /// Shared, inlined IBTC of the given size; returns handled as generic
+    /// indirect branches.
+    pub fn ibtc_inline(entries: u32) -> SdtConfig {
+        SdtConfig {
+            ib: IbMechanism::Ibtc {
+                entries,
+                scope: IbtcScope::Shared,
+                placement: IbtcPlacement::Inline,
+            },
+            ret: RetMechanism::AsIb,
+            flags: FlagsPolicy::Always,
+            link_fragments: true,
+            cache_limit: None,
+            instrument_blocks: false,
+            elide_direct_jumps: false,
+            ibtc_ways: 1,
+        }
+    }
+
+    /// Shared IBTC with the lookup in a shared out-of-line routine.
+    pub fn ibtc_out_of_line(entries: u32) -> SdtConfig {
+        SdtConfig {
+            ib: IbMechanism::Ibtc {
+                entries,
+                scope: IbtcScope::Shared,
+                placement: IbtcPlacement::OutOfLine,
+            },
+            ..SdtConfig::ibtc_inline(entries)
+        }
+    }
+
+    /// Sieve dispatch with the given bucket count.
+    pub fn sieve(buckets: u32) -> SdtConfig {
+        SdtConfig { ib: IbMechanism::Sieve { buckets }, ..SdtConfig::ibtc_inline(0x1000) }
+    }
+
+    /// The paper's best all-round configuration on BTB-equipped machines:
+    /// inlined shared IBTC plus a return cache.
+    pub fn tuned(ibtc_entries: u32, rc_entries: u32) -> SdtConfig {
+        SdtConfig {
+            ret: RetMechanism::ReturnCache { entries: rc_entries },
+            ..SdtConfig::ibtc_inline(ibtc_entries)
+        }
+    }
+
+    /// Checks size parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SdtError::BadConfig`] if any table size is not a power of
+    /// two in `2..=65536`.
+    pub fn validate(&self) -> Result<(), SdtError> {
+        let check = |what: &'static str, n: u32| -> Result<(), SdtError> {
+            if (2..=65536).contains(&n) && n.is_power_of_two() {
+                Ok(())
+            } else {
+                Err(SdtError::BadConfig {
+                    what,
+                    detail: format!("{n} must be a power of two in 2..=65536"),
+                })
+            }
+        };
+        if let IbMechanism::Ibtc { entries, .. } = self.ib {
+            check("ibtc entries", entries)?;
+        }
+        if let IbMechanism::Sieve { buckets } = self.ib {
+            check("sieve buckets", buckets)?;
+        }
+        if let RetMechanism::ReturnCache { entries } = self.ret {
+            check("return cache entries", entries)?;
+        }
+        if let RetMechanism::ShadowStack { depth } = self.ret {
+            if !(2..=8192).contains(&depth) || !depth.is_power_of_two() {
+                return Err(SdtError::BadConfig {
+                    what: "shadow stack depth",
+                    detail: format!("{depth} must be a power of two in 2..=8192"),
+                });
+            }
+        }
+        match self.ibtc_ways {
+            1 => {}
+            2 => {
+                if let IbMechanism::Ibtc { entries, placement, .. } = self.ib {
+                    if placement != IbtcPlacement::Inline {
+                        return Err(SdtError::BadConfig {
+                            what: "ibtc ways",
+                            detail: "two-way IBTC requires inline lookup code".into(),
+                        });
+                    }
+                    if entries < 4 {
+                        return Err(SdtError::BadConfig {
+                            what: "ibtc ways",
+                            detail: "two-way IBTC needs at least 4 entries".into(),
+                        });
+                    }
+                }
+            }
+            other => {
+                return Err(SdtError::BadConfig {
+                    what: "ibtc ways",
+                    detail: format!("{other} must be 1 or 2"),
+                })
+            }
+        }
+        Ok(())
+    }
+
+    /// A short, stable description such as `ibtc(4096,shared,inline)+rc(512)`,
+    /// used as a row label by the experiment binaries.
+    pub fn describe(&self) -> String {
+        let ib = match self.ib {
+            IbMechanism::Reentry => "reentry".to_string(),
+            IbMechanism::Ibtc { entries, scope, placement } => format!(
+                "ibtc({entries},{},{})",
+                match scope {
+                    IbtcScope::Shared => "shared",
+                    IbtcScope::PerSite => "per-site",
+                },
+                match placement {
+                    IbtcPlacement::Inline => "inline",
+                    IbtcPlacement::OutOfLine => "outline",
+                }
+            ),
+            IbMechanism::Sieve { buckets } => format!("sieve({buckets})"),
+        };
+        let ret = match self.ret {
+            RetMechanism::AsIb => String::new(),
+            RetMechanism::ReturnCache { entries } => format!("+rc({entries})"),
+            RetMechanism::FastReturn => "+fastret".to_string(),
+            RetMechanism::ShadowStack { depth } => format!("+shadow({depth})"),
+        };
+        let flags = match self.flags {
+            FlagsPolicy::Always => "",
+            FlagsPolicy::None => "+noflags",
+        };
+        let link = if self.link_fragments { "" } else { "+nolink" };
+        let cache = match self.cache_limit {
+            Some(bytes) => format!("+cache({bytes})"),
+            None => String::new(),
+        };
+        let instr = if self.instrument_blocks { "+bbcount" } else { "" };
+        let elide = if self.elide_direct_jumps { "+elide" } else { "" };
+        let ways = if self.ibtc_ways == 2 { "+2way" } else { "" };
+        format!("{ib}{ret}{flags}{link}{cache}{instr}{elide}{ways}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        for cfg in [
+            SdtConfig::reentry(),
+            SdtConfig::ibtc_inline(2),
+            SdtConfig::ibtc_out_of_line(65536),
+            SdtConfig::sieve(16),
+            SdtConfig::tuned(4096, 512),
+        ] {
+            assert!(cfg.validate().is_ok(), "{cfg:?}");
+        }
+    }
+
+    #[test]
+    fn bad_sizes_rejected() {
+        assert!(SdtConfig::ibtc_inline(0).validate().is_err());
+        assert!(SdtConfig::ibtc_inline(1).validate().is_err());
+        assert!(SdtConfig::ibtc_inline(100).validate().is_err());
+        assert!(SdtConfig::ibtc_inline(1 << 17).validate().is_err());
+        assert!(SdtConfig::sieve(3).validate().is_err());
+        let mut cfg = SdtConfig::reentry();
+        cfg.ret = RetMechanism::ReturnCache { entries: 7 };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn describe_is_stable() {
+        assert_eq!(SdtConfig::reentry().describe(), "reentry");
+        assert_eq!(SdtConfig::ibtc_inline(4096).describe(), "ibtc(4096,shared,inline)");
+        assert_eq!(
+            SdtConfig::tuned(4096, 512).describe(),
+            "ibtc(4096,shared,inline)+rc(512)"
+        );
+        let mut cfg = SdtConfig::sieve(256);
+        cfg.flags = FlagsPolicy::None;
+        cfg.link_fragments = false;
+        assert_eq!(cfg.describe(), "sieve(256)+noflags+nolink");
+    }
+}

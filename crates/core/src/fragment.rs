@@ -1,0 +1,90 @@
+use std::collections::HashMap;
+
+/// What kind of entry a fragment provides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum FragKind {
+    /// A plain translated basic block, entered at its first body
+    /// instruction.
+    Body,
+    /// A return-cache target: begins with a verification prologue
+    /// (compare the actual return address in `r1` against the expected
+    /// constant), then a restore sequence, then the body.
+    ReturnPoint,
+}
+
+/// A translated fragment's addresses in the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Fragment {
+    /// Entry address: the body for [`FragKind::Body`], the verification
+    /// prologue for [`FragKind::ReturnPoint`].
+    pub entry: u32,
+    /// Address of the restore sequence (`ReturnPoint` only; equals `entry`
+    /// for plain fragments).
+    pub restore_entry: u32,
+    /// First body instruction (after any prologue/restore).
+    pub body: u32,
+}
+
+/// The translator's map from application addresses to fragments.
+#[derive(Debug, Default)]
+pub(crate) struct FragmentMap {
+    map: HashMap<(u32, FragKind), Fragment>,
+}
+
+impl FragmentMap {
+    pub fn get(&self, app_addr: u32, kind: FragKind) -> Option<Fragment> {
+        self.map.get(&(app_addr, kind)).copied()
+    }
+
+    pub fn insert(&mut self, app_addr: u32, kind: FragKind, frag: Fragment) {
+        let prev = self.map.insert((app_addr, kind), frag);
+        debug_assert!(prev.is_none(), "fragment for {app_addr:#x} translated twice");
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// A recorded miss site: who trapped, and what the runtime should do about
+/// it. Site ids index into the site table and travel through
+/// [`SLOT_SITE`](crate::protocol::SLOT_SITE).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Site {
+    /// A direct-branch exit trampoline: on first execution the runtime
+    /// translates `target` and (if linking is enabled) patches the
+    /// trampoline head at `patch_addr` into a direct jump.
+    Exit { target: u32, patch_addr: u32 },
+    /// An indirect-branch site; `table` is the per-site IBTC base, if the
+    /// configuration gives each site its own table.
+    IbSite { table: Option<u32> },
+}
+
+/// A sieve hash bucket's chain, tracked host-side so new stanzas can be
+/// linked in O(1).
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct SieveBucket {
+    /// Address of the `jmp next` word of the chain's last stanza (patched
+    /// when a stanza is appended), or `None` while the bucket is empty.
+    pub last_link: Option<u32>,
+    /// Chain length (for probe-distribution reporting).
+    pub len: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_keep_fragments_separate() {
+        let mut m = FragmentMap::default();
+        let body = Fragment { entry: 0x100, restore_entry: 0x100, body: 0x100 };
+        let rc = Fragment { entry: 0x200, restore_entry: 0x210, body: 0x220 };
+        m.insert(0x1000, FragKind::Body, body);
+        m.insert(0x1000, FragKind::ReturnPoint, rc);
+        assert_eq!(m.get(0x1000, FragKind::Body), Some(body));
+        assert_eq!(m.get(0x1000, FragKind::ReturnPoint), Some(rc));
+        assert_eq!(m.get(0x1004, FragKind::Body), None);
+        assert_eq!(m.len(), 2);
+    }
+}

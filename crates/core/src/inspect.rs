@@ -1,0 +1,116 @@
+//! Fragment-cache inspection: disassemble translated code with its origin
+//! tags — the debugging view an SDT developer lives in.
+
+use strata_isa::Instr;
+
+use crate::{Origin, Sdt};
+
+/// One disassembled fragment-cache word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheLine {
+    /// Cache address of the instruction.
+    pub addr: u32,
+    /// The decoded instruction (`None` for undecodable words, which the
+    /// translator never emits but a dump should survive).
+    pub instr: Option<Instr>,
+    /// Why the translator emitted it.
+    pub origin: Origin,
+}
+
+impl Sdt {
+    /// Disassembles the occupied fragment cache (bounded by `max_lines`).
+    ///
+    /// ```
+    /// # use strata_core::{Sdt, SdtConfig};
+    /// # use strata_machine::{layout, Program};
+    /// # use strata_asm::assemble;
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let code = assemble(layout::APP_BASE, "li r1, 7\nhalt\n")?;
+    /// let mut sdt = Sdt::new(SdtConfig::ibtc_inline(64), &Program::new("t", code, vec![]))?;
+    /// sdt.run(strata_arch::ArchProfile::x86_like(), 10_000)?;
+    /// let lines = sdt.disassemble_cache(10_000);
+    /// assert!(lines.iter().any(|l| l.origin == strata_core::Origin::App));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn disassemble_cache(&self, max_lines: usize) -> Vec<CacheLine> {
+        let base = strata_machine::layout::CACHE_BASE;
+        let used = self.cache_used_bytes();
+        let mut out = Vec::new();
+        let mut addr = base;
+        while addr < base + used && out.len() < max_lines {
+            let instr = self
+                .machine()
+                .mem()
+                .read_u32(addr)
+                .ok()
+                .and_then(|w| strata_isa::decode(w).ok());
+            let origin = self.origin_at(addr).unwrap_or(Origin::App);
+            out.push(CacheLine { addr, instr, origin });
+            addr += 4;
+        }
+        out
+    }
+
+    /// Renders a human-readable dump of the occupied fragment cache.
+    pub fn dump_cache(&self, max_lines: usize) -> String {
+        let mut s = String::new();
+        for line in self.disassemble_cache(max_lines) {
+            let text = match line.instr {
+                Some(i) => i.to_string(),
+                None => "<invalid>".to_string(),
+            };
+            s.push_str(&format!(
+                "{:#010x}  {:<24} ; {}\n",
+                line.addr,
+                text,
+                line.origin.label()
+            ));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SdtConfig;
+    use strata_arch::ArchProfile;
+    use strata_asm::assemble;
+    use strata_machine::{layout, Program};
+
+    fn sdt_for(src: &str, cfg: SdtConfig) -> Sdt {
+        let code = assemble(layout::APP_BASE, src).unwrap();
+        let program = Program::new("t", code, Vec::new());
+        let mut sdt = Sdt::new(cfg, &program).unwrap();
+        sdt.run(ArchProfile::x86_like(), 1_000_000).unwrap();
+        sdt
+    }
+
+    #[test]
+    fn dump_shows_app_and_overhead_code() {
+        let sdt = sdt_for(
+            "li r9, t\njr r9\nt:\nli r4, 1\ntrap 0x1\nhalt\n",
+            SdtConfig::ibtc_inline(64),
+        );
+        let dump = sdt.dump_cache(100_000);
+        assert!(dump.contains("; app"));
+        assert!(dump.contains("; ib-dispatch"));
+        assert!(dump.contains("; context-switch"));
+        assert!(dump.contains("halt"));
+    }
+
+    #[test]
+    fn disassembly_covers_exactly_the_used_cache() {
+        let sdt = sdt_for("halt\n", SdtConfig::reentry());
+        let lines = sdt.disassemble_cache(usize::MAX);
+        assert_eq!(lines.len() * 4, sdt.cache_used_bytes() as usize);
+        assert!(lines.iter().all(|l| l.instr.is_some()), "translator never emits junk");
+    }
+
+    #[test]
+    fn max_lines_bounds_output() {
+        let sdt = sdt_for("halt\n", SdtConfig::reentry());
+        assert_eq!(sdt.disassemble_cache(3).len(), 3);
+    }
+}

@@ -1,0 +1,255 @@
+//! The SDT runtime: services `TRAP_MISS` / `TRAP_RC_MISS` crossings from
+//! the fragment cache — translating new fragments, linking exits, and
+//! filling mechanism structures.
+
+use strata_isa::{Instr, Reg};
+use strata_machine::{Machine, Memory};
+
+use crate::config::{FlagsPolicy, IbMechanism};
+use crate::fragment::{FragKind, Site};
+use crate::protocol::{SITE_NOFILL, SITE_SHARED, SLOT_RESUME, SLOT_SHADOW_SP, SLOT_SITE, SLOT_TARGET};
+use crate::sdt::SdtState;
+use crate::{Origin, SdtError};
+
+/// Host-side translator work performed while servicing one trap, used to
+/// charge translator cycles to the architecture model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct TranslatorWork {
+    /// Application instructions newly translated.
+    pub new_instrs: u64,
+    /// Fragment-map lookups performed.
+    pub lookups: u64,
+}
+
+impl SdtState {
+    /// Whether the fragment cache may be flushed when full. Fast returns
+    /// leave translated return addresses live on the application stack, so
+    /// flushing would dangle them.
+    fn can_flush(&self) -> bool {
+        self.cfg.ret != crate::RetMechanism::FastReturn
+    }
+
+    /// Discards every fragment, site, and lookup-structure entry, keeping
+    /// only the shared stubs — Strata's response to a full fragment cache.
+    pub(crate) fn flush_cache(&mut self, mem: &mut Memory) -> Result<(), SdtError> {
+        debug_assert!(self.can_flush());
+        self.stats.cache_flushes += 1;
+        // Preserve instrumentation counts across the flush.
+        for (app_addr, slot) in self.block_counters.drain(..) {
+            let count = mem.read_u32(slot).unwrap_or(0) as u64;
+            *self.flushed_counts.entry(app_addr).or_insert(0) += count;
+        }
+        self.cache.reset_to(self.post_stub_cursor);
+        self.alloc.reset_to(self.alloc_floor);
+        self.map = crate::fragment::FragmentMap::default();
+        self.sites.clear();
+        if let Some(t) = self.shared_ibtc {
+            // Zeroing the whole table empties it (no code lives at 0).
+            for off in (0..t.size_bytes()).step_by(4) {
+                mem.write_u32(t.base + off, 0)?;
+            }
+        }
+        if let Some(t) = self.sieve_tab {
+            t.fill_all(mem, self.stubs.shared_miss_glue)?;
+            self.sieve_buckets.iter_mut().for_each(|b| *b = Default::default());
+        }
+        if let Some(t) = self.rc_tab {
+            t.fill_all(mem, self.stubs.rc_miss)?;
+        }
+        if let Some((base, mask)) = self.shadow {
+            // Shadow entries point at discarded code; empty the stack.
+            for off in (0..=mask).step_by(4) {
+                mem.write_u32(base + off, 0)?;
+            }
+            mem.write_u32(SLOT_SHADOW_SP, 0)?;
+        }
+        Ok(())
+    }
+
+    /// [`SdtState::ensure_fragment`] with flush-on-overflow. Returns the
+    /// fragment and whether a flush happened (in which case the missing
+    /// site's structures no longer exist and must not be updated).
+    pub(crate) fn ensure_fragment_flushing(
+        &mut self,
+        mem: &mut Memory,
+        app_addr: u32,
+        kind: FragKind,
+    ) -> Result<(crate::fragment::Fragment, bool), SdtError> {
+        match self.ensure_fragment(mem, app_addr, kind) {
+            Err(SdtError::CacheFull { .. }) if self.can_flush() => {
+                self.flush_cache(mem)?;
+                Ok((self.ensure_fragment(mem, app_addr, kind)?, true))
+            }
+            r => Ok((r?, false)),
+        }
+    }
+
+    /// Services a `TRAP_MISS`: resolve the target fragment, update the
+    /// missing site's mechanism structure, and arrange resumption through
+    /// the restore stub.
+    pub(crate) fn handle_trap_miss(
+        &mut self,
+        machine: &mut Machine,
+    ) -> Result<TranslatorWork, SdtError> {
+        self.stats.translator_entries += 1;
+        let target = machine.mem().read_u32(SLOT_TARGET)?;
+        let site = machine.mem().read_u32(SLOT_SITE)?;
+        let before = self.stats.translated_app_instrs;
+        let (mut frag, flushed) =
+            self.ensure_fragment_flushing(machine.mem_mut(), target, FragKind::Body)?;
+
+        if flushed {
+            // The dispatch code that missed was itself discarded; count the
+            // miss but skip structure updates for the stale site id.
+            self.stats.ib_misses += 1;
+        } else if site == SITE_NOFILL {
+            // Shadow-stack fallback: the next balanced call repopulates the
+            // shadow entry, so there is nothing to fill here.
+            self.stats.rc_misses += 1;
+        } else if site == SITE_SHARED {
+            self.stats.ib_misses += 1;
+            match self.cfg.ib {
+                IbMechanism::Ibtc { .. } => {
+                    let table = self.shared_ibtc.expect("shared IBTC allocated");
+                    if self.cfg.ibtc_ways == 2 {
+                        table.fill_tagged_2way(machine.mem_mut(), target, frag.entry)?;
+                    } else {
+                        table.fill_tagged(machine.mem_mut(), target, frag.entry)?;
+                    }
+                }
+                IbMechanism::Sieve { .. } => {
+                    match self.sieve_install(machine.mem_mut(), target, frag.entry) {
+                        Err(SdtError::CacheFull { .. }) if self.can_flush() => {
+                            // No room for the stanza: flush and retranslate
+                            // the target (its first fragment was discarded).
+                            self.flush_cache(machine.mem_mut())?;
+                            frag =
+                                self.ensure_fragment(machine.mem_mut(), target, FragKind::Body)?;
+                        }
+                        r => r?,
+                    }
+                }
+                IbMechanism::Reentry => {
+                    unreachable!("re-entry sites always carry a site id")
+                }
+            }
+        } else {
+            match self.sites[site as usize] {
+                Site::Exit { patch_addr, target: exit_target } => {
+                    debug_assert_eq!(exit_target, target);
+                    self.stats.exit_misses += 1;
+                    if self.cfg.link_fragments {
+                        self.stats.exit_links += 1;
+                        self.cache.patch(
+                            machine.mem_mut(),
+                            patch_addr,
+                            Instr::Jmp { target: frag.entry },
+                            Some(Origin::Trampoline),
+                        )?;
+                    }
+                }
+                Site::IbSite { table } => {
+                    self.stats.ib_misses += 1;
+                    if let Some(base) = table {
+                        let entries = match self.cfg.ib {
+                            IbMechanism::Ibtc { entries, .. } => entries,
+                            _ => unreachable!("per-site tables exist only for IBTC"),
+                        };
+                        let t = crate::dispatch::ibtc_table_ref(base, entries, self.cfg.ibtc_ways);
+                        if self.cfg.ibtc_ways == 2 {
+                            t.fill_tagged_2way(machine.mem_mut(), target, frag.entry)?;
+                        } else {
+                            t.fill_tagged(machine.mem_mut(), target, frag.entry)?;
+                        }
+                    }
+                    // A bare re-entry site has nothing to fill: the next
+                    // execution traps again.
+                }
+            }
+        }
+
+        machine.mem_mut().write_u32(SLOT_RESUME, frag.entry)?;
+        machine.cpu_mut().pc = self.stubs.restore;
+        Ok(TranslatorWork {
+            new_instrs: self.stats.translated_app_instrs - before,
+            lookups: 1,
+        })
+    }
+
+    /// Services a `TRAP_RC_MISS`: the actual return target is in
+    /// `SLOT_TARGET`; install the return-point fragment in the return
+    /// cache and resume at its restore sequence.
+    pub(crate) fn handle_trap_rc_miss(
+        &mut self,
+        machine: &mut Machine,
+    ) -> Result<TranslatorWork, SdtError> {
+        self.stats.translator_entries += 1;
+        self.stats.rc_misses += 1;
+        let target = machine.mem().read_u32(SLOT_TARGET)?;
+        let before = self.stats.translated_app_instrs;
+        let (frag, _flushed) =
+            self.ensure_fragment_flushing(machine.mem_mut(), target, FragKind::ReturnPoint)?;
+        let rc = self.rc_tab.expect("return cache allocated");
+        rc.fill_untagged(machine.mem_mut(), target, frag.entry)?;
+        machine.mem_mut().write_u32(SLOT_RESUME, frag.restore_entry)?;
+        machine.cpu_mut().pc = self.stubs.rc_restore;
+        Ok(TranslatorWork {
+            new_instrs: self.stats.translated_app_instrs - before,
+            lookups: 1,
+        })
+    }
+
+    /// Appends a sieve stanza for `target → frag_entry` to its bucket's
+    /// chain.
+    fn sieve_install(
+        &mut self,
+        mem: &mut Memory,
+        target: u32,
+        frag_entry: u32,
+    ) -> Result<(), SdtError> {
+        let d = Origin::Dispatch;
+        let table = self.sieve_tab.expect("sieve table allocated");
+        let bucket = table.index_of(target) as usize;
+
+        let stanza = self.cache.addr();
+        self.cache.emit_li(mem, Reg::R2, target, d)?;
+        self.cache.emit(mem, Instr::Cmp { rs1: Reg::R1, rs2: Reg::R2 }, d)?;
+        self.cache.emit(mem, Instr::Beq { off: 1 }, d)?;
+        let link = self
+            .cache
+            .emit(mem, Instr::Jmp { target: self.stubs.shared_miss_glue }, d)?;
+        if self.cfg.flags == FlagsPolicy::Always {
+            self.cache.emit(mem, Instr::Popf, d)?;
+        }
+        self.cache.emit(mem, Instr::Lwa { rd: Reg::R1, addr: crate::protocol::SLOT_R1 }, d)?;
+        self.cache.emit(mem, Instr::Lwa { rd: Reg::R2, addr: crate::protocol::SLOT_R2 }, d)?;
+        self.cache.emit(mem, Instr::Lwa { rd: Reg::R3, addr: crate::protocol::SLOT_R3 }, d)?;
+        // The sieve's defining property: a hit ends in a DIRECT jump.
+        self.cache.emit(mem, Instr::Jmp { target: frag_entry }, d)?;
+
+        match self.sieve_buckets[bucket].last_link {
+            None => {
+                // First stanza in the bucket: point the bucket head at it.
+                mem.write_u32(table.base + bucket as u32 * 4, stanza)?;
+            }
+            Some(prev_link) => {
+                self.cache.patch(mem, prev_link, Instr::Jmp { target: stanza }, None)?;
+            }
+        }
+        self.sieve_buckets[bucket].last_link = Some(link);
+        self.sieve_buckets[bucket].len += 1;
+        Ok(())
+    }
+
+    /// Mean and max sieve chain lengths (0 when the sieve is unused).
+    pub(crate) fn sieve_chain_stats(&self) -> (f64, u32) {
+        let lens: Vec<u32> =
+            self.sieve_buckets.iter().map(|b| b.len).filter(|&l| l > 0).collect();
+        if lens.is_empty() {
+            return (0.0, 0);
+        }
+        let max = lens.iter().copied().max().unwrap_or(0);
+        let mean = lens.iter().map(|&l| l as f64).sum::<f64>() / lens.len() as f64;
+        (mean, max)
+    }
+}

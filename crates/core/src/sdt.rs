@@ -1,0 +1,372 @@
+use strata_arch::{ArchModel, ArchProfile};
+use strata_machine::syscall::{SyscallState, SDT_TRAP_BASE};
+use strata_machine::{layout, ExecutionObserver, Machine, MachineError, Program, RetireEvent, StepOutcome};
+
+use crate::config::{IbMechanism, IbtcPlacement, IbtcScope, RetMechanism};
+use crate::emitter::{Cache, Mark, TableAlloc};
+use crate::fragment::{FragKind, FragmentMap, Site, SieveBucket};
+use crate::protocol::{TRAP_MISS, TRAP_RC_MISS};
+use crate::report::{HostStats, MechanismStats};
+use crate::stubs::{emit_stubs, Stubs};
+use crate::tables::TableRef;
+use crate::{Origin, RunReport, SdtConfig, SdtError};
+
+/// Mutable translator state shared by the dispatch emitter, the
+/// translator, and the runtime.
+#[derive(Debug)]
+pub(crate) struct SdtState {
+    pub cfg: SdtConfig,
+    pub cache: Cache,
+    pub alloc: TableAlloc,
+    pub stubs: Stubs,
+    pub map: FragmentMap,
+    pub sites: Vec<Site>,
+    pub shared_ibtc: Option<TableRef>,
+    pub sieve_tab: Option<TableRef>,
+    pub sieve_buckets: Vec<SieveBucket>,
+    pub rc_tab: Option<TableRef>,
+    /// Shadow return stack region: (base, byte mask) when enabled.
+    pub shadow: Option<(u32, u32)>,
+    pub stats: HostStats,
+    /// Live (app_addr, guest counter slot) pairs for block instrumentation.
+    pub block_counters: Vec<(u32, u32)>,
+    /// Block counts folded in from before cache flushes.
+    pub flushed_counts: std::collections::HashMap<u32, u64>,
+    /// Cache cursor right after the shared stubs — the flush point.
+    pub post_stub_cursor: u32,
+    /// Table-allocator cursor after the fixed shared tables — per-site
+    /// tables allocated beyond it are freed by a flush.
+    pub alloc_floor: u32,
+}
+
+/// A software dynamic translator instance bound to one loaded program.
+///
+/// Construction loads the program into a fresh machine and emits the
+/// runtime stubs; [`Sdt::run`] translates lazily from the program entry and
+/// executes from the fragment cache under an [`ArchProfile`] cost model.
+/// Running again continues with a *warm* cache (useful for measuring
+/// steady-state behaviour).
+///
+/// See the [crate-level documentation](crate) for an end-to-end example.
+#[derive(Debug)]
+pub struct Sdt {
+    machine: Machine,
+    state: SdtState,
+    syscalls: SyscallState,
+    entry: u32,
+    app_code: std::ops::Range<u32>,
+}
+
+impl Sdt {
+    /// Creates an SDT for `program` under `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SdtError::BadConfig`] for invalid configurations
+    /// (including a per-site IBTC combined with out-of-line lookup, which
+    /// has no shared table for the routine to probe) and propagates
+    /// machine errors if the program does not fit memory.
+    pub fn new(config: SdtConfig, program: &Program) -> Result<Sdt, SdtError> {
+        config.validate()?;
+        if let IbMechanism::Ibtc {
+            scope: IbtcScope::PerSite,
+            placement: IbtcPlacement::OutOfLine,
+            ..
+        } = config.ib
+        {
+            return Err(SdtError::BadConfig {
+                what: "ibtc placement",
+                detail: "per-site tables require inline lookup code".into(),
+            });
+        }
+
+        let mut machine = Machine::new(layout::DEFAULT_MEM_BYTES);
+        program.load(&mut machine)?;
+
+        let cache_bytes = match config.cache_limit {
+            Some(bytes) => {
+                if bytes < 8192 || bytes % 4 != 0 {
+                    return Err(SdtError::BadConfig {
+                        what: "cache limit",
+                        detail: format!("{bytes} must be a 4-byte multiple of at least 8192"),
+                    });
+                }
+                bytes.min(layout::CACHE_BYTES)
+            }
+            None => layout::CACHE_BYTES,
+        };
+        let mut cache = Cache::new(layout::CACHE_BASE, cache_bytes);
+        let mut alloc = TableAlloc::new(layout::TABLES_BASE, layout::TABLES_END);
+
+        let shared_ibtc = match config.ib {
+            IbMechanism::Ibtc { entries, scope: IbtcScope::Shared, .. } => {
+                let base = alloc.alloc(entries * 8, 0x1_0000)?;
+                Some(crate::dispatch::ibtc_table_ref(base, entries, config.ibtc_ways))
+            }
+            _ => None,
+        };
+        let sieve_tab = match config.ib {
+            IbMechanism::Sieve { buckets } => {
+                let base = alloc.alloc(buckets * 4, 0x1_0000)?;
+                Some(TableRef { base, mask: buckets - 1, entry_bytes: 4 })
+            }
+            _ => None,
+        };
+        let rc_tab = match config.ret {
+            RetMechanism::ReturnCache { entries } => {
+                let base = alloc.alloc(entries * 4, 0x1_0000)?;
+                Some(TableRef { base, mask: entries - 1, entry_bytes: 4 })
+            }
+            _ => None,
+        };
+        let shadow = match config.ret {
+            RetMechanism::ShadowStack { depth } => {
+                let base = alloc.alloc(depth * 8, 8)?;
+                Some((base, depth * 8 - 1))
+            }
+            _ => None,
+        };
+
+        let stubs = emit_stubs(&mut cache, machine.mem_mut(), &config, shared_ibtc)?;
+        if let Some(t) = sieve_tab {
+            t.fill_all(machine.mem_mut(), stubs.shared_miss_glue)?;
+        }
+        if let Some(t) = rc_tab {
+            t.fill_all(machine.mem_mut(), stubs.rc_miss)?;
+        }
+        let sieve_buckets = match sieve_tab {
+            Some(t) => vec![SieveBucket::default(); (t.mask + 1) as usize],
+            None => Vec::new(),
+        };
+        let post_stub_cursor = cache.addr();
+        let alloc_floor = alloc.used_bytes();
+
+        Ok(Sdt {
+            machine,
+            state: SdtState {
+                cfg: config,
+                cache,
+                alloc,
+                stubs,
+                map: FragmentMap::default(),
+                sites: Vec::new(),
+                shared_ibtc,
+                sieve_tab,
+                sieve_buckets,
+                rc_tab,
+                shadow,
+                stats: HostStats::default(),
+                block_counters: Vec::new(),
+                flushed_counts: std::collections::HashMap::new(),
+                post_stub_cursor,
+                alloc_floor,
+            },
+            syscalls: SyscallState::new(),
+            entry: program.entry,
+            app_code: program.code_base..program.code_end(),
+        })
+    }
+
+    /// The configuration this SDT runs under.
+    pub fn config(&self) -> &SdtConfig {
+        &self.state.cfg
+    }
+
+    /// The underlying machine, for inspection.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Number of fragments currently in the cache.
+    pub fn fragments(&self) -> usize {
+        self.state.map.len()
+    }
+
+    /// Fragment-cache bytes used so far.
+    pub fn cache_used_bytes(&self) -> u32 {
+        self.state.cache.used_bytes()
+    }
+
+    /// Guest bytes dedicated to lookup tables (IBTC tables, sieve buckets,
+    /// return cache), including per-site tables allocated so far.
+    pub fn table_bytes(&self) -> u32 {
+        let fixed: u32 = [self.state.shared_ibtc, self.state.sieve_tab, self.state.rc_tab]
+            .iter()
+            .flatten()
+            .map(|t| t.size_bytes())
+            .sum();
+        fixed.max(self.state.alloc.used_bytes().saturating_sub(layout::TABLES_BASE))
+    }
+
+    /// The [`Origin`] tag of the instruction at cache address `pc`, if
+    /// `pc` lies within the fragment-cache region.
+    pub fn origin_at(&self, pc: u32) -> Option<Origin> {
+        self.state.cache.origin_at(pc)
+    }
+
+    /// Basic-block execution counts collected by
+    /// [`SdtConfig::instrument_blocks`], as `(application address, count)`
+    /// pairs sorted by descending count. Counts survive cache flushes.
+    /// Empty when instrumentation is off.
+    pub fn block_profile(&self) -> Vec<(u32, u64)> {
+        let mut totals = self.state.flushed_counts.clone();
+        for &(app_addr, slot) in &self.state.block_counters {
+            let count = self.machine.mem().read_u32(slot).unwrap_or(0) as u64;
+            *totals.entry(app_addr).or_insert(0) += count;
+        }
+        let mut out: Vec<(u32, u64)> = totals.into_iter().filter(|&(_, c)| c > 0).collect();
+        out.sort_by_key(|&(addr, count)| (std::cmp::Reverse(count), addr));
+        out
+    }
+
+    /// Executes the program under translation until `halt`, costing
+    /// execution with a fresh [`ArchModel`] for `profile`.
+    ///
+    /// `fuel` bounds retired guest instructions (application plus all
+    /// translation overhead). A second call continues with a warm fragment
+    /// cache; the returned checksum is cumulative across runs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SdtError::ReservedTrap`] if the application uses an
+    /// SDT-reserved trap code, [`SdtError::SelfModifyingCode`] if the
+    /// application stores into its own code, [`SdtError::CacheFull`] /
+    /// [`SdtError::TableSpaceExhausted`] when resources run out, and
+    /// machine faults (including fuel exhaustion) as
+    /// [`SdtError::Machine`].
+    pub fn run(&mut self, profile: ArchProfile, fuel: u64) -> Result<RunReport, SdtError> {
+        let mut model = ArchModel::new(profile);
+        let mut buckets = Buckets::default();
+        let mut translator_cycles = 0u64;
+
+        let before = self.state.stats.translated_app_instrs;
+        let frag = self
+            .state
+            .ensure_fragment_flushing(self.machine.mem_mut(), self.entry, FragKind::Body)?
+            .0;
+        translator_cycles +=
+            model.charge_translator(self.state.stats.translated_app_instrs - before, 1);
+        self.machine.cpu_mut().pc = frag.entry;
+
+        let mut steps = 0u64;
+        let mut halted = false;
+        while steps < fuel {
+            let outcome = {
+                let mut obs = Attributing {
+                    model: &mut model,
+                    cache: &self.state.cache,
+                    buckets: &mut buckets,
+                    app_code: self.app_code.clone(),
+                };
+                self.machine.step(&mut obs)?
+            };
+            steps += 1;
+            if let Some((pc, addr)) = buckets.smc {
+                return Err(SdtError::SelfModifyingCode { pc, addr });
+            }
+            match outcome {
+                StepOutcome::Running => {}
+                StepOutcome::Halted => {
+                    halted = true;
+                    break;
+                }
+                StepOutcome::Trap(TRAP_MISS) => {
+                    let w = self.state.handle_trap_miss(&mut self.machine)?;
+                    translator_cycles += model.charge_translator(w.new_instrs, w.lookups);
+                }
+                StepOutcome::Trap(TRAP_RC_MISS) => {
+                    let w = self.state.handle_trap_rc_miss(&mut self.machine)?;
+                    translator_cycles += model.charge_translator(w.new_instrs, w.lookups);
+                }
+                StepOutcome::Trap(code) if code >= SDT_TRAP_BASE => {
+                    unreachable!("translator never emits unknown SDT traps ({code:#x})")
+                }
+                StepOutcome::Trap(code) => {
+                    self.syscalls.handle(code, &self.machine);
+                }
+            }
+        }
+        if !halted {
+            return Err(MachineError::OutOfFuel { steps: fuel }.into());
+        }
+
+        let (sieve_mean_chain, sieve_max_chain) = self.state.sieve_chain_stats();
+        let s = &self.state.stats;
+        Ok(RunReport {
+            config: self.state.cfg.describe(),
+            arch: model.profile().name,
+            halted,
+            checksum: self.syscalls.checksum(),
+            instructions: buckets.instrs.iter().sum(),
+            total_cycles: model.total_cycles(),
+            cycles_by_origin: buckets.cycles,
+            instrs_by_origin: buckets.instrs,
+            translator_cycles,
+            mech: MechanismStats {
+                ib_dispatches: buckets.ib_dispatches,
+                ib_misses: s.ib_misses,
+                ret_dispatches: buckets.ret_dispatches,
+                rc_misses: s.rc_misses,
+                exit_misses: s.exit_misses,
+                exit_links: s.exit_links,
+                translator_entries: s.translator_entries,
+                fragments: s.fragments,
+                translated_app_instrs: s.translated_app_instrs,
+                cache_used_bytes: self.state.cache.used_bytes() as u64,
+                cache_flushes: s.cache_flushes,
+                elided_jumps: s.elided_jumps,
+                sieve_mean_chain,
+                sieve_max_chain,
+            },
+            icache_misses: model.icache().misses(),
+            dcache_misses: model.dcache().misses(),
+            indirect_mispredicts: model.indirect_mispredicts(),
+            cond_mispredicts: model.cond_mispredicts(),
+        })
+    }
+}
+
+/// Per-run accumulation split by instruction origin.
+#[derive(Debug, Default)]
+struct Buckets {
+    cycles: [u64; 6],
+    instrs: [u64; 6],
+    ib_dispatches: u64,
+    ret_dispatches: u64,
+    /// First store into translated application code, if any:
+    /// `(cache pc, app code addr)`.
+    smc: Option<(u32, u32)>,
+}
+
+/// The observer wired into the machine while running under translation:
+/// costs each retired instruction with the architecture model and buckets
+/// the cycles by the emitting code's [`Origin`].
+struct Attributing<'a> {
+    model: &'a mut ArchModel,
+    cache: &'a Cache,
+    buckets: &'a mut Buckets,
+    app_code: std::ops::Range<u32>,
+}
+
+impl ExecutionObserver for Attributing<'_> {
+    #[inline]
+    fn on_retire(&mut self, ev: &RetireEvent) {
+        let cycles = self.model.cost_of(ev);
+        let origin = self.cache.origin_at(ev.pc).unwrap_or(Origin::App);
+        let i = origin.index();
+        self.buckets.cycles[i] += cycles;
+        self.buckets.instrs[i] += 1;
+        match self.cache.mark_at(ev.pc) {
+            Mark::None => {}
+            Mark::IbEntry => self.buckets.ib_dispatches += 1,
+            Mark::RetEntry => self.buckets.ret_dispatches += 1,
+        }
+        if self.buckets.smc.is_none() {
+            if let Some(mem) = ev.mem {
+                if mem.is_store && self.app_code.contains(&mem.addr) {
+                    self.buckets.smc = Some((ev.pc, mem.addr));
+                }
+            }
+        }
+    }
+}

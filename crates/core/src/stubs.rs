@@ -1,0 +1,229 @@
+//! Shared code stubs emitted once at fragment-cache initialization.
+//!
+//! The stubs are the physical manifestation of "context switch overhead":
+//! a miss tail saves the full register file and flags before trapping into
+//! the translator, and a restore stub reloads everything before resuming in
+//! the cache. Their instruction counts (≈18 each way, plus the trap cost)
+//! are why the paper's baseline — re-entering the translator on *every*
+//! indirect branch — is so expensive.
+
+use strata_isa::{Instr, Reg};
+use strata_machine::Memory;
+
+use crate::config::{FlagsPolicy, IbMechanism, IbtcPlacement};
+use crate::emitter::Cache;
+use crate::protocol::{
+    reg_slot, SITE_NOFILL, SITE_SHARED, SLOT_FLAGS, SLOT_JUMP_TARGET, SLOT_R1, SLOT_R2, SLOT_R3,
+    SLOT_RESUME, SLOT_SITE, SLOT_TARGET, TRAP_MISS, TRAP_RC_MISS,
+};
+use crate::tables::TableRef;
+use crate::{Origin, SdtConfig, SdtError};
+
+/// Addresses of the shared stubs.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Stubs {
+    /// Full restore (registers + flags + dispatch spills) ending
+    /// `jmem [SLOT_RESUME]`; resume point after a `TRAP_MISS`.
+    pub restore: u32,
+    /// Partial restore (`r0`, `r4`–`r15` only) for return-cache misses —
+    /// flags and `r1`–`r3` are restored by the target fragment's own
+    /// restore sequence.
+    pub rc_restore: u32,
+    /// Miss tail entered with the flags word already pushed on the
+    /// application stack (dispatch-sequence misses).
+    pub miss_tail_stack_flags: u32,
+    /// Miss tail entered with the application flags still live in the
+    /// flags register (direct-branch exit stubs).
+    pub miss_tail_reg_flags: u32,
+    /// Sets `SLOT_SITE = SITE_SHARED` and falls into the stack-flags miss
+    /// tail; target of shared-structure (IBTC/sieve) miss paths.
+    pub shared_miss_glue: u32,
+    /// Sets `SLOT_SITE = SITE_NOFILL` and falls into the stack-flags miss
+    /// tail; target of shadow-stack return fallbacks.
+    pub nofill_miss_glue: u32,
+    /// Return-cache miss stub: partial save + `TRAP_RC_MISS`.
+    pub rc_miss: u32,
+    /// Shared out-of-line IBTC probe routine (only under
+    /// [`IbtcPlacement::OutOfLine`]).
+    pub ibtc_lookup: Option<u32>,
+}
+
+/// The registers a full context switch must save/restore beyond the
+/// dispatch spills `r1`–`r3`: `r0` and `r4`–`r15`.
+fn bulk_regs() -> impl Iterator<Item = Reg> {
+    std::iter::once(Reg::R0).chain((4..16).map(|i| Reg::try_from(i).expect("0..16")))
+}
+
+/// Emits all shared stubs. `shared_ibtc` must be the shared IBTC table when
+/// the configuration uses an out-of-line lookup.
+pub(crate) fn emit_stubs(
+    cache: &mut Cache,
+    mem: &mut Memory,
+    cfg: &SdtConfig,
+    shared_ibtc: Option<TableRef>,
+) -> Result<Stubs, SdtError> {
+    let save_flags = cfg.flags == FlagsPolicy::Always;
+    let o = Origin::ContextSwitch;
+
+    // --- restore stub -----------------------------------------------------
+    let restore = cache.addr();
+    for r in bulk_regs() {
+        cache.emit(mem, Instr::Lwa { rd: r, addr: reg_slot(r.index() as u32) }, o)?;
+    }
+    if save_flags {
+        cache.emit(mem, Instr::Lwa { rd: Reg::R3, addr: SLOT_FLAGS }, o)?;
+        cache.emit(mem, Instr::Push { rs: Reg::R3 }, o)?;
+        cache.emit(mem, Instr::Popf, o)?;
+    }
+    cache.emit(mem, Instr::Lwa { rd: Reg::R1, addr: SLOT_R1 }, o)?;
+    cache.emit(mem, Instr::Lwa { rd: Reg::R2, addr: SLOT_R2 }, o)?;
+    cache.emit(mem, Instr::Lwa { rd: Reg::R3, addr: SLOT_R3 }, o)?;
+    cache.emit(mem, Instr::Jmem { addr: SLOT_RESUME }, o)?;
+
+    // --- return-cache partial restore --------------------------------------
+    let rc_restore = cache.addr();
+    for r in bulk_regs() {
+        cache.emit(mem, Instr::Lwa { rd: r, addr: reg_slot(r.index() as u32) }, o)?;
+    }
+    cache.emit(mem, Instr::Jmem { addr: SLOT_RESUME }, o)?;
+
+    // --- miss tails --------------------------------------------------------
+    let emit_tail = |cache: &mut Cache, mem: &mut Memory, flags_on_stack: bool| {
+        let at = cache.addr();
+        cache.emit(mem, Instr::Swa { rs: Reg::R1, addr: SLOT_TARGET }, o)?;
+        if save_flags {
+            if !flags_on_stack {
+                cache.emit(mem, Instr::Pushf, o)?;
+            }
+            cache.emit(mem, Instr::Pop { rd: Reg::R3 }, o)?;
+            cache.emit(mem, Instr::Swa { rs: Reg::R3, addr: SLOT_FLAGS }, o)?;
+        }
+        for r in bulk_regs() {
+            cache.emit(mem, Instr::Swa { rs: r, addr: reg_slot(r.index() as u32) }, o)?;
+        }
+        cache.emit(mem, Instr::Trap { code: TRAP_MISS }, o)?;
+        Ok::<u32, SdtError>(at)
+    };
+    let miss_tail_stack_flags = emit_tail(cache, mem, true)?;
+    let miss_tail_reg_flags = if save_flags {
+        emit_tail(cache, mem, false)?
+    } else {
+        // Without flags saving the two tails are identical; share one.
+        miss_tail_stack_flags
+    };
+
+    // --- shared miss glue ----------------------------------------------------
+    let shared_miss_glue = cache.addr();
+    cache.emit_li(mem, Reg::R2, SITE_SHARED, o)?;
+    cache.emit(mem, Instr::Swa { rs: Reg::R2, addr: SLOT_SITE }, o)?;
+    cache.emit(mem, Instr::Jmp { target: miss_tail_stack_flags }, o)?;
+
+    // --- no-fill miss glue (shadow-stack fallbacks) ----------------------------
+    let nofill_miss_glue = cache.addr();
+    cache.emit_li(mem, Reg::R2, SITE_NOFILL, o)?;
+    cache.emit(mem, Instr::Swa { rs: Reg::R2, addr: SLOT_SITE }, o)?;
+    cache.emit(mem, Instr::Jmp { target: miss_tail_stack_flags }, o)?;
+
+    // --- return-cache miss stub ----------------------------------------------
+    let rc_miss = cache.addr();
+    cache.emit(mem, Instr::Swa { rs: Reg::R1, addr: SLOT_TARGET }, o)?;
+    for r in bulk_regs() {
+        cache.emit(mem, Instr::Swa { rs: r, addr: reg_slot(r.index() as u32) }, o)?;
+    }
+    cache.emit(mem, Instr::Trap { code: TRAP_RC_MISS }, o)?;
+
+    // --- shared out-of-line IBTC lookup ---------------------------------------
+    let ibtc_lookup = match cfg.ib {
+        IbMechanism::Ibtc { placement: IbtcPlacement::OutOfLine, .. } => {
+            let table = shared_ibtc.expect("out-of-line IBTC requires the shared table");
+            let d = Origin::Dispatch;
+            let at = cache.addr();
+            cache.emit(mem, Instr::Srli { rd: Reg::R2, rs1: Reg::R1, shamt: 2 }, d)?;
+            cache.emit(
+                mem,
+                Instr::Andi { rd: Reg::R2, rs1: Reg::R2, imm: table.mask as u16 },
+                d,
+            )?;
+            cache.emit(mem, Instr::Slli { rd: Reg::R2, rs1: Reg::R2, shamt: 3 }, d)?;
+            if table.base & 0xFFFF == 0 {
+                cache.emit(mem, Instr::Lui { rd: Reg::R3, imm: (table.base >> 16) as u16 }, d)?;
+            } else {
+                cache.emit_li(mem, Reg::R3, table.base, d)?;
+            }
+            cache.emit(mem, Instr::Add { rd: Reg::R2, rs1: Reg::R2, rs2: Reg::R3 }, d)?;
+            cache.emit(mem, Instr::Lw { rd: Reg::R3, rs1: Reg::R2, off: 0 }, d)?;
+            cache.emit(mem, Instr::Cmp { rs1: Reg::R3, rs2: Reg::R1 }, d)?;
+            let bne = cache.emit(mem, Instr::Bne { off: 0 }, d)?;
+            cache.emit(mem, Instr::Lw { rd: Reg::R3, rs1: Reg::R2, off: 4 }, d)?;
+            cache.emit(mem, Instr::Swa { rs: Reg::R3, addr: SLOT_JUMP_TARGET }, d)?;
+            cache.emit(mem, Instr::Ret, d)?;
+            let miss = cache.addr();
+            cache.emit(mem, Instr::Pop { rd: Reg::R2 }, d)?; // discard return addr
+            cache.emit(mem, Instr::Jmp { target: shared_miss_glue }, d)?;
+            cache.patch_branch(mem, bne, Instr::Bne { off: 0 }, miss)?;
+            Some(at)
+        }
+        _ => None,
+    };
+
+    Ok(Stubs {
+        restore,
+        rc_restore,
+        miss_tail_stack_flags,
+        miss_tail_reg_flags,
+        shared_miss_glue,
+        nofill_miss_glue,
+        rc_miss,
+        ibtc_lookup,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strata_machine::layout;
+
+    fn setup(cfg: SdtConfig) -> (Cache, Memory, Stubs) {
+        let mut mem = Memory::new(layout::DEFAULT_MEM_BYTES);
+        let mut cache = Cache::new(layout::CACHE_BASE, layout::CACHE_BYTES);
+        let table = TableRef { base: layout::TABLES_BASE, mask: 255, entry_bytes: 8 };
+        let stubs = emit_stubs(&mut cache, &mut mem, &cfg, Some(table)).unwrap();
+        (cache, mem, stubs)
+    }
+
+    #[test]
+    fn stubs_are_disjoint_and_tagged() {
+        let (cache, _mem, s) = setup(SdtConfig::ibtc_out_of_line(256));
+        let addrs = [
+            s.restore,
+            s.rc_restore,
+            s.miss_tail_stack_flags,
+            s.miss_tail_reg_flags,
+            s.shared_miss_glue,
+            s.nofill_miss_glue,
+            s.rc_miss,
+            s.ibtc_lookup.unwrap(),
+        ];
+        let mut sorted = addrs.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), addrs.len());
+        assert_eq!(cache.origin_at(s.restore), Some(Origin::ContextSwitch));
+        assert_eq!(cache.origin_at(s.ibtc_lookup.unwrap()), Some(Origin::Dispatch));
+    }
+
+    #[test]
+    fn flags_none_merges_tails() {
+        let mut cfg = SdtConfig::reentry();
+        cfg.flags = FlagsPolicy::None;
+        let (_, _, s) = setup(cfg);
+        assert_eq!(s.miss_tail_stack_flags, s.miss_tail_reg_flags);
+        assert!(s.ibtc_lookup.is_none());
+    }
+
+    #[test]
+    fn inline_config_has_no_lookup_routine() {
+        let (_, _, s) = setup(SdtConfig::ibtc_inline(256));
+        assert!(s.ibtc_lookup.is_none());
+    }
+}

@@ -1,0 +1,280 @@
+//! The basic-block translator: decodes application code and emits
+//! fragments into the cache.
+
+use strata_isa::{Instr, Reg};
+use strata_machine::syscall::SDT_TRAP_BASE;
+use strata_machine::Memory;
+
+use crate::config::RetMechanism;
+use crate::dispatch::{CallPush, TargetSource};
+use crate::emitter::Mark;
+use crate::fragment::{FragKind, Fragment, Site};
+use crate::protocol::{SLOT_R1, SLOT_R2, SLOT_R3, SLOT_SITE};
+use crate::sdt::SdtState;
+use crate::{Origin, SdtError};
+
+impl SdtState {
+    /// Returns the fragment for (`app_addr`, `kind`), translating it (and,
+    /// under fast returns, any fall-through return-site fragments) on
+    /// first request.
+    pub(crate) fn ensure_fragment(
+        &mut self,
+        mem: &mut Memory,
+        app_addr: u32,
+        kind: FragKind,
+    ) -> Result<Fragment, SdtError> {
+        if let Some(f) = self.map.get(app_addr, kind) {
+            return Ok(f);
+        }
+        self.translate_fragment(mem, app_addr, kind)
+    }
+
+    fn translate_fragment(
+        &mut self,
+        mem: &mut Memory,
+        app_addr: u32,
+        kind: FragKind,
+    ) -> Result<Fragment, SdtError> {
+        let entry = self.cache.addr();
+
+        // Return-point fragments begin with the return-cache verification
+        // prologue, then the restore sequence the dispatch skipped.
+        let restore_entry = match kind {
+            FragKind::ReturnPoint => {
+                let d = Origin::Dispatch;
+                self.cache.emit_li(mem, Reg::R2, app_addr, d)?;
+                self.cache.emit(mem, Instr::Cmp { rs1: Reg::R1, rs2: Reg::R2 }, d)?;
+                self.cache.emit(mem, Instr::Beq { off: 1 }, d)?;
+                self.cache.emit(mem, Instr::Jmp { target: self.stubs.rc_miss }, d)?;
+                let restore = self.cache.addr();
+                if self.cfg.flags == crate::FlagsPolicy::Always {
+                    self.cache.emit(mem, Instr::Popf, d)?;
+                }
+                self.cache.emit(mem, Instr::Lwa { rd: Reg::R1, addr: SLOT_R1 }, d)?;
+                self.cache.emit(mem, Instr::Lwa { rd: Reg::R2, addr: SLOT_R2 }, d)?;
+                self.cache.emit(mem, Instr::Lwa { rd: Reg::R3, addr: SLOT_R3 }, d)?;
+                restore
+            }
+            FragKind::Body => entry,
+        };
+
+        // Injected basic-block counter: bump a per-fragment guest counter
+        // without disturbing application state (addi does not touch flags).
+        if self.cfg.instrument_blocks {
+            let slot = self.alloc.alloc(4, 4)?;
+            mem.write_u32(slot, 0)?; // the slot may be recycled post-flush
+            self.block_counters.push((app_addr, slot));
+            let o = Origin::Instrumentation;
+            self.cache.emit(mem, Instr::Swa { rs: Reg::R1, addr: SLOT_R1 }, o)?;
+            self.cache.emit(mem, Instr::Swa { rs: Reg::R2, addr: SLOT_R2 }, o)?;
+            self.cache.emit_li(mem, Reg::R1, slot, o)?;
+            self.cache.emit(mem, Instr::Lw { rd: Reg::R2, rs1: Reg::R1, off: 0 }, o)?;
+            self.cache.emit(mem, Instr::Addi { rd: Reg::R2, rs1: Reg::R2, imm: 1 }, o)?;
+            self.cache.emit(mem, Instr::Sw { rs2: Reg::R2, rs1: Reg::R1, off: 0 }, o)?;
+            self.cache.emit(mem, Instr::Lwa { rd: Reg::R1, addr: SLOT_R1 }, o)?;
+            self.cache.emit(mem, Instr::Lwa { rd: Reg::R2, addr: SLOT_R2 }, o)?;
+        }
+
+        let body = self.cache.addr();
+        let frag = Fragment { entry, restore_entry, body };
+        // Register before translating the body so fall-through recursion
+        // (fast returns) terminates.
+        self.map.insert(app_addr, kind, frag);
+        self.stats.fragments += 1;
+
+        let mut pc = app_addr;
+        // Block starts already inlined into this fragment (jump elision).
+        let mut elided: Vec<u32> = vec![app_addr];
+        loop {
+            let instr = mem.fetch(pc)?;
+            let next = pc + 4;
+            self.stats.translated_app_instrs += 1;
+            match instr {
+                Instr::Trap { code } if code >= SDT_TRAP_BASE => {
+                    return Err(SdtError::ReservedTrap { code, pc });
+                }
+                Instr::Beq { .. }
+                | Instr::Bne { .. }
+                | Instr::Blt { .. }
+                | Instr::Bge { .. }
+                | Instr::Bltu { .. }
+                | Instr::Bgeu { .. } => {
+                    let off = branch_off(instr);
+                    let taken = next.wrapping_add((off as i32 as u32).wrapping_mul(4));
+                    let bxx = self.cache.emit(mem, instr, Origin::App)?;
+                    self.emit_exit(mem, next)?;
+                    let taken_head = self.emit_exit(mem, taken)?;
+                    self.cache.patch_branch(mem, bxx, instr, taken_head)?;
+                    break;
+                }
+                Instr::Jmp { target } => {
+                    // Jump elision: keep translating at the target instead
+                    // of ending the fragment, unless the target is already
+                    // part of this fragment (a loop), already has its own
+                    // fragment, or the duplication budget is spent.
+                    if self.cfg.elide_direct_jumps
+                        && elided.len() < 16
+                        && !elided.contains(&target)
+                        && self.map.get(target, FragKind::Body).is_none()
+                    {
+                        elided.push(target);
+                        self.stats.elided_jumps += 1;
+                        pc = target;
+                        continue;
+                    }
+                    self.emit_exit(mem, target)?;
+                    break;
+                }
+                Instr::Call { target } => {
+                    self.translate_direct_call(mem, target, next)?;
+                    break;
+                }
+                Instr::Callr { rs } => {
+                    let push = match self.cfg.ret {
+                        RetMechanism::FastReturn => CallPush::TranslatedPlaceholder,
+                        RetMechanism::ShadowStack { .. } => CallPush::AppAddrWithShadow(next),
+                        _ => CallPush::AppAddr(next),
+                    };
+                    let patch =
+                        self.emit_ib_dispatch(mem, TargetSource::Reg(rs), push, Mark::IbEntry)?;
+                    if let Some(at) = patch {
+                        let ret_frag = self.ensure_fragment(mem, next, FragKind::Body)?;
+                        self.cache.patch_li(mem, at, Reg::R2, ret_frag.entry)?;
+                    }
+                    break;
+                }
+                Instr::Jr { rs } => {
+                    self.emit_ib_dispatch(
+                        mem,
+                        TargetSource::Reg(rs),
+                        CallPush::None,
+                        Mark::IbEntry,
+                    )?;
+                    break;
+                }
+                Instr::Jmem { addr } => {
+                    self.emit_ib_dispatch(
+                        mem,
+                        TargetSource::MemSlot(addr),
+                        CallPush::None,
+                        Mark::IbEntry,
+                    )?;
+                    break;
+                }
+                Instr::Ret => {
+                    match self.cfg.ret {
+                        RetMechanism::FastReturn => {
+                            // The stack holds a translated address; a plain
+                            // ret is both correct and RAS-predictable.
+                            self.cache.emit(mem, Instr::Ret, Origin::App)?;
+                        }
+                        RetMechanism::ReturnCache { .. } => self.emit_rc_dispatch(mem)?,
+                        RetMechanism::ShadowStack { .. } => self.emit_ss_dispatch(mem)?,
+                        RetMechanism::AsIb => {
+                            self.emit_ib_dispatch(
+                                mem,
+                                TargetSource::PoppedReturn,
+                                CallPush::None,
+                                Mark::RetEntry,
+                            )?;
+                        }
+                    }
+                    break;
+                }
+                Instr::Halt => {
+                    self.cache.emit(mem, Instr::Halt, Origin::App)?;
+                    break;
+                }
+                other => {
+                    self.cache.emit(mem, other, Origin::App)?;
+                    pc = next;
+                }
+            }
+        }
+        Ok(frag)
+    }
+
+    /// Translates a direct call. Transparent mode pushes the application
+    /// return address and exits to the callee; fast-return mode emits a
+    /// real `call` (pushing the translated return address) with the
+    /// return-site fragment laid out immediately after it.
+    fn translate_direct_call(
+        &mut self,
+        mem: &mut Memory,
+        target: u32,
+        ret_app: u32,
+    ) -> Result<(), SdtError> {
+        if self.cfg.ret == RetMechanism::FastReturn {
+            let call_at = self.cache.emit(mem, Instr::Call { target: call_at_placeholder() }, Origin::App)?;
+            // The pushed return address is the cache word after the call:
+            // make that the return-site fragment (or a jump to it).
+            match self.map.get(ret_app, FragKind::Body) {
+                Some(f) => {
+                    self.cache.emit(mem, Instr::Jmp { target: f.entry }, Origin::Trampoline)?;
+                }
+                None => {
+                    self.translate_fragment(mem, ret_app, FragKind::Body)?;
+                }
+            }
+            let tramp = self.emit_exit(mem, target)?;
+            self.cache.patch(mem, call_at, Instr::Call { target: tramp }, None)?;
+        } else if let RetMechanism::ShadowStack { .. } = self.cfg.ret {
+            let g = Origin::CallGlue;
+            self.cache.emit(mem, Instr::Swa { rs: Reg::R1, addr: SLOT_R1 }, g)?;
+            self.cache.emit(mem, Instr::Swa { rs: Reg::R2, addr: SLOT_R2 }, g)?;
+            self.cache.emit(mem, Instr::Swa { rs: Reg::R3, addr: SLOT_R3 }, g)?;
+            self.cache.emit_li(mem, Reg::R1, ret_app, g)?;
+            self.cache.emit(mem, Instr::Push { rs: Reg::R1 }, g)?;
+            let patch = self.emit_shadow_push(mem, ret_app)?;
+            self.cache.emit(mem, Instr::Lwa { rd: Reg::R3, addr: SLOT_R3 }, g)?;
+            self.cache.emit(mem, Instr::Lwa { rd: Reg::R2, addr: SLOT_R2 }, g)?;
+            self.cache.emit(mem, Instr::Lwa { rd: Reg::R1, addr: SLOT_R1 }, g)?;
+            self.emit_exit(mem, target)?;
+            let ret_frag = self.ensure_fragment(mem, ret_app, FragKind::Body)?;
+            self.cache.patch_li(mem, patch, Reg::R2, ret_frag.entry)?;
+        } else {
+            let g = Origin::CallGlue;
+            self.cache.emit(mem, Instr::Swa { rs: Reg::R1, addr: SLOT_R1 }, g)?;
+            self.cache.emit_li(mem, Reg::R1, ret_app, g)?;
+            self.cache.emit(mem, Instr::Push { rs: Reg::R1 }, g)?;
+            self.cache.emit(mem, Instr::Lwa { rd: Reg::R1, addr: SLOT_R1 }, g)?;
+            self.emit_exit(mem, target)?;
+        }
+        Ok(())
+    }
+
+    /// Emits a direct-branch exit trampoline for `target` and returns its
+    /// head address. The head starts as the first instruction of a full
+    /// context save + trap; when the runtime links the exit it patches the
+    /// head into a direct jump to the target fragment.
+    pub(crate) fn emit_exit(&mut self, mem: &mut Memory, target: u32) -> Result<u32, SdtError> {
+        let o = Origin::ContextSwitch;
+        let head = self.cache.emit(mem, Instr::Swa { rs: Reg::R1, addr: SLOT_R1 }, o)?;
+        let site = self.new_site(Site::Exit { target, patch_addr: head });
+        self.cache.emit_li(mem, Reg::R1, target, o)?;
+        self.cache.emit(mem, Instr::Swa { rs: Reg::R2, addr: SLOT_R2 }, o)?;
+        self.cache.emit_li(mem, Reg::R2, site, o)?;
+        self.cache.emit(mem, Instr::Swa { rs: Reg::R2, addr: SLOT_SITE }, o)?;
+        self.cache.emit(mem, Instr::Swa { rs: Reg::R3, addr: SLOT_R3 }, o)?;
+        self.cache.emit(mem, Instr::Jmp { target: self.stubs.miss_tail_reg_flags }, o)?;
+        Ok(head)
+    }
+}
+
+fn branch_off(instr: Instr) -> i16 {
+    match instr {
+        Instr::Beq { off }
+        | Instr::Bne { off }
+        | Instr::Blt { off }
+        | Instr::Bge { off }
+        | Instr::Bltu { off }
+        | Instr::Bgeu { off } => off,
+        other => unreachable!("not a conditional branch: {other:?}"),
+    }
+}
+
+/// Placeholder target for a call whose real target is patched in once the
+/// callee trampoline exists; any valid aligned address works.
+fn call_at_placeholder() -> u32 {
+    0
+}

@@ -1,0 +1,102 @@
+//! Fragment-cache flush: when the cache region fills, the SDT discards all
+//! fragments and lookup-structure state (keeping the stubs) and
+//! retranslates on demand — execution must stay correct across flushes.
+
+use strata_arch::ArchProfile;
+use strata_asm::assemble;
+use strata_core::{run_native, RetMechanism, Sdt, SdtConfig, SdtError};
+use strata_machine::{layout, Program};
+use strata_workloads::{by_name, Params};
+
+const FUEL: u64 = 2_000_000_000;
+
+#[test]
+fn tiny_cache_forces_flushes_and_stays_correct() {
+    let program = (by_name("gcc").unwrap().build)(&Params::default());
+    let native = run_native(&program, ArchProfile::x86_like(), FUEL).unwrap();
+
+    for mut cfg in [SdtConfig::ibtc_inline(256), SdtConfig::sieve(256), SdtConfig::tuned(256, 64)]
+    {
+        cfg.cache_limit = Some(12 * 1024);
+        let mut sdt = Sdt::new(cfg, &program).unwrap();
+        let report = sdt.run(ArchProfile::x86_like(), FUEL).unwrap_or_else(|e| {
+            panic!("{} with 12KiB cache failed: {e}", cfg.describe())
+        });
+        assert_eq!(report.checksum, native.checksum, "{}", cfg.describe());
+        assert!(
+            report.mech.cache_flushes > 0,
+            "{}: gcc cannot fit a 12 KiB cache without flushing",
+            cfg.describe()
+        );
+        assert!(
+            sdt.cache_used_bytes() <= 12 * 1024,
+            "cache grew past its limit"
+        );
+    }
+}
+
+#[test]
+fn flush_cost_shows_up_as_retranslation() {
+    let program = (by_name("gcc").unwrap().build)(&Params::default());
+    let mut small = SdtConfig::ibtc_inline(256);
+    small.cache_limit = Some(12 * 1024);
+    let constrained = Sdt::new(small, &program)
+        .unwrap()
+        .run(ArchProfile::x86_like(), FUEL)
+        .unwrap();
+    let unconstrained = Sdt::new(SdtConfig::ibtc_inline(256), &program)
+        .unwrap()
+        .run(ArchProfile::x86_like(), FUEL)
+        .unwrap();
+    assert_eq!(unconstrained.mech.cache_flushes, 0);
+    assert!(
+        constrained.mech.translated_app_instrs > unconstrained.mech.translated_app_instrs,
+        "flushing must force retranslation"
+    );
+    assert!(
+        constrained.total_cycles > unconstrained.total_cycles,
+        "flushing cannot be free"
+    );
+}
+
+#[test]
+fn fast_returns_refuse_to_flush() {
+    let program = (by_name("gcc").unwrap().build)(&Params::default());
+    let mut cfg = SdtConfig::ibtc_inline(256);
+    cfg.ret = RetMechanism::FastReturn;
+    cfg.cache_limit = Some(8 * 1024);
+    let mut sdt = Sdt::new(cfg, &program).unwrap();
+    match sdt.run(ArchProfile::x86_like(), FUEL) {
+        Err(SdtError::CacheFull { .. }) => {}
+        other => panic!("expected CacheFull under fast returns, got {other:?}"),
+    }
+}
+
+#[test]
+fn undersized_cache_limit_rejected() {
+    let code = assemble(layout::APP_BASE, "halt\n").unwrap();
+    let program = Program::new("t", code, Vec::new());
+    let mut cfg = SdtConfig::ibtc_inline(256);
+    cfg.cache_limit = Some(1024);
+    match Sdt::new(cfg, &program) {
+        Err(SdtError::BadConfig { what: "cache limit", .. }) => {}
+        other => panic!("expected BadConfig, got {other:?}"),
+    }
+}
+
+#[test]
+fn flush_preserves_mechanism_semantics_under_pressure() {
+    // A workload whose target set exceeds what a 16 KiB cache can hold at
+    // once, with a return cache in play: correctness across repeated
+    // flush/refill cycles of both the cache and the rc table.
+    let program = (by_name("gcc").unwrap().build)(&Params::default());
+    let native = run_native(&program, ArchProfile::x86_like(), FUEL).unwrap();
+    let mut cfg = SdtConfig::tuned(64, 32);
+    cfg.cache_limit = Some(12 * 1024);
+    let report = Sdt::new(cfg, &program)
+        .unwrap()
+        .run(ArchProfile::x86_like(), FUEL)
+        .unwrap();
+    assert_eq!(report.checksum, native.checksum);
+    assert!(report.mech.cache_flushes >= 1);
+}

@@ -1,0 +1,141 @@
+//! White-box checks on emitted code shapes, via the disassembly API: the
+//! dispatch sequences must contain exactly the structural instructions the
+//! paper's mechanisms are defined by, and fragment linking must rewrite
+//! trampoline heads in place.
+
+use strata_arch::ArchProfile;
+use strata_asm::assemble;
+use strata_core::{CacheLine, Origin, Sdt, SdtConfig};
+use strata_isa::Instr;
+use strata_machine::{layout, Program};
+
+fn run_sdt(src: &str, cfg: SdtConfig) -> Sdt {
+    let program = Program::new("t", assemble(layout::APP_BASE, src).unwrap(), Vec::new());
+    let mut sdt = Sdt::new(cfg, &program).unwrap();
+    sdt.run(ArchProfile::x86_like(), 10_000_000).unwrap();
+    sdt
+}
+
+fn dispatch_lines(sdt: &Sdt) -> Vec<CacheLine> {
+    sdt.disassemble_cache(usize::MAX)
+        .into_iter()
+        .filter(|l| l.origin == Origin::Dispatch)
+        .collect()
+}
+
+const JR_PROGRAM: &str = r"
+    li r9, t
+    jr r9
+t:
+    li r4, 5
+    trap 0x1
+    halt
+";
+
+#[test]
+fn inline_ibtc_dispatch_contains_hash_probe_and_jmem() {
+    let sdt = run_sdt(JR_PROGRAM, SdtConfig::ibtc_inline(256));
+    let lines = dispatch_lines(&sdt);
+    let has = |pred: &dyn Fn(&Instr) -> bool| lines.iter().any(|l| l.instr.is_some_and(|i| pred(&i)));
+    assert!(has(&|i| matches!(i, Instr::Srli { shamt: 2, .. })), "alignment-drop shift");
+    assert!(has(&|i| matches!(i, Instr::Andi { imm: 255, .. })), "mask to 256 entries");
+    assert!(has(&|i| matches!(i, Instr::Slli { shamt: 3, .. })), "8-byte entry scaling");
+    assert!(has(&|i| matches!(i, Instr::Cmp { .. })), "tag compare");
+    assert!(has(&|i| matches!(i, Instr::Jmem { .. })), "jmp [mem] transfer");
+    assert!(has(&|i| matches!(i, Instr::Pushf)) && has(&|i| matches!(i, Instr::Popf)));
+}
+
+#[test]
+fn flags_none_removes_pushf_popf_from_dispatch() {
+    let mut cfg = SdtConfig::ibtc_inline(256);
+    cfg.flags = strata_core::FlagsPolicy::None;
+    let sdt = run_sdt(JR_PROGRAM, cfg);
+    let all = sdt.disassemble_cache(usize::MAX);
+    assert!(
+        !all.iter().any(|l| matches!(l.instr, Some(Instr::Pushf) | Some(Instr::Popf))),
+        "FlagsPolicy::None must emit no flags save anywhere"
+    );
+}
+
+#[test]
+fn sieve_dispatch_scales_by_four_and_has_no_tag_compare() {
+    let sdt = run_sdt(JR_PROGRAM, SdtConfig::sieve(256));
+    let lines = dispatch_lines(&sdt);
+    // The dispatch itself does no compare; compares live in the stanzas,
+    // which end with a *direct* jmp to the fragment.
+    assert!(lines.iter().any(|l| matches!(l.instr, Some(Instr::Slli { shamt: 2, .. }))));
+    assert!(lines.iter().any(|l| matches!(l.instr, Some(Instr::Jmp { .. }))),
+        "stanza hit ends in a direct jump");
+    assert!(lines.iter().any(|l| matches!(l.instr, Some(Instr::Cmp { .. }))),
+        "stanza verifies the target");
+}
+
+#[test]
+fn two_way_probe_emits_both_way_offsets() {
+    let mut cfg = SdtConfig::ibtc_inline(256);
+    cfg.ibtc_ways = 2;
+    let sdt = run_sdt(JR_PROGRAM, cfg);
+    let lines = dispatch_lines(&sdt);
+    let lw_off = |off: i16| {
+        lines.iter().any(|l| matches!(l.instr, Some(Instr::Lw { off: o, .. }) if o == off))
+    };
+    assert!(lw_off(0) && lw_off(4), "way-0 tag/value loads");
+    assert!(lw_off(8) && lw_off(12), "way-1 tag/value loads");
+    assert!(lines.iter().any(|l| matches!(l.instr, Some(Instr::Slli { shamt: 4, .. }))),
+        "16-byte set scaling");
+}
+
+#[test]
+fn fragment_linking_patches_trampoline_heads_in_place() {
+    // A loop executes its backward branch repeatedly; after the first
+    // iteration the exit trampoline head must be a direct Jmp tagged
+    // Trampoline.
+    let sdt = run_sdt(
+        r"
+        li r5, 5
+    top:
+        addi r5, r5, -1
+        cmpi r5, 0
+        bne top
+        halt
+        ",
+        SdtConfig::ibtc_inline(64),
+    );
+    let trampolines: Vec<CacheLine> = sdt
+        .disassemble_cache(usize::MAX)
+        .into_iter()
+        .filter(|l| l.origin == Origin::Trampoline)
+        .collect();
+    assert!(
+        trampolines.iter().any(|l| matches!(l.instr, Some(Instr::Jmp { .. }))),
+        "linked exits must be direct jumps"
+    );
+}
+
+#[test]
+fn reentry_dispatch_has_no_probe_at_all() {
+    let sdt = run_sdt(JR_PROGRAM, SdtConfig::reentry());
+    let lines = dispatch_lines(&sdt);
+    assert!(
+        !lines.iter().any(|l| matches!(l.instr, Some(Instr::Cmp { .. }))),
+        "re-entry never compares in the cache"
+    );
+    assert!(
+        !lines.iter().any(|l| matches!(l.instr, Some(Instr::Jmem { .. }))),
+        "re-entry never transfers through a jump slot from dispatch code"
+    );
+}
+
+#[test]
+fn out_of_line_sites_call_the_shared_routine() {
+    let sdt = run_sdt(JR_PROGRAM, SdtConfig::ibtc_out_of_line(256));
+    let lines = dispatch_lines(&sdt);
+    assert!(
+        lines.iter().any(|l| matches!(l.instr, Some(Instr::Call { .. }))),
+        "site must call the lookup routine"
+    );
+    assert!(
+        lines.iter().any(|l| matches!(l.instr, Some(Instr::Ret))),
+        "routine returns to the site on a hit"
+    );
+}

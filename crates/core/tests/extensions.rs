@@ -1,0 +1,221 @@
+//! Tests for the design-space extensions: direct-jump elision (fragment
+//! formation) and two-way set-associative IBTCs.
+
+use strata_arch::ArchProfile;
+use strata_asm::assemble;
+use strata_core::{run_native, Sdt, SdtConfig, SdtError};
+use strata_machine::{layout, Program};
+use strata_workloads::{by_name, registry, Params};
+
+const FUEL: u64 = 2_000_000_000;
+
+fn program(src: &str) -> Program {
+    Program::new("t", assemble(layout::APP_BASE, src).unwrap(), Vec::new())
+}
+
+#[test]
+fn elision_preserves_semantics_on_all_workloads() {
+    let params = Params::default();
+    for spec in registry() {
+        let p = (spec.build)(&params);
+        let native = run_native(&p, ArchProfile::x86_like(), FUEL).unwrap();
+        let mut cfg = SdtConfig::ibtc_inline(1024);
+        cfg.elide_direct_jumps = true;
+        let report = Sdt::new(cfg, &p).unwrap().run(ArchProfile::x86_like(), FUEL).unwrap();
+        assert_eq!(report.checksum, native.checksum, "[{}] elision broke semantics", spec.name);
+    }
+}
+
+#[test]
+fn elision_removes_jumps_and_grows_code() {
+    let p = (by_name("gcc").unwrap().build)(&Params::default());
+    let base_cfg = SdtConfig::ibtc_inline(1024);
+    let mut elide_cfg = base_cfg;
+    elide_cfg.elide_direct_jumps = true;
+
+    let plain = Sdt::new(base_cfg, &p).unwrap().run(ArchProfile::x86_like(), FUEL).unwrap();
+    let elided = Sdt::new(elide_cfg, &p).unwrap().run(ArchProfile::x86_like(), FUEL).unwrap();
+
+    assert_eq!(plain.mech.elided_jumps, 0);
+    assert!(elided.mech.elided_jumps > 50, "{}", elided.mech.elided_jumps);
+    assert!(
+        elided.mech.translated_app_instrs > plain.mech.translated_app_instrs,
+        "tail duplication must translate more instructions"
+    );
+    // Elision trades taken jumps for code growth; on gcc's 128 duplicated
+    // dispatch tails the I-cache cost roughly cancels the win, so only
+    // bound the regression (fig15 reports the full tradeoff).
+    assert!(
+        (elided.total_cycles as f64) < plain.total_cycles as f64 * 1.10,
+        "elision must not be catastrophic: {} vs {}",
+        elided.total_cycles,
+        plain.total_cycles
+    );
+}
+
+#[test]
+fn elision_wins_on_single_predecessor_jump_chains() {
+    // Jump threading: a hot loop whose body is a chain of blocks linked by
+    // unconditional jumps (each with one predecessor — no duplication at
+    // all). Elision merges the chain into one fragment and the taken
+    // jumps vanish.
+    let p = program(
+        r"
+        li r5, 5000
+        li r4, 0
+    top:
+        addi r4, r4, 1
+        jmp b1
+    b1:
+        xori r4, r4, 0x11
+        jmp b2
+    b2:
+        slli r6, r4, 1
+        xor r4, r4, r6
+        jmp b3
+    b3:
+        addi r5, r5, -1
+        cmpi r5, 0
+        bne top
+        trap 0x1
+        halt
+        ",
+    );
+    let native = run_native(&p, ArchProfile::x86_like(), FUEL).unwrap();
+    let base_cfg = SdtConfig::ibtc_inline(64);
+    let mut elide_cfg = base_cfg;
+    elide_cfg.elide_direct_jumps = true;
+    let plain = Sdt::new(base_cfg, &p).unwrap().run(ArchProfile::x86_like(), FUEL).unwrap();
+    let elided = Sdt::new(elide_cfg, &p).unwrap().run(ArchProfile::x86_like(), FUEL).unwrap();
+    assert_eq!(plain.checksum, native.checksum);
+    assert_eq!(elided.checksum, native.checksum);
+    assert!(elided.mech.elided_jumps >= 3);
+    assert!(
+        elided.total_cycles < plain.total_cycles,
+        "threading a 1-predecessor chain must win: {} vs {}",
+        elided.total_cycles,
+        plain.total_cycles
+    );
+}
+
+#[test]
+fn elision_handles_self_loops() {
+    // `top: jmp top` must not spin the translator; the loop target is part
+    // of the fragment, so the jump falls back to a trampoline.
+    let p = program(
+        r"
+        li r5, 3
+    top:
+        addi r5, r5, -1
+        cmpi r5, 0
+        beq out
+        jmp top
+    out:
+        li r4, 9
+        trap 0x1
+        halt
+        ",
+    );
+    let native = run_native(&p, ArchProfile::x86_like(), FUEL).unwrap();
+    let mut cfg = SdtConfig::ibtc_inline(64);
+    cfg.elide_direct_jumps = true;
+    let report = Sdt::new(cfg, &p).unwrap().run(ArchProfile::x86_like(), FUEL).unwrap();
+    assert_eq!(report.checksum, native.checksum);
+}
+
+#[test]
+fn two_way_ibtc_equivalent_and_less_conflicty() {
+    // Two jr targets crafted to collide in a direct-mapped 16-entry table
+    // (their word addresses differ by exactly 16): direct-mapped thrashes
+    // on every alternation, two-way holds both.
+    let mut src = String::from(
+        r"
+        li r5, 500
+        li r4, 0
+        li r8, t_a
+        li r9, t_b
+    top:
+        jr r8
+    back_a:
+        jr r9
+    back_b:
+        addi r5, r5, -1
+        cmpi r5, 0
+        bne top
+        trap 0x1
+        halt
+    t_a:
+        addi r4, r4, 1
+        li r10, back_a
+        jr r10
+",
+    );
+    // Pad so that t_b lands exactly 16 words after t_a.
+    for _ in 0..12 {
+        src.push_str("        nop\n");
+    }
+    src.push_str(
+        r"
+    t_b:
+        addi r4, r4, 2
+        li r10, back_b
+        jr r10
+",
+    );
+    let p = program(&src);
+    let native = run_native(&p, ArchProfile::x86_like(), FUEL).unwrap();
+
+    let direct = SdtConfig::ibtc_inline(16);
+    let mut two_way = direct;
+    two_way.ibtc_ways = 2;
+
+    let rd = Sdt::new(direct, &p).unwrap().run(ArchProfile::x86_like(), FUEL).unwrap();
+    let r2 = Sdt::new(two_way, &p).unwrap().run(ArchProfile::x86_like(), FUEL).unwrap();
+    assert_eq!(rd.checksum, native.checksum);
+    assert_eq!(r2.checksum, native.checksum);
+    if rd.mech.ib_misses > 100 {
+        // The crafted conflict materialized under direct mapping; the
+        // two-way table must absorb it.
+        assert!(
+            r2.mech.ib_misses * 10 < rd.mech.ib_misses,
+            "associativity must absorb the crafted conflict: {} vs {}",
+            r2.mech.ib_misses,
+            rd.mech.ib_misses
+        );
+    } else {
+        // Layout drifted; at minimum two-way must not be worse.
+        assert!(r2.mech.ib_misses <= rd.mech.ib_misses);
+    }
+}
+
+#[test]
+fn two_way_works_per_site_and_with_flushes() {
+    let p = (by_name("gcc").unwrap().build)(&Params::default());
+    let native = run_native(&p, ArchProfile::x86_like(), FUEL).unwrap();
+    let mut cfg = SdtConfig {
+        ib: strata_core::IbMechanism::Ibtc {
+            entries: 16,
+            scope: strata_core::IbtcScope::PerSite,
+            placement: strata_core::IbtcPlacement::Inline,
+        },
+        ..SdtConfig::ibtc_inline(16)
+    };
+    cfg.ibtc_ways = 2;
+    cfg.cache_limit = Some(16 * 1024);
+    let report = Sdt::new(cfg, &p).unwrap().run(ArchProfile::x86_like(), FUEL).unwrap();
+    assert_eq!(report.checksum, native.checksum);
+}
+
+#[test]
+fn two_way_rejects_out_of_line_and_bad_ways() {
+    let p = program("halt\n");
+    let mut cfg = SdtConfig::ibtc_out_of_line(64);
+    cfg.ibtc_ways = 2;
+    assert!(matches!(Sdt::new(cfg, &p), Err(SdtError::BadConfig { .. })));
+    let mut cfg = SdtConfig::ibtc_inline(64);
+    cfg.ibtc_ways = 3;
+    assert!(matches!(Sdt::new(cfg, &p), Err(SdtError::BadConfig { .. })));
+    let mut cfg = SdtConfig::ibtc_inline(2);
+    cfg.ibtc_ways = 2;
+    assert!(matches!(Sdt::new(cfg, &p), Err(SdtError::BadConfig { .. })));
+}

@@ -1,0 +1,76 @@
+//! `run_native` branch-profile counters must be exact on programs with
+//! known dynamic behaviour — Table 1's numbers depend on them.
+
+use strata_arch::ArchProfile;
+use strata_asm::assemble;
+use strata_core::run_native;
+use strata_machine::{layout, Program};
+
+fn native(src: &str) -> strata_core::NativeRun {
+    let p = Program::new("t", assemble(layout::APP_BASE, src).unwrap(), Vec::new());
+    run_native(&p, ArchProfile::x86_like(), 10_000_000).unwrap()
+}
+
+#[test]
+fn counts_each_branch_kind_exactly() {
+    let r = native(
+        r"
+        li r5, 7
+        li r9, body
+    top:
+        jr r9           ; 7 indirect jumps
+    body:
+        li r8, f
+        callr r8        ; 7 indirect calls (+7 returns)
+        call f          ; 7 direct calls (+7 returns)
+        addi r5, r5, -1
+        cmpi r5, 0
+        bne top         ; 7 conditional branches
+        li r4, 1
+        trap 0x1
+        halt
+    f:
+        ret
+        ",
+    );
+    assert_eq!(r.indirect_jumps, 7);
+    assert_eq!(r.indirect_calls, 7);
+    assert_eq!(r.direct_calls, 7);
+    assert_eq!(r.returns, 14);
+    assert_eq!(r.cond_branches, 7);
+    assert_eq!(r.indirect_branches(), 7 + 7 + 14);
+    assert_ne!(r.checksum, 0);
+}
+
+#[test]
+fn jmem_counts_as_indirect_jump() {
+    let r = native(&format!(
+        r"
+        li r1, dest
+        li r2, {slot}
+        sw r1, 0(r2)
+        jmem [{slot}]
+        halt
+    dest:
+        li r4, 3
+        trap 0x1
+        halt
+        ",
+        slot = layout::APP_DATA_BASE
+    ));
+    assert_eq!(r.indirect_jumps, 1);
+    assert_eq!(r.returns, 0);
+}
+
+#[test]
+fn reserved_traps_error_natively_too() {
+    let p = Program::new(
+        "bad",
+        assemble(layout::APP_BASE, "trap 0xF000\nhalt\n").unwrap(),
+        Vec::new(),
+    );
+    match run_native(&p, ArchProfile::x86_like(), 1000) {
+        Err(strata_core::SdtError::ReservedTrap { code: 0xF000, .. }) => {}
+        other => panic!("expected ReservedTrap, got {other:?}"),
+    }
+}

@@ -1,0 +1,176 @@
+//! Shadow-stack return handling: transparent, exact (no hash conflicts),
+//! with graceful fallback on unbalanced control flow, wrap-around, and
+//! underflow.
+
+use strata_arch::ArchProfile;
+use strata_asm::assemble;
+use strata_core::{run_native, RetMechanism, Sdt, SdtConfig};
+use strata_machine::{layout, Program};
+use strata_workloads::{by_name, registry, Params};
+
+const FUEL: u64 = 2_000_000_000;
+
+fn shadow_cfg(depth: u32) -> SdtConfig {
+    let mut cfg = SdtConfig::ibtc_inline(4096);
+    cfg.ret = RetMechanism::ShadowStack { depth };
+    cfg
+}
+
+#[test]
+fn shadow_stack_is_equivalent_on_all_workloads() {
+    let params = Params::default();
+    for spec in registry() {
+        let p = (spec.build)(&params);
+        let native = run_native(&p, ArchProfile::x86_like(), FUEL).unwrap();
+        let report = Sdt::new(shadow_cfg(1024), &p)
+            .unwrap()
+            .run(ArchProfile::x86_like(), FUEL)
+            .unwrap();
+        assert_eq!(report.checksum, native.checksum, "[{}]", spec.name);
+    }
+}
+
+#[test]
+fn shadow_stack_hits_perfectly_on_balanced_code() {
+    // crafty is deep but balanced recursion within a 1024-entry shadow:
+    // after warmup no return should fall back.
+    let p = (by_name("crafty").unwrap().build)(&Params::default());
+    let report = Sdt::new(shadow_cfg(1024), &p)
+        .unwrap()
+        .run(ArchProfile::x86_like(), FUEL)
+        .unwrap();
+    assert!(report.mech.ret_dispatches > 40_000);
+    assert!(
+        report.mech.rc_misses * 1000 < report.mech.ret_dispatches,
+        "balanced code must almost never fall back: {} misses / {} dispatches",
+        report.mech.rc_misses,
+        report.mech.ret_dispatches
+    );
+}
+
+#[test]
+fn shadow_stack_is_transparent_to_stack_inspection() {
+    // The same program that exposes fast returns (examples/transparency.rs)
+    // must see its real application return address under the shadow stack.
+    let src = r"
+        call snoop
+        halt
+    snoop:
+        lw r4, 0(sp)
+        trap 0x1
+        ret
+    ";
+    let p = Program::new("snoop", assemble(layout::APP_BASE, src).unwrap(), Vec::new());
+    let native = run_native(&p, ArchProfile::x86_like(), FUEL).unwrap();
+    let report = Sdt::new(shadow_cfg(64), &p)
+        .unwrap()
+        .run(ArchProfile::x86_like(), FUEL)
+        .unwrap();
+    assert_eq!(report.checksum, native.checksum, "shadow stack must stay transparent");
+}
+
+#[test]
+fn underflow_falls_back_gracefully() {
+    // A return with no preceding call: the shadow stack is empty, the
+    // verify fails, and the translator resolves the target.
+    let src = r"
+        li r1, dest
+        push r1
+        ret              ; manufactured return, never called
+    dest:
+        li r4, 31
+        trap 0x1
+        halt
+    ";
+    let p = Program::new("underflow", assemble(layout::APP_BASE, src).unwrap(), Vec::new());
+    let native = run_native(&p, ArchProfile::x86_like(), FUEL).unwrap();
+    let report = Sdt::new(shadow_cfg(64), &p)
+        .unwrap()
+        .run(ArchProfile::x86_like(), FUEL)
+        .unwrap();
+    assert_eq!(report.checksum, native.checksum);
+    assert!(report.mech.rc_misses >= 1, "underflow must be a counted fallback");
+}
+
+#[test]
+fn recursion_deeper_than_the_shadow_wraps_and_recovers() {
+    // Mutual recursion through three functions (period 3, coprime to the
+    // 16-entry shadow): once the recursion exceeds the shadow depth, the
+    // wrap misaligns every surviving entry, so the unwind beyond the inner
+    // 16 frames must fall back — and results stay exact. (Pure
+    // self-recursion would NOT fall back: its overwritten entries carry
+    // identical pairs, a genuine property of circular shadow stacks.)
+    let src = r"
+        li r1, 41
+        li r4, 0
+        call f1
+        trap 0x1
+        halt
+    f1:
+        cmpi r1, 0
+        beq base
+        addi r1, r1, -1
+        call f2
+        addi r4, r4, 1
+        ret
+    f2:
+        cmpi r1, 0
+        beq base
+        addi r1, r1, -1
+        call f3
+        addi r4, r4, 2
+        ret
+    f3:
+        cmpi r1, 0
+        beq base
+        addi r1, r1, -1
+        call f1
+        addi r4, r4, 3
+        ret
+    base:
+        addi r4, r4, 100
+        ret
+    ";
+    let p = Program::new("deep", assemble(layout::APP_BASE, src).unwrap(), Vec::new());
+    let native = run_native(&p, ArchProfile::x86_like(), FUEL).unwrap();
+    let report = Sdt::new(shadow_cfg(16), &p)
+        .unwrap()
+        .run(ArchProfile::x86_like(), FUEL)
+        .unwrap();
+    assert_eq!(report.checksum, native.checksum);
+    assert!(
+        report.mech.rc_misses >= 15,
+        "wrapped entries must fall back: {}",
+        report.mech.rc_misses
+    );
+
+    // Control: the same program with a deep-enough shadow never wraps.
+    let big = Sdt::new(shadow_cfg(64), &p)
+        .unwrap()
+        .run(ArchProfile::x86_like(), FUEL)
+        .unwrap();
+    assert_eq!(big.checksum, native.checksum);
+    assert!(big.mech.rc_misses <= 2, "{}", big.mech.rc_misses);
+}
+
+#[test]
+fn shadow_stack_survives_cache_flushes() {
+    let p = (by_name("gcc").unwrap().build)(&Params::default());
+    let native = run_native(&p, ArchProfile::x86_like(), FUEL).unwrap();
+    let mut cfg = shadow_cfg(256);
+    cfg.cache_limit = Some(16 * 1024);
+    let report = Sdt::new(cfg, &p).unwrap().run(ArchProfile::x86_like(), FUEL).unwrap();
+    assert_eq!(report.checksum, native.checksum);
+    assert!(report.mech.cache_flushes > 0, "test needs flush pressure");
+}
+
+#[test]
+fn bad_depth_rejected() {
+    let src = "halt\n";
+    let p = Program::new("t", assemble(layout::APP_BASE, src).unwrap(), Vec::new());
+    for depth in [0u32, 3, 16384] {
+        let mut cfg = SdtConfig::ibtc_inline(64);
+        cfg.ret = RetMechanism::ShadowStack { depth };
+        assert!(Sdt::new(cfg, &p).is_err(), "depth {depth} must be rejected");
+    }
+}

@@ -1,0 +1,157 @@
+use crate::Instr;
+
+/// Cost-model classification of an instruction.
+///
+/// Architecture models ([`strata-arch`](https://example.invalid)) assign a
+/// base cycle cost per class; the classes therefore partition the ISA by
+/// *microarchitectural behaviour*, not by encoding format. `Push`/`Pop` and
+/// `Lwa`/`Swa` classify as stores/loads because that is what they do to the
+/// memory pipeline, while `Pushf`/`Popf` get their own classes because flags
+/// save/restore cost is one of the architecture-dependent quantities the
+/// paper evaluates (the x86 `pushf` tax).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InstrClass {
+    /// Simple integer ALU operation, register or immediate (incl. `cmp`,
+    /// `mov`, `lui`).
+    Alu,
+    /// Integer multiply.
+    Mul,
+    /// Integer divide / remainder.
+    Div,
+    /// Any load from memory (`lw`, `lb`, `lbu`, `lwa`, `pop`).
+    Load,
+    /// Any store to memory (`sw`, `sb`, `swa`, `push`).
+    Store,
+    /// Conditional branch on flags.
+    CondBranch,
+    /// Direct unconditional jump.
+    DirectJump,
+    /// Direct call (pushes the return address).
+    DirectCall,
+    /// Indirect jump through a register or memory slot (`jr`, `jmem`).
+    IndirectJump,
+    /// Indirect call through a register.
+    IndirectCall,
+    /// Return (pop + indirect jump; eligible for return-address-stack
+    /// prediction).
+    Return,
+    /// Flags save (`pushf`).
+    FlagsSave,
+    /// Flags restore (`popf`).
+    FlagsRestore,
+    /// Host upcall (`trap`) — carries the architecture's kernel/runtime
+    /// crossing cost.
+    Trap,
+    /// `halt` / `nop`.
+    Other,
+}
+
+/// How an instruction transfers control, as seen by branch predictors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ControlKind {
+    /// Falls through to the next instruction.
+    None,
+    /// Conditional branch (predicted by the conditional predictor).
+    Conditional,
+    /// Direct jump or call: target is a constant, effectively free to
+    /// predict.
+    Direct,
+    /// Pushes a return address (direct or indirect call) — feeds the
+    /// return-address stack.
+    Call,
+    /// Indirect jump/call: target predicted by the BTB.
+    Indirect,
+    /// Return: predicted by the return-address stack.
+    Return,
+}
+
+impl Instr {
+    /// Returns the cost-model class of this instruction.
+    ///
+    /// ```
+    /// use strata_isa::{Instr, InstrClass, Reg};
+    /// assert_eq!(Instr::Pushf.class(), InstrClass::FlagsSave);
+    /// assert_eq!(Instr::Pop { rd: Reg::R1 }.class(), InstrClass::Load);
+    /// assert_eq!(Instr::Jmem { addr: 0x100 }.class(), InstrClass::IndirectJump);
+    /// ```
+    pub fn class(&self) -> InstrClass {
+        use Instr::*;
+        match self {
+            Add { .. } | Sub { .. } | And { .. } | Or { .. } | Xor { .. } | Sll { .. }
+            | Srl { .. } | Sra { .. } | Mov { .. } | Addi { .. } | Andi { .. } | Ori { .. }
+            | Xori { .. } | Slli { .. } | Srli { .. } | Srai { .. } | Lui { .. }
+            | Cmp { .. } | Cmpi { .. } => InstrClass::Alu,
+            Mul { .. } => InstrClass::Mul,
+            Divu { .. } | Remu { .. } => InstrClass::Div,
+            Lw { .. } | Lb { .. } | Lbu { .. } | Lwa { .. } | Pop { .. } => InstrClass::Load,
+            Sw { .. } | Sb { .. } | Swa { .. } | Push { .. } => InstrClass::Store,
+            Pushf => InstrClass::FlagsSave,
+            Popf => InstrClass::FlagsRestore,
+            Beq { .. } | Bne { .. } | Blt { .. } | Bge { .. } | Bltu { .. } | Bgeu { .. } => {
+                InstrClass::CondBranch
+            }
+            Jmp { .. } => InstrClass::DirectJump,
+            Call { .. } => InstrClass::DirectCall,
+            Jr { .. } | Jmem { .. } => InstrClass::IndirectJump,
+            Callr { .. } => InstrClass::IndirectCall,
+            Ret => InstrClass::Return,
+            Trap { .. } => InstrClass::Trap,
+            Halt | Nop => InstrClass::Other,
+        }
+    }
+
+    /// Returns how the instruction appears to branch-prediction hardware.
+    ///
+    /// ```
+    /// use strata_isa::{ControlKind, Instr, Reg};
+    /// assert_eq!(Instr::Callr { rs: Reg::R4 }.control_kind(), ControlKind::Call);
+    /// assert_eq!(Instr::Jr { rs: Reg::R4 }.control_kind(), ControlKind::Indirect);
+    /// assert_eq!(Instr::Ret.control_kind(), ControlKind::Return);
+    /// ```
+    pub fn control_kind(&self) -> ControlKind {
+        use Instr::*;
+        match self {
+            Beq { .. } | Bne { .. } | Blt { .. } | Bge { .. } | Bltu { .. } | Bgeu { .. } => {
+                ControlKind::Conditional
+            }
+            Jmp { .. } => ControlKind::Direct,
+            Call { .. } | Callr { .. } => ControlKind::Call,
+            Jr { .. } | Jmem { .. } => ControlKind::Indirect,
+            Ret => ControlKind::Return,
+            _ => ControlKind::None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Reg;
+
+    #[test]
+    fn classes_cover_memory_ops() {
+        assert_eq!(Instr::Push { rs: Reg::R1 }.class(), InstrClass::Store);
+        assert_eq!(Instr::Lwa { rd: Reg::R1, addr: 0x100 }.class(), InstrClass::Load);
+        assert_eq!(Instr::Swa { rs: Reg::R1, addr: 0x100 }.class(), InstrClass::Store);
+        assert_eq!(
+            Instr::Sb { rs2: Reg::R1, rs1: Reg::R2, off: 0 }.class(),
+            InstrClass::Store
+        );
+    }
+
+    #[test]
+    fn control_kinds() {
+        assert_eq!(Instr::Jmp { target: 0 }.control_kind(), ControlKind::Direct);
+        assert_eq!(Instr::Call { target: 0 }.control_kind(), ControlKind::Call);
+        assert_eq!(Instr::Beq { off: 0 }.control_kind(), ControlKind::Conditional);
+        assert_eq!(Instr::Nop.control_kind(), ControlKind::None);
+        assert_eq!(Instr::Trap { code: 0 }.control_kind(), ControlKind::None);
+        assert_eq!(Instr::Jmem { addr: 0x100 }.control_kind(), ControlKind::Indirect);
+    }
+
+    #[test]
+    fn flags_ops_have_dedicated_classes() {
+        assert_eq!(Instr::Pushf.class(), InstrClass::FlagsSave);
+        assert_eq!(Instr::Popf.class(), InstrClass::FlagsRestore);
+    }
+}

@@ -1,0 +1,94 @@
+use std::fmt;
+
+use crate::Instr;
+
+/// The `Display` implementation renders canonical assembly syntax — the same
+/// syntax accepted by the `strata-asm` text assembler.
+///
+/// ```
+/// use strata_isa::{Instr, Reg};
+/// let i = Instr::Addi { rd: Reg::R1, rs1: Reg::SP, imm: -4 };
+/// assert_eq!(i.to_string(), "addi r1, sp, -4");
+/// ```
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Instr::*;
+        match *self {
+            Add { rd, rs1, rs2 } => write!(f, "add {rd}, {rs1}, {rs2}"),
+            Sub { rd, rs1, rs2 } => write!(f, "sub {rd}, {rs1}, {rs2}"),
+            Mul { rd, rs1, rs2 } => write!(f, "mul {rd}, {rs1}, {rs2}"),
+            Divu { rd, rs1, rs2 } => write!(f, "divu {rd}, {rs1}, {rs2}"),
+            Remu { rd, rs1, rs2 } => write!(f, "remu {rd}, {rs1}, {rs2}"),
+            And { rd, rs1, rs2 } => write!(f, "and {rd}, {rs1}, {rs2}"),
+            Or { rd, rs1, rs2 } => write!(f, "or {rd}, {rs1}, {rs2}"),
+            Xor { rd, rs1, rs2 } => write!(f, "xor {rd}, {rs1}, {rs2}"),
+            Sll { rd, rs1, rs2 } => write!(f, "sll {rd}, {rs1}, {rs2}"),
+            Srl { rd, rs1, rs2 } => write!(f, "srl {rd}, {rs1}, {rs2}"),
+            Sra { rd, rs1, rs2 } => write!(f, "sra {rd}, {rs1}, {rs2}"),
+            Mov { rd, rs } => write!(f, "mov {rd}, {rs}"),
+            Addi { rd, rs1, imm } => write!(f, "addi {rd}, {rs1}, {imm}"),
+            Andi { rd, rs1, imm } => write!(f, "andi {rd}, {rs1}, {imm:#x}"),
+            Ori { rd, rs1, imm } => write!(f, "ori {rd}, {rs1}, {imm:#x}"),
+            Xori { rd, rs1, imm } => write!(f, "xori {rd}, {rs1}, {imm:#x}"),
+            Slli { rd, rs1, shamt } => write!(f, "slli {rd}, {rs1}, {shamt}"),
+            Srli { rd, rs1, shamt } => write!(f, "srli {rd}, {rs1}, {shamt}"),
+            Srai { rd, rs1, shamt } => write!(f, "srai {rd}, {rs1}, {shamt}"),
+            Lui { rd, imm } => write!(f, "lui {rd}, {imm:#x}"),
+            Lw { rd, rs1, off } => write!(f, "lw {rd}, {off}({rs1})"),
+            Sw { rs2, rs1, off } => write!(f, "sw {rs2}, {off}({rs1})"),
+            Lb { rd, rs1, off } => write!(f, "lb {rd}, {off}({rs1})"),
+            Lbu { rd, rs1, off } => write!(f, "lbu {rd}, {off}({rs1})"),
+            Sb { rs2, rs1, off } => write!(f, "sb {rs2}, {off}({rs1})"),
+            Lwa { rd, addr } => write!(f, "lwa {rd}, [{addr:#x}]"),
+            Swa { rs, addr } => write!(f, "swa {rs}, [{addr:#x}]"),
+            Push { rs } => write!(f, "push {rs}"),
+            Pop { rd } => write!(f, "pop {rd}"),
+            Pushf => write!(f, "pushf"),
+            Popf => write!(f, "popf"),
+            Cmp { rs1, rs2 } => write!(f, "cmp {rs1}, {rs2}"),
+            Cmpi { rs1, imm } => write!(f, "cmpi {rs1}, {imm}"),
+            Beq { off } => write!(f, "beq {off}"),
+            Bne { off } => write!(f, "bne {off}"),
+            Blt { off } => write!(f, "blt {off}"),
+            Bge { off } => write!(f, "bge {off}"),
+            Bltu { off } => write!(f, "bltu {off}"),
+            Bgeu { off } => write!(f, "bgeu {off}"),
+            Jmp { target } => write!(f, "jmp {target:#x}"),
+            Call { target } => write!(f, "call {target:#x}"),
+            Jr { rs } => write!(f, "jr {rs}"),
+            Callr { rs } => write!(f, "callr {rs}"),
+            Ret => write!(f, "ret"),
+            Jmem { addr } => write!(f, "jmem [{addr:#x}]"),
+            Trap { code } => write!(f, "trap {code:#x}"),
+            Halt => write!(f, "halt"),
+            Nop => write!(f, "nop"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Instr, Reg};
+
+    #[test]
+    fn representative_syntax() {
+        assert_eq!(
+            Instr::Lw { rd: Reg::R2, rs1: Reg::SP, off: -8 }.to_string(),
+            "lw r2, -8(sp)"
+        );
+        assert_eq!(Instr::Jmem { addr: 0x104 }.to_string(), "jmem [0x104]");
+        assert_eq!(Instr::Trap { code: 0xF001 }.to_string(), "trap 0xf001");
+        assert_eq!(Instr::Beq { off: -3 }.to_string(), "beq -3");
+        assert_eq!(
+            Instr::Lwa { rd: Reg::R1, addr: 0x200 }.to_string(),
+            "lwa r1, [0x200]"
+        );
+    }
+
+    #[test]
+    fn never_empty() {
+        // C-DEBUG-NONEMPTY analogue for Display.
+        assert!(!Instr::Nop.to_string().is_empty());
+        assert!(!Instr::Halt.to_string().is_empty());
+    }
+}

@@ -1,0 +1,214 @@
+use crate::{Instr, Reg, MAX_ABS_ADDR, MAX_JUMP_TARGET};
+
+// Opcode space, grouped by format. Kept `pub(crate)` — the numeric values
+// are an implementation detail shared only with the decoder.
+pub(crate) mod op {
+    pub const NOP: u8 = 0x00;
+
+    pub const ADD: u8 = 0x01;
+    pub const SUB: u8 = 0x02;
+    pub const MUL: u8 = 0x03;
+    pub const DIVU: u8 = 0x04;
+    pub const REMU: u8 = 0x05;
+    pub const AND: u8 = 0x06;
+    pub const OR: u8 = 0x07;
+    pub const XOR: u8 = 0x08;
+    pub const SLL: u8 = 0x09;
+    pub const SRL: u8 = 0x0A;
+    pub const SRA: u8 = 0x0B;
+    pub const MOV: u8 = 0x0C;
+
+    pub const ADDI: u8 = 0x10;
+    pub const ANDI: u8 = 0x11;
+    pub const ORI: u8 = 0x12;
+    pub const XORI: u8 = 0x13;
+    pub const SLLI: u8 = 0x14;
+    pub const SRLI: u8 = 0x15;
+    pub const SRAI: u8 = 0x16;
+    pub const LUI: u8 = 0x17;
+
+    pub const LW: u8 = 0x20;
+    pub const SW: u8 = 0x21;
+    pub const LB: u8 = 0x22;
+    pub const LBU: u8 = 0x23;
+    pub const SB: u8 = 0x24;
+    pub const LWA: u8 = 0x25;
+    pub const SWA: u8 = 0x26;
+    pub const PUSH: u8 = 0x27;
+    pub const POP: u8 = 0x28;
+    pub const PUSHF: u8 = 0x29;
+    pub const POPF: u8 = 0x2A;
+
+    pub const CMP: u8 = 0x30;
+    pub const CMPI: u8 = 0x31;
+    pub const BEQ: u8 = 0x32;
+    pub const BNE: u8 = 0x33;
+    pub const BLT: u8 = 0x34;
+    pub const BGE: u8 = 0x35;
+    pub const BLTU: u8 = 0x36;
+    pub const BGEU: u8 = 0x37;
+
+    pub const JMP: u8 = 0x40;
+    pub const CALL: u8 = 0x41;
+    pub const JR: u8 = 0x42;
+    pub const CALLR: u8 = 0x43;
+    pub const RET: u8 = 0x44;
+    pub const JMEM: u8 = 0x45;
+
+    pub const TRAP: u8 = 0x50;
+    pub const HALT: u8 = 0x51;
+}
+
+#[inline]
+fn r_type(opcode: u8, rd: Reg, rs1: Reg, rs2: Reg) -> u32 {
+    ((opcode as u32) << 24)
+        | ((rd.index() as u32) << 20)
+        | ((rs1.index() as u32) << 16)
+        | ((rs2.index() as u32) << 12)
+}
+
+#[inline]
+fn i_type(opcode: u8, rd: Reg, rs1: Reg, imm: u16) -> u32 {
+    ((opcode as u32) << 24)
+        | ((rd.index() as u32) << 20)
+        | ((rs1.index() as u32) << 16)
+        | (imm as u32)
+}
+
+#[inline]
+fn abs_type(opcode: u8, rd: Reg, addr: u32) -> u32 {
+    assert!(
+        addr <= MAX_ABS_ADDR,
+        "absolute address {addr:#x} exceeds the 20-bit lwa/swa range"
+    );
+    assert!(addr.is_multiple_of(4), "absolute address {addr:#x} is not word aligned");
+    ((opcode as u32) << 24) | ((rd.index() as u32) << 20) | addr
+}
+
+#[inline]
+fn j_type(opcode: u8, target: u32) -> u32 {
+    assert!(
+        target <= MAX_JUMP_TARGET,
+        "jump target {target:#x} exceeds the 24-bit word-address range"
+    );
+    assert!(target.is_multiple_of(4), "jump target {target:#x} is not word aligned");
+    ((opcode as u32) << 24) | (target >> 2)
+}
+
+/// Encodes an instruction into its 32-bit machine word.
+///
+/// The encoding is lossless: [`crate::decode`] recovers exactly the same
+/// [`Instr`] value for every encodable instruction.
+///
+/// # Panics
+///
+/// Panics if the instruction carries an immediate outside its encodable
+/// range — a shift amount of 32 or more, an unaligned or out-of-range jump
+/// target (see [`MAX_JUMP_TARGET`]), or an unaligned or out-of-range
+/// `lwa`/`swa` address (see [`MAX_ABS_ADDR`]). These are programmer errors
+/// in code generators, not runtime conditions.
+///
+/// ```
+/// use strata_isa::{encode, decode, Instr, Reg};
+/// let i = Instr::Lui { rd: Reg::R4, imm: 0xBEEF };
+/// assert_eq!(decode(encode(&i)).unwrap(), i);
+/// ```
+pub fn encode(instr: &Instr) -> u32 {
+    use Instr::*;
+    match *instr {
+        Add { rd, rs1, rs2 } => r_type(op::ADD, rd, rs1, rs2),
+        Sub { rd, rs1, rs2 } => r_type(op::SUB, rd, rs1, rs2),
+        Mul { rd, rs1, rs2 } => r_type(op::MUL, rd, rs1, rs2),
+        Divu { rd, rs1, rs2 } => r_type(op::DIVU, rd, rs1, rs2),
+        Remu { rd, rs1, rs2 } => r_type(op::REMU, rd, rs1, rs2),
+        And { rd, rs1, rs2 } => r_type(op::AND, rd, rs1, rs2),
+        Or { rd, rs1, rs2 } => r_type(op::OR, rd, rs1, rs2),
+        Xor { rd, rs1, rs2 } => r_type(op::XOR, rd, rs1, rs2),
+        Sll { rd, rs1, rs2 } => r_type(op::SLL, rd, rs1, rs2),
+        Srl { rd, rs1, rs2 } => r_type(op::SRL, rd, rs1, rs2),
+        Sra { rd, rs1, rs2 } => r_type(op::SRA, rd, rs1, rs2),
+        Mov { rd, rs } => r_type(op::MOV, rd, rs, Reg::R0),
+
+        Addi { rd, rs1, imm } => i_type(op::ADDI, rd, rs1, imm as u16),
+        Andi { rd, rs1, imm } => i_type(op::ANDI, rd, rs1, imm),
+        Ori { rd, rs1, imm } => i_type(op::ORI, rd, rs1, imm),
+        Xori { rd, rs1, imm } => i_type(op::XORI, rd, rs1, imm),
+        Slli { rd, rs1, shamt } => shift_imm(op::SLLI, rd, rs1, shamt),
+        Srli { rd, rs1, shamt } => shift_imm(op::SRLI, rd, rs1, shamt),
+        Srai { rd, rs1, shamt } => shift_imm(op::SRAI, rd, rs1, shamt),
+        Lui { rd, imm } => i_type(op::LUI, rd, Reg::R0, imm),
+
+        Lw { rd, rs1, off } => i_type(op::LW, rd, rs1, off as u16),
+        Sw { rs2, rs1, off } => i_type(op::SW, rs2, rs1, off as u16),
+        Lb { rd, rs1, off } => i_type(op::LB, rd, rs1, off as u16),
+        Lbu { rd, rs1, off } => i_type(op::LBU, rd, rs1, off as u16),
+        Sb { rs2, rs1, off } => i_type(op::SB, rs2, rs1, off as u16),
+        Lwa { rd, addr } => abs_type(op::LWA, rd, addr),
+        Swa { rs, addr } => abs_type(op::SWA, rs, addr),
+        Push { rs } => r_type(op::PUSH, rs, Reg::R0, Reg::R0),
+        Pop { rd } => r_type(op::POP, rd, Reg::R0, Reg::R0),
+        Pushf => (op::PUSHF as u32) << 24,
+        Popf => (op::POPF as u32) << 24,
+
+        Cmp { rs1, rs2 } => r_type(op::CMP, Reg::R0, rs1, rs2),
+        Cmpi { rs1, imm } => i_type(op::CMPI, Reg::R0, rs1, imm as u16),
+        Beq { off } => i_type(op::BEQ, Reg::R0, Reg::R0, off as u16),
+        Bne { off } => i_type(op::BNE, Reg::R0, Reg::R0, off as u16),
+        Blt { off } => i_type(op::BLT, Reg::R0, Reg::R0, off as u16),
+        Bge { off } => i_type(op::BGE, Reg::R0, Reg::R0, off as u16),
+        Bltu { off } => i_type(op::BLTU, Reg::R0, Reg::R0, off as u16),
+        Bgeu { off } => i_type(op::BGEU, Reg::R0, Reg::R0, off as u16),
+
+        Jmp { target } => j_type(op::JMP, target),
+        Call { target } => j_type(op::CALL, target),
+        Jr { rs } => r_type(op::JR, Reg::R0, rs, Reg::R0),
+        Callr { rs } => r_type(op::CALLR, Reg::R0, rs, Reg::R0),
+        Ret => (op::RET as u32) << 24,
+        Jmem { addr } => j_type(op::JMEM, addr),
+
+        Trap { code } => i_type(op::TRAP, Reg::R0, Reg::R0, code),
+        Halt => (op::HALT as u32) << 24,
+        Nop => (op::NOP as u32) << 24,
+    }
+}
+
+#[inline]
+fn shift_imm(opcode: u8, rd: Reg, rs1: Reg, shamt: u8) -> u32 {
+    assert!(shamt < 32, "shift amount {shamt} out of range (must be 0..32)");
+    i_type(opcode, rd, rs1, shamt as u16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "shift amount")]
+    fn shift_out_of_range_panics() {
+        encode(&Instr::Slli { rd: Reg::R1, rs1: Reg::R1, shamt: 32 });
+    }
+
+    #[test]
+    #[should_panic(expected = "not word aligned")]
+    fn unaligned_jump_panics() {
+        encode(&Instr::Jmp { target: 0x102 });
+    }
+
+    #[test]
+    #[should_panic(expected = "24-bit")]
+    fn oversized_jump_panics() {
+        encode(&Instr::Jmp { target: MAX_JUMP_TARGET + 5 });
+    }
+
+    #[test]
+    #[should_panic(expected = "20-bit")]
+    fn oversized_abs_panics() {
+        encode(&Instr::Lwa { rd: Reg::R1, addr: MAX_ABS_ADDR + 5 });
+    }
+
+    #[test]
+    fn opcode_field_is_high_byte() {
+        let w = encode(&Instr::Halt);
+        assert_eq!(w >> 24, op::HALT as u32);
+    }
+}

@@ -1,0 +1,139 @@
+use std::fmt;
+
+/// One of the 16 SimRISC general-purpose registers.
+///
+/// Registers carry no hardware-enforced roles; by software convention `r15`
+/// is the stack pointer ([`Reg::SP`]). The SDT runtime additionally reserves
+/// no registers: it *spills* scratch registers (`r1`–`r3`) to an absolute
+/// save area around emitted lookup code, exactly as SDTs on register-starved
+/// architectures must.
+///
+/// ```
+/// use strata_isa::Reg;
+/// assert_eq!(Reg::SP, Reg::R15);
+/// assert_eq!(Reg::R7.index(), 7);
+/// assert_eq!(Reg::try_from(7u8).unwrap(), Reg::R7);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    pub const R0: Reg = Reg(0);
+    pub const R1: Reg = Reg(1);
+    pub const R2: Reg = Reg(2);
+    pub const R3: Reg = Reg(3);
+    pub const R4: Reg = Reg(4);
+    pub const R5: Reg = Reg(5);
+    pub const R6: Reg = Reg(6);
+    pub const R7: Reg = Reg(7);
+    pub const R8: Reg = Reg(8);
+    pub const R9: Reg = Reg(9);
+    pub const R10: Reg = Reg(10);
+    pub const R11: Reg = Reg(11);
+    pub const R12: Reg = Reg(12);
+    pub const R13: Reg = Reg(13);
+    pub const R14: Reg = Reg(14);
+    pub const R15: Reg = Reg(15);
+
+    /// The stack pointer by software convention (`r15`).
+    pub const SP: Reg = Reg::R15;
+
+    /// Total number of general-purpose registers.
+    pub const COUNT: usize = 16;
+
+    /// Returns the register's index in `0..16`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns an iterator over all 16 registers in index order.
+    ///
+    /// ```
+    /// use strata_isa::Reg;
+    /// assert_eq!(Reg::all().count(), 16);
+    /// ```
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..16u8).map(Reg)
+    }
+
+    /// Constructs a register from the low 4 bits of `bits` (used by the
+    /// decoder, which can never see an out-of-range index).
+    #[inline]
+    pub(crate) fn from_bits(bits: u32) -> Reg {
+        Reg((bits & 0xF) as u8)
+    }
+}
+
+impl TryFrom<u8> for Reg {
+    type Error = InvalidRegError;
+
+    fn try_from(value: u8) -> Result<Self, Self::Error> {
+        if value < 16 {
+            Ok(Reg(value))
+        } else {
+            Err(InvalidRegError(value))
+        }
+    }
+}
+
+impl From<Reg> for u8 {
+    fn from(r: Reg) -> u8 {
+        r.0
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == Reg::SP {
+            write!(f, "sp")
+        } else {
+            write!(f, "r{}", self.0)
+        }
+    }
+}
+
+/// Error returned when converting an out-of-range index into a [`Reg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidRegError(pub u8);
+
+impl fmt::Display for InvalidRegError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "register index {} out of range (must be 0..16)", self.0)
+    }
+}
+
+impl std::error::Error for InvalidRegError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        for r in Reg::all() {
+            assert_eq!(Reg::try_from(r.index() as u8).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        assert_eq!(Reg::try_from(16), Err(InvalidRegError(16)));
+        assert_eq!(Reg::try_from(255), Err(InvalidRegError(255)));
+    }
+
+    #[test]
+    fn sp_alias() {
+        assert_eq!(Reg::SP, Reg::R15);
+        assert_eq!(Reg::SP.to_string(), "sp");
+        assert_eq!(Reg::R3.to_string(), "r3");
+    }
+
+    #[test]
+    fn display_error() {
+        assert_eq!(
+            InvalidRegError(20).to_string(),
+            "register index 20 out of range (must be 0..16)"
+        );
+    }
+}

@@ -1,0 +1,101 @@
+//! Property tests: encode/decode is a lossless bijection on the encodable
+//! instruction space, and decode never panics on arbitrary words.
+
+use proptest::prelude::*;
+use strata_isa::{decode, encode, Instr, Reg};
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..16).prop_map(|i| Reg::try_from(i).unwrap())
+}
+
+fn arb_abs_addr() -> impl Strategy<Value = u32> {
+    (0u32..(1 << 18)).prop_map(|w| w * 4)
+}
+
+fn arb_jump_target() -> impl Strategy<Value = u32> {
+    (0u32..(1 << 24)).prop_map(|w| w * 4)
+}
+
+fn arb_instr() -> impl Strategy<Value = Instr> {
+    let r = arb_reg;
+    prop_oneof![
+        (r(), r(), r()).prop_map(|(rd, rs1, rs2)| Instr::Add { rd, rs1, rs2 }),
+        (r(), r(), r()).prop_map(|(rd, rs1, rs2)| Instr::Sub { rd, rs1, rs2 }),
+        (r(), r(), r()).prop_map(|(rd, rs1, rs2)| Instr::Mul { rd, rs1, rs2 }),
+        (r(), r(), r()).prop_map(|(rd, rs1, rs2)| Instr::Divu { rd, rs1, rs2 }),
+        (r(), r(), r()).prop_map(|(rd, rs1, rs2)| Instr::Remu { rd, rs1, rs2 }),
+        (r(), r(), r()).prop_map(|(rd, rs1, rs2)| Instr::And { rd, rs1, rs2 }),
+        (r(), r(), r()).prop_map(|(rd, rs1, rs2)| Instr::Or { rd, rs1, rs2 }),
+        (r(), r(), r()).prop_map(|(rd, rs1, rs2)| Instr::Xor { rd, rs1, rs2 }),
+        (r(), r(), r()).prop_map(|(rd, rs1, rs2)| Instr::Sll { rd, rs1, rs2 }),
+        (r(), r(), r()).prop_map(|(rd, rs1, rs2)| Instr::Srl { rd, rs1, rs2 }),
+        (r(), r(), r()).prop_map(|(rd, rs1, rs2)| Instr::Sra { rd, rs1, rs2 }),
+        (r(), r()).prop_map(|(rd, rs)| Instr::Mov { rd, rs }),
+        (r(), r(), any::<i16>()).prop_map(|(rd, rs1, imm)| Instr::Addi { rd, rs1, imm }),
+        (r(), r(), any::<u16>()).prop_map(|(rd, rs1, imm)| Instr::Andi { rd, rs1, imm }),
+        (r(), r(), any::<u16>()).prop_map(|(rd, rs1, imm)| Instr::Ori { rd, rs1, imm }),
+        (r(), r(), any::<u16>()).prop_map(|(rd, rs1, imm)| Instr::Xori { rd, rs1, imm }),
+        (r(), r(), 0u8..32).prop_map(|(rd, rs1, shamt)| Instr::Slli { rd, rs1, shamt }),
+        (r(), r(), 0u8..32).prop_map(|(rd, rs1, shamt)| Instr::Srli { rd, rs1, shamt }),
+        (r(), r(), 0u8..32).prop_map(|(rd, rs1, shamt)| Instr::Srai { rd, rs1, shamt }),
+        (r(), any::<u16>()).prop_map(|(rd, imm)| Instr::Lui { rd, imm }),
+        (r(), r(), any::<i16>()).prop_map(|(rd, rs1, off)| Instr::Lw { rd, rs1, off }),
+        (r(), r(), any::<i16>()).prop_map(|(rs2, rs1, off)| Instr::Sw { rs2, rs1, off }),
+        (r(), r(), any::<i16>()).prop_map(|(rd, rs1, off)| Instr::Lb { rd, rs1, off }),
+        (r(), r(), any::<i16>()).prop_map(|(rd, rs1, off)| Instr::Lbu { rd, rs1, off }),
+        (r(), r(), any::<i16>()).prop_map(|(rs2, rs1, off)| Instr::Sb { rs2, rs1, off }),
+        (r(), arb_abs_addr()).prop_map(|(rd, addr)| Instr::Lwa { rd, addr }),
+        (r(), arb_abs_addr()).prop_map(|(rs, addr)| Instr::Swa { rs, addr }),
+        r().prop_map(|rs| Instr::Push { rs }),
+        r().prop_map(|rd| Instr::Pop { rd }),
+        Just(Instr::Pushf),
+        Just(Instr::Popf),
+        (r(), r()).prop_map(|(rs1, rs2)| Instr::Cmp { rs1, rs2 }),
+        (r(), any::<i16>()).prop_map(|(rs1, imm)| Instr::Cmpi { rs1, imm }),
+        any::<i16>().prop_map(|off| Instr::Beq { off }),
+        any::<i16>().prop_map(|off| Instr::Bne { off }),
+        any::<i16>().prop_map(|off| Instr::Blt { off }),
+        any::<i16>().prop_map(|off| Instr::Bge { off }),
+        any::<i16>().prop_map(|off| Instr::Bltu { off }),
+        any::<i16>().prop_map(|off| Instr::Bgeu { off }),
+        arb_jump_target().prop_map(|target| Instr::Jmp { target }),
+        arb_jump_target().prop_map(|target| Instr::Call { target }),
+        r().prop_map(|rs| Instr::Jr { rs }),
+        r().prop_map(|rs| Instr::Callr { rs }),
+        Just(Instr::Ret),
+        arb_jump_target().prop_map(|addr| Instr::Jmem { addr }),
+        any::<u16>().prop_map(|code| Instr::Trap { code }),
+        Just(Instr::Halt),
+        Just(Instr::Nop),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_roundtrip(instr in arb_instr()) {
+        let word = encode(&instr);
+        prop_assert_eq!(decode(word).expect("decode of encoded instr"), instr);
+    }
+
+    #[test]
+    fn decode_never_panics(word in any::<u32>()) {
+        // Either a valid instruction or a structured error; never a panic.
+        let _ = decode(word);
+    }
+
+    #[test]
+    fn decode_encode_fixpoint(word in any::<u32>()) {
+        // Every decodable word re-encodes to a word that decodes to the same
+        // instruction (encodings may be non-canonical in unused bits).
+        if let Ok(instr) = decode(word) {
+            let canon = encode(&instr);
+            prop_assert_eq!(decode(canon).expect("canonical word decodes"), instr);
+        }
+    }
+
+    #[test]
+    fn display_is_nonempty_and_stable(instr in arb_instr()) {
+        let s = instr.to_string();
+        prop_assert!(!s.is_empty());
+    }
+}

@@ -1,0 +1,66 @@
+use strata_isa::{Flags, Reg};
+
+/// Architectural CPU state: 16 general-purpose registers, the program
+/// counter, and the flags word.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Cpu {
+    regs: [u32; Reg::COUNT],
+    /// The program counter (byte address of the next instruction).
+    pub pc: u32,
+    /// Condition flags written by `cmp`/`cmpi`.
+    pub flags: Flags,
+}
+
+impl Cpu {
+    /// Creates a CPU with all registers, `pc`, and flags zeroed.
+    pub fn new() -> Cpu {
+        Cpu::default()
+    }
+
+    /// Reads a register.
+    #[inline]
+    pub fn reg(&self, r: Reg) -> u32 {
+        self.regs[r.index()]
+    }
+
+    /// Writes a register.
+    #[inline]
+    pub fn set_reg(&mut self, r: Reg, value: u32) {
+        self.regs[r.index()] = value;
+    }
+
+    /// Returns the full register file (index order).
+    pub fn regs(&self) -> &[u32; Reg::COUNT] {
+        &self.regs
+    }
+
+    /// Reads the stack pointer (`r15`).
+    #[inline]
+    pub fn sp(&self) -> u32 {
+        self.reg(Reg::SP)
+    }
+
+    /// Writes the stack pointer (`r15`).
+    #[inline]
+    pub fn set_sp(&mut self, value: u32) {
+        self.set_reg(Reg::SP, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_file() {
+        let mut cpu = Cpu::new();
+        for r in Reg::all() {
+            assert_eq!(cpu.reg(r), 0);
+        }
+        cpu.set_reg(Reg::R7, 42);
+        assert_eq!(cpu.reg(Reg::R7), 42);
+        cpu.set_sp(0x8000);
+        assert_eq!(cpu.reg(Reg::R15), 0x8000);
+        assert_eq!(cpu.sp(), 0x8000);
+    }
+}

@@ -1,0 +1,43 @@
+//! Conventional guest memory layout.
+//!
+//! The layout is a convention shared by the loader, the workload generators,
+//! and the SDT — nothing in the machine itself enforces it. The save area
+//! sits below the 1 MiB [`strata_isa::MAX_ABS_ADDR`] boundary so that SDT
+//! spill code (`lwa`/`swa`) needs no free base register, mirroring x86
+//! absolute addressing.
+//!
+//! ```text
+//! 0x0000_0100  SAVE_AREA_BASE   SDT register save area + dispatch slots
+//! 0x0010_0000  APP_BASE         application code
+//! 0x0030_0000  APP_DATA_BASE    application static data / heap
+//! 0x0060_0000  CACHE_BASE       SDT fragment cache (translated code)
+//! 0x00A0_0000  TABLES_BASE      SDT lookup tables (IBTC, sieve, return cache)
+//! 0x0100_0000  DEFAULT_MEM_BYTES = initial stack pointer (stack grows down)
+//! ```
+
+/// Base of the SDT register save area and dispatch slots (reachable by the
+/// 20-bit absolute `lwa`/`swa` addressing mode).
+pub const SAVE_AREA_BASE: u32 = 0x0000_0100;
+
+/// Base address at which application code is loaded.
+pub const APP_BASE: u32 = 0x0010_0000;
+
+/// Base address of application static data.
+pub const APP_DATA_BASE: u32 = 0x0030_0000;
+
+/// Base of the SDT fragment cache (translated code).
+pub const CACHE_BASE: u32 = 0x0060_0000;
+
+/// Size in bytes of the fragment cache region.
+pub const CACHE_BYTES: u32 = TABLES_BASE - CACHE_BASE;
+
+/// Base of the SDT lookup-table region (IBTC tables, sieve buckets, return
+/// cache).
+pub const TABLES_BASE: u32 = 0x00A0_0000;
+
+/// End of the lookup-table region; the stack lives above it.
+pub const TABLES_END: u32 = 0x00F0_0000;
+
+/// Default memory size; also the initial stack pointer (the stack grows
+/// down from the top of memory).
+pub const DEFAULT_MEM_BYTES: u32 = 0x0100_0000;

@@ -1,0 +1,575 @@
+use std::fmt;
+
+use strata_isa::{ControlKind, DecodeError, Flags, Instr};
+
+use crate::event::{ControlEvent, ExecutionObserver, MemAccess, RetireEvent};
+use crate::{Cpu, Memory};
+
+/// Errors surfaced by machine execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MachineError {
+    /// A memory access touched bytes outside of memory.
+    OutOfBounds { addr: u32, len: u32 },
+    /// The program counter was not 4-byte aligned.
+    UnalignedPc { pc: u32 },
+    /// The word at `pc` did not decode to an instruction.
+    Decode { pc: u32, source: DecodeError },
+    /// [`Machine::run`] exhausted its step budget.
+    OutOfFuel { steps: u64 },
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineError::OutOfBounds { addr, len } => {
+                write!(f, "memory access of {len} byte(s) at {addr:#x} is out of bounds")
+            }
+            MachineError::UnalignedPc { pc } => write!(f, "unaligned pc {pc:#x}"),
+            MachineError::Decode { pc, source } => write!(f, "at pc {pc:#x}: {source}"),
+            MachineError::OutOfFuel { steps } => {
+                write!(f, "execution exceeded the step budget of {steps}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MachineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MachineError::Decode { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// Result of a single [`Machine::step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// The instruction retired normally; execution continues.
+    Running,
+    /// A `trap` instruction retired. `pc` already points at the following
+    /// instruction; the embedder services the trap and resumes (possibly at
+    /// a different `pc`).
+    Trap(u16),
+    /// A `halt` instruction retired.
+    Halted,
+}
+
+/// The simulated SimRISC machine: CPU state plus memory.
+///
+/// See the [crate-level documentation](crate) for an example.
+#[derive(Debug)]
+pub struct Machine {
+    cpu: Cpu,
+    mem: Memory,
+}
+
+impl Machine {
+    /// Creates a machine with `mem_bytes` of zeroed memory and the stack
+    /// pointer initialized to the top of memory.
+    pub fn new(mem_bytes: u32) -> Machine {
+        let mem = Memory::new(mem_bytes);
+        let mut cpu = Cpu::new();
+        cpu.set_sp(mem.size());
+        Machine { cpu, mem }
+    }
+
+    /// Shared view of CPU state.
+    pub fn cpu(&self) -> &Cpu {
+        &self.cpu
+    }
+
+    /// Mutable view of CPU state (the SDT runtime uses this while servicing
+    /// traps).
+    pub fn cpu_mut(&mut self) -> &mut Cpu {
+        &mut self.cpu
+    }
+
+    /// Shared view of memory.
+    pub fn mem(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Mutable view of memory.
+    pub fn mem_mut(&mut self) -> &mut Memory {
+        &mut self.mem
+    }
+
+    /// Writes a sequence of machine words (code) starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::OutOfBounds`] if the words do not fit.
+    pub fn write_code(&mut self, addr: u32, words: &[u32]) -> Result<(), MachineError> {
+        for (i, w) in words.iter().enumerate() {
+            self.mem.write_u32(addr + i as u32 * 4, *w)?;
+        }
+        Ok(())
+    }
+
+    /// Executes instructions until `halt`, a `trap`, an error, or `fuel`
+    /// retired instructions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates execution errors and returns [`MachineError::OutOfFuel`]
+    /// if the budget is exhausted before `halt`/`trap`.
+    pub fn run<O: ExecutionObserver>(
+        &mut self,
+        observer: &mut O,
+        fuel: u64,
+    ) -> Result<StepOutcome, MachineError> {
+        for _ in 0..fuel {
+            match self.step(observer)? {
+                StepOutcome::Running => {}
+                outcome => return Ok(outcome),
+            }
+        }
+        Err(MachineError::OutOfFuel { steps: fuel })
+    }
+
+    /// Fetches, decodes, executes, and retires one instruction, notifying
+    /// `observer`.
+    ///
+    /// # Errors
+    ///
+    /// Returns fetch/decode errors and out-of-bounds memory accesses. CPU
+    /// state is unchanged when an error is returned mid-instruction except
+    /// that no partial writes are observable (each instruction performs at
+    /// most one memory write, attempted before register state is updated).
+    pub fn step<O: ExecutionObserver>(
+        &mut self,
+        observer: &mut O,
+    ) -> Result<StepOutcome, MachineError> {
+        use Instr::*;
+
+        let pc = self.cpu.pc;
+        let instr = self.mem.fetch(pc)?;
+        let next = pc.wrapping_add(4);
+
+        let mut mem_access: Option<MemAccess> = None;
+        let mut control = ControlEvent {
+            kind: instr.control_kind(),
+            taken: false,
+            target: next,
+            indirect: false,
+        };
+        let mut outcome = StepOutcome::Running;
+        let cpu = &mut self.cpu;
+        let mem = &mut self.mem;
+
+        macro_rules! load_w {
+            ($addr:expr) => {{
+                let a = $addr;
+                mem_access = Some(MemAccess { addr: a, len: 4, is_store: false });
+                mem.read_u32(a)?
+            }};
+        }
+        macro_rules! store_w {
+            ($addr:expr, $val:expr) => {{
+                let a = $addr;
+                mem_access = Some(MemAccess { addr: a, len: 4, is_store: true });
+                mem.write_u32(a, $val)?
+            }};
+        }
+
+        let mut new_pc = next;
+        match instr {
+            Add { rd, rs1, rs2 } => cpu.set_reg(rd, cpu.reg(rs1).wrapping_add(cpu.reg(rs2))),
+            Sub { rd, rs1, rs2 } => cpu.set_reg(rd, cpu.reg(rs1).wrapping_sub(cpu.reg(rs2))),
+            Mul { rd, rs1, rs2 } => cpu.set_reg(rd, cpu.reg(rs1).wrapping_mul(cpu.reg(rs2))),
+            Divu { rd, rs1, rs2 } => {
+                let d = cpu.reg(rs2);
+                let v = cpu.reg(rs1).checked_div(d).unwrap_or(u32::MAX);
+                cpu.set_reg(rd, v);
+            }
+            Remu { rd, rs1, rs2 } => {
+                let d = cpu.reg(rs2);
+                let v = if d == 0 { cpu.reg(rs1) } else { cpu.reg(rs1) % d };
+                cpu.set_reg(rd, v);
+            }
+            And { rd, rs1, rs2 } => cpu.set_reg(rd, cpu.reg(rs1) & cpu.reg(rs2)),
+            Or { rd, rs1, rs2 } => cpu.set_reg(rd, cpu.reg(rs1) | cpu.reg(rs2)),
+            Xor { rd, rs1, rs2 } => cpu.set_reg(rd, cpu.reg(rs1) ^ cpu.reg(rs2)),
+            Sll { rd, rs1, rs2 } => cpu.set_reg(rd, cpu.reg(rs1) << (cpu.reg(rs2) & 31)),
+            Srl { rd, rs1, rs2 } => cpu.set_reg(rd, cpu.reg(rs1) >> (cpu.reg(rs2) & 31)),
+            Sra { rd, rs1, rs2 } => {
+                cpu.set_reg(rd, ((cpu.reg(rs1) as i32) >> (cpu.reg(rs2) & 31)) as u32)
+            }
+            Mov { rd, rs } => cpu.set_reg(rd, cpu.reg(rs)),
+
+            Addi { rd, rs1, imm } => {
+                cpu.set_reg(rd, cpu.reg(rs1).wrapping_add(imm as i32 as u32))
+            }
+            Andi { rd, rs1, imm } => cpu.set_reg(rd, cpu.reg(rs1) & imm as u32),
+            Ori { rd, rs1, imm } => cpu.set_reg(rd, cpu.reg(rs1) | imm as u32),
+            Xori { rd, rs1, imm } => cpu.set_reg(rd, cpu.reg(rs1) ^ imm as u32),
+            Slli { rd, rs1, shamt } => cpu.set_reg(rd, cpu.reg(rs1) << shamt),
+            Srli { rd, rs1, shamt } => cpu.set_reg(rd, cpu.reg(rs1) >> shamt),
+            Srai { rd, rs1, shamt } => {
+                cpu.set_reg(rd, ((cpu.reg(rs1) as i32) >> shamt) as u32)
+            }
+            Lui { rd, imm } => cpu.set_reg(rd, (imm as u32) << 16),
+
+            Lw { rd, rs1, off } => {
+                let a = cpu.reg(rs1).wrapping_add(off as i32 as u32);
+                let v = load_w!(a);
+                cpu.set_reg(rd, v);
+            }
+            Sw { rs2, rs1, off } => {
+                let a = cpu.reg(rs1).wrapping_add(off as i32 as u32);
+                store_w!(a, cpu.reg(rs2));
+            }
+            Lb { rd, rs1, off } => {
+                let a = cpu.reg(rs1).wrapping_add(off as i32 as u32);
+                mem_access = Some(MemAccess { addr: a, len: 1, is_store: false });
+                let v = mem.read_u8(a)? as i8 as i32 as u32;
+                cpu.set_reg(rd, v);
+            }
+            Lbu { rd, rs1, off } => {
+                let a = cpu.reg(rs1).wrapping_add(off as i32 as u32);
+                mem_access = Some(MemAccess { addr: a, len: 1, is_store: false });
+                let v = mem.read_u8(a)? as u32;
+                cpu.set_reg(rd, v);
+            }
+            Sb { rs2, rs1, off } => {
+                let a = cpu.reg(rs1).wrapping_add(off as i32 as u32);
+                mem_access = Some(MemAccess { addr: a, len: 1, is_store: true });
+                mem.write_u8(a, cpu.reg(rs2) as u8)?;
+            }
+            Lwa { rd, addr } => {
+                let v = load_w!(addr);
+                cpu.set_reg(rd, v);
+            }
+            Swa { rs, addr } => store_w!(addr, cpu.reg(rs)),
+            Push { rs } => {
+                let val = cpu.reg(rs);
+                let sp = cpu.sp().wrapping_sub(4);
+                store_w!(sp, val);
+                cpu.set_sp(sp);
+            }
+            Pop { rd } => {
+                let sp = cpu.sp();
+                let v = load_w!(sp);
+                cpu.set_sp(sp.wrapping_add(4));
+                cpu.set_reg(rd, v); // rd == sp overrides the increment, like x86
+            }
+            Pushf => {
+                let sp = cpu.sp().wrapping_sub(4);
+                store_w!(sp, cpu.flags.to_bits());
+                cpu.set_sp(sp);
+            }
+            Popf => {
+                let sp = cpu.sp();
+                let v = load_w!(sp);
+                cpu.set_sp(sp.wrapping_add(4));
+                cpu.flags = Flags::from_bits(v);
+            }
+
+            Cmp { rs1, rs2 } => cpu.flags = Flags::from_compare(cpu.reg(rs1), cpu.reg(rs2)),
+            Cmpi { rs1, imm } => {
+                cpu.flags = Flags::from_compare(cpu.reg(rs1), imm as i32 as u32)
+            }
+
+            Beq { off } => branch(cpu.flags.eq, off, pc, &mut new_pc, &mut control),
+            Bne { off } => branch(!cpu.flags.eq, off, pc, &mut new_pc, &mut control),
+            Blt { off } => branch(cpu.flags.lt, off, pc, &mut new_pc, &mut control),
+            Bge { off } => branch(!cpu.flags.lt, off, pc, &mut new_pc, &mut control),
+            Bltu { off } => branch(cpu.flags.ltu, off, pc, &mut new_pc, &mut control),
+            Bgeu { off } => branch(!cpu.flags.ltu, off, pc, &mut new_pc, &mut control),
+
+            Jmp { target } => {
+                new_pc = target;
+                control.taken = true;
+                control.target = target;
+            }
+            Call { target } => {
+                let sp = cpu.sp().wrapping_sub(4);
+                store_w!(sp, next);
+                cpu.set_sp(sp);
+                new_pc = target;
+                control.taken = true;
+                control.target = target;
+            }
+            Jr { rs } => {
+                new_pc = cpu.reg(rs);
+                control.taken = true;
+                control.target = new_pc;
+                control.indirect = true;
+            }
+            Callr { rs } => {
+                let target = cpu.reg(rs);
+                let sp = cpu.sp().wrapping_sub(4);
+                store_w!(sp, next);
+                cpu.set_sp(sp);
+                new_pc = target;
+                control.taken = true;
+                control.target = target;
+                control.indirect = true;
+            }
+            Ret => {
+                let sp = cpu.sp();
+                let target = load_w!(sp);
+                cpu.set_sp(sp.wrapping_add(4));
+                new_pc = target;
+                control.taken = true;
+                control.target = target;
+                control.indirect = true;
+            }
+            Jmem { addr } => {
+                let target = load_w!(addr);
+                new_pc = target;
+                control.taken = true;
+                control.target = target;
+                control.indirect = true;
+            }
+
+            Trap { code } => outcome = StepOutcome::Trap(code),
+            Halt => outcome = StepOutcome::Halted,
+            Nop => {}
+        }
+
+        self.cpu.pc = new_pc;
+        observer.on_retire(&RetireEvent {
+            pc,
+            instr,
+            class: instr.class(),
+            mem: mem_access,
+            control,
+        });
+        Ok(outcome)
+    }
+}
+
+#[inline]
+fn branch(cond: bool, off: i16, pc: u32, new_pc: &mut u32, control: &mut ControlEvent) {
+    debug_assert_eq!(control.kind, ControlKind::Conditional);
+    if cond {
+        let target = pc.wrapping_add(4).wrapping_add((off as i32 as u32).wrapping_mul(4));
+        *new_pc = target;
+        control.taken = true;
+        control.target = target;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NullObserver;
+    use strata_asm::assemble;
+    use strata_isa::Reg;
+
+    fn machine_with(src: &str) -> Machine {
+        let mut m = Machine::new(0x1_0000);
+        let code = assemble(0x100, src).expect("assembles");
+        m.write_code(0x100, &code).unwrap();
+        m.cpu_mut().pc = 0x100;
+        m
+    }
+
+    fn run(src: &str) -> Machine {
+        let mut m = machine_with(src);
+        let out = m.run(&mut NullObserver, 10_000).expect("runs");
+        assert_eq!(out, StepOutcome::Halted);
+        m
+    }
+
+    #[test]
+    fn arithmetic_and_logic() {
+        let m = run(r"
+            li r1, 21
+            li r2, 2
+            mul r3, r1, r2
+            addi r3, r3, -2
+            xor r4, r3, r3
+            ori r4, r4, 0xFF
+            andi r4, r4, 0xF0
+            srli r4, r4, 4
+            halt
+        ");
+        assert_eq!(m.cpu().reg(Reg::R3), 40);
+        assert_eq!(m.cpu().reg(Reg::R4), 0xF);
+    }
+
+    #[test]
+    fn division_by_zero_is_defined() {
+        let m = run(r"
+            li r1, 17
+            li r2, 0
+            divu r3, r1, r2
+            remu r4, r1, r2
+            halt
+        ");
+        assert_eq!(m.cpu().reg(Reg::R3), u32::MAX);
+        assert_eq!(m.cpu().reg(Reg::R4), 17);
+    }
+
+    #[test]
+    fn loads_and_stores() {
+        let m = run(r"
+            li r1, 0x2000
+            li r2, 0xCAFE
+            sw r2, 4(r1)
+            lw r3, 4(r1)
+            sb r2, 0(r1)
+            lbu r4, 0(r1)
+            lb r5, 0(r1)
+            halt
+        ");
+        assert_eq!(m.cpu().reg(Reg::R3), 0xCAFE);
+        assert_eq!(m.cpu().reg(Reg::R4), 0xFE);
+        assert_eq!(m.cpu().reg(Reg::R5), 0xFFFF_FFFE); // sign-extended
+    }
+
+    #[test]
+    fn stack_discipline() {
+        let m = run(r"
+            li r1, 111
+            li r2, 222
+            push r1
+            push r2
+            pop r3
+            pop r4
+            halt
+        ");
+        assert_eq!(m.cpu().reg(Reg::R3), 222);
+        assert_eq!(m.cpu().reg(Reg::R4), 111);
+        assert_eq!(m.cpu().sp(), 0x1_0000);
+    }
+
+    #[test]
+    fn flags_survive_pushf_popf() {
+        let m = run(r"
+            li r1, 1
+            li r2, 2
+            cmp r1, r2      ; lt, ltu set
+            pushf
+            cmpi r1, 1      ; eq set
+            popf
+            blt less
+            li r3, 0
+            halt
+        less:
+            li r3, 77
+            halt
+        ");
+        assert_eq!(m.cpu().reg(Reg::R3), 77, "popf must restore the lt flag");
+    }
+
+    #[test]
+    fn call_and_ret() {
+        let m = run(r"
+            li r1, 5
+            call double
+            call double
+            halt
+        double:
+            add r1, r1, r1
+            ret
+        ");
+        assert_eq!(m.cpu().reg(Reg::R1), 20);
+        assert_eq!(m.cpu().sp(), 0x1_0000);
+    }
+
+    #[test]
+    fn indirect_call_and_jump() {
+        let m = run(r"
+            li r9, target
+            jr r9
+            halt            ; skipped
+        target:
+            li r8, fn1
+            callr r8
+            halt
+        fn1:
+            li r7, 99
+            ret
+        ");
+        assert_eq!(m.cpu().reg(Reg::R7), 99);
+    }
+
+    #[test]
+    fn jmem_jumps_through_memory() {
+        let m = run(r"
+            li r1, dest
+            swa r1, [0x200]
+            jmem [0x200]
+            halt            ; skipped
+        dest:
+            li r2, 5
+            halt
+        ");
+        assert_eq!(m.cpu().reg(Reg::R2), 5);
+    }
+
+    #[test]
+    fn trap_suspends_with_pc_after() {
+        let mut m = machine_with("nop\ntrap 0x42\nli r1, 3\nhalt\n");
+        let out = m.run(&mut NullObserver, 100).unwrap();
+        assert_eq!(out, StepOutcome::Trap(0x42));
+        // Resuming continues after the trap.
+        let out = m.run(&mut NullObserver, 100).unwrap();
+        assert_eq!(out, StepOutcome::Halted);
+        assert_eq!(m.cpu().reg(Reg::R1), 3);
+    }
+
+    #[test]
+    fn fuel_exhaustion() {
+        let mut m = machine_with("top:\n jmp top\n");
+        assert_eq!(
+            m.run(&mut NullObserver, 10),
+            Err(MachineError::OutOfFuel { steps: 10 })
+        );
+    }
+
+    #[test]
+    fn observer_sees_control_flow() {
+        #[derive(Default)]
+        struct Watcher {
+            indirect_taken: u32,
+            cond_total: u32,
+            stores: u32,
+        }
+        impl ExecutionObserver for Watcher {
+            fn on_retire(&mut self, ev: &RetireEvent) {
+                if ev.control.indirect && ev.control.taken {
+                    self.indirect_taken += 1;
+                }
+                if ev.control.kind == ControlKind::Conditional {
+                    self.cond_total += 1;
+                }
+                if ev.mem.is_some_and(|m| m.is_store) {
+                    self.stores += 1;
+                }
+            }
+        }
+        let mut m = machine_with(r"
+            li r1, 3
+        top:
+            addi r1, r1, -1
+            cmpi r1, 0
+            bne top
+            li r9, out
+            jr r9
+        out:
+            push r1
+            halt
+        ");
+        let mut w = Watcher::default();
+        m.run(&mut w, 1000).unwrap();
+        assert_eq!(w.indirect_taken, 1);
+        assert_eq!(w.cond_total, 3);
+        assert_eq!(w.stores, 1);
+    }
+
+    #[test]
+    fn pop_into_sp_loads_value() {
+        let m = run(r"
+            li r1, 0x4000
+            push r1
+            pop sp
+            halt
+        ");
+        assert_eq!(m.cpu().sp(), 0x4000);
+    }
+}

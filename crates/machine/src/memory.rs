@@ -1,0 +1,226 @@
+use strata_isa::{decode, Instr};
+
+use crate::machine::MachineError;
+
+/// Flat, byte-addressed, little-endian guest memory with an integrated
+/// decode cache.
+///
+/// The decode cache memoizes instruction decoding per word address and is
+/// invalidated by every store that touches the word, so runtime code
+/// generation (the SDT writing fragments, patching links, appending sieve
+/// stanzas) is picked up immediately — the moral equivalent of an
+/// instruction-cache flush after code modification.
+#[derive(Debug)]
+pub struct Memory {
+    bytes: Vec<u8>,
+    decoded: Vec<Option<Instr>>,
+}
+
+impl Memory {
+    /// Creates a zero-initialized memory of `size` bytes (rounded up to a
+    /// multiple of 4).
+    pub fn new(size: u32) -> Memory {
+        let size = (size as usize).next_multiple_of(4);
+        Memory { bytes: vec![0; size], decoded: vec![None; size / 4] }
+    }
+
+    /// Memory size in bytes.
+    pub fn size(&self) -> u32 {
+        self.bytes.len() as u32
+    }
+
+    #[inline]
+    fn check(&self, addr: u32, len: u32) -> Result<usize, MachineError> {
+        let end = addr as u64 + len as u64;
+        if end <= self.bytes.len() as u64 {
+            Ok(addr as usize)
+        } else {
+            Err(MachineError::OutOfBounds { addr, len })
+        }
+    }
+
+    /// Reads a little-endian word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::OutOfBounds`] if any touched byte is outside
+    /// memory.
+    #[inline]
+    pub fn read_u32(&self, addr: u32) -> Result<u32, MachineError> {
+        let i = self.check(addr, 4)?;
+        Ok(u32::from_le_bytes(self.bytes[i..i + 4].try_into().expect("4-byte slice")))
+    }
+
+    /// Writes a little-endian word, invalidating any cached decodes it
+    /// touches.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::OutOfBounds`] if any touched byte is outside
+    /// memory.
+    #[inline]
+    pub fn write_u32(&mut self, addr: u32, value: u32) -> Result<(), MachineError> {
+        let i = self.check(addr, 4)?;
+        self.bytes[i..i + 4].copy_from_slice(&value.to_le_bytes());
+        self.invalidate(addr, 4);
+        Ok(())
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::OutOfBounds`] if `addr` is outside memory.
+    #[inline]
+    pub fn read_u8(&self, addr: u32) -> Result<u8, MachineError> {
+        let i = self.check(addr, 1)?;
+        Ok(self.bytes[i])
+    }
+
+    /// Writes one byte, invalidating the containing decode-cache word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::OutOfBounds`] if `addr` is outside memory.
+    #[inline]
+    pub fn write_u8(&mut self, addr: u32, value: u8) -> Result<(), MachineError> {
+        let i = self.check(addr, 1)?;
+        self.bytes[i] = value;
+        self.invalidate(addr, 1);
+        Ok(())
+    }
+
+    /// Copies a byte slice into memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::OutOfBounds`] if the range does not fit.
+    pub fn write_bytes(&mut self, addr: u32, data: &[u8]) -> Result<(), MachineError> {
+        let i = self.check(addr, data.len() as u32)?;
+        self.bytes[i..i + data.len()].copy_from_slice(data);
+        self.invalidate(addr, data.len() as u32);
+        Ok(())
+    }
+
+    /// Reads `len` bytes starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::OutOfBounds`] if the range does not fit.
+    pub fn read_bytes(&self, addr: u32, len: u32) -> Result<&[u8], MachineError> {
+        let i = self.check(addr, len)?;
+        Ok(&self.bytes[i..i + len as usize])
+    }
+
+    /// Fetches and decodes the instruction at `pc`, memoizing the decode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::UnalignedPc`] for a misaligned `pc`,
+    /// [`MachineError::OutOfBounds`] for a `pc` outside memory, and
+    /// [`MachineError::Decode`] for invalid machine words.
+    #[inline]
+    pub fn fetch(&mut self, pc: u32) -> Result<Instr, MachineError> {
+        if !pc.is_multiple_of(4) {
+            return Err(MachineError::UnalignedPc { pc });
+        }
+        let slot = (pc / 4) as usize;
+        if let Some(Some(instr)) = self.decoded.get(slot) {
+            return Ok(*instr);
+        }
+        let word = self.read_u32(pc)?;
+        let instr = decode(word).map_err(|source| MachineError::Decode { pc, source })?;
+        self.decoded[slot] = Some(instr);
+        Ok(instr)
+    }
+
+    #[inline]
+    fn invalidate(&mut self, addr: u32, len: u32) {
+        let first = (addr / 4) as usize;
+        let last = ((addr + len - 1) / 4) as usize;
+        for slot in first..=last.min(self.decoded.len().saturating_sub(1)) {
+            self.decoded[slot] = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strata_isa::{encode, Reg};
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut m = Memory::new(64);
+        m.write_u32(0, 0xDEADBEEF).unwrap();
+        assert_eq!(m.read_u32(0).unwrap(), 0xDEADBEEF);
+        m.write_u8(5, 0xAB).unwrap();
+        assert_eq!(m.read_u8(5).unwrap(), 0xAB);
+        // Little-endian layout.
+        assert_eq!(m.read_u8(0).unwrap(), 0xEF);
+    }
+
+    #[test]
+    fn unaligned_word_access_is_supported() {
+        let mut m = Memory::new(64);
+        m.write_u32(3, 0x01020304).unwrap();
+        assert_eq!(m.read_u32(3).unwrap(), 0x01020304);
+    }
+
+    #[test]
+    fn out_of_bounds_reported() {
+        let mut m = Memory::new(16);
+        assert_eq!(m.read_u32(13), Err(MachineError::OutOfBounds { addr: 13, len: 4 }));
+        assert_eq!(m.read_u32(16), Err(MachineError::OutOfBounds { addr: 16, len: 4 }));
+        assert_eq!(
+            m.write_u8(16, 0),
+            Err(MachineError::OutOfBounds { addr: 16, len: 1 })
+        );
+        assert!(m.read_u32(12).is_ok());
+    }
+
+    #[test]
+    fn fetch_decodes_and_caches() {
+        let mut m = Memory::new(64);
+        let nop = encode(&Instr::Nop);
+        m.write_u32(8, nop).unwrap();
+        assert_eq!(m.fetch(8).unwrap(), Instr::Nop);
+        // Second fetch comes from the cache.
+        assert_eq!(m.fetch(8).unwrap(), Instr::Nop);
+    }
+
+    #[test]
+    fn store_invalidates_decode_cache() {
+        let mut m = Memory::new(64);
+        m.write_u32(8, encode(&Instr::Nop)).unwrap();
+        assert_eq!(m.fetch(8).unwrap(), Instr::Nop);
+        m.write_u32(8, encode(&Instr::Halt)).unwrap();
+        assert_eq!(m.fetch(8).unwrap(), Instr::Halt, "stale decode after store");
+    }
+
+    #[test]
+    fn byte_store_invalidates_containing_word() {
+        let mut m = Memory::new(64);
+        m.write_u32(8, encode(&Instr::Push { rs: Reg::R1 })).unwrap();
+        m.fetch(8).unwrap();
+        // Rewrite the opcode byte (little-endian: opcode is byte 3).
+        m.write_u8(11, 0x51).unwrap(); // HALT opcode
+        assert_eq!(m.fetch(8).unwrap(), Instr::Halt);
+    }
+
+    #[test]
+    fn unaligned_pc_rejected() {
+        let mut m = Memory::new(64);
+        assert_eq!(m.fetch(2), Err(MachineError::UnalignedPc { pc: 2 }));
+    }
+
+    #[test]
+    fn invalid_word_reports_decode_error() {
+        let mut m = Memory::new(64);
+        m.write_u32(0, 0xFF00_0000).unwrap();
+        match m.fetch(0) {
+            Err(MachineError::Decode { pc: 0, .. }) => {}
+            other => panic!("expected decode error, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Observer combinators and debugging observers.
+//!
+//! [`Machine::run`](crate::Machine::run) takes a single observer; these
+//! utilities compose several (e.g. an architecture cost model *and* a
+//! trace recorder) and capture recent execution for post-mortem debugging.
+
+use std::collections::VecDeque;
+
+use crate::{ExecutionObserver, RetireEvent};
+
+/// Runs two observers on every retired instruction.
+///
+/// Chains nest: `Chain::new(a, Chain::new(b, c))` observes with all three.
+///
+/// ```
+/// use strata_machine::{observers::Chain, ExecutionObserver, InstrCounter};
+/// let mut chained = Chain::new(InstrCounter::default(), InstrCounter::default());
+/// assert_eq!(chained.first().retired(), 0);
+/// ```
+#[derive(Debug)]
+pub struct Chain<A, B> {
+    first: A,
+    second: B,
+}
+
+impl<A: ExecutionObserver, B: ExecutionObserver> Chain<A, B> {
+    /// Combines two observers.
+    pub fn new(first: A, second: B) -> Chain<A, B> {
+        Chain { first, second }
+    }
+
+    /// The first observer.
+    pub fn first(&self) -> &A {
+        &self.first
+    }
+
+    /// The second observer.
+    pub fn second(&self) -> &B {
+        &self.second
+    }
+
+    /// Splits the chain back into its parts.
+    pub fn into_inner(self) -> (A, B) {
+        (self.first, self.second)
+    }
+}
+
+impl<A: ExecutionObserver, B: ExecutionObserver> ExecutionObserver for Chain<A, B> {
+    #[inline]
+    fn on_retire(&mut self, event: &RetireEvent) {
+        self.first.on_retire(event);
+        self.second.on_retire(event);
+    }
+}
+
+/// Records the last `capacity` retired instructions in a ring buffer — a
+/// flight recorder for "how did we get here?" debugging of guest crashes.
+///
+/// ```
+/// use strata_machine::observers::TraceRecorder;
+/// let recorder = TraceRecorder::new(64);
+/// assert_eq!(recorder.events().count(), 0);
+/// ```
+#[derive(Debug)]
+pub struct TraceRecorder {
+    ring: VecDeque<RetireEvent>,
+    capacity: usize,
+    total: u64,
+}
+
+impl TraceRecorder {
+    /// Creates a recorder keeping the most recent `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> TraceRecorder {
+        assert!(capacity > 0, "trace capacity must be nonzero");
+        TraceRecorder { ring: VecDeque::with_capacity(capacity), capacity, total: 0 }
+    }
+
+    /// The recorded events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &RetireEvent> {
+        self.ring.iter()
+    }
+
+    /// Total instructions observed (including those evicted from the
+    /// ring).
+    pub fn total_observed(&self) -> u64 {
+        self.total
+    }
+
+    /// Renders the recorded tail as disassembly, one line per event.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        for ev in &self.ring {
+            s.push_str(&format!("{:#010x}  {}", ev.pc, ev.instr));
+            if ev.control.taken {
+                s.push_str(&format!("  -> {:#x}", ev.control.target));
+            }
+            s.push('\n');
+        }
+        s
+    }
+}
+
+impl ExecutionObserver for TraceRecorder {
+    #[inline]
+    fn on_retire(&mut self, event: &RetireEvent) {
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(*event);
+        self.total += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{layout, InstrCounter, Machine, StepOutcome};
+    use strata_asm::assemble;
+
+    fn run_with<O: ExecutionObserver>(obs: &mut O) {
+        let code = assemble(
+            layout::APP_BASE,
+            "li r1, 3\ntop:\naddi r1, r1, -1\ncmpi r1, 0\nbne top\nhalt\n",
+        )
+        .unwrap();
+        let mut m = Machine::new(layout::DEFAULT_MEM_BYTES);
+        m.write_code(layout::APP_BASE, &code).unwrap();
+        m.cpu_mut().pc = layout::APP_BASE;
+        assert_eq!(m.run(obs, 1000).unwrap(), StepOutcome::Halted);
+    }
+
+    #[test]
+    fn chain_delivers_to_both() {
+        let mut chained = Chain::new(InstrCounter::default(), InstrCounter::default());
+        run_with(&mut chained);
+        let (a, b) = chained.into_inner();
+        assert_eq!(a.retired(), b.retired());
+        assert!(a.retired() > 0);
+    }
+
+    #[test]
+    fn recorder_keeps_only_the_tail() {
+        let mut rec = TraceRecorder::new(8);
+        run_with(&mut rec);
+        assert_eq!(rec.events().count(), 8);
+        assert!(rec.total_observed() > 8);
+        // The final event is the halt.
+        let last = rec.events().last().unwrap();
+        assert_eq!(last.instr, strata_isa::Instr::Halt);
+        let text = rec.render();
+        assert!(text.contains("halt"));
+        assert!(text.contains("->"), "taken branches show their target");
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_capacity_rejected() {
+        TraceRecorder::new(0);
+    }
+}

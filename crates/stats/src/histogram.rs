@@ -1,0 +1,125 @@
+/// A growable histogram over small non-negative integer samples.
+///
+/// Used for distributions like sieve probe-chain lengths and IBTC probe
+/// counts, where the interesting statistics are the mean and the tail.
+///
+/// ```
+/// use strata_stats::Histogram;
+/// let mut h = Histogram::new();
+/// h.record(1);
+/// h.record(1);
+/// h.record(4);
+/// assert_eq!(h.count(), 3);
+/// assert_eq!(h.mean(), 2.0);
+/// assert_eq!(h.max(), Some(4));
+/// assert_eq!(h.percentile(50.0), Some(1));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: usize) {
+        if value >= self.buckets.len() {
+            self.buckets.resize(value + 1, 0);
+        }
+        self.buckets[value] += 1;
+        self.count += 1;
+        self.sum += value as u64;
+    }
+
+    /// Total number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean sample value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> Option<usize> {
+        self.buckets.iter().rposition(|&c| c > 0)
+    }
+
+    /// The smallest value `v` such that at least `p` percent of samples are
+    /// `<= v`; `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `0.0..=100.0`.
+    pub fn percentile(&self, p: f64) -> Option<usize> {
+        assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+        if self.count == 0 {
+            return None;
+        }
+        let threshold = (p / 100.0 * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (value, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= threshold {
+                return Some(value);
+            }
+        }
+        self.max()
+    }
+
+    /// Iterates over `(value, count)` pairs with nonzero counts.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.buckets.iter().copied().enumerate().filter(|&(_, c)| c > 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.percentile(99.0), None);
+    }
+
+    #[test]
+    fn percentiles() {
+        let mut h = Histogram::new();
+        for v in [0, 0, 0, 0, 0, 0, 0, 0, 0, 10] {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(90.0), Some(0));
+        assert_eq!(h.percentile(100.0), Some(10));
+        assert_eq!(h.percentile(0.0), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_percentile_panics() {
+        Histogram::new().percentile(101.0);
+    }
+
+    #[test]
+    fn iter_skips_zeros() {
+        let mut h = Histogram::new();
+        h.record(2);
+        h.record(5);
+        let pairs: Vec<_> = h.iter().collect();
+        assert_eq!(pairs, vec![(2, 1), (5, 1)]);
+    }
+}

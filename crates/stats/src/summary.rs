@@ -1,0 +1,92 @@
+/// Geometric mean of a sequence of positive values.
+///
+/// The SPEC convention for summarizing per-benchmark slowdowns. Values that
+/// are zero or negative are ignored (they would make the geometric mean
+/// undefined); an empty input yields `None`.
+///
+/// ```
+/// use strata_stats::geomean;
+/// let g = geomean([2.0, 8.0]).unwrap();
+/// assert!((g - 4.0).abs() < 1e-12);
+/// assert_eq!(geomean::<[f64; 0]>([]), None);
+/// ```
+pub fn geomean<I>(values: I) -> Option<f64>
+where
+    I: IntoIterator<Item = f64>,
+{
+    let mut log_sum = 0.0;
+    let mut n = 0u32;
+    for v in values {
+        if v > 0.0 {
+            log_sum += v.ln();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        None
+    } else {
+        Some((log_sum / n as f64).exp())
+    }
+}
+
+/// Arithmetic mean; `None` for empty input.
+///
+/// ```
+/// use strata_stats::mean;
+/// assert_eq!(mean([1.0, 2.0, 3.0]), Some(2.0));
+/// ```
+pub fn mean<I>(values: I) -> Option<f64>
+where
+    I: IntoIterator<Item = f64>,
+{
+    let mut sum = 0.0;
+    let mut n = 0u32;
+    for v in values {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        None
+    } else {
+        Some(sum / n as f64)
+    }
+}
+
+/// Safe ratio of two counters: `num / den`, or 0.0 when `den` is zero.
+///
+/// ```
+/// use strata_stats::ratio;
+/// assert_eq!(ratio(3, 4), 0.75);
+/// assert_eq!(ratio(3, 0), 0.0);
+/// ```
+pub fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_is_scale_invariant() {
+        let a = geomean([1.0, 2.0, 4.0]).unwrap();
+        let b = geomean([10.0, 20.0, 40.0]).unwrap();
+        assert!((b / a - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn geomean_skips_nonpositive() {
+        assert_eq!(geomean([0.0, -1.0]), None);
+        let g = geomean([0.0, 4.0]).unwrap();
+        assert!((g - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_empty() {
+        assert_eq!(mean::<[f64; 0]>([]), None);
+    }
+}

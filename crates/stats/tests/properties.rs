@@ -1,0 +1,66 @@
+//! Property tests for the statistics toolkit.
+
+use proptest::prelude::*;
+use strata_stats::{geomean, mean, ratio, Histogram, Table};
+
+proptest! {
+    #[test]
+    fn geomean_is_bounded_by_min_and_max(values in prop::collection::vec(0.001f64..1e6, 1..50)) {
+        let g = geomean(values.iter().copied()).expect("nonempty positive input");
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(0.0f64, f64::max);
+        prop_assert!(g >= min * 0.999_999 && g <= max * 1.000_001, "{min} <= {g} <= {max}");
+    }
+
+    #[test]
+    fn geomean_of_constant_is_constant(v in 0.01f64..1e4, n in 1usize..20) {
+        let g = geomean(std::iter::repeat(v).take(n)).unwrap();
+        prop_assert!((g - v).abs() / v < 1e-9);
+    }
+
+    #[test]
+    fn mean_bounded(values in prop::collection::vec(-1e6f64..1e6, 1..50)) {
+        let m = mean(values.iter().copied()).unwrap();
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(m >= min - 1e-6 && m <= max + 1e-6);
+    }
+
+    #[test]
+    fn ratio_never_nan(n in any::<u64>(), d in any::<u64>()) {
+        let r = ratio(n, d);
+        prop_assert!(!r.is_nan());
+    }
+
+    #[test]
+    fn histogram_percentiles_are_monotone(samples in prop::collection::vec(0usize..64, 1..200)) {
+        let mut h = Histogram::new();
+        for s in &samples {
+            h.record(*s);
+        }
+        let mut last = 0usize;
+        for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
+            let v = h.percentile(p).expect("nonempty");
+            prop_assert!(v >= last, "percentile({p}) = {v} < {last}");
+            last = v;
+        }
+        prop_assert_eq!(h.percentile(100.0), h.max());
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        let expected_mean = samples.iter().sum::<usize>() as f64 / samples.len() as f64;
+        prop_assert!((h.mean() - expected_mean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_csv_has_one_line_per_row(
+        rows in prop::collection::vec(prop::collection::vec("[a-z0-9,\"]{0,8}", 2..=2), 0..20),
+    ) {
+        let mut t = Table::new("p", &["a", "b"]);
+        for row in &rows {
+            t.row(row.clone());
+        }
+        let csv = t.render_csv();
+        // Header + one line per row; quoted cells never add raw newlines.
+        prop_assert_eq!(csv.lines().count(), rows.len() + 1);
+        prop_assert_eq!(t.len(), rows.len());
+    }
+}

@@ -1,0 +1,90 @@
+//! A functional (cost-model-free) reference runner used by workload tests
+//! and by consumers that only need checksums and dynamic branch profiles.
+
+use strata_isa::ControlKind;
+use strata_machine::syscall::{SyscallState, SDT_TRAP_BASE};
+use strata_machine::{
+    layout, ExecutionObserver, Machine, MachineError, Program, RetireEvent, StepOutcome,
+};
+
+/// Result of a reference run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RefRun {
+    /// Syscall checksum.
+    pub checksum: u32,
+    /// Retired instructions.
+    pub instructions: u64,
+    /// Dynamic indirect jumps (`jr`/`jmem`).
+    pub indirect_jumps: u64,
+    /// Dynamic indirect calls.
+    pub indirect_calls: u64,
+    /// Dynamic returns.
+    pub returns: u64,
+    /// Dynamic direct calls.
+    pub direct_calls: u64,
+}
+
+impl RefRun {
+    /// All indirect branches (jumps + calls + returns).
+    pub fn indirect_branches(&self) -> u64 {
+        self.indirect_jumps + self.indirect_calls + self.returns
+    }
+}
+
+#[derive(Default)]
+struct Profile {
+    instructions: u64,
+    indirect_jumps: u64,
+    indirect_calls: u64,
+    returns: u64,
+    direct_calls: u64,
+}
+
+impl ExecutionObserver for Profile {
+    #[inline]
+    fn on_retire(&mut self, ev: &RetireEvent) {
+        self.instructions += 1;
+        match ev.control.kind {
+            ControlKind::Indirect => self.indirect_jumps += 1,
+            ControlKind::Call if ev.control.indirect => self.indirect_calls += 1,
+            ControlKind::Call => self.direct_calls += 1,
+            ControlKind::Return => self.returns += 1,
+            _ => {}
+        }
+    }
+}
+
+/// Runs `program` natively with no cost model, collecting its dynamic
+/// branch profile.
+///
+/// # Errors
+///
+/// Propagates machine faults; fuel exhaustion surfaces as
+/// [`MachineError::OutOfFuel`].
+pub fn run(program: &Program, fuel: u64) -> Result<RefRun, MachineError> {
+    let mut machine = Machine::new(layout::DEFAULT_MEM_BYTES);
+    program.load(&mut machine)?;
+    let mut syscalls = SyscallState::new();
+    let mut profile = Profile::default();
+    let mut used = 0u64;
+    loop {
+        let before = profile.instructions;
+        match machine.run(&mut profile, fuel.saturating_sub(used))? {
+            StepOutcome::Halted => break,
+            StepOutcome::Trap(code) => {
+                debug_assert!(code < SDT_TRAP_BASE, "workloads must not use SDT traps");
+                syscalls.handle(code, &machine);
+            }
+            StepOutcome::Running => unreachable!(),
+        }
+        used += profile.instructions - before;
+    }
+    Ok(RefRun {
+        checksum: syscalls.checksum(),
+        instructions: profile.instructions,
+        indirect_jumps: profile.indirect_jumps,
+        indirect_calls: profile.indirect_calls,
+        returns: profile.returns,
+        direct_calls: profile.direct_calls,
+    })
+}

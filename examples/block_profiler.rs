@@ -1,0 +1,61 @@
+//! Block profiler: the SDT as an instrumentation platform. Enabling
+//! `instrument_blocks` makes the translator inject an execution counter at
+//! the top of every fragment; the counting code is real guest
+//! instructions, so this example also reports what the instrumentation
+//! itself cost — the question any SDT-based tool user asks first.
+//!
+//! ```text
+//! cargo run --release --example block_profiler [workload]
+//! ```
+
+use strata_lab::arch::ArchProfile;
+use strata_lab::core::{Origin, Sdt, SdtConfig};
+use strata_lab::stats::Table;
+use strata_lab::workloads::{by_name, Params};
+
+const FUEL: u64 = 2_000_000_000;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "gcc".to_string());
+    let spec = by_name(&name).unwrap_or_else(|| {
+        eprintln!("unknown workload `{name}`; try: gcc, perlbmk, crafty, ...");
+        std::process::exit(2);
+    });
+    let program = (spec.build)(&Params::default());
+    let profile = ArchProfile::x86_like();
+
+    // Uninstrumented run for the overhead comparison.
+    let plain = Sdt::new(SdtConfig::ibtc_inline(4096), &program)?.run(profile.clone(), FUEL)?;
+
+    // Instrumented run.
+    let mut cfg = SdtConfig::ibtc_inline(4096);
+    cfg.instrument_blocks = true;
+    let mut sdt = Sdt::new(cfg, &program)?;
+    let report = sdt.run(profile, FUEL)?;
+    assert_eq!(report.checksum, plain.checksum, "instrumentation must be transparent");
+
+    let blocks = sdt.block_profile();
+    let total_execs: u64 = blocks.iter().map(|&(_, c)| c).sum();
+    let mut t = Table::new(
+        format!("hottest basic blocks in `{name}` ({} blocks, {} executions)", blocks.len(), total_execs),
+        &["app address", "executions", "share"],
+    );
+    for &(addr, count) in blocks.iter().take(12) {
+        t.row([
+            format!("{addr:#x}"),
+            count.to_string(),
+            format!("{:.1}%", count as f64 * 100.0 / total_execs as f64),
+        ]);
+    }
+    println!("{}", t.render_text());
+
+    let overhead = report.total_cycles as f64 / plain.total_cycles as f64 - 1.0;
+    println!(
+        "instrumentation overhead: {:+.1}% total cycles ({} cycles attributed to counters)",
+        overhead * 100.0,
+        report.cycles_for(Origin::Instrumentation),
+    );
+    println!("Every count was collected by emitted guest code — the same path a");
+    println!("production SDT-based profiler (the paper's motivating use case) takes.");
+    Ok(())
+}

@@ -1,0 +1,51 @@
+//! Interpreter showdown: the `perlbmk` stand-in (a bytecode interpreter,
+//! the worst case for SDT indirect-branch handling) under every major
+//! mechanism, on two architecture profiles.
+//!
+//! ```text
+//! cargo run --release --example interpreter_showdown
+//! ```
+
+use strata_lab::arch::ArchProfile;
+use strata_lab::core::{run_native, RetMechanism, Sdt, SdtConfig};
+use strata_lab::stats::Table;
+use strata_lab::workloads::{by_name, Params};
+
+const FUEL: u64 = 2_000_000_000;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = (by_name("perlbmk").expect("registered").build)(&Params::default());
+
+    let mut fast = SdtConfig::ibtc_inline(4096);
+    fast.ret = RetMechanism::FastReturn;
+    let configs = [
+        ("translator re-entry", SdtConfig::reentry()),
+        ("IBTC out-of-line 4096", SdtConfig::ibtc_out_of_line(4096)),
+        ("IBTC inline 4096", SdtConfig::ibtc_inline(4096)),
+        ("sieve 4096", SdtConfig::sieve(4096)),
+        ("IBTC + return cache", SdtConfig::tuned(4096, 1024)),
+        ("IBTC + fast returns", fast),
+    ];
+
+    let mut table = Table::new(
+        "perlbmk (bytecode interpreter) under every mechanism",
+        &["mechanism", "x86-like", "sparc-like"],
+    );
+    for (label, cfg) in configs {
+        let mut row = vec![label.to_string()];
+        for profile in [ArchProfile::x86_like(), ArchProfile::sparc_like()] {
+            let native = run_native(&program, profile.clone(), FUEL)?;
+            let mut sdt = Sdt::new(cfg, &program)?;
+            let report = sdt.run(profile, FUEL)?;
+            assert_eq!(report.checksum, native.checksum);
+            row.push(format!("{:.2}x", report.slowdown(native.total_cycles)));
+        }
+        table.row(row);
+    }
+    println!("{}", table.render_text());
+    println!("An interpreter executes one indirect jump per bytecode, so the gap");
+    println!("between re-entry and any in-cache mechanism is enormous — and the");
+    println!("relative ranking of the in-cache mechanisms shifts with the");
+    println!("architecture profile, the paper's cross-architecture finding.");
+    Ok(())
+}

@@ -1,0 +1,63 @@
+//! Transparency demo: fast returns push *translated* return addresses, so
+//! a program that inspects its own stack observes fragment-cache
+//! addresses instead of its own. The return cache keeps application
+//! addresses on the stack and stays transparent. This is the exact
+//! trade-off the paper calls out when recommending fast returns only
+//! where transparency can be relinquished.
+//!
+//! ```text
+//! cargo run --release --example transparency
+//! ```
+
+use strata_lab::arch::ArchProfile;
+use strata_lab::asm::assemble;
+use strata_lab::core::{run_native, RetMechanism, Sdt, SdtConfig};
+use strata_lab::machine::{layout, Program};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The function `snoop` reads its own return address off the stack and
+    // folds it into the checksum — introspection that only works if the
+    // SDT keeps application addresses on the application stack.
+    let src = r"
+        call snoop
+        call snoop
+        halt
+    snoop:
+        lw r4, 0(sp)        ; read my own return address
+        trap 0x1            ; checksum it
+        ret
+    ";
+    let program = Program::new("snoop", assemble(layout::APP_BASE, src)?, Vec::new());
+    let profile = ArchProfile::x86_like();
+    let native = run_native(&program, profile.clone(), 100_000)?;
+    println!("native checksum                : {:#010x}", native.checksum);
+
+    let mut rc = SdtConfig::ibtc_inline(256);
+    rc.ret = RetMechanism::ReturnCache { entries: 64 };
+    let rc_report = Sdt::new(rc, &program)?.run(profile.clone(), 1_000_000)?;
+    println!(
+        "return cache checksum          : {:#010x}  (transparent: {})",
+        rc_report.checksum,
+        rc_report.checksum == native.checksum
+    );
+    assert_eq!(rc_report.checksum, native.checksum);
+
+    let mut fast = SdtConfig::ibtc_inline(256);
+    fast.ret = RetMechanism::FastReturn;
+    let fast_report = Sdt::new(fast, &program)?.run(profile, 1_000_000)?;
+    println!(
+        "fast returns checksum          : {:#010x}  (transparent: {})",
+        fast_report.checksum,
+        fast_report.checksum == native.checksum
+    );
+    assert_ne!(
+        fast_report.checksum, native.checksum,
+        "fast returns must expose fragment-cache addresses to this program"
+    );
+
+    println!("\nThe fast-return run produced a different checksum because `snoop`");
+    println!("observed a fragment-cache address (≥ {:#x}) where it expected its", layout::CACHE_BASE);
+    println!("application return address — the transparency violation that makes");
+    println!("fast returns unsafe for programs that inspect their own stacks.");
+    Ok(())
+}

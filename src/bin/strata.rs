@@ -1,0 +1,182 @@
+//! `strata` — command-line driver for the SDT laboratory.
+//!
+//! ```text
+//! strata list
+//! strata run <workload> [--config <spec>] [--arch <name>] [--scale N]
+//!            [--instrument] [--cache-limit BYTES] [--dump-cache N]
+//! strata compare <workload> [--arch <name>] [--scale N]
+//! ```
+//!
+//! Config specs mirror `SdtConfig::describe()` loosely:
+//! `reentry`, `ibtc:<entries>`, `ibtc-outline:<entries>`,
+//! `ibtc-persite:<entries>`, `sieve:<buckets>`, `tuned:<ibtc>,<rc>`,
+//! `fastret:<ibtc>`, `shadow:<ibtc>,<depth>`; append `+noflags` or `+nolink`.
+
+use std::process::ExitCode;
+
+use strata_lab::arch::ArchProfile;
+use strata_lab::cli::{parse_config, parse_flag};
+use strata_lab::core::{run_native, Origin, RetMechanism, Sdt, SdtConfig};
+use strata_lab::stats::Table;
+use strata_lab::workloads::{by_name, registry, Params};
+
+const FUEL: u64 = 8_000_000_000;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            list();
+            ExitCode::SUCCESS
+        }
+        Some("run") => dispatch(run_cmd(&args[1..])),
+        Some("compare") => dispatch(compare_cmd(&args[1..])),
+        _ => {
+            eprintln!(
+                "usage: strata <list|run|compare> ...\n\
+                 \n\
+                 strata list\n\
+                 strata run <workload> [--config SPEC] [--arch x86|sparc|mips]\n\
+                 \x20          [--scale N] [--instrument] [--cache-limit BYTES] [--dump-cache N]\n\
+                 strata compare <workload> [--arch NAME] [--scale N]\n\
+                 \n\
+                 config SPECs: reentry | ibtc:4096 | ibtc-outline:4096 | ibtc-persite:64\n\
+                 \x20             | sieve:4096 | tuned:4096,1024 | fastret:4096\n\
+                 \x20             | shadow:4096,1024  (+noflags, +nolink)"
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn dispatch(result: Result<(), String>) -> ExitCode {
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn list() {
+    let mut t = Table::new("available workloads", &["name", "models", "summary"]);
+    for spec in registry() {
+        t.row([spec.name, "SPEC CINT2000", spec.summary]);
+    }
+    println!("{}", t.render_text());
+}
+
+struct CommonArgs {
+    workload: &'static strata_lab::workloads::Spec,
+    profile: ArchProfile,
+    params: Params,
+}
+
+fn parse_common(args: &[String]) -> Result<CommonArgs, String> {
+    let name = args.first().ok_or("missing workload name (try `strata list`)")?;
+    let workload =
+        by_name(name).ok_or_else(|| format!("unknown workload `{name}` (try `strata list`)"))?;
+    let profile = match parse_flag(args, "--arch").as_deref() {
+        None | Some("x86") => ArchProfile::x86_like(),
+        Some("sparc") => ArchProfile::sparc_like(),
+        Some("mips") => ArchProfile::mips_like(),
+        Some(other) => return Err(format!("unknown arch `{other}` (x86|sparc|mips)")),
+    };
+    let scale = match parse_flag(args, "--scale") {
+        Some(s) => s.parse().map_err(|_| format!("bad --scale `{s}`"))?,
+        None => 1,
+    };
+    let variant = match parse_flag(args, "--variant") {
+        Some(v) => v.parse().map_err(|_| format!("bad --variant `{v}`"))?,
+        None => 0,
+    };
+    Ok(CommonArgs { workload, profile, params: Params { scale, variant } })
+}
+
+fn run_cmd(args: &[String]) -> Result<(), String> {
+    let common = parse_common(args)?;
+    let mut cfg = match parse_flag(args, "--config") {
+        Some(spec) => parse_config(&spec)?,
+        None => SdtConfig::ibtc_inline(4096),
+    };
+    if args.iter().any(|a| a == "--instrument") {
+        cfg.instrument_blocks = true;
+    }
+    if let Some(limit) = parse_flag(args, "--cache-limit") {
+        cfg.cache_limit = Some(limit.parse().map_err(|_| format!("bad --cache-limit `{limit}`"))?);
+    }
+
+    let program = (common.workload.build)(&common.params);
+    let native = run_native(&program, common.profile.clone(), FUEL).map_err(|e| e.to_string())?;
+    let mut sdt = Sdt::new(cfg, &program).map_err(|e| e.to_string())?;
+    let report = sdt.run(common.profile, FUEL).map_err(|e| e.to_string())?;
+
+    let pct = |c: u64| format!("{:.1}%", c as f64 * 100.0 / report.total_cycles as f64);
+    let mut t = Table::new(
+        format!("{} under {} on {}", program.name, report.config, report.arch),
+        &["metric", "value"],
+    );
+    t.row(["slowdown vs native", &format!("{:.3}x", report.slowdown(native.total_cycles))]);
+    t.row(["total cycles", &report.total_cycles.to_string()]);
+    t.row(["native cycles", &native.total_cycles.to_string()]);
+    t.row(["guest instructions", &report.instructions.to_string()]);
+    for origin in Origin::ALL {
+        t.row([&format!("cycles: {}", origin.label()), &pct(report.cycles_for(origin))]);
+    }
+    t.row(["cycles: translator", &pct(report.translator_cycles)]);
+    t.row(["IB dispatches", &report.mech.ib_dispatches.to_string()]);
+    t.row(["IB hit rate", &format!("{:.2}%", report.mech.ib_hit_rate() * 100.0)]);
+    t.row(["ret dispatches", &report.mech.ret_dispatches.to_string()]);
+    t.row(["fragments", &report.mech.fragments.to_string()]);
+    t.row(["cache bytes", &report.mech.cache_used_bytes.to_string()]);
+    t.row(["cache flushes", &report.mech.cache_flushes.to_string()]);
+    println!("{}", t.render_text());
+
+    if cfg.instrument_blocks {
+        let blocks = sdt.block_profile();
+        let mut bt = Table::new("hottest blocks", &["app address", "executions"]);
+        for &(addr, count) in blocks.iter().take(8) {
+            bt.row([format!("{addr:#x}"), count.to_string()]);
+        }
+        println!("{}", bt.render_text());
+    }
+    if let Some(n) = parse_flag(args, "--dump-cache") {
+        let n: usize = n.parse().map_err(|_| format!("bad --dump-cache `{n}`"))?;
+        print!("{}", sdt.dump_cache(n));
+    }
+    Ok(())
+}
+
+fn compare_cmd(args: &[String]) -> Result<(), String> {
+    let common = parse_common(args)?;
+    let program = (common.workload.build)(&common.params);
+    let native = run_native(&program, common.profile.clone(), FUEL).map_err(|e| e.to_string())?;
+
+    let mut fast = SdtConfig::ibtc_inline(4096);
+    fast.ret = RetMechanism::FastReturn;
+    let configs = [
+        SdtConfig::reentry(),
+        SdtConfig::ibtc_out_of_line(4096),
+        SdtConfig::ibtc_inline(4096),
+        SdtConfig::sieve(4096),
+        SdtConfig::tuned(4096, 1024),
+        fast,
+    ];
+    let mut t = Table::new(
+        format!("{} on {}: all mechanisms", program.name, common.profile.name),
+        &["configuration", "slowdown", "IB hit rate"],
+    );
+    for cfg in configs {
+        let report = Sdt::new(cfg, &program)
+            .and_then(|mut s| s.run(common.profile.clone(), FUEL))
+            .map_err(|e| e.to_string())?;
+        t.row([
+            report.config.clone(),
+            format!("{:.3}x", report.slowdown(native.total_cycles)),
+            format!("{:.2}%", report.mech.ib_hit_rate() * 100.0),
+        ]);
+    }
+    println!("{}", t.render_text());
+    Ok(())
+}

@@ -1,0 +1,125 @@
+//! Parsing helpers for the `strata` command-line driver, kept in the
+//! library so they are unit-testable.
+
+use strata_core::{FlagsPolicy, IbMechanism, IbtcPlacement, IbtcScope, RetMechanism, SdtConfig};
+
+/// Returns the value following `flag` in `args`, if present.
+pub fn parse_flag(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+}
+
+/// Parses a CLI configuration spec into an [`SdtConfig`].
+///
+/// Specs: `reentry`, `ibtc:<entries>`, `ibtc-outline:<entries>`,
+/// `ibtc-persite:<entries>`, `sieve:<buckets>`, `tuned:<ibtc>,<rc>`,
+/// `fastret:<ibtc>`, `shadow:<ibtc>,<depth>`, with optional `+noflags` /
+/// `+nolink` modifiers.
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown kinds, malformed sizes, and
+/// unknown modifiers. (Range validation happens later in
+/// [`SdtConfig::validate`].)
+pub fn parse_config(spec: &str) -> Result<SdtConfig, String> {
+    let mut parts = spec.split('+');
+    let head = parts.next().unwrap_or_default();
+    let (kind, sizes) = match head.split_once(':') {
+        Some((k, s)) => (k, s),
+        None => (head, ""),
+    };
+    let size = |s: &str| -> Result<u32, String> {
+        s.parse().map_err(|_| format!("bad size `{s}` in config `{spec}`"))
+    };
+    let mut cfg = match kind {
+        "reentry" => SdtConfig::reentry(),
+        "ibtc" => SdtConfig::ibtc_inline(size(sizes)?),
+        "ibtc-outline" => SdtConfig::ibtc_out_of_line(size(sizes)?),
+        "ibtc-persite" => SdtConfig {
+            ib: IbMechanism::Ibtc {
+                entries: size(sizes)?,
+                scope: IbtcScope::PerSite,
+                placement: IbtcPlacement::Inline,
+            },
+            ..SdtConfig::ibtc_inline(64)
+        },
+        "sieve" => SdtConfig::sieve(size(sizes)?),
+        "tuned" => {
+            let (a, b) = sizes
+                .split_once(',')
+                .ok_or_else(|| format!("tuned needs `<ibtc>,<rc>`, got `{sizes}`"))?;
+            SdtConfig::tuned(size(a)?, size(b)?)
+        }
+        "fastret" => {
+            let mut c = SdtConfig::ibtc_inline(size(sizes)?);
+            c.ret = RetMechanism::FastReturn;
+            c
+        }
+        "shadow" => {
+            let (a, b) = sizes
+                .split_once(',')
+                .ok_or_else(|| format!("shadow needs `<ibtc>,<depth>`, got `{sizes}`"))?;
+            let mut c = SdtConfig::ibtc_inline(size(a)?);
+            c.ret = RetMechanism::ShadowStack { depth: size(b)? };
+            c
+        }
+        other => return Err(format!("unknown config kind `{other}`")),
+    };
+    for modifier in parts {
+        match modifier {
+            "noflags" => cfg.flags = FlagsPolicy::None,
+            "nolink" => cfg.link_fragments = false,
+            other => return Err(format!("unknown config modifier `+{other}`")),
+        }
+    }
+    Ok(cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_roundtrip_through_describe() {
+        for (spec, described) in [
+            ("reentry", "reentry"),
+            ("ibtc:4096", "ibtc(4096,shared,inline)"),
+            ("ibtc-outline:256", "ibtc(256,shared,outline)"),
+            ("ibtc-persite:64", "ibtc(64,per-site,inline)"),
+            ("sieve:1024", "sieve(1024)"),
+            ("tuned:4096,512", "ibtc(4096,shared,inline)+rc(512)"),
+            ("fastret:256", "ibtc(256,shared,inline)+fastret"),
+            ("shadow:256,64", "ibtc(256,shared,inline)+shadow(64)"),
+            ("sieve:64+noflags+nolink", "sieve(64)+noflags+nolink"),
+        ] {
+            let cfg = parse_config(spec).unwrap_or_else(|e| panic!("{spec}: {e}"));
+            assert_eq!(cfg.describe(), described, "{spec}");
+            assert!(cfg.validate().is_ok(), "{spec}");
+        }
+    }
+
+    #[test]
+    fn malformed_specs_rejected() {
+        for bad in [
+            "frob",
+            "ibtc:abc",
+            "tuned:4096",
+            "shadow:256",
+            "ibtc:256+wat",
+            "",
+        ] {
+            assert!(parse_config(bad).is_err(), "`{bad}` must be rejected");
+        }
+    }
+
+    #[test]
+    fn flag_parsing() {
+        let args: Vec<String> =
+            ["gcc", "--arch", "sparc", "--scale", "2"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(parse_flag(&args, "--arch").as_deref(), Some("sparc"));
+        assert_eq!(parse_flag(&args, "--scale").as_deref(), Some("2"));
+        assert_eq!(parse_flag(&args, "--missing"), None);
+        // A trailing flag with no value yields None rather than panicking.
+        let args = vec!["--arch".to_string()];
+        assert_eq!(parse_flag(&args, "--arch"), None);
+    }
+}

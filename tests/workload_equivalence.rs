@@ -1,0 +1,87 @@
+//! End-to-end: every SPEC stand-in workload produces bit-identical
+//! observable results under translation, for a representative set of
+//! mechanism configurations.
+
+use strata_arch::ArchProfile;
+use strata_core::{run_native, RetMechanism, Sdt, SdtConfig};
+use strata_workloads::{registry, Params};
+
+const FUEL: u64 = 400_000_000;
+
+fn configs() -> Vec<SdtConfig> {
+    let mut fast = SdtConfig::ibtc_inline(1024);
+    fast.ret = RetMechanism::FastReturn;
+    vec![
+        SdtConfig::ibtc_inline(1024),
+        SdtConfig::sieve(1024),
+        SdtConfig::tuned(1024, 512),
+        fast,
+    ]
+}
+
+#[test]
+fn all_workloads_translate_correctly() {
+    let params = Params::default();
+    for spec in registry() {
+        let program = (spec.build)(&params);
+        let native = run_native(&program, ArchProfile::x86_like(), FUEL)
+            .unwrap_or_else(|e| panic!("[{}] native run failed: {e}", spec.name));
+        assert!(native.instructions > 100_000, "[{}] workload too small", spec.name);
+
+        for cfg in configs() {
+            let mut sdt = Sdt::new(cfg, &program).expect("sdt constructs");
+            let report = sdt
+                .run(ArchProfile::x86_like(), FUEL)
+                .unwrap_or_else(|e| panic!("[{}] {} failed: {e}", spec.name, cfg.describe()));
+            assert_eq!(
+                report.checksum, native.checksum,
+                "[{}] checksum mismatch under {}",
+                spec.name,
+                cfg.describe()
+            );
+            assert!(
+                report.total_cycles > native.total_cycles,
+                "[{}] {}: SDT cannot beat native",
+                spec.name,
+                cfg.describe()
+            );
+            // The app did the same amount of real work. Control transfers
+            // (jmp/call/jr/ret) are *replaced* by trampolines and dispatch
+            // sequences rather than copied, so the app-origin count sits
+            // slightly below the native count but never above it.
+            assert!(
+                report.instrs_by_origin[0] <= native.instructions,
+                "[{}] {}: more app instructions than native?",
+                spec.name,
+                cfg.describe()
+            );
+            assert!(
+                report.instrs_by_origin[0] >= native.instructions * 3 / 4,
+                "[{}] {}: translated app instructions vanished ({} vs {})",
+                spec.name,
+                cfg.describe(),
+                report.instrs_by_origin[0],
+                native.instructions
+            );
+        }
+    }
+}
+
+#[test]
+fn ib_heavy_workloads_visit_the_dispatch_path() {
+    let params = Params::default();
+    for name in ["perlbmk", "eon", "gcc"] {
+        let program = (strata_workloads::by_name(name).unwrap().build)(&params);
+        let native = run_native(&program, ArchProfile::x86_like(), FUEL).unwrap();
+        let mut sdt = Sdt::new(SdtConfig::ibtc_inline(4096), &program).unwrap();
+        let report = sdt.run(ArchProfile::x86_like(), FUEL).unwrap();
+        let expected = native.indirect_jumps + native.indirect_calls + native.returns;
+        let seen = report.mech.ib_dispatches + report.mech.ret_dispatches;
+        assert_eq!(seen, expected, "[{name}] every native IB must dispatch exactly once");
+        assert!(
+            report.mech.ib_hit_rate() > 0.95,
+            "[{name}] a 4K-entry IBTC should hit nearly always: {}",
+            report.mech.ib_hit_rate()
+        );
+    }
+}

@@ -1,31 +1,41 @@
-//! Property tests for the microarchitecture simulators.
+//! Randomized tests for the microarchitecture simulators, driven by the
+//! repo's deterministic [`SmallRng`] rather than an external
+//! property-testing framework.
 
-use proptest::prelude::*;
 use strata_arch::{Btb, CacheConfig, CacheSim, CondPredictor, Ras};
+use strata_stats::rng::SmallRng;
 
-proptest! {
-    #[test]
-    fn cache_access_immediately_after_access_hits(addrs in prop::collection::vec(any::<u32>(), 1..200)) {
+#[test]
+fn cache_access_immediately_after_access_hits() {
+    let mut rng = SmallRng::seed_from_u64(0xCAC4_0001);
+    for _ in 0..50 {
         let mut c = CacheSim::new(CacheConfig { sets: 16, ways: 2, line_bytes: 32 });
-        for a in addrs {
+        for _ in 0..rng.gen_range(1usize..200) {
+            let a = rng.next_u32();
             c.access(a);
-            prop_assert!(c.access(a), "address {a:#x} must hit right after being brought in");
+            assert!(c.access(a), "address {a:#x} must hit right after being brought in");
         }
     }
+}
 
-    #[test]
-    fn cache_counters_are_consistent(addrs in prop::collection::vec(any::<u32>(), 0..500)) {
+#[test]
+fn cache_counters_are_consistent() {
+    let mut rng = SmallRng::seed_from_u64(0xCAC4_0002);
+    for _ in 0..50 {
         let mut c = CacheSim::new(CacheConfig { sets: 8, ways: 4, line_bytes: 16 });
-        for a in &addrs {
-            c.access(*a);
+        let n = rng.gen_range(0usize..500);
+        for _ in 0..n {
+            c.access(rng.next_u32());
         }
-        prop_assert_eq!(c.hits() + c.misses(), addrs.len() as u64);
+        assert_eq!(c.hits() + c.misses(), n as u64);
         let r = c.miss_ratio();
-        prop_assert!((0.0..=1.0).contains(&r));
+        assert!((0.0..=1.0).contains(&r));
     }
+}
 
-    #[test]
-    fn working_set_within_one_set_capacity_never_thrashes(ways in 1u32..8) {
+#[test]
+fn working_set_within_one_set_capacity_never_thrashes() {
+    for ways in 1u32..8 {
         // `ways` distinct lines in the same set: after the cold pass, every
         // subsequent access hits (LRU keeps the whole working set).
         let cfg = CacheConfig { sets: 4, ways, line_bytes: 32 };
@@ -41,14 +51,17 @@ proptest! {
                 c.access(l);
             }
         }
-        prop_assert_eq!(c.misses(), misses_after_warmup);
+        assert_eq!(c.misses(), misses_after_warmup);
     }
+}
 
-    #[test]
-    fn btb_predicts_stable_targets_after_one_miss(
-        pcs in prop::collection::vec((0u32..64).prop_map(|i| i * 4), 1..20),
-    ) {
+#[test]
+fn btb_predicts_stable_targets_after_one_miss() {
+    let mut rng = SmallRng::seed_from_u64(0xCAC4_0003);
+    for _ in 0..50 {
         // Few distinct pcs, fixed targets, big BTB: at most one miss per pc.
+        let pcs: Vec<u32> =
+            (0..rng.gen_range(1usize..20)).map(|_| rng.gen_range(0u32..64) * 4).collect();
         let mut btb = Btb::new(256);
         let target = |pc: u32| pc.wrapping_mul(13) & !3;
         for _ in 0..4 {
@@ -59,12 +72,17 @@ proptest! {
         let mut distinct = pcs.clone();
         distinct.sort_unstable();
         distinct.dedup();
-        prop_assert!(btb.mispredicts() <= distinct.len() as u64);
+        assert!(btb.mispredicts() <= distinct.len() as u64);
     }
+}
 
-    #[test]
-    fn ras_is_perfect_on_balanced_nesting(depths in prop::collection::vec(1usize..8, 1..20)) {
+#[test]
+fn ras_is_perfect_on_balanced_nesting() {
+    let mut rng = SmallRng::seed_from_u64(0xCAC4_0004);
+    for _ in 0..50 {
         // Nested call/return sequences within the RAS depth never mispredict.
+        let depths: Vec<usize> =
+            (0..rng.gen_range(1usize..20)).map(|_| rng.gen_range(1usize..8)).collect();
         let mut ras = Ras::new(16);
         for (i, &d) in depths.iter().enumerate() {
             let base = (i as u32 + 1) * 0x1000;
@@ -76,15 +94,19 @@ proptest! {
                 assert!(ras.pop_and_check(f));
             }
         }
-        prop_assert_eq!(ras.mispredicts(), 0);
+        assert_eq!(ras.mispredicts(), 0);
     }
+}
 
-    #[test]
-    fn gshare_total_counts_match(outcomes in prop::collection::vec(any::<bool>(), 0..300)) {
+#[test]
+fn gshare_total_counts_match() {
+    let mut rng = SmallRng::seed_from_u64(0xCAC4_0005);
+    for _ in 0..50 {
+        let n = rng.gen_range(0usize..300);
         let mut p = CondPredictor::new(8);
-        for (i, &taken) in outcomes.iter().enumerate() {
-            p.predict_and_update((i as u32 % 16) * 4, taken);
+        for i in 0..n {
+            p.predict_and_update((i as u32 % 16) * 4, rng.gen_bool(0.5));
         }
-        prop_assert_eq!(p.correct() + p.mispredicts(), outcomes.len() as u64);
+        assert_eq!(p.correct() + p.mispredicts(), n as u64);
     }
 }

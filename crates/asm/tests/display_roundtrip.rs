@@ -1,68 +1,84 @@
-//! Property: the text assembler accepts exactly the syntax the ISA's
-//! `Display` impl prints — `assemble(instr.to_string())` re-encodes every
-//! instruction losslessly.
+//! Randomized test: the text assembler accepts exactly the syntax the
+//! ISA's `Display` impl prints — `assemble(instr.to_string())` re-encodes
+//! every instruction losslessly. Driven by the repo's deterministic
+//! [`SmallRng`] rather than an external property-testing framework.
 
-use proptest::prelude::*;
 use strata_asm::assemble;
 use strata_isa::{decode, Instr, Reg};
+use strata_stats::rng::SmallRng;
 
-fn arb_reg() -> impl Strategy<Value = Reg> {
-    (0u8..16).prop_map(|i| Reg::try_from(i).unwrap())
+fn rand_reg(rng: &mut SmallRng) -> Reg {
+    Reg::try_from(rng.gen_range(0u8..16)).unwrap()
 }
 
-fn arb_instr() -> impl Strategy<Value = Instr> {
-    let r = arb_reg;
-    prop_oneof![
-        (r(), r(), r()).prop_map(|(rd, rs1, rs2)| Instr::Add { rd, rs1, rs2 }),
-        (r(), r(), r()).prop_map(|(rd, rs1, rs2)| Instr::Divu { rd, rs1, rs2 }),
-        (r(), r()).prop_map(|(rd, rs)| Instr::Mov { rd, rs }),
-        (r(), r(), any::<i16>()).prop_map(|(rd, rs1, imm)| Instr::Addi { rd, rs1, imm }),
-        (r(), r(), any::<u16>()).prop_map(|(rd, rs1, imm)| Instr::Andi { rd, rs1, imm }),
-        (r(), r(), any::<u16>()).prop_map(|(rd, rs1, imm)| Instr::Xori { rd, rs1, imm }),
-        (r(), r(), 0u8..32).prop_map(|(rd, rs1, shamt)| Instr::Srai { rd, rs1, shamt }),
-        (r(), any::<u16>()).prop_map(|(rd, imm)| Instr::Lui { rd, imm }),
-        (r(), r(), any::<i16>()).prop_map(|(rd, rs1, off)| Instr::Lw { rd, rs1, off }),
-        (r(), r(), any::<i16>()).prop_map(|(rs2, rs1, off)| Instr::Sw { rs2, rs1, off }),
-        (r(), r(), any::<i16>()).prop_map(|(rd, rs1, off)| Instr::Lbu { rd, rs1, off }),
-        (r(), (0u32..(1 << 18)).prop_map(|w| w * 4)).prop_map(|(rd, addr)| Instr::Lwa { rd, addr }),
-        (r(), (0u32..(1 << 18)).prop_map(|w| w * 4)).prop_map(|(rs, addr)| Instr::Swa { rs, addr }),
-        r().prop_map(|rs| Instr::Push { rs }),
-        r().prop_map(|rd| Instr::Pop { rd }),
-        Just(Instr::Pushf),
-        Just(Instr::Popf),
-        (r(), r()).prop_map(|(rs1, rs2)| Instr::Cmp { rs1, rs2 }),
-        (r(), any::<i16>()).prop_map(|(rs1, imm)| Instr::Cmpi { rs1, imm }),
-        any::<i16>().prop_map(|off| Instr::Beq { off }),
-        any::<i16>().prop_map(|off| Instr::Bgeu { off }),
-        (0u32..(1 << 24)).prop_map(|w| Instr::Jmp { target: w * 4 }),
-        (0u32..(1 << 24)).prop_map(|w| Instr::Call { target: w * 4 }),
-        r().prop_map(|rs| Instr::Jr { rs }),
-        r().prop_map(|rs| Instr::Callr { rs }),
-        Just(Instr::Ret),
-        (0u32..(1 << 24)).prop_map(|w| Instr::Jmem { addr: w * 4 }),
-        any::<u16>().prop_map(|code| Instr::Trap { code }),
-        Just(Instr::Halt),
-        Just(Instr::Nop),
-    ]
+fn rand_i16(rng: &mut SmallRng) -> i16 {
+    rng.gen_range(0u32..0x1_0000) as u16 as i16
 }
 
-proptest! {
-    #[test]
-    fn display_syntax_reassembles(instr in arb_instr()) {
-        let text = instr.to_string();
-        let words = assemble(0, &text)
-            .unwrap_or_else(|e| panic!("`{text}` rejected: {e}"));
-        prop_assert_eq!(words.len(), 1, "`{}` produced {} words", text, words.len());
-        prop_assert_eq!(decode(words[0]).expect("assembled word decodes"), instr);
+fn rand_u16(rng: &mut SmallRng) -> u16 {
+    rng.gen_range(0u32..0x1_0000) as u16
+}
+
+/// Samples across every printable-syntax family the assembler must parse.
+fn rand_instr(rng: &mut SmallRng) -> Instr {
+    let r = |rng: &mut SmallRng| rand_reg(rng);
+    match rng.gen_range(0u32..30) {
+        0 => Instr::Add { rd: r(rng), rs1: r(rng), rs2: r(rng) },
+        1 => Instr::Divu { rd: r(rng), rs1: r(rng), rs2: r(rng) },
+        2 => Instr::Mov { rd: r(rng), rs: r(rng) },
+        3 => Instr::Addi { rd: r(rng), rs1: r(rng), imm: rand_i16(rng) },
+        4 => Instr::Andi { rd: r(rng), rs1: r(rng), imm: rand_u16(rng) },
+        5 => Instr::Xori { rd: r(rng), rs1: r(rng), imm: rand_u16(rng) },
+        6 => Instr::Srai { rd: r(rng), rs1: r(rng), shamt: rng.gen_range(0u8..32) },
+        7 => Instr::Lui { rd: r(rng), imm: rand_u16(rng) },
+        8 => Instr::Lw { rd: r(rng), rs1: r(rng), off: rand_i16(rng) },
+        9 => Instr::Sw { rs2: r(rng), rs1: r(rng), off: rand_i16(rng) },
+        10 => Instr::Lbu { rd: r(rng), rs1: r(rng), off: rand_i16(rng) },
+        11 => Instr::Lwa { rd: r(rng), addr: rng.gen_range(0u32..(1 << 18)) * 4 },
+        12 => Instr::Swa { rs: r(rng), addr: rng.gen_range(0u32..(1 << 18)) * 4 },
+        13 => Instr::Push { rs: r(rng) },
+        14 => Instr::Pop { rd: r(rng) },
+        15 => Instr::Pushf,
+        16 => Instr::Popf,
+        17 => Instr::Cmp { rs1: r(rng), rs2: r(rng) },
+        18 => Instr::Cmpi { rs1: r(rng), imm: rand_i16(rng) },
+        19 => Instr::Beq { off: rand_i16(rng) },
+        20 => Instr::Bgeu { off: rand_i16(rng) },
+        21 => Instr::Jmp { target: rng.gen_range(0u32..(1 << 24)) * 4 },
+        22 => Instr::Call { target: rng.gen_range(0u32..(1 << 24)) * 4 },
+        23 => Instr::Jr { rs: r(rng) },
+        24 => Instr::Callr { rs: r(rng) },
+        25 => Instr::Ret,
+        26 => Instr::Jmem { addr: rng.gen_range(0u32..(1 << 24)) * 4 },
+        27 => Instr::Trap { code: rand_u16(rng) },
+        28 => Instr::Halt,
+        _ => Instr::Nop,
     }
+}
 
-    #[test]
-    fn whole_programs_roundtrip(instrs in prop::collection::vec(arb_instr(), 1..40)) {
+#[test]
+fn display_syntax_reassembles() {
+    let mut rng = SmallRng::seed_from_u64(0xA53B_0001);
+    for _ in 0..10_000 {
+        let instr = rand_instr(&mut rng);
+        let text = instr.to_string();
+        let words = assemble(0, &text).unwrap_or_else(|e| panic!("`{text}` rejected: {e}"));
+        assert_eq!(words.len(), 1, "`{text}` produced {} words", words.len());
+        assert_eq!(decode(words[0]).expect("assembled word decodes"), instr);
+    }
+}
+
+#[test]
+fn whole_programs_roundtrip() {
+    let mut rng = SmallRng::seed_from_u64(0xA53B_0002);
+    for _ in 0..200 {
+        let instrs: Vec<Instr> =
+            (0..rng.gen_range(1usize..40)).map(|_| rand_instr(&mut rng)).collect();
         let text: String = instrs.iter().map(|i| format!("{i}\n")).collect();
         let words = assemble(0x4000, &text).expect("program assembles");
-        prop_assert_eq!(words.len(), instrs.len());
+        assert_eq!(words.len(), instrs.len());
         for (word, want) in words.iter().zip(&instrs) {
-            prop_assert_eq!(&decode(*word).expect("decodes"), want);
+            assert_eq!(&decode(*word).expect("decodes"), want);
         }
     }
 }

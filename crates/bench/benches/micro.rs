@@ -1,69 +1,73 @@
-//! Criterion microbenchmarks for the substrate components: ISA
-//! encode/decode, the assembler, interpreter stepping throughput, cache
-//! and predictor simulation, translation, and an end-to-end translated
-//! run. These quantify the *simulator's* host-side cost, complementing the
+//! Microbenchmarks for the substrate components: ISA encode/decode, the
+//! assembler, interpreter stepping throughput, cache and predictor
+//! simulation, translation, and an end-to-end translated run. These
+//! quantify the *simulator's* host-side cost, complementing the
 //! guest-cycle experiments in `src/bin/`.
+//!
+//! Criterion is not available in the offline build environment, so this is
+//! a self-contained `harness = false` benchmark: each workload is timed
+//! over enough iterations to exceed a minimum measurement window and the
+//! median per-iteration time is reported (`cargo bench -p strata-bench`).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
+use std::time::Instant;
 
 use strata_arch::{ArchModel, ArchProfile, Btb, CacheConfig, CacheSim, CondPredictor};
 use strata_asm::assemble;
 use strata_core::{Sdt, SdtConfig};
 use strata_isa::{decode, encode, Instr, Reg};
 use strata_machine::{layout, Machine, NullObserver, Program, StepOutcome};
+use strata_stats::Table;
 use strata_workloads::{by_name, Params};
 
-fn bench_isa(c: &mut Criterion) {
-    let instrs: Vec<Instr> = (0..256u32)
-        .map(|i| match i % 4 {
-            0 => Instr::Add {
-                rd: Reg::try_from((i % 16) as u8).unwrap(),
-                rs1: Reg::R1,
-                rs2: Reg::R2,
-            },
-            1 => Instr::Lw { rd: Reg::R3, rs1: Reg::SP, off: (i as i16) - 128 },
-            2 => Instr::Beq { off: (i as i16) - 128 },
-            _ => Instr::Jmp { target: (i % 1024) * 4 },
-        })
-        .collect();
-    let words: Vec<u32> = instrs.iter().map(encode).collect();
-
-    let mut g = c.benchmark_group("isa");
-    g.throughput(Throughput::Elements(instrs.len() as u64));
-    g.bench_function("encode", |b| {
-        b.iter(|| {
-            for i in &instrs {
-                black_box(encode(black_box(i)));
-            }
-        })
-    });
-    g.bench_function("decode", |b| {
-        b.iter(|| {
-            for w in &words {
-                black_box(decode(black_box(*w)).unwrap());
-            }
-        })
-    });
-    g.finish();
+/// Times `f` over repeated batches and returns the median per-call
+/// nanoseconds across batches.
+fn time_ns(mut f: impl FnMut()) -> f64 {
+    // Warm up, then measure batches sized to take ~10ms each.
+    f();
+    let probe = Instant::now();
+    f();
+    let one = probe.elapsed().as_nanos().max(1) as u64;
+    let batch = (10_000_000 / one).clamp(1, 100_000) as usize;
+    let mut samples = Vec::with_capacity(9);
+    for _ in 0..9 {
+        let t = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        samples.push(t.elapsed().as_nanos() as f64 / batch as f64);
+    }
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
 }
 
-fn bench_assembler(c: &mut Criterion) {
-    let src = r"
-        li r1, 100
-    top:
-        addi r1, r1, -1
-        cmpi r1, 0
-        call f
-        bne top
-        halt
-    f:
-        add r2, r2, r1
-        ret
-    ";
-    c.bench_function("asm/assemble_small_program", |b| {
-        b.iter(|| black_box(assemble(layout::APP_BASE, black_box(src)).unwrap()))
-    });
+fn human(ns: f64) -> String {
+    if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+struct Bench {
+    table: Table,
+}
+
+impl Bench {
+    fn new() -> Bench {
+        Bench { table: Table::new("microbenchmarks (median)", &["benchmark", "time", "per-element"]) }
+    }
+
+    /// Runs one benchmark; `elements` is the work-unit count for a derived
+    /// per-element rate (0 = no rate column).
+    fn run(&mut self, name: &str, elements: u64, f: impl FnMut()) {
+        let ns = time_ns(f);
+        let per = if elements > 0 { human(ns / elements as f64) } else { String::new() };
+        self.table.row([name.to_string(), human(ns), per]);
+        eprintln!("  {name}: {}", human(ns));
+    }
 }
 
 fn interpreter_program() -> Program {
@@ -83,85 +87,99 @@ fn interpreter_program() -> Program {
     Program::new("spin", code, Vec::new())
 }
 
-fn bench_interpreter(c: &mut Criterion) {
+fn main() {
+    let mut b = Bench::new();
+
+    // ISA encode/decode.
+    let instrs: Vec<Instr> = (0..256u32)
+        .map(|i| match i % 4 {
+            0 => Instr::Add {
+                rd: Reg::try_from((i % 16) as u8).unwrap(),
+                rs1: Reg::R1,
+                rs2: Reg::R2,
+            },
+            1 => Instr::Lw { rd: Reg::R3, rs1: Reg::SP, off: (i as i16) - 128 },
+            2 => Instr::Beq { off: (i as i16) - 128 },
+            _ => Instr::Jmp { target: (i % 1024) * 4 },
+        })
+        .collect();
+    let words: Vec<u32> = instrs.iter().map(encode).collect();
+    b.run("isa/encode_256", 256, || {
+        for i in &instrs {
+            black_box(encode(black_box(i)));
+        }
+    });
+    b.run("isa/decode_256", 256, || {
+        for w in &words {
+            black_box(decode(black_box(*w)).unwrap());
+        }
+    });
+
+    // Assembler.
+    let src = r"
+        li r1, 100
+    top:
+        addi r1, r1, -1
+        cmpi r1, 0
+        call f
+        bne top
+        halt
+    f:
+        add r2, r2, r1
+        ret
+    ";
+    b.run("asm/assemble_small_program", 0, || {
+        black_box(assemble(layout::APP_BASE, black_box(src)).unwrap());
+    });
+
+    // Interpreter throughput.
     let program = interpreter_program();
-    let mut g = c.benchmark_group("machine");
-    g.throughput(Throughput::Elements(400_002));
-    g.bench_function("interpret_400k_instrs", |b| {
-        b.iter(|| {
-            let mut m = Machine::new(layout::DEFAULT_MEM_BYTES);
-            program.load(&mut m).unwrap();
-            assert_eq!(m.run(&mut NullObserver, 10_000_000).unwrap(), StepOutcome::Halted);
-        })
+    b.run("machine/interpret_400k_instrs", 400_002, || {
+        let mut m = Machine::new(layout::DEFAULT_MEM_BYTES);
+        program.load(&mut m).unwrap();
+        assert_eq!(m.run(&mut NullObserver, 10_000_000).unwrap(), StepOutcome::Halted);
     });
-    g.bench_function("interpret_400k_instrs_costed", |b| {
-        b.iter(|| {
-            let mut m = Machine::new(layout::DEFAULT_MEM_BYTES);
-            program.load(&mut m).unwrap();
-            let mut model = ArchModel::new(ArchProfile::x86_like());
-            assert_eq!(m.run(&mut model, 10_000_000).unwrap(), StepOutcome::Halted);
-            black_box(model.total_cycles());
-        })
+    b.run("machine/interpret_400k_instrs_costed", 400_002, || {
+        let mut m = Machine::new(layout::DEFAULT_MEM_BYTES);
+        program.load(&mut m).unwrap();
+        let mut model = ArchModel::new(ArchProfile::x86_like());
+        assert_eq!(m.run(&mut model, 10_000_000).unwrap(), StepOutcome::Halted);
+        black_box(model.total_cycles());
     });
-    g.finish();
-}
 
-fn bench_simulators(c: &mut Criterion) {
-    let mut g = c.benchmark_group("arch");
-    g.throughput(Throughput::Elements(4096));
-    g.bench_function("cache_access_stride", |b| {
-        let mut cache = CacheSim::new(CacheConfig { sets: 128, ways: 4, line_bytes: 32 });
-        b.iter(|| {
-            for i in 0..4096u32 {
-                black_box(cache.access(i * 8));
-            }
-        })
+    // Microarchitecture simulators.
+    let mut cache = CacheSim::new(CacheConfig { sets: 128, ways: 4, line_bytes: 32 });
+    b.run("arch/cache_access_stride_4096", 4096, || {
+        for i in 0..4096u32 {
+            black_box(cache.access(i * 8));
+        }
     });
-    g.bench_function("gshare_update", |b| {
-        let mut p = CondPredictor::new(12);
-        b.iter(|| {
-            for i in 0..4096u32 {
-                black_box(p.predict_and_update(i * 4, i % 3 != 0));
-            }
-        })
+    let mut predictor = CondPredictor::new(12);
+    b.run("arch/gshare_update_4096", 4096, || {
+        for i in 0..4096u32 {
+            black_box(predictor.predict_and_update(i * 4, i % 3 != 0));
+        }
     });
-    g.bench_function("btb_update", |b| {
-        let mut btb = Btb::new(512);
-        b.iter(|| {
-            for i in 0..4096u32 {
-                black_box(btb.predict_and_update(i * 4, (i % 7) * 64));
-            }
-        })
+    let mut btb = Btb::new(512);
+    b.run("arch/btb_update_4096", 4096, || {
+        for i in 0..4096u32 {
+            black_box(btb.predict_and_update(i * 4, (i % 7) * 64));
+        }
     });
-    g.finish();
-}
 
-fn bench_translation(c: &mut Criterion) {
-    let program = (by_name("gcc").unwrap().build)(&Params::default());
-    c.bench_function("sdt/construct_and_translate_entry", |b| {
-        b.iter(|| {
-            let mut sdt = Sdt::new(SdtConfig::ibtc_inline(1024), &program).unwrap();
-            // Run just far enough to force initial translation work.
-            let _ = black_box(sdt.run(ArchProfile::x86_like(), 50_000));
-        })
+    // Translation and end-to-end.
+    let gcc = (by_name("gcc").unwrap().build)(&Params::default());
+    b.run("sdt/construct_and_translate_entry", 0, || {
+        let mut sdt = Sdt::new(SdtConfig::ibtc_inline(1024), &gcc).unwrap();
+        // Run just far enough to force initial translation work.
+        let _ = black_box(sdt.run(ArchProfile::x86_like(), 50_000));
     });
-}
-
-fn bench_end_to_end(c: &mut Criterion) {
-    let program = interpreter_program();
-    c.bench_function("sdt/run_400k_instr_program", |b| {
-        b.iter(|| {
-            let mut sdt = Sdt::new(SdtConfig::ibtc_inline(1024), &program).unwrap();
-            let report = sdt.run(ArchProfile::x86_like(), 50_000_000).unwrap();
-            black_box(report.total_cycles);
-        })
+    let spin = interpreter_program();
+    b.run("sdt/run_400k_instr_program", 0, || {
+        let mut sdt = Sdt::new(SdtConfig::ibtc_inline(1024), &spin).unwrap();
+        let report = sdt.run(ArchProfile::x86_like(), 50_000_000).unwrap();
+        black_box(report.total_cycles);
     });
-}
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_isa, bench_assembler, bench_interpreter, bench_simulators,
-              bench_translation, bench_end_to_end
+    println!("{}", b.table.render_text());
 }
-criterion_main!(benches);

@@ -3,59 +3,10 @@
 //! headline: the most efficient mechanism and configuration depend on the
 //! underlying architecture's trap cost, flags cost, and indirect-branch
 //! prediction hardware.
-
-use strata_arch::ArchProfile;
-use strata_bench::{fx, print_table, Lab};
-use strata_core::{RetMechanism, SdtConfig};
-use strata_stats::Table;
+//!
+//! This binary is a thin delegate: the experiment itself is defined once
+//! in `strata_expt::experiments::fig10_cross_arch` and shared with `strata bench`.
 
 fn main() {
-    let mut lab = Lab::new();
-    let mut fast = SdtConfig::ibtc_inline(4096);
-    fast.ret = RetMechanism::FastReturn;
-    let configs = [
-        ("reentry", SdtConfig::reentry()),
-        ("ibtc-inline", SdtConfig::ibtc_inline(4096)),
-        ("ibtc-outline", SdtConfig::ibtc_out_of_line(4096)),
-        ("sieve", SdtConfig::sieve(4096)),
-        ("ibtc+rc", SdtConfig::tuned(4096, 1024)),
-        ("ibtc+fastret", fast),
-    ];
-    let mut t = Table::new(
-        "Fig. 10: geomean slowdown by mechanism and architecture",
-        &["mechanism", "x86-like", "sparc-like", "mips-like"],
-    );
-    let mut grid: Vec<(&str, Vec<f64>)> = Vec::new();
-    for (label, cfg) in configs {
-        let mut row = vec![label.to_string()];
-        let mut vals = Vec::new();
-        for profile in ArchProfile::all() {
-            let g = lab.geomean_slowdown(cfg, &profile);
-            vals.push(g);
-            row.push(fx(g));
-        }
-        grid.push((label, vals));
-        t.row(row);
-    }
-    print_table(&t);
-
-    // Per-architecture ranking of the in-cache mechanisms.
-    for (i, profile) in ArchProfile::all().iter().enumerate() {
-        let mut ranked: Vec<(&str, f64)> = grid
-            .iter()
-            .filter(|(l, _)| *l != "reentry")
-            .map(|(l, v)| (*l, v[i]))
-            .collect();
-        ranked.sort_by(|a, b| a.1.total_cmp(&b.1));
-        let order: Vec<String> =
-            ranked.iter().map(|(l, v)| format!("{l} ({})", fx(*v))).collect();
-        println!("{:<11} ranking: {}", profile.name, order.join("  >  "));
-    }
-    println!(
-        "\nReading: re-entry is disproportionately catastrophic on the trap-expensive\n\
-         sparc-like profile; the gap between IBTC (whose hits end in an unpredicted\n\
-         indirect jump on BTB-less machines) and the sieve (whose hits end in a\n\
-         direct jump) narrows or flips off x86 — mechanism choice is\n\
-         architecture-dependent, the paper's central claim."
-    );
+    strata_expt::run_single("fig10");
 }

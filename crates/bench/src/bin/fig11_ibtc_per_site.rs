@@ -2,50 +2,10 @@
 //! indirect-branch site captures per-branch target locality (a mostly
 //! monomorphic branch needs only a handful of entries), at the cost of
 //! table space and colder tables.
-
-use strata_arch::ArchProfile;
-use strata_bench::{fx, names, pct, print_table, Lab};
-use strata_core::{IbMechanism, IbtcPlacement, IbtcScope, SdtConfig};
-use strata_stats::{geomean, ratio, Table};
-
-fn cfg(entries: u32, scope: IbtcScope) -> SdtConfig {
-    SdtConfig {
-        ib: IbMechanism::Ibtc { entries, scope, placement: IbtcPlacement::Inline },
-        ..SdtConfig::ibtc_inline(entries)
-    }
-}
+//!
+//! This binary is a thin delegate: the experiment itself is defined once
+//! in `strata_expt::experiments::fig11_ibtc_per_site` and shared with `strata bench`.
 
 fn main() {
-    let mut lab = Lab::new();
-    let x86 = ArchProfile::x86_like();
-    let mut t = Table::new(
-        "Fig. 11: per-site vs shared IBTC (inline, x86-like)",
-        &["entries", "shared geomean", "shared miss", "per-site geomean", "per-site miss"],
-    );
-    for entries in [16u32, 64, 256] {
-        let mut row = vec![entries.to_string()];
-        for scope in [IbtcScope::Shared, IbtcScope::PerSite] {
-            let c = cfg(entries, scope);
-            let mut slowdowns = Vec::new();
-            let mut misses = 0u64;
-            let mut dispatches = 0u64;
-            for name in names() {
-                let native = lab.native(name, &x86).total_cycles;
-                let r = lab.translated(name, c, &x86);
-                slowdowns.push(r.slowdown(native));
-                misses += r.mech.ib_misses;
-                dispatches += r.mech.ib_dispatches + r.mech.ret_dispatches;
-            }
-            row.push(fx(geomean(slowdowns).expect("nonempty")));
-            row.push(pct(ratio(misses, dispatches)));
-        }
-        t.row(row);
-    }
-    print_table(&t);
-    println!(
-        "Reading: at small sizes a private table per site out-hits one shared\n\
-         table of the same size (no cross-site conflicts); once the shared table\n\
-         covers the global target set the difference vanishes — so shared+large is\n\
-         the simpler engineering choice, as the paper concludes."
-    );
+    strata_expt::run_single("fig11");
 }

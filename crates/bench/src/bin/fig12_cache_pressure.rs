@@ -3,57 +3,10 @@
 //! machine with a small I-cache that replication turns into fetch stalls,
 //! narrowing (or reversing) inlining's win. Measured on the mips-like
 //! profile (8 KiB I-cache).
-
-use strata_arch::ArchProfile;
-use strata_bench::{fx, names, print_table, Lab};
-use strata_core::SdtConfig;
-use strata_stats::{geomean, ratio, Table};
+//!
+//! This binary is a thin delegate: the experiment itself is defined once
+//! in `strata_expt::experiments::fig12_cache_pressure` and shared with `strata bench`.
 
 fn main() {
-    let mut lab = Lab::new();
-    let mips = ArchProfile::mips_like();
-    const ENTRIES: u32 = 4096;
-    let mut t = Table::new(
-        "Fig. 12: I-cache pressure of inlined lookups (mips-like, 8 KiB I-cache)",
-        &[
-            "benchmark",
-            "inline slowdown",
-            "outline slowdown",
-            "inline i$ miss/1k",
-            "outline i$ miss/1k",
-            "cache bytes in/out",
-        ],
-    );
-    let mut inl = Vec::new();
-    let mut out = Vec::new();
-    for name in names() {
-        let native = lab.native(name, &mips).total_cycles;
-        let ri = lab.translated(name, SdtConfig::ibtc_inline(ENTRIES), &mips);
-        let ro = lab.translated(name, SdtConfig::ibtc_out_of_line(ENTRIES), &mips);
-        inl.push(ri.slowdown(native));
-        out.push(ro.slowdown(native));
-        t.row([
-            name.to_string(),
-            fx(ri.slowdown(native)),
-            fx(ro.slowdown(native)),
-            format!("{:.2}", 1000.0 * ratio(ri.icache_misses, ri.instructions)),
-            format!("{:.2}", 1000.0 * ratio(ro.icache_misses, ro.instructions)),
-            format!("{}/{}", ri.mech.cache_used_bytes, ro.mech.cache_used_bytes),
-        ]);
-    }
-    t.row([
-        "geomean".to_string(),
-        fx(geomean(inl).expect("nonempty")),
-        fx(geomean(out).expect("nonempty")),
-        String::new(),
-        String::new(),
-        String::new(),
-    ]);
-    print_table(&t);
-    println!(
-        "Reading: inlining's per-lookup saving competes with its I-cache\n\
-         footprint; with a small I-cache the gap between inline and out-of-line\n\
-         closes on code-footprint-heavy benchmarks — configuration must weigh\n\
-         both, per architecture."
-    );
+    strata_expt::run_single("fig12");
 }

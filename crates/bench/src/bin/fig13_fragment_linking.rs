@@ -3,48 +3,10 @@
 //! without linking, *every* taken direct branch pays a full translator
 //! crossing. This ablation isolates how much of the SDT's viability comes
 //! from linking before any IB mechanism even matters.
-
-use strata_arch::ArchProfile;
-use strata_bench::{fx, names, print_table, Lab};
-use strata_core::SdtConfig;
-use strata_stats::{geomean, Table};
+//!
+//! This binary is a thin delegate: the experiment itself is defined once
+//! in `strata_expt::experiments::fig13_fragment_linking` and shared with `strata bench`.
 
 fn main() {
-    let mut lab = Lab::new();
-    let x86 = ArchProfile::x86_like();
-    let linked = SdtConfig::ibtc_inline(4096);
-    let mut unlinked = linked;
-    unlinked.link_fragments = false;
-
-    let mut t = Table::new(
-        "Fig. 13: fragment linking ablation (IBTC 4096, x86-like)",
-        &["benchmark", "linked", "unlinked", "unlinked translator entries"],
-    );
-    let mut l = Vec::new();
-    let mut u = Vec::new();
-    for name in names() {
-        let native = lab.native(name, &x86).total_cycles;
-        let rl = lab.translated(name, linked, &x86);
-        let ru = lab.translated(name, unlinked, &x86);
-        l.push(rl.slowdown(native));
-        u.push(ru.slowdown(native));
-        t.row([
-            name.to_string(),
-            fx(rl.slowdown(native)),
-            fx(ru.slowdown(native)),
-            ru.mech.translator_entries.to_string(),
-        ]);
-    }
-    t.row([
-        "geomean".to_string(),
-        fx(geomean(l).expect("nonempty")),
-        fx(geomean(u).expect("nonempty")),
-        String::new(),
-    ]);
-    print_table(&t);
-    println!(
-        "Reading: without linking even the loop kernels collapse — every taken\n\
-         branch is a context switch. Linking is the table-stakes optimization the\n\
-         paper assumes before it starts optimizing indirect branches."
-    );
+    strata_expt::run_single("fig13");
 }

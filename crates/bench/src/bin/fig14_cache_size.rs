@@ -2,36 +2,10 @@
 //! hold the working set of translated code, the SDT flushes and
 //! retranslates; this sweep shows the cliff and where it sits relative to
 //! each benchmark's code footprint.
-
-use strata_arch::ArchProfile;
-use strata_bench::{fx, print_table, Lab};
-use strata_core::SdtConfig;
-use strata_stats::Table;
+//!
+//! This binary is a thin delegate: the experiment itself is defined once
+//! in `strata_expt::experiments::fig14_cache_size` and shared with `strata bench`.
 
 fn main() {
-    let mut lab = Lab::new();
-    let x86 = ArchProfile::x86_like();
-    let mut t = Table::new(
-        "Fig. 14: fragment-cache size sweep (IBTC 1024, x86-like)",
-        &["cache bytes", "gcc slowdown", "gcc flushes", "perlbmk slowdown", "perlbmk flushes"],
-    );
-    for kib in [8u32, 12, 16, 24, 32, 64] {
-        let mut cfg = SdtConfig::ibtc_inline(1024);
-        cfg.cache_limit = Some(kib * 1024);
-        let mut row = vec![format!("{}K", kib)];
-        for name in ["gcc", "perlbmk"] {
-            let native = lab.native(name, &x86).total_cycles;
-            let r = lab.translated(name, cfg, &x86);
-            row.push(fx(r.slowdown(native)));
-            row.push(r.mech.cache_flushes.to_string());
-        }
-        t.row(row);
-    }
-    print_table(&t);
-    println!(
-        "Reading: below the translated-code working set the flush/retranslate\n\
-         cycle dominates; once the cache holds the working set, extra capacity is\n\
-         free. Code-expanding mechanisms (inlined lookups, sieve stanzas) move\n\
-         this cliff — part of the inline-vs-out-of-line trade-off."
-    );
+    strata_expt::run_single("fig14");
 }

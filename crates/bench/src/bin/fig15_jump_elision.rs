@@ -2,57 +2,10 @@
 //! translator can keep translating through unconditional jumps, removing a
 //! taken jump per elision at the cost of tail-duplicated code. Whether it
 //! pays depends on predecessor counts and I-cache pressure.
-
-use strata_arch::ArchProfile;
-use strata_bench::{fx, names, print_table, Lab};
-use strata_core::SdtConfig;
-use strata_stats::{geomean, Table};
+//!
+//! This binary is a thin delegate: the experiment itself is defined once
+//! in `strata_expt::experiments::fig15_jump_elision` and shared with `strata bench`.
 
 fn main() {
-    let mut lab = Lab::new();
-    let base = SdtConfig::ibtc_inline(4096);
-    let mut elide = base;
-    elide.elide_direct_jumps = true;
-
-    for profile in [ArchProfile::x86_like(), ArchProfile::mips_like()] {
-        let mut t = Table::new(
-            format!("Fig. 15: direct-jump elision ({})", profile.name),
-            &["benchmark", "plain", "elided", "delta", "jumps elided", "cache bytes plain/elided"],
-        );
-        let mut p_all = Vec::new();
-        let mut e_all = Vec::new();
-        for name in names() {
-            let native = lab.native(name, &profile).total_cycles;
-            let rp = lab.translated(name, base, &profile);
-            let re = lab.translated(name, elide, &profile);
-            let sp = rp.slowdown(native);
-            let se = re.slowdown(native);
-            p_all.push(sp);
-            e_all.push(se);
-            t.row([
-                name.to_string(),
-                fx(sp),
-                fx(se),
-                format!("{:+.1}%", (se / sp - 1.0) * 100.0),
-                re.mech.elided_jumps.to_string(),
-                format!("{}/{}", rp.mech.cache_used_bytes, re.mech.cache_used_bytes),
-            ]);
-        }
-        t.row([
-            "geomean".to_string(),
-            fx(geomean(p_all).expect("nonempty")),
-            fx(geomean(e_all).expect("nonempty")),
-            String::new(),
-            String::new(),
-            String::new(),
-        ]);
-        print_table(&t);
-    }
-    println!(
-        "Reading: elision wins where jump chains have few predecessors and the\n\
-         duplicated code stays cache-resident; on dispatch-heavy benchmarks the\n\
-         duplicated tails inflate the I-cache footprint and the win evaporates —\n\
-         another configuration knob whose right setting is workload- and\n\
-         machine-dependent."
-    );
+    strata_expt::run_single("fig15");
 }

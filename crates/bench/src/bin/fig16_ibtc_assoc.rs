@@ -2,45 +2,10 @@
 //! budget, a two-way table halves the index space but survives pairwise
 //! conflicts; whether that beats direct mapping depends on whether misses
 //! are conflict- or capacity-driven.
-
-use strata_arch::ArchProfile;
-use strata_bench::{fx, names, pct, print_table, Lab};
-use strata_core::SdtConfig;
-use strata_stats::{geomean, ratio, Table};
+//!
+//! This binary is a thin delegate: the experiment itself is defined once
+//! in `strata_expt::experiments::fig16_ibtc_assoc` and shared with `strata bench`.
 
 fn main() {
-    let mut lab = Lab::new();
-    let x86 = ArchProfile::x86_like();
-    let mut t = Table::new(
-        "Fig. 16: IBTC associativity at equal entry budgets (x86-like)",
-        &["entries", "direct geomean", "direct miss", "2-way geomean", "2-way miss"],
-    );
-    for entries in [64u32, 256, 1024, 4096] {
-        let mut row = vec![entries.to_string()];
-        for ways in [1u8, 2] {
-            let mut cfg = SdtConfig::ibtc_inline(entries);
-            cfg.ibtc_ways = ways;
-            let mut slowdowns = Vec::new();
-            let mut misses = 0u64;
-            let mut dispatches = 0u64;
-            for name in names() {
-                let native = lab.native(name, &x86).total_cycles;
-                let r = lab.translated(name, cfg, &x86);
-                slowdowns.push(r.slowdown(native));
-                misses += r.mech.ib_misses;
-                dispatches += r.mech.ib_dispatches + r.mech.ret_dispatches;
-            }
-            row.push(fx(geomean(slowdowns).expect("nonempty")));
-            row.push(pct(ratio(misses, dispatches)));
-        }
-        t.row(row);
-    }
-    print_table(&t);
-    println!(
-        "Reading: associativity pays only in the conflict-dominated regime\n\
-         (working set fits, indices collide); once misses are capacity-driven\n\
-         the halved index space and the extra way-1 probe instructions cancel\n\
-         the benefit. Strata-style SDTs ship direct-mapped tables for exactly\n\
-         this reason — sizing up is cheaper than associativity."
-    );
+    strata_expt::run_single("fig16");
 }

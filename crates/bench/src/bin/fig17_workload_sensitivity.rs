@@ -3,68 +3,10 @@
 //! configuration over several statistically equivalent instances
 //! (different generator seeds) to show the conclusions do not hinge on
 //! one particular instance.
-
-use strata_arch::ArchProfile;
-use strata_bench::{fx, print_table, FUEL};
-use strata_core::{run_native, Sdt, SdtConfig};
-use strata_stats::{geomean, Table};
-use strata_workloads::{registry, Params};
-
-const VARIANTS: u64 = 5;
+//!
+//! This binary is a thin delegate: the experiment itself is defined once
+//! in `strata_expt::experiments::fig17_workload_sensitivity` and shared with `strata bench`.
 
 fn main() {
-    let x86 = ArchProfile::x86_like();
-    let cfg = SdtConfig::ibtc_inline(4096);
-    let mut t = Table::new(
-        "Fig. 17: slowdown across generated workload instances (IBTC 4096, x86-like)",
-        &["benchmark", "variant 0", "min", "max", "spread"],
-    );
-    let mut geo_by_variant: Vec<Vec<f64>> = vec![Vec::new(); VARIANTS as usize];
-    for spec in registry() {
-        let mut slowdowns = Vec::new();
-        for variant in 0..VARIANTS {
-            let params = Params { scale: 1, variant };
-            let program = (spec.build)(&params);
-            let native =
-                run_native(&program, x86.clone(), FUEL).expect("native run succeeds");
-            let report = Sdt::new(cfg, &program)
-                .expect("sdt constructs")
-                .run(x86.clone(), FUEL)
-                .expect("run completes");
-            assert_eq!(report.checksum, native.checksum);
-            let s = report.slowdown(native.total_cycles);
-            slowdowns.push(s);
-            geo_by_variant[variant as usize].push(s);
-        }
-        let min = slowdowns.iter().copied().fold(f64::INFINITY, f64::min);
-        let max = slowdowns.iter().copied().fold(0.0f64, f64::max);
-        t.row([
-            spec.name.to_string(),
-            fx(slowdowns[0]),
-            fx(min),
-            fx(max),
-            format!("{:.1}%", (max / min - 1.0) * 100.0),
-        ]);
-    }
-    let geos: Vec<f64> = geo_by_variant
-        .iter()
-        .map(|v| geomean(v.iter().copied()).expect("nonempty"))
-        .collect();
-    let gmin = geos.iter().copied().fold(f64::INFINITY, f64::min);
-    let gmax = geos.iter().copied().fold(0.0f64, f64::max);
-    t.row([
-        "geomean".to_string(),
-        fx(geos[0]),
-        fx(gmin),
-        fx(gmax),
-        format!("{:.1}%", (gmax / gmin - 1.0) * 100.0),
-    ]);
-    print_table(&t);
-    println!(
-        "Reading: per-benchmark slowdowns move by at most a few percent across\n\
-         generated instances and the geomean barely moves — the reproduction's\n\
-         conclusions are properties of the IB profiles, not of one particular\n\
-         random stream. (Seeds vary data, token streams, opcode mixes, and\n\
-         object layouts; code structure is held fixed.)"
-    );
+    strata_expt::run_single("fig17");
 }

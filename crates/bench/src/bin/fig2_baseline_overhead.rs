@@ -1,41 +1,10 @@
 //! Figure 2 — baseline SDT slowdown when every indirect branch re-enters
 //! the translator (full context switch + fragment-map lookup). The
 //! paper's starting point: IB handling dominates SDT overhead.
-
-use strata_arch::ArchProfile;
-use strata_bench::{fx, names, print_table, Lab};
-use strata_core::SdtConfig;
-use strata_stats::{geomean, Table};
+//!
+//! This binary is a thin delegate: the experiment itself is defined once
+//! in `strata_expt::experiments::fig2_baseline_overhead` and shared with `strata bench`.
 
 fn main() {
-    let mut lab = Lab::new();
-    let x86 = ArchProfile::x86_like();
-    let mut t = Table::new(
-        "Fig. 2: slowdown vs native with translator re-entry for all IBs (x86-like)",
-        &["benchmark", "slowdown", "IB dispatches", "translator entries"],
-    );
-    let mut slowdowns = Vec::new();
-    for name in names() {
-        let native = lab.native(name, &x86).total_cycles;
-        let r = lab.translated(name, SdtConfig::reentry(), &x86);
-        let s = r.slowdown(native);
-        slowdowns.push(s);
-        t.row([
-            name.to_string(),
-            fx(s),
-            (r.mech.ib_dispatches + r.mech.ret_dispatches).to_string(),
-            r.mech.translator_entries.to_string(),
-        ]);
-    }
-    t.row([
-        "geomean".to_string(),
-        fx(geomean(slowdowns.iter().copied()).expect("nonempty")),
-        String::new(),
-        String::new(),
-    ]);
-    print_table(&t);
-    println!(
-        "Reading: IB-dense benchmarks suffer multi-x slowdowns under re-entry while\n\
-         the loop kernels stay near native — IB handling is the dominant overhead."
-    );
+    strata_expt::run_single("fig2");
 }

@@ -3,49 +3,10 @@
 //! trampolines/call glue, and host-side translator time. Shown for the
 //! re-entry baseline (context-switch dominated) and for a tuned IBTC
 //! (dispatch-code dominated) to expose the shift the paper describes.
-
-use strata_arch::ArchProfile;
-use strata_bench::{names, print_table, Lab};
-use strata_core::{Origin, SdtConfig};
-use strata_stats::Table;
-
-fn breakdown(lab: &mut Lab, cfg: SdtConfig, title: &str) {
-    let x86 = ArchProfile::x86_like();
-    let mut t = Table::new(
-        title,
-        &["benchmark", "app%", "dispatch%", "ctx-switch%", "tramp+glue%", "translator%"],
-    );
-    for name in names() {
-        let r = lab.translated(name, cfg, &x86);
-        let total = r.total_cycles as f64;
-        let p = |c: u64| format!("{:.1}", c as f64 * 100.0 / total);
-        t.row([
-            name.to_string(),
-            p(r.cycles_for(Origin::App)),
-            p(r.cycles_for(Origin::Dispatch)),
-            p(r.cycles_for(Origin::ContextSwitch)),
-            p(r.cycles_for(Origin::Trampoline) + r.cycles_for(Origin::CallGlue)),
-            p(r.translator_cycles),
-        ]);
-    }
-    print_table(&t);
-}
+//!
+//! This binary is a thin delegate: the experiment itself is defined once
+//! in `strata_expt::experiments::fig3_overhead_breakdown` and shared with `strata bench`.
 
 fn main() {
-    let mut lab = Lab::new();
-    breakdown(
-        &mut lab,
-        SdtConfig::reentry(),
-        "Fig. 3a: cycle breakdown under translator re-entry (x86-like)",
-    );
-    breakdown(
-        &mut lab,
-        SdtConfig::tuned(4096, 1024),
-        "Fig. 3b: cycle breakdown under inlined IBTC + return cache (x86-like)",
-    );
-    println!(
-        "Reading: under re-entry the context switch + translator columns dominate on\n\
-         IB-dense benchmarks; the tuned configuration converts nearly all of that\n\
-         into (much cheaper) in-cache dispatch code."
-    );
+    strata_expt::run_single("fig3");
 }

@@ -2,53 +2,10 @@
 //! inlined table grows from 16 to 65536 entries. The paper's finding:
 //! overhead falls steeply until the table covers the dynamic target set,
 //! then saturates.
-
-use strata_arch::ArchProfile;
-use strata_bench::{fx, names, pct, print_table, Lab};
-use strata_core::SdtConfig;
-use strata_stats::{geomean, ratio, Table};
+//!
+//! This binary is a thin delegate: the experiment itself is defined once
+//! in `strata_expt::experiments::fig4_ibtc_size_sweep` and shared with `strata bench`.
 
 fn main() {
-    let mut lab = Lab::new();
-    let x86 = ArchProfile::x86_like();
-    let mut t = Table::new(
-        "Fig. 4: shared inlined IBTC size sweep (x86-like)",
-        &["entries", "geomean slowdown", "miss rate", "perlbmk", "gcc", "eon"],
-    );
-    for shift in [4u32, 6, 8, 10, 12, 14, 16] {
-        let entries = 1u32 << shift;
-        let cfg = SdtConfig::ibtc_inline(entries);
-        let mut slowdowns = Vec::new();
-        let mut misses = 0u64;
-        let mut dispatches = 0u64;
-        let mut pick = [0.0f64; 3];
-        for name in names() {
-            let native = lab.native(name, &x86).total_cycles;
-            let r = lab.translated(name, cfg, &x86);
-            let s = r.slowdown(native);
-            slowdowns.push(s);
-            misses += r.mech.ib_misses;
-            dispatches += r.mech.ib_dispatches + r.mech.ret_dispatches;
-            match name {
-                "perlbmk" => pick[0] = s,
-                "gcc" => pick[1] = s,
-                "eon" => pick[2] = s,
-                _ => {}
-            }
-        }
-        t.row([
-            entries.to_string(),
-            fx(geomean(slowdowns.iter().copied()).expect("nonempty")),
-            pct(ratio(misses, dispatches)),
-            fx(pick[0]),
-            fx(pick[1]),
-            fx(pick[2]),
-        ]);
-    }
-    print_table(&t);
-    println!(
-        "Reading: miss rate (and slowdown) falls steeply with table size and\n\
-         saturates once the dynamic indirect-target set fits — most benchmarks\n\
-         want at least ~1K entries, after which bigger tables buy little."
-    );
+    strata_expt::run_single("fig4");
 }

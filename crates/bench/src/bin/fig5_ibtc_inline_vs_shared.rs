@@ -2,51 +2,10 @@
 //! out-of-line routine reached by call/return. Inlining removes a
 //! transfer pair per lookup at the cost of code-cache and I-cache
 //! footprint.
-
-use strata_arch::ArchProfile;
-use strata_bench::{fx, names, print_table, Lab};
-use strata_core::SdtConfig;
-use strata_stats::{geomean, Table};
+//!
+//! This binary is a thin delegate: the experiment itself is defined once
+//! in `strata_expt::experiments::fig5_ibtc_inline_vs_shared` and shared with `strata bench`.
 
 fn main() {
-    let mut lab = Lab::new();
-    let x86 = ArchProfile::x86_like();
-    const ENTRIES: u32 = 4096;
-    let mut t = Table::new(
-        "Fig. 5: inlined vs out-of-line IBTC lookup (4096 entries, x86-like)",
-        &["benchmark", "inline", "out-of-line", "outline penalty", "cache bytes in/out"],
-    );
-    let mut inl = Vec::new();
-    let mut out = Vec::new();
-    for name in names() {
-        let native = lab.native(name, &x86).total_cycles;
-        let ri = lab.translated(name, SdtConfig::ibtc_inline(ENTRIES), &x86);
-        let ro = lab.translated(name, SdtConfig::ibtc_out_of_line(ENTRIES), &x86);
-        let si = ri.slowdown(native);
-        let so = ro.slowdown(native);
-        inl.push(si);
-        out.push(so);
-        t.row([
-            name.to_string(),
-            fx(si),
-            fx(so),
-            format!("{:+.1}%", (so / si - 1.0) * 100.0),
-            format!("{}/{}", ri.mech.cache_used_bytes, ro.mech.cache_used_bytes),
-        ]);
-    }
-    let gi = geomean(inl.iter().copied()).expect("nonempty");
-    let go = geomean(out.iter().copied()).expect("nonempty");
-    t.row([
-        "geomean".to_string(),
-        fx(gi),
-        fx(go),
-        format!("{:+.1}%", (go / gi - 1.0) * 100.0),
-        String::new(),
-    ]);
-    print_table(&t);
-    println!(
-        "Reading: the shared routine pays an extra call/return per lookup, so\n\
-         inlining wins wherever IBs are frequent — but note the smaller code-cache\n\
-         footprint of the out-of-line variant (see fig12 for the I-cache flip side)."
-    );
+    strata_expt::run_single("fig5");
 }

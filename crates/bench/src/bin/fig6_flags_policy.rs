@@ -4,50 +4,10 @@
 //! means a costly `pushf`/`popf` pair; on SPARC-like machines condition
 //! codes are cheap to preserve. `FlagsPolicy::None` models an SDT whose
 //! liveness analysis proved the flags dead across the branch.
-
-use strata_arch::ArchProfile;
-use strata_bench::{fx, names, print_table, Lab};
-use strata_core::{FlagsPolicy, SdtConfig};
-use strata_stats::{geomean, Table};
+//!
+//! This binary is a thin delegate: the experiment itself is defined once
+//! in `strata_expt::experiments::fig6_flags_policy` and shared with `strata bench`.
 
 fn main() {
-    let mut lab = Lab::new();
-    let with = SdtConfig::ibtc_inline(4096);
-    let mut without = with;
-    without.flags = FlagsPolicy::None;
-
-    let mut t = Table::new(
-        "Fig. 6: flags save/restore tax on IBTC dispatch (4096 entries)",
-        &["benchmark", "x86 save", "x86 none", "x86 tax", "sparc save", "sparc none", "sparc tax"],
-    );
-    let mut tax_x86 = Vec::new();
-    let mut tax_sparc = Vec::new();
-    for name in names() {
-        let mut cells = vec![name.to_string()];
-        for profile in [ArchProfile::x86_like(), ArchProfile::sparc_like()] {
-            let native = lab.native(name, &profile).total_cycles;
-            let a = lab.translated(name, with, &profile).slowdown(native);
-            let b = lab.translated(name, without, &profile).slowdown(native);
-            let tax = a / b;
-            if profile.name == "x86-like" {
-                tax_x86.push(tax);
-            } else {
-                tax_sparc.push(tax);
-            }
-            cells.push(fx(a));
-            cells.push(fx(b));
-            cells.push(format!("{:+.1}%", (tax - 1.0) * 100.0));
-        }
-        t.row(cells);
-    }
-    print_table(&t);
-    println!(
-        "geomean flags tax: x86-like {:+.1}%, sparc-like {:+.1}%",
-        (geomean(tax_x86).expect("nonempty") - 1.0) * 100.0,
-        (geomean(tax_sparc).expect("nonempty") - 1.0) * 100.0,
-    );
-    println!(
-        "Reading: the pushf/popf pair is a real tax on the x86-like profile and\n\
-         noise on sparc-like — one of the paper's architecture-dependence levers."
-    );
+    strata_expt::run_single("fig6");
 }

@@ -2,52 +2,10 @@
 //! share chains and every dispatch walks multiple compare-and-branch
 //! stanzas; with many buckets chains stay short and a hit is one table
 //! load plus one stanza ending in a *direct* jump.
-
-use strata_arch::ArchProfile;
-use strata_bench::{fx, names, print_table, Lab};
-use strata_core::SdtConfig;
-use strata_stats::{geomean, Table};
+//!
+//! This binary is a thin delegate: the experiment itself is defined once
+//! in `strata_expt::experiments::fig7_sieve_sweep` and shared with `strata bench`.
 
 fn main() {
-    let mut lab = Lab::new();
-    let x86 = ArchProfile::x86_like();
-    let mut t = Table::new(
-        "Fig. 7: sieve bucket-count sweep (x86-like)",
-        &["buckets", "geomean slowdown", "mean chain", "max chain", "perlbmk", "gcc"],
-    );
-    for shift in [4u32, 6, 8, 10, 12, 14, 16] {
-        let buckets = 1u32 << shift;
-        let cfg = SdtConfig::sieve(buckets);
-        let mut slowdowns = Vec::new();
-        let mut mean_chain: f64 = 0.0;
-        let mut max_chain = 0u32;
-        let mut pick = [0.0f64; 2];
-        for name in names() {
-            let native = lab.native(name, &x86).total_cycles;
-            let r = lab.translated(name, cfg, &x86);
-            let s = r.slowdown(native);
-            slowdowns.push(s);
-            mean_chain = mean_chain.max(r.mech.sieve_mean_chain);
-            max_chain = max_chain.max(r.mech.sieve_max_chain);
-            match name {
-                "perlbmk" => pick[0] = s,
-                "gcc" => pick[1] = s,
-                _ => {}
-            }
-        }
-        t.row([
-            buckets.to_string(),
-            fx(geomean(slowdowns.iter().copied()).expect("nonempty")),
-            format!("{mean_chain:.2}"),
-            max_chain.to_string(),
-            fx(pick[0]),
-            fx(pick[1]),
-        ]);
-    }
-    print_table(&t);
-    println!(
-        "Reading: slowdown tracks chain length; once buckets exceed the dynamic\n\
-         target count, chains are ~1 stanza and performance saturates. (Chain\n\
-         columns report the worst benchmark at each size.)"
-    );
+    strata_expt::run_single("fig7");
 }

@@ -2,65 +2,10 @@
 //! at their saturated sizes: translator re-entry, out-of-line IBTC,
 //! inlined IBTC, and the sieve (returns handled as generic IBs
 //! throughout, isolating the IB mechanism itself).
-
-use strata_arch::ArchProfile;
-use strata_bench::{fx, names, print_table, Lab};
-use strata_core::SdtConfig;
-use strata_stats::{geomean, Table};
+//!
+//! This binary is a thin delegate: the experiment itself is defined once
+//! in `strata_expt::experiments::fig8_mechanism_comparison` and shared with `strata bench`.
 
 fn main() {
-    let mut lab = Lab::new();
-    let x86 = ArchProfile::x86_like();
-    let configs = [
-        ("reentry", SdtConfig::reentry()),
-        ("ibtc-outline", SdtConfig::ibtc_out_of_line(4096)),
-        ("ibtc-inline", SdtConfig::ibtc_inline(4096)),
-        ("sieve", SdtConfig::sieve(4096)),
-    ];
-    let mut t = Table::new(
-        "Fig. 8: IB mechanism comparison, slowdown vs native (x86-like)",
-        &["benchmark", "reentry", "ibtc-outline", "ibtc-inline", "sieve"],
-    );
-    let mut per_cfg: Vec<Vec<f64>> = vec![Vec::new(); configs.len()];
-    for name in names() {
-        let native = lab.native(name, &x86).total_cycles;
-        let mut cells = vec![name.to_string()];
-        for (i, (_, cfg)) in configs.iter().enumerate() {
-            let s = lab.translated(name, *cfg, &x86).slowdown(native);
-            per_cfg[i].push(s);
-            cells.push(fx(s));
-        }
-        t.row(cells);
-    }
-    let mut cells = vec!["geomean".to_string()];
-    for series in &per_cfg {
-        cells.push(fx(geomean(series.iter().copied()).expect("nonempty")));
-    }
-    t.row(cells);
-    print_table(&t);
-
-    // The crossover: at small structure sizes the sieve wins, because its
-    // chains *grow* on conflict while a small IBTC *evicts* and pays a
-    // full translator crossing per conflict miss.
-    let mut t2 = Table::new(
-        "Fig. 8b: IBTC vs sieve under tight table budgets (geomean, x86-like)",
-        &["size", "ibtc-inline", "sieve"],
-    );
-    for size in [16u32, 64, 256, 4096] {
-        let gi = geomean_over(&mut lab, SdtConfig::ibtc_inline(size), &x86);
-        let gs = geomean_over(&mut lab, SdtConfig::sieve(size), &x86);
-        t2.row([size.to_string(), fx(gi), fx(gs)]);
-    }
-    print_table(&t2);
-    println!(
-        "Reading: any in-cache mechanism crushes re-entry; at saturated sizes the\n\
-         inlined IBTC leads on this BTB-equipped profile, but under a tight table\n\
-         budget the ranking crosses over — the sieve degrades gracefully (longer\n\
-         chains) while a small IBTC thrashes (conflict evictions → translator\n\
-         crossings). Which mechanism wins depends on configuration and machine."
-    );
-}
-
-fn geomean_over(lab: &mut Lab, cfg: SdtConfig, profile: &ArchProfile) -> f64 {
-    lab.geomean_slowdown(cfg, profile)
+    strata_expt::run_single("fig8");
 }

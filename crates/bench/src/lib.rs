@@ -10,14 +10,17 @@
 //! cargo run --release -p strata-bench --bin fig4_ibtc_size_sweep
 //! ```
 //!
-//! Environment knobs:
+//! Environment knobs (parsed once by [`strata_expt::EnvKnobs`]):
 //!
 //! * `STRATA_SCALE` — workload scale factor (default 1),
+//! * `STRATA_VARIANT` — workload generator variant seed (default 0),
 //! * `STRATA_CSV=1` — additionally print each table as CSV.
 //!
-//! This library crate holds the shared experiment harness: workload
-//! construction, cached native baselines, slowdown helpers, and uniform
-//! table printing.
+//! The experiments themselves now live in `strata-expt`; the binaries are
+//! thin delegates to [`strata_expt::run_single`]. This library crate keeps
+//! the interactive [`Lab`] harness — workload construction, cached native
+//! baselines, slowdown helpers, and uniform table printing — for ad-hoc
+//! exploration and the microbenchmarks.
 
 use std::collections::HashMap;
 
@@ -31,18 +34,10 @@ use strata_workloads::{registry, Params, Spec};
 pub const FUEL: u64 = 4_000_000_000;
 
 /// Workload scale and variant, from `STRATA_SCALE` / `STRATA_VARIANT`
-/// (defaults 1 and 0).
+/// (defaults 1 and 0). Delegates to [`strata_expt::EnvKnobs`] so every
+/// entry point agrees on the parsing rules.
 pub fn params() -> Params {
-    let scale = std::env::var("STRATA_SCALE")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .filter(|&s| s >= 1)
-        .unwrap_or(1);
-    let variant = std::env::var("STRATA_VARIANT")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0);
-    Params { scale, variant }
+    strata_expt::EnvKnobs::from_env().params()
 }
 
 /// The benchmark names in presentation order.
@@ -130,7 +125,7 @@ impl Default for Lab {
 /// Prints a table as aligned text (always) and CSV (when `STRATA_CSV=1`).
 pub fn print_table(table: &Table) {
     println!("{}", table.render_text());
-    if std::env::var("STRATA_CSV").is_ok_and(|v| v == "1") {
+    if strata_expt::EnvKnobs::from_env().csv {
         println!("{}", table.render_csv());
     }
 }

@@ -1,0 +1,159 @@
+//! Cells — the unit of simulation work.
+//!
+//! A [`CellKey`] names one run: a workload, a kind (native baseline or
+//! translated under some [`SdtConfig`]), an [`ArchProfile`], and workload
+//! [`Params`]. Every experiment expands into a set of cells; the
+//! orchestrator dedupes them by key so each unique cell is simulated
+//! exactly once per suite run.
+//!
+//! The memoization key is the *full* rendered [`CellKey::key_string`] —
+//! collision-free by construction, because `SdtConfig::describe()` spells
+//! out every configuration field and profile names are unique. The FNV-1a
+//! hash is used only to derive short on-disk cache file names, and disk
+//! entries embed the full key string so a hash collision degrades to a
+//! recompute, never to a wrong result.
+
+use strata_arch::ArchProfile;
+use strata_core::{NativeRun, RunReport, SdtConfig};
+use strata_workloads::Params;
+
+/// What kind of run a cell is.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunKind {
+    /// Untranslated execution under the architecture model — the baseline
+    /// every slowdown is computed against.
+    Native,
+    /// Execution under the SDT with the given configuration.
+    Translated(SdtConfig),
+}
+
+/// Names one unit of simulation work.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellKey {
+    /// Workload name from the `strata-workloads` registry.
+    pub workload: &'static str,
+    /// Native baseline or translated configuration.
+    pub kind: RunKind,
+    /// Architecture cost model.
+    pub profile: ArchProfile,
+    /// Workload scale and variant.
+    pub params: Params,
+}
+
+impl CellKey {
+    /// A native-baseline cell.
+    pub fn native(workload: &'static str, profile: ArchProfile, params: Params) -> CellKey {
+        CellKey { workload, kind: RunKind::Native, profile, params }
+    }
+
+    /// A translated cell.
+    pub fn translated(
+        workload: &'static str,
+        cfg: SdtConfig,
+        profile: ArchProfile,
+        params: Params,
+    ) -> CellKey {
+        CellKey { workload, kind: RunKind::Translated(cfg), profile, params }
+    }
+
+    /// The native counterpart of this cell (identity for native cells).
+    pub fn native_counterpart(&self) -> CellKey {
+        CellKey::native(self.workload, self.profile.clone(), self.params)
+    }
+
+    /// The stable, collision-free memoization key.
+    ///
+    /// `SdtConfig::describe()` covers every configuration field, so two
+    /// distinct configurations always render distinct strings.
+    pub fn key_string(&self) -> String {
+        let kind = match &self.kind {
+            RunKind::Native => "native".to_string(),
+            RunKind::Translated(cfg) => format!("sdt:{}", cfg.describe()),
+        };
+        format!(
+            "{}|{}|{}|s{}v{}",
+            self.workload, kind, self.profile.name, self.params.scale, self.params.variant
+        )
+    }
+
+    /// File name for the on-disk cell cache (hash of the key string).
+    pub fn cache_file_name(&self) -> String {
+        format!("{:016x}.cell", fnv1a64(self.key_string().as_bytes()))
+    }
+}
+
+/// FNV-1a 64-bit hash — used only to derive disk-cache file names.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The measured outcome of one cell.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellResult {
+    /// Outcome of a native run.
+    Native(NativeRun),
+    /// Outcome of a translated run.
+    Translated(Box<RunReport>),
+}
+
+impl CellResult {
+    /// The run's syscall checksum (the observable program result).
+    pub fn checksum(&self) -> u32 {
+        match self {
+            CellResult::Native(n) => n.checksum,
+            CellResult::Translated(r) => r.checksum,
+        }
+    }
+
+    /// The native run, if this is a native cell.
+    pub fn as_native(&self) -> Option<&NativeRun> {
+        match self {
+            CellResult::Native(n) => Some(n),
+            CellResult::Translated(_) => None,
+        }
+    }
+
+    /// The translated report, if this is a translated cell.
+    pub fn as_translated(&self) -> Option<&RunReport> {
+        match self {
+            CellResult::Native(_) => None,
+            CellResult::Translated(r) => Some(r),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_strings_distinguish_every_component() {
+        let x86 = ArchProfile::x86_like();
+        let p = Params::default();
+        let a = CellKey::native("gzip", x86.clone(), p);
+        let b = CellKey::native("gcc", x86.clone(), p);
+        let c = CellKey::native("gzip", ArchProfile::mips_like(), p);
+        let d = CellKey::native("gzip", x86.clone(), Params { scale: 2, variant: 0 });
+        let e = CellKey::native("gzip", x86.clone(), Params { scale: 1, variant: 3 });
+        let f = CellKey::translated("gzip", SdtConfig::ibtc_inline(64), x86.clone(), p);
+        let g = CellKey::translated("gzip", SdtConfig::ibtc_inline(128), x86, p);
+        let keys: Vec<String> = [&a, &b, &c, &d, &e, &f, &g].iter().map(|k| k.key_string()).collect();
+        let mut dedup = keys.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), keys.len(), "all keys distinct: {keys:?}");
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        // Frozen reference values for the FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+}

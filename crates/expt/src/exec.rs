@@ -1,0 +1,157 @@
+//! The work-queue executor.
+//!
+//! Simulation cells are pure, single-threaded, and independent, so the
+//! scheduler is embarrassingly simple: dedupe the requested cells, then
+//! let a `--jobs N` pool of scoped threads claim indices off a shared
+//! atomic counter. Execution runs in two phases — native baselines first,
+//! translated cells second — so that every translated cell can verify its
+//! checksum against an already-memoized native result without ever racing
+//! another thread to compute the same baseline.
+//!
+//! Parallelism only changes *when* results land in the [`Store`]; the
+//! results themselves are deterministic functions of their keys, and all
+//! rendering happens serially afterwards, so suite output is bit-identical
+//! for every `--jobs` value.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use strata_core::{run_native, Sdt};
+use strata_machine::Program;
+use strata_workloads::{by_name, Params};
+
+use crate::cell::{CellKey, CellResult, RunKind};
+use crate::store::Store;
+
+/// Fuel ceiling for every run — far above any workload at default scale.
+pub const FUEL: u64 = 4_000_000_000;
+
+/// Builds the program a cell runs (workload at the cell's params).
+pub fn build_program(workload: &str, params: Params) -> Program {
+    let spec = by_name(workload).unwrap_or_else(|| panic!("unknown workload `{workload}`"));
+    (spec.build)(&params)
+}
+
+/// Computes (or recalls) the result of one cell. Translated cells verify
+/// their checksum against the memoized native baseline.
+pub fn cell_result(store: &Store, key: &CellKey, program: &Program) -> Arc<CellResult> {
+    match &key.kind {
+        RunKind::Native => store.get_or_compute(key, || {
+            CellResult::Native(run_native(program, key.profile.clone(), FUEL).unwrap_or_else(
+                |e| panic!("native {} on {}: {e}", key.workload, key.profile.name),
+            ))
+        }),
+        RunKind::Translated(cfg) => {
+            let native = cell_result(store, &key.native_counterpart(), program);
+            let cfg = *cfg;
+            store.get_or_compute(key, || {
+                let report = Sdt::new(cfg, program)
+                    .unwrap_or_else(|e| panic!("sdt for {} / {}: {e}", key.workload, cfg.describe()))
+                    .run(key.profile.clone(), FUEL)
+                    .unwrap_or_else(|e| {
+                        panic!(
+                            "run {} / {} on {}: {e}",
+                            key.workload,
+                            cfg.describe(),
+                            key.profile.name
+                        )
+                    });
+                assert_eq!(
+                    report.checksum,
+                    native.checksum(),
+                    "{}/{}: translated run diverged from native",
+                    key.workload,
+                    cfg.describe()
+                );
+                CellResult::Translated(Box::new(report))
+            })
+        }
+    }
+}
+
+/// Executes `cells` (deduped) on `jobs` worker threads, populating `store`.
+///
+/// Every translated cell's native counterpart is scheduled too, so after
+/// this returns the store can answer any slowdown query the cells imply.
+pub fn execute(store: &Store, cells: &[CellKey], jobs: usize) {
+    // Dedupe by key string, preserving first-seen order, and split into
+    // the two phases.
+    let mut seen: HashMap<String, ()> = HashMap::new();
+    let mut natives: Vec<CellKey> = Vec::new();
+    let mut translated: Vec<CellKey> = Vec::new();
+    let mut push = |key: CellKey, natives: &mut Vec<CellKey>, translated: &mut Vec<CellKey>| {
+        if seen.insert(key.key_string(), ()).is_none() {
+            match key.kind {
+                RunKind::Native => natives.push(key),
+                RunKind::Translated(_) => translated.push(key),
+            }
+        }
+    };
+    for cell in cells {
+        if matches!(cell.kind, RunKind::Translated(_)) {
+            push(cell.native_counterpart(), &mut natives, &mut translated);
+        }
+        push(cell.clone(), &mut natives, &mut translated);
+    }
+
+    // Build each (workload, params) program once, shared by all workers.
+    let mut programs: HashMap<(&'static str, u32, u64), Program> = HashMap::new();
+    for key in natives.iter().chain(&translated) {
+        programs
+            .entry((key.workload, key.params.scale, key.params.variant))
+            .or_insert_with(|| build_program(key.workload, key.params));
+    }
+
+    let jobs = jobs.max(1);
+    for phase in [&natives, &translated] {
+        run_phase(store, phase, &programs, jobs);
+    }
+}
+
+fn run_phase(
+    store: &Store,
+    cells: &[CellKey],
+    programs: &HashMap<(&'static str, u32, u64), Program>,
+    jobs: usize,
+) {
+    if cells.is_empty() {
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    let workers = jobs.min(cells.len());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(key) = cells.get(i) else { break };
+                let program = &programs[&(key.workload, key.params.scale, key.params.variant)];
+                cell_result(store, key, program);
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strata_arch::ArchProfile;
+    use strata_core::SdtConfig;
+
+    #[test]
+    fn execute_dedupes_and_verifies() {
+        let store = Store::in_memory();
+        let x86 = ArchProfile::x86_like();
+        let p = Params::default();
+        let cfg = SdtConfig::ibtc_inline(512);
+        // The same cell requested twice, plus its implied native baseline:
+        // exactly two simulations run.
+        let cells = vec![
+            CellKey::translated("gzip", cfg, x86.clone(), p),
+            CellKey::translated("gzip", cfg, x86.clone(), p),
+        ];
+        execute(&store, &cells, 2);
+        assert_eq!(store.stats().computed, 2);
+        assert!(store.get(&CellKey::native("gzip", x86, p)).is_some());
+    }
+}

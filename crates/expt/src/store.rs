@@ -1,0 +1,393 @@
+//! The shared, concurrent cell store.
+//!
+//! Results are memoized under the full [`CellKey::key_string`] so each
+//! unique (workload, config, profile, params) cell is simulated at most
+//! once per suite run, however many experiments request it. An optional
+//! on-disk layer (`results/cache/`) makes re-runs resumable: cells are
+//! persisted as versioned flat-text records that embed their full key, so
+//! stale or hash-colliding files are ignored rather than trusted.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::sync::Arc;
+
+use strata_core::{MechanismStats, NativeRun, RunReport};
+
+use crate::cell::{CellKey, CellResult};
+
+/// On-disk record format version; bump on any layout change.
+const DISK_VERSION: &str = "strata-cell-v1";
+
+/// Hit/miss counters for one suite run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Cells actually simulated.
+    pub computed: u64,
+    /// Requests served from the in-memory map.
+    pub memo_hits: u64,
+    /// Cells loaded from the on-disk cache.
+    pub disk_hits: u64,
+}
+
+/// Concurrent memoizing store for cell results.
+pub struct Store {
+    cells: Mutex<HashMap<String, Arc<CellResult>>>,
+    disk: Option<PathBuf>,
+    computed: AtomicU64,
+    memo_hits: AtomicU64,
+    disk_hits: AtomicU64,
+}
+
+impl Store {
+    /// A purely in-memory store.
+    pub fn in_memory() -> Store {
+        Store {
+            cells: Mutex::new(HashMap::new()),
+            disk: None,
+            computed: AtomicU64::new(0),
+            memo_hits: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+        }
+    }
+
+    /// A store that additionally persists cells under `dir` (created on
+    /// first write).
+    pub fn with_disk_cache(dir: PathBuf) -> Store {
+        Store { disk: Some(dir), ..Store::in_memory() }
+    }
+
+    /// Number of distinct cells held in memory.
+    pub fn len(&self) -> usize {
+        self.cells.lock().expect("store lock").len()
+    }
+
+    /// Whether the store holds no cells.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counters for this store's lifetime.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            computed: self.computed.load(Ordering::Relaxed),
+            memo_hits: self.memo_hits.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The memoized result for `key`, if already present in memory.
+    pub fn get(&self, key: &CellKey) -> Option<Arc<CellResult>> {
+        self.cells.lock().expect("store lock").get(&key.key_string()).cloned()
+    }
+
+    /// Returns the result for `key`, computing it with `compute` on a
+    /// miss (after consulting the disk cache, when configured).
+    ///
+    /// The lock is not held while computing, so independent cells proceed
+    /// in parallel. The orchestrator dedupes its work list by key, so two
+    /// threads essentially never compute the same cell; if they ever do
+    /// (both may race past the initial lookup), the first inserted result
+    /// wins and the duplicate — identical, since simulation is pure — is
+    /// discarded.
+    pub fn get_or_compute(
+        &self,
+        key: &CellKey,
+        compute: impl FnOnce() -> CellResult,
+    ) -> Arc<CellResult> {
+        let ks = key.key_string();
+        if let Some(hit) = self.cells.lock().expect("store lock").get(&ks) {
+            self.memo_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        let (result, from_disk) = match self.load_from_disk(key, &ks) {
+            Some(r) => (r, true),
+            None => (compute(), false),
+        };
+        if from_disk {
+            self.disk_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.computed.fetch_add(1, Ordering::Relaxed);
+            self.save_to_disk(key, &ks, &result);
+        }
+        let mut cells = self.cells.lock().expect("store lock");
+        Arc::clone(cells.entry(ks).or_insert_with(|| Arc::new(result)))
+    }
+
+    fn load_from_disk(&self, key: &CellKey, ks: &str) -> Option<CellResult> {
+        let dir = self.disk.as_ref()?;
+        let text = std::fs::read_to_string(dir.join(key.cache_file_name())).ok()?;
+        parse_record(&text, ks)
+    }
+
+    fn save_to_disk(&self, key: &CellKey, ks: &str, result: &CellResult) {
+        let Some(dir) = self.disk.as_ref() else { return };
+        // Cache writes are best-effort: an unwritable directory degrades
+        // to recomputation on the next run, never to an error.
+        if std::fs::create_dir_all(dir).is_err() {
+            return;
+        }
+        let _ = std::fs::write(dir.join(key.cache_file_name()), render_record(ks, result));
+    }
+}
+
+// --- flat-text serialization -------------------------------------------
+//
+// One `field=value` pair per line; u64 arrays comma-separated; f64 stored
+// as IEEE-754 bit patterns in hex so round-trips are exact.
+
+fn render_record(key: &str, result: &CellResult) -> String {
+    let mut out = String::new();
+    out.push_str(DISK_VERSION);
+    out.push('\n');
+    out.push_str("key=");
+    out.push_str(key);
+    out.push('\n');
+    match result {
+        CellResult::Native(n) => {
+            out.push_str("kind=native\n");
+            let fields: [(&str, u64); 10] = [
+                ("checksum", n.checksum as u64),
+                ("total_cycles", n.total_cycles),
+                ("instructions", n.instructions),
+                ("indirect_jumps", n.indirect_jumps),
+                ("indirect_calls", n.indirect_calls),
+                ("returns", n.returns),
+                ("direct_calls", n.direct_calls),
+                ("cond_branches", n.cond_branches),
+                ("icache_misses", n.icache_misses),
+                ("dcache_misses", n.dcache_misses),
+            ];
+            for (name, value) in fields {
+                out.push_str(&format!("{name}={value}\n"));
+            }
+            out.push_str(&format!("regs={}\n", join_u64(n.regs.iter().map(|&r| r as u64))));
+        }
+        CellResult::Translated(r) => {
+            out.push_str("kind=translated\n");
+            out.push_str(&format!("config={}\n", r.config));
+            out.push_str(&format!("arch={}\n", r.arch));
+            out.push_str(&format!("halted={}\n", r.halted as u64));
+            let fields: [(&str, u64); 20] = [
+                ("checksum", r.checksum as u64),
+                ("instructions", r.instructions),
+                ("total_cycles", r.total_cycles),
+                ("translator_cycles", r.translator_cycles),
+                ("icache_misses", r.icache_misses),
+                ("dcache_misses", r.dcache_misses),
+                ("indirect_mispredicts", r.indirect_mispredicts),
+                ("cond_mispredicts", r.cond_mispredicts),
+                ("ib_dispatches", r.mech.ib_dispatches),
+                ("ib_misses", r.mech.ib_misses),
+                ("ret_dispatches", r.mech.ret_dispatches),
+                ("rc_misses", r.mech.rc_misses),
+                ("exit_misses", r.mech.exit_misses),
+                ("exit_links", r.mech.exit_links),
+                ("translator_entries", r.mech.translator_entries),
+                ("fragments", r.mech.fragments),
+                ("translated_app_instrs", r.mech.translated_app_instrs),
+                ("cache_used_bytes", r.mech.cache_used_bytes),
+                ("cache_flushes", r.mech.cache_flushes),
+                ("elided_jumps", r.mech.elided_jumps),
+            ];
+            for (name, value) in fields {
+                out.push_str(&format!("{name}={value}\n"));
+            }
+            out.push_str(&format!("sieve_mean_chain={:016x}\n", r.mech.sieve_mean_chain.to_bits()));
+            out.push_str(&format!("sieve_max_chain={}\n", r.mech.sieve_max_chain));
+            out.push_str(&format!("cycles_by_origin={}\n", join_u64(r.cycles_by_origin.iter().copied())));
+            out.push_str(&format!("instrs_by_origin={}\n", join_u64(r.instrs_by_origin.iter().copied())));
+        }
+    }
+    out
+}
+
+fn parse_record(text: &str, expected_key: &str) -> Option<CellResult> {
+    let mut lines = text.lines();
+    if lines.next()? != DISK_VERSION {
+        return None;
+    }
+    let mut map: HashMap<&str, &str> = HashMap::new();
+    for line in lines {
+        let (k, v) = line.split_once('=')?;
+        map.insert(k, v);
+    }
+    // A stale or hash-colliding file fails this check and is recomputed.
+    if map.get("key").copied() != Some(expected_key) {
+        return None;
+    }
+    let u = |name: &str| -> Option<u64> { map.get(name)?.parse().ok() };
+    match map.get("kind").copied()? {
+        "native" => {
+            let regs_vec = split_u64(map.get("regs")?)?;
+            let mut regs = [0u32; 16];
+            if regs_vec.len() != regs.len() {
+                return None;
+            }
+            for (slot, value) in regs.iter_mut().zip(regs_vec) {
+                *slot = u32::try_from(value).ok()?;
+            }
+            Some(CellResult::Native(NativeRun {
+                checksum: u("checksum")? as u32,
+                total_cycles: u("total_cycles")?,
+                instructions: u("instructions")?,
+                indirect_jumps: u("indirect_jumps")?,
+                indirect_calls: u("indirect_calls")?,
+                returns: u("returns")?,
+                direct_calls: u("direct_calls")?,
+                cond_branches: u("cond_branches")?,
+                icache_misses: u("icache_misses")?,
+                dcache_misses: u("dcache_misses")?,
+                regs,
+            }))
+        }
+        "translated" => {
+            let mech = MechanismStats {
+                ib_dispatches: u("ib_dispatches")?,
+                ib_misses: u("ib_misses")?,
+                ret_dispatches: u("ret_dispatches")?,
+                rc_misses: u("rc_misses")?,
+                exit_misses: u("exit_misses")?,
+                exit_links: u("exit_links")?,
+                translator_entries: u("translator_entries")?,
+                fragments: u("fragments")?,
+                translated_app_instrs: u("translated_app_instrs")?,
+                cache_used_bytes: u("cache_used_bytes")?,
+                cache_flushes: u("cache_flushes")?,
+                elided_jumps: u("elided_jumps")?,
+                sieve_mean_chain: f64::from_bits(
+                    u64::from_str_radix(map.get("sieve_mean_chain")?, 16).ok()?,
+                ),
+                sieve_max_chain: u("sieve_max_chain")? as u32,
+            };
+            Some(CellResult::Translated(Box::new(RunReport {
+                config: map.get("config")?.to_string(),
+                arch: arch_static(map.get("arch")?)?,
+                halted: u("halted")? != 0,
+                checksum: u("checksum")? as u32,
+                instructions: u("instructions")?,
+                total_cycles: u("total_cycles")?,
+                cycles_by_origin: fixed6(split_u64(map.get("cycles_by_origin")?)?)?,
+                instrs_by_origin: fixed6(split_u64(map.get("instrs_by_origin")?)?)?,
+                translator_cycles: u("translator_cycles")?,
+                mech,
+                icache_misses: u("icache_misses")?,
+                dcache_misses: u("dcache_misses")?,
+                indirect_mispredicts: u("indirect_mispredicts")?,
+                cond_mispredicts: u("cond_mispredicts")?,
+            })))
+        }
+        _ => None,
+    }
+}
+
+/// Maps a stored profile name back to the `&'static str` the live
+/// profiles carry; unknown names invalidate the record.
+fn arch_static(name: &str) -> Option<&'static str> {
+    use strata_arch::ArchProfile;
+    for profile in ArchProfile::all() {
+        if profile.name == name {
+            return Some(profile.name);
+        }
+    }
+    let ideal = ArchProfile::ideal();
+    (ideal.name == name).then_some(ideal.name)
+}
+
+fn join_u64(values: impl Iterator<Item = u64>) -> String {
+    values.map(|v| v.to_string()).collect::<Vec<_>>().join(",")
+}
+
+fn split_u64(s: &str) -> Option<Vec<u64>> {
+    s.split(',').map(|p| p.parse().ok()).collect()
+}
+
+fn fixed6(v: Vec<u64>) -> Option<[u64; 6]> {
+    v.try_into().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strata_arch::ArchProfile;
+    use strata_core::SdtConfig;
+    use strata_workloads::Params;
+
+    fn sample_native() -> NativeRun {
+        NativeRun {
+            checksum: 0xDEAD_BEEF,
+            total_cycles: 123_456_789,
+            instructions: 1_000_000,
+            indirect_jumps: 11,
+            indirect_calls: 22,
+            returns: 33,
+            direct_calls: 44,
+            cond_branches: 55,
+            icache_misses: 66,
+            dcache_misses: 77,
+            regs: [7; 16],
+        }
+    }
+
+    fn sample_report() -> RunReport {
+        RunReport {
+            config: "ibtc(64,shared,inline)".into(),
+            arch: ArchProfile::x86_like().name,
+            halted: true,
+            checksum: 42,
+            instructions: 2_000_000,
+            total_cycles: 9_999_999,
+            cycles_by_origin: [1, 2, 3, 4, 5, 6],
+            instrs_by_origin: [6, 5, 4, 3, 2, 1],
+            translator_cycles: 1234,
+            mech: MechanismStats { ib_dispatches: 10, sieve_mean_chain: 1.75, ..Default::default() },
+            icache_misses: 8,
+            dcache_misses: 9,
+            indirect_mispredicts: 10,
+            cond_mispredicts: 11,
+        }
+    }
+
+    #[test]
+    fn records_roundtrip() {
+        for result in [
+            CellResult::Native(sample_native()),
+            CellResult::Translated(Box::new(sample_report())),
+        ] {
+            let text = render_record("some|key", &result);
+            let back = parse_record(&text, "some|key").expect("parses");
+            assert_eq!(back, result);
+            // The embedded key is verified.
+            assert!(parse_record(&text, "other|key").is_none());
+        }
+    }
+
+    #[test]
+    fn version_mismatch_invalidates() {
+        let text = render_record("k", &CellResult::Native(sample_native()));
+        let old = text.replace(DISK_VERSION, "strata-cell-v0");
+        assert!(parse_record(&old, "k").is_none());
+    }
+
+    #[test]
+    fn memoizes_and_counts() {
+        let store = Store::in_memory();
+        let key = CellKey::translated(
+            "gzip",
+            SdtConfig::ibtc_inline(64),
+            ArchProfile::x86_like(),
+            Params::default(),
+        );
+        let mut calls = 0;
+        for _ in 0..3 {
+            store.get_or_compute(&key, || {
+                calls += 1;
+                CellResult::Native(sample_native())
+            });
+        }
+        assert_eq!(calls, 1);
+        assert_eq!(store.stats(), StoreStats { computed: 1, memo_hits: 2, disk_hits: 0 });
+        assert_eq!(store.len(), 1);
+    }
+}

@@ -1,0 +1,309 @@
+//! Suite orchestration: select experiments, expand their cells, execute
+//! the deduped cell set in parallel, then render every experiment
+//! serially — text, CSV, or JSON — with per-experiment JSON artifacts.
+//!
+//! Rendering happens strictly after execution and in registry order, so
+//! the output is byte-identical for any `--jobs` value (the parallel
+//! phase only changes *when* each memoized result appears, never what it
+//! contains).
+
+use std::path::{Path, PathBuf};
+
+use strata_stats::Json;
+use strata_workloads::Params;
+
+use crate::exec::execute;
+use crate::experiments::Output;
+use crate::knobs::EnvKnobs;
+use crate::registry::{registry, Experiment};
+use crate::store::{Store, StoreStats};
+use crate::view::View;
+
+/// Stdout rendering format for `strata bench`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutputFormat {
+    /// Aligned text tables plus reading notes (default).
+    Text,
+    /// CSV per table, titles as `#` comment lines, notes omitted.
+    Csv,
+    /// One pretty-printed JSON document for the whole suite.
+    Json,
+}
+
+impl OutputFormat {
+    /// Parses `text` / `csv` / `json`.
+    pub fn parse(s: &str) -> Result<OutputFormat, String> {
+        match s {
+            "text" => Ok(OutputFormat::Text),
+            "csv" => Ok(OutputFormat::Csv),
+            "json" => Ok(OutputFormat::Json),
+            other => Err(format!("unknown format `{other}` (text|csv|json)")),
+        }
+    }
+}
+
+/// Options for one suite run.
+#[derive(Debug, Clone)]
+pub struct SuiteOptions {
+    /// Worker threads (default: available parallelism).
+    pub jobs: usize,
+    /// Comma-separated experiment-id substrings; `None` runs everything.
+    pub filter: Option<String>,
+    /// Stdout format.
+    pub format: OutputFormat,
+    /// Workload parameters.
+    pub params: Params,
+    /// Enable the on-disk cell cache under this directory.
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl Default for SuiteOptions {
+    fn default() -> SuiteOptions {
+        SuiteOptions {
+            jobs: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            filter: None,
+            format: OutputFormat::Text,
+            params: Params::default(),
+            cache_dir: None,
+        }
+    }
+}
+
+/// One rendered experiment.
+#[derive(Debug)]
+pub struct SuiteSection {
+    /// Experiment id (`table1`, `fig4`, …).
+    pub id: &'static str,
+    /// Experiment title.
+    pub title: &'static str,
+    /// Rendered tables and notes.
+    pub output: Output,
+}
+
+/// The result of a suite run.
+#[derive(Debug)]
+pub struct SuiteReport {
+    /// Rendered experiments in registry order.
+    pub sections: Vec<SuiteSection>,
+    /// The complete stdout rendering in the requested format.
+    pub rendered: String,
+    /// Per-experiment JSON artifacts as `(file_name, content)` pairs.
+    pub artifacts: Vec<(String, String)>,
+    /// Distinct cells requested by the selected experiments.
+    pub unique_cells: usize,
+    /// Store counters (computed / memo hits / disk hits).
+    pub store_stats: StoreStats,
+}
+
+/// Selects experiments matching `filter` (comma-separated substrings of
+/// experiment ids; `None` or empty selects all), in registry order.
+pub fn select(filter: Option<&str>) -> Vec<&'static Experiment> {
+    let patterns: Vec<&str> = filter
+        .unwrap_or("")
+        .split(',')
+        .map(str::trim)
+        .filter(|p| !p.is_empty())
+        .collect();
+    registry()
+        .iter()
+        .filter(|e| patterns.is_empty() || patterns.iter().any(|p| e.id.contains(p)))
+        .collect()
+}
+
+/// Runs the suite: execute all selected cells in parallel, then render.
+///
+/// # Errors
+///
+/// Returns an error when the filter matches no experiment.
+pub fn run_suite(opts: &SuiteOptions) -> Result<SuiteReport, String> {
+    let selected = select(opts.filter.as_deref());
+    if selected.is_empty() {
+        let ids: Vec<&str> = registry().iter().map(|e| e.id).collect();
+        return Err(format!(
+            "filter `{}` matches no experiment (ids: {})",
+            opts.filter.as_deref().unwrap_or(""),
+            ids.join(", ")
+        ));
+    }
+
+    let store = match &opts.cache_dir {
+        Some(dir) => Store::with_disk_cache(dir.clone()),
+        None => Store::in_memory(),
+    };
+
+    let mut cells = Vec::new();
+    for e in &selected {
+        cells.extend((e.cells)(opts.params));
+    }
+    execute(&store, &cells, opts.jobs);
+    let unique_cells = store.len();
+
+    let view = View::new(&store, opts.params);
+    let sections: Vec<SuiteSection> = selected
+        .iter()
+        .map(|e| SuiteSection { id: e.id, title: e.title, output: (e.render)(&view) })
+        .collect();
+
+    let artifacts: Vec<(String, String)> = sections
+        .iter()
+        .map(|s| {
+            (format!("{}.json", s.id), section_json(s, opts.params).render_pretty() + "\n")
+        })
+        .collect();
+
+    let rendered = match opts.format {
+        OutputFormat::Text => render_text(&sections),
+        OutputFormat::Csv => render_csv(&sections),
+        OutputFormat::Json => {
+            let doc = Json::obj([
+                ("params", params_json(opts.params)),
+                ("experiments", Json::arr(sections.iter().map(|s| section_json(s, opts.params)))),
+            ]);
+            doc.render_pretty() + "\n"
+        }
+    };
+
+    Ok(SuiteReport {
+        sections,
+        rendered,
+        artifacts,
+        unique_cells,
+        store_stats: store.stats(),
+    })
+}
+
+/// Writes the report's JSON artifacts under `dir` (created if missing).
+///
+/// # Errors
+///
+/// Returns a message naming the file that failed.
+pub fn write_artifacts(report: &SuiteReport, dir: &Path) -> Result<Vec<PathBuf>, String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    let mut written = Vec::new();
+    for (name, content) in &report.artifacts {
+        let path = dir.join(name);
+        std::fs::write(&path, content).map_err(|e| format!("write {}: {e}", path.display()))?;
+        written.push(path);
+    }
+    Ok(written)
+}
+
+/// Runs one experiment by exact id with default options — the entry point
+/// the `strata-bench` binaries delegate to. Prints text tables (plus CSV
+/// when `STRATA_CSV=1`) to stdout.
+///
+/// # Panics
+///
+/// Panics on an unknown id; the ids are compiled in, so this is a
+/// programming error in the calling binary.
+pub fn run_single(id: &str) {
+    let knobs = EnvKnobs::from_env();
+    crate::registry::by_id(id).unwrap_or_else(|| panic!("unknown experiment id `{id}`"));
+    let opts = SuiteOptions {
+        // An exact id is also a substring of itself; restrict to the exact
+        // match below rather than substring expansion.
+        filter: Some(id.to_string()),
+        params: knobs.params(),
+        ..SuiteOptions::default()
+    };
+    let selected = select(opts.filter.as_deref());
+    let store = Store::in_memory();
+    let exact: Vec<_> = selected.into_iter().filter(|e| e.id == id).collect();
+    let mut cells = Vec::new();
+    for e in &exact {
+        cells.extend((e.cells)(opts.params));
+    }
+    execute(&store, &cells, opts.jobs);
+    let view = View::new(&store, opts.params);
+    for e in &exact {
+        let output = (e.render)(&view);
+        for table in &output.tables {
+            println!("{}", table.render_text());
+            if knobs.csv {
+                println!("{}", table.render_csv());
+            }
+        }
+        for note in &output.notes {
+            println!("{note}");
+        }
+    }
+}
+
+fn params_json(params: Params) -> Json {
+    Json::obj([
+        ("scale", Json::uint(params.scale as u64)),
+        ("variant", Json::uint(params.variant)),
+    ])
+}
+
+fn section_json(section: &SuiteSection, params: Params) -> Json {
+    Json::obj([
+        ("id", Json::str(section.id)),
+        ("title", Json::str(section.title)),
+        ("params", params_json(params)),
+        ("tables", Json::arr(section.output.tables.iter().map(|t| t.to_json()))),
+        ("notes", Json::arr(section.output.notes.iter().map(Json::str))),
+    ])
+}
+
+fn render_text(sections: &[SuiteSection]) -> String {
+    let mut out = String::new();
+    for section in sections {
+        out.push_str(&format!("== {} — {} ==\n\n", section.id, section.title));
+        for table in &section.output.tables {
+            out.push_str(&table.render_text());
+            out.push('\n');
+        }
+        for note in &section.output.notes {
+            out.push_str(note);
+            out.push('\n');
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn render_csv(sections: &[SuiteSection]) -> String {
+    let mut out = String::new();
+    for section in sections {
+        for table in &section.output.tables {
+            out.push_str(&format!("# {}: {}\n", section.id, table.title()));
+            out.push_str(&table.render_csv());
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn select_filters_by_substring() {
+        assert_eq!(select(None).len(), 18);
+        assert_eq!(select(Some("")).len(), 18);
+        let tables: Vec<&str> = select(Some("table")).iter().map(|e| e.id).collect();
+        assert_eq!(tables, ["table1", "table2"]);
+        let picked: Vec<&str> = select(Some("fig4, fig7")).iter().map(|e| e.id).collect();
+        assert_eq!(picked, ["fig4", "fig7"]);
+        // fig1 is a substring of fig10..fig17.
+        assert_eq!(select(Some("fig1")).len(), 8);
+        assert!(select(Some("nope")).is_empty());
+    }
+
+    #[test]
+    fn format_parses() {
+        assert_eq!(OutputFormat::parse("text"), Ok(OutputFormat::Text));
+        assert_eq!(OutputFormat::parse("csv"), Ok(OutputFormat::Csv));
+        assert_eq!(OutputFormat::parse("json"), Ok(OutputFormat::Json));
+        assert!(OutputFormat::parse("yaml").is_err());
+    }
+
+    #[test]
+    fn empty_filter_error_names_ids() {
+        let opts = SuiteOptions { filter: Some("zzz".into()), ..SuiteOptions::default() };
+        let err = run_suite(&opts).unwrap_err();
+        assert!(err.contains("table1"), "{err}");
+    }
+}

@@ -1,0 +1,87 @@
+//! Read-side API experiments render from.
+//!
+//! A [`View`] wraps the shared [`Store`] and the suite's workload
+//! [`Params`], exposing the same vocabulary the old per-binary `Lab`
+//! harness had (`native`, `translated`, `slowdown`, `geomean_slowdown`).
+//! The parallel executor pre-warms every declared cell, so renders are
+//! normally pure store lookups; a cell an experiment forgot to declare is
+//! computed on the spot (serially) rather than crashing the suite.
+
+use strata_arch::ArchProfile;
+use strata_core::{NativeRun, RunReport, SdtConfig};
+use strata_stats::geomean;
+use strata_workloads::{registry, Params};
+
+use crate::cell::CellKey;
+use crate::exec::{build_program, cell_result};
+use crate::store::Store;
+
+/// Accessor for memoized cell results at a fixed parameter point.
+pub struct View<'a> {
+    store: &'a Store,
+    params: Params,
+}
+
+impl<'a> View<'a> {
+    /// A view of `store` at `params`.
+    pub fn new(store: &'a Store, params: Params) -> View<'a> {
+        View { store, params }
+    }
+
+    /// The suite's workload parameters.
+    pub fn params(&self) -> Params {
+        self.params
+    }
+
+    /// Benchmark names in presentation order.
+    pub fn names(&self) -> Vec<&'static str> {
+        registry().iter().map(|s| s.name).collect()
+    }
+
+    /// Native baseline at the view's params.
+    pub fn native(&self, name: &'static str, profile: &ArchProfile) -> NativeRun {
+        self.native_at(name, profile, self.params)
+    }
+
+    /// Native baseline at explicit params (fig17 sweeps variants).
+    pub fn native_at(&self, name: &'static str, profile: &ArchProfile, params: Params) -> NativeRun {
+        let key = CellKey::native(name, profile.clone(), params);
+        let result = cell_result(self.store, &key, &build_program(name, params));
+        result.as_native().expect("native key yields native result").clone()
+    }
+
+    /// Translated run at the view's params.
+    pub fn translated(
+        &self,
+        name: &'static str,
+        cfg: SdtConfig,
+        profile: &ArchProfile,
+    ) -> RunReport {
+        self.translated_at(name, cfg, profile, self.params)
+    }
+
+    /// Translated run at explicit params.
+    pub fn translated_at(
+        &self,
+        name: &'static str,
+        cfg: SdtConfig,
+        profile: &ArchProfile,
+        params: Params,
+    ) -> RunReport {
+        let key = CellKey::translated(name, cfg, profile.clone(), params);
+        let result = cell_result(self.store, &key, &build_program(name, params));
+        result.as_translated().expect("translated key yields report").clone()
+    }
+
+    /// Slowdown of `cfg` on `name` under `profile`.
+    pub fn slowdown(&self, name: &'static str, cfg: SdtConfig, profile: &ArchProfile) -> f64 {
+        let native = self.native(name, profile).total_cycles;
+        self.translated(name, cfg, profile).slowdown(native)
+    }
+
+    /// Geometric-mean slowdown of `cfg` across all benchmarks.
+    pub fn geomean_slowdown(&self, cfg: SdtConfig, profile: &ArchProfile) -> f64 {
+        geomean(self.names().iter().map(|n| self.slowdown(n, cfg, profile)))
+            .expect("nonempty benchmark set")
+    }
+}

@@ -1,0 +1,146 @@
+//! End-to-end guarantees of the orchestrator: parallel suite runs are
+//! byte-identical to serial ones, memoization keys never collide, and the
+//! on-disk cell cache round-trips results faithfully.
+
+use strata_arch::ArchProfile;
+use strata_core::SdtConfig;
+use strata_expt::{run_suite, CellKey, OutputFormat, Store, SuiteOptions};
+use strata_workloads::Params;
+
+/// A small but representative filter: table1 touches every workload's
+/// native run, fig14 exercises cache-limit configs on two workloads.
+const FILTER: &str = "table1,fig14";
+
+fn suite(jobs: usize, format: OutputFormat) -> strata_expt::SuiteReport {
+    let opts = SuiteOptions {
+        jobs,
+        filter: Some(FILTER.into()),
+        format,
+        params: Params::default(),
+        cache_dir: None,
+    };
+    run_suite(&opts).expect("suite runs")
+}
+
+#[test]
+fn parallel_suite_is_byte_identical_to_serial() {
+    let serial = suite(1, OutputFormat::Text);
+    let parallel = suite(4, OutputFormat::Text);
+    assert_eq!(serial.rendered, parallel.rendered, "text output depends on --jobs");
+    assert_eq!(serial.artifacts, parallel.artifacts, "JSON artifacts depend on --jobs");
+    assert_eq!(serial.unique_cells, parallel.unique_cells);
+}
+
+#[test]
+fn json_format_is_deterministic_too() {
+    let serial = suite(1, OutputFormat::Json);
+    let parallel = suite(3, OutputFormat::Json);
+    assert_eq!(serial.rendered, parallel.rendered);
+}
+
+#[test]
+fn memoization_dedupes_across_experiments() {
+    // table1 and fig14 both need gcc/perlbmk natives; the store must
+    // compute each unique cell exactly once.
+    let report = suite(2, OutputFormat::Text);
+    let stats = report.store_stats;
+    assert_eq!(stats.computed as usize, report.unique_cells);
+    assert!(stats.memo_hits > 0, "shared natives should hit the memo store");
+}
+
+#[test]
+fn distinct_cells_never_share_a_key() {
+    // Walk every dimension the key must separate; any two distinct cells
+    // must yield distinct key strings.
+    let profiles = [ArchProfile::x86_like(), ArchProfile::sparc_like(), ArchProfile::mips_like()];
+    let configs = [
+        SdtConfig::reentry(),
+        SdtConfig::ibtc_inline(512),
+        SdtConfig::ibtc_inline(1024),
+        SdtConfig::ibtc_out_of_line(1024),
+        SdtConfig::sieve(1024),
+        SdtConfig::tuned(4096, 1024),
+    ];
+    let params =
+        [Params { scale: 1, variant: 0 }, Params { scale: 2, variant: 0 }, Params {
+            scale: 1,
+            variant: 7,
+        }];
+    let mut keys = std::collections::HashSet::new();
+    let mut total = 0usize;
+    for workload in ["gzip", "gcc"] {
+        for profile in &profiles {
+            for p in params {
+                keys.insert(CellKey::native(workload, profile.clone(), p).key_string());
+                total += 1;
+                for cfg in &configs {
+                    keys.insert(
+                        CellKey::translated(workload, *cfg, profile.clone(), p).key_string(),
+                    );
+                    total += 1;
+                }
+            }
+        }
+    }
+    assert_eq!(keys.len(), total, "cell key collision");
+}
+
+#[test]
+fn equal_cells_always_hit() {
+    let a = CellKey::translated(
+        "vortex",
+        SdtConfig::tuned(4096, 1024),
+        ArchProfile::x86_like(),
+        Params::default(),
+    );
+    let b = CellKey::translated(
+        "vortex",
+        SdtConfig::tuned(4096, 1024),
+        ArchProfile::x86_like(),
+        Params::default(),
+    );
+    assert_eq!(a.key_string(), b.key_string());
+    assert_eq!(a.cache_file_name(), b.cache_file_name());
+}
+
+#[test]
+fn disk_cache_round_trips_suite_cells() {
+    let dir = std::env::temp_dir().join(format!("strata-expt-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let opts = SuiteOptions {
+        jobs: 2,
+        filter: Some("fig14".into()),
+        format: OutputFormat::Text,
+        params: Params::default(),
+        cache_dir: Some(dir.clone()),
+    };
+    let cold = run_suite(&opts).expect("cold run");
+    assert!(cold.store_stats.computed > 0);
+    assert_eq!(cold.store_stats.disk_hits, 0);
+
+    let warm = run_suite(&opts).expect("warm run");
+    assert_eq!(warm.store_stats.computed, 0, "warm run must be served from disk");
+    assert_eq!(warm.store_stats.disk_hits as usize, warm.unique_cells);
+    assert_eq!(cold.rendered, warm.rendered, "disk cache changed results");
+    assert_eq!(cold.artifacts, warm.artifacts);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn store_counts_are_consistent() {
+    let store = Store::in_memory();
+    assert!(store.is_empty());
+    let opts = SuiteOptions {
+        jobs: 1,
+        filter: Some("fig2".into()),
+        format: OutputFormat::Csv,
+        params: Params::default(),
+        cache_dir: None,
+    };
+    let report = run_suite(&opts).expect("suite runs");
+    // fig2: reentry config across all 12 workloads + 12 natives.
+    assert_eq!(report.unique_cells, 24);
+    assert!(report.rendered.starts_with("# fig2:"));
+}

@@ -1,101 +1,132 @@
-//! Property tests: encode/decode is a lossless bijection on the encodable
-//! instruction space, and decode never panics on arbitrary words.
+//! Randomized tests: encode/decode is a lossless bijection on the
+//! encodable instruction space, and decode never panics on arbitrary
+//! words. Uses the repo's deterministic [`SmallRng`] (seeded, reproducible)
+//! instead of an external property-testing framework.
 
-use proptest::prelude::*;
 use strata_isa::{decode, encode, Instr, Reg};
+use strata_stats::rng::SmallRng;
 
-fn arb_reg() -> impl Strategy<Value = Reg> {
-    (0u8..16).prop_map(|i| Reg::try_from(i).unwrap())
+fn rand_reg(rng: &mut SmallRng) -> Reg {
+    Reg::try_from(rng.gen_range(0u8..16)).unwrap()
 }
 
-fn arb_abs_addr() -> impl Strategy<Value = u32> {
-    (0u32..(1 << 18)).prop_map(|w| w * 4)
+fn rand_abs_addr(rng: &mut SmallRng) -> u32 {
+    rng.gen_range(0u32..(1 << 18)) * 4
 }
 
-fn arb_jump_target() -> impl Strategy<Value = u32> {
-    (0u32..(1 << 24)).prop_map(|w| w * 4)
+fn rand_jump_target(rng: &mut SmallRng) -> u32 {
+    rng.gen_range(0u32..(1 << 24)) * 4
 }
 
-fn arb_instr() -> impl Strategy<Value = Instr> {
-    let r = arb_reg;
-    prop_oneof![
-        (r(), r(), r()).prop_map(|(rd, rs1, rs2)| Instr::Add { rd, rs1, rs2 }),
-        (r(), r(), r()).prop_map(|(rd, rs1, rs2)| Instr::Sub { rd, rs1, rs2 }),
-        (r(), r(), r()).prop_map(|(rd, rs1, rs2)| Instr::Mul { rd, rs1, rs2 }),
-        (r(), r(), r()).prop_map(|(rd, rs1, rs2)| Instr::Divu { rd, rs1, rs2 }),
-        (r(), r(), r()).prop_map(|(rd, rs1, rs2)| Instr::Remu { rd, rs1, rs2 }),
-        (r(), r(), r()).prop_map(|(rd, rs1, rs2)| Instr::And { rd, rs1, rs2 }),
-        (r(), r(), r()).prop_map(|(rd, rs1, rs2)| Instr::Or { rd, rs1, rs2 }),
-        (r(), r(), r()).prop_map(|(rd, rs1, rs2)| Instr::Xor { rd, rs1, rs2 }),
-        (r(), r(), r()).prop_map(|(rd, rs1, rs2)| Instr::Sll { rd, rs1, rs2 }),
-        (r(), r(), r()).prop_map(|(rd, rs1, rs2)| Instr::Srl { rd, rs1, rs2 }),
-        (r(), r(), r()).prop_map(|(rd, rs1, rs2)| Instr::Sra { rd, rs1, rs2 }),
-        (r(), r()).prop_map(|(rd, rs)| Instr::Mov { rd, rs }),
-        (r(), r(), any::<i16>()).prop_map(|(rd, rs1, imm)| Instr::Addi { rd, rs1, imm }),
-        (r(), r(), any::<u16>()).prop_map(|(rd, rs1, imm)| Instr::Andi { rd, rs1, imm }),
-        (r(), r(), any::<u16>()).prop_map(|(rd, rs1, imm)| Instr::Ori { rd, rs1, imm }),
-        (r(), r(), any::<u16>()).prop_map(|(rd, rs1, imm)| Instr::Xori { rd, rs1, imm }),
-        (r(), r(), 0u8..32).prop_map(|(rd, rs1, shamt)| Instr::Slli { rd, rs1, shamt }),
-        (r(), r(), 0u8..32).prop_map(|(rd, rs1, shamt)| Instr::Srli { rd, rs1, shamt }),
-        (r(), r(), 0u8..32).prop_map(|(rd, rs1, shamt)| Instr::Srai { rd, rs1, shamt }),
-        (r(), any::<u16>()).prop_map(|(rd, imm)| Instr::Lui { rd, imm }),
-        (r(), r(), any::<i16>()).prop_map(|(rd, rs1, off)| Instr::Lw { rd, rs1, off }),
-        (r(), r(), any::<i16>()).prop_map(|(rs2, rs1, off)| Instr::Sw { rs2, rs1, off }),
-        (r(), r(), any::<i16>()).prop_map(|(rd, rs1, off)| Instr::Lb { rd, rs1, off }),
-        (r(), r(), any::<i16>()).prop_map(|(rd, rs1, off)| Instr::Lbu { rd, rs1, off }),
-        (r(), r(), any::<i16>()).prop_map(|(rs2, rs1, off)| Instr::Sb { rs2, rs1, off }),
-        (r(), arb_abs_addr()).prop_map(|(rd, addr)| Instr::Lwa { rd, addr }),
-        (r(), arb_abs_addr()).prop_map(|(rs, addr)| Instr::Swa { rs, addr }),
-        r().prop_map(|rs| Instr::Push { rs }),
-        r().prop_map(|rd| Instr::Pop { rd }),
-        Just(Instr::Pushf),
-        Just(Instr::Popf),
-        (r(), r()).prop_map(|(rs1, rs2)| Instr::Cmp { rs1, rs2 }),
-        (r(), any::<i16>()).prop_map(|(rs1, imm)| Instr::Cmpi { rs1, imm }),
-        any::<i16>().prop_map(|off| Instr::Beq { off }),
-        any::<i16>().prop_map(|off| Instr::Bne { off }),
-        any::<i16>().prop_map(|off| Instr::Blt { off }),
-        any::<i16>().prop_map(|off| Instr::Bge { off }),
-        any::<i16>().prop_map(|off| Instr::Bltu { off }),
-        any::<i16>().prop_map(|off| Instr::Bgeu { off }),
-        arb_jump_target().prop_map(|target| Instr::Jmp { target }),
-        arb_jump_target().prop_map(|target| Instr::Call { target }),
-        r().prop_map(|rs| Instr::Jr { rs }),
-        r().prop_map(|rs| Instr::Callr { rs }),
-        Just(Instr::Ret),
-        arb_jump_target().prop_map(|addr| Instr::Jmem { addr }),
-        any::<u16>().prop_map(|code| Instr::Trap { code }),
-        Just(Instr::Halt),
-        Just(Instr::Nop),
-    ]
+fn rand_i16(rng: &mut SmallRng) -> i16 {
+    rng.gen_range(0u32..0x1_0000) as u16 as i16
 }
 
-proptest! {
-    #[test]
-    fn encode_decode_roundtrip(instr in arb_instr()) {
+fn rand_u16(rng: &mut SmallRng) -> u16 {
+    rng.gen_range(0u32..0x1_0000) as u16
+}
+
+/// Uniformly samples one instruction from the full encodable space.
+fn rand_instr(rng: &mut SmallRng) -> Instr {
+    let r = |rng: &mut SmallRng| rand_reg(rng);
+    match rng.gen_range(0u32..47) {
+        0 => Instr::Add { rd: r(rng), rs1: r(rng), rs2: r(rng) },
+        1 => Instr::Sub { rd: r(rng), rs1: r(rng), rs2: r(rng) },
+        2 => Instr::Mul { rd: r(rng), rs1: r(rng), rs2: r(rng) },
+        3 => Instr::Divu { rd: r(rng), rs1: r(rng), rs2: r(rng) },
+        4 => Instr::Remu { rd: r(rng), rs1: r(rng), rs2: r(rng) },
+        5 => Instr::And { rd: r(rng), rs1: r(rng), rs2: r(rng) },
+        6 => Instr::Or { rd: r(rng), rs1: r(rng), rs2: r(rng) },
+        7 => Instr::Xor { rd: r(rng), rs1: r(rng), rs2: r(rng) },
+        8 => Instr::Sll { rd: r(rng), rs1: r(rng), rs2: r(rng) },
+        9 => Instr::Srl { rd: r(rng), rs1: r(rng), rs2: r(rng) },
+        10 => Instr::Sra { rd: r(rng), rs1: r(rng), rs2: r(rng) },
+        11 => Instr::Mov { rd: r(rng), rs: r(rng) },
+        12 => Instr::Addi { rd: r(rng), rs1: r(rng), imm: rand_i16(rng) },
+        13 => Instr::Andi { rd: r(rng), rs1: r(rng), imm: rand_u16(rng) },
+        14 => Instr::Ori { rd: r(rng), rs1: r(rng), imm: rand_u16(rng) },
+        15 => Instr::Xori { rd: r(rng), rs1: r(rng), imm: rand_u16(rng) },
+        16 => Instr::Slli { rd: r(rng), rs1: r(rng), shamt: rng.gen_range(0u8..32) },
+        17 => Instr::Srli { rd: r(rng), rs1: r(rng), shamt: rng.gen_range(0u8..32) },
+        18 => Instr::Srai { rd: r(rng), rs1: r(rng), shamt: rng.gen_range(0u8..32) },
+        19 => Instr::Lui { rd: r(rng), imm: rand_u16(rng) },
+        20 => Instr::Lw { rd: r(rng), rs1: r(rng), off: rand_i16(rng) },
+        21 => Instr::Sw { rs2: r(rng), rs1: r(rng), off: rand_i16(rng) },
+        22 => Instr::Lb { rd: r(rng), rs1: r(rng), off: rand_i16(rng) },
+        23 => Instr::Lbu { rd: r(rng), rs1: r(rng), off: rand_i16(rng) },
+        24 => Instr::Sb { rs2: r(rng), rs1: r(rng), off: rand_i16(rng) },
+        25 => Instr::Lwa { rd: r(rng), addr: rand_abs_addr(rng) },
+        26 => Instr::Swa { rs: r(rng), addr: rand_abs_addr(rng) },
+        27 => Instr::Push { rs: r(rng) },
+        28 => Instr::Pop { rd: r(rng) },
+        29 => Instr::Pushf,
+        30 => Instr::Popf,
+        31 => Instr::Cmp { rs1: r(rng), rs2: r(rng) },
+        32 => Instr::Cmpi { rs1: r(rng), imm: rand_i16(rng) },
+        33 => Instr::Beq { off: rand_i16(rng) },
+        34 => Instr::Bne { off: rand_i16(rng) },
+        35 => Instr::Blt { off: rand_i16(rng) },
+        36 => Instr::Bge { off: rand_i16(rng) },
+        37 => Instr::Bltu { off: rand_i16(rng) },
+        38 => Instr::Bgeu { off: rand_i16(rng) },
+        39 => Instr::Jmp { target: rand_jump_target(rng) },
+        40 => Instr::Call { target: rand_jump_target(rng) },
+        41 => Instr::Jr { rs: r(rng) },
+        42 => Instr::Callr { rs: r(rng) },
+        43 => Instr::Ret,
+        44 => Instr::Jmem { addr: rand_jump_target(rng) },
+        45 => Instr::Trap { code: rand_u16(rng) },
+        46 => Instr::Halt,
+        _ => Instr::Nop,
+    }
+}
+
+#[test]
+fn encode_decode_roundtrip() {
+    let mut rng = SmallRng::seed_from_u64(0xD15A_0001);
+    for _ in 0..20_000 {
+        let instr = rand_instr(&mut rng);
         let word = encode(&instr);
-        prop_assert_eq!(decode(word).expect("decode of encoded instr"), instr);
+        assert_eq!(decode(word).expect("decode of encoded instr"), instr, "{instr:?}");
     }
+}
 
-    #[test]
-    fn decode_never_panics(word in any::<u32>()) {
-        // Either a valid instruction or a structured error; never a panic.
-        let _ = decode(word);
+#[test]
+fn decode_never_panics() {
+    // Either a valid instruction or a structured error; never a panic.
+    let mut rng = SmallRng::seed_from_u64(0xD15A_0002);
+    for _ in 0..100_000 {
+        let _ = decode(rng.next_u32());
     }
-
-    #[test]
-    fn decode_encode_fixpoint(word in any::<u32>()) {
-        // Every decodable word re-encodes to a word that decodes to the same
-        // instruction (encodings may be non-canonical in unused bits).
-        if let Ok(instr) = decode(word) {
-            let canon = encode(&instr);
-            prop_assert_eq!(decode(canon).expect("canonical word decodes"), instr);
+    // Sweep the opcode byte exhaustively at a few operand patterns.
+    for hi in 0u32..256 {
+        for lo in [0u32, 0xFFFF, 0x00FF_0000, 0x000F_0F0F] {
+            let _ = decode((hi << 24) | lo);
         }
     }
+}
 
-    #[test]
-    fn display_is_nonempty_and_stable(instr in arb_instr()) {
+#[test]
+fn decode_encode_fixpoint() {
+    // Every decodable word re-encodes to a word that decodes to the same
+    // instruction (encodings may be non-canonical in unused bits).
+    let mut rng = SmallRng::seed_from_u64(0xD15A_0003);
+    for _ in 0..100_000 {
+        let word = rng.next_u32();
+        if let Ok(instr) = decode(word) {
+            let canon = encode(&instr);
+            assert_eq!(decode(canon).expect("canonical word decodes"), instr);
+        }
+    }
+}
+
+#[test]
+fn display_is_nonempty_and_stable() {
+    let mut rng = SmallRng::seed_from_u64(0xD15A_0004);
+    for _ in 0..5_000 {
+        let instr = rand_instr(&mut rng);
         let s = instr.to_string();
-        prop_assert!(!s.is_empty());
+        assert!(!s.is_empty(), "{instr:?}");
+        assert_eq!(instr.to_string(), s);
     }
 }

@@ -1,10 +1,12 @@
-//! Machine-level property tests: stack discipline, flags preservation,
-//! memory round-trips, and determinism of execution.
+//! Machine-level randomized tests: stack discipline, flags preservation,
+//! memory round-trips, and determinism of execution. Driven by the repo's
+//! deterministic [`SmallRng`] rather than an external property-testing
+//! framework.
 
-use proptest::prelude::*;
 use strata_asm::CodeBuilder;
 use strata_isa::{Flags, Instr, Reg};
 use strata_machine::{layout, Machine, NullObserver, StepOutcome};
+use strata_stats::rng::SmallRng;
 
 fn fresh_machine() -> Machine {
     Machine::new(layout::DEFAULT_MEM_BYTES)
@@ -20,9 +22,12 @@ fn run_code(b: CodeBuilder) -> Machine {
     m
 }
 
-proptest! {
-    #[test]
-    fn push_pop_sequences_preserve_sp(values in prop::collection::vec(any::<u32>(), 1..16)) {
+#[test]
+fn push_pop_sequences_preserve_sp() {
+    let mut rng = SmallRng::seed_from_u64(0x3AC8_0001);
+    for _ in 0..50 {
+        let values: Vec<u32> =
+            (0..rng.gen_range(1usize..16)).map(|_| rng.next_u32()).collect();
         let mut b = CodeBuilder::new(layout::APP_BASE);
         for (i, v) in values.iter().enumerate() {
             let r = Reg::try_from((1 + i % 12) as u8).unwrap();
@@ -34,13 +39,17 @@ proptest! {
         }
         b.halt();
         let m = run_code(b);
-        prop_assert_eq!(m.cpu().sp(), layout::DEFAULT_MEM_BYTES);
+        assert_eq!(m.cpu().sp(), layout::DEFAULT_MEM_BYTES);
         // The last pop yields the first pushed value.
-        prop_assert_eq!(m.cpu().reg(Reg::R14), values[0]);
+        assert_eq!(m.cpu().reg(Reg::R14), values[0]);
     }
+}
 
-    #[test]
-    fn pushf_popf_is_identity_on_flags(a in any::<u32>(), b_val in any::<u32>()) {
+#[test]
+fn pushf_popf_is_identity_on_flags() {
+    let mut rng = SmallRng::seed_from_u64(0x3AC8_0002);
+    for _ in 0..100 {
+        let (a, b_val) = (rng.next_u32(), rng.next_u32());
         let mut b = CodeBuilder::new(layout::APP_BASE);
         b.li(Reg::R1, a);
         b.li(Reg::R2, b_val);
@@ -51,15 +60,26 @@ proptest! {
         b.popf();
         b.halt();
         let m = run_code(b);
-        prop_assert_eq!(m.cpu().flags, Flags::from_compare(a, b_val));
+        assert_eq!(m.cpu().flags, Flags::from_compare(a, b_val));
     }
+    // Equal operands, the boundary the random draws are unlikely to hit.
+    let mut b = CodeBuilder::new(layout::APP_BASE);
+    b.li(Reg::R1, 7);
+    b.li(Reg::R2, 7);
+    b.cmp(Reg::R1, Reg::R2);
+    b.pushf();
+    b.cmpi(Reg::R1, 0);
+    b.popf();
+    b.halt();
+    assert_eq!(run_code(b).cpu().flags, Flags::from_compare(7, 7));
+}
 
-    #[test]
-    fn memory_word_roundtrip_via_guest_code(
-        value in any::<u32>(),
-        slot in 0u32..4096,
-    ) {
-        let addr = layout::APP_DATA_BASE + slot * 4;
+#[test]
+fn memory_word_roundtrip_via_guest_code() {
+    let mut rng = SmallRng::seed_from_u64(0x3AC8_0003);
+    for _ in 0..100 {
+        let value = rng.next_u32();
+        let addr = layout::APP_DATA_BASE + rng.gen_range(0u32..4096) * 4;
         let mut b = CodeBuilder::new(layout::APP_BASE);
         b.li(Reg::R1, addr);
         b.li(Reg::R2, value);
@@ -67,27 +87,40 @@ proptest! {
         b.lw(Reg::R3, Reg::R1, 0);
         b.halt();
         let m = run_code(b);
-        prop_assert_eq!(m.cpu().reg(Reg::R3), value);
-        prop_assert_eq!(m.mem().read_u32(addr).unwrap(), value);
+        assert_eq!(m.cpu().reg(Reg::R3), value);
+        assert_eq!(m.mem().read_u32(addr).unwrap(), value);
     }
+}
 
-    #[test]
-    fn byte_ops_sign_and_zero_extend(value in any::<u8>()) {
+#[test]
+fn byte_ops_sign_and_zero_extend() {
+    for value in 0u32..=255 {
         let addr = layout::APP_DATA_BASE;
         let mut b = CodeBuilder::new(layout::APP_BASE);
         b.li(Reg::R1, addr);
-        b.li(Reg::R2, value as u32);
+        b.li(Reg::R2, value);
         b.sb(Reg::R2, Reg::R1, 0);
         b.lbu(Reg::R3, Reg::R1, 0);
         b.lb(Reg::R4, Reg::R1, 0);
         b.halt();
         let m = run_code(b);
-        prop_assert_eq!(m.cpu().reg(Reg::R3), value as u32);
-        prop_assert_eq!(m.cpu().reg(Reg::R4), value as i8 as i32 as u32);
+        assert_eq!(m.cpu().reg(Reg::R3), value);
+        assert_eq!(m.cpu().reg(Reg::R4), value as u8 as i8 as i32 as u32);
     }
+}
 
-    #[test]
-    fn alu_matches_host_semantics(x in any::<u32>(), y in any::<u32>()) {
+#[test]
+fn alu_matches_host_semantics() {
+    let mut rng = SmallRng::seed_from_u64(0x3AC8_0004);
+    let mut cases: Vec<(u32, u32)> = (0..100).map(|_| (rng.next_u32(), rng.next_u32())).collect();
+    // Boundary operands a uniform draw essentially never produces.
+    for edge in [0u32, 1, 31, 32, u32::MAX, i32::MAX as u32, i32::MIN as u32] {
+        cases.push((edge, 0));
+        cases.push((edge, 1));
+        cases.push((edge, 32));
+        cases.push((edge, u32::MAX));
+    }
+    for (x, y) in cases {
         let mut b = CodeBuilder::new(layout::APP_BASE);
         b.li(Reg::R1, x);
         b.li(Reg::R2, y);
@@ -101,18 +134,22 @@ proptest! {
         b.sra(Reg::R10, Reg::R1, Reg::R2);
         b.halt();
         let m = run_code(b);
-        prop_assert_eq!(m.cpu().reg(Reg::R3), x.wrapping_add(y));
-        prop_assert_eq!(m.cpu().reg(Reg::R4), x.wrapping_sub(y));
-        prop_assert_eq!(m.cpu().reg(Reg::R5), x.wrapping_mul(y));
-        prop_assert_eq!(m.cpu().reg(Reg::R6), x.checked_div(y).unwrap_or(u32::MAX));
-        prop_assert_eq!(m.cpu().reg(Reg::R7), x.checked_rem(y).unwrap_or(x));
-        prop_assert_eq!(m.cpu().reg(Reg::R8), x ^ y);
-        prop_assert_eq!(m.cpu().reg(Reg::R9), x << (y & 31));
-        prop_assert_eq!(m.cpu().reg(Reg::R10), ((x as i32) >> (y & 31)) as u32);
+        assert_eq!(m.cpu().reg(Reg::R3), x.wrapping_add(y));
+        assert_eq!(m.cpu().reg(Reg::R4), x.wrapping_sub(y));
+        assert_eq!(m.cpu().reg(Reg::R5), x.wrapping_mul(y));
+        assert_eq!(m.cpu().reg(Reg::R6), x.checked_div(y).unwrap_or(u32::MAX));
+        assert_eq!(m.cpu().reg(Reg::R7), x.checked_rem(y).unwrap_or(x));
+        assert_eq!(m.cpu().reg(Reg::R8), x ^ y);
+        assert_eq!(m.cpu().reg(Reg::R9), x << (y & 31));
+        assert_eq!(m.cpu().reg(Reg::R10), ((x as i32) >> (y & 31)) as u32);
     }
+}
 
-    #[test]
-    fn execution_is_deterministic(seed in any::<u32>()) {
+#[test]
+fn execution_is_deterministic() {
+    let mut rng = SmallRng::seed_from_u64(0x3AC8_0005);
+    for _ in 0..20 {
+        let seed = rng.next_u32();
         // A small LCG loop; two runs must end in identical machine state.
         let build = || {
             let mut b = CodeBuilder::new(layout::APP_BASE);
@@ -131,19 +168,23 @@ proptest! {
         };
         let a = build();
         let b2 = build();
-        prop_assert_eq!(a.cpu().regs(), b2.cpu().regs());
-        prop_assert_eq!(a.cpu().flags, b2.cpu().flags);
+        assert_eq!(a.cpu().regs(), b2.cpu().regs());
+        assert_eq!(a.cpu().flags, b2.cpu().flags);
     }
+}
 
-    #[test]
-    fn instruction_instances_where_rd_equals_operands(x in any::<u32>()) {
+#[test]
+fn instruction_instances_where_rd_equals_operands() {
+    let mut rng = SmallRng::seed_from_u64(0x3AC8_0006);
+    for _ in 0..50 {
+        let x = rng.next_u32();
         // rd == rs1 == rs2 must behave like ordinary SSA-expanded code.
         let mut b = CodeBuilder::new(layout::APP_BASE);
         b.li(Reg::R1, x);
         b.add(Reg::R1, Reg::R1, Reg::R1);
         b.halt();
         let m = run_code(b);
-        prop_assert_eq!(m.cpu().reg(Reg::R1), x.wrapping_add(x));
+        assert_eq!(m.cpu().reg(Reg::R1), x.wrapping_add(x));
     }
 }
 

@@ -1,0 +1,250 @@
+//! A hand-rolled JSON writer for machine-readable experiment artifacts.
+//!
+//! The experiment orchestrator (`strata-expt`) emits every table and figure
+//! as JSON alongside the aligned-text and CSV renderings; `serde` is not
+//! available in the offline build environment, so this module implements the
+//! small subset needed: a [`Json`] value tree with deterministic member
+//! ordering and a standards-compliant serializer (RFC 8259 string escaping,
+//! shortest-roundtrip float formatting via Rust's `{}`).
+//!
+//! ```
+//! use strata_stats::Json;
+//! let doc = Json::obj([
+//!     ("id", Json::str("fig4")),
+//!     ("slowdowns", Json::arr([Json::num(1.5), Json::num(2.0)])),
+//! ]);
+//! assert_eq!(doc.render(), r#"{"id":"fig4","slowdowns":[1.5,2]}"#);
+//! ```
+
+use crate::Table;
+
+/// A JSON value. Objects preserve insertion order so rendered artifacts are
+/// byte-stable across runs — a requirement for the orchestrator's
+/// parallel-equals-serial determinism guarantee.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any finite number. Non-finite values render as `null` (JSON has no
+    /// NaN/Infinity).
+    Num(f64),
+    /// An unsigned integer, kept separate from `Num` so u64 counters larger
+    /// than 2^53 render exactly.
+    UInt(u64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// A numeric value.
+    pub fn num(v: f64) -> Json {
+        Json::Num(v)
+    }
+
+    /// An unsigned integer value, rendered without a decimal point.
+    pub fn uint(v: u64) -> Json {
+        Json::UInt(v)
+    }
+
+    /// An array from any iterator of values.
+    pub fn arr(items: impl IntoIterator<Item = Json>) -> Json {
+        Json::Arr(items.into_iter().collect())
+    }
+
+    /// An object from `(key, value)` pairs, preserving order.
+    pub fn obj<K: Into<String>>(members: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Obj(members.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Serializes compactly (no whitespace).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    /// Serializes with two-space indentation, ending without a newline.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(v) => write_f64(*v, out),
+            Json::UInt(v) => out.push_str(&v.to_string()),
+            Json::Str(s) => write_string(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn write_pretty(&self, out: &mut String, depth: usize) {
+        let pad = |out: &mut String, d: usize| {
+            for _ in 0..d {
+                out.push_str("  ");
+            }
+        };
+        match self {
+            Json::Arr(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    pad(out, depth + 1);
+                    item.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                pad(out, depth);
+                out.push(']');
+            }
+            Json::Obj(members) if !members.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    pad(out, depth + 1);
+                    write_string(k, out);
+                    out.push_str(": ");
+                    v.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                pad(out, depth);
+                out.push('}');
+            }
+            other => other.write(out),
+        }
+    }
+}
+
+fn write_f64(v: f64, out: &mut String) {
+    if v.is_finite() {
+        // `{}` prints the shortest string that round-trips; integral values
+        // print without a fraction, which is valid JSON.
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl Table {
+    /// Renders the table as a JSON object `{title, columns, rows}` with
+    /// rows as arrays of strings (cell formatting is part of the table's
+    /// contract; numeric reinterpretation is the consumer's choice).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("title", Json::str(self.title())),
+            ("columns", Json::arr(self.column_names().iter().map(Json::str))),
+            (
+                "rows",
+                Json::arr(
+                    self.rows_as_cells()
+                        .iter()
+                        .map(|row| Json::arr(row.iter().map(Json::str))),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars() {
+        assert_eq!(Json::Null.render(), "null");
+        assert_eq!(Json::Bool(true).render(), "true");
+        assert_eq!(Json::num(1.5).render(), "1.5");
+        assert_eq!(Json::num(2.0).render(), "2");
+        assert_eq!(Json::uint(u64::MAX).render(), "18446744073709551615");
+        assert_eq!(Json::num(f64::NAN).render(), "null");
+    }
+
+    #[test]
+    fn string_escaping() {
+        assert_eq!(Json::str("a\"b\\c\nd\te\u{1}").render(), "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+        assert_eq!(Json::str("unicode ✓").render(), "\"unicode ✓\"");
+    }
+
+    #[test]
+    fn nesting_and_order() {
+        let doc = Json::obj([
+            ("z", Json::uint(1)),
+            ("a", Json::arr([Json::Null, Json::str("x")])),
+        ]);
+        assert_eq!(doc.render(), r#"{"z":1,"a":[null,"x"]}"#);
+    }
+
+    #[test]
+    fn pretty_is_reparseable_shape() {
+        let doc = Json::obj([("k", Json::arr([Json::uint(1), Json::uint(2)]))]);
+        let pretty = doc.render_pretty();
+        assert!(pretty.contains("\"k\": [\n"));
+        assert!(pretty.ends_with('}'));
+        assert_eq!(Json::obj::<&str>([]).render_pretty(), "{}");
+        assert_eq!(Json::arr([]).render_pretty(), "[]");
+    }
+
+    #[test]
+    fn table_to_json() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(["gzip", "1.5"]);
+        assert_eq!(
+            t.to_json().render(),
+            r#"{"title":"demo","columns":["name","value"],"rows":[["gzip","1.5"]]}"#
+        );
+    }
+}

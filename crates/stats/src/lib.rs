@@ -16,9 +16,12 @@
 //! ```
 
 mod histogram;
+pub mod json;
+pub mod rng;
 mod summary;
 mod table;
 
 pub use histogram::Histogram;
+pub use json::Json;
 pub use summary::{geomean, mean, ratio};
 pub use table::Table;

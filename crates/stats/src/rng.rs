@@ -1,0 +1,157 @@
+//! A small, dependency-free deterministic pseudo-random number generator.
+//!
+//! The workload generators and the randomized test suites need a seedable,
+//! reproducible random stream; the build environment is offline, so this
+//! module replaces the external `rand` crate with a SplitMix64 generator
+//! (Steele, Lea & Flood, OOPSLA 2014). SplitMix64 passes BigCrush for the
+//! 64-bit output sizes used here and, crucially, is *stable*: the stream
+//! for a given seed is part of the repo's determinism contract (workload
+//! checksums derive from it).
+//!
+//! ```
+//! use strata_stats::rng::SmallRng;
+//! let mut a = SmallRng::seed_from_u64(7);
+//! let mut b = SmallRng::seed_from_u64(7);
+//! assert_eq!(a.next_u64(), b.next_u64());
+//! assert!(a.gen_range(10u32..20) < 20);
+//! ```
+
+use std::ops::Range;
+
+/// Deterministic SplitMix64 generator.
+///
+/// The name mirrors `rand::rngs::SmallRng` so call sites read identically;
+/// unlike the external crate, the stream is guaranteed stable across
+/// versions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmallRng {
+    state: u64,
+}
+
+impl SmallRng {
+    /// Creates a generator from a 64-bit seed. Equal seeds yield equal
+    /// streams, forever.
+    pub fn seed_from_u64(seed: u64) -> SmallRng {
+        SmallRng { state: seed }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Next 32 uniformly distributed bits.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform sample from a half-open range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range<T: RngInt>(&mut self, range: Range<T>) -> T {
+        let lo = range.start.to_u64();
+        let hi = range.end.to_u64();
+        assert!(lo < hi, "gen_range called with an empty range");
+        let span = hi - lo;
+        // Multiply-shift range reduction (Lemire); bias is < 2^-64 per
+        // sample, far below anything these workloads can observe.
+        let r = ((self.next_u64() as u128 * span as u128) >> 64) as u64;
+        T::from_u64(lo + r)
+    }
+
+    /// Bernoulli sample: `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability {p} out of range");
+        // 53 uniform mantissa bits, the same construction rand uses.
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+}
+
+/// Integer types [`SmallRng::gen_range`] can sample. All sampling is done
+/// in `u64` space; implementors guarantee lossless round-trips for the
+/// values they admit in ranges.
+pub trait RngInt: Copy {
+    /// Widens to the sampling domain.
+    fn to_u64(self) -> u64;
+    /// Narrows a sampled value back (always in range by construction).
+    fn from_u64(v: u64) -> Self;
+}
+
+macro_rules! impl_rng_int {
+    ($($t:ty),*) => {$(
+        impl RngInt for $t {
+            fn to_u64(self) -> u64 {
+                self as u64
+            }
+            fn from_u64(v: u64) -> Self {
+                v as $t
+            }
+        }
+    )*};
+}
+
+impl_rng_int!(u8, u16, u32, u64, usize, i32);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_is_stable() {
+        // Frozen reference values: changing the generator changes every
+        // workload checksum, so drift must be deliberate.
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert_eq!(rng.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(rng.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+        let mut rng = SmallRng::seed_from_u64(42);
+        assert_eq!(rng.next_u64(), 0xBDD7_3226_2FEB_6E95);
+    }
+
+    #[test]
+    fn equal_seeds_equal_streams() {
+        let mut a = SmallRng::seed_from_u64(123);
+        let mut b = SmallRng::seed_from_u64(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let v = rng.gen_range(10u32..20);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(0usize..3);
+            assert!(w < 3);
+            let x = rng.gen_range(1..6); // i32, like rand's default inference
+            assert!((1..6).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&hits), "p=0.5 produced {hits}/10000");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        SmallRng::seed_from_u64(0).gen_range(5u32..5);
+    }
+}

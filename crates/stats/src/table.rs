@@ -21,6 +21,16 @@ impl Table {
         &self.title
     }
 
+    /// The column headers, in order.
+    pub fn column_names(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// The data rows as raw cells (each row padded to the column count).
+    pub fn rows_as_cells(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
     /// Number of data rows.
     pub fn len(&self) -> usize {
         self.rows.len()

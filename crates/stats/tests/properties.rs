@@ -1,39 +1,68 @@
-//! Property tests for the statistics toolkit.
+//! Randomized tests for the statistics toolkit, driven by the crate's own
+//! deterministic [`SmallRng`].
 
-use proptest::prelude::*;
+use strata_stats::rng::SmallRng;
 use strata_stats::{geomean, mean, ratio, Histogram, Table};
 
-proptest! {
-    #[test]
-    fn geomean_is_bounded_by_min_and_max(values in prop::collection::vec(0.001f64..1e6, 1..50)) {
+fn rand_f64(rng: &mut SmallRng, lo: f64, hi: f64) -> f64 {
+    let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+    lo + unit * (hi - lo)
+}
+
+#[test]
+fn geomean_is_bounded_by_min_and_max() {
+    let mut rng = SmallRng::seed_from_u64(0x57A7_0001);
+    for _ in 0..200 {
+        let values: Vec<f64> =
+            (0..rng.gen_range(1usize..50)).map(|_| rand_f64(&mut rng, 0.001, 1e6)).collect();
         let g = geomean(values.iter().copied()).expect("nonempty positive input");
         let min = values.iter().copied().fold(f64::INFINITY, f64::min);
         let max = values.iter().copied().fold(0.0f64, f64::max);
-        prop_assert!(g >= min * 0.999_999 && g <= max * 1.000_001, "{min} <= {g} <= {max}");
+        assert!(g >= min * 0.999_999 && g <= max * 1.000_001, "{min} <= {g} <= {max}");
     }
+}
 
-    #[test]
-    fn geomean_of_constant_is_constant(v in 0.01f64..1e4, n in 1usize..20) {
-        let g = geomean(std::iter::repeat(v).take(n)).unwrap();
-        prop_assert!((g - v).abs() / v < 1e-9);
+#[test]
+fn geomean_of_constant_is_constant() {
+    let mut rng = SmallRng::seed_from_u64(0x57A7_0002);
+    for _ in 0..200 {
+        let v = rand_f64(&mut rng, 0.01, 1e4);
+        let n = rng.gen_range(1usize..20);
+        let g = geomean(std::iter::repeat_n(v, n)).unwrap();
+        assert!((g - v).abs() / v < 1e-9);
     }
+}
 
-    #[test]
-    fn mean_bounded(values in prop::collection::vec(-1e6f64..1e6, 1..50)) {
+#[test]
+fn mean_bounded() {
+    let mut rng = SmallRng::seed_from_u64(0x57A7_0003);
+    for _ in 0..200 {
+        let values: Vec<f64> =
+            (0..rng.gen_range(1usize..50)).map(|_| rand_f64(&mut rng, -1e6, 1e6)).collect();
         let m = mean(values.iter().copied()).unwrap();
         let min = values.iter().copied().fold(f64::INFINITY, f64::min);
         let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert!(m >= min - 1e-6 && m <= max + 1e-6);
+        assert!(m >= min - 1e-6 && m <= max + 1e-6);
     }
+}
 
-    #[test]
-    fn ratio_never_nan(n in any::<u64>(), d in any::<u64>()) {
-        let r = ratio(n, d);
-        prop_assert!(!r.is_nan());
+#[test]
+fn ratio_never_nan() {
+    let mut rng = SmallRng::seed_from_u64(0x57A7_0004);
+    for _ in 0..1000 {
+        let r = ratio(rng.next_u64(), rng.next_u64());
+        assert!(!r.is_nan());
     }
+    assert!(!ratio(0, 0).is_nan());
+    assert!(!ratio(u64::MAX, 0).is_nan());
+}
 
-    #[test]
-    fn histogram_percentiles_are_monotone(samples in prop::collection::vec(0usize..64, 1..200)) {
+#[test]
+fn histogram_percentiles_are_monotone() {
+    let mut rng = SmallRng::seed_from_u64(0x57A7_0005);
+    for _ in 0..100 {
+        let samples: Vec<usize> =
+            (0..rng.gen_range(1usize..200)).map(|_| rng.gen_range(0usize..64)).collect();
         let mut h = Histogram::new();
         for s in &samples {
             h.record(*s);
@@ -41,26 +70,40 @@ proptest! {
         let mut last = 0usize;
         for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
             let v = h.percentile(p).expect("nonempty");
-            prop_assert!(v >= last, "percentile({p}) = {v} < {last}");
+            assert!(v >= last, "percentile({p}) = {v} < {last}");
             last = v;
         }
-        prop_assert_eq!(h.percentile(100.0), h.max());
-        prop_assert_eq!(h.count(), samples.len() as u64);
+        assert_eq!(h.percentile(100.0), h.max());
+        assert_eq!(h.count(), samples.len() as u64);
         let expected_mean = samples.iter().sum::<usize>() as f64 / samples.len() as f64;
-        prop_assert!((h.mean() - expected_mean).abs() < 1e-9);
+        assert!((h.mean() - expected_mean).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn table_csv_has_one_line_per_row(
-        rows in prop::collection::vec(prop::collection::vec("[a-z0-9,\"]{0,8}", 2..=2), 0..20),
-    ) {
+#[test]
+fn table_csv_has_one_line_per_row() {
+    let mut rng = SmallRng::seed_from_u64(0x57A7_0006);
+    let alphabet: Vec<char> = "abcdefghijklmnopqrstuvwxyz0123456789,\"".chars().collect();
+    for _ in 0..100 {
+        let n_rows = rng.gen_range(0usize..20);
+        let rows: Vec<Vec<String>> = (0..n_rows)
+            .map(|_| {
+                (0..2)
+                    .map(|_| {
+                        (0..rng.gen_range(0usize..9))
+                            .map(|_| alphabet[rng.gen_range(0usize..alphabet.len())])
+                            .collect::<String>()
+                    })
+                    .collect()
+            })
+            .collect();
         let mut t = Table::new("p", &["a", "b"]);
         for row in &rows {
             t.row(row.clone());
         }
         let csv = t.render_csv();
         // Header + one line per row; quoted cells never add raw newlines.
-        prop_assert_eq!(csv.lines().count(), rows.len() + 1);
-        prop_assert_eq!(t.len(), rows.len());
+        assert_eq!(csv.lines().count(), rows.len() + 1);
+        assert_eq!(t.len(), rows.len());
     }
 }

@@ -2,8 +2,7 @@
 //! stream, with helper calls and a bounded recursive evaluator — the
 //! dispatch-plus-call-tree shape of 176.gcc's RTL passes.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use strata_stats::rng::SmallRng;
 use strata_asm::assemble;
 use strata_machine::{layout, Program};
 

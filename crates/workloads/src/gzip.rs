@@ -3,8 +3,7 @@
 //! indirect branches — the control case showing SDT overhead when IB
 //! handling barely matters.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use strata_stats::rng::SmallRng;
 use strata_asm::assemble;
 use strata_machine::{layout, Program};
 

@@ -2,8 +2,7 @@
 //! polymorphic indirect jump) and `gap` (a stack-machine interpreter mixed
 //! with arithmetic kernels).
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use strata_stats::rng::SmallRng;
 use strata_asm::assemble;
 use strata_machine::{layout, Program};
 

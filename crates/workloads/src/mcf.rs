@@ -3,8 +3,7 @@
 //! indirect branches; under an SDT its slowdown is dominated by everything
 //! *except* IB handling, making it a useful contrast point.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use strata_stats::rng::SmallRng;
 use strata_asm::assemble;
 use strata_machine::{layout, Program};
 

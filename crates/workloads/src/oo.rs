@@ -7,8 +7,7 @@
 //! * `vpr` — an annealing loop whose cost function is called through a
 //!   rarely-changing pointer, i.e. *monomorphic* indirect calls (175.vpr).
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use strata_stats::rng::SmallRng;
 use strata_asm::assemble;
 use strata_machine::{layout, Program};
 

@@ -3,8 +3,7 @@
 //! data-dependent conditional branches and call/return pairs from the
 //! mutually recursive grammar procedures.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use strata_stats::rng::SmallRng;
 use strata_asm::assemble;
 use strata_machine::{layout, Program};
 

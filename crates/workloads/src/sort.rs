@@ -3,8 +3,7 @@
 //! loops with dense conditional branches and essentially no indirect
 //! branches.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use strata_stats::rng::SmallRng;
 use strata_asm::assemble;
 use strata_machine::{layout, Program};
 

@@ -5,6 +5,8 @@
 //! strata run <workload> [--config <spec>] [--arch <name>] [--scale N]
 //!            [--instrument] [--cache-limit BYTES] [--dump-cache N]
 //! strata compare <workload> [--arch <name>] [--scale N]
+//! strata bench [--jobs N] [--filter <ids>] [--format text|csv|json]
+//!              [--scale N] [--variant N] [--cache] [--no-artifacts]
 //! ```
 //!
 //! Config specs mirror `SdtConfig::describe()` loosely:
@@ -17,6 +19,7 @@ use std::process::ExitCode;
 use strata_lab::arch::ArchProfile;
 use strata_lab::cli::{parse_config, parse_flag};
 use strata_lab::core::{run_native, Origin, RetMechanism, Sdt, SdtConfig};
+use strata_lab::expt::{self, EnvKnobs, OutputFormat, SuiteOptions};
 use strata_lab::stats::Table;
 use strata_lab::workloads::{by_name, registry, Params};
 
@@ -31,6 +34,7 @@ fn main() -> ExitCode {
         }
         Some("run") => dispatch(run_cmd(&args[1..])),
         Some("compare") => dispatch(compare_cmd(&args[1..])),
+        Some("bench") => dispatch(bench_cmd(&args[1..])),
         _ => {
             eprintln!(
                 "usage: strata <list|run|compare> ...\n\
@@ -39,6 +43,8 @@ fn main() -> ExitCode {
                  strata run <workload> [--config SPEC] [--arch x86|sparc|mips]\n\
                  \x20          [--scale N] [--instrument] [--cache-limit BYTES] [--dump-cache N]\n\
                  strata compare <workload> [--arch NAME] [--scale N]\n\
+                 strata bench [--jobs N] [--filter IDS] [--format text|csv|json]\n\
+                 \x20            [--scale N] [--variant N] [--cache] [--no-artifacts]\n\
                  \n\
                  config SPECs: reentry | ibtc:4096 | ibtc-outline:4096 | ibtc-persite:64\n\
                  \x20             | sieve:4096 | tuned:4096,1024 | fastret:4096\n\
@@ -145,6 +151,56 @@ fn run_cmd(args: &[String]) -> Result<(), String> {
         let n: usize = n.parse().map_err(|_| format!("bad --dump-cache `{n}`"))?;
         print!("{}", sdt.dump_cache(n));
     }
+    Ok(())
+}
+
+/// Runs the experiment suite through the `strata-expt` orchestrator.
+///
+/// `STRATA_SCALE` / `STRATA_VARIANT` provide defaults for `--scale` /
+/// `--variant`; JSON artifacts land in `results/` unless `--no-artifacts`.
+fn bench_cmd(args: &[String]) -> Result<(), String> {
+    let knobs = EnvKnobs::from_env();
+    let mut opts = SuiteOptions { params: knobs.params(), ..SuiteOptions::default() };
+    if let Some(jobs) = parse_flag(args, "--jobs") {
+        opts.jobs = jobs.parse().map_err(|_| format!("bad --jobs `{jobs}`"))?;
+        if opts.jobs == 0 {
+            return Err("--jobs must be at least 1".into());
+        }
+    }
+    opts.filter = parse_flag(args, "--filter");
+    if let Some(format) = parse_flag(args, "--format") {
+        opts.format = OutputFormat::parse(&format)?;
+    }
+    if let Some(scale) = parse_flag(args, "--scale") {
+        opts.params.scale = scale.parse().map_err(|_| format!("bad --scale `{scale}`"))?;
+    }
+    if let Some(variant) = parse_flag(args, "--variant") {
+        opts.params.variant =
+            variant.parse().map_err(|_| format!("bad --variant `{variant}`"))?;
+    }
+    if args.iter().any(|a| a == "--cache") {
+        opts.cache_dir = Some("results/cache".into());
+    }
+
+    let report = expt::run_suite(&opts)?;
+    print!("{}", report.rendered);
+    if knobs.csv && opts.format == OutputFormat::Text {
+        for section in &report.sections {
+            for table in &section.output.tables {
+                println!("{}", table.render_csv());
+            }
+        }
+    }
+
+    if !args.iter().any(|a| a == "--no-artifacts") {
+        let written = expt::write_artifacts(&report, "results".as_ref())?;
+        eprintln!("wrote {} artifact(s) under results/", written.len());
+    }
+    let s = report.store_stats;
+    eprintln!(
+        "cells: {} unique ({} simulated, {} memo hits, {} disk hits) on {} job(s)",
+        report.unique_cells, s.computed, s.memo_hits, s.disk_hits, opts.jobs
+    );
     Ok(())
 }
 

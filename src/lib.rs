@@ -11,7 +11,8 @@
 //! * [`core`] — the software dynamic translator with pluggable
 //!   indirect-branch handling mechanisms (the paper's subject),
 //! * [`workloads`] — SPEC CINT2000 stand-in programs,
-//! * [`stats`] — tables/series for the experiment binaries.
+//! * [`stats`] — tables/series for the experiment binaries,
+//! * [`expt`] — the parallel experiment orchestrator behind `strata bench`.
 //!
 //! See `examples/quickstart.rs` for a end-to-end tour and the
 //! `strata-bench` crate for the binaries that regenerate each table and
@@ -22,6 +23,7 @@ pub mod cli;
 pub use strata_arch as arch;
 pub use strata_asm as asm;
 pub use strata_core as core;
+pub use strata_expt as expt;
 pub use strata_isa as isa;
 pub use strata_machine as machine;
 pub use strata_stats as stats;

@@ -1,6 +1,6 @@
-//! Property test: for *randomly generated* guest programs, translated
-//! execution is observationally equivalent to native execution under every
-//! mechanism configuration.
+//! Randomized equivalence test: for *randomly generated* guest programs,
+//! translated execution is observationally equivalent to native execution
+//! under every mechanism configuration.
 //!
 //! The generator builds structured programs (so they terminate): a counted
 //! outer loop whose body is a random mix of straight-line arithmetic,
@@ -8,15 +8,18 @@
 //! calls/jumps through that table, and syscall checkpoints. This covers
 //! interleavings of mechanisms (e.g. an indirect call whose return site
 //! contains another indirect jump) that the hand-written suites miss.
+//! Driven by the repo's deterministic [`SmallRng`]: every case is
+//! reproducible from its printed seed.
 
-use proptest::prelude::*;
 use strata_arch::ArchProfile;
 use strata_asm::CodeBuilder;
 use strata_core::{run_native, RetMechanism, Sdt, SdtConfig};
 use strata_isa::Reg;
 use strata_machine::{layout, Program};
+use strata_stats::rng::SmallRng;
 
 const FUEL: u64 = 20_000_000;
+const CASES: u64 = 24;
 
 /// One action in a generated loop body.
 #[derive(Debug, Clone)]
@@ -29,15 +32,15 @@ enum Action {
     Checkpoint,
 }
 
-fn arb_action(functions: usize) -> impl Strategy<Value = Action> {
-    prop_oneof![
-        (0u8..6).prop_map(Action::Arith),
-        (0u16..512).prop_map(Action::MemRoundTrip),
-        (0..functions).prop_map(Action::DirectCall),
-        (0..functions).prop_map(Action::IndirectCall),
-        (0..functions).prop_map(Action::IndirectJump),
-        Just(Action::Checkpoint),
-    ]
+fn rand_action(rng: &mut SmallRng, functions: usize) -> Action {
+    match rng.gen_range(0u32..6) {
+        0 => Action::Arith(rng.gen_range(0u8..6)),
+        1 => Action::MemRoundTrip(rng.gen_range(0u16..512)),
+        2 => Action::DirectCall(rng.gen_range(0..functions)),
+        3 => Action::IndirectCall(rng.gen_range(0..functions)),
+        4 => Action::IndirectJump(rng.gen_range(0..functions)),
+        _ => Action::Checkpoint,
+    }
 }
 
 /// Builds a terminating program from a generated action list.
@@ -145,34 +148,33 @@ fn configs() -> Vec<SdtConfig> {
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+#[test]
+fn random_programs_translate_equivalently() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xE9_0000 + case);
+        let n_actions = rng.gen_range(1usize..24);
+        let actions: Vec<Action> = (0..n_actions).map(|_| rand_action(&mut rng, 6)).collect();
+        let iters = rng.gen_range(1u32..30) as u8;
 
-    #[test]
-    fn random_programs_translate_equivalently(
-        actions in prop::collection::vec(arb_action(6), 1..24),
-        iters in 1u8..30,
-    ) {
         let program = build_program(&actions, 6, iters);
         let native = run_native(&program, ArchProfile::x86_like(), FUEL)
             .expect("native run of generated program");
 
         for cfg in configs() {
             let mut sdt = Sdt::new(cfg, &program).expect("sdt constructs");
-            let report = sdt
-                .run(ArchProfile::x86_like(), FUEL * 40)
-                .unwrap_or_else(|e| panic!("{} failed: {e}\nactions: {actions:?}", cfg.describe()));
-            prop_assert_eq!(
+            let report = sdt.run(ArchProfile::x86_like(), FUEL * 40).unwrap_or_else(|e| {
+                panic!("case {case}: {} failed: {e}\nactions: {actions:?}", cfg.describe())
+            });
+            assert_eq!(
                 report.checksum,
                 native.checksum,
-                "checksum diverged under {} for actions {:?}",
+                "case {case}: checksum diverged under {} for actions {actions:?}",
                 cfg.describe(),
-                actions
             );
-            prop_assert_eq!(
+            assert_eq!(
                 sdt.machine().cpu().regs(),
                 &native.regs,
-                "register state diverged under {}",
+                "case {case}: register state diverged under {}",
                 cfg.describe()
             );
         }

@@ -8,9 +8,19 @@
 //! a self-contained `harness = false` benchmark: each workload is timed
 //! over enough iterations to exceed a minimum measurement window and the
 //! median per-iteration time is reported (`cargo bench -p strata-bench`).
+//!
+//! Medians are also persisted as an artifact-shaped JSON document
+//! (default `results/microbench.json`, override with `STRATA_BENCH_OUT`,
+//! disable with `STRATA_BENCH_OUT=-`) so `strata bench --baseline` can
+//! diff substrate performance with the same machinery that gates the
+//! guest-cycle experiments. Wall-clock medians are host-dependent and
+//! noisy, so they are *not* part of the committed default baseline — see
+//! EXPERIMENTS.md for how to opt a machine-local baseline in.
 
 use std::hint::black_box;
 use std::time::Instant;
+
+use strata_stats::Json;
 
 use strata_arch::{ArchModel, ArchProfile, Btb, CacheConfig, CacheSim, CondPredictor};
 use strata_asm::assemble;
@@ -67,6 +77,27 @@ impl Bench {
         let per = if elements > 0 { human(ns / elements as f64) } else { String::new() };
         self.table.row([name.to_string(), human(ns), per]);
         eprintln!("  {name}: {}", human(ns));
+    }
+
+    /// Writes the medians as an artifact-shaped JSON document so the
+    /// baseline differ treats them like any experiment.
+    fn write_json(&self, path: &str) {
+        let doc = Json::obj([
+            ("id", Json::str("microbench")),
+            ("title", Json::str("Substrate microbenchmark medians (host wall clock)")),
+            ("tables", Json::arr([self.table.to_json()])),
+            ("notes", Json::arr([])),
+        ]);
+        if let Some(parent) = std::path::Path::new(path).parent() {
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                eprintln!("warning: create {}: {e}", parent.display());
+                return;
+            }
+        }
+        match std::fs::write(path, doc.render_pretty() + "\n") {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => eprintln!("warning: write {path}: {e}"),
+        }
     }
 }
 
@@ -182,4 +213,13 @@ fn main() {
     });
 
     println!("{}", b.table.render_text());
+
+    // `cargo bench` sets the working directory to the package root
+    // (`crates/bench/`), so anchor the default at the workspace root.
+    let out = std::env::var("STRATA_BENCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/microbench.json").into()
+    });
+    if out != "-" {
+        b.write_json(&out);
+    }
 }

@@ -110,6 +110,16 @@ impl CellResult {
         }
     }
 
+    /// The run's total guest cycles — recorded as the cell's budget and
+    /// used by the scheduler as its cost proxy (simulation host time is
+    /// linear in simulated work).
+    pub fn total_cycles(&self) -> u64 {
+        match self {
+            CellResult::Native(n) => n.total_cycles,
+            CellResult::Translated(r) => r.total_cycles,
+        }
+    }
+
     /// The native run, if this is a native cell.
     pub fn as_native(&self) -> Option<&NativeRun> {
         match self {

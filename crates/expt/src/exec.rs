@@ -8,10 +8,19 @@
 //! checksum against an already-memoized native result without ever racing
 //! another thread to compute the same baseline.
 //!
-//! Parallelism only changes *when* results land in the [`Store`]; the
-//! results themselves are deterministic functions of their keys, and all
-//! rendering happens serially afterwards, so suite output is bit-identical
-//! for every `--jobs` value.
+//! Within each phase, cells run **longest-first**: the [`BudgetBook`]
+//! loaded from the disk cache ranks cells by their previously observed
+//! `total_cycles`, so the gcc/perlbmk-sized cells that dominate the tail
+//! start immediately instead of serializing at the end of the run. Cells
+//! without a recorded budget fall back to FIFO order after the known ones
+//! (see [`crate::budget`]); observed costs are recorded back into the
+//! cache for the next run.
+//!
+//! Parallelism and scheduling order only change *when* results land in
+//! the [`Store`]; the results themselves are deterministic functions of
+//! their keys, and all rendering happens serially afterwards, so suite
+//! output is bit-identical for every `--jobs` value and for every budget
+//! ordering.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -21,6 +30,7 @@ use strata_core::{run_native, Sdt};
 use strata_machine::Program;
 use strata_workloads::{by_name, Params};
 
+use crate::budget::order_longest_first;
 use crate::cell::{CellKey, CellResult, RunKind};
 use crate::store::Store;
 
@@ -103,10 +113,15 @@ pub fn execute(store: &Store, cells: &[CellKey], jobs: usize) {
             .or_insert_with(|| build_program(key.workload, key.params));
     }
 
+    // Longest-first within each phase, from budgets observed on previous
+    // runs (empty book = FIFO). The snapshot is taken once up front so
+    // this run's own recordings cannot perturb its schedule.
+    let book = store.budget_book();
     let jobs = jobs.max(1);
     for phase in [&natives, &translated] {
-        run_phase(store, phase, &programs, jobs);
+        run_phase(store, &order_longest_first(phase, &book), &programs, jobs);
     }
+    store.flush_budgets();
 }
 
 fn run_phase(

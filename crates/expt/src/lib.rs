@@ -40,6 +40,7 @@
 //! [`Params`]: strata_workloads::Params
 //! [`Store`]: store::Store
 
+pub mod budget;
 pub mod cell;
 pub mod exec;
 pub mod experiments;
@@ -49,11 +50,15 @@ pub mod store;
 pub mod suite;
 pub mod view;
 
+pub use budget::{makespan, order_longest_first, BudgetBook};
 pub use cell::{CellKey, CellResult, RunKind};
 pub use exec::{execute, FUEL};
 pub use experiments::Output;
 pub use knobs::EnvKnobs;
 pub use registry::{by_id, registry, Experiment};
 pub use store::{Store, StoreStats};
-pub use suite::{run_single, run_suite, write_artifacts, OutputFormat, SuiteOptions, SuiteReport};
+pub use suite::{
+    baseline_gate, run_single, run_suite, validate_filter, write_artifacts, OutputFormat,
+    SuiteOptions, SuiteReport,
+};
 pub use view::View;

@@ -15,6 +15,7 @@ use std::sync::Arc;
 
 use strata_core::{MechanismStats, NativeRun, RunReport};
 
+use crate::budget::BudgetBook;
 use crate::cell::{CellKey, CellResult};
 
 /// On-disk record format version; bump on any layout change.
@@ -35,6 +36,7 @@ pub struct StoreStats {
 pub struct Store {
     cells: Mutex<HashMap<String, Arc<CellResult>>>,
     disk: Option<PathBuf>,
+    budgets: Mutex<BudgetBook>,
     computed: AtomicU64,
     memo_hits: AtomicU64,
     disk_hits: AtomicU64,
@@ -46,6 +48,7 @@ impl Store {
         Store {
             cells: Mutex::new(HashMap::new()),
             disk: None,
+            budgets: Mutex::new(BudgetBook::new()),
             computed: AtomicU64::new(0),
             memo_hits: AtomicU64::new(0),
             disk_hits: AtomicU64::new(0),
@@ -53,9 +56,14 @@ impl Store {
     }
 
     /// A store that additionally persists cells under `dir` (created on
-    /// first write).
+    /// first write). Previously recorded per-cell cycle budgets are loaded
+    /// from the same directory for longest-first scheduling.
     pub fn with_disk_cache(dir: PathBuf) -> Store {
-        Store { disk: Some(dir), ..Store::in_memory() }
+        Store {
+            budgets: Mutex::new(BudgetBook::load(&dir)),
+            disk: Some(dir),
+            ..Store::in_memory()
+        }
     }
 
     /// Number of distinct cells held in memory.
@@ -80,6 +88,32 @@ impl Store {
     /// The memoized result for `key`, if already present in memory.
     pub fn get(&self, key: &CellKey) -> Option<Arc<CellResult>> {
         self.cells.lock().expect("store lock").get(&key.key_string()).cloned()
+    }
+
+    /// A snapshot of the cycle-budget book (recorded this run plus any
+    /// loaded from the disk cache).
+    pub fn budget_book(&self) -> BudgetBook {
+        self.budgets.lock().expect("budget lock").clone()
+    }
+
+    /// Persists the budget book into the disk-cache directory, merged
+    /// over any records already there (so filtered runs keep budgets for
+    /// cells they did not touch). No-op for in-memory stores.
+    pub fn flush_budgets(&self) {
+        let Some(dir) = self.disk.as_ref() else { return };
+        let mut merged = BudgetBook::load(dir);
+        merged.merge(&self.budgets.lock().expect("budget lock"));
+        merged.save(dir);
+    }
+
+    /// Every memoized cell as `(key_string, result)`, sorted by key — the
+    /// deterministic iteration order the per-cell artifact renders in.
+    pub fn snapshot(&self) -> Vec<(String, Arc<CellResult>)> {
+        let cells = self.cells.lock().expect("store lock");
+        let mut all: Vec<(String, Arc<CellResult>)> =
+            cells.iter().map(|(k, v)| (k.clone(), Arc::clone(v))).collect();
+        all.sort_by(|a, b| a.0.cmp(&b.0));
+        all
     }
 
     /// Returns the result for `key`, computing it with `compute` on a
@@ -111,6 +145,7 @@ impl Store {
             self.computed.fetch_add(1, Ordering::Relaxed);
             self.save_to_disk(key, &ks, &result);
         }
+        self.budgets.lock().expect("budget lock").record(&ks, result.total_cycles());
         let mut cells = self.cells.lock().expect("store lock");
         Arc::clone(cells.entry(ks).or_insert_with(|| Arc::new(result)))
     }

@@ -9,6 +9,7 @@
 
 use std::path::{Path, PathBuf};
 
+use strata_stats::baseline::{self, DeltaReport, Snapshot};
 use strata_stats::Json;
 use strata_workloads::Params;
 
@@ -95,36 +96,49 @@ pub struct SuiteReport {
     pub store_stats: StoreStats,
 }
 
+fn patterns(filter: Option<&str>) -> Vec<&str> {
+    filter.unwrap_or("").split(',').map(str::trim).filter(|p| !p.is_empty()).collect()
+}
+
 /// Selects experiments matching `filter` (comma-separated substrings of
 /// experiment ids; `None` or empty selects all), in registry order.
 pub fn select(filter: Option<&str>) -> Vec<&'static Experiment> {
-    let patterns: Vec<&str> = filter
-        .unwrap_or("")
-        .split(',')
-        .map(str::trim)
-        .filter(|p| !p.is_empty())
-        .collect();
+    let patterns = patterns(filter);
     registry()
         .iter()
         .filter(|e| patterns.is_empty() || patterns.iter().any(|p| e.id.contains(p)))
         .collect()
 }
 
+/// Checks that every comma-separated filter pattern matches at least one
+/// experiment id. A typo'd pattern riding along with valid ones
+/// (`--filter fig4,fgi7`) used to be silently dropped, so the run
+/// "succeeded" while measuring less than asked.
+///
+/// # Errors
+///
+/// Returns a message naming the dead pattern and every valid id.
+pub fn validate_filter(filter: Option<&str>) -> Result<(), String> {
+    for pattern in patterns(filter) {
+        if !registry().iter().any(|e| e.id.contains(pattern)) {
+            let ids: Vec<&str> = registry().iter().map(|e| e.id).collect();
+            return Err(format!(
+                "filter pattern `{pattern}` matches no experiment (ids: {})",
+                ids.join(", ")
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Runs the suite: execute all selected cells in parallel, then render.
 ///
 /// # Errors
 ///
-/// Returns an error when the filter matches no experiment.
+/// Returns an error when any filter pattern matches no experiment.
 pub fn run_suite(opts: &SuiteOptions) -> Result<SuiteReport, String> {
+    validate_filter(opts.filter.as_deref())?;
     let selected = select(opts.filter.as_deref());
-    if selected.is_empty() {
-        let ids: Vec<&str> = registry().iter().map(|e| e.id).collect();
-        return Err(format!(
-            "filter `{}` matches no experiment (ids: {})",
-            opts.filter.as_deref().unwrap_or(""),
-            ids.join(", ")
-        ));
-    }
 
     let store = match &opts.cache_dir {
         Some(dir) => Store::with_disk_cache(dir.clone()),
@@ -144,12 +158,23 @@ pub fn run_suite(opts: &SuiteOptions) -> Result<SuiteReport, String> {
         .map(|e| SuiteSection { id: e.id, title: e.title, output: (e.render)(&view) })
         .collect();
 
-    let artifacts: Vec<(String, String)> = sections
+    let mut artifacts: Vec<(String, String)> = sections
         .iter()
         .map(|s| {
             (format!("{}.json", s.id), section_json(s, opts.params).render_pretty() + "\n")
         })
         .collect();
+    // Per-cell raw metrics, rendered after the sections so cells computed
+    // lazily during a render are included. This is the finest-grained
+    // artifact the baseline gate diffs.
+    let cells_doc = Json::obj([
+        ("id", Json::str("cells")),
+        ("title", Json::str("Per-cell raw metrics for the selected experiments")),
+        ("params", params_json(opts.params)),
+        ("tables", Json::arr([view.cells_table().to_json()])),
+        ("notes", Json::arr([])),
+    ]);
+    artifacts.push(("cells.json".to_string(), cells_doc.render_pretty() + "\n"));
 
     let rendered = match opts.format {
         OutputFormat::Text => render_text(&sections),
@@ -229,6 +254,32 @@ pub fn run_single(id: &str) {
     }
 }
 
+/// Diffs a fresh suite report against the committed baseline snapshot
+/// under `baseline_dir` at `tolerance_pct`.
+///
+/// The fresh side is the report's JSON artifacts (per-experiment tables
+/// plus the per-cell metrics document), so the gate sees exactly what
+/// `write_artifacts` would persist. Baseline experiments the run did not
+/// select are reported as skipped, not failed — a filtered run can still
+/// gate against a full-suite baseline.
+///
+/// # Errors
+///
+/// Returns an error when the baseline directory is missing, empty, or
+/// holds unparsable documents.
+pub fn baseline_gate(
+    report: &SuiteReport,
+    baseline_dir: &Path,
+    tolerance_pct: f64,
+) -> Result<DeltaReport, String> {
+    let baseline = Snapshot::load_dir(baseline_dir)
+        .map_err(|e| format!("baseline: {e} (capture one with `strata bench --artifacts-dir {}`)", baseline_dir.display()))?;
+    let fresh = Snapshot::from_documents(
+        report.artifacts.iter().map(|(name, content)| (name.as_str(), content.as_str())),
+    )?;
+    Ok(baseline::diff(&baseline, &fresh, tolerance_pct))
+}
+
 fn params_json(params: Params) -> Json {
     Json::obj([
         ("scale", Json::uint(params.scale as u64)),
@@ -305,5 +356,22 @@ mod tests {
         let opts = SuiteOptions { filter: Some("zzz".into()), ..SuiteOptions::default() };
         let err = run_suite(&opts).unwrap_err();
         assert!(err.contains("table1"), "{err}");
+    }
+
+    #[test]
+    fn dead_pattern_among_valid_ones_errors() {
+        // `fig4` matches, `fgi7` does not: the whole run must fail rather
+        // than silently measuring less than asked.
+        let opts =
+            SuiteOptions { filter: Some("fig4,fgi7".into()), ..SuiteOptions::default() };
+        let err = run_suite(&opts).unwrap_err();
+        assert!(err.contains("`fgi7`"), "{err}");
+        assert!(err.contains("fig17"), "error must list the valid ids: {err}");
+
+        assert!(validate_filter(None).is_ok());
+        assert!(validate_filter(Some("")).is_ok());
+        assert!(validate_filter(Some("fig4, fig7")).is_ok());
+        assert!(validate_filter(Some("fig4,,")).is_ok(), "empty segments are ignored");
+        assert!(validate_filter(Some("fig4,nope")).is_err());
     }
 }

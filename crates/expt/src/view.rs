@@ -9,10 +9,10 @@
 
 use strata_arch::ArchProfile;
 use strata_core::{NativeRun, RunReport, SdtConfig};
-use strata_stats::geomean;
+use strata_stats::{geomean, Table};
 use strata_workloads::{registry, Params};
 
-use crate::cell::CellKey;
+use crate::cell::{CellKey, CellResult};
 use crate::exec::{build_program, cell_result};
 use crate::store::Store;
 
@@ -83,5 +83,42 @@ impl<'a> View<'a> {
     pub fn geomean_slowdown(&self, cfg: SdtConfig, profile: &ArchProfile) -> f64 {
         geomean(self.names().iter().map(|n| self.slowdown(n, cfg, profile)))
             .expect("nonempty benchmark set")
+    }
+
+    /// Every memoized cell's raw metrics as one table, sorted by cell key.
+    ///
+    /// This is the regression gate's finest-grained surface: the
+    /// `cells.json` artifact rendered from it pins `total_cycles` and
+    /// dispatch counts per cell, so a drift localized to one
+    /// (workload, config, profile) point names itself in the delta report
+    /// instead of hiding inside a geomean.
+    pub fn cells_table(&self) -> Table {
+        let mut t = Table::new(
+            "per-cell metrics",
+            &["cell", "total_cycles", "instructions", "ib_dispatches", "ret_dispatches"],
+        );
+        for (key, result) in self.store.snapshot() {
+            let (ib, ret) = match result.as_translated() {
+                Some(r) => {
+                    (r.mech.ib_dispatches.to_string(), r.mech.ret_dispatches.to_string())
+                }
+                None => (String::new(), String::new()),
+            };
+            t.row([
+                key,
+                result.total_cycles().to_string(),
+                instructions(&result).to_string(),
+                ib,
+                ret,
+            ]);
+        }
+        t
+    }
+}
+
+fn instructions(result: &CellResult) -> u64 {
+    match result {
+        CellResult::Native(n) => n.instructions,
+        CellResult::Translated(r) => r.instructions,
     }
 }

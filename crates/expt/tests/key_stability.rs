@@ -1,0 +1,207 @@
+//! Property tests for cell-key stability — the regression gate's
+//! foundation. Baselines are matched against fresh runs by cell key, so a
+//! key that drifts with registration order, `--jobs` count, or process
+//! state would silently decouple the gate from the metrics it pins; and a
+//! knob change that *fails* to change the key would alias two different
+//! configurations onto one memoization slot.
+
+use std::collections::BTreeSet;
+
+use strata_arch::ArchProfile;
+use strata_core::{FlagsPolicy, IbMechanism, IbtcPlacement, IbtcScope, RetMechanism, SdtConfig};
+use strata_expt::{execute, registry, CellKey, Store};
+use strata_workloads::Params;
+
+/// Expands every registered experiment and returns the deduplicated,
+/// sorted key set.
+fn all_keys(order: impl Iterator<Item = &'static strata_expt::Experiment>) -> BTreeSet<String> {
+    let params = Params::default();
+    order
+        .flat_map(|e| (e.cells)(params))
+        .flat_map(|cell| {
+            // The executor also schedules every translated cell's native
+            // counterpart; include it like the real expansion does.
+            let native = cell.native_counterpart();
+            [cell, native]
+        })
+        .map(|cell| cell.key_string())
+        .collect()
+}
+
+#[test]
+fn key_set_is_invariant_under_registration_order() {
+    let forward = all_keys(registry().iter());
+    let reverse = all_keys(registry().iter().rev());
+    assert_eq!(forward, reverse, "cell keys depend on job-spec registration order");
+    assert!(!forward.is_empty());
+}
+
+#[test]
+fn key_strings_are_pure_functions_of_cell_content() {
+    let make = || {
+        CellKey::translated(
+            "gcc",
+            SdtConfig::tuned(4096, 1024),
+            ArchProfile::sparc_like(),
+            Params { scale: 2, variant: 5 },
+        )
+    };
+    let a = make();
+    // Rebuilding the same cell, and cloning it, must yield the same key
+    // and the same disk-cache file name, however many times.
+    for _ in 0..3 {
+        assert_eq!(make().key_string(), a.key_string());
+        assert_eq!(a.clone().key_string(), a.key_string());
+        assert_eq!(make().cache_file_name(), a.cache_file_name());
+    }
+}
+
+#[test]
+fn executed_key_set_is_invariant_under_jobs_count() {
+    // A small real cell set: two workloads, two configs, plus implied
+    // natives. Execute at several --jobs values and compare the stores'
+    // full key sets (the disk-cache names derive from these, so this also
+    // pins the cache layout).
+    let profile = ArchProfile::x86_like();
+    let params = Params::default();
+    let cells: Vec<CellKey> = ["gzip", "mcf"]
+        .iter()
+        .flat_map(|w| {
+            [
+                CellKey::translated(w, SdtConfig::ibtc_inline(512), profile.clone(), params),
+                CellKey::translated(w, SdtConfig::sieve(1024), profile.clone(), params),
+            ]
+        })
+        .collect();
+
+    let keys_at = |jobs: usize| -> BTreeSet<String> {
+        let store = Store::in_memory();
+        execute(&store, &cells, jobs);
+        store.snapshot().into_iter().map(|(key, _)| key).collect()
+    };
+
+    let serial = keys_at(1);
+    assert_eq!(serial.len(), 6, "2 workloads x (2 translated + 1 native)");
+    for jobs in [2, 4, 8] {
+        assert_eq!(keys_at(jobs), serial, "key set depends on --jobs {jobs}");
+    }
+}
+
+#[test]
+fn every_knob_change_changes_the_key() {
+    let base_cfg = SdtConfig::ibtc_inline(4096);
+    let base = CellKey::translated("gzip", base_cfg, ArchProfile::x86_like(), Params::default());
+
+    // One mutation per knob, each expected to produce a distinct key.
+    let mut variants: Vec<(&str, CellKey)> = vec![
+        (
+            "workload",
+            CellKey::translated("gcc", base_cfg, ArchProfile::x86_like(), Params::default()),
+        ),
+        (
+            "profile",
+            CellKey::translated("gzip", base_cfg, ArchProfile::mips_like(), Params::default()),
+        ),
+        (
+            "scale",
+            CellKey::translated(
+                "gzip",
+                base_cfg,
+                ArchProfile::x86_like(),
+                Params { scale: 2, variant: 0 },
+            ),
+        ),
+        (
+            "variant",
+            CellKey::translated(
+                "gzip",
+                base_cfg,
+                ArchProfile::x86_like(),
+                Params { scale: 1, variant: 3 },
+            ),
+        ),
+        (
+            "kind",
+            CellKey::native("gzip", ArchProfile::x86_like(), Params::default()),
+        ),
+    ];
+    let mut push_cfg = |label: &'static str, cfg: SdtConfig| {
+        variants.push((
+            label,
+            CellKey::translated("gzip", cfg, ArchProfile::x86_like(), Params::default()),
+        ));
+    };
+    push_cfg("ibtc entries", SdtConfig::ibtc_inline(2048));
+    push_cfg("ibtc placement", SdtConfig::ibtc_out_of_line(4096));
+    push_cfg("ibtc scope", {
+        let mut c = base_cfg;
+        c.ib = IbMechanism::Ibtc {
+            entries: 4096,
+            scope: IbtcScope::PerSite,
+            placement: IbtcPlacement::Inline,
+        };
+        c
+    });
+    push_cfg("mechanism reentry", SdtConfig::reentry());
+    push_cfg("mechanism sieve", SdtConfig::sieve(4096));
+    push_cfg("return cache", SdtConfig::tuned(4096, 1024));
+    push_cfg("return cache entries", SdtConfig::tuned(4096, 512));
+    push_cfg("fast return", {
+        let mut c = base_cfg;
+        c.ret = RetMechanism::FastReturn;
+        c
+    });
+    push_cfg("shadow stack", {
+        let mut c = base_cfg;
+        c.ret = RetMechanism::ShadowStack { depth: 64 };
+        c
+    });
+    push_cfg("shadow depth", {
+        let mut c = base_cfg;
+        c.ret = RetMechanism::ShadowStack { depth: 128 };
+        c
+    });
+    push_cfg("flags policy", {
+        let mut c = base_cfg;
+        c.flags = FlagsPolicy::None;
+        c
+    });
+    push_cfg("fragment linking", {
+        let mut c = base_cfg;
+        c.link_fragments = false;
+        c
+    });
+    push_cfg("cache limit", {
+        let mut c = base_cfg;
+        c.cache_limit = Some(1 << 16);
+        c
+    });
+    push_cfg("cache limit value", {
+        let mut c = base_cfg;
+        c.cache_limit = Some(1 << 17);
+        c
+    });
+    push_cfg("instrumentation", {
+        let mut c = base_cfg;
+        c.instrument_blocks = true;
+        c
+    });
+    push_cfg("jump elision", {
+        let mut c = base_cfg;
+        c.elide_direct_jumps = true;
+        c
+    });
+    push_cfg("ibtc ways", {
+        let mut c = base_cfg;
+        c.ibtc_ways = 2;
+        c
+    });
+
+    let base_key = base.key_string();
+    let mut seen = BTreeSet::from([base_key.clone()]);
+    for (label, cell) in &variants {
+        let key = cell.key_string();
+        assert_ne!(key, base_key, "changing `{label}` did not change the cell key");
+        assert!(seen.insert(key.clone()), "`{label}` collides with another variant: {key}");
+    }
+}

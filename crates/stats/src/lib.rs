@@ -15,12 +15,14 @@
 //! assert!(text.contains("perlbmk"));
 //! ```
 
+pub mod baseline;
 mod histogram;
 pub mod json;
 pub mod rng;
 mod summary;
 mod table;
 
+pub use baseline::{diff, Delta, DeltaReport, Snapshot};
 pub use histogram::Histogram;
 pub use json::Json;
 pub use summary::{geomean, mean, ratio};

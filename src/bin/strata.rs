@@ -7,7 +7,12 @@
 //! strata compare <workload> [--arch <name>] [--scale N]
 //! strata bench [--jobs N] [--filter <ids>] [--format text|csv|json]
 //!              [--scale N] [--variant N] [--cache] [--no-artifacts]
+//!              [--artifacts-dir DIR] [--baseline DIR] [--tolerance PCT]
 //! ```
+//!
+//! `--baseline DIR` diffs the run's artifacts against the committed
+//! snapshot under `DIR` and exits nonzero when any metric drifts more
+//! than `--tolerance` percent (default 5) — the CI regression gate.
 //!
 //! Config specs mirror `SdtConfig::describe()` loosely:
 //! `reentry`, `ibtc:<entries>`, `ibtc-outline:<entries>`,
@@ -45,6 +50,7 @@ fn main() -> ExitCode {
                  strata compare <workload> [--arch NAME] [--scale N]\n\
                  strata bench [--jobs N] [--filter IDS] [--format text|csv|json]\n\
                  \x20            [--scale N] [--variant N] [--cache] [--no-artifacts]\n\
+                 \x20            [--artifacts-dir DIR] [--baseline DIR] [--tolerance PCT]\n\
                  \n\
                  config SPECs: reentry | ibtc:4096 | ibtc-outline:4096 | ibtc-persite:64\n\
                  \x20             | sieve:4096 | tuned:4096,1024 | fastret:4096\n\
@@ -181,6 +187,18 @@ fn bench_cmd(args: &[String]) -> Result<(), String> {
     if args.iter().any(|a| a == "--cache") {
         opts.cache_dir = Some("results/cache".into());
     }
+    let artifacts_dir = parse_flag(args, "--artifacts-dir").unwrap_or_else(|| "results".into());
+    let baseline_dir = parse_flag(args, "--baseline");
+    let tolerance = match parse_flag(args, "--tolerance") {
+        Some(t) => {
+            let pct: f64 = t.parse().map_err(|_| format!("bad --tolerance `{t}`"))?;
+            if !pct.is_finite() || pct < 0.0 {
+                return Err(format!("--tolerance must be a nonnegative percentage, got `{t}`"));
+            }
+            pct
+        }
+        None => 5.0,
+    };
 
     let report = expt::run_suite(&opts)?;
     print!("{}", report.rendered);
@@ -193,14 +211,44 @@ fn bench_cmd(args: &[String]) -> Result<(), String> {
     }
 
     if !args.iter().any(|a| a == "--no-artifacts") {
-        let written = expt::write_artifacts(&report, "results".as_ref())?;
-        eprintln!("wrote {} artifact(s) under results/", written.len());
+        let written = expt::write_artifacts(&report, artifacts_dir.as_ref())?;
+        eprintln!("wrote {} artifact(s) under {artifacts_dir}/", written.len());
     }
     let s = report.store_stats;
     eprintln!(
         "cells: {} unique ({} simulated, {} memo hits, {} disk hits) on {} job(s)",
         report.unique_cells, s.computed, s.memo_hits, s.disk_hits, opts.jobs
     );
+
+    // The regression gate: diff against the committed baseline and fail
+    // the process on any out-of-tolerance drift. The delta report is
+    // always written (it is the gate's primary output and what CI uploads
+    // on failure), independent of --no-artifacts.
+    if let Some(dir) = baseline_dir {
+        let delta = expt::baseline_gate(&report, dir.as_ref(), tolerance)?;
+        let text = delta.render_text();
+        print!("{text}");
+        let report_dir = std::path::Path::new(&artifacts_dir);
+        if let Err(e) = std::fs::create_dir_all(report_dir) {
+            eprintln!("warning: create {artifacts_dir}/: {e}");
+        }
+        for (name, content) in [
+            ("delta_report.txt", text),
+            ("delta_report.json", delta.to_json().render_pretty() + "\n"),
+        ] {
+            let path = report_dir.join(name);
+            match std::fs::write(&path, content) {
+                Ok(()) => eprintln!("wrote {}", path.display()),
+                Err(e) => eprintln!("warning: write {}: {e}", path.display()),
+            }
+        }
+        if !delta.is_clean() {
+            return Err(format!(
+                "{} metric(s) regressed beyond {tolerance}% vs baseline {dir}",
+                delta.regressions()
+            ));
+        }
+    }
     Ok(())
 }
 

@@ -37,6 +37,11 @@ pub struct CacheSim {
     tags: Vec<u64>,
     /// LRU timestamps parallel to `tags`.
     stamps: Vec<u64>,
+    /// `log2(line_bytes)`, so the per-access line computation is a shift
+    /// instead of a hardware divide.
+    line_shift: u32,
+    /// `sets - 1` (sets is a power of two).
+    set_mask: u32,
     clock: u64,
     hits: u64,
     misses: u64,
@@ -58,6 +63,8 @@ impl CacheSim {
             config,
             tags: vec![u64::MAX; slots],
             stamps: vec![0; slots],
+            line_shift: config.line_bytes.trailing_zeros(),
+            set_mask: config.sets - 1,
             clock: 0,
             hits: 0,
             misses: 0,
@@ -74,8 +81,8 @@ impl CacheSim {
     #[inline]
     pub fn access(&mut self, addr: u32) -> bool {
         self.clock += 1;
-        let line = (addr / self.config.line_bytes) as u64;
-        let set = (line as u32) & (self.config.sets - 1);
+        let line = (addr >> self.line_shift) as u64;
+        let set = (line as u32) & self.set_mask;
         let base = (set * self.config.ways) as usize;
         let ways = self.config.ways as usize;
 

@@ -46,6 +46,10 @@ impl ModelStats {
 #[derive(Debug)]
 pub struct ArchModel {
     profile: ArchProfile,
+    /// `(base_cycles, flags_tax)` per [`InstrClass`], indexed by
+    /// [`InstrClass::index`] — one load on the retire fast path instead of
+    /// a per-event match over profile fields.
+    class_costs: [(u64, u64); InstrClass::COUNT],
     icache: CacheSim,
     dcache: CacheSim,
     cond: CondPredictor,
@@ -54,10 +58,37 @@ pub struct ArchModel {
     stats: ModelStats,
 }
 
+/// Base cost and flags tax for one class under `p` — the single source of
+/// truth the precomputed table is built from.
+fn class_cost(p: &ArchProfile, class: InstrClass) -> (u64, u64) {
+    match class {
+        InstrClass::Alu => (p.alu_cost, 0),
+        InstrClass::Mul => (p.mul_cost, 0),
+        InstrClass::Div => (p.div_cost, 0),
+        InstrClass::Load => (p.load_cost, 0),
+        InstrClass::Store => (p.store_cost, 0),
+        InstrClass::FlagsSave => (p.store_cost, p.flags_save_cost),
+        InstrClass::FlagsRestore => (p.load_cost, p.flags_restore_cost),
+        InstrClass::CondBranch
+        | InstrClass::DirectJump
+        | InstrClass::DirectCall
+        | InstrClass::IndirectJump
+        | InstrClass::IndirectCall
+        | InstrClass::Return => (p.branch_cost, 0),
+        InstrClass::Trap => (p.other_cost, 0),
+        InstrClass::Other => (p.other_cost, 0),
+    }
+}
+
 impl ArchModel {
     /// Creates a cold model for the given profile.
     pub fn new(profile: ArchProfile) -> ArchModel {
+        let mut class_costs = [(0, 0); InstrClass::COUNT];
+        for class in InstrClass::ALL {
+            class_costs[class.index()] = class_cost(&profile, class);
+        }
         ArchModel {
+            class_costs,
             icache: CacheSim::new(profile.icache),
             dcache: CacheSim::new(profile.dcache),
             cond: CondPredictor::new(profile.cond_predictor_bits),
@@ -105,28 +136,13 @@ impl ArchModel {
 
     /// Charges one retired instruction, updating predictor/cache state, and
     /// returns the cycles it cost.
+    #[inline]
     pub fn cost_of(&mut self, ev: &RetireEvent) -> u64 {
         let p = &self.profile;
         self.stats.instructions += 1;
 
-        // Base cost by class.
-        let (base, flags_tax) = match ev.class {
-            InstrClass::Alu => (p.alu_cost, 0),
-            InstrClass::Mul => (p.mul_cost, 0),
-            InstrClass::Div => (p.div_cost, 0),
-            InstrClass::Load => (p.load_cost, 0),
-            InstrClass::Store => (p.store_cost, 0),
-            InstrClass::FlagsSave => (p.store_cost, p.flags_save_cost),
-            InstrClass::FlagsRestore => (p.load_cost, p.flags_restore_cost),
-            InstrClass::CondBranch
-            | InstrClass::DirectJump
-            | InstrClass::DirectCall
-            | InstrClass::IndirectJump
-            | InstrClass::IndirectCall
-            | InstrClass::Return => (p.branch_cost, 0),
-            InstrClass::Trap => (p.other_cost, 0),
-            InstrClass::Other => (p.other_cost, 0),
-        };
+        // Base cost by class: one indexed load from the precomputed table.
+        let (base, flags_tax) = self.class_costs[ev.class.index()];
         self.stats.base_cycles += base;
         self.stats.flags_cycles += flags_tax;
         let mut cycles = base + flags_tax;
@@ -320,6 +336,25 @@ mod tests {
         ";
         let (_, model) = run_costed(src, ArchProfile::mips_like());
         assert!(model.dcache().misses() >= 1024, "{}", model.dcache().misses());
+    }
+
+    #[test]
+    fn class_cost_table_matches_direct_costing() {
+        // The precomputed table must agree with class_cost for every class
+        // under every built-in profile (including the ideal control).
+        let mut profiles = ArchProfile::all();
+        profiles.push(ArchProfile::ideal());
+        for profile in profiles {
+            let model = ArchModel::new(profile.clone());
+            for class in strata_isa::InstrClass::ALL {
+                assert_eq!(
+                    model.class_costs[class.index()],
+                    class_cost(&profile, class),
+                    "{}/{class:?}",
+                    profile.name
+                );
+            }
+        }
     }
 
     #[test]

@@ -80,6 +80,9 @@ impl CondPredictor {
 pub struct Btb {
     /// `(tag_pc, target)` pairs; empty vector = no BTB.
     entries: Vec<(u32, u32)>,
+    /// `entries.len() - 1` when entries exist (power-of-two index mask),
+    /// 0 otherwise.
+    mask: usize,
     hits: u64,
     misses: u64,
 }
@@ -96,7 +99,12 @@ impl Btb {
             entries == 0 || entries.is_power_of_two(),
             "BTB entries must be 0 or a power of two"
         );
-        Btb { entries: vec![(u32::MAX, 0); entries as usize], hits: 0, misses: 0 }
+        Btb {
+            entries: vec![(u32::MAX, 0); entries as usize],
+            mask: (entries as usize).saturating_sub(1),
+            hits: 0,
+            misses: 0,
+        }
     }
 
     /// Predicts the target of the indirect branch at `pc`, then updates the
@@ -108,7 +116,7 @@ impl Btb {
             self.misses += 1;
             return false;
         }
-        let idx = ((pc >> 2) as usize) & (self.entries.len() - 1);
+        let idx = ((pc >> 2) as usize) & self.mask;
         let (tag, predicted) = self.entries[idx];
         let correct = tag == pc && predicted == target;
         self.entries[idx] = (pc, target);

@@ -178,6 +178,21 @@ fn main() {
         black_box(model.total_cycles());
     });
 
+    // Stepper dispatch in isolation: construction cost (dominated by guest
+    // RAM + predecode-page setup) and warm-dispatch throughput (the fused
+    // fetch/exec loop on already-predecoded pages, no per-iteration
+    // construction). The spin program re-initializes `r1` at its entry, so
+    // resetting the pc replays the full 400k-instruction run.
+    b.run("machine/construct_16mib", 0, || {
+        black_box(Machine::new(layout::DEFAULT_MEM_BYTES));
+    });
+    let mut warm = Machine::new(layout::DEFAULT_MEM_BYTES);
+    program.load(&mut warm).unwrap();
+    b.run("machine/dispatch_warm_400k_instrs", 400_002, || {
+        warm.cpu_mut().pc = layout::APP_BASE;
+        assert_eq!(warm.run(&mut NullObserver, 10_000_000).unwrap(), StepOutcome::Halted);
+    });
+
     // Microarchitecture simulators.
     let mut cache = CacheSim::new(CacheConfig { sets: 128, ways: 4, line_bytes: 32 });
     b.run("arch/cache_access_stride_4096", 4096, || {

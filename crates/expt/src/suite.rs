@@ -13,6 +13,7 @@ use strata_stats::baseline::{self, DeltaReport, Snapshot};
 use strata_stats::Json;
 use strata_workloads::Params;
 
+use crate::cell::CellKey;
 use crate::exec::execute;
 use crate::experiments::Output;
 use crate::knobs::EnvKnobs;
@@ -131,6 +132,94 @@ pub fn validate_filter(filter: Option<&str>) -> Result<(), String> {
     Ok(())
 }
 
+/// Expands the selected experiments into their cells, deduped by key
+/// string in first-seen order — the canonical work list both `run_suite`
+/// and the shard partition operate on.
+fn expand_cells(selected: &[&'static Experiment], params: Params) -> Vec<CellKey> {
+    let mut seen = std::collections::HashSet::new();
+    let mut cells = Vec::new();
+    for e in selected {
+        for cell in (e.cells)(params) {
+            if seen.insert(cell.key_string()) {
+                cells.push(cell);
+            }
+        }
+    }
+    cells
+}
+
+/// One `--shard index/count` slice of a suite run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shard {
+    /// Zero-based shard index, `< count`.
+    pub index: u32,
+    /// Total number of shards, `>= 1`.
+    pub count: u32,
+}
+
+/// The result of one shard's execution (no rendering happens in shard
+/// mode — see [`run_shard`]).
+#[derive(Debug, Clone, Copy)]
+pub struct ShardReport {
+    /// Distinct cells the selected experiments expand into, suite-wide.
+    pub total_cells: usize,
+    /// How many of those this shard owns and executed.
+    pub shard_cells: usize,
+    /// Store counters (computed / memo hits / disk hits).
+    pub store_stats: StoreStats,
+}
+
+/// Executes one shard of the suite's cell set into the disk cache and
+/// returns counts — **without rendering**.
+///
+/// The partition assigns each unique cell to exactly one shard by a
+/// stable hash of its key string ([`CellKey::shard_of`]), so `n`
+/// machines running `--shard 0/n .. (n-1)/n` cover the suite exactly
+/// once. Rendering is deliberately skipped: a render would lazily
+/// compute every cell the other shards own, defeating the split. Merge
+/// the shards' `*.cell` files into one cache directory and render with
+/// a plain `strata bench --cache` (all disk hits).
+///
+/// Translated cells verify against their native baseline, so a shard
+/// also computes the (few, cheap) native counterparts of its translated
+/// cells even when those hash to another shard — duplicated native work
+/// is the price of coordination-free verification, and merging is still
+/// well-defined because cell results are pure functions of their keys.
+///
+/// # Errors
+///
+/// Returns an error for a malformed shard (`index >= count` or zero
+/// `count`), a missing `cache_dir` (a shard's only output is the disk
+/// cache), or a filter pattern matching no experiment.
+pub fn run_shard(opts: &SuiteOptions, shard: Shard) -> Result<ShardReport, String> {
+    if shard.count == 0 {
+        return Err("shard count must be at least 1".into());
+    }
+    if shard.index >= shard.count {
+        return Err(format!(
+            "shard index {} out of range for {} shard(s)",
+            shard.index, shard.count
+        ));
+    }
+    validate_filter(opts.filter.as_deref())?;
+    let Some(cache_dir) = &opts.cache_dir else {
+        return Err("--shard requires the disk cache (a shard's only output is results/cache/)"
+            .into());
+    };
+    let selected = select(opts.filter.as_deref());
+    let all = expand_cells(&selected, opts.params);
+    let mine: Vec<CellKey> =
+        all.iter().filter(|c| c.shard_of(shard.count) == shard.index).cloned().collect();
+
+    let store = Store::with_disk_cache(cache_dir.clone());
+    execute(&store, &mine, opts.jobs);
+    Ok(ShardReport {
+        total_cells: all.len(),
+        shard_cells: mine.len(),
+        store_stats: store.stats(),
+    })
+}
+
 /// Runs the suite: execute all selected cells in parallel, then render.
 ///
 /// # Errors
@@ -145,10 +234,7 @@ pub fn run_suite(opts: &SuiteOptions) -> Result<SuiteReport, String> {
         None => Store::in_memory(),
     };
 
-    let mut cells = Vec::new();
-    for e in &selected {
-        cells.extend((e.cells)(opts.params));
-    }
+    let cells = expand_cells(&selected, opts.params);
     execute(&store, &cells, opts.jobs);
     let unique_cells = store.len();
 
@@ -356,6 +442,50 @@ mod tests {
         let opts = SuiteOptions { filter: Some("zzz".into()), ..SuiteOptions::default() };
         let err = run_suite(&opts).unwrap_err();
         assert!(err.contains("table1"), "{err}");
+    }
+
+    #[test]
+    fn shard_partition_is_disjoint_and_complete() {
+        let selected = select(None);
+        let all = expand_cells(&selected, Params::default());
+        assert!(all.len() > 100, "expected the full suite grid, got {}", all.len());
+        for count in [1u32, 2, 3, 8] {
+            let mut covered = 0usize;
+            for index in 0..count {
+                let mine: Vec<_> =
+                    all.iter().filter(|c| c.shard_of(count) == index).collect();
+                covered += mine.len();
+            }
+            // Every cell's shard index is in range and deterministic, so
+            // counting per-index membership covers each cell exactly once.
+            assert_eq!(covered, all.len(), "count={count}");
+            assert!(all.iter().all(|c| c.shard_of(count) < count), "count={count}");
+        }
+        // One shard owns everything.
+        assert!(all.iter().all(|c| c.shard_of(1) == 0));
+    }
+
+    #[test]
+    fn run_shard_rejects_bad_specs() {
+        let cached = SuiteOptions {
+            cache_dir: Some(std::env::temp_dir().join("strata-shard-unused")),
+            ..SuiteOptions::default()
+        };
+        let err = run_shard(&cached, Shard { index: 2, count: 2 }).unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+        let err = run_shard(&cached, Shard { index: 0, count: 0 }).unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+
+        let uncached = SuiteOptions::default();
+        let err = run_shard(&uncached, Shard { index: 0, count: 2 }).unwrap_err();
+        assert!(err.contains("disk cache"), "{err}");
+
+        let bad_filter = SuiteOptions {
+            filter: Some("zzz".into()),
+            cache_dir: Some(std::env::temp_dir().join("strata-shard-unused")),
+            ..SuiteOptions::default()
+        };
+        assert!(run_shard(&bad_filter, Shard { index: 0, count: 2 }).is_err());
     }
 
     #[test]

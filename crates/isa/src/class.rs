@@ -46,6 +46,37 @@ pub enum InstrClass {
     Other,
 }
 
+impl InstrClass {
+    /// Number of distinct classes (the length of [`InstrClass::ALL`]).
+    pub const COUNT: usize = 15;
+
+    /// Every class, in discriminant order — `ALL[c.index()] == c`.
+    /// Cost models use this to build dense per-class lookup tables.
+    pub const ALL: [InstrClass; InstrClass::COUNT] = [
+        InstrClass::Alu,
+        InstrClass::Mul,
+        InstrClass::Div,
+        InstrClass::Load,
+        InstrClass::Store,
+        InstrClass::CondBranch,
+        InstrClass::DirectJump,
+        InstrClass::DirectCall,
+        InstrClass::IndirectJump,
+        InstrClass::IndirectCall,
+        InstrClass::Return,
+        InstrClass::FlagsSave,
+        InstrClass::FlagsRestore,
+        InstrClass::Trap,
+        InstrClass::Other,
+    ];
+
+    /// The class's dense index in `0..COUNT`, for table-driven costing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
 /// How an instruction transfers control, as seen by branch predictors.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ControlKind {
@@ -153,5 +184,12 @@ mod tests {
     fn flags_ops_have_dedicated_classes() {
         assert_eq!(Instr::Pushf.class(), InstrClass::FlagsSave);
         assert_eq!(Instr::Popf.class(), InstrClass::FlagsRestore);
+    }
+
+    #[test]
+    fn all_indexes_are_dense_and_consistent() {
+        for (i, class) in InstrClass::ALL.iter().enumerate() {
+            assert_eq!(class.index(), i, "{class:?}");
+        }
     }
 }

@@ -10,9 +10,12 @@
 //!
 //! Key pieces:
 //!
-//! * [`Memory`] — flat byte-addressed memory with a self-invalidating decode
-//!   cache (stores to code are picked up immediately, which is what makes
-//!   runtime code generation by the SDT safe).
+//! * [`Memory`] — flat byte-addressed memory with a paged, self-invalidating
+//!   predecode cache: 4 KiB code pages are decoded lazily, stores inside a
+//!   registered executable region drop the affected page entry, and stores
+//!   anywhere else skip invalidation entirely via a single range compare.
+//!   Stores to code are still picked up immediately, which is what makes
+//!   runtime code generation by the SDT safe.
 //! * [`Cpu`] — 16 registers, `pc`, and the flags word.
 //! * [`Machine`] — fetch/decode/execute stepping with [`StepOutcome`]s; traps
 //!   suspend the machine and hand control to the embedder.

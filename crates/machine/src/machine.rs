@@ -95,7 +95,8 @@ impl Machine {
         &mut self.mem
     }
 
-    /// Writes a sequence of machine words (code) starting at `addr`.
+    /// Writes a sequence of machine words (code) starting at `addr` and
+    /// registers the span as an executable region, predecoding it.
     ///
     /// # Errors
     ///
@@ -104,11 +105,23 @@ impl Machine {
         for (i, w) in words.iter().enumerate() {
             self.mem.write_u32(addr + i as u32 * 4, *w)?;
         }
+        self.mem.register_code_region(addr, words.len() as u32 * 4);
         Ok(())
     }
 
     /// Executes instructions until `halt`, a `trap`, an error, or `fuel`
     /// retired instructions.
+    ///
+    /// This is the hot loop of every simulation. Each iteration tries the
+    /// predecoded fast path — a page-table load with the alignment and
+    /// bounds checks folded into two masks, no error-path code — and only
+    /// falls back to the general fetch (decode, memoize, or report the
+    /// error) on the first execution of a word, after self-modifying code
+    /// invalidated it, or when `pc` left mapped code entirely. Guest
+    /// semantics are bit-identical to calling [`Machine::step`] in a
+    /// loop; the fuel budget is sliced off one instruction at a time, so
+    /// resuming after a trap or out-of-fuel return observes exactly the
+    /// same states.
     ///
     /// # Errors
     ///
@@ -120,7 +133,12 @@ impl Machine {
         fuel: u64,
     ) -> Result<StepOutcome, MachineError> {
         for _ in 0..fuel {
-            match self.step(observer)? {
+            let pc = self.cpu.pc;
+            let instr = match self.mem.fetch_predecoded(pc) {
+                Some(instr) => instr,
+                None => self.mem.fetch(pc)?,
+            };
+            match self.exec(pc, instr, observer)? {
                 StepOutcome::Running => {}
                 outcome => return Ok(outcome),
             }
@@ -141,10 +159,23 @@ impl Machine {
         &mut self,
         observer: &mut O,
     ) -> Result<StepOutcome, MachineError> {
-        use Instr::*;
-
         let pc = self.cpu.pc;
         let instr = self.mem.fetch(pc)?;
+        self.exec(pc, instr, observer)
+    }
+
+    /// Executes one already-fetched instruction and retires it. Shared by
+    /// [`Machine::step`] and the fused [`Machine::run`] loop, so the two
+    /// paths cannot drift.
+    #[inline]
+    fn exec<O: ExecutionObserver>(
+        &mut self,
+        pc: u32,
+        instr: Instr,
+        observer: &mut O,
+    ) -> Result<StepOutcome, MachineError> {
+        use Instr::*;
+
         let next = pc.wrapping_add(4);
 
         let mut mem_access: Option<MemAccess> = None;

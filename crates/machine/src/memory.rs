@@ -2,18 +2,50 @@ use strata_isa::{decode, Instr};
 
 use crate::machine::MachineError;
 
-/// Flat, byte-addressed, little-endian guest memory with an integrated
-/// decode cache.
+/// log2 of the predecode page size in bytes.
+const PAGE_SHIFT: u32 = 12;
+/// Predecode page size in bytes (4 KiB).
+const PAGE_BYTES: u32 = 1 << PAGE_SHIFT;
+/// Instruction words per predecode page.
+const PAGE_WORDS: usize = (PAGE_BYTES / 4) as usize;
+
+/// One dense page of predecoded instructions. `None` means the word has
+/// not been decoded (or failed to decode) since it was last written.
+type CodePage = [Option<Instr>; PAGE_WORDS];
+
+/// Flat, byte-addressed, little-endian guest memory with a paged
+/// predecode cache.
 ///
-/// The decode cache memoizes instruction decoding per word address and is
-/// invalidated by every store that touches the word, so runtime code
-/// generation (the SDT writing fragments, patching links, appending sieve
-/// stanzas) is picked up immediately — the moral equivalent of an
-/// instruction-cache flush after code modification.
+/// Decoded instructions are memoized in dense 4 KiB *code pages*,
+/// allocated lazily the first time execution touches a page (or eagerly
+/// via [`Memory::register_code_region`]). Pages make two things cheap at
+/// once:
+///
+/// * **Construction.** A fresh 16 MiB machine allocates a few thousand
+///   page *slots*, not a decode entry per word, so `Memory::new` is
+///   microseconds instead of milliseconds — and the experiment suite
+///   constructs one machine per cell.
+/// * **Store-side invalidation.** The union of allocated pages is
+///   tracked as a single `[code_lo, code_hi)` byte range. A store first
+///   does one range compare; only stores that overlap the executable
+///   range walk their touched words. The overwhelming majority of guest
+///   stores (stack, heap, IBTC/sieve lookup tables, register save area)
+///   fall outside the range and skip invalidation entirely.
+///
+/// Stores that *do* land in a code page clear the touched word slots, so
+/// runtime code generation (the SDT writing fragments, patching links,
+/// appending sieve stanzas) is picked up immediately — the moral
+/// equivalent of an instruction-cache flush after code modification.
 #[derive(Debug)]
 pub struct Memory {
     bytes: Vec<u8>,
-    decoded: Vec<Option<Instr>>,
+    /// Lazily allocated predecode pages, one slot per 4 KiB of memory.
+    pages: Vec<Option<Box<CodePage>>>,
+    /// Inclusive lower byte bound of the union of allocated code pages
+    /// (`u32::MAX` when no page is allocated).
+    code_lo: u32,
+    /// Exclusive upper byte bound of the union of allocated code pages.
+    code_hi: u32,
 }
 
 impl Memory {
@@ -21,7 +53,13 @@ impl Memory {
     /// multiple of 4).
     pub fn new(size: u32) -> Memory {
         let size = (size as usize).next_multiple_of(4);
-        Memory { bytes: vec![0; size], decoded: vec![None; size / 4] }
+        let pages = size.div_ceil(PAGE_BYTES as usize);
+        Memory {
+            bytes: vec![0; size],
+            pages: (0..pages).map(|_| None).collect(),
+            code_lo: u32::MAX,
+            code_hi: 0,
+        }
     }
 
     /// Memory size in bytes.
@@ -62,7 +100,7 @@ impl Memory {
     pub fn write_u32(&mut self, addr: u32, value: u32) -> Result<(), MachineError> {
         let i = self.check(addr, 4)?;
         self.bytes[i..i + 4].copy_from_slice(&value.to_le_bytes());
-        self.invalidate(addr, 4);
+        self.maybe_invalidate(addr, 4);
         Ok(())
     }
 
@@ -86,7 +124,7 @@ impl Memory {
     pub fn write_u8(&mut self, addr: u32, value: u8) -> Result<(), MachineError> {
         let i = self.check(addr, 1)?;
         self.bytes[i] = value;
-        self.invalidate(addr, 1);
+        self.maybe_invalidate(addr, 1);
         Ok(())
     }
 
@@ -98,7 +136,7 @@ impl Memory {
     pub fn write_bytes(&mut self, addr: u32, data: &[u8]) -> Result<(), MachineError> {
         let i = self.check(addr, data.len() as u32)?;
         self.bytes[i..i + data.len()].copy_from_slice(data);
-        self.invalidate(addr, data.len() as u32);
+        self.maybe_invalidate(addr, data.len() as u32);
         Ok(())
     }
 
@@ -112,6 +150,62 @@ impl Memory {
         Ok(&self.bytes[i..i + len as usize])
     }
 
+    /// Declares `[addr, addr + len)` executable: allocates its predecode
+    /// pages up front and predecodes every currently valid word, so the
+    /// first execution of freshly loaded code never takes the decode slow
+    /// path. Words that do not decode are left unmemoized (the error
+    /// surfaces if they are ever fetched). Out-of-range portions are
+    /// ignored — execution there fails bounds checks anyway.
+    ///
+    /// Registration is optional: fetching from an unregistered address
+    /// allocates and fills its page on demand.
+    pub fn register_code_region(&mut self, addr: u32, len: u32) {
+        if len == 0 {
+            return;
+        }
+        let end = (addr as u64 + len as u64).min(self.bytes.len() as u64) as u32;
+        if addr >= end {
+            return;
+        }
+        let mut word = addr & !3;
+        self.ensure_pages(addr, end);
+        while word < end {
+            let slot = self.read_u32(word).ok().and_then(|w| decode(w).ok());
+            let page = self.pages[(word >> PAGE_SHIFT) as usize]
+                .as_deref_mut()
+                .expect("page allocated by ensure_pages");
+            page[(word as usize >> 2) & (PAGE_WORDS - 1)] = slot;
+            word += 4;
+        }
+    }
+
+    /// Allocates every predecode page overlapping `[lo, hi)` and extends
+    /// the executable-range bounds to cover them.
+    fn ensure_pages(&mut self, lo: u32, hi: u32) {
+        let first = (lo >> PAGE_SHIFT) as usize;
+        let last = ((hi - 1) >> PAGE_SHIFT) as usize;
+        for idx in first..=last.min(self.pages.len().saturating_sub(1)) {
+            if self.pages[idx].is_none() {
+                self.pages[idx] = Some(Box::new([None; PAGE_WORDS]));
+            }
+        }
+        self.code_lo = self.code_lo.min((first as u32) << PAGE_SHIFT);
+        self.code_hi = self.code_hi.max(((last as u32) + 1) << PAGE_SHIFT);
+    }
+
+    /// The predecoded instruction at `pc`, if `pc` is aligned, in bounds,
+    /// and its word has been decoded since it was last written. This is
+    /// the fused run loop's fast path: two loads and two masks, no error
+    /// construction.
+    #[inline(always)]
+    pub(crate) fn fetch_predecoded(&self, pc: u32) -> Option<Instr> {
+        if pc & 3 != 0 {
+            return None;
+        }
+        let page = self.pages.get((pc >> PAGE_SHIFT) as usize)?.as_deref()?;
+        page[(pc as usize >> 2) & (PAGE_WORDS - 1)]
+    }
+
     /// Fetches and decodes the instruction at `pc`, memoizing the decode.
     ///
     /// # Errors
@@ -121,25 +215,51 @@ impl Memory {
     /// [`MachineError::Decode`] for invalid machine words.
     #[inline]
     pub fn fetch(&mut self, pc: u32) -> Result<Instr, MachineError> {
+        if let Some(instr) = self.fetch_predecoded(pc) {
+            return Ok(instr);
+        }
+        self.fetch_slow(pc)
+    }
+
+    /// Decode-miss path: validates `pc`, decodes the word, and memoizes
+    /// it in its (possibly freshly allocated) code page.
+    fn fetch_slow(&mut self, pc: u32) -> Result<Instr, MachineError> {
         if !pc.is_multiple_of(4) {
             return Err(MachineError::UnalignedPc { pc });
         }
-        let slot = (pc / 4) as usize;
-        if let Some(Some(instr)) = self.decoded.get(slot) {
-            return Ok(*instr);
-        }
         let word = self.read_u32(pc)?;
         let instr = decode(word).map_err(|source| MachineError::Decode { pc, source })?;
-        self.decoded[slot] = Some(instr);
+        self.ensure_pages(pc, pc + 4);
+        let page = self.pages[(pc >> PAGE_SHIFT) as usize]
+            .as_deref_mut()
+            .expect("page allocated by ensure_pages");
+        page[(pc as usize >> 2) & (PAGE_WORDS - 1)] = Some(instr);
         Ok(instr)
     }
 
+    /// Store-side invalidation gate: one range compare against the union
+    /// of allocated code pages. Decoded slots can only exist inside
+    /// `[code_lo, code_hi)`, so stores outside it — the overwhelming
+    /// majority — skip the word walk entirely.
     #[inline]
+    fn maybe_invalidate(&mut self, addr: u32, len: u32) {
+        if addr < self.code_hi && addr.wrapping_add(len) > self.code_lo {
+            self.invalidate(addr, len);
+        }
+    }
+
     fn invalidate(&mut self, addr: u32, len: u32) {
-        let first = (addr / 4) as usize;
-        let last = ((addr + len - 1) / 4) as usize;
-        for slot in first..=last.min(self.decoded.len().saturating_sub(1)) {
-            self.decoded[slot] = None;
+        if len == 0 {
+            // A zero-length write touches nothing; without this guard the
+            // last-word computation below underflows for `addr == 0`.
+            return;
+        }
+        let first = addr >> 2;
+        let last = (addr + len - 1) >> 2;
+        for word in first..=last {
+            if let Some(Some(page)) = self.pages.get_mut((word >> (PAGE_SHIFT - 2)) as usize) {
+                page[(word as usize) & (PAGE_WORDS - 1)] = None;
+            }
         }
     }
 }
@@ -185,7 +305,8 @@ mod tests {
         let nop = encode(&Instr::Nop);
         m.write_u32(8, nop).unwrap();
         assert_eq!(m.fetch(8).unwrap(), Instr::Nop);
-        // Second fetch comes from the cache.
+        // Second fetch comes from the predecode page.
+        assert_eq!(m.fetch_predecoded(8), Some(Instr::Nop));
         assert_eq!(m.fetch(8).unwrap(), Instr::Nop);
     }
 
@@ -222,5 +343,62 @@ mod tests {
             Err(MachineError::Decode { pc: 0, .. }) => {}
             other => panic!("expected decode error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn zero_length_write_is_a_noop() {
+        // Regression: `write_bytes` with an empty slice used to compute
+        // `addr + len - 1` with `len == 0`, underflowing (a debug-build
+        // panic) once the write range overlapped the code region.
+        let mut m = Memory::new(64);
+        m.write_u32(0, encode(&Instr::Nop)).unwrap();
+        m.fetch(0).unwrap(); // allocate the page so the range compare passes
+        m.write_bytes(0, &[]).unwrap();
+        m.write_bytes(4, &[]).unwrap();
+        assert_eq!(m.fetch(0).unwrap(), Instr::Nop, "empty write must not invalidate");
+        // Out-of-bounds starting address with zero length is still in
+        // bounds (it touches nothing at the very end of memory).
+        assert!(m.write_bytes(64, &[]).is_ok());
+        assert_eq!(
+            m.write_bytes(65, &[]),
+            Err(MachineError::OutOfBounds { addr: 65, len: 0 })
+        );
+    }
+
+    #[test]
+    fn register_code_region_predecodes() {
+        let mut m = Memory::new(8192);
+        m.write_u32(4096, encode(&Instr::Nop)).unwrap();
+        m.write_u32(4100, encode(&Instr::Halt)).unwrap();
+        m.register_code_region(4096, 8);
+        assert_eq!(m.fetch_predecoded(4096), Some(Instr::Nop));
+        assert_eq!(m.fetch_predecoded(4100), Some(Instr::Halt));
+        // Stores into a registered region are picked up.
+        m.write_u32(4096, encode(&Instr::Halt)).unwrap();
+        assert_eq!(m.fetch_predecoded(4096), None);
+        assert_eq!(m.fetch(4096).unwrap(), Instr::Halt);
+    }
+
+    #[test]
+    fn register_code_region_tolerates_edges() {
+        let mut m = Memory::new(64);
+        m.register_code_region(0, 0); // empty
+        m.register_code_region(60, 400); // clamped to memory size
+        m.register_code_region(100, 50); // entirely out of range
+        assert_eq!(m.fetch_predecoded(0), None);
+    }
+
+    #[test]
+    fn stores_outside_code_pages_skip_invalidation() {
+        let mut m = Memory::new(2 * 4096);
+        m.write_u32(0, encode(&Instr::Nop)).unwrap();
+        m.fetch(0).unwrap();
+        // A store in the other (never-executed) page must not disturb the
+        // cached decode, and must be correct if that page later runs.
+        m.write_u32(4096, encode(&Instr::Halt)).unwrap();
+        assert_eq!(m.fetch_predecoded(0), Some(Instr::Nop));
+        assert_eq!(m.fetch(4096).unwrap(), Instr::Halt);
+        m.write_u32(4096, encode(&Instr::Nop)).unwrap();
+        assert_eq!(m.fetch(4096).unwrap(), Instr::Nop, "post-fetch stores invalidate");
     }
 }

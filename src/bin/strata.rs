@@ -8,11 +8,17 @@
 //! strata bench [--jobs N] [--filter <ids>] [--format text|csv|json]
 //!              [--scale N] [--variant N] [--cache] [--no-artifacts]
 //!              [--artifacts-dir DIR] [--baseline DIR] [--tolerance PCT]
+//!              [--shard I/N]
 //! ```
 //!
 //! `--baseline DIR` diffs the run's artifacts against the committed
 //! snapshot under `DIR` and exits nonzero when any metric drifts more
 //! than `--tolerance` percent (default 5) — the CI regression gate.
+//!
+//! `--shard I/N` executes only the Ith of N stable-hash slices of the
+//! suite's cell set into the disk cache (implies `--cache`), for
+//! fanning a run out across machines; merge the shards' `*.cell` files
+//! and render with a plain `strata bench --cache`.
 //!
 //! Config specs mirror `SdtConfig::describe()` loosely:
 //! `reentry`, `ibtc:<entries>`, `ibtc-outline:<entries>`,
@@ -22,7 +28,7 @@
 use std::process::ExitCode;
 
 use strata_lab::arch::ArchProfile;
-use strata_lab::cli::{parse_config, parse_flag};
+use strata_lab::cli::{parse_config, parse_flag, parse_shard};
 use strata_lab::core::{run_native, Origin, RetMechanism, Sdt, SdtConfig};
 use strata_lab::expt::{self, EnvKnobs, OutputFormat, SuiteOptions};
 use strata_lab::stats::Table;
@@ -51,6 +57,7 @@ fn main() -> ExitCode {
                  strata bench [--jobs N] [--filter IDS] [--format text|csv|json]\n\
                  \x20            [--scale N] [--variant N] [--cache] [--no-artifacts]\n\
                  \x20            [--artifacts-dir DIR] [--baseline DIR] [--tolerance PCT]\n\
+                 \x20            [--shard I/N]\n\
                  \n\
                  config SPECs: reentry | ibtc:4096 | ibtc-outline:4096 | ibtc-persite:64\n\
                  \x20             | sieve:4096 | tuned:4096,1024 | fastret:4096\n\
@@ -189,6 +196,33 @@ fn bench_cmd(args: &[String]) -> Result<(), String> {
     }
     let artifacts_dir = parse_flag(args, "--artifacts-dir").unwrap_or_else(|| "results".into());
     let baseline_dir = parse_flag(args, "--baseline");
+
+    // Shard mode: execute this machine's slice of the cell set into the
+    // disk cache and stop — no rendering, no artifacts, no gate. Merge
+    // the shards' cache directories, then render with `--cache`.
+    if let Some(spec) = parse_flag(args, "--shard") {
+        let (index, count) = parse_shard(&spec)?;
+        if baseline_dir.is_some() {
+            return Err("--baseline needs the full suite; run it on the merged cache, not a shard"
+                .into());
+        }
+        // A shard's only output is the cell cache, so imply `--cache`.
+        let cache_dir = opts.cache_dir.get_or_insert_with(|| "results/cache".into()).clone();
+        let report = expt::run_shard(&opts, expt::Shard { index, count })?;
+        let s = report.store_stats;
+        eprintln!(
+            "shard {index}/{count}: {} of {} cell(s) ({} simulated, {} memo hits, {} disk hits) \
+             on {} job(s) -> {}",
+            report.shard_cells,
+            report.total_cells,
+            s.computed,
+            s.memo_hits,
+            s.disk_hits,
+            opts.jobs,
+            cache_dir.display(),
+        );
+        return Ok(());
+    }
     let tolerance = match parse_flag(args, "--tolerance") {
         Some(t) => {
             let pct: f64 = t.parse().map_err(|_| format!("bad --tolerance `{t}`"))?;

@@ -8,6 +8,28 @@ pub fn parse_flag(args: &[String], flag: &str) -> Option<String> {
     args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
 }
 
+/// Parses a `--shard` spec of the form `i/n` into `(index, count)` with
+/// `index < count` and `count >= 1`.
+///
+/// # Errors
+///
+/// Returns a human-readable message for malformed specs (`3`, `a/b`,
+/// `1/0`) and out-of-range indices (`2/2`).
+pub fn parse_shard(spec: &str) -> Result<(u32, u32), String> {
+    let (i, n) = spec
+        .split_once('/')
+        .ok_or_else(|| format!("bad --shard `{spec}` (expected `i/n`, e.g. `0/4`)"))?;
+    let index: u32 = i.parse().map_err(|_| format!("bad shard index `{i}` in `{spec}`"))?;
+    let count: u32 = n.parse().map_err(|_| format!("bad shard count `{n}` in `{spec}`"))?;
+    if count == 0 {
+        return Err(format!("shard count must be at least 1 in `{spec}`"));
+    }
+    if index >= count {
+        return Err(format!("shard index {index} out of range for {count} shard(s)"));
+    }
+    Ok((index, count))
+}
+
 /// Parses a CLI configuration spec into an [`SdtConfig`].
 ///
 /// Specs: `reentry`, `ibtc:<entries>`, `ibtc-outline:<entries>`,
@@ -108,6 +130,15 @@ mod tests {
             "",
         ] {
             assert!(parse_config(bad).is_err(), "`{bad}` must be rejected");
+        }
+    }
+
+    #[test]
+    fn shard_specs() {
+        assert_eq!(parse_shard("0/1"), Ok((0, 1)));
+        assert_eq!(parse_shard("3/8"), Ok((3, 8)));
+        for bad in ["", "3", "a/b", "1/0", "2/2", "-1/2", "1/2/3"] {
+            assert!(parse_shard(bad).is_err(), "`{bad}` must be rejected");
         }
     }
 

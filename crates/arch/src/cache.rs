@@ -56,7 +56,10 @@ impl CacheSim {
     /// dimension is zero.
     pub fn new(config: CacheConfig) -> CacheSim {
         assert!(config.sets.is_power_of_two(), "sets must be a power of two");
-        assert!(config.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            config.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(config.ways > 0, "associativity must be nonzero");
         let slots = (config.sets * config.ways) as usize;
         CacheSim {
@@ -131,7 +134,11 @@ mod tests {
     use super::*;
 
     fn tiny() -> CacheSim {
-        CacheSim::new(CacheConfig { sets: 4, ways: 2, line_bytes: 32 })
+        CacheSim::new(CacheConfig {
+            sets: 4,
+            ways: 2,
+            line_bytes: 32,
+        })
     }
 
     #[test]
@@ -174,6 +181,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn bad_geometry_rejected() {
-        CacheSim::new(CacheConfig { sets: 3, ways: 1, line_bytes: 32 });
+        CacheSim::new(CacheConfig {
+            sets: 3,
+            ways: 1,
+            line_bytes: 32,
+        });
     }
 }

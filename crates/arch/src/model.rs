@@ -254,7 +254,10 @@ mod tests {
 
     #[test]
     fn straightline_costs_accumulate() {
-        let (_, model) = run_costed("li r1, 1\nli r2, 2\nadd r3, r1, r2\nhalt\n", ArchProfile::x86_like());
+        let (_, model) = run_costed(
+            "li r1, 1\nli r2, 2\nadd r3, r1, r2\nhalt\n",
+            ArchProfile::x86_like(),
+        );
         let s = model.stats();
         assert_eq!(s.instructions, 6); // li = 2 instrs each
         assert!(s.base_cycles >= 6);
@@ -294,7 +297,11 @@ mod tests {
         let (_, x86) = run_costed(src, ArchProfile::x86_like());
         let (_, sparc) = run_costed(src, ArchProfile::sparc_like());
         assert!(x86.indirect_mispredicts() <= 2, "x86 BTB warms up");
-        assert_eq!(sparc.indirect_mispredicts(), 16, "no BTB: every jr mispredicts");
+        assert_eq!(
+            sparc.indirect_mispredicts(),
+            16,
+            "no BTB: every jr mispredicts"
+        );
     }
 
     #[test]
@@ -335,7 +342,11 @@ mod tests {
             halt
         ";
         let (_, model) = run_costed(src, ArchProfile::mips_like());
-        assert!(model.dcache().misses() >= 1024, "{}", model.dcache().misses());
+        assert!(
+            model.dcache().misses() >= 1024,
+            "{}",
+            model.dcache().misses()
+        );
     }
 
     #[test]

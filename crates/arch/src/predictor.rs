@@ -26,7 +26,10 @@ impl CondPredictor {
     ///
     /// Panics if `index_bits` is 0 or greater than 24.
     pub fn new(index_bits: u32) -> CondPredictor {
-        assert!((1..=24).contains(&index_bits), "index_bits must be in 1..=24");
+        assert!(
+            (1..=24).contains(&index_bits),
+            "index_bits must be in 1..=24"
+        );
         CondPredictor {
             counters: vec![1; 1 << index_bits],
             mask: (1 << index_bits) - 1,
@@ -158,7 +161,14 @@ impl Ras {
     /// Creates a return-address stack of the given depth (0 disables it —
     /// every return mispredicts).
     pub fn new(depth: usize) -> Ras {
-        Ras { stack: vec![0; depth.max(1)], top: 0, depth, live: 0, hits: 0, misses: 0 }
+        Ras {
+            stack: vec![0; depth.max(1)],
+            top: 0,
+            depth,
+            live: 0,
+            hits: 0,
+            misses: 0,
+        }
     }
 
     /// Records a call whose return will land at `return_addr`.

@@ -85,8 +85,16 @@ impl ArchProfile {
             taken_branch_cost: 1,
             mispredict_penalty: 20,
             trap_cost: 300,
-            icache: CacheConfig { sets: 128, ways: 4, line_bytes: 32 },
-            dcache: CacheConfig { sets: 128, ways: 4, line_bytes: 32 },
+            icache: CacheConfig {
+                sets: 128,
+                ways: 4,
+                line_bytes: 32,
+            },
+            dcache: CacheConfig {
+                sets: 128,
+                ways: 4,
+                line_bytes: 32,
+            },
             icache_miss_penalty: 24,
             dcache_miss_penalty: 24,
             btb_entries: 512,
@@ -116,8 +124,16 @@ impl ArchProfile {
             taken_branch_cost: 1,
             mispredict_penalty: 6,
             trap_cost: 700,
-            icache: CacheConfig { sets: 256, ways: 2, line_bytes: 32 },
-            dcache: CacheConfig { sets: 256, ways: 2, line_bytes: 32 },
+            icache: CacheConfig {
+                sets: 256,
+                ways: 2,
+                line_bytes: 32,
+            },
+            dcache: CacheConfig {
+                sets: 256,
+                ways: 2,
+                line_bytes: 32,
+            },
             icache_miss_penalty: 20,
             dcache_miss_penalty: 20,
             btb_entries: 0,
@@ -145,8 +161,16 @@ impl ArchProfile {
             taken_branch_cost: 1,
             mispredict_penalty: 4,
             trap_cost: 150,
-            icache: CacheConfig { sets: 64, ways: 2, line_bytes: 32 },
-            dcache: CacheConfig { sets: 64, ways: 2, line_bytes: 32 },
+            icache: CacheConfig {
+                sets: 64,
+                ways: 2,
+                line_bytes: 32,
+            },
+            dcache: CacheConfig {
+                sets: 64,
+                ways: 2,
+                line_bytes: 32,
+            },
             icache_miss_penalty: 30,
             dcache_miss_penalty: 30,
             btb_entries: 64,
@@ -178,8 +202,16 @@ impl ArchProfile {
             taken_branch_cost: 0,
             mispredict_penalty: 0,
             trap_cost: 0,
-            icache: CacheConfig { sets: 64, ways: 2, line_bytes: 32 },
-            dcache: CacheConfig { sets: 64, ways: 2, line_bytes: 32 },
+            icache: CacheConfig {
+                sets: 64,
+                ways: 2,
+                line_bytes: 32,
+            },
+            dcache: CacheConfig {
+                sets: 64,
+                ways: 2,
+                line_bytes: 32,
+            },
             icache_miss_penalty: 0,
             dcache_miss_penalty: 0,
             btb_entries: 512,
@@ -193,7 +225,11 @@ impl ArchProfile {
     /// The three built-in cost-model profiles, in presentation order (the
     /// [`ideal`](ArchProfile::ideal) control profile is excluded).
     pub fn all() -> Vec<ArchProfile> {
-        vec![ArchProfile::x86_like(), ArchProfile::sparc_like(), ArchProfile::mips_like()]
+        vec![
+            ArchProfile::x86_like(),
+            ArchProfile::sparc_like(),
+            ArchProfile::mips_like(),
+        ]
     }
 }
 

@@ -9,11 +9,18 @@ use strata_stats::rng::SmallRng;
 fn cache_access_immediately_after_access_hits() {
     let mut rng = SmallRng::seed_from_u64(0xCAC4_0001);
     for _ in 0..50 {
-        let mut c = CacheSim::new(CacheConfig { sets: 16, ways: 2, line_bytes: 32 });
+        let mut c = CacheSim::new(CacheConfig {
+            sets: 16,
+            ways: 2,
+            line_bytes: 32,
+        });
         for _ in 0..rng.gen_range(1usize..200) {
             let a = rng.next_u32();
             c.access(a);
-            assert!(c.access(a), "address {a:#x} must hit right after being brought in");
+            assert!(
+                c.access(a),
+                "address {a:#x} must hit right after being brought in"
+            );
         }
     }
 }
@@ -22,7 +29,11 @@ fn cache_access_immediately_after_access_hits() {
 fn cache_counters_are_consistent() {
     let mut rng = SmallRng::seed_from_u64(0xCAC4_0002);
     for _ in 0..50 {
-        let mut c = CacheSim::new(CacheConfig { sets: 8, ways: 4, line_bytes: 16 });
+        let mut c = CacheSim::new(CacheConfig {
+            sets: 8,
+            ways: 4,
+            line_bytes: 16,
+        });
         let n = rng.gen_range(0usize..500);
         for _ in 0..n {
             c.access(rng.next_u32());
@@ -38,7 +49,11 @@ fn working_set_within_one_set_capacity_never_thrashes() {
     for ways in 1u32..8 {
         // `ways` distinct lines in the same set: after the cold pass, every
         // subsequent access hits (LRU keeps the whole working set).
-        let cfg = CacheConfig { sets: 4, ways, line_bytes: 32 };
+        let cfg = CacheConfig {
+            sets: 4,
+            ways,
+            line_bytes: 32,
+        };
         let mut c = CacheSim::new(cfg);
         let set_stride = cfg.sets * cfg.line_bytes;
         let lines: Vec<u32> = (0..ways).map(|i| i * set_stride).collect();
@@ -60,8 +75,9 @@ fn btb_predicts_stable_targets_after_one_miss() {
     let mut rng = SmallRng::seed_from_u64(0xCAC4_0003);
     for _ in 0..50 {
         // Few distinct pcs, fixed targets, big BTB: at most one miss per pc.
-        let pcs: Vec<u32> =
-            (0..rng.gen_range(1usize..20)).map(|_| rng.gen_range(0u32..64) * 4).collect();
+        let pcs: Vec<u32> = (0..rng.gen_range(1usize..20))
+            .map(|_| rng.gen_range(0u32..64) * 4)
+            .collect();
         let mut btb = Btb::new(256);
         let target = |pc: u32| pc.wrapping_mul(13) & !3;
         for _ in 0..4 {
@@ -81,8 +97,9 @@ fn ras_is_perfect_on_balanced_nesting() {
     let mut rng = SmallRng::seed_from_u64(0xCAC4_0004);
     for _ in 0..50 {
         // Nested call/return sequences within the RAS depth never mispredict.
-        let depths: Vec<usize> =
-            (0..rng.gen_range(1usize..20)).map(|_| rng.gen_range(1usize..8)).collect();
+        let depths: Vec<usize> = (0..rng.gen_range(1usize..20))
+            .map(|_| rng.gen_range(1usize..8))
+            .collect();
         let mut ras = Ras::new(16);
         for (i, &d) in depths.iter().enumerate() {
             let base = (i as u32 + 1) * 0x1000;

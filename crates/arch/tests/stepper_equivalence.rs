@@ -17,9 +17,7 @@
 
 use strata_arch::{ArchModel, ArchProfile};
 use strata_isa::{encode, Instr, Reg};
-use strata_machine::{
-    layout, ExecutionObserver, Machine, MachineError, RetireEvent, StepOutcome,
-};
+use strata_machine::{layout, ExecutionObserver, Machine, MachineError, RetireEvent, StepOutcome};
 use strata_stats::rng::SmallRng;
 
 const CODE_LEN: usize = 48;
@@ -72,10 +70,25 @@ fn gen_instr(rng: &mut SmallRng, i: usize) -> Instr {
             _ => Instr::Sll { rd, rs1, rs2 },
         },
         12..=21 => match rng.gen_range(0u32..4) {
-            0 => Instr::Addi { rd, rs1, imm: (rng.gen_range(0u32..1000) as i32 - 500) as i16 },
-            1 => Instr::Ori { rd, rs1, imm: rng.next_u32() as u16 },
-            2 => Instr::Slli { rd, rs1, shamt: rng.gen_range(0u32..32) as u8 },
-            _ => Instr::Lui { rd, imm: rng.next_u32() as u16 },
+            0 => Instr::Addi {
+                rd,
+                rs1,
+                imm: (rng.gen_range(0u32..1000) as i32 - 500) as i16,
+            },
+            1 => Instr::Ori {
+                rd,
+                rs1,
+                imm: rng.next_u32() as u16,
+            },
+            2 => Instr::Slli {
+                rd,
+                rs1,
+                shamt: rng.gen_range(0u32..32) as u8,
+            },
+            _ => Instr::Lui {
+                rd,
+                imm: rng.next_u32() as u16,
+            },
         },
         22..=27 => match rng.gen_range(0u32..3) {
             0 => Instr::Mul { rd, rs1, rs2 },
@@ -86,15 +99,34 @@ fn gen_instr(rng: &mut SmallRng, i: usize) -> Instr {
         28..=39 => {
             let off = rng.gen_range(0u32..64) as i16;
             match rng.gen_range(0u32..4) {
-                0 => Instr::Lw { rd, rs1: reg(5), off },
-                1 => Instr::Sw { rs2: rs1, rs1: reg(5), off },
-                2 => Instr::Lbu { rd, rs1: reg(5), off },
-                _ => Instr::Sb { rs2: rs1, rs1: reg(5), off },
+                0 => Instr::Lw {
+                    rd,
+                    rs1: reg(5),
+                    off,
+                },
+                1 => Instr::Sw {
+                    rs2: rs1,
+                    rs1: reg(5),
+                    off,
+                },
+                2 => Instr::Lbu {
+                    rd,
+                    rs1: reg(5),
+                    off,
+                },
+                _ => Instr::Sb {
+                    rs2: rs1,
+                    rs1: reg(5),
+                    off,
+                },
             }
         }
         40..=45 => match rng.gen_range(0u32..2) {
             0 => Instr::Cmp { rs1, rs2 },
-            _ => Instr::Cmpi { rs1, imm: (rng.gen_range(0u32..200) as i32 - 100) as i16 },
+            _ => Instr::Cmpi {
+                rs1,
+                imm: (rng.gen_range(0u32..200) as i32 - 100) as i16,
+            },
         },
         46..=55 => {
             let off = branch_off(rng, i);
@@ -106,14 +138,26 @@ fn gen_instr(rng: &mut SmallRng, i: usize) -> Instr {
             }
         }
         56..=61 => match rng.gen_range(0u32..2) {
-            0 => Instr::Jmp { target: code_slot(rng) },
-            _ => Instr::Call { target: code_slot(rng) },
+            0 => Instr::Jmp {
+                target: code_slot(rng),
+            },
+            _ => Instr::Call {
+                target: code_slot(rng),
+            },
         },
         // r6 holds an aligned code address; r8 a deliberately unaligned
         // one, so both paths must surface the same UnalignedPc error.
         62..=66 => {
-            let rs = if rng.gen_range(0u32..8) == 0 { reg(8) } else { reg(6) };
-            if rng.gen_bool(0.5) { Instr::Jr { rs } } else { Instr::Callr { rs } }
+            let rs = if rng.gen_range(0u32..8) == 0 {
+                reg(8)
+            } else {
+                reg(6)
+            };
+            if rng.gen_bool(0.5) {
+                Instr::Jr { rs }
+            } else {
+                Instr::Callr { rs }
+            }
         }
         67..=70 => Instr::Ret,
         71..=76 => {
@@ -126,14 +170,22 @@ fn gen_instr(rng: &mut SmallRng, i: usize) -> Instr {
         // Self-modifying store: r7 holds a valid encoded instruction and
         // r6 a code address, so this patches live code and must
         // invalidate the predecoded page.
-        77..=82 => {
-            Instr::Sw { rs2: reg(7), rs1: reg(6), off: (rng.gen_range(0u32..8) * 4) as i16 }
-        }
+        77..=82 => Instr::Sw {
+            rs2: reg(7),
+            rs1: reg(6),
+            off: (rng.gen_range(0u32..8) * 4) as i16,
+        },
         83..=87 => {
             if rng.gen_bool(0.5) {
-                Instr::Swa { rs: rs1, addr: low_slot(rng) }
+                Instr::Swa {
+                    rs: rs1,
+                    addr: low_slot(rng),
+                }
             } else {
-                Instr::Lwa { rd, addr: low_slot(rng) }
+                Instr::Lwa {
+                    rd,
+                    addr: low_slot(rng),
+                }
             }
         }
         88..=89 => {
@@ -143,8 +195,12 @@ fn gen_instr(rng: &mut SmallRng, i: usize) -> Instr {
                 Instr::Popf
             }
         }
-        90..=92 => Instr::Trap { code: rng.gen_range(0u32..1000) as u16 },
-        93 => Instr::Jmem { addr: low_slot(rng) },
+        90..=92 => Instr::Trap {
+            code: rng.gen_range(0u32..1000) as u16,
+        },
+        93 => Instr::Jmem {
+            addr: low_slot(rng),
+        },
         94 => Instr::Halt,
         _ => Instr::Nop,
     }
@@ -206,7 +262,12 @@ fn fused_run_loop_matches_single_stepping() {
             },
             _ => Instr::Halt,
         };
-        let seeds: [u32; 4] = [rng.next_u32(), rng.next_u32(), rng.next_u32(), rng.next_u32()];
+        let seeds: [u32; 4] = [
+            rng.next_u32(),
+            rng.next_u32(),
+            rng.next_u32(),
+            rng.next_u32(),
+        ];
         let code_target = code_slot(&mut rng);
 
         let setup = || {
@@ -225,10 +286,14 @@ fn fused_run_loop_matches_single_stepping() {
         };
         let mut fast = setup();
         let mut reference = setup();
-        let mut rec_fast =
-            Recorder { events: Vec::new(), model: ArchModel::new(profile_for(trial)) };
-        let mut rec_ref =
-            Recorder { events: Vec::new(), model: ArchModel::new(profile_for(trial)) };
+        let mut rec_fast = Recorder {
+            events: Vec::new(),
+            model: ArchModel::new(profile_for(trial)),
+        };
+        let mut rec_ref = Recorder {
+            events: Vec::new(),
+            model: ArchModel::new(profile_for(trial)),
+        };
 
         let mut steps = 0u64;
         while steps < 3_000 {
@@ -246,22 +311,43 @@ fn fused_run_loop_matches_single_stepping() {
                 rec_fast.events, rec_ref.events,
                 "trial {trial}: retire streams diverged after ≤{steps} steps"
             );
-            assert_eq!(rec_fast.model.stats(), rec_ref.model.stats(), "trial {trial}");
+            assert_eq!(
+                rec_fast.model.stats(),
+                rec_ref.model.stats(),
+                "trial {trial}"
+            );
             assert_eq!(rec_fast.model.total_cycles(), rec_ref.model.total_cycles());
-            assert_eq!(rec_fast.model.icache().hits(), rec_ref.model.icache().hits());
-            assert_eq!(rec_fast.model.icache().misses(), rec_ref.model.icache().misses());
-            assert_eq!(rec_fast.model.dcache().hits(), rec_ref.model.dcache().hits());
-            assert_eq!(rec_fast.model.dcache().misses(), rec_ref.model.dcache().misses());
+            assert_eq!(
+                rec_fast.model.icache().hits(),
+                rec_ref.model.icache().hits()
+            );
+            assert_eq!(
+                rec_fast.model.icache().misses(),
+                rec_ref.model.icache().misses()
+            );
+            assert_eq!(
+                rec_fast.model.dcache().hits(),
+                rec_ref.model.dcache().hits()
+            );
+            assert_eq!(
+                rec_fast.model.dcache().misses(),
+                rec_ref.model.dcache().misses()
+            );
             assert_eq!(
                 rec_fast.model.indirect_mispredicts(),
                 rec_ref.model.indirect_mispredicts()
             );
-            assert_eq!(rec_fast.model.cond_mispredicts(), rec_ref.model.cond_mispredicts());
+            assert_eq!(
+                rec_fast.model.cond_mispredicts(),
+                rec_ref.model.cond_mispredicts()
+            );
             match a {
-                Ok(StepOutcome::Halted) | Err(MachineError::OutOfBounds { .. })
+                Ok(StepOutcome::Halted)
+                | Err(MachineError::OutOfBounds { .. })
                 | Err(MachineError::UnalignedPc { .. })
                 | Err(MachineError::Decode { .. }) => break,
-                Ok(StepOutcome::Running) | Ok(StepOutcome::Trap(_))
+                Ok(StepOutcome::Running)
+                | Ok(StepOutcome::Trap(_))
                 | Err(MachineError::OutOfFuel { .. }) => {}
             }
         }
@@ -270,5 +356,8 @@ fn fused_run_loop_matches_single_stepping() {
     // Sanity-check the generator: a healthy fraction of programs must
     // actually execute (a trial can legitimately retire nothing when its
     // first instruction faults, but not most of them).
-    assert!(total_retired > 20_000, "only {total_retired} instructions retired over all trials");
+    assert!(
+        total_retired > 20_000,
+        "only {total_retired} instructions retired over all trials"
+    );
 }

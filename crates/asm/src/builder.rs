@@ -53,8 +53,15 @@ impl CodeBuilder {
     ///
     /// Panics if `base` is not 4-byte aligned.
     pub fn new(base: u32) -> CodeBuilder {
-        assert!(base.is_multiple_of(INSTR_BYTES), "code base {base:#x} is not word aligned");
-        CodeBuilder { base, items: Vec::new(), labels: Vec::new() }
+        assert!(
+            base.is_multiple_of(INSTR_BYTES),
+            "code base {base:#x} is not word aligned"
+        );
+        CodeBuilder {
+            base,
+            items: Vec::new(),
+            labels: Vec::new(),
+        }
     }
 
     /// Returns the base address passed to [`CodeBuilder::new`].
@@ -111,8 +118,15 @@ impl CodeBuilder {
     /// Always occupies exactly two instructions, so generated code has a
     /// predictable layout.
     pub fn li(&mut self, rd: Reg, value: u32) -> &mut Self {
-        self.emit(Instr::Lui { rd, imm: (value >> 16) as u16 });
-        self.emit(Instr::Ori { rd, rs1: rd, imm: (value & 0xFFFF) as u16 });
+        self.emit(Instr::Lui {
+            rd,
+            imm: (value >> 16) as u16,
+        });
+        self.emit(Instr::Ori {
+            rd,
+            rs1: rd,
+            imm: (value & 0xFFFF) as u16,
+        });
         self
     }
 
@@ -146,8 +160,10 @@ impl CodeBuilder {
                 Item::Branch { template, label } => {
                     let target = resolve(label)?;
                     let delta = (target as i64 - (pc as i64 + 4)) / INSTR_BYTES as i64;
-                    let off = i16::try_from(delta)
-                        .map_err(|_| AsmError::BranchOutOfRange { from: pc, to: target })?;
+                    let off = i16::try_from(delta).map_err(|_| AsmError::BranchOutOfRange {
+                        from: pc,
+                        to: target,
+                    })?;
                     encode(&rebuild_branch(template, off))
                 }
                 Item::Jump { is_call, label } => {
@@ -161,11 +177,18 @@ impl CodeBuilder {
                 }
                 Item::LuiLabel { rd, label } => {
                     let target = resolve(label)?;
-                    encode(&Instr::Lui { rd, imm: (target >> 16) as u16 })
+                    encode(&Instr::Lui {
+                        rd,
+                        imm: (target >> 16) as u16,
+                    })
                 }
                 Item::OriLabel { rd, label } => {
                     let target = resolve(label)?;
-                    encode(&Instr::Ori { rd, rs1: rd, imm: (target & 0xFFFF) as u16 })
+                    encode(&Instr::Ori {
+                        rd,
+                        rs1: rd,
+                        imm: (target & 0xFFFF) as u16,
+                    })
                 }
             };
             out.push(word);
@@ -327,13 +350,19 @@ impl CodeBuilder {
 
     /// Appends `jmp label`.
     pub fn jmp(&mut self, label: Label) -> &mut Self {
-        self.items.push(Item::Jump { is_call: false, label });
+        self.items.push(Item::Jump {
+            is_call: false,
+            label,
+        });
         self
     }
 
     /// Appends `call label`.
     pub fn call(&mut self, label: Label) -> &mut Self {
-        self.items.push(Item::Jump { is_call: true, label });
+        self.items.push(Item::Jump {
+            is_call: true,
+            label,
+        });
         self
     }
 
@@ -414,10 +443,20 @@ mod tests {
         b.bind(l).unwrap();
         b.halt();
         let code = b.finish().unwrap();
-        assert_eq!(decode(code[0]).unwrap(), Instr::Lui { rd: Reg::R5, imm: 0x0030 });
+        assert_eq!(
+            decode(code[0]).unwrap(),
+            Instr::Lui {
+                rd: Reg::R5,
+                imm: 0x0030
+            }
+        );
         assert_eq!(
             decode(code[1]).unwrap(),
-            Instr::Ori { rd: Reg::R5, rs1: Reg::R5, imm: 0x0008 }
+            Instr::Ori {
+                rd: Reg::R5,
+                rs1: Reg::R5,
+                imm: 0x0008
+            }
         );
     }
 

@@ -20,7 +20,10 @@ impl fmt::Display for AsmError {
             AsmError::UnboundLabel(id) => write!(f, "label {id} was used but never bound"),
             AsmError::RebindLabel(id) => write!(f, "label {id} was bound more than once"),
             AsmError::BranchOutOfRange { from, to } => {
-                write!(f, "branch from {from:#x} to {to:#x} exceeds the i16 word-offset range")
+                write!(
+                    f,
+                    "branch from {from:#x} to {to:#x} exceeds the i16 word-offset range"
+                )
             }
             AsmError::Parse { line, message } => write!(f, "line {line}: {message}"),
         }

@@ -75,7 +75,10 @@ pub fn assemble(base: u32, source: &str) -> Result<Vec<u32>, AsmError> {
 }
 
 fn parse_err(lineno: usize, message: impl Into<String>) -> AsmError {
-    AsmError::Parse { line: lineno + 1, message: message.into() }
+    AsmError::Parse {
+        line: lineno + 1,
+        message: message.into(),
+    }
 }
 
 fn strip_comment(line: &str) -> &str {
@@ -132,7 +135,11 @@ fn encode_statement(
 
     let rrr = |v: fn(Reg, Reg, Reg) -> Instr| -> Result<Instr, String> {
         want(3)?;
-        Ok(v(parse_reg(args[0])?, parse_reg(args[1])?, parse_reg(args[2])?))
+        Ok(v(
+            parse_reg(args[0])?,
+            parse_reg(args[1])?,
+            parse_reg(args[2])?,
+        ))
     };
     let branch = |v: fn(i16) -> Instr| -> Result<Instr, String> {
         want(1)?;
@@ -162,29 +169,50 @@ fn encode_statement(
         "sra" => rrr(|rd, rs1, rs2| Instr::Sra { rd, rs1, rs2 })?,
         "mov" => {
             want(2)?;
-            Instr::Mov { rd: parse_reg(args[0])?, rs: parse_reg(args[1])? }
+            Instr::Mov {
+                rd: parse_reg(args[0])?,
+                rs: parse_reg(args[1])?,
+            }
         }
         "addi" => {
             want(3)?;
-            Instr::Addi { rd: parse_reg(args[0])?, rs1: parse_reg(args[1])?, imm: parse_i16(args[2])? }
+            Instr::Addi {
+                rd: parse_reg(args[0])?,
+                rs1: parse_reg(args[1])?,
+                imm: parse_i16(args[2])?,
+            }
         }
         "andi" => {
             want(3)?;
-            Instr::Andi { rd: parse_reg(args[0])?, rs1: parse_reg(args[1])?, imm: parse_u16(args[2])? }
+            Instr::Andi {
+                rd: parse_reg(args[0])?,
+                rs1: parse_reg(args[1])?,
+                imm: parse_u16(args[2])?,
+            }
         }
         "ori" => {
             want(3)?;
-            Instr::Ori { rd: parse_reg(args[0])?, rs1: parse_reg(args[1])?, imm: parse_u16(args[2])? }
+            Instr::Ori {
+                rd: parse_reg(args[0])?,
+                rs1: parse_reg(args[1])?,
+                imm: parse_u16(args[2])?,
+            }
         }
         "xori" => {
             want(3)?;
-            Instr::Xori { rd: parse_reg(args[0])?, rs1: parse_reg(args[1])?, imm: parse_u16(args[2])? }
+            Instr::Xori {
+                rd: parse_reg(args[0])?,
+                rs1: parse_reg(args[1])?,
+                imm: parse_u16(args[2])?,
+            }
         }
         "slli" | "srli" | "srai" => {
             want(3)?;
             let rd = parse_reg(args[0])?;
             let rs1 = parse_reg(args[1])?;
-            let shamt = parse_u32(args[2]).filter(|&s| s < 32).ok_or("bad shift amount")? as u8;
+            let shamt = parse_u32(args[2])
+                .filter(|&s| s < 32)
+                .ok_or("bad shift amount")? as u8;
             match mnemonic.as_str() {
                 "slli" => Instr::Slli { rd, rs1, shamt },
                 "srli" => Instr::Srli { rd, rs1, shamt },
@@ -193,14 +221,24 @@ fn encode_statement(
         }
         "lui" => {
             want(2)?;
-            Instr::Lui { rd: parse_reg(args[0])?, imm: parse_u16(args[1])? }
+            Instr::Lui {
+                rd: parse_reg(args[0])?,
+                imm: parse_u16(args[1])?,
+            }
         }
         "li" => {
             want(2)?;
             let rd = parse_reg(args[0])?;
             let value = resolve(args[1])?;
-            out.push(encode(&Instr::Lui { rd, imm: (value >> 16) as u16 }));
-            out.push(encode(&Instr::Ori { rd, rs1: rd, imm: (value & 0xFFFF) as u16 }));
+            out.push(encode(&Instr::Lui {
+                rd,
+                imm: (value >> 16) as u16,
+            }));
+            out.push(encode(&Instr::Ori {
+                rd,
+                rs1: rd,
+                imm: (value & 0xFFFF) as u16,
+            }));
             return Ok(());
         }
         "lw" | "lb" | "lbu" => {
@@ -225,19 +263,29 @@ fn encode_statement(
         }
         "lwa" => {
             want(2)?;
-            Instr::Lwa { rd: parse_reg(args[0])?, addr: parse_bracketed(args[1])? }
+            Instr::Lwa {
+                rd: parse_reg(args[0])?,
+                addr: parse_bracketed(args[1])?,
+            }
         }
         "swa" => {
             want(2)?;
-            Instr::Swa { rs: parse_reg(args[0])?, addr: parse_bracketed(args[1])? }
+            Instr::Swa {
+                rs: parse_reg(args[0])?,
+                addr: parse_bracketed(args[1])?,
+            }
         }
         "push" => {
             want(1)?;
-            Instr::Push { rs: parse_reg(args[0])? }
+            Instr::Push {
+                rs: parse_reg(args[0])?,
+            }
         }
         "pop" => {
             want(1)?;
-            Instr::Pop { rd: parse_reg(args[0])? }
+            Instr::Pop {
+                rd: parse_reg(args[0])?,
+            }
         }
         "pushf" => {
             want(0)?;
@@ -249,11 +297,17 @@ fn encode_statement(
         }
         "cmp" => {
             want(2)?;
-            Instr::Cmp { rs1: parse_reg(args[0])?, rs2: parse_reg(args[1])? }
+            Instr::Cmp {
+                rs1: parse_reg(args[0])?,
+                rs2: parse_reg(args[1])?,
+            }
         }
         "cmpi" => {
             want(2)?;
-            Instr::Cmpi { rs1: parse_reg(args[0])?, imm: parse_i16(args[1])? }
+            Instr::Cmpi {
+                rs1: parse_reg(args[0])?,
+                imm: parse_i16(args[1])?,
+            }
         }
         "beq" => branch(|off| Instr::Beq { off })?,
         "bne" => branch(|off| Instr::Bne { off })?,
@@ -263,19 +317,27 @@ fn encode_statement(
         "bgeu" => branch(|off| Instr::Bgeu { off })?,
         "jmp" => {
             want(1)?;
-            Instr::Jmp { target: resolve(args[0])? }
+            Instr::Jmp {
+                target: resolve(args[0])?,
+            }
         }
         "call" => {
             want(1)?;
-            Instr::Call { target: resolve(args[0])? }
+            Instr::Call {
+                target: resolve(args[0])?,
+            }
         }
         "jr" => {
             want(1)?;
-            Instr::Jr { rs: parse_reg(args[0])? }
+            Instr::Jr {
+                rs: parse_reg(args[0])?,
+            }
         }
         "callr" => {
             want(1)?;
-            Instr::Callr { rs: parse_reg(args[0])? }
+            Instr::Callr {
+                rs: parse_reg(args[0])?,
+            }
         }
         "ret" => {
             want(0)?;
@@ -283,11 +345,15 @@ fn encode_statement(
         }
         "jmem" => {
             want(1)?;
-            Instr::Jmem { addr: parse_bracketed(args[0])? }
+            Instr::Jmem {
+                addr: parse_bracketed(args[0])?,
+            }
         }
         "trap" => {
             want(1)?;
-            Instr::Trap { code: parse_u16(args[0])? }
+            Instr::Trap {
+                code: parse_u16(args[0])?,
+            }
         }
         "halt" => {
             want(0)?;
@@ -324,7 +390,9 @@ fn parse_u32(text: &str) -> Option<u32> {
     if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
         u32::from_str_radix(hex, 16).ok()
     } else if let Some(neg) = t.strip_prefix('-') {
-        neg.parse::<u32>().ok().map(|v| (v as i64).wrapping_neg() as u32)
+        neg.parse::<u32>()
+            .ok()
+            .map(|v| (v as i64).wrapping_neg() as u32)
     } else {
         t.parse::<u32>().ok()
     }
@@ -335,9 +403,11 @@ fn parse_i16(text: &str) -> Result<i16, String> {
         .and_then(|v| {
             let signed = v as i32;
             // Accept 0xFFFF-style encodings of negative values.
-            i16::try_from(signed)
-                .ok()
-                .or(if v <= 0xFFFF { Some(v as u16 as i16) } else { None })
+            i16::try_from(signed).ok().or(if v <= 0xFFFF {
+                Some(v as u16 as i16)
+            } else {
+                None
+            })
         })
         .ok_or_else(|| format!("immediate `{text}` out of i16 range"))
 }
@@ -350,10 +420,18 @@ fn parse_u16(text: &str) -> Result<u16, String> {
 
 /// Parses `off(reg)` memory operands.
 fn parse_mem_operand(text: &str) -> Result<(i16, Reg), String> {
-    let open = text.find('(').ok_or_else(|| format!("expected `off(reg)`, got `{text}`"))?;
-    let close = text.rfind(')').ok_or_else(|| format!("missing `)` in `{text}`"))?;
+    let open = text
+        .find('(')
+        .ok_or_else(|| format!("expected `off(reg)`, got `{text}`"))?;
+    let close = text
+        .rfind(')')
+        .ok_or_else(|| format!("missing `)` in `{text}`"))?;
     let off_text = text[..open].trim();
-    let off = if off_text.is_empty() { 0 } else { parse_i16(off_text)? };
+    let off = if off_text.is_empty() {
+        0
+    } else {
+        parse_i16(off_text)?
+    };
     let rs1 = parse_reg(text[open + 1..close].trim())?;
     Ok((off, rs1))
 }
@@ -376,19 +454,51 @@ mod tests {
     fn assembles_display_syntax() {
         // Round-trip: Display output must be accepted by the assembler.
         let instrs = [
-            Instr::Add { rd: Reg::R1, rs1: Reg::R2, rs2: Reg::R3 },
-            Instr::Addi { rd: Reg::R1, rs1: Reg::SP, imm: -4 },
-            Instr::Lw { rd: Reg::R2, rs1: Reg::SP, off: 8 },
-            Instr::Sw { rs2: Reg::R2, rs1: Reg::R3, off: -12 },
-            Instr::Lwa { rd: Reg::R1, addr: 0x200 },
-            Instr::Swa { rs: Reg::R1, addr: 0x204 },
+            Instr::Add {
+                rd: Reg::R1,
+                rs1: Reg::R2,
+                rs2: Reg::R3,
+            },
+            Instr::Addi {
+                rd: Reg::R1,
+                rs1: Reg::SP,
+                imm: -4,
+            },
+            Instr::Lw {
+                rd: Reg::R2,
+                rs1: Reg::SP,
+                off: 8,
+            },
+            Instr::Sw {
+                rs2: Reg::R2,
+                rs1: Reg::R3,
+                off: -12,
+            },
+            Instr::Lwa {
+                rd: Reg::R1,
+                addr: 0x200,
+            },
+            Instr::Swa {
+                rs: Reg::R1,
+                addr: 0x204,
+            },
             Instr::Jmem { addr: 0x104 },
             Instr::Trap { code: 0xF001 },
             Instr::Pushf,
             Instr::Ret,
-            Instr::Lui { rd: Reg::R4, imm: 0xBEEF },
-            Instr::Cmpi { rs1: Reg::R9, imm: -1 },
-            Instr::Srai { rd: Reg::R1, rs1: Reg::R1, shamt: 7 },
+            Instr::Lui {
+                rd: Reg::R4,
+                imm: 0xBEEF,
+            },
+            Instr::Cmpi {
+                rs1: Reg::R9,
+                imm: -1,
+            },
+            Instr::Srai {
+                rd: Reg::R1,
+                rs1: Reg::R1,
+                shamt: 7,
+            },
         ];
         for want in instrs {
             let code = assemble(0, &want.to_string()).unwrap();
@@ -427,10 +537,20 @@ mod tests {
             ",
         )
         .unwrap();
-        assert_eq!(decode(code[0]).unwrap(), Instr::Lui { rd: Reg::R1, imm: 0x1234 });
+        assert_eq!(
+            decode(code[0]).unwrap(),
+            Instr::Lui {
+                rd: Reg::R1,
+                imm: 0x1234
+            }
+        );
         assert_eq!(
             decode(code[1]).unwrap(),
-            Instr::Ori { rd: Reg::R1, rs1: Reg::R1, imm: 0x5678 }
+            Instr::Ori {
+                rd: Reg::R1,
+                rs1: Reg::R1,
+                imm: 0x5678
+            }
         );
         // fn1 is the 5th word (indices 0..=3 before it) → 0x2010.
         assert_eq!(decode(code[2]).unwrap(), Instr::Call { target: 0x2010 });
@@ -471,9 +591,19 @@ mod tests {
         let code = assemble(0, "addi r1, r1, -32768").unwrap();
         assert_eq!(
             decode(code[0]).unwrap(),
-            Instr::Addi { rd: Reg::R1, rs1: Reg::R1, imm: -32768 }
+            Instr::Addi {
+                rd: Reg::R1,
+                rs1: Reg::R1,
+                imm: -32768
+            }
         );
         let code = assemble(0, "cmpi r1, 0xFFFF").unwrap();
-        assert_eq!(decode(code[0]).unwrap(), Instr::Cmpi { rs1: Reg::R1, imm: -1 });
+        assert_eq!(
+            decode(code[0]).unwrap(),
+            Instr::Cmpi {
+                rs1: Reg::R1,
+                imm: -1
+            }
+        );
     }
 }

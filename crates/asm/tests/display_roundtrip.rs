@@ -23,34 +23,96 @@ fn rand_u16(rng: &mut SmallRng) -> u16 {
 fn rand_instr(rng: &mut SmallRng) -> Instr {
     let r = |rng: &mut SmallRng| rand_reg(rng);
     match rng.gen_range(0u32..30) {
-        0 => Instr::Add { rd: r(rng), rs1: r(rng), rs2: r(rng) },
-        1 => Instr::Divu { rd: r(rng), rs1: r(rng), rs2: r(rng) },
-        2 => Instr::Mov { rd: r(rng), rs: r(rng) },
-        3 => Instr::Addi { rd: r(rng), rs1: r(rng), imm: rand_i16(rng) },
-        4 => Instr::Andi { rd: r(rng), rs1: r(rng), imm: rand_u16(rng) },
-        5 => Instr::Xori { rd: r(rng), rs1: r(rng), imm: rand_u16(rng) },
-        6 => Instr::Srai { rd: r(rng), rs1: r(rng), shamt: rng.gen_range(0u8..32) },
-        7 => Instr::Lui { rd: r(rng), imm: rand_u16(rng) },
-        8 => Instr::Lw { rd: r(rng), rs1: r(rng), off: rand_i16(rng) },
-        9 => Instr::Sw { rs2: r(rng), rs1: r(rng), off: rand_i16(rng) },
-        10 => Instr::Lbu { rd: r(rng), rs1: r(rng), off: rand_i16(rng) },
-        11 => Instr::Lwa { rd: r(rng), addr: rng.gen_range(0u32..(1 << 18)) * 4 },
-        12 => Instr::Swa { rs: r(rng), addr: rng.gen_range(0u32..(1 << 18)) * 4 },
+        0 => Instr::Add {
+            rd: r(rng),
+            rs1: r(rng),
+            rs2: r(rng),
+        },
+        1 => Instr::Divu {
+            rd: r(rng),
+            rs1: r(rng),
+            rs2: r(rng),
+        },
+        2 => Instr::Mov {
+            rd: r(rng),
+            rs: r(rng),
+        },
+        3 => Instr::Addi {
+            rd: r(rng),
+            rs1: r(rng),
+            imm: rand_i16(rng),
+        },
+        4 => Instr::Andi {
+            rd: r(rng),
+            rs1: r(rng),
+            imm: rand_u16(rng),
+        },
+        5 => Instr::Xori {
+            rd: r(rng),
+            rs1: r(rng),
+            imm: rand_u16(rng),
+        },
+        6 => Instr::Srai {
+            rd: r(rng),
+            rs1: r(rng),
+            shamt: rng.gen_range(0u8..32),
+        },
+        7 => Instr::Lui {
+            rd: r(rng),
+            imm: rand_u16(rng),
+        },
+        8 => Instr::Lw {
+            rd: r(rng),
+            rs1: r(rng),
+            off: rand_i16(rng),
+        },
+        9 => Instr::Sw {
+            rs2: r(rng),
+            rs1: r(rng),
+            off: rand_i16(rng),
+        },
+        10 => Instr::Lbu {
+            rd: r(rng),
+            rs1: r(rng),
+            off: rand_i16(rng),
+        },
+        11 => Instr::Lwa {
+            rd: r(rng),
+            addr: rng.gen_range(0u32..(1 << 18)) * 4,
+        },
+        12 => Instr::Swa {
+            rs: r(rng),
+            addr: rng.gen_range(0u32..(1 << 18)) * 4,
+        },
         13 => Instr::Push { rs: r(rng) },
         14 => Instr::Pop { rd: r(rng) },
         15 => Instr::Pushf,
         16 => Instr::Popf,
-        17 => Instr::Cmp { rs1: r(rng), rs2: r(rng) },
-        18 => Instr::Cmpi { rs1: r(rng), imm: rand_i16(rng) },
+        17 => Instr::Cmp {
+            rs1: r(rng),
+            rs2: r(rng),
+        },
+        18 => Instr::Cmpi {
+            rs1: r(rng),
+            imm: rand_i16(rng),
+        },
         19 => Instr::Beq { off: rand_i16(rng) },
         20 => Instr::Bgeu { off: rand_i16(rng) },
-        21 => Instr::Jmp { target: rng.gen_range(0u32..(1 << 24)) * 4 },
-        22 => Instr::Call { target: rng.gen_range(0u32..(1 << 24)) * 4 },
+        21 => Instr::Jmp {
+            target: rng.gen_range(0u32..(1 << 24)) * 4,
+        },
+        22 => Instr::Call {
+            target: rng.gen_range(0u32..(1 << 24)) * 4,
+        },
         23 => Instr::Jr { rs: r(rng) },
         24 => Instr::Callr { rs: r(rng) },
         25 => Instr::Ret,
-        26 => Instr::Jmem { addr: rng.gen_range(0u32..(1 << 24)) * 4 },
-        27 => Instr::Trap { code: rand_u16(rng) },
+        26 => Instr::Jmem {
+            addr: rng.gen_range(0u32..(1 << 24)) * 4,
+        },
+        27 => Instr::Trap {
+            code: rand_u16(rng),
+        },
         28 => Instr::Halt,
         _ => Instr::Nop,
     }
@@ -72,8 +134,9 @@ fn display_syntax_reassembles() {
 fn whole_programs_roundtrip() {
     let mut rng = SmallRng::seed_from_u64(0xA53B_0002);
     for _ in 0..200 {
-        let instrs: Vec<Instr> =
-            (0..rng.gen_range(1usize..40)).map(|_| rand_instr(&mut rng)).collect();
+        let instrs: Vec<Instr> = (0..rng.gen_range(1usize..40))
+            .map(|_| rand_instr(&mut rng))
+            .collect();
         let text: String = instrs.iter().map(|i| format!("{i}\n")).collect();
         let words = assemble(0x4000, &text).expect("program assembles");
         assert_eq!(words.len(), instrs.len());

@@ -24,7 +24,7 @@ use strata_stats::Json;
 
 use strata_arch::{ArchModel, ArchProfile, Btb, CacheConfig, CacheSim, CondPredictor};
 use strata_asm::assemble;
-use strata_core::{Sdt, SdtConfig};
+use strata_core::{ClassPolicy, Sdt, SdtConfig};
 use strata_isa::{decode, encode, Instr, Reg};
 use strata_machine::{layout, Machine, NullObserver, Program, StepOutcome};
 use strata_stats::Table;
@@ -67,14 +67,23 @@ struct Bench {
 
 impl Bench {
     fn new() -> Bench {
-        Bench { table: Table::new("microbenchmarks (median)", &["benchmark", "time", "per-element"]) }
+        Bench {
+            table: Table::new(
+                "microbenchmarks (median)",
+                &["benchmark", "time", "per-element"],
+            ),
+        }
     }
 
     /// Runs one benchmark; `elements` is the work-unit count for a derived
     /// per-element rate (0 = no rate column).
     fn run(&mut self, name: &str, elements: u64, f: impl FnMut()) {
         let ns = time_ns(f);
-        let per = if elements > 0 { human(ns / elements as f64) } else { String::new() };
+        let per = if elements > 0 {
+            human(ns / elements as f64)
+        } else {
+            String::new()
+        };
         self.table.row([name.to_string(), human(ns), per]);
         eprintln!("  {name}: {}", human(ns));
     }
@@ -84,7 +93,10 @@ impl Bench {
     fn write_json(&self, path: &str) {
         let doc = Json::obj([
             ("id", Json::str("microbench")),
-            ("title", Json::str("Substrate microbenchmark medians (host wall clock)")),
+            (
+                "title",
+                Json::str("Substrate microbenchmark medians (host wall clock)"),
+            ),
             ("tables", Json::arr([self.table.to_json()])),
             ("notes", Json::arr([])),
         ]);
@@ -118,6 +130,19 @@ fn interpreter_program() -> Program {
     Program::new("spin", code, Vec::new())
 }
 
+/// A program that chains through `sites` indirect jumps, each in its own
+/// basic block, so translating it emits exactly `sites` dispatch
+/// sequences for the active jump strategy.
+fn indirect_chain_program(sites: u32) -> Program {
+    let mut src = String::new();
+    for i in 0..sites {
+        src.push_str(&format!("    li r9, site{i}\n    jr r9\nsite{i}:\n"));
+    }
+    src.push_str("    halt\n");
+    let code = assemble(layout::APP_BASE, &src).unwrap();
+    Program::new("chain", code, Vec::new())
+}
+
 fn main() {
     let mut b = Bench::new();
 
@@ -129,9 +154,17 @@ fn main() {
                 rs1: Reg::R1,
                 rs2: Reg::R2,
             },
-            1 => Instr::Lw { rd: Reg::R3, rs1: Reg::SP, off: (i as i16) - 128 },
-            2 => Instr::Beq { off: (i as i16) - 128 },
-            _ => Instr::Jmp { target: (i % 1024) * 4 },
+            1 => Instr::Lw {
+                rd: Reg::R3,
+                rs1: Reg::SP,
+                off: (i as i16) - 128,
+            },
+            2 => Instr::Beq {
+                off: (i as i16) - 128,
+            },
+            _ => Instr::Jmp {
+                target: (i % 1024) * 4,
+            },
         })
         .collect();
     let words: Vec<u32> = instrs.iter().map(encode).collect();
@@ -168,7 +201,10 @@ fn main() {
     b.run("machine/interpret_400k_instrs", 400_002, || {
         let mut m = Machine::new(layout::DEFAULT_MEM_BYTES);
         program.load(&mut m).unwrap();
-        assert_eq!(m.run(&mut NullObserver, 10_000_000).unwrap(), StepOutcome::Halted);
+        assert_eq!(
+            m.run(&mut NullObserver, 10_000_000).unwrap(),
+            StepOutcome::Halted
+        );
     });
     b.run("machine/interpret_400k_instrs_costed", 400_002, || {
         let mut m = Machine::new(layout::DEFAULT_MEM_BYTES);
@@ -190,11 +226,18 @@ fn main() {
     program.load(&mut warm).unwrap();
     b.run("machine/dispatch_warm_400k_instrs", 400_002, || {
         warm.cpu_mut().pc = layout::APP_BASE;
-        assert_eq!(warm.run(&mut NullObserver, 10_000_000).unwrap(), StepOutcome::Halted);
+        assert_eq!(
+            warm.run(&mut NullObserver, 10_000_000).unwrap(),
+            StepOutcome::Halted
+        );
     });
 
     // Microarchitecture simulators.
-    let mut cache = CacheSim::new(CacheConfig { sets: 128, ways: 4, line_bytes: 32 });
+    let mut cache = CacheSim::new(CacheConfig {
+        sets: 128,
+        ways: 4,
+        line_bytes: 32,
+    });
     b.run("arch/cache_access_stride_4096", 4096, || {
         for i in 0..4096u32 {
             black_box(cache.access(i * 8));
@@ -226,6 +269,54 @@ fn main() {
         let report = sdt.run(ArchProfile::x86_like(), 50_000_000).unwrap();
         black_box(report.total_cycles);
     });
+
+    // Dispatch-emission cost per strategy: translating a 32-site indirect
+    // chain emits exactly 32 jump-dispatch sequences, so the per-element
+    // column approximates one site's emission (plus one cold execution)
+    // under each strategy. Construction cost is identical across rows.
+    let chain = indirect_chain_program(32);
+    let two_way = {
+        let mut c = SdtConfig::ibtc_inline(512);
+        c.ibtc_ways = 2;
+        c
+    };
+    let adaptive = {
+        let mut c = SdtConfig::ibtc_inline(512);
+        c.policy.jump = ClassPolicy::Adaptive {
+            ibtc_entries: 256,
+            sieve_buckets: 512,
+            sieve_arity: 8,
+        };
+        c
+    };
+    let strategies: [(&str, SdtConfig); 7] = [
+        ("emit/reentry_32sites", SdtConfig::reentry()),
+        ("emit/ibtc_inline_32sites", SdtConfig::ibtc_inline(512)),
+        ("emit/ibtc_2way_32sites", two_way),
+        (
+            "emit/ibtc_outline_32sites",
+            SdtConfig::ibtc_out_of_line(512),
+        ),
+        ("emit/ibtc_persite_32sites", {
+            let mut c = SdtConfig::ibtc_inline(512);
+            c.ib = strata_core::IbMechanism::Ibtc {
+                entries: 64,
+                scope: strata_core::IbtcScope::PerSite,
+                placement: strata_core::IbtcPlacement::Inline,
+            };
+            c
+        }),
+        ("emit/sieve_32sites", SdtConfig::sieve(512)),
+        ("emit/adaptive_32sites", adaptive),
+    ];
+    for (name, cfg) in strategies {
+        b.run(name, 32, || {
+            let mut sdt = Sdt::new(cfg, &chain).unwrap();
+            let report = sdt.run(ArchProfile::x86_like(), 1_000_000).unwrap();
+            assert!(report.halted);
+            black_box(report.total_cycles);
+        });
+    }
 
     println!("{}", b.table.render_text());
 

@@ -1,0 +1,11 @@
+//! Figure 18 (extension) — mixed per-class dispatch policies. Pits the
+//! paper's single-mechanism configurations (returns handled as generic
+//! indirect branches) against policies that route indirect jumps,
+//! indirect calls, and returns through different mechanisms.
+//!
+//! This binary is a thin delegate: the experiment itself is defined once
+//! in `strata_expt::experiments::fig18_mixed_policy` and shared with `strata bench`.
+
+fn main() {
+    strata_expt::run_single("fig18");
+}

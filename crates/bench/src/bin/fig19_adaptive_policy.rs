@@ -1,0 +1,11 @@
+//! Figure 19 (extension) — adaptive promotion. Compares fixed IBTC and
+//! sieve configurations against the adaptive policy that starts every
+//! site on a one-entry inline probe and promotes it (inline → private
+//! IBTC → shared sieve) as its observed target arity grows.
+//!
+//! This binary is a thin delegate: the experiment itself is defined once
+//! in `strata_expt::experiments::fig19_adaptive_policy` and shared with `strata bench`.
+
+fn main() {
+    strata_expt::run_single("fig19");
+}

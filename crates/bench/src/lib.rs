@@ -68,7 +68,12 @@ impl Lab {
     ///
     /// Panics on an unknown benchmark name.
     pub fn program(&self, name: &str) -> &Program {
-        &self.programs.iter().find(|(s, _)| s.name == name).expect("known benchmark").1
+        &self
+            .programs
+            .iter()
+            .find(|(s, _)| s.name == name)
+            .expect("known benchmark")
+            .1
     }
 
     /// Native baseline for (`name`, `profile`), memoized.
@@ -91,11 +96,16 @@ impl Lab {
             .run(profile.clone(), FUEL)
             .unwrap_or_else(|e| panic!("run {name} / {} on {}: {e}", cfg.describe(), profile.name));
         let native = self.native(
-            registry().iter().find(|s| s.name == name).expect("known").name,
+            registry()
+                .iter()
+                .find(|s| s.name == name)
+                .expect("known")
+                .name,
             profile,
         );
         assert_eq!(
-            report.checksum, native.checksum,
+            report.checksum,
+            native.checksum,
             "{name}/{}: translated run diverged from native",
             cfg.describe()
         );

@@ -76,6 +76,95 @@ pub enum RetMechanism {
     },
 }
 
+/// The classes of control transfer a [`DispatchPolicy`] can bind to
+/// strategies independently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchClass {
+    /// Indirect jumps (`jr`, `jmem`).
+    Jump,
+    /// Indirect calls (`callr`).
+    Call,
+    /// Returns (`ret`).
+    Ret,
+}
+
+impl BranchClass {
+    /// Stable lowercase label used in reports and the policy grammar.
+    pub fn label(self) -> &'static str {
+        match self {
+            BranchClass::Jump => "jump",
+            BranchClass::Call => "call",
+            BranchClass::Ret => "ret",
+        }
+    }
+}
+
+/// Strategy selection for one branch class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClassPolicy {
+    /// Use the global [`SdtConfig::ib`] mechanism (the legacy default; the
+    /// configuration describes and behaves exactly as before the policy
+    /// layer existed).
+    Inherit,
+    /// A fixed mechanism for this class, with its own IBTC associativity.
+    Fixed {
+        /// The mechanism this class dispatches through.
+        mech: IbMechanism,
+        /// IBTC associativity for this class (1 or 2; ignored by
+        /// non-IBTC mechanisms).
+        ways: u8,
+    },
+    /// Start every site on a cheap single-target inline probe and promote
+    /// it as observed target arity grows: a second distinct target
+    /// promotes the site to a private IBTC; more than `sieve_arity`
+    /// distinct targets promote it to a sieve shared by this class's
+    /// promoted sites. Promotion counts surface in
+    /// [`RunReport`](crate::RunReport).
+    Adaptive {
+        /// Entries of each promoted per-site IBTC (power of two,
+        /// `2..=65536`).
+        ibtc_entries: u32,
+        /// Buckets of the shared promotion sieve (power of two,
+        /// `2..=65536`).
+        sieve_buckets: u32,
+        /// Distinct-target count beyond which a site leaves its IBTC for
+        /// the sieve (`1..=64`).
+        sieve_arity: u32,
+    },
+}
+
+/// Maps each branch class to a strategy independently. Returns are
+/// governed by [`SdtConfig::ret`] (already a per-class selector); this
+/// adds the same freedom for indirect jumps and calls. Classes resolving
+/// to the same strategy share tables and miss glue, so the all-[`Inherit`]
+/// default is bit-identical to the pre-policy single-mechanism layout.
+///
+/// [`Inherit`]: ClassPolicy::Inherit
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DispatchPolicy {
+    /// Strategy for indirect jumps.
+    pub jump: ClassPolicy,
+    /// Strategy for indirect calls.
+    pub call: ClassPolicy,
+}
+
+impl Default for DispatchPolicy {
+    fn default() -> DispatchPolicy {
+        DispatchPolicy {
+            jump: ClassPolicy::Inherit,
+            call: ClassPolicy::Inherit,
+        }
+    }
+}
+
+impl DispatchPolicy {
+    /// Whether both classes inherit the global mechanism (the legacy
+    /// configuration space).
+    pub fn is_inherit(&self) -> bool {
+        self.jump == ClassPolicy::Inherit && self.call == ClassPolicy::Inherit
+    }
+}
+
 /// Whether dispatch sequences preserve the application's flags register
 /// around their `cmp` instructions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -141,6 +230,10 @@ pub struct SdtConfig {
     /// sets probed sequentially, with LRU-by-shifting fills). Two-way
     /// tables require inline lookup placement.
     pub ibtc_ways: u8,
+    /// Per-branch-class strategy overrides. The default (all
+    /// [`ClassPolicy::Inherit`]) reproduces the legacy single-mechanism
+    /// behaviour exactly.
+    pub policy: DispatchPolicy,
 }
 
 impl SdtConfig {
@@ -155,6 +248,7 @@ impl SdtConfig {
             instrument_blocks: false,
             elide_direct_jumps: false,
             ibtc_ways: 1,
+            policy: DispatchPolicy::default(),
         }
     }
 
@@ -174,6 +268,7 @@ impl SdtConfig {
             instrument_blocks: false,
             elide_direct_jumps: false,
             ibtc_ways: 1,
+            policy: DispatchPolicy::default(),
         }
     }
 
@@ -191,14 +286,19 @@ impl SdtConfig {
 
     /// Sieve dispatch with the given bucket count.
     pub fn sieve(buckets: u32) -> SdtConfig {
-        SdtConfig { ib: IbMechanism::Sieve { buckets }, ..SdtConfig::ibtc_inline(0x1000) }
+        SdtConfig {
+            ib: IbMechanism::Sieve { buckets },
+            ..SdtConfig::ibtc_inline(0x1000)
+        }
     }
 
     /// The paper's best all-round configuration on BTB-equipped machines:
     /// inlined shared IBTC plus a return cache.
     pub fn tuned(ibtc_entries: u32, rc_entries: u32) -> SdtConfig {
         SdtConfig {
-            ret: RetMechanism::ReturnCache { entries: rc_entries },
+            ret: RetMechanism::ReturnCache {
+                entries: rc_entries,
+            },
             ..SdtConfig::ibtc_inline(ibtc_entries)
         }
     }
@@ -237,10 +337,47 @@ impl SdtConfig {
                 });
             }
         }
-        match self.ibtc_ways {
-            1 => {}
+        Self::check_ways(self.ibtc_ways, self.ib)?;
+        for policy in [self.policy.jump, self.policy.call] {
+            match policy {
+                ClassPolicy::Inherit => {}
+                ClassPolicy::Fixed { mech, ways } => {
+                    if let IbMechanism::Ibtc { entries, .. } = mech {
+                        check("ibtc entries", entries)?;
+                    }
+                    if let IbMechanism::Sieve { buckets } = mech {
+                        check("sieve buckets", buckets)?;
+                    }
+                    Self::check_ways(ways, mech)?;
+                }
+                ClassPolicy::Adaptive {
+                    ibtc_entries,
+                    sieve_buckets,
+                    sieve_arity,
+                } => {
+                    check("adaptive ibtc entries", ibtc_entries)?;
+                    check("adaptive sieve buckets", sieve_buckets)?;
+                    if !(1..=64).contains(&sieve_arity) {
+                        return Err(SdtError::BadConfig {
+                            what: "adaptive sieve arity",
+                            detail: format!("{sieve_arity} must be in 1..=64"),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates an IBTC associativity against the mechanism it applies to.
+    fn check_ways(ways: u8, mech: IbMechanism) -> Result<(), SdtError> {
+        match ways {
+            1 => Ok(()),
             2 => {
-                if let IbMechanism::Ibtc { entries, placement, .. } = self.ib {
+                if let IbMechanism::Ibtc {
+                    entries, placement, ..
+                } = mech
+                {
                     if placement != IbtcPlacement::Inline {
                         return Err(SdtError::BadConfig {
                             what: "ibtc ways",
@@ -254,23 +391,25 @@ impl SdtConfig {
                         });
                     }
                 }
+                Ok(())
             }
-            other => {
-                return Err(SdtError::BadConfig {
-                    what: "ibtc ways",
-                    detail: format!("{other} must be 1 or 2"),
-                })
-            }
+            other => Err(SdtError::BadConfig {
+                what: "ibtc ways",
+                detail: format!("{other} must be 1 or 2"),
+            }),
         }
-        Ok(())
     }
 
-    /// A short, stable description such as `ibtc(4096,shared,inline)+rc(512)`,
-    /// used as a row label by the experiment binaries.
-    pub fn describe(&self) -> String {
-        let ib = match self.ib {
+    /// Stable label for one mechanism, shared by [`SdtConfig::describe`]
+    /// and the per-class policy grammar.
+    pub(crate) fn mech_label(mech: IbMechanism) -> String {
+        match mech {
             IbMechanism::Reentry => "reentry".to_string(),
-            IbMechanism::Ibtc { entries, scope, placement } => format!(
+            IbMechanism::Ibtc {
+                entries,
+                scope,
+                placement,
+            } => format!(
                 "ibtc({entries},{},{})",
                 match scope {
                     IbtcScope::Shared => "shared",
@@ -282,7 +421,35 @@ impl SdtConfig {
                 }
             ),
             IbMechanism::Sieve { buckets } => format!("sieve({buckets})"),
-        };
+        }
+    }
+
+    /// Stable label for one class policy (`None` for
+    /// [`ClassPolicy::Inherit`], which adds nothing to the description).
+    pub(crate) fn policy_label(policy: ClassPolicy) -> Option<String> {
+        match policy {
+            ClassPolicy::Inherit => None,
+            ClassPolicy::Fixed { mech, ways } => {
+                let ways = if ways == 2 { "x2" } else { "" };
+                Some(format!("{}{ways}", Self::mech_label(mech)))
+            }
+            ClassPolicy::Adaptive {
+                ibtc_entries,
+                sieve_buckets,
+                sieve_arity,
+            } => Some(format!(
+                "adaptive({ibtc_entries},{sieve_buckets},{sieve_arity})"
+            )),
+        }
+    }
+
+    /// A short, stable description such as `ibtc(4096,shared,inline)+rc(512)`,
+    /// used as a row label by the experiment binaries. Non-default class
+    /// policies append `+jump=…`/`+call=…`; the all-inherit default appends
+    /// nothing, so legacy configurations keep their historical labels (and
+    /// their memoization/baseline keys).
+    pub fn describe(&self) -> String {
+        let ib = Self::mech_label(self.ib);
         let ret = match self.ret {
             RetMechanism::AsIb => String::new(),
             RetMechanism::ReturnCache { entries } => format!("+rc({entries})"),
@@ -298,10 +465,24 @@ impl SdtConfig {
             Some(bytes) => format!("+cache({bytes})"),
             None => String::new(),
         };
-        let instr = if self.instrument_blocks { "+bbcount" } else { "" };
-        let elide = if self.elide_direct_jumps { "+elide" } else { "" };
+        let instr = if self.instrument_blocks {
+            "+bbcount"
+        } else {
+            ""
+        };
+        let elide = if self.elide_direct_jumps {
+            "+elide"
+        } else {
+            ""
+        };
         let ways = if self.ibtc_ways == 2 { "+2way" } else { "" };
-        format!("{ib}{ret}{flags}{link}{cache}{instr}{elide}{ways}")
+        let mut policy = String::new();
+        for (label, class) in [("jump", self.policy.jump), ("call", self.policy.call)] {
+            if let Some(spec) = Self::policy_label(class) {
+                policy.push_str(&format!("+{label}={spec}"));
+            }
+        }
+        format!("{ib}{ret}{flags}{link}{cache}{instr}{elide}{ways}{policy}")
     }
 }
 
@@ -337,7 +518,10 @@ mod tests {
     #[test]
     fn describe_is_stable() {
         assert_eq!(SdtConfig::reentry().describe(), "reentry");
-        assert_eq!(SdtConfig::ibtc_inline(4096).describe(), "ibtc(4096,shared,inline)");
+        assert_eq!(
+            SdtConfig::ibtc_inline(4096).describe(),
+            "ibtc(4096,shared,inline)"
+        );
         assert_eq!(
             SdtConfig::tuned(4096, 512).describe(),
             "ibtc(4096,shared,inline)+rc(512)"
@@ -346,5 +530,89 @@ mod tests {
         cfg.flags = FlagsPolicy::None;
         cfg.link_fragments = false;
         assert_eq!(cfg.describe(), "sieve(256)+noflags+nolink");
+    }
+
+    #[test]
+    fn inherit_policy_keeps_legacy_labels() {
+        // The memoization/baseline keys embed describe(); the default
+        // policy must not perturb them.
+        let mut cfg = SdtConfig::tuned(4096, 512);
+        assert!(cfg.policy.is_inherit());
+        assert_eq!(cfg.describe(), "ibtc(4096,shared,inline)+rc(512)");
+        cfg.policy.call = ClassPolicy::Fixed {
+            mech: IbMechanism::Sieve { buckets: 1024 },
+            ways: 1,
+        };
+        assert_eq!(
+            cfg.describe(),
+            "ibtc(4096,shared,inline)+rc(512)+call=sieve(1024)"
+        );
+    }
+
+    #[test]
+    fn policy_describe_covers_all_variants() {
+        let mut cfg = SdtConfig::reentry();
+        cfg.policy.jump = ClassPolicy::Adaptive {
+            ibtc_entries: 512,
+            sieve_buckets: 1024,
+            sieve_arity: 8,
+        };
+        cfg.policy.call = ClassPolicy::Fixed {
+            mech: IbMechanism::Ibtc {
+                entries: 512,
+                scope: IbtcScope::Shared,
+                placement: IbtcPlacement::Inline,
+            },
+            ways: 2,
+        };
+        assert_eq!(
+            cfg.describe(),
+            "reentry+jump=adaptive(512,1024,8)+call=ibtc(512,shared,inline)x2"
+        );
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn degenerate_policy_params_rejected() {
+        let mut cfg = SdtConfig::reentry();
+        cfg.policy.jump = ClassPolicy::Fixed {
+            mech: IbMechanism::Ibtc {
+                entries: 100,
+                scope: IbtcScope::Shared,
+                placement: IbtcPlacement::Inline,
+            },
+            ways: 1,
+        };
+        assert!(
+            cfg.validate().is_err(),
+            "non-power-of-two per-class entries"
+        );
+
+        cfg.policy.jump = ClassPolicy::Fixed {
+            mech: IbMechanism::Ibtc {
+                entries: 2,
+                scope: IbtcScope::Shared,
+                placement: IbtcPlacement::Inline,
+            },
+            ways: 2,
+        };
+        assert!(
+            cfg.validate().is_err(),
+            "two-way table smaller than one set"
+        );
+
+        cfg.policy.jump = ClassPolicy::Adaptive {
+            ibtc_entries: 512,
+            sieve_buckets: 1024,
+            sieve_arity: 0,
+        };
+        assert!(cfg.validate().is_err(), "zero promotion arity");
+
+        cfg.policy.jump = ClassPolicy::Adaptive {
+            ibtc_entries: 0,
+            sieve_buckets: 1024,
+            sieve_arity: 8,
+        };
+        assert!(cfg.validate().is_err(), "zero-entry adaptive ibtc");
     }
 }

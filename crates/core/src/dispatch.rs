@@ -5,29 +5,48 @@
 //! optionally save flags, probe, and either transfer through
 //! `jmem [SLOT_JUMP_TARGET]` (hit) or fall into a miss path that completes
 //! a full context save and traps into the translator.
+//!
+//! The probe itself is owned by the branch class's bound
+//! [`IbStrategy`](crate::strategy::IbStrategy); this module emits the
+//! strategy-independent frame (prologue, call glue, flags push) and the
+//! shared building blocks every probe composes (hash, hit epilogue, miss
+//! paths).
 
 use strata_isa::{Instr, Reg};
 use strata_machine::Memory;
 
-use crate::config::{FlagsPolicy, IbMechanism, IbtcPlacement, IbtcScope};
+use crate::config::{BranchClass, FlagsPolicy};
 use crate::emitter::Mark;
 use crate::fragment::Site;
-use crate::protocol::{
-    SLOT_JUMP_TARGET, SLOT_R1, SLOT_R2, SLOT_R3, SLOT_SHADOW_SP, SLOT_SITE,
-};
+use crate::protocol::{SLOT_JUMP_TARGET, SLOT_R1, SLOT_R2, SLOT_R3, SLOT_SITE};
 use crate::sdt::SdtState;
 use crate::tables::TableRef;
 use crate::{Origin, SdtError};
 
 /// Builds the [`TableRef`] for an IBTC allocation of `entries` total
 /// entries under the given associativity (two-way tables pair entries into
-/// 16-byte sets).
-pub(crate) fn ibtc_table_ref(base: u32, entries: u32, ways: u8) -> TableRef {
-    if ways == 2 {
-        TableRef { base, mask: entries / 2 - 1, entry_bytes: 16 }
-    } else {
-        TableRef { base, mask: entries - 1, entry_bytes: 8 }
+/// 16-byte sets). Rejects degenerate shapes — zero, non-power-of-two, or
+/// fewer entries than ways — instead of silently underflowing the mask.
+pub(crate) fn ibtc_table_ref(base: u32, entries: u32, ways: u8) -> Result<TableRef, SdtError> {
+    if entries == 0 || !entries.is_power_of_two() || entries < ways as u32 {
+        return Err(SdtError::BadConfig {
+            what: "ibtc table shape",
+            detail: format!("{entries} entries x {ways} ways is degenerate"),
+        });
     }
+    Ok(if ways == 2 {
+        TableRef {
+            base,
+            mask: entries / 2 - 1,
+            entry_bytes: 16,
+        }
+    } else {
+        TableRef {
+            base,
+            mask: entries - 1,
+            entry_bytes: 8,
+        }
+    })
 }
 
 /// Where the dispatch sequence finds the application-space branch target.
@@ -60,8 +79,8 @@ pub(crate) enum CallPush {
 }
 
 impl SdtState {
-    /// Emits the generic indirect-branch dispatch sequence for the
-    /// configured [`IbMechanism`]. Returns the patch address of the
+    /// Emits the generic indirect-branch dispatch sequence for `class`
+    /// through its bound strategy. Returns the patch address of the
     /// translated-return `li` pair when `push` is
     /// [`CallPush::TranslatedPlaceholder`].
     pub(crate) fn emit_ib_dispatch(
@@ -69,10 +88,15 @@ impl SdtState {
         mem: &mut Memory,
         source: TargetSource,
         push: CallPush,
-        mark: Mark,
+        class: BranchClass,
     ) -> Result<Option<u32>, SdtError> {
         let d = Origin::Dispatch;
         let entry = self.emit_dispatch_prologue(mem, source, d)?;
+        let mark = match class {
+            BranchClass::Jump => Mark::JumpEntry,
+            BranchClass::Call => Mark::CallEntry,
+            BranchClass::Ret => Mark::RetEntry,
+        };
         self.cache.set_mark(entry, mark);
 
         // Call glue: push the return address while r2 is free.
@@ -81,100 +105,48 @@ impl SdtState {
             CallPush::None => {}
             CallPush::AppAddr(addr) => {
                 self.cache.emit_li(mem, Reg::R2, addr, Origin::CallGlue)?;
-                self.cache.emit(mem, Instr::Push { rs: Reg::R2 }, Origin::CallGlue)?;
+                self.cache
+                    .emit(mem, Instr::Push { rs: Reg::R2 }, Origin::CallGlue)?;
             }
             CallPush::TranslatedPlaceholder => {
                 push_patch = Some(self.cache.emit_li(mem, Reg::R2, 0, Origin::CallGlue)?);
-                self.cache.emit(mem, Instr::Push { rs: Reg::R2 }, Origin::CallGlue)?;
+                self.cache
+                    .emit(mem, Instr::Push { rs: Reg::R2 }, Origin::CallGlue)?;
             }
             CallPush::AppAddrWithShadow(addr) => {
                 self.cache.emit_li(mem, Reg::R2, addr, Origin::CallGlue)?;
-                self.cache.emit(mem, Instr::Push { rs: Reg::R2 }, Origin::CallGlue)?;
-                push_patch = Some(self.emit_shadow_push(mem, addr)?);
-            }
-        }
-
-        if self.cfg.flags == FlagsPolicy::Always {
-            self.cache.emit(mem, Instr::Pushf, d)?;
-        }
-
-        match self.cfg.ib {
-            IbMechanism::Reentry => {
-                let site = self.new_site(Site::IbSite { table: None });
-                self.emit_site_miss_path(mem, site)?;
-            }
-            IbMechanism::Ibtc { entries, scope, placement } => match placement {
-                IbtcPlacement::Inline => {
-                    let (table, site) = match scope {
-                        IbtcScope::Shared => {
-                            (self.shared_ibtc.expect("shared IBTC allocated"), None)
-                        }
-                        IbtcScope::PerSite => {
-                            let base = self.alloc.alloc(entries * 8, 16)?;
-                            // The region may be recycled from before a
-                            // cache flush; stale tags must not survive.
-                            for i in 0..entries * 2 {
-                                mem.write_u32(base + i * 4, 0)?;
-                            }
-                            let table = ibtc_table_ref(base, entries, self.cfg.ibtc_ways);
-                            let site =
-                                self.new_site(Site::IbSite { table: Some(base) });
-                            (table, Some(site))
-                        }
-                    };
-                    if self.cfg.ibtc_ways == 2 {
-                        self.emit_inline_ibtc_probe_2way(mem, table, site)?;
-                    } else {
-                        self.emit_inline_ibtc_probe(mem, table, site)?;
-                    }
-                }
-                IbtcPlacement::OutOfLine => {
-                    let routine = self.stubs.ibtc_lookup.expect("out-of-line routine");
-                    self.cache.emit(mem, Instr::Call { target: routine }, d)?;
-                    self.emit_hit_epilogue(mem)?;
-                }
-            },
-            IbMechanism::Sieve { .. } => {
-                let table = self.sieve_tab.expect("sieve table allocated");
-                self.emit_hash(mem, table, 2)?;
-                self.cache.emit(mem, Instr::Lw { rd: Reg::R2, rs1: Reg::R2, off: 0 }, d)?;
                 self.cache
-                    .emit(mem, Instr::Swa { rs: Reg::R2, addr: SLOT_JUMP_TARGET }, d)?;
-                self.cache.emit(mem, Instr::Jmem { addr: SLOT_JUMP_TARGET }, d)?;
+                    .emit(mem, Instr::Push { rs: Reg::R2 }, Origin::CallGlue)?;
+                push_patch = Some(crate::strategy::shadow::emit_shadow_push(self, mem, addr)?);
             }
         }
-        Ok(push_patch)
-    }
 
-    /// Emits the return-cache dispatch for a translated `ret`: pop the
-    /// application return address, hash it, and jump *unconditionally*
-    /// through the tagless return cache. Verification happens in the
-    /// target fragment's prologue.
-    pub(crate) fn emit_rc_dispatch(&mut self, mem: &mut Memory) -> Result<(), SdtError> {
-        let d = Origin::Dispatch;
-        let entry = self.emit_dispatch_prologue(mem, TargetSource::PoppedReturn, d)?;
-        self.cache.set_mark(entry, Mark::RetEntry);
         if self.cfg.flags == FlagsPolicy::Always {
             self.cache.emit(mem, Instr::Pushf, d)?;
         }
-        let table = self.rc_tab.expect("return cache allocated");
-        self.emit_hash(mem, table, 2)?;
-        self.cache.emit(mem, Instr::Lw { rd: Reg::R2, rs1: Reg::R2, off: 0 }, d)?;
-        // r1–r3 are dead until the target's restore sequence reloads them,
-        // so the transfer can go straight through r2 — no jump slot needed.
-        self.cache.emit(mem, Instr::Jr { rs: Reg::R2 }, d)?;
-        Ok(())
+
+        let bind = self.bind_for(class);
+        let strat = self.binds[bind].strategy.clone();
+        strat.emit_probe(self, mem, bind, class)?;
+        Ok(push_patch)
     }
 
     /// Spills `r1`–`r3` and captures the branch target in `r1`. Returns the
     /// sequence's first address (the dispatch entry, for marking).
-    fn emit_dispatch_prologue(
+    pub(crate) fn emit_dispatch_prologue(
         &mut self,
         mem: &mut Memory,
         source: TargetSource,
         d: Origin,
     ) -> Result<u32, SdtError> {
-        let entry = self.cache.emit(mem, Instr::Swa { rs: Reg::R1, addr: SLOT_R1 }, d)?;
+        let entry = self.cache.emit(
+            mem,
+            Instr::Swa {
+                rs: Reg::R1,
+                addr: SLOT_R1,
+            },
+            d,
+        )?;
         match source {
             TargetSource::Reg(rs) => {
                 self.cache.emit(mem, Instr::Mov { rd: Reg::R1, rs }, d)?;
@@ -184,11 +156,33 @@ impl SdtState {
             }
             TargetSource::MemSlot(addr) => {
                 self.cache.emit_li(mem, Reg::R1, addr, d)?;
-                self.cache.emit(mem, Instr::Lw { rd: Reg::R1, rs1: Reg::R1, off: 0 }, d)?;
+                self.cache.emit(
+                    mem,
+                    Instr::Lw {
+                        rd: Reg::R1,
+                        rs1: Reg::R1,
+                        off: 0,
+                    },
+                    d,
+                )?;
             }
         }
-        self.cache.emit(mem, Instr::Swa { rs: Reg::R2, addr: SLOT_R2 }, d)?;
-        self.cache.emit(mem, Instr::Swa { rs: Reg::R3, addr: SLOT_R3 }, d)?;
+        self.cache.emit(
+            mem,
+            Instr::Swa {
+                rs: Reg::R2,
+                addr: SLOT_R2,
+            },
+            d,
+        )?;
+        self.cache.emit(
+            mem,
+            Instr::Swa {
+                rs: Reg::R3,
+                addr: SLOT_R3,
+            },
+            d,
+        )?;
         Ok(entry)
     }
 
@@ -196,180 +190,288 @@ impl SdtState {
     /// hash every mechanism shares. Tables aligned to 64 KiB load their
     /// base with a single `lui` (the shared tables are allocated that way;
     /// per-site tables pay the extra `ori`).
-    fn emit_hash(
+    pub(crate) fn emit_hash(
         &mut self,
         mem: &mut Memory,
         table: TableRef,
         entry_shift: u8,
     ) -> Result<(), SdtError> {
         let d = Origin::Dispatch;
-        self.cache.emit(mem, Instr::Srli { rd: Reg::R2, rs1: Reg::R1, shamt: 2 }, d)?;
-        self.cache
-            .emit(mem, Instr::Andi { rd: Reg::R2, rs1: Reg::R2, imm: table.mask as u16 }, d)?;
-        self.cache
-            .emit(mem, Instr::Slli { rd: Reg::R2, rs1: Reg::R2, shamt: entry_shift }, d)?;
+        self.cache.emit(
+            mem,
+            Instr::Srli {
+                rd: Reg::R2,
+                rs1: Reg::R1,
+                shamt: 2,
+            },
+            d,
+        )?;
+        self.cache.emit(
+            mem,
+            Instr::Andi {
+                rd: Reg::R2,
+                rs1: Reg::R2,
+                imm: table.mask as u16,
+            },
+            d,
+        )?;
+        self.cache.emit(
+            mem,
+            Instr::Slli {
+                rd: Reg::R2,
+                rs1: Reg::R2,
+                shamt: entry_shift,
+            },
+            d,
+        )?;
         if table.base & 0xFFFF == 0 {
-            self.cache
-                .emit(mem, Instr::Lui { rd: Reg::R3, imm: (table.base >> 16) as u16 }, d)?;
+            self.cache.emit(
+                mem,
+                Instr::Lui {
+                    rd: Reg::R3,
+                    imm: (table.base >> 16) as u16,
+                },
+                d,
+            )?;
         } else {
             self.cache.emit_li(mem, Reg::R3, table.base, d)?;
         }
-        self.cache.emit(mem, Instr::Add { rd: Reg::R2, rs1: Reg::R2, rs2: Reg::R3 }, d)?;
+        self.cache.emit(
+            mem,
+            Instr::Add {
+                rd: Reg::R2,
+                rs1: Reg::R2,
+                rs2: Reg::R3,
+            },
+            d,
+        )?;
         Ok(())
     }
 
     /// Emits the tag-compare probe of an inlined IBTC, the hit epilogue,
-    /// and the miss path (per-site or shared).
-    fn emit_inline_ibtc_probe(
+    /// and the miss path (per-site, or `miss_glue` for shared tables).
+    pub(crate) fn emit_inline_ibtc_probe(
         &mut self,
         mem: &mut Memory,
         table: TableRef,
         site: Option<u32>,
+        miss_glue: u32,
     ) -> Result<(), SdtError> {
         let d = Origin::Dispatch;
         self.emit_hash(mem, table, 3)?;
-        self.cache.emit(mem, Instr::Lw { rd: Reg::R3, rs1: Reg::R2, off: 0 }, d)?;
-        self.cache.emit(mem, Instr::Cmp { rs1: Reg::R3, rs2: Reg::R1 }, d)?;
+        self.cache.emit(
+            mem,
+            Instr::Lw {
+                rd: Reg::R3,
+                rs1: Reg::R2,
+                off: 0,
+            },
+            d,
+        )?;
+        self.cache.emit(
+            mem,
+            Instr::Cmp {
+                rs1: Reg::R3,
+                rs2: Reg::R1,
+            },
+            d,
+        )?;
         let bne = self.cache.emit(mem, Instr::Bne { off: 0 }, d)?;
-        self.cache.emit(mem, Instr::Lw { rd: Reg::R3, rs1: Reg::R2, off: 4 }, d)?;
-        self.cache.emit(mem, Instr::Swa { rs: Reg::R3, addr: SLOT_JUMP_TARGET }, d)?;
+        self.cache.emit(
+            mem,
+            Instr::Lw {
+                rd: Reg::R3,
+                rs1: Reg::R2,
+                off: 4,
+            },
+            d,
+        )?;
+        self.cache.emit(
+            mem,
+            Instr::Swa {
+                rs: Reg::R3,
+                addr: SLOT_JUMP_TARGET,
+            },
+            d,
+        )?;
         self.emit_hit_epilogue(mem)?;
         let miss = self.cache.addr();
-        self.cache.patch_branch(mem, bne, Instr::Bne { off: 0 }, miss)?;
+        self.cache
+            .patch_branch(mem, bne, Instr::Bne { off: 0 }, miss)?;
         match site {
             Some(id) => self.emit_site_miss_path(mem, id)?,
             None => {
-                self.cache.emit(
-                    mem,
-                    Instr::Jmp { target: self.stubs.shared_miss_glue },
-                    Origin::ContextSwitch,
-                )?;
+                self.cache
+                    .emit(mem, Instr::Jmp { target: miss_glue }, Origin::ContextSwitch)?;
             }
         }
         Ok(())
     }
 
     /// Restores flags and `r1`–`r3`, then transfers through the jump slot.
-    fn emit_hit_epilogue(&mut self, mem: &mut Memory) -> Result<(), SdtError> {
+    pub(crate) fn emit_hit_epilogue(&mut self, mem: &mut Memory) -> Result<(), SdtError> {
         let d = Origin::Dispatch;
         if self.cfg.flags == FlagsPolicy::Always {
             self.cache.emit(mem, Instr::Popf, d)?;
         }
-        self.cache.emit(mem, Instr::Lwa { rd: Reg::R1, addr: SLOT_R1 }, d)?;
-        self.cache.emit(mem, Instr::Lwa { rd: Reg::R2, addr: SLOT_R2 }, d)?;
-        self.cache.emit(mem, Instr::Lwa { rd: Reg::R3, addr: SLOT_R3 }, d)?;
-        self.cache.emit(mem, Instr::Jmem { addr: SLOT_JUMP_TARGET }, d)?;
+        self.cache.emit(
+            mem,
+            Instr::Lwa {
+                rd: Reg::R1,
+                addr: SLOT_R1,
+            },
+            d,
+        )?;
+        self.cache.emit(
+            mem,
+            Instr::Lwa {
+                rd: Reg::R2,
+                addr: SLOT_R2,
+            },
+            d,
+        )?;
+        self.cache.emit(
+            mem,
+            Instr::Lwa {
+                rd: Reg::R3,
+                addr: SLOT_R3,
+            },
+            d,
+        )?;
+        self.cache.emit(
+            mem,
+            Instr::Jmem {
+                addr: SLOT_JUMP_TARGET,
+            },
+            d,
+        )?;
         Ok(())
     }
 
     /// Emits a per-site miss path: record the site id and enter the
     /// stack-flags miss tail.
-    fn emit_site_miss_path(&mut self, mem: &mut Memory, site: u32) -> Result<(), SdtError> {
+    pub(crate) fn emit_site_miss_path(
+        &mut self,
+        mem: &mut Memory,
+        site: u32,
+    ) -> Result<(), SdtError> {
         let o = Origin::ContextSwitch;
         self.cache.emit_li(mem, Reg::R2, site, o)?;
-        self.cache.emit(mem, Instr::Swa { rs: Reg::R2, addr: SLOT_SITE }, o)?;
-        self.cache.emit(mem, Instr::Jmp { target: self.stubs.miss_tail_stack_flags }, o)?;
+        self.cache.emit(
+            mem,
+            Instr::Swa {
+                rs: Reg::R2,
+                addr: SLOT_SITE,
+            },
+            o,
+        )?;
+        self.cache.emit(
+            mem,
+            Instr::Jmp {
+                target: self.stubs.miss_tail_stack_flags,
+            },
+            o,
+        )?;
         Ok(())
     }
 
     /// Emits the two-way set-associative IBTC probe: way 0, then way 1,
     /// then the miss path. Each hit path carries its own epilogue so a
     /// way-0 hit pays nothing extra.
-    fn emit_inline_ibtc_probe_2way(
+    pub(crate) fn emit_inline_ibtc_probe_2way(
         &mut self,
         mem: &mut Memory,
         table: TableRef,
         site: Option<u32>,
+        miss_glue: u32,
     ) -> Result<(), SdtError> {
         let d = Origin::Dispatch;
         self.emit_hash(mem, table, 4)?;
-        self.cache.emit(mem, Instr::Lw { rd: Reg::R3, rs1: Reg::R2, off: 0 }, d)?;
-        self.cache.emit(mem, Instr::Cmp { rs1: Reg::R3, rs2: Reg::R1 }, d)?;
+        self.cache.emit(
+            mem,
+            Instr::Lw {
+                rd: Reg::R3,
+                rs1: Reg::R2,
+                off: 0,
+            },
+            d,
+        )?;
+        self.cache.emit(
+            mem,
+            Instr::Cmp {
+                rs1: Reg::R3,
+                rs2: Reg::R1,
+            },
+            d,
+        )?;
         let bne0 = self.cache.emit(mem, Instr::Bne { off: 0 }, d)?;
-        self.cache.emit(mem, Instr::Lw { rd: Reg::R3, rs1: Reg::R2, off: 4 }, d)?;
-        self.cache.emit(mem, Instr::Swa { rs: Reg::R3, addr: SLOT_JUMP_TARGET }, d)?;
+        self.cache.emit(
+            mem,
+            Instr::Lw {
+                rd: Reg::R3,
+                rs1: Reg::R2,
+                off: 4,
+            },
+            d,
+        )?;
+        self.cache.emit(
+            mem,
+            Instr::Swa {
+                rs: Reg::R3,
+                addr: SLOT_JUMP_TARGET,
+            },
+            d,
+        )?;
         self.emit_hit_epilogue(mem)?;
         let try_way1 = self.cache.addr();
-        self.cache.patch_branch(mem, bne0, Instr::Bne { off: 0 }, try_way1)?;
-        self.cache.emit(mem, Instr::Lw { rd: Reg::R3, rs1: Reg::R2, off: 8 }, d)?;
-        self.cache.emit(mem, Instr::Cmp { rs1: Reg::R3, rs2: Reg::R1 }, d)?;
+        self.cache
+            .patch_branch(mem, bne0, Instr::Bne { off: 0 }, try_way1)?;
+        self.cache.emit(
+            mem,
+            Instr::Lw {
+                rd: Reg::R3,
+                rs1: Reg::R2,
+                off: 8,
+            },
+            d,
+        )?;
+        self.cache.emit(
+            mem,
+            Instr::Cmp {
+                rs1: Reg::R3,
+                rs2: Reg::R1,
+            },
+            d,
+        )?;
         let bne1 = self.cache.emit(mem, Instr::Bne { off: 0 }, d)?;
-        self.cache.emit(mem, Instr::Lw { rd: Reg::R3, rs1: Reg::R2, off: 12 }, d)?;
-        self.cache.emit(mem, Instr::Swa { rs: Reg::R3, addr: SLOT_JUMP_TARGET }, d)?;
+        self.cache.emit(
+            mem,
+            Instr::Lw {
+                rd: Reg::R3,
+                rs1: Reg::R2,
+                off: 12,
+            },
+            d,
+        )?;
+        self.cache.emit(
+            mem,
+            Instr::Swa {
+                rs: Reg::R3,
+                addr: SLOT_JUMP_TARGET,
+            },
+            d,
+        )?;
         self.emit_hit_epilogue(mem)?;
         let miss = self.cache.addr();
-        self.cache.patch_branch(mem, bne1, Instr::Bne { off: 0 }, miss)?;
+        self.cache
+            .patch_branch(mem, bne1, Instr::Bne { off: 0 }, miss)?;
         match site {
             Some(id) => self.emit_site_miss_path(mem, id)?,
             None => {
-                self.cache.emit(
-                    mem,
-                    Instr::Jmp { target: self.stubs.shared_miss_glue },
-                    Origin::ContextSwitch,
-                )?;
+                self.cache
+                    .emit(mem, Instr::Jmp { target: miss_glue }, Origin::ContextSwitch)?;
             }
         }
-        Ok(())
-    }
-
-    /// Emits the shadow-stack push: stores `(app_ret, translated_ret)` at
-    /// the current shadow offset and advances it circularly. Uses `r2`/`r3`
-    /// (already spilled by the caller). Returns the `li` address of the
-    /// translated-return placeholder for patching.
-    pub(crate) fn emit_shadow_push(
-        &mut self,
-        mem: &mut Memory,
-        app_ret: u32,
-    ) -> Result<u32, SdtError> {
-        let g = Origin::CallGlue;
-        let (base, mask) = self.shadow.expect("shadow stack allocated");
-        self.cache.emit(mem, Instr::Lwa { rd: Reg::R2, addr: SLOT_SHADOW_SP }, g)?;
-        self.cache.emit_li(mem, Reg::R3, base, g)?;
-        self.cache.emit(mem, Instr::Add { rd: Reg::R3, rs1: Reg::R3, rs2: Reg::R2 }, g)?;
-        self.cache.emit(mem, Instr::Addi { rd: Reg::R2, rs1: Reg::R2, imm: 8 }, g)?;
-        self.cache.emit(mem, Instr::Andi { rd: Reg::R2, rs1: Reg::R2, imm: mask as u16 }, g)?;
-        self.cache.emit(mem, Instr::Swa { rs: Reg::R2, addr: SLOT_SHADOW_SP }, g)?;
-        self.cache.emit_li(mem, Reg::R2, app_ret, g)?;
-        self.cache.emit(mem, Instr::Sw { rs2: Reg::R2, rs1: Reg::R3, off: 0 }, g)?;
-        let patch = self.cache.emit_li(mem, Reg::R2, 0, g)?;
-        self.cache.emit(mem, Instr::Sw { rs2: Reg::R2, rs1: Reg::R3, off: 4 }, g)?;
-        Ok(patch)
-    }
-
-    /// Emits the shadow-stack return dispatch: pop the application return
-    /// address, pop the shadow entry, verify the pair exactly, and jump to
-    /// the recorded translated address; any mismatch falls back to the
-    /// translator without filling a structure.
-    pub(crate) fn emit_ss_dispatch(&mut self, mem: &mut Memory) -> Result<(), SdtError> {
-        let d = Origin::Dispatch;
-        let (base, mask) = self.shadow.expect("shadow stack allocated");
-        let entry = self.emit_dispatch_prologue(mem, TargetSource::PoppedReturn, d)?;
-        self.cache.set_mark(entry, Mark::RetEntry);
-        if self.cfg.flags == FlagsPolicy::Always {
-            self.cache.emit(mem, Instr::Pushf, d)?;
-        }
-        self.cache.emit(mem, Instr::Lwa { rd: Reg::R2, addr: SLOT_SHADOW_SP }, d)?;
-        self.cache.emit(mem, Instr::Addi { rd: Reg::R2, rs1: Reg::R2, imm: -8 }, d)?;
-        self.cache.emit(mem, Instr::Andi { rd: Reg::R2, rs1: Reg::R2, imm: mask as u16 }, d)?;
-        self.cache.emit_li(mem, Reg::R3, base, d)?;
-        self.cache.emit(mem, Instr::Add { rd: Reg::R3, rs1: Reg::R3, rs2: Reg::R2 }, d)?;
-        // Commit the pop before the verify: on fallback the translator
-        // resolves the target anyway and stale shadow entries only cost
-        // another fallback.
-        self.cache.emit(mem, Instr::Swa { rs: Reg::R2, addr: SLOT_SHADOW_SP }, d)?;
-        self.cache.emit(mem, Instr::Lw { rd: Reg::R2, rs1: Reg::R3, off: 0 }, d)?;
-        self.cache.emit(mem, Instr::Cmp { rs1: Reg::R2, rs2: Reg::R1 }, d)?;
-        let bne = self.cache.emit(mem, Instr::Bne { off: 0 }, d)?;
-        self.cache.emit(mem, Instr::Lw { rd: Reg::R3, rs1: Reg::R3, off: 4 }, d)?;
-        self.cache.emit(mem, Instr::Swa { rs: Reg::R3, addr: SLOT_JUMP_TARGET }, d)?;
-        self.emit_hit_epilogue(mem)?;
-        let miss = self.cache.addr();
-        self.cache.patch_branch(mem, bne, Instr::Bne { off: 0 }, miss)?;
-        self.cache.emit(
-            mem,
-            Instr::Jmp { target: self.stubs.nofill_miss_glue },
-            Origin::ContextSwitch,
-        )?;
         Ok(())
     }
 

@@ -8,8 +8,10 @@ use crate::{Origin, SdtError};
 pub(crate) enum Mark {
     #[default]
     None,
-    /// First instruction of an indirect-jump/call dispatch sequence.
-    IbEntry,
+    /// First instruction of an indirect-jump dispatch sequence.
+    JumpEntry,
+    /// First instruction of an indirect-call dispatch sequence.
+    CallEntry,
     /// First instruction of a return dispatch sequence.
     RetEntry,
 }
@@ -107,7 +109,9 @@ impl Cache {
         origin: Origin,
     ) -> Result<u32, SdtError> {
         if self.cursor >= self.limit {
-            return Err(SdtError::CacheFull { capacity: self.limit - self.base });
+            return Err(SdtError::CacheFull {
+                capacity: self.limit - self.base,
+            });
         }
         let addr = self.cursor;
         mem.write_u32(addr, encode(&instr))?;
@@ -131,8 +135,23 @@ impl Cache {
         value: u32,
         origin: Origin,
     ) -> Result<u32, SdtError> {
-        let at = self.emit(mem, Instr::Lui { rd, imm: (value >> 16) as u16 }, origin)?;
-        self.emit(mem, Instr::Ori { rd, rs1: rd, imm: (value & 0xFFFF) as u16 }, origin)?;
+        let at = self.emit(
+            mem,
+            Instr::Lui {
+                rd,
+                imm: (value >> 16) as u16,
+            },
+            origin,
+        )?;
+        self.emit(
+            mem,
+            Instr::Ori {
+                rd,
+                rs1: rd,
+                imm: (value & 0xFFFF) as u16,
+            },
+            origin,
+        )?;
         Ok(at)
     }
 
@@ -162,10 +181,20 @@ impl Cache {
         rd: Reg,
         value: u32,
     ) -> Result<(), SdtError> {
-        mem.write_u32(at, encode(&Instr::Lui { rd, imm: (value >> 16) as u16 }))?;
+        mem.write_u32(
+            at,
+            encode(&Instr::Lui {
+                rd,
+                imm: (value >> 16) as u16,
+            }),
+        )?;
         mem.write_u32(
             at + 4,
-            encode(&Instr::Ori { rd, rs1: rd, imm: (value & 0xFFFF) as u16 }),
+            encode(&Instr::Ori {
+                rd,
+                rs1: rd,
+                imm: (value & 0xFFFF) as u16,
+            }),
         )?;
         Ok(())
     }
@@ -210,7 +239,10 @@ pub(crate) struct TableAlloc {
 
 impl TableAlloc {
     pub fn new(base: u32, limit: u32) -> TableAlloc {
-        TableAlloc { cursor: base, limit }
+        TableAlloc {
+            cursor: base,
+            limit,
+        }
     }
 
     /// Allocates `bytes` aligned to `align` (a power of two).
@@ -277,15 +309,24 @@ mod tests {
     fn li_emit_and_patch() {
         let mut mem = Memory::new(0x1000);
         let mut cache = Cache::new(0x100, 0x100);
-        let at = cache.emit_li(&mut mem, Reg::R2, 0xAABB_CCDD, Origin::CallGlue).unwrap();
+        let at = cache
+            .emit_li(&mut mem, Reg::R2, 0xAABB_CCDD, Origin::CallGlue)
+            .unwrap();
         assert_eq!(
             decode(mem.read_u32(at).unwrap()).unwrap(),
-            Instr::Lui { rd: Reg::R2, imm: 0xAABB }
+            Instr::Lui {
+                rd: Reg::R2,
+                imm: 0xAABB
+            }
         );
         cache.patch_li(&mut mem, at, Reg::R2, 0x1122_3344).unwrap();
         assert_eq!(
             decode(mem.read_u32(at + 4).unwrap()).unwrap(),
-            Instr::Ori { rd: Reg::R2, rs1: Reg::R2, imm: 0x3344 }
+            Instr::Ori {
+                rd: Reg::R2,
+                rs1: Reg::R2,
+                imm: 0x3344
+            }
         );
     }
 
@@ -293,14 +334,21 @@ mod tests {
     fn branch_patching() {
         let mut mem = Memory::new(0x1000);
         let mut cache = Cache::new(0x100, 0x100);
-        let b = cache.emit(&mut mem, Instr::Bne { off: 0 }, Origin::Dispatch).unwrap();
+        let b = cache
+            .emit(&mut mem, Instr::Bne { off: 0 }, Origin::Dispatch)
+            .unwrap();
         for _ in 0..3 {
             cache.emit(&mut mem, Instr::Nop, Origin::Dispatch).unwrap();
         }
         let target = cache.addr();
         cache.emit(&mut mem, Instr::Halt, Origin::Dispatch).unwrap();
-        cache.patch_branch(&mut mem, b, Instr::Bne { off: 0 }, target).unwrap();
-        assert_eq!(decode(mem.read_u32(b).unwrap()).unwrap(), Instr::Bne { off: 3 });
+        cache
+            .patch_branch(&mut mem, b, Instr::Bne { off: 0 }, target)
+            .unwrap();
+        assert_eq!(
+            decode(mem.read_u32(b).unwrap()).unwrap(),
+            Instr::Bne { off: 3 }
+        );
     }
 
     #[test]
@@ -308,8 +356,8 @@ mod tests {
         let mut mem = Memory::new(0x1000);
         let mut cache = Cache::new(0x100, 0x100);
         let a = cache.emit(&mut mem, Instr::Nop, Origin::Dispatch).unwrap();
-        cache.set_mark(a, Mark::IbEntry);
-        assert_eq!(cache.mark_at(a), Mark::IbEntry);
+        cache.set_mark(a, Mark::JumpEntry);
+        assert_eq!(cache.mark_at(a), Mark::JumpEntry);
         assert_eq!(cache.mark_at(a + 4), Mark::None);
         assert_eq!(cache.mark_at(0), Mark::None);
     }

@@ -86,9 +86,14 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        let e = SdtError::BadConfig { what: "ibtc entries", detail: "nope".into() };
+        let e = SdtError::BadConfig {
+            what: "ibtc entries",
+            detail: "nope".into(),
+        };
         assert!(e.to_string().contains("ibtc entries"));
-        assert!(SdtError::CacheFull { capacity: 64 }.to_string().contains("64"));
+        assert!(SdtError::CacheFull { capacity: 64 }
+            .to_string()
+            .contains("64"));
         let m: SdtError = MachineError::UnalignedPc { pc: 2 }.into();
         assert!(m.to_string().contains("unaligned"));
     }

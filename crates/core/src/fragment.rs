@@ -38,7 +38,10 @@ impl FragmentMap {
 
     pub fn insert(&mut self, app_addr: u32, kind: FragKind, frag: Fragment) {
         let prev = self.map.insert((app_addr, kind), frag);
-        debug_assert!(prev.is_none(), "fragment for {app_addr:#x} translated twice");
+        debug_assert!(
+            prev.is_none(),
+            "fragment for {app_addr:#x} translated twice"
+        );
     }
 
     pub fn len(&self) -> usize {
@@ -55,9 +58,13 @@ pub(crate) enum Site {
     /// translates `target` and (if linking is enabled) patches the
     /// trampoline head at `patch_addr` into a direct jump.
     Exit { target: u32, patch_addr: u32 },
-    /// An indirect-branch site; `table` is the per-site IBTC base, if the
-    /// configuration gives each site its own table.
-    IbSite { table: Option<u32> },
+    /// An indirect-branch site owned by strategy binding `bind`; `table`
+    /// is the per-site IBTC base, if the strategy gives each site its own
+    /// table.
+    Ib { bind: u8, table: Option<u32> },
+    /// An adaptive dispatch site; `idx` indexes the host-side
+    /// [`AdaptiveSite`](crate::strategy::adaptive::AdaptiveSite) records.
+    Adaptive { bind: u8, idx: u32 },
 }
 
 /// A sieve hash bucket's chain, tracked host-side so new stanzas can be
@@ -78,8 +85,16 @@ mod tests {
     #[test]
     fn kinds_keep_fragments_separate() {
         let mut m = FragmentMap::default();
-        let body = Fragment { entry: 0x100, restore_entry: 0x100, body: 0x100 };
-        let rc = Fragment { entry: 0x200, restore_entry: 0x210, body: 0x220 };
+        let body = Fragment {
+            entry: 0x100,
+            restore_entry: 0x100,
+            body: 0x100,
+        };
+        let rc = Fragment {
+            entry: 0x200,
+            restore_entry: 0x210,
+            body: 0x220,
+        };
         m.insert(0x1000, FragKind::Body, body);
         m.insert(0x1000, FragKind::ReturnPoint, rc);
         assert_eq!(m.get(0x1000, FragKind::Body), Some(body));

@@ -4,9 +4,7 @@
 use strata_arch::{ArchModel, ArchProfile};
 use strata_isa::{ControlKind, Reg};
 use strata_machine::syscall::{SyscallState, SDT_TRAP_BASE};
-use strata_machine::{
-    layout, ExecutionObserver, Machine, Program, RetireEvent, StepOutcome,
-};
+use strata_machine::{layout, ExecutionObserver, Machine, Program, RetireEvent, StepOutcome};
 
 use crate::SdtError;
 

@@ -46,7 +46,11 @@ impl Sdt {
                 .ok()
                 .and_then(|w| strata_isa::decode(w).ok());
             let origin = self.origin_at(addr).unwrap_or(Origin::App);
-            out.push(CacheLine { addr, instr, origin });
+            out.push(CacheLine {
+                addr,
+                instr,
+                origin,
+            });
             addr += 4;
         }
         out
@@ -105,7 +109,10 @@ mod tests {
         let sdt = sdt_for("halt\n", SdtConfig::reentry());
         let lines = sdt.disassemble_cache(usize::MAX);
         assert_eq!(lines.len() * 4, sdt.cache_used_bytes() as usize);
-        assert!(lines.iter().all(|l| l.instr.is_some()), "translator never emits junk");
+        assert!(
+            lines.iter().all(|l| l.instr.is_some()),
+            "translator never emits junk"
+        );
     }
 
     #[test]

@@ -72,18 +72,23 @@ mod fragment;
 mod harness;
 mod inspect;
 mod origin;
+pub mod protocol;
 mod report;
 mod runtime;
 mod sdt;
+mod strategy;
 mod stubs;
 mod tables;
 mod translator;
-pub mod protocol;
 
-pub use config::{FlagsPolicy, IbMechanism, IbtcPlacement, IbtcScope, RetMechanism, SdtConfig};
+pub use config::{
+    BranchClass, ClassPolicy, DispatchPolicy, FlagsPolicy, IbMechanism, IbtcPlacement, IbtcScope,
+    RetMechanism, SdtConfig,
+};
 pub use error::SdtError;
 pub use harness::{run_native, NativeRun};
 pub use inspect::CacheLine;
 pub use origin::Origin;
-pub use report::{MechanismStats, RunReport};
+pub use report::{ClassReport, MechanismStats, RunReport};
 pub use sdt::Sdt;
+pub use strategy::{mechanism_registry, MechanismInfo};

@@ -70,6 +70,30 @@ pub const SITE_SHARED: u32 = u32::MAX;
 /// repopulate the shadow entry itself).
 pub const SITE_NOFILL: u32 = u32::MAX - 1;
 
+/// Base of the per-binding [`SLOT_SITE`] sentinel range used by mixed
+/// dispatch policies: binding `k`'s miss glue reports
+/// `SITE_BIND_BASE - k`. Single-binding configurations keep using
+/// [`SITE_SHARED`], which is how legacy configurations stay bit-identical.
+pub const SITE_BIND_BASE: u32 = u32::MAX - 2;
+
+/// Maximum strategy bindings a policy can resolve to (bounds the sentinel
+/// range; a policy has at most one jump and one call binding today).
+pub const MAX_BINDS: usize = 4;
+
+/// The [`SLOT_SITE`] sentinel for binding `k`'s shared miss glue.
+pub const fn bind_sentinel(bind: usize) -> u32 {
+    SITE_BIND_BASE - bind as u32
+}
+
+/// Decodes a per-binding sentinel back to its binding index.
+pub fn sentinel_bind(site: u32) -> Option<usize> {
+    if site <= SITE_BIND_BASE && site > SITE_BIND_BASE - MAX_BINDS as u32 {
+        Some((SITE_BIND_BASE - site) as usize)
+    } else {
+        None
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -89,7 +113,10 @@ mod tests {
             reg_slot(15),
             SLOT_SHADOW_SP,
         ] {
-            assert!(slot <= MAX_ABS_ADDR, "slot {slot:#x} unreachable by lwa/swa");
+            assert!(
+                slot <= MAX_ABS_ADDR,
+                "slot {slot:#x} unreachable by lwa/swa"
+            );
             assert_eq!(slot % 4, 0);
         }
     }
@@ -114,6 +141,20 @@ mod tests {
         slots.sort_unstable();
         slots.dedup();
         assert_eq!(slots.len(), n);
+    }
+
+    #[test]
+    fn bind_sentinels_stay_clear_of_other_sentinels() {
+        for k in 0..MAX_BINDS {
+            let s = bind_sentinel(k);
+            assert_ne!(s, SITE_SHARED);
+            assert_ne!(s, SITE_NOFILL);
+            assert_eq!(sentinel_bind(s), Some(k));
+        }
+        assert_eq!(sentinel_bind(SITE_SHARED), None);
+        assert_eq!(sentinel_bind(SITE_NOFILL), None);
+        assert_eq!(sentinel_bind(bind_sentinel(MAX_BINDS - 1) - 1), None);
+        assert_eq!(sentinel_bind(0), None);
     }
 
     #[test]

@@ -19,6 +19,12 @@ pub(crate) struct HostStats {
 pub struct MechanismStats {
     /// Executions of indirect-jump/call dispatch sequences.
     pub ib_dispatches: u64,
+    /// Executions of indirect-*jump* dispatch sequences (subset of
+    /// [`ib_dispatches`](Self::ib_dispatches)).
+    pub jump_dispatches: u64,
+    /// Executions of indirect-*call* dispatch sequences (subset of
+    /// [`ib_dispatches`](Self::ib_dispatches)).
+    pub call_dispatches: u64,
     /// Dispatch executions that missed into the translator (IBTC/sieve
     /// fill events; every dispatch under re-entry).
     pub ib_misses: u64,
@@ -43,6 +49,9 @@ pub struct MechanismStats {
     pub cache_flushes: u64,
     /// Direct jumps elided during translation (tail duplication).
     pub elided_jumps: u64,
+    /// Adaptive-site promotions (inline→IBTC plus IBTC→sieve), cumulative
+    /// across cache flushes. 0 without an adaptive policy.
+    pub adaptive_promotions: u64,
     /// Mean sieve chain length over non-empty buckets (0 without a sieve).
     pub sieve_mean_chain: f64,
     /// Longest sieve chain.
@@ -68,6 +77,29 @@ impl MechanismStats {
             1.0 - (self.rc_misses.min(self.ret_dispatches) as f64 / self.ret_dispatches as f64)
         }
     }
+}
+
+/// Per-branch-class dispatch accounting under the active
+/// [`DispatchPolicy`](crate::DispatchPolicy).
+///
+/// Classes that resolve to the same strategy binding share that binding's
+/// tables — and therefore its miss counter, so their rows report the same
+/// (combined) miss total. Returns handled as generic indirect branches
+/// ([`RetMechanism::AsIb`](crate::RetMechanism::AsIb)) miss into the jump
+/// binding's counter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassReport {
+    /// Branch class label: `"jump"`, `"call"`, or `"ret"`.
+    pub class: &'static str,
+    /// The serving mechanism's parameterized label.
+    pub mechanism: String,
+    /// Dispatch-sequence executions for this class.
+    pub dispatches: u64,
+    /// Misses serviced by the serving binding (see type docs for
+    /// sharing semantics).
+    pub misses: u64,
+    /// Adaptive-site promotions in the serving binding.
+    pub promotions: u64,
 }
 
 /// Everything measured about one translated run.
@@ -100,6 +132,9 @@ pub struct RunReport {
     pub translator_cycles: u64,
     /// Mechanism-level statistics.
     pub mech: MechanismStats,
+    /// Per-branch-class dispatch breakdown (jump, call, ret — in that
+    /// order).
+    pub per_class: Vec<ClassReport>,
     /// I-cache misses across the run.
     pub icache_misses: u64,
     /// D-cache misses across the run.
@@ -139,7 +174,11 @@ mod tests {
 
     #[test]
     fn hit_rates() {
-        let mut m = MechanismStats { ib_dispatches: 100, ib_misses: 10, ..Default::default() };
+        let mut m = MechanismStats {
+            ib_dispatches: 100,
+            ib_misses: 10,
+            ..Default::default()
+        };
         assert!((m.ib_hit_rate() - 0.9).abs() < 1e-12);
         m.ib_dispatches = 0;
         assert_eq!(m.ib_hit_rate(), 1.0);
@@ -161,6 +200,7 @@ mod tests {
             instrs_by_origin: [0; 6],
             translator_cycles: 0,
             mech: MechanismStats::default(),
+            per_class: Vec::new(),
             icache_misses: 0,
             dcache_misses: 0,
             indirect_mispredicts: 0,

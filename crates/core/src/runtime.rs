@@ -1,13 +1,15 @@
 //! The SDT runtime: services `TRAP_MISS` / `TRAP_RC_MISS` crossings from
 //! the fragment cache — translating new fragments, linking exits, and
-//! filling mechanism structures.
+//! routing structure fills to the owning strategy binding.
 
 use strata_isa::{Instr, Reg};
 use strata_machine::{Machine, Memory};
 
-use crate::config::{FlagsPolicy, IbMechanism};
-use crate::fragment::{FragKind, Site};
-use crate::protocol::{SITE_NOFILL, SITE_SHARED, SLOT_RESUME, SLOT_SHADOW_SP, SLOT_SITE, SLOT_TARGET};
+use crate::config::FlagsPolicy;
+use crate::fragment::{FragKind, Fragment, Site};
+use crate::protocol::{
+    sentinel_bind, SITE_NOFILL, SITE_SHARED, SLOT_RESUME, SLOT_SITE, SLOT_TARGET,
+};
 use crate::sdt::SdtState;
 use crate::{Origin, SdtError};
 
@@ -22,11 +24,9 @@ pub(crate) struct TranslatorWork {
 }
 
 impl SdtState {
-    /// Whether the fragment cache may be flushed when full. Fast returns
-    /// leave translated return addresses live on the application stack, so
-    /// flushing would dangle them.
+    /// Whether the fragment cache may be flushed when full.
     fn can_flush(&self) -> bool {
-        self.cfg.ret != crate::RetMechanism::FastReturn
+        !self.ret_strat.forbids_flush()
     }
 
     /// Discards every fragment, site, and lookup-structure entry, keeping
@@ -43,27 +43,10 @@ impl SdtState {
         self.alloc.reset_to(self.alloc_floor);
         self.map = crate::fragment::FragmentMap::default();
         self.sites.clear();
-        if let Some(t) = self.shared_ibtc {
-            // Zeroing the whole table empties it (no code lives at 0).
-            for off in (0..t.size_bytes()).step_by(4) {
-                mem.write_u32(t.base + off, 0)?;
-            }
-        }
-        if let Some(t) = self.sieve_tab {
-            t.fill_all(mem, self.stubs.shared_miss_glue)?;
-            self.sieve_buckets.iter_mut().for_each(|b| *b = Default::default());
-        }
-        if let Some(t) = self.rc_tab {
-            t.fill_all(mem, self.stubs.rc_miss)?;
-        }
-        if let Some((base, mask)) = self.shadow {
-            // Shadow entries point at discarded code; empty the stack.
-            for off in (0..=mask).step_by(4) {
-                mem.write_u32(base + off, 0)?;
-            }
-            mem.write_u32(SLOT_SHADOW_SP, 0)?;
-        }
-        Ok(())
+        // Adaptive probes (and promoted per-site tables) lived in the
+        // flushed region; sites re-learn their arity from scratch.
+        self.adaptive.clear();
+        self.reset_mechanism_structures(mem)
     }
 
     /// [`SdtState::ensure_fragment`] with flush-on-overflow. Returns the
@@ -84,9 +67,9 @@ impl SdtState {
         }
     }
 
-    /// Services a `TRAP_MISS`: resolve the target fragment, update the
-    /// missing site's mechanism structure, and arrange resumption through
-    /// the restore stub.
+    /// Services a `TRAP_MISS`: resolve the target fragment, route the fill
+    /// to the missing site's strategy binding, and arrange resumption
+    /// through the restore stub.
     pub(crate) fn handle_trap_miss(
         &mut self,
         machine: &mut Machine,
@@ -106,36 +89,22 @@ impl SdtState {
             // Shadow-stack fallback: the next balanced call repopulates the
             // shadow entry, so there is nothing to fill here.
             self.stats.rc_misses += 1;
-        } else if site == SITE_SHARED {
+        } else if site == SITE_SHARED || sentinel_bind(site).is_some() {
+            // A binding's shared (site-less) miss path. SITE_SHARED is the
+            // legacy single-binding sentinel for binding 0.
+            let bind = sentinel_bind(site).unwrap_or(0);
             self.stats.ib_misses += 1;
-            match self.cfg.ib {
-                IbMechanism::Ibtc { .. } => {
-                    let table = self.shared_ibtc.expect("shared IBTC allocated");
-                    if self.cfg.ibtc_ways == 2 {
-                        table.fill_tagged_2way(machine.mem_mut(), target, frag.entry)?;
-                    } else {
-                        table.fill_tagged(machine.mem_mut(), target, frag.entry)?;
-                    }
-                }
-                IbMechanism::Sieve { .. } => {
-                    match self.sieve_install(machine.mem_mut(), target, frag.entry) {
-                        Err(SdtError::CacheFull { .. }) if self.can_flush() => {
-                            // No room for the stanza: flush and retranslate
-                            // the target (its first fragment was discarded).
-                            self.flush_cache(machine.mem_mut())?;
-                            frag =
-                                self.ensure_fragment(machine.mem_mut(), target, FragKind::Body)?;
-                        }
-                        r => r?,
-                    }
-                }
-                IbMechanism::Reentry => {
-                    unreachable!("re-entry sites always carry a site id")
-                }
-            }
+            self.binds[bind].misses += 1;
+            frag = self.fill_catching_flush(machine.mem_mut(), target, frag, |st, mem| {
+                let strat = st.binds[bind].strategy.clone();
+                strat.on_shared_miss(st, mem, bind, target, frag.entry)
+            })?;
         } else {
             match self.sites[site as usize] {
-                Site::Exit { patch_addr, target: exit_target } => {
+                Site::Exit {
+                    patch_addr,
+                    target: exit_target,
+                } => {
                     debug_assert_eq!(exit_target, target);
                     self.stats.exit_misses += 1;
                     if self.cfg.link_fragments {
@@ -148,22 +117,15 @@ impl SdtState {
                         )?;
                     }
                 }
-                Site::IbSite { table } => {
+                Site::Ib { bind, .. } | Site::Adaptive { bind, .. } => {
+                    let bind = bind as usize;
                     self.stats.ib_misses += 1;
-                    if let Some(base) = table {
-                        let entries = match self.cfg.ib {
-                            IbMechanism::Ibtc { entries, .. } => entries,
-                            _ => unreachable!("per-site tables exist only for IBTC"),
-                        };
-                        let t = crate::dispatch::ibtc_table_ref(base, entries, self.cfg.ibtc_ways);
-                        if self.cfg.ibtc_ways == 2 {
-                            t.fill_tagged_2way(machine.mem_mut(), target, frag.entry)?;
-                        } else {
-                            t.fill_tagged(machine.mem_mut(), target, frag.entry)?;
-                        }
-                    }
-                    // A bare re-entry site has nothing to fill: the next
-                    // execution traps again.
+                    self.binds[bind].misses += 1;
+                    frag =
+                        self.fill_catching_flush(machine.mem_mut(), target, frag, |st, mem| {
+                            let strat = st.binds[bind].strategy.clone();
+                            strat.on_site_miss(st, mem, bind, site, target, frag)
+                        })?;
                 }
             }
         }
@@ -174,6 +136,29 @@ impl SdtState {
             new_instrs: self.stats.translated_app_instrs - before,
             lookups: 1,
         })
+    }
+
+    /// Runs a strategy fill that may emit into the cache (sieve stanzas,
+    /// adaptive promotions). If the cache is full, flush and retranslate
+    /// the target — its first fragment was discarded — and skip the fill
+    /// (the missing site no longer exists).
+    fn fill_catching_flush(
+        &mut self,
+        mem: &mut Memory,
+        target: u32,
+        frag: Fragment,
+        fill: impl FnOnce(&mut SdtState, &mut Memory) -> Result<(), SdtError>,
+    ) -> Result<Fragment, SdtError> {
+        match fill(self, mem) {
+            Err(SdtError::CacheFull { .. }) if self.can_flush() => {
+                self.flush_cache(mem)?;
+                self.ensure_fragment(mem, target, FragKind::Body)
+            }
+            r => {
+                r?;
+                Ok(frag)
+            }
+        }
     }
 
     /// Services a `TRAP_RC_MISS`: the actual return target is in
@@ -191,7 +176,9 @@ impl SdtState {
             self.ensure_fragment_flushing(machine.mem_mut(), target, FragKind::ReturnPoint)?;
         let rc = self.rc_tab.expect("return cache allocated");
         rc.fill_untagged(machine.mem_mut(), target, frag.entry)?;
-        machine.mem_mut().write_u32(SLOT_RESUME, frag.restore_entry)?;
+        machine
+            .mem_mut()
+            .write_u32(SLOT_RESUME, frag.restore_entry)?;
         machine.cpu_mut().pc = self.stubs.rc_restore;
         Ok(TranslatorWork {
             new_instrs: self.stats.translated_app_instrs - before,
@@ -200,51 +187,86 @@ impl SdtState {
     }
 
     /// Appends a sieve stanza for `target → frag_entry` to its bucket's
-    /// chain.
-    fn sieve_install(
+    /// chain in binding `bind`'s sieve.
+    pub(crate) fn sieve_install(
         &mut self,
         mem: &mut Memory,
+        bind: usize,
         target: u32,
         frag_entry: u32,
     ) -> Result<(), SdtError> {
         let d = Origin::Dispatch;
-        let table = self.sieve_tab.expect("sieve table allocated");
+        let table = self.binds[bind].table.expect("sieve table allocated");
+        let glue = self.glue_for(bind);
         let bucket = table.index_of(target) as usize;
 
         let stanza = self.cache.addr();
         self.cache.emit_li(mem, Reg::R2, target, d)?;
-        self.cache.emit(mem, Instr::Cmp { rs1: Reg::R1, rs2: Reg::R2 }, d)?;
+        self.cache.emit(
+            mem,
+            Instr::Cmp {
+                rs1: Reg::R1,
+                rs2: Reg::R2,
+            },
+            d,
+        )?;
         self.cache.emit(mem, Instr::Beq { off: 1 }, d)?;
-        let link = self
-            .cache
-            .emit(mem, Instr::Jmp { target: self.stubs.shared_miss_glue }, d)?;
+        let link = self.cache.emit(mem, Instr::Jmp { target: glue }, d)?;
         if self.cfg.flags == FlagsPolicy::Always {
             self.cache.emit(mem, Instr::Popf, d)?;
         }
-        self.cache.emit(mem, Instr::Lwa { rd: Reg::R1, addr: crate::protocol::SLOT_R1 }, d)?;
-        self.cache.emit(mem, Instr::Lwa { rd: Reg::R2, addr: crate::protocol::SLOT_R2 }, d)?;
-        self.cache.emit(mem, Instr::Lwa { rd: Reg::R3, addr: crate::protocol::SLOT_R3 }, d)?;
+        self.cache.emit(
+            mem,
+            Instr::Lwa {
+                rd: Reg::R1,
+                addr: crate::protocol::SLOT_R1,
+            },
+            d,
+        )?;
+        self.cache.emit(
+            mem,
+            Instr::Lwa {
+                rd: Reg::R2,
+                addr: crate::protocol::SLOT_R2,
+            },
+            d,
+        )?;
+        self.cache.emit(
+            mem,
+            Instr::Lwa {
+                rd: Reg::R3,
+                addr: crate::protocol::SLOT_R3,
+            },
+            d,
+        )?;
         // The sieve's defining property: a hit ends in a DIRECT jump.
         self.cache.emit(mem, Instr::Jmp { target: frag_entry }, d)?;
 
-        match self.sieve_buckets[bucket].last_link {
+        match self.binds[bind].sieve_buckets[bucket].last_link {
             None => {
                 // First stanza in the bucket: point the bucket head at it.
                 mem.write_u32(table.base + bucket as u32 * 4, stanza)?;
             }
             Some(prev_link) => {
-                self.cache.patch(mem, prev_link, Instr::Jmp { target: stanza }, None)?;
+                self.cache
+                    .patch(mem, prev_link, Instr::Jmp { target: stanza }, None)?;
             }
         }
-        self.sieve_buckets[bucket].last_link = Some(link);
-        self.sieve_buckets[bucket].len += 1;
+        self.binds[bind].sieve_buckets[bucket].last_link = Some(link);
+        self.binds[bind].sieve_buckets[bucket].len += 1;
         Ok(())
     }
 
-    /// Mean and max sieve chain lengths (0 when the sieve is unused).
+    /// Mean and max sieve chain lengths across every binding's buckets
+    /// (0 when no sieve is in use).
     pub(crate) fn sieve_chain_stats(&self) -> (f64, u32) {
-        let lens: Vec<u32> =
-            self.sieve_buckets.iter().map(|b| b.len).filter(|&l| l > 0).collect();
+        let lens: Vec<u32> = self
+            .binds
+            .iter()
+            .flat_map(|b| b.sieve_buckets.iter())
+            .map(|b| b.len)
+            .filter(|&l| l > 0)
+            .collect();
         if lens.is_empty() {
             return (0.0, 0);
         }

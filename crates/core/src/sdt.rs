@@ -1,13 +1,19 @@
+use std::sync::Arc;
+
 use strata_arch::{ArchModel, ArchProfile};
 use strata_machine::syscall::{SyscallState, SDT_TRAP_BASE};
-use strata_machine::{layout, ExecutionObserver, Machine, MachineError, Program, RetireEvent, StepOutcome};
+use strata_machine::{
+    layout, ExecutionObserver, Machine, MachineError, Program, RetireEvent, StepOutcome,
+};
 
-use crate::config::{IbMechanism, IbtcPlacement, IbtcScope, RetMechanism};
+use crate::config::{BranchClass, IbtcPlacement, IbtcScope};
 use crate::emitter::{Cache, Mark, TableAlloc};
-use crate::fragment::{FragKind, FragmentMap, Site, SieveBucket};
-use crate::protocol::{TRAP_MISS, TRAP_RC_MISS};
-use crate::report::{HostStats, MechanismStats};
-use crate::stubs::{emit_stubs, Stubs};
+use crate::fragment::{FragKind, FragmentMap, Site};
+use crate::protocol::{bind_sentinel, MAX_BINDS, TRAP_MISS, TRAP_RC_MISS};
+use crate::report::{ClassReport, HostStats, MechanismStats};
+use crate::strategy::adaptive::AdaptiveSite;
+use crate::strategy::{resolve_binds, Bind, RetStrategy, StrategySpec};
+use crate::stubs::{emit_bind_glue, emit_stubs, Stubs};
 use crate::tables::TableRef;
 use crate::{Origin, RunReport, SdtConfig, SdtError};
 
@@ -21,9 +27,14 @@ pub(crate) struct SdtState {
     pub stubs: Stubs,
     pub map: FragmentMap,
     pub sites: Vec<Site>,
-    pub shared_ibtc: Option<TableRef>,
-    pub sieve_tab: Option<TableRef>,
-    pub sieve_buckets: Vec<SieveBucket>,
+    /// Strategy bindings: one per distinct resolved spec in the policy.
+    pub binds: Vec<Bind>,
+    /// Class→binding map: `[jump (also ret-as-IB), call]`.
+    pub class_bind: [usize; 2],
+    /// Host-side records of adaptive dispatch sites (cleared on flush).
+    pub adaptive: Vec<AdaptiveSite>,
+    /// The configured return mechanism.
+    pub ret_strat: Arc<dyn RetStrategy>,
     pub rc_tab: Option<TableRef>,
     /// Shadow return stack region: (base, byte mask) when enabled.
     pub shadow: Option<(u32, u32)>,
@@ -37,6 +48,38 @@ pub(crate) struct SdtState {
     /// Table-allocator cursor after the fixed shared tables — per-site
     /// tables allocated beyond it are freed by a flush.
     pub alloc_floor: u32,
+}
+
+impl SdtState {
+    /// The strategy binding serving `class`. Returns dispatch as a
+    /// generic indirect branch routes through the jump binding.
+    pub(crate) fn bind_for(&self, class: BranchClass) -> usize {
+        match class {
+            BranchClass::Jump | BranchClass::Ret => self.class_bind[0],
+            BranchClass::Call => self.class_bind[1],
+        }
+    }
+
+    /// The miss glue serving `bind`: its own glue stub under a multi-bind
+    /// policy, the legacy shared glue otherwise.
+    pub(crate) fn glue_for(&self, bind: usize) -> u32 {
+        self.binds[bind].glue.unwrap_or(self.stubs.shared_miss_glue)
+    }
+
+    /// (Re)initializes every binding's and the return mechanism's guest
+    /// structures — at construction and after each cache flush.
+    pub(crate) fn reset_mechanism_structures(
+        &mut self,
+        mem: &mut strata_machine::Memory,
+    ) -> Result<(), SdtError> {
+        for i in 0..self.binds.len() {
+            let strat = self.binds[i].strategy.clone();
+            let glue = self.glue_for(i);
+            strat.reset(&mut self.binds[i], mem, glue)?;
+        }
+        let ret = self.ret_strat.clone();
+        ret.reset(self, mem)
+    }
 }
 
 /// A software dynamic translator instance bound to one loaded program.
@@ -68,16 +111,18 @@ impl Sdt {
     /// machine errors if the program does not fit memory.
     pub fn new(config: SdtConfig, program: &Program) -> Result<Sdt, SdtError> {
         config.validate()?;
-        if let IbMechanism::Ibtc {
-            scope: IbtcScope::PerSite,
-            placement: IbtcPlacement::OutOfLine,
-            ..
-        } = config.ib
-        {
-            return Err(SdtError::BadConfig {
-                what: "ibtc placement",
-                detail: "per-site tables require inline lookup code".into(),
-            });
+        for class in [BranchClass::Jump, BranchClass::Call] {
+            if let StrategySpec::Ibtc {
+                scope: IbtcScope::PerSite,
+                placement: IbtcPlacement::OutOfLine,
+                ..
+            } = StrategySpec::resolve(&config, class)
+            {
+                return Err(SdtError::BadConfig {
+                    what: "ibtc placement",
+                    detail: "per-site tables require inline lookup code".into(),
+                });
+            }
         }
 
         let mut machine = Machine::new(layout::DEFAULT_MEM_BYTES);
@@ -98,69 +143,73 @@ impl Sdt {
         let mut cache = Cache::new(layout::CACHE_BASE, cache_bytes);
         let mut alloc = TableAlloc::new(layout::TABLES_BASE, layout::TABLES_END);
 
-        let shared_ibtc = match config.ib {
-            IbMechanism::Ibtc { entries, scope: IbtcScope::Shared, .. } => {
-                let base = alloc.alloc(entries * 8, 0x1_0000)?;
-                Some(crate::dispatch::ibtc_table_ref(base, entries, config.ibtc_ways))
-            }
-            _ => None,
+        let (mut binds, class_bind) = resolve_binds(&config);
+        assert!(
+            binds.len() <= MAX_BINDS,
+            "policy resolved to too many bindings"
+        );
+        let registered = |id: &str| {
+            crate::strategy::mechanism_registry()
+                .iter()
+                .any(|m| m.id == id)
         };
-        let sieve_tab = match config.ib {
-            IbMechanism::Sieve { buckets } => {
-                let base = alloc.alloc(buckets * 4, 0x1_0000)?;
-                Some(TableRef { base, mask: buckets - 1, entry_bytes: 4 })
-            }
-            _ => None,
-        };
-        let rc_tab = match config.ret {
-            RetMechanism::ReturnCache { entries } => {
-                let base = alloc.alloc(entries * 4, 0x1_0000)?;
-                Some(TableRef { base, mask: entries - 1, entry_bytes: 4 })
-            }
-            _ => None,
-        };
-        let shadow = match config.ret {
-            RetMechanism::ShadowStack { depth } => {
-                let base = alloc.alloc(depth * 8, 8)?;
-                Some((base, depth * 8 - 1))
-            }
-            _ => None,
-        };
+        for bind in &binds {
+            assert!(registered(bind.strategy.id()), "unregistered strategy");
+        }
+        for bind in binds.iter_mut() {
+            let strat = bind.strategy.clone();
+            strat.alloc_fixed(bind, &mut alloc)?;
+        }
+        let ret_strat = crate::strategy::instantiate_ret(config.ret);
+        assert!(registered(ret_strat.id()), "unregistered return strategy");
+        let (rc_tab, shadow) = ret_strat.alloc_fixed(&mut alloc)?;
 
-        let stubs = emit_stubs(&mut cache, machine.mem_mut(), &config, shared_ibtc)?;
-        if let Some(t) = sieve_tab {
-            t.fill_all(machine.mem_mut(), stubs.shared_miss_glue)?;
+        let stubs = emit_stubs(&mut cache, machine.mem_mut(), &config)?;
+        // Per-binding miss glue (only under multi-bind policies — the
+        // single-bind case keeps the legacy SITE_SHARED glue and with it
+        // byte-identical stub emission), then per-binding stub support
+        // (out-of-line lookup routines).
+        let multi = binds.len() > 1;
+        for (i, bind) in binds.iter_mut().enumerate() {
+            if multi {
+                bind.glue = Some(emit_bind_glue(
+                    &mut cache,
+                    machine.mem_mut(),
+                    &stubs,
+                    bind_sentinel(i),
+                )?);
+            }
+            let miss_glue = bind.glue.unwrap_or(stubs.shared_miss_glue);
+            let strat = bind.strategy.clone();
+            strat.emit_stub_support(&mut cache, machine.mem_mut(), bind, miss_glue)?;
         }
-        if let Some(t) = rc_tab {
-            t.fill_all(machine.mem_mut(), stubs.rc_miss)?;
-        }
-        let sieve_buckets = match sieve_tab {
-            Some(t) => vec![SieveBucket::default(); (t.mask + 1) as usize],
-            None => Vec::new(),
-        };
         let post_stub_cursor = cache.addr();
         let alloc_floor = alloc.used_bytes();
 
+        let mut state = SdtState {
+            cfg: config,
+            cache,
+            alloc,
+            stubs,
+            map: FragmentMap::default(),
+            sites: Vec::new(),
+            binds,
+            class_bind,
+            adaptive: Vec::new(),
+            ret_strat,
+            rc_tab,
+            shadow,
+            stats: HostStats::default(),
+            block_counters: Vec::new(),
+            flushed_counts: std::collections::HashMap::new(),
+            post_stub_cursor,
+            alloc_floor,
+        };
+        state.reset_mechanism_structures(machine.mem_mut())?;
+
         Ok(Sdt {
             machine,
-            state: SdtState {
-                cfg: config,
-                cache,
-                alloc,
-                stubs,
-                map: FragmentMap::default(),
-                sites: Vec::new(),
-                shared_ibtc,
-                sieve_tab,
-                sieve_buckets,
-                rc_tab,
-                shadow,
-                stats: HostStats::default(),
-                block_counters: Vec::new(),
-                flushed_counts: std::collections::HashMap::new(),
-                post_stub_cursor,
-                alloc_floor,
-            },
+            state,
             syscalls: SyscallState::new(),
             entry: program.entry,
             app_code: program.code_base..program.code_end(),
@@ -190,12 +239,37 @@ impl Sdt {
     /// Guest bytes dedicated to lookup tables (IBTC tables, sieve buckets,
     /// return cache), including per-site tables allocated so far.
     pub fn table_bytes(&self) -> u32 {
-        let fixed: u32 = [self.state.shared_ibtc, self.state.sieve_tab, self.state.rc_tab]
+        let fixed: u32 = self
+            .state
+            .binds
             .iter()
-            .flatten()
+            .filter_map(|b| b.table)
+            .chain(self.state.rc_tab)
             .map(|t| t.size_bytes())
             .sum();
-        fixed.max(self.state.alloc.used_bytes().saturating_sub(layout::TABLES_BASE))
+        fixed.max(
+            self.state
+                .alloc
+                .used_bytes()
+                .saturating_sub(layout::TABLES_BASE),
+        )
+    }
+
+    /// Per-class dispatch summary: `(class label, mechanism label)` for
+    /// jump, call, and return dispatch under the active policy.
+    pub fn policy_summary(&self) -> Vec<(&'static str, String)> {
+        let st = &self.state;
+        vec![
+            (
+                BranchClass::Jump.label(),
+                st.binds[st.class_bind[0]].strategy.describe(),
+            ),
+            (
+                BranchClass::Call.label(),
+                st.binds[st.class_bind[1]].strategy.describe(),
+            ),
+            (BranchClass::Ret.label(), st.ret_strat.describe()),
+        ]
     }
 
     /// The [`Origin`] tag of the instruction at cache address `pc`, if
@@ -291,9 +365,40 @@ impl Sdt {
         }
 
         let (sieve_mean_chain, sieve_max_chain) = self.state.sieve_chain_stats();
-        let s = &self.state.stats;
+        let st = &self.state;
+        let s = &st.stats;
+        let promotions = |b: &Bind| b.promotions_to_ibtc + b.promotions_to_sieve;
+        let jump_bind = &st.binds[st.class_bind[0]];
+        let call_bind = &st.binds[st.class_bind[1]];
+        // Classes resolving to the same binding share its tables, and with
+        // them the miss counter: the jump and call rows then report the
+        // same (combined) misses. Returns-as-IB misses also land in the
+        // jump binding's counter.
+        let per_class = vec![
+            ClassReport {
+                class: BranchClass::Jump.label(),
+                mechanism: jump_bind.strategy.describe(),
+                dispatches: buckets.jump_dispatches,
+                misses: jump_bind.misses,
+                promotions: promotions(jump_bind),
+            },
+            ClassReport {
+                class: BranchClass::Call.label(),
+                mechanism: call_bind.strategy.describe(),
+                dispatches: buckets.call_dispatches,
+                misses: call_bind.misses,
+                promotions: promotions(call_bind),
+            },
+            ClassReport {
+                class: BranchClass::Ret.label(),
+                mechanism: st.ret_strat.describe(),
+                dispatches: buckets.ret_dispatches,
+                misses: s.rc_misses,
+                promotions: 0,
+            },
+        ];
         Ok(RunReport {
-            config: self.state.cfg.describe(),
+            config: st.cfg.describe(),
             arch: model.profile().name,
             halted,
             checksum: self.syscalls.checksum(),
@@ -303,7 +408,9 @@ impl Sdt {
             instrs_by_origin: buckets.instrs,
             translator_cycles,
             mech: MechanismStats {
-                ib_dispatches: buckets.ib_dispatches,
+                ib_dispatches: buckets.jump_dispatches + buckets.call_dispatches,
+                jump_dispatches: buckets.jump_dispatches,
+                call_dispatches: buckets.call_dispatches,
                 ib_misses: s.ib_misses,
                 ret_dispatches: buckets.ret_dispatches,
                 rc_misses: s.rc_misses,
@@ -312,12 +419,14 @@ impl Sdt {
                 translator_entries: s.translator_entries,
                 fragments: s.fragments,
                 translated_app_instrs: s.translated_app_instrs,
-                cache_used_bytes: self.state.cache.used_bytes() as u64,
+                cache_used_bytes: st.cache.used_bytes() as u64,
                 cache_flushes: s.cache_flushes,
                 elided_jumps: s.elided_jumps,
+                adaptive_promotions: st.binds.iter().map(promotions).sum(),
                 sieve_mean_chain,
                 sieve_max_chain,
             },
+            per_class,
             icache_misses: model.icache().misses(),
             dcache_misses: model.dcache().misses(),
             indirect_mispredicts: model.indirect_mispredicts(),
@@ -331,7 +440,8 @@ impl Sdt {
 struct Buckets {
     cycles: [u64; 6],
     instrs: [u64; 6],
-    ib_dispatches: u64,
+    jump_dispatches: u64,
+    call_dispatches: u64,
     ret_dispatches: u64,
     /// First store into translated application code, if any:
     /// `(cache pc, app code addr)`.
@@ -358,7 +468,8 @@ impl ExecutionObserver for Attributing<'_> {
         self.buckets.instrs[i] += 1;
         match self.cache.mark_at(ev.pc) {
             Mark::None => {}
-            Mark::IbEntry => self.buckets.ib_dispatches += 1,
+            Mark::JumpEntry => self.buckets.jump_dispatches += 1,
+            Mark::CallEntry => self.buckets.call_dispatches += 1,
             Mark::RetEntry => self.buckets.ret_dispatches += 1,
         }
         if self.buckets.smc.is_none() {

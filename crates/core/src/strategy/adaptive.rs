@@ -1,0 +1,290 @@
+//! Adaptive per-site promotion: every site starts on a cheap single-entry
+//! inline probe; when the observed target arity crosses thresholds the
+//! runtime re-emits the probe at the cache frontier and repatches the
+//! site's entry jump — inline → per-site IBTC → sieve.
+//!
+//! Promotion machinery:
+//!
+//! * Stage 0 (*inline*): compare `r1` against one patchable target
+//!   constant and jump straight to its (patchable) fragment address. The
+//!   first miss fills both constants; the tag starts at 0, which no
+//!   application target can equal.
+//! * Stage 1 (*IBTC*): on the second distinct target, a per-site
+//!   direct-mapped IBTC probe is emitted at the cache frontier and the
+//!   site's entry `jmp` is repatched onto it. The table is allocated above
+//!   the flush floor, so a cache flush reclaims it.
+//! * Stage 2 (*sieve*): past `sieve_arity` distinct targets, the probe is
+//!   repatched onto a hash into the binding's shared sieve bucket table;
+//!   stanza chains are installed through the normal sieve miss path.
+//!
+//! Promotion counts are kept per binding and surfaced in
+//! [`RunReport`](crate::RunReport). A cache flush discards every adaptive
+//! site (their probes live in flushed cache space) and resets the shared
+//! sieve, so sites re-learn their arity afterwards — counters are
+//! cumulative across flushes.
+
+use strata_isa::{Instr, Reg};
+use strata_machine::Memory;
+
+use crate::config::BranchClass;
+use crate::dispatch::ibtc_table_ref;
+use crate::emitter::TableAlloc;
+use crate::fragment::{Fragment, SieveBucket, Site};
+use crate::protocol::SLOT_JUMP_TARGET;
+use crate::sdt::SdtState;
+use crate::strategy::{Bind, IbStrategy};
+use crate::tables::TableRef;
+use crate::{Origin, SdtError};
+
+/// Host-side record of one adaptive dispatch site.
+#[derive(Debug)]
+pub(crate) struct AdaptiveSite {
+    /// Patchable `jmp` heading the probe; promotion repoints it.
+    pub entry_jmp: u32,
+    pub stage: AdaptiveStage,
+    /// Distinct application targets observed (bounded by the sieve
+    /// threshold — past promotion to the sieve the exact count is moot).
+    pub targets: Vec<u32>,
+}
+
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum AdaptiveStage {
+    /// Single-target inline probe; the two `li` pairs to patch on fill.
+    Inline { tag_li: u32, frag_li: u32 },
+    /// Per-site direct-mapped IBTC.
+    Ibtc { table: TableRef },
+    /// Hashing into the binding's shared sieve.
+    Sieve,
+}
+
+#[derive(Debug)]
+pub(crate) struct Adaptive {
+    pub ibtc_entries: u32,
+    pub sieve_buckets: u32,
+    pub sieve_arity: u32,
+}
+
+impl IbStrategy for Adaptive {
+    fn id(&self) -> &'static str {
+        "adaptive"
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "adaptive({},{},{})",
+            self.ibtc_entries, self.sieve_buckets, self.sieve_arity
+        )
+    }
+
+    fn alloc_fixed(&self, bind: &mut Bind, alloc: &mut TableAlloc) -> Result<(), SdtError> {
+        // The promotion sieve's bucket table is fixed; per-site IBTC
+        // tables are allocated at promotion time above the flush floor.
+        let base = alloc.alloc(self.sieve_buckets * 4, 0x1_0000)?;
+        bind.table = Some(TableRef {
+            base,
+            mask: self.sieve_buckets - 1,
+            entry_bytes: 4,
+        });
+        Ok(())
+    }
+
+    fn reset(&self, bind: &mut Bind, mem: &mut Memory, miss_glue: u32) -> Result<(), SdtError> {
+        let t = bind.table.expect("adaptive sieve allocated");
+        t.fill_all(mem, miss_glue)?;
+        bind.sieve_buckets = vec![SieveBucket::default(); self.sieve_buckets as usize];
+        Ok(())
+    }
+
+    fn emit_probe(
+        &self,
+        st: &mut SdtState,
+        mem: &mut Memory,
+        bind: usize,
+        _class: BranchClass,
+    ) -> Result<(), SdtError> {
+        let d = Origin::Dispatch;
+        // Patchable entry jump, initially falling through to the inline
+        // probe emitted right after it.
+        let entry_jmp = st.cache.addr();
+        st.cache.emit(
+            mem,
+            Instr::Jmp {
+                target: entry_jmp + 4,
+            },
+            d,
+        )?;
+        let idx = st.adaptive.len() as u32;
+        let site = st.new_site(Site::Adaptive {
+            bind: bind as u8,
+            idx,
+        });
+        let tag_li = st.cache.emit_li(mem, Reg::R2, 0, d)?;
+        st.cache.emit(
+            mem,
+            Instr::Cmp {
+                rs1: Reg::R1,
+                rs2: Reg::R2,
+            },
+            d,
+        )?;
+        let bne = st.cache.emit(mem, Instr::Bne { off: 0 }, d)?;
+        let frag_li = st.cache.emit_li(mem, Reg::R3, 0, d)?;
+        st.cache.emit(
+            mem,
+            Instr::Swa {
+                rs: Reg::R3,
+                addr: SLOT_JUMP_TARGET,
+            },
+            d,
+        )?;
+        st.emit_hit_epilogue(mem)?;
+        let miss = st.cache.addr();
+        st.cache
+            .patch_branch(mem, bne, Instr::Bne { off: 0 }, miss)?;
+        st.emit_site_miss_path(mem, site)?;
+        st.adaptive.push(AdaptiveSite {
+            entry_jmp,
+            stage: AdaptiveStage::Inline { tag_li, frag_li },
+            targets: Vec::new(),
+        });
+        Ok(())
+    }
+
+    fn on_shared_miss(
+        &self,
+        st: &mut SdtState,
+        mem: &mut Memory,
+        bind: usize,
+        target: u32,
+        frag_entry: u32,
+    ) -> Result<(), SdtError> {
+        // A sieve-stage probe missed: grow the stanza chain.
+        st.sieve_install(mem, bind, target, frag_entry)
+    }
+
+    fn on_site_miss(
+        &self,
+        st: &mut SdtState,
+        mem: &mut Memory,
+        bind: usize,
+        site: u32,
+        target: u32,
+        frag: Fragment,
+    ) -> Result<(), SdtError> {
+        let Site::Adaptive { idx, .. } = st.sites[site as usize] else {
+            unreachable!("adaptive site misses carry an adaptive site id");
+        };
+        let idx = idx as usize;
+        let a = &mut st.adaptive[idx];
+        if !a.targets.contains(&target) && a.targets.len() <= self.sieve_arity as usize {
+            a.targets.push(target);
+        }
+        let arity = a.targets.len() as u32;
+        let stage = a.stage;
+        match stage {
+            AdaptiveStage::Inline { tag_li, frag_li } => {
+                if arity <= 1 {
+                    st.cache.patch_li(mem, tag_li, Reg::R2, target)?;
+                    st.cache.patch_li(mem, frag_li, Reg::R3, frag.entry)?;
+                } else {
+                    self.promote_to_ibtc(st, mem, bind, idx, site, target, frag.entry)?;
+                }
+            }
+            AdaptiveStage::Ibtc { table } => {
+                if arity > self.sieve_arity {
+                    self.promote_to_sieve(st, mem, bind, idx, target, frag.entry)?;
+                } else {
+                    table.fill_tagged(mem, target, frag.entry)?;
+                }
+            }
+            AdaptiveStage::Sieve => {
+                // The hash led to an un-installed chain slot for this
+                // target; extend the chain exactly like a shared miss.
+                st.sieve_install(mem, bind, target, frag.entry)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Adaptive {
+    /// Re-emits the site as a per-site IBTC probe at the cache frontier
+    /// and repatches the entry jump onto it. On [`SdtError::CacheFull`]
+    /// the site is left unpromoted (the caller flushes anyway).
+    #[allow(clippy::too_many_arguments)]
+    fn promote_to_ibtc(
+        &self,
+        st: &mut SdtState,
+        mem: &mut Memory,
+        bind: usize,
+        idx: usize,
+        site: u32,
+        target: u32,
+        frag_entry: u32,
+    ) -> Result<(), SdtError> {
+        let base = st.alloc.alloc(self.ibtc_entries * 8, 16)?;
+        for i in 0..self.ibtc_entries * 2 {
+            mem.write_u32(base + i * 4, 0)?;
+        }
+        let table = ibtc_table_ref(base, self.ibtc_entries, 1)?;
+        let stub = st.cache.addr();
+        let glue = st.glue_for(bind);
+        st.emit_inline_ibtc_probe(mem, table, Some(site), glue)?;
+        let entry_jmp = st.adaptive[idx].entry_jmp;
+        st.cache
+            .patch(mem, entry_jmp, Instr::Jmp { target: stub }, None)?;
+        table.fill_tagged(mem, target, frag_entry)?;
+        st.adaptive[idx].stage = AdaptiveStage::Ibtc { table };
+        st.binds[bind].promotions_to_ibtc += 1;
+        Ok(())
+    }
+
+    /// Re-emits the site as a sieve hash probe into the binding's shared
+    /// bucket table and repatches the entry jump onto it. The abandoned
+    /// per-site IBTC table is reclaimed at the next cache flush.
+    fn promote_to_sieve(
+        &self,
+        st: &mut SdtState,
+        mem: &mut Memory,
+        bind: usize,
+        idx: usize,
+        target: u32,
+        frag_entry: u32,
+    ) -> Result<(), SdtError> {
+        let d = Origin::Dispatch;
+        let table = st.binds[bind].table.expect("adaptive sieve allocated");
+        let stub = st.cache.addr();
+        st.emit_hash(mem, table, 2)?;
+        st.cache.emit(
+            mem,
+            Instr::Lw {
+                rd: Reg::R2,
+                rs1: Reg::R2,
+                off: 0,
+            },
+            d,
+        )?;
+        st.cache.emit(
+            mem,
+            Instr::Swa {
+                rs: Reg::R2,
+                addr: SLOT_JUMP_TARGET,
+            },
+            d,
+        )?;
+        st.cache.emit(
+            mem,
+            Instr::Jmem {
+                addr: SLOT_JUMP_TARGET,
+            },
+            d,
+        )?;
+        let entry_jmp = st.adaptive[idx].entry_jmp;
+        st.cache
+            .patch(mem, entry_jmp, Instr::Jmp { target: stub }, None)?;
+        st.sieve_install(mem, bind, target, frag_entry)?;
+        st.adaptive[idx].stage = AdaptiveStage::Sieve;
+        st.binds[bind].promotions_to_sieve += 1;
+        Ok(())
+    }
+}

@@ -1,0 +1,265 @@
+//! The indirect branch translation cache: emitted code hashes the target
+//! and probes a tagged software cache mapping application addresses to
+//! fragment addresses. Variants: one shared table vs. a table per site,
+//! lookup code inlined at each site vs. a shared out-of-line routine, and
+//! direct-mapped vs. two-way set-associative tables.
+
+use strata_isa::{Instr, Reg};
+use strata_machine::Memory;
+
+use crate::config::{BranchClass, IbtcPlacement, IbtcScope};
+use crate::dispatch::ibtc_table_ref;
+use crate::emitter::{Cache, TableAlloc};
+use crate::fragment::{Fragment, Site};
+use crate::protocol::SLOT_JUMP_TARGET;
+use crate::sdt::SdtState;
+use crate::strategy::{Bind, IbStrategy};
+use crate::tables::TableRef;
+use crate::{Origin, SdtError};
+
+#[derive(Debug)]
+pub(crate) struct Ibtc {
+    pub entries: u32,
+    pub scope: IbtcScope,
+    pub placement: IbtcPlacement,
+    pub ways: u8,
+}
+
+impl Ibtc {
+    fn fill(
+        &self,
+        table: TableRef,
+        mem: &mut Memory,
+        target: u32,
+        entry: u32,
+    ) -> Result<(), SdtError> {
+        if self.ways == 2 {
+            table.fill_tagged_2way(mem, target, entry)?;
+        } else {
+            table.fill_tagged(mem, target, entry)?;
+        }
+        Ok(())
+    }
+}
+
+impl IbStrategy for Ibtc {
+    fn id(&self) -> &'static str {
+        "ibtc"
+    }
+
+    fn describe(&self) -> String {
+        let scope = match self.scope {
+            IbtcScope::Shared => "shared",
+            IbtcScope::PerSite => "persite",
+        };
+        let placement = match self.placement {
+            IbtcPlacement::Inline => "inline",
+            IbtcPlacement::OutOfLine => "outline",
+        };
+        let ways = if self.ways == 2 { "x2" } else { "" };
+        format!("ibtc({},{scope},{placement}){ways}", self.entries)
+    }
+
+    fn alloc_fixed(&self, bind: &mut Bind, alloc: &mut TableAlloc) -> Result<(), SdtError> {
+        if self.scope == IbtcScope::Shared {
+            let base = alloc.alloc(self.entries * 8, 0x1_0000)?;
+            bind.table = Some(ibtc_table_ref(base, self.entries, self.ways)?);
+        }
+        Ok(())
+    }
+
+    fn emit_stub_support(
+        &self,
+        cache: &mut Cache,
+        mem: &mut Memory,
+        bind: &mut Bind,
+        miss_glue: u32,
+    ) -> Result<(), SdtError> {
+        if self.placement != IbtcPlacement::OutOfLine {
+            return Ok(());
+        }
+        let table = bind
+            .table
+            .expect("out-of-line IBTC requires the shared table");
+        let d = Origin::Dispatch;
+        let at = cache.addr();
+        cache.emit(
+            mem,
+            Instr::Srli {
+                rd: Reg::R2,
+                rs1: Reg::R1,
+                shamt: 2,
+            },
+            d,
+        )?;
+        cache.emit(
+            mem,
+            Instr::Andi {
+                rd: Reg::R2,
+                rs1: Reg::R2,
+                imm: table.mask as u16,
+            },
+            d,
+        )?;
+        cache.emit(
+            mem,
+            Instr::Slli {
+                rd: Reg::R2,
+                rs1: Reg::R2,
+                shamt: 3,
+            },
+            d,
+        )?;
+        if table.base & 0xFFFF == 0 {
+            cache.emit(
+                mem,
+                Instr::Lui {
+                    rd: Reg::R3,
+                    imm: (table.base >> 16) as u16,
+                },
+                d,
+            )?;
+        } else {
+            cache.emit_li(mem, Reg::R3, table.base, d)?;
+        }
+        cache.emit(
+            mem,
+            Instr::Add {
+                rd: Reg::R2,
+                rs1: Reg::R2,
+                rs2: Reg::R3,
+            },
+            d,
+        )?;
+        cache.emit(
+            mem,
+            Instr::Lw {
+                rd: Reg::R3,
+                rs1: Reg::R2,
+                off: 0,
+            },
+            d,
+        )?;
+        cache.emit(
+            mem,
+            Instr::Cmp {
+                rs1: Reg::R3,
+                rs2: Reg::R1,
+            },
+            d,
+        )?;
+        let bne = cache.emit(mem, Instr::Bne { off: 0 }, d)?;
+        cache.emit(
+            mem,
+            Instr::Lw {
+                rd: Reg::R3,
+                rs1: Reg::R2,
+                off: 4,
+            },
+            d,
+        )?;
+        cache.emit(
+            mem,
+            Instr::Swa {
+                rs: Reg::R3,
+                addr: SLOT_JUMP_TARGET,
+            },
+            d,
+        )?;
+        cache.emit(mem, Instr::Ret, d)?;
+        let miss = cache.addr();
+        cache.emit(mem, Instr::Pop { rd: Reg::R2 }, d)?; // discard return addr
+        cache.emit(mem, Instr::Jmp { target: miss_glue }, d)?;
+        cache.patch_branch(mem, bne, Instr::Bne { off: 0 }, miss)?;
+        bind.lookup_routine = Some(at);
+        Ok(())
+    }
+
+    fn reset(&self, bind: &mut Bind, mem: &mut Memory, _miss_glue: u32) -> Result<(), SdtError> {
+        if let Some(t) = bind.table {
+            // Zeroing the whole table empties it (no code lives at 0).
+            for off in (0..t.size_bytes()).step_by(4) {
+                mem.write_u32(t.base + off, 0)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn emit_probe(
+        &self,
+        st: &mut SdtState,
+        mem: &mut Memory,
+        bind: usize,
+        _class: BranchClass,
+    ) -> Result<(), SdtError> {
+        match self.placement {
+            IbtcPlacement::Inline => {
+                let (table, site) = match self.scope {
+                    IbtcScope::Shared => {
+                        (st.binds[bind].table.expect("shared IBTC allocated"), None)
+                    }
+                    IbtcScope::PerSite => {
+                        let base = st.alloc.alloc(self.entries * 8, 16)?;
+                        // The region may be recycled from before a cache
+                        // flush; stale tags must not survive.
+                        for i in 0..self.entries * 2 {
+                            mem.write_u32(base + i * 4, 0)?;
+                        }
+                        let table = ibtc_table_ref(base, self.entries, self.ways)?;
+                        let site = st.new_site(Site::Ib {
+                            bind: bind as u8,
+                            table: Some(base),
+                        });
+                        (table, Some(site))
+                    }
+                };
+                let glue = st.glue_for(bind);
+                if self.ways == 2 {
+                    st.emit_inline_ibtc_probe_2way(mem, table, site, glue)?;
+                } else {
+                    st.emit_inline_ibtc_probe(mem, table, site, glue)?;
+                }
+            }
+            IbtcPlacement::OutOfLine => {
+                let routine = st.binds[bind]
+                    .lookup_routine
+                    .expect("out-of-line routine emitted");
+                st.cache
+                    .emit(mem, Instr::Call { target: routine }, Origin::Dispatch)?;
+                st.emit_hit_epilogue(mem)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn on_shared_miss(
+        &self,
+        st: &mut SdtState,
+        mem: &mut Memory,
+        bind: usize,
+        target: u32,
+        frag_entry: u32,
+    ) -> Result<(), SdtError> {
+        let table = st.binds[bind].table.expect("shared IBTC allocated");
+        self.fill(table, mem, target, frag_entry)
+    }
+
+    fn on_site_miss(
+        &self,
+        st: &mut SdtState,
+        mem: &mut Memory,
+        _bind: usize,
+        site: u32,
+        target: u32,
+        frag: Fragment,
+    ) -> Result<(), SdtError> {
+        let Site::Ib {
+            table: Some(base), ..
+        } = st.sites[site as usize]
+        else {
+            unreachable!("IBTC site misses carry a per-site table");
+        };
+        let t = ibtc_table_ref(base, self.entries, self.ways)?;
+        self.fill(t, mem, target, frag.entry)
+    }
+}

@@ -1,0 +1,89 @@
+//! The tagless return cache: a `ret` hashes the popped application return
+//! address and jumps *unconditionally* through the cache; verification
+//! happens in the target fragment's [`FragKind::ReturnPoint`] prologue,
+//! which compares the actual return address against its expected constant
+//! and falls back to the translator on mismatch.
+//!
+//! [`FragKind::ReturnPoint`]: crate::fragment::FragKind::ReturnPoint
+
+use strata_isa::{Instr, Reg};
+use strata_machine::Memory;
+
+use crate::config::FlagsPolicy;
+use crate::dispatch::{CallPush, TargetSource};
+use crate::emitter::{Mark, TableAlloc};
+use crate::sdt::SdtState;
+use crate::strategy::{RetStrategy, RetTables};
+use crate::tables::TableRef;
+use crate::{Origin, SdtError};
+
+#[derive(Debug)]
+pub(crate) struct ReturnCache {
+    pub entries: u32,
+}
+
+impl RetStrategy for ReturnCache {
+    fn id(&self) -> &'static str {
+        "retcache"
+    }
+
+    fn describe(&self) -> String {
+        format!("rc({})", self.entries)
+    }
+
+    fn alloc_fixed(&self, alloc: &mut TableAlloc) -> Result<RetTables, SdtError> {
+        let base = alloc.alloc(self.entries * 4, 0x1_0000)?;
+        Ok((
+            Some(TableRef {
+                base,
+                mask: self.entries - 1,
+                entry_bytes: 4,
+            }),
+            None,
+        ))
+    }
+
+    fn reset(&self, st: &mut SdtState, mem: &mut Memory) -> Result<(), SdtError> {
+        let t = st.rc_tab.expect("return cache allocated");
+        t.fill_all(mem, st.stubs.rc_miss)?;
+        Ok(())
+    }
+
+    fn call_push(&self, ret_app: u32) -> CallPush {
+        CallPush::AppAddr(ret_app)
+    }
+
+    fn emit_ret(&self, st: &mut SdtState, mem: &mut Memory) -> Result<(), SdtError> {
+        let d = Origin::Dispatch;
+        let entry = st.emit_dispatch_prologue(mem, TargetSource::PoppedReturn, d)?;
+        st.cache.set_mark(entry, Mark::RetEntry);
+        if st.cfg.flags == FlagsPolicy::Always {
+            st.cache.emit(mem, Instr::Pushf, d)?;
+        }
+        let table = st.rc_tab.expect("return cache allocated");
+        st.emit_hash(mem, table, 2)?;
+        st.cache.emit(
+            mem,
+            Instr::Lw {
+                rd: Reg::R2,
+                rs1: Reg::R2,
+                off: 0,
+            },
+            d,
+        )?;
+        // r1–r3 are dead until the target's restore sequence reloads them,
+        // so the transfer can go straight through r2 — no jump slot needed.
+        st.cache.emit(mem, Instr::Jr { rs: Reg::R2 }, d)?;
+        Ok(())
+    }
+
+    fn emit_direct_call(
+        &self,
+        st: &mut SdtState,
+        mem: &mut Memory,
+        target: u32,
+        ret_app: u32,
+    ) -> Result<(), SdtError> {
+        st.emit_transparent_direct_call(mem, target, ret_app)
+    }
+}

@@ -1,0 +1,297 @@
+//! The shadow return stack: calls push an `(app, translated)` pair onto a
+//! private circular stack; a `ret` pops both, verifies the application
+//! address exactly, and jumps to the recorded translated address. Any
+//! mismatch (longjmp-style unwinding, stack smashing, overflow wrap) falls
+//! back to the translator without filling a structure.
+
+use strata_isa::{Instr, Reg};
+use strata_machine::Memory;
+
+use crate::config::FlagsPolicy;
+use crate::dispatch::{CallPush, TargetSource};
+use crate::emitter::{Mark, TableAlloc};
+use crate::protocol::{SLOT_JUMP_TARGET, SLOT_R1, SLOT_R2, SLOT_R3, SLOT_SHADOW_SP};
+use crate::sdt::SdtState;
+use crate::strategy::{RetStrategy, RetTables};
+use crate::{Origin, SdtError};
+
+#[derive(Debug)]
+pub(crate) struct ShadowStack {
+    pub depth: u32,
+}
+
+impl RetStrategy for ShadowStack {
+    fn id(&self) -> &'static str {
+        "shadow"
+    }
+
+    fn describe(&self) -> String {
+        format!("shadow({})", self.depth)
+    }
+
+    fn alloc_fixed(&self, alloc: &mut TableAlloc) -> Result<RetTables, SdtError> {
+        let base = alloc.alloc(self.depth * 8, 8)?;
+        Ok((None, Some((base, self.depth * 8 - 1))))
+    }
+
+    fn reset(&self, st: &mut SdtState, mem: &mut Memory) -> Result<(), SdtError> {
+        // Shadow entries point at discarded code; empty the stack.
+        let (base, mask) = st.shadow.expect("shadow stack allocated");
+        for off in (0..=mask).step_by(4) {
+            mem.write_u32(base + off, 0)?;
+        }
+        mem.write_u32(SLOT_SHADOW_SP, 0)?;
+        Ok(())
+    }
+
+    fn call_push(&self, ret_app: u32) -> CallPush {
+        CallPush::AppAddrWithShadow(ret_app)
+    }
+
+    fn emit_ret(&self, st: &mut SdtState, mem: &mut Memory) -> Result<(), SdtError> {
+        let d = Origin::Dispatch;
+        let (base, mask) = st.shadow.expect("shadow stack allocated");
+        let entry = st.emit_dispatch_prologue(mem, TargetSource::PoppedReturn, d)?;
+        st.cache.set_mark(entry, Mark::RetEntry);
+        if st.cfg.flags == FlagsPolicy::Always {
+            st.cache.emit(mem, Instr::Pushf, d)?;
+        }
+        st.cache.emit(
+            mem,
+            Instr::Lwa {
+                rd: Reg::R2,
+                addr: SLOT_SHADOW_SP,
+            },
+            d,
+        )?;
+        st.cache.emit(
+            mem,
+            Instr::Addi {
+                rd: Reg::R2,
+                rs1: Reg::R2,
+                imm: -8,
+            },
+            d,
+        )?;
+        st.cache.emit(
+            mem,
+            Instr::Andi {
+                rd: Reg::R2,
+                rs1: Reg::R2,
+                imm: mask as u16,
+            },
+            d,
+        )?;
+        st.cache.emit_li(mem, Reg::R3, base, d)?;
+        st.cache.emit(
+            mem,
+            Instr::Add {
+                rd: Reg::R3,
+                rs1: Reg::R3,
+                rs2: Reg::R2,
+            },
+            d,
+        )?;
+        // Commit the pop before the verify: on fallback the translator
+        // resolves the target anyway and stale shadow entries only cost
+        // another fallback.
+        st.cache.emit(
+            mem,
+            Instr::Swa {
+                rs: Reg::R2,
+                addr: SLOT_SHADOW_SP,
+            },
+            d,
+        )?;
+        st.cache.emit(
+            mem,
+            Instr::Lw {
+                rd: Reg::R2,
+                rs1: Reg::R3,
+                off: 0,
+            },
+            d,
+        )?;
+        st.cache.emit(
+            mem,
+            Instr::Cmp {
+                rs1: Reg::R2,
+                rs2: Reg::R1,
+            },
+            d,
+        )?;
+        let bne = st.cache.emit(mem, Instr::Bne { off: 0 }, d)?;
+        st.cache.emit(
+            mem,
+            Instr::Lw {
+                rd: Reg::R3,
+                rs1: Reg::R3,
+                off: 4,
+            },
+            d,
+        )?;
+        st.cache.emit(
+            mem,
+            Instr::Swa {
+                rs: Reg::R3,
+                addr: SLOT_JUMP_TARGET,
+            },
+            d,
+        )?;
+        st.emit_hit_epilogue(mem)?;
+        let miss = st.cache.addr();
+        st.cache
+            .patch_branch(mem, bne, Instr::Bne { off: 0 }, miss)?;
+        st.cache.emit(
+            mem,
+            Instr::Jmp {
+                target: st.stubs.nofill_miss_glue,
+            },
+            Origin::ContextSwitch,
+        )?;
+        Ok(())
+    }
+
+    fn emit_direct_call(
+        &self,
+        st: &mut SdtState,
+        mem: &mut Memory,
+        target: u32,
+        ret_app: u32,
+    ) -> Result<(), SdtError> {
+        let g = Origin::CallGlue;
+        st.cache.emit(
+            mem,
+            Instr::Swa {
+                rs: Reg::R1,
+                addr: SLOT_R1,
+            },
+            g,
+        )?;
+        st.cache.emit(
+            mem,
+            Instr::Swa {
+                rs: Reg::R2,
+                addr: SLOT_R2,
+            },
+            g,
+        )?;
+        st.cache.emit(
+            mem,
+            Instr::Swa {
+                rs: Reg::R3,
+                addr: SLOT_R3,
+            },
+            g,
+        )?;
+        st.cache.emit_li(mem, Reg::R1, ret_app, g)?;
+        st.cache.emit(mem, Instr::Push { rs: Reg::R1 }, g)?;
+        let patch = emit_shadow_push(st, mem, ret_app)?;
+        st.cache.emit(
+            mem,
+            Instr::Lwa {
+                rd: Reg::R3,
+                addr: SLOT_R3,
+            },
+            g,
+        )?;
+        st.cache.emit(
+            mem,
+            Instr::Lwa {
+                rd: Reg::R2,
+                addr: SLOT_R2,
+            },
+            g,
+        )?;
+        st.cache.emit(
+            mem,
+            Instr::Lwa {
+                rd: Reg::R1,
+                addr: SLOT_R1,
+            },
+            g,
+        )?;
+        st.emit_exit(mem, target)?;
+        let ret_frag = st.ensure_fragment(mem, ret_app, crate::fragment::FragKind::Body)?;
+        st.cache.patch_li(mem, patch, Reg::R2, ret_frag.entry)?;
+        Ok(())
+    }
+}
+
+/// Emits the shadow-stack push: stores `(app_ret, translated_ret)` at the
+/// current shadow offset and advances it circularly. Uses `r2`/`r3`
+/// (already spilled by the caller). Returns the `li` address of the
+/// translated-return placeholder for patching.
+pub(crate) fn emit_shadow_push(
+    st: &mut SdtState,
+    mem: &mut Memory,
+    app_ret: u32,
+) -> Result<u32, SdtError> {
+    let g = Origin::CallGlue;
+    let (base, mask) = st.shadow.expect("shadow stack allocated");
+    st.cache.emit(
+        mem,
+        Instr::Lwa {
+            rd: Reg::R2,
+            addr: SLOT_SHADOW_SP,
+        },
+        g,
+    )?;
+    st.cache.emit_li(mem, Reg::R3, base, g)?;
+    st.cache.emit(
+        mem,
+        Instr::Add {
+            rd: Reg::R3,
+            rs1: Reg::R3,
+            rs2: Reg::R2,
+        },
+        g,
+    )?;
+    st.cache.emit(
+        mem,
+        Instr::Addi {
+            rd: Reg::R2,
+            rs1: Reg::R2,
+            imm: 8,
+        },
+        g,
+    )?;
+    st.cache.emit(
+        mem,
+        Instr::Andi {
+            rd: Reg::R2,
+            rs1: Reg::R2,
+            imm: mask as u16,
+        },
+        g,
+    )?;
+    st.cache.emit(
+        mem,
+        Instr::Swa {
+            rs: Reg::R2,
+            addr: SLOT_SHADOW_SP,
+        },
+        g,
+    )?;
+    st.cache.emit_li(mem, Reg::R2, app_ret, g)?;
+    st.cache.emit(
+        mem,
+        Instr::Sw {
+            rs2: Reg::R2,
+            rs1: Reg::R3,
+            off: 0,
+        },
+        g,
+    )?;
+    let patch = st.cache.emit_li(mem, Reg::R2, 0, g)?;
+    st.cache.emit(
+        mem,
+        Instr::Sw {
+            rs2: Reg::R2,
+            rs1: Reg::R3,
+            off: 4,
+        },
+        g,
+    )?;
+    Ok(patch)
+}

@@ -6,17 +6,20 @@
 //! the cache. Their instruction counts (≈18 each way, plus the trap cost)
 //! are why the paper's baseline — re-entering the translator on *every*
 //! indirect branch — is so expensive.
+//!
+//! Strategy-specific stub code (per-binding miss glue, out-of-line lookup
+//! routines) is emitted right after these by the strategy layer — see
+//! [`crate::strategy`].
 
 use strata_isa::{Instr, Reg};
 use strata_machine::Memory;
 
-use crate::config::{FlagsPolicy, IbMechanism, IbtcPlacement};
+use crate::config::FlagsPolicy;
 use crate::emitter::Cache;
 use crate::protocol::{
-    reg_slot, SITE_NOFILL, SITE_SHARED, SLOT_FLAGS, SLOT_JUMP_TARGET, SLOT_R1, SLOT_R2, SLOT_R3,
-    SLOT_RESUME, SLOT_SITE, SLOT_TARGET, TRAP_MISS, TRAP_RC_MISS,
+    reg_slot, SITE_NOFILL, SITE_SHARED, SLOT_FLAGS, SLOT_R1, SLOT_R2, SLOT_R3, SLOT_RESUME,
+    SLOT_SITE, SLOT_TARGET, TRAP_MISS, TRAP_RC_MISS,
 };
-use crate::tables::TableRef;
 use crate::{Origin, SdtConfig, SdtError};
 
 /// Addresses of the shared stubs.
@@ -36,16 +39,14 @@ pub(crate) struct Stubs {
     /// flags register (direct-branch exit stubs).
     pub miss_tail_reg_flags: u32,
     /// Sets `SLOT_SITE = SITE_SHARED` and falls into the stack-flags miss
-    /// tail; target of shared-structure (IBTC/sieve) miss paths.
+    /// tail; target of shared-structure (IBTC/sieve) miss paths under a
+    /// single strategy binding.
     pub shared_miss_glue: u32,
     /// Sets `SLOT_SITE = SITE_NOFILL` and falls into the stack-flags miss
     /// tail; target of shadow-stack return fallbacks.
     pub nofill_miss_glue: u32,
     /// Return-cache miss stub: partial save + `TRAP_RC_MISS`.
     pub rc_miss: u32,
-    /// Shared out-of-line IBTC probe routine (only under
-    /// [`IbtcPlacement::OutOfLine`]).
-    pub ibtc_lookup: Option<u32>,
 }
 
 /// The registers a full context switch must save/restore beyond the
@@ -54,13 +55,11 @@ fn bulk_regs() -> impl Iterator<Item = Reg> {
     std::iter::once(Reg::R0).chain((4..16).map(|i| Reg::try_from(i).expect("0..16")))
 }
 
-/// Emits all shared stubs. `shared_ibtc` must be the shared IBTC table when
-/// the configuration uses an out-of-line lookup.
+/// Emits all strategy-independent shared stubs.
 pub(crate) fn emit_stubs(
     cache: &mut Cache,
     mem: &mut Memory,
     cfg: &SdtConfig,
-    shared_ibtc: Option<TableRef>,
 ) -> Result<Stubs, SdtError> {
     let save_flags = cfg.flags == FlagsPolicy::Always;
     let o = Origin::ContextSwitch;
@@ -68,38 +67,101 @@ pub(crate) fn emit_stubs(
     // --- restore stub -----------------------------------------------------
     let restore = cache.addr();
     for r in bulk_regs() {
-        cache.emit(mem, Instr::Lwa { rd: r, addr: reg_slot(r.index() as u32) }, o)?;
+        cache.emit(
+            mem,
+            Instr::Lwa {
+                rd: r,
+                addr: reg_slot(r.index() as u32),
+            },
+            o,
+        )?;
     }
     if save_flags {
-        cache.emit(mem, Instr::Lwa { rd: Reg::R3, addr: SLOT_FLAGS }, o)?;
+        cache.emit(
+            mem,
+            Instr::Lwa {
+                rd: Reg::R3,
+                addr: SLOT_FLAGS,
+            },
+            o,
+        )?;
         cache.emit(mem, Instr::Push { rs: Reg::R3 }, o)?;
         cache.emit(mem, Instr::Popf, o)?;
     }
-    cache.emit(mem, Instr::Lwa { rd: Reg::R1, addr: SLOT_R1 }, o)?;
-    cache.emit(mem, Instr::Lwa { rd: Reg::R2, addr: SLOT_R2 }, o)?;
-    cache.emit(mem, Instr::Lwa { rd: Reg::R3, addr: SLOT_R3 }, o)?;
+    cache.emit(
+        mem,
+        Instr::Lwa {
+            rd: Reg::R1,
+            addr: SLOT_R1,
+        },
+        o,
+    )?;
+    cache.emit(
+        mem,
+        Instr::Lwa {
+            rd: Reg::R2,
+            addr: SLOT_R2,
+        },
+        o,
+    )?;
+    cache.emit(
+        mem,
+        Instr::Lwa {
+            rd: Reg::R3,
+            addr: SLOT_R3,
+        },
+        o,
+    )?;
     cache.emit(mem, Instr::Jmem { addr: SLOT_RESUME }, o)?;
 
     // --- return-cache partial restore --------------------------------------
     let rc_restore = cache.addr();
     for r in bulk_regs() {
-        cache.emit(mem, Instr::Lwa { rd: r, addr: reg_slot(r.index() as u32) }, o)?;
+        cache.emit(
+            mem,
+            Instr::Lwa {
+                rd: r,
+                addr: reg_slot(r.index() as u32),
+            },
+            o,
+        )?;
     }
     cache.emit(mem, Instr::Jmem { addr: SLOT_RESUME }, o)?;
 
     // --- miss tails --------------------------------------------------------
     let emit_tail = |cache: &mut Cache, mem: &mut Memory, flags_on_stack: bool| {
         let at = cache.addr();
-        cache.emit(mem, Instr::Swa { rs: Reg::R1, addr: SLOT_TARGET }, o)?;
+        cache.emit(
+            mem,
+            Instr::Swa {
+                rs: Reg::R1,
+                addr: SLOT_TARGET,
+            },
+            o,
+        )?;
         if save_flags {
             if !flags_on_stack {
                 cache.emit(mem, Instr::Pushf, o)?;
             }
             cache.emit(mem, Instr::Pop { rd: Reg::R3 }, o)?;
-            cache.emit(mem, Instr::Swa { rs: Reg::R3, addr: SLOT_FLAGS }, o)?;
+            cache.emit(
+                mem,
+                Instr::Swa {
+                    rs: Reg::R3,
+                    addr: SLOT_FLAGS,
+                },
+                o,
+            )?;
         }
         for r in bulk_regs() {
-            cache.emit(mem, Instr::Swa { rs: r, addr: reg_slot(r.index() as u32) }, o)?;
+            cache.emit(
+                mem,
+                Instr::Swa {
+                    rs: r,
+                    addr: reg_slot(r.index() as u32),
+                },
+                o,
+            )?;
         }
         cache.emit(mem, Instr::Trap { code: TRAP_MISS }, o)?;
         Ok::<u32, SdtError>(at)
@@ -115,56 +177,62 @@ pub(crate) fn emit_stubs(
     // --- shared miss glue ----------------------------------------------------
     let shared_miss_glue = cache.addr();
     cache.emit_li(mem, Reg::R2, SITE_SHARED, o)?;
-    cache.emit(mem, Instr::Swa { rs: Reg::R2, addr: SLOT_SITE }, o)?;
-    cache.emit(mem, Instr::Jmp { target: miss_tail_stack_flags }, o)?;
+    cache.emit(
+        mem,
+        Instr::Swa {
+            rs: Reg::R2,
+            addr: SLOT_SITE,
+        },
+        o,
+    )?;
+    cache.emit(
+        mem,
+        Instr::Jmp {
+            target: miss_tail_stack_flags,
+        },
+        o,
+    )?;
 
     // --- no-fill miss glue (shadow-stack fallbacks) ----------------------------
     let nofill_miss_glue = cache.addr();
     cache.emit_li(mem, Reg::R2, SITE_NOFILL, o)?;
-    cache.emit(mem, Instr::Swa { rs: Reg::R2, addr: SLOT_SITE }, o)?;
-    cache.emit(mem, Instr::Jmp { target: miss_tail_stack_flags }, o)?;
+    cache.emit(
+        mem,
+        Instr::Swa {
+            rs: Reg::R2,
+            addr: SLOT_SITE,
+        },
+        o,
+    )?;
+    cache.emit(
+        mem,
+        Instr::Jmp {
+            target: miss_tail_stack_flags,
+        },
+        o,
+    )?;
 
     // --- return-cache miss stub ----------------------------------------------
     let rc_miss = cache.addr();
-    cache.emit(mem, Instr::Swa { rs: Reg::R1, addr: SLOT_TARGET }, o)?;
+    cache.emit(
+        mem,
+        Instr::Swa {
+            rs: Reg::R1,
+            addr: SLOT_TARGET,
+        },
+        o,
+    )?;
     for r in bulk_regs() {
-        cache.emit(mem, Instr::Swa { rs: r, addr: reg_slot(r.index() as u32) }, o)?;
+        cache.emit(
+            mem,
+            Instr::Swa {
+                rs: r,
+                addr: reg_slot(r.index() as u32),
+            },
+            o,
+        )?;
     }
     cache.emit(mem, Instr::Trap { code: TRAP_RC_MISS }, o)?;
-
-    // --- shared out-of-line IBTC lookup ---------------------------------------
-    let ibtc_lookup = match cfg.ib {
-        IbMechanism::Ibtc { placement: IbtcPlacement::OutOfLine, .. } => {
-            let table = shared_ibtc.expect("out-of-line IBTC requires the shared table");
-            let d = Origin::Dispatch;
-            let at = cache.addr();
-            cache.emit(mem, Instr::Srli { rd: Reg::R2, rs1: Reg::R1, shamt: 2 }, d)?;
-            cache.emit(
-                mem,
-                Instr::Andi { rd: Reg::R2, rs1: Reg::R2, imm: table.mask as u16 },
-                d,
-            )?;
-            cache.emit(mem, Instr::Slli { rd: Reg::R2, rs1: Reg::R2, shamt: 3 }, d)?;
-            if table.base & 0xFFFF == 0 {
-                cache.emit(mem, Instr::Lui { rd: Reg::R3, imm: (table.base >> 16) as u16 }, d)?;
-            } else {
-                cache.emit_li(mem, Reg::R3, table.base, d)?;
-            }
-            cache.emit(mem, Instr::Add { rd: Reg::R2, rs1: Reg::R2, rs2: Reg::R3 }, d)?;
-            cache.emit(mem, Instr::Lw { rd: Reg::R3, rs1: Reg::R2, off: 0 }, d)?;
-            cache.emit(mem, Instr::Cmp { rs1: Reg::R3, rs2: Reg::R1 }, d)?;
-            let bne = cache.emit(mem, Instr::Bne { off: 0 }, d)?;
-            cache.emit(mem, Instr::Lw { rd: Reg::R3, rs1: Reg::R2, off: 4 }, d)?;
-            cache.emit(mem, Instr::Swa { rs: Reg::R3, addr: SLOT_JUMP_TARGET }, d)?;
-            cache.emit(mem, Instr::Ret, d)?;
-            let miss = cache.addr();
-            cache.emit(mem, Instr::Pop { rd: Reg::R2 }, d)?; // discard return addr
-            cache.emit(mem, Instr::Jmp { target: shared_miss_glue }, d)?;
-            cache.patch_branch(mem, bne, Instr::Bne { off: 0 }, miss)?;
-            Some(at)
-        }
-        _ => None,
-    };
 
     Ok(Stubs {
         restore,
@@ -174,8 +242,37 @@ pub(crate) fn emit_stubs(
         shared_miss_glue,
         nofill_miss_glue,
         rc_miss,
-        ibtc_lookup,
     })
+}
+
+/// Emits one strategy binding's miss glue: records the binding's
+/// [`SLOT_SITE`] sentinel and falls into the stack-flags miss tail. Only
+/// emitted under multi-binding policies.
+pub(crate) fn emit_bind_glue(
+    cache: &mut Cache,
+    mem: &mut Memory,
+    stubs: &Stubs,
+    sentinel: u32,
+) -> Result<u32, SdtError> {
+    let o = Origin::ContextSwitch;
+    let at = cache.addr();
+    cache.emit_li(mem, Reg::R2, sentinel, o)?;
+    cache.emit(
+        mem,
+        Instr::Swa {
+            rs: Reg::R2,
+            addr: SLOT_SITE,
+        },
+        o,
+    )?;
+    cache.emit(
+        mem,
+        Instr::Jmp {
+            target: stubs.miss_tail_stack_flags,
+        },
+        o,
+    )?;
+    Ok(at)
 }
 
 #[cfg(test)]
@@ -186,8 +283,7 @@ mod tests {
     fn setup(cfg: SdtConfig) -> (Cache, Memory, Stubs) {
         let mut mem = Memory::new(layout::DEFAULT_MEM_BYTES);
         let mut cache = Cache::new(layout::CACHE_BASE, layout::CACHE_BYTES);
-        let table = TableRef { base: layout::TABLES_BASE, mask: 255, entry_bytes: 8 };
-        let stubs = emit_stubs(&mut cache, &mut mem, &cfg, Some(table)).unwrap();
+        let stubs = emit_stubs(&mut cache, &mut mem, &cfg).unwrap();
         (cache, mem, stubs)
     }
 
@@ -202,14 +298,12 @@ mod tests {
             s.shared_miss_glue,
             s.nofill_miss_glue,
             s.rc_miss,
-            s.ibtc_lookup.unwrap(),
         ];
         let mut sorted = addrs.to_vec();
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(sorted.len(), addrs.len());
         assert_eq!(cache.origin_at(s.restore), Some(Origin::ContextSwitch));
-        assert_eq!(cache.origin_at(s.ibtc_lookup.unwrap()), Some(Origin::Dispatch));
     }
 
     #[test]
@@ -218,12 +312,17 @@ mod tests {
         cfg.flags = FlagsPolicy::None;
         let (_, _, s) = setup(cfg);
         assert_eq!(s.miss_tail_stack_flags, s.miss_tail_reg_flags);
-        assert!(s.ibtc_lookup.is_none());
     }
 
     #[test]
-    fn inline_config_has_no_lookup_routine() {
-        let (_, _, s) = setup(SdtConfig::ibtc_inline(256));
-        assert!(s.ibtc_lookup.is_none());
+    fn bind_glue_is_distinct_from_shared_glue() {
+        let (mut cache, mut mem, s) = setup(SdtConfig::ibtc_inline(256));
+        let g0 =
+            emit_bind_glue(&mut cache, &mut mem, &s, crate::protocol::bind_sentinel(0)).unwrap();
+        let g1 =
+            emit_bind_glue(&mut cache, &mut mem, &s, crate::protocol::bind_sentinel(1)).unwrap();
+        assert_ne!(g0, s.shared_miss_glue);
+        assert_ne!(g0, g1);
+        assert_eq!(cache.origin_at(g0), Some(Origin::ContextSwitch));
     }
 }

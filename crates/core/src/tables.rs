@@ -1,6 +1,6 @@
 //! Guest-memory lookup tables (IBTC, sieve buckets, return cache).
 
-use strata_machine::{Memory, MachineError};
+use strata_machine::{MachineError, Memory};
 
 /// A table in guest memory: base address plus an index mask.
 ///
@@ -97,7 +97,11 @@ mod tests {
 
     #[test]
     fn index_and_entry_math() {
-        let t = TableRef { base: 0x1000, mask: 0xF, entry_bytes: 8 };
+        let t = TableRef {
+            base: 0x1000,
+            mask: 0xF,
+            entry_bytes: 8,
+        };
         assert_eq!(t.size_bytes(), 128);
         assert_eq!(t.index_of(0x0040_0000), 0);
         assert_eq!(t.index_of(0x0040_0004), 1);
@@ -108,7 +112,11 @@ mod tests {
     #[test]
     fn tagged_fill() {
         let mut mem = Memory::new(0x2000);
-        let t = TableRef { base: 0x1000, mask: 0xF, entry_bytes: 8 };
+        let t = TableRef {
+            base: 0x1000,
+            mask: 0xF,
+            entry_bytes: 8,
+        };
         t.fill_tagged(&mut mem, 0xBEEF0, 0x600_004).unwrap();
         let e = t.entry_addr(0xBEEF0);
         assert_eq!(mem.read_u32(e).unwrap(), 0xBEEF0);
@@ -118,7 +126,11 @@ mod tests {
     #[test]
     fn untagged_fill_and_init() {
         let mut mem = Memory::new(0x2000);
-        let t = TableRef { base: 0x1000, mask: 0x7, entry_bytes: 4 };
+        let t = TableRef {
+            base: 0x1000,
+            mask: 0x7,
+            entry_bytes: 4,
+        };
         t.fill_all(&mut mem, 0xAAAA).unwrap();
         for i in 0..8 {
             assert_eq!(mem.read_u32(0x1000 + i * 4).unwrap(), 0xAAAA);

@@ -1,13 +1,16 @@
 //! The basic-block translator: decodes application code and emits
-//! fragments into the cache.
+//! fragments into the cache. Indirect control transfers are delegated to
+//! the branch class's bound [`IbStrategy`](crate::strategy::IbStrategy)
+//! (jumps/calls) or the configured
+//! [`RetStrategy`](crate::strategy::RetStrategy) (returns, direct-call
+//! return glue).
 
 use strata_isa::{Instr, Reg};
 use strata_machine::syscall::SDT_TRAP_BASE;
 use strata_machine::Memory;
 
-use crate::config::RetMechanism;
+use crate::config::BranchClass;
 use crate::dispatch::{CallPush, TargetSource};
-use crate::emitter::Mark;
 use crate::fragment::{FragKind, Fragment, Site};
 use crate::protocol::{SLOT_R1, SLOT_R2, SLOT_R3, SLOT_SITE};
 use crate::sdt::SdtState;
@@ -29,7 +32,7 @@ impl SdtState {
         self.translate_fragment(mem, app_addr, kind)
     }
 
-    fn translate_fragment(
+    pub(crate) fn translate_fragment(
         &mut self,
         mem: &mut Memory,
         app_addr: u32,
@@ -43,16 +46,50 @@ impl SdtState {
             FragKind::ReturnPoint => {
                 let d = Origin::Dispatch;
                 self.cache.emit_li(mem, Reg::R2, app_addr, d)?;
-                self.cache.emit(mem, Instr::Cmp { rs1: Reg::R1, rs2: Reg::R2 }, d)?;
+                self.cache.emit(
+                    mem,
+                    Instr::Cmp {
+                        rs1: Reg::R1,
+                        rs2: Reg::R2,
+                    },
+                    d,
+                )?;
                 self.cache.emit(mem, Instr::Beq { off: 1 }, d)?;
-                self.cache.emit(mem, Instr::Jmp { target: self.stubs.rc_miss }, d)?;
+                self.cache.emit(
+                    mem,
+                    Instr::Jmp {
+                        target: self.stubs.rc_miss,
+                    },
+                    d,
+                )?;
                 let restore = self.cache.addr();
                 if self.cfg.flags == crate::FlagsPolicy::Always {
                     self.cache.emit(mem, Instr::Popf, d)?;
                 }
-                self.cache.emit(mem, Instr::Lwa { rd: Reg::R1, addr: SLOT_R1 }, d)?;
-                self.cache.emit(mem, Instr::Lwa { rd: Reg::R2, addr: SLOT_R2 }, d)?;
-                self.cache.emit(mem, Instr::Lwa { rd: Reg::R3, addr: SLOT_R3 }, d)?;
+                self.cache.emit(
+                    mem,
+                    Instr::Lwa {
+                        rd: Reg::R1,
+                        addr: SLOT_R1,
+                    },
+                    d,
+                )?;
+                self.cache.emit(
+                    mem,
+                    Instr::Lwa {
+                        rd: Reg::R2,
+                        addr: SLOT_R2,
+                    },
+                    d,
+                )?;
+                self.cache.emit(
+                    mem,
+                    Instr::Lwa {
+                        rd: Reg::R3,
+                        addr: SLOT_R3,
+                    },
+                    d,
+                )?;
                 restore
             }
             FragKind::Body => entry,
@@ -65,18 +102,74 @@ impl SdtState {
             mem.write_u32(slot, 0)?; // the slot may be recycled post-flush
             self.block_counters.push((app_addr, slot));
             let o = Origin::Instrumentation;
-            self.cache.emit(mem, Instr::Swa { rs: Reg::R1, addr: SLOT_R1 }, o)?;
-            self.cache.emit(mem, Instr::Swa { rs: Reg::R2, addr: SLOT_R2 }, o)?;
+            self.cache.emit(
+                mem,
+                Instr::Swa {
+                    rs: Reg::R1,
+                    addr: SLOT_R1,
+                },
+                o,
+            )?;
+            self.cache.emit(
+                mem,
+                Instr::Swa {
+                    rs: Reg::R2,
+                    addr: SLOT_R2,
+                },
+                o,
+            )?;
             self.cache.emit_li(mem, Reg::R1, slot, o)?;
-            self.cache.emit(mem, Instr::Lw { rd: Reg::R2, rs1: Reg::R1, off: 0 }, o)?;
-            self.cache.emit(mem, Instr::Addi { rd: Reg::R2, rs1: Reg::R2, imm: 1 }, o)?;
-            self.cache.emit(mem, Instr::Sw { rs2: Reg::R2, rs1: Reg::R1, off: 0 }, o)?;
-            self.cache.emit(mem, Instr::Lwa { rd: Reg::R1, addr: SLOT_R1 }, o)?;
-            self.cache.emit(mem, Instr::Lwa { rd: Reg::R2, addr: SLOT_R2 }, o)?;
+            self.cache.emit(
+                mem,
+                Instr::Lw {
+                    rd: Reg::R2,
+                    rs1: Reg::R1,
+                    off: 0,
+                },
+                o,
+            )?;
+            self.cache.emit(
+                mem,
+                Instr::Addi {
+                    rd: Reg::R2,
+                    rs1: Reg::R2,
+                    imm: 1,
+                },
+                o,
+            )?;
+            self.cache.emit(
+                mem,
+                Instr::Sw {
+                    rs2: Reg::R2,
+                    rs1: Reg::R1,
+                    off: 0,
+                },
+                o,
+            )?;
+            self.cache.emit(
+                mem,
+                Instr::Lwa {
+                    rd: Reg::R1,
+                    addr: SLOT_R1,
+                },
+                o,
+            )?;
+            self.cache.emit(
+                mem,
+                Instr::Lwa {
+                    rd: Reg::R2,
+                    addr: SLOT_R2,
+                },
+                o,
+            )?;
         }
 
         let body = self.cache.addr();
-        let frag = Fragment { entry, restore_entry, body };
+        let frag = Fragment {
+            entry,
+            restore_entry,
+            body,
+        };
         // Register before translating the body so fall-through recursion
         // (fast returns) terminates.
         self.map.insert(app_addr, kind, frag);
@@ -126,17 +219,14 @@ impl SdtState {
                     break;
                 }
                 Instr::Call { target } => {
-                    self.translate_direct_call(mem, target, next)?;
+                    let ret = self.ret_strat.clone();
+                    ret.emit_direct_call(self, mem, target, next)?;
                     break;
                 }
                 Instr::Callr { rs } => {
-                    let push = match self.cfg.ret {
-                        RetMechanism::FastReturn => CallPush::TranslatedPlaceholder,
-                        RetMechanism::ShadowStack { .. } => CallPush::AppAddrWithShadow(next),
-                        _ => CallPush::AppAddr(next),
-                    };
+                    let push = self.ret_strat.call_push(next);
                     let patch =
-                        self.emit_ib_dispatch(mem, TargetSource::Reg(rs), push, Mark::IbEntry)?;
+                        self.emit_ib_dispatch(mem, TargetSource::Reg(rs), push, BranchClass::Call)?;
                     if let Some(at) = patch {
                         let ret_frag = self.ensure_fragment(mem, next, FragKind::Body)?;
                         self.cache.patch_li(mem, at, Reg::R2, ret_frag.entry)?;
@@ -148,7 +238,7 @@ impl SdtState {
                         mem,
                         TargetSource::Reg(rs),
                         CallPush::None,
-                        Mark::IbEntry,
+                        BranchClass::Jump,
                     )?;
                     break;
                 }
@@ -157,28 +247,13 @@ impl SdtState {
                         mem,
                         TargetSource::MemSlot(addr),
                         CallPush::None,
-                        Mark::IbEntry,
+                        BranchClass::Jump,
                     )?;
                     break;
                 }
                 Instr::Ret => {
-                    match self.cfg.ret {
-                        RetMechanism::FastReturn => {
-                            // The stack holds a translated address; a plain
-                            // ret is both correct and RAS-predictable.
-                            self.cache.emit(mem, Instr::Ret, Origin::App)?;
-                        }
-                        RetMechanism::ReturnCache { .. } => self.emit_rc_dispatch(mem)?,
-                        RetMechanism::ShadowStack { .. } => self.emit_ss_dispatch(mem)?,
-                        RetMechanism::AsIb => {
-                            self.emit_ib_dispatch(
-                                mem,
-                                TargetSource::PoppedReturn,
-                                CallPush::None,
-                                Mark::RetEntry,
-                            )?;
-                        }
-                    }
+                    let ret = self.ret_strat.clone();
+                    ret.emit_ret(self, mem)?;
                     break;
                 }
                 Instr::Halt => {
@@ -194,52 +269,35 @@ impl SdtState {
         Ok(frag)
     }
 
-    /// Translates a direct call. Transparent mode pushes the application
-    /// return address and exits to the callee; fast-return mode emits a
-    /// real `call` (pushing the translated return address) with the
-    /// return-site fragment laid out immediately after it.
-    fn translate_direct_call(
+    /// Emits the transparent direct-call glue shared by every return
+    /// mechanism that keeps application return addresses on the stack:
+    /// push the application return address and exit to the callee.
+    pub(crate) fn emit_transparent_direct_call(
         &mut self,
         mem: &mut Memory,
         target: u32,
         ret_app: u32,
     ) -> Result<(), SdtError> {
-        if self.cfg.ret == RetMechanism::FastReturn {
-            let call_at = self.cache.emit(mem, Instr::Call { target: call_at_placeholder() }, Origin::App)?;
-            // The pushed return address is the cache word after the call:
-            // make that the return-site fragment (or a jump to it).
-            match self.map.get(ret_app, FragKind::Body) {
-                Some(f) => {
-                    self.cache.emit(mem, Instr::Jmp { target: f.entry }, Origin::Trampoline)?;
-                }
-                None => {
-                    self.translate_fragment(mem, ret_app, FragKind::Body)?;
-                }
-            }
-            let tramp = self.emit_exit(mem, target)?;
-            self.cache.patch(mem, call_at, Instr::Call { target: tramp }, None)?;
-        } else if let RetMechanism::ShadowStack { .. } = self.cfg.ret {
-            let g = Origin::CallGlue;
-            self.cache.emit(mem, Instr::Swa { rs: Reg::R1, addr: SLOT_R1 }, g)?;
-            self.cache.emit(mem, Instr::Swa { rs: Reg::R2, addr: SLOT_R2 }, g)?;
-            self.cache.emit(mem, Instr::Swa { rs: Reg::R3, addr: SLOT_R3 }, g)?;
-            self.cache.emit_li(mem, Reg::R1, ret_app, g)?;
-            self.cache.emit(mem, Instr::Push { rs: Reg::R1 }, g)?;
-            let patch = self.emit_shadow_push(mem, ret_app)?;
-            self.cache.emit(mem, Instr::Lwa { rd: Reg::R3, addr: SLOT_R3 }, g)?;
-            self.cache.emit(mem, Instr::Lwa { rd: Reg::R2, addr: SLOT_R2 }, g)?;
-            self.cache.emit(mem, Instr::Lwa { rd: Reg::R1, addr: SLOT_R1 }, g)?;
-            self.emit_exit(mem, target)?;
-            let ret_frag = self.ensure_fragment(mem, ret_app, FragKind::Body)?;
-            self.cache.patch_li(mem, patch, Reg::R2, ret_frag.entry)?;
-        } else {
-            let g = Origin::CallGlue;
-            self.cache.emit(mem, Instr::Swa { rs: Reg::R1, addr: SLOT_R1 }, g)?;
-            self.cache.emit_li(mem, Reg::R1, ret_app, g)?;
-            self.cache.emit(mem, Instr::Push { rs: Reg::R1 }, g)?;
-            self.cache.emit(mem, Instr::Lwa { rd: Reg::R1, addr: SLOT_R1 }, g)?;
-            self.emit_exit(mem, target)?;
-        }
+        let g = Origin::CallGlue;
+        self.cache.emit(
+            mem,
+            Instr::Swa {
+                rs: Reg::R1,
+                addr: SLOT_R1,
+            },
+            g,
+        )?;
+        self.cache.emit_li(mem, Reg::R1, ret_app, g)?;
+        self.cache.emit(mem, Instr::Push { rs: Reg::R1 }, g)?;
+        self.cache.emit(
+            mem,
+            Instr::Lwa {
+                rd: Reg::R1,
+                addr: SLOT_R1,
+            },
+            g,
+        )?;
+        self.emit_exit(mem, target)?;
         Ok(())
     }
 
@@ -249,14 +307,51 @@ impl SdtState {
     /// head into a direct jump to the target fragment.
     pub(crate) fn emit_exit(&mut self, mem: &mut Memory, target: u32) -> Result<u32, SdtError> {
         let o = Origin::ContextSwitch;
-        let head = self.cache.emit(mem, Instr::Swa { rs: Reg::R1, addr: SLOT_R1 }, o)?;
-        let site = self.new_site(Site::Exit { target, patch_addr: head });
+        let head = self.cache.emit(
+            mem,
+            Instr::Swa {
+                rs: Reg::R1,
+                addr: SLOT_R1,
+            },
+            o,
+        )?;
+        let site = self.new_site(Site::Exit {
+            target,
+            patch_addr: head,
+        });
         self.cache.emit_li(mem, Reg::R1, target, o)?;
-        self.cache.emit(mem, Instr::Swa { rs: Reg::R2, addr: SLOT_R2 }, o)?;
+        self.cache.emit(
+            mem,
+            Instr::Swa {
+                rs: Reg::R2,
+                addr: SLOT_R2,
+            },
+            o,
+        )?;
         self.cache.emit_li(mem, Reg::R2, site, o)?;
-        self.cache.emit(mem, Instr::Swa { rs: Reg::R2, addr: SLOT_SITE }, o)?;
-        self.cache.emit(mem, Instr::Swa { rs: Reg::R3, addr: SLOT_R3 }, o)?;
-        self.cache.emit(mem, Instr::Jmp { target: self.stubs.miss_tail_reg_flags }, o)?;
+        self.cache.emit(
+            mem,
+            Instr::Swa {
+                rs: Reg::R2,
+                addr: SLOT_SITE,
+            },
+            o,
+        )?;
+        self.cache.emit(
+            mem,
+            Instr::Swa {
+                rs: Reg::R3,
+                addr: SLOT_R3,
+            },
+            o,
+        )?;
+        self.cache.emit(
+            mem,
+            Instr::Jmp {
+                target: self.stubs.miss_tail_reg_flags,
+            },
+            o,
+        )?;
         Ok(head)
     }
 }
@@ -271,10 +366,4 @@ fn branch_off(instr: Instr) -> i16 {
         | Instr::Bgeu { off } => off,
         other => unreachable!("not a conditional branch: {other:?}"),
     }
-}
-
-/// Placeholder target for a call whose real target is patched in once the
-/// callee trampoline exists; any valid aligned address works.
-fn call_at_placeholder() -> u32 {
-    0
 }

@@ -15,13 +15,16 @@ fn tiny_cache_forces_flushes_and_stays_correct() {
     let program = (by_name("gcc").unwrap().build)(&Params::default());
     let native = run_native(&program, ArchProfile::x86_like(), FUEL).unwrap();
 
-    for mut cfg in [SdtConfig::ibtc_inline(256), SdtConfig::sieve(256), SdtConfig::tuned(256, 64)]
-    {
+    for mut cfg in [
+        SdtConfig::ibtc_inline(256),
+        SdtConfig::sieve(256),
+        SdtConfig::tuned(256, 64),
+    ] {
         cfg.cache_limit = Some(12 * 1024);
         let mut sdt = Sdt::new(cfg, &program).unwrap();
-        let report = sdt.run(ArchProfile::x86_like(), FUEL).unwrap_or_else(|e| {
-            panic!("{} with 12KiB cache failed: {e}", cfg.describe())
-        });
+        let report = sdt
+            .run(ArchProfile::x86_like(), FUEL)
+            .unwrap_or_else(|e| panic!("{} with 12KiB cache failed: {e}", cfg.describe()));
         assert_eq!(report.checksum, native.checksum, "{}", cfg.describe());
         assert!(
             report.mech.cache_flushes > 0,
@@ -79,7 +82,10 @@ fn undersized_cache_limit_rejected() {
     let mut cfg = SdtConfig::ibtc_inline(256);
     cfg.cache_limit = Some(1024);
     match Sdt::new(cfg, &program) {
-        Err(SdtError::BadConfig { what: "cache limit", .. }) => {}
+        Err(SdtError::BadConfig {
+            what: "cache limit",
+            ..
+        }) => {}
         other => panic!("expected BadConfig, got {other:?}"),
     }
 }

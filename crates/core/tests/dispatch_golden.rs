@@ -1,0 +1,136 @@
+//! Golden disassembly snapshots of the dispatch sequences each mechanism
+//! emits, per branch class.
+//!
+//! The strategy-layer refactor must keep every legacy single-mechanism
+//! configuration byte-identical; these fixtures pin the entire occupied
+//! fragment cache (shared stubs, per-site dispatch sequences, call glue,
+//! sieve stanzas, linked trampolines) after a run that exercises an
+//! indirect call, an indirect register jump, an indirect memory jump, a
+//! direct call, and returns.
+//!
+//! To refresh after an *intentional* emission change:
+//!
+//! ```text
+//! STRATA_UPDATE_GOLDEN=1 cargo test -p strata-core --test dispatch_golden
+//! ```
+//!
+//! then commit the updated files under `tests/golden/dispatch/`.
+
+use std::path::PathBuf;
+
+use strata_arch::ArchProfile;
+use strata_asm::assemble;
+use strata_core::{
+    FlagsPolicy, IbMechanism, IbtcPlacement, IbtcScope, RetMechanism, Sdt, SdtConfig,
+};
+use strata_machine::{layout, Program};
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/dispatch")
+}
+
+fn assert_golden(name: &str, actual: &str) {
+    let path = golden_dir().join(name);
+    if std::env::var("STRATA_UPDATE_GOLDEN").is_ok_and(|v| v == "1") {
+        std::fs::create_dir_all(golden_dir()).expect("create golden dir");
+        std::fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); regenerate with STRATA_UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual,
+        expected,
+        "emitted dispatch code drifted from {} — if intentional, regenerate with \
+         STRATA_UPDATE_GOLDEN=1",
+        path.display()
+    );
+}
+
+/// One basic block per branch class: a direct call, an indirect call, an
+/// indirect register jump, an indirect memory jump, and two returns.
+const PROGRAM: &str = "\
+main:
+    call f
+    li r9, f
+    callr r9
+    li r9, j1
+    jr r9
+j1:
+    li r8, 0x800
+    li r9, j2
+    sw r9, 0(r8)
+    jmem [0x800]
+j2:
+    li r5, 3
+    trap 0x1
+    halt
+f:
+    addi r4, r4, 1
+    ret
+";
+
+fn dump(cfg: SdtConfig) -> String {
+    let code = assemble(layout::APP_BASE, PROGRAM).expect("program assembles");
+    let program = Program::new("dispatch-golden", code, Vec::new());
+    let mut sdt = Sdt::new(cfg, &program).expect("sdt constructs");
+    let report = sdt
+        .run(ArchProfile::x86_like(), 1_000_000)
+        .expect("run completes");
+    assert!(report.halted);
+    format!(
+        "config: {}\n\n{}",
+        report.config,
+        sdt.dump_cache(usize::MAX)
+    )
+}
+
+/// Every legacy configuration whose emission the refactor must preserve.
+fn legacy_configs() -> Vec<(&'static str, SdtConfig)> {
+    let mut ibtc_2way = SdtConfig::ibtc_inline(256);
+    ibtc_2way.ibtc_ways = 2;
+    let ibtc_persite = SdtConfig {
+        ib: IbMechanism::Ibtc {
+            entries: 64,
+            scope: IbtcScope::PerSite,
+            placement: IbtcPlacement::Inline,
+        },
+        ..SdtConfig::ibtc_inline(64)
+    };
+    let mut fastret = SdtConfig::ibtc_inline(256);
+    fastret.ret = RetMechanism::FastReturn;
+    let mut shadow = SdtConfig::ibtc_inline(256);
+    shadow.ret = RetMechanism::ShadowStack { depth: 16 };
+    let mut sieve_noflags = SdtConfig::sieve(64);
+    sieve_noflags.flags = FlagsPolicy::None;
+    let mut reentry_nolink = SdtConfig::reentry();
+    reentry_nolink.link_fragments = false;
+    let mut instrumented = SdtConfig::ibtc_inline(256);
+    instrumented.instrument_blocks = true;
+    instrumented.elide_direct_jumps = true;
+    vec![
+        ("reentry", SdtConfig::reentry()),
+        ("ibtc_inline", SdtConfig::ibtc_inline(256)),
+        ("ibtc_inline_2way", ibtc_2way),
+        ("ibtc_outline", SdtConfig::ibtc_out_of_line(256)),
+        ("ibtc_persite", ibtc_persite),
+        ("sieve", SdtConfig::sieve(64)),
+        ("tuned", SdtConfig::tuned(256, 64)),
+        ("fastret", fastret),
+        ("shadow", shadow),
+        ("sieve_noflags", sieve_noflags),
+        ("reentry_nolink", reentry_nolink),
+        ("instrumented_elide", instrumented),
+    ]
+}
+
+#[test]
+fn dispatch_sequences_are_pinned_per_config() {
+    for (name, cfg) in legacy_configs() {
+        assert_golden(&format!("{name}.txt"), &dump(cfg));
+    }
+}

@@ -36,12 +36,25 @@ t:
 fn inline_ibtc_dispatch_contains_hash_probe_and_jmem() {
     let sdt = run_sdt(JR_PROGRAM, SdtConfig::ibtc_inline(256));
     let lines = dispatch_lines(&sdt);
-    let has = |pred: &dyn Fn(&Instr) -> bool| lines.iter().any(|l| l.instr.is_some_and(|i| pred(&i)));
-    assert!(has(&|i| matches!(i, Instr::Srli { shamt: 2, .. })), "alignment-drop shift");
-    assert!(has(&|i| matches!(i, Instr::Andi { imm: 255, .. })), "mask to 256 entries");
-    assert!(has(&|i| matches!(i, Instr::Slli { shamt: 3, .. })), "8-byte entry scaling");
+    let has =
+        |pred: &dyn Fn(&Instr) -> bool| lines.iter().any(|l| l.instr.is_some_and(|i| pred(&i)));
+    assert!(
+        has(&|i| matches!(i, Instr::Srli { shamt: 2, .. })),
+        "alignment-drop shift"
+    );
+    assert!(
+        has(&|i| matches!(i, Instr::Andi { imm: 255, .. })),
+        "mask to 256 entries"
+    );
+    assert!(
+        has(&|i| matches!(i, Instr::Slli { shamt: 3, .. })),
+        "8-byte entry scaling"
+    );
     assert!(has(&|i| matches!(i, Instr::Cmp { .. })), "tag compare");
-    assert!(has(&|i| matches!(i, Instr::Jmem { .. })), "jmp [mem] transfer");
+    assert!(
+        has(&|i| matches!(i, Instr::Jmem { .. })),
+        "jmp [mem] transfer"
+    );
     assert!(has(&|i| matches!(i, Instr::Pushf)) && has(&|i| matches!(i, Instr::Popf)));
 }
 
@@ -52,7 +65,8 @@ fn flags_none_removes_pushf_popf_from_dispatch() {
     let sdt = run_sdt(JR_PROGRAM, cfg);
     let all = sdt.disassemble_cache(usize::MAX);
     assert!(
-        !all.iter().any(|l| matches!(l.instr, Some(Instr::Pushf) | Some(Instr::Popf))),
+        !all.iter()
+            .any(|l| matches!(l.instr, Some(Instr::Pushf) | Some(Instr::Popf))),
         "FlagsPolicy::None must emit no flags save anywhere"
     );
 }
@@ -63,11 +77,21 @@ fn sieve_dispatch_scales_by_four_and_has_no_tag_compare() {
     let lines = dispatch_lines(&sdt);
     // The dispatch itself does no compare; compares live in the stanzas,
     // which end with a *direct* jmp to the fragment.
-    assert!(lines.iter().any(|l| matches!(l.instr, Some(Instr::Slli { shamt: 2, .. }))));
-    assert!(lines.iter().any(|l| matches!(l.instr, Some(Instr::Jmp { .. }))),
-        "stanza hit ends in a direct jump");
-    assert!(lines.iter().any(|l| matches!(l.instr, Some(Instr::Cmp { .. }))),
-        "stanza verifies the target");
+    assert!(lines
+        .iter()
+        .any(|l| matches!(l.instr, Some(Instr::Slli { shamt: 2, .. }))));
+    assert!(
+        lines
+            .iter()
+            .any(|l| matches!(l.instr, Some(Instr::Jmp { .. }))),
+        "stanza hit ends in a direct jump"
+    );
+    assert!(
+        lines
+            .iter()
+            .any(|l| matches!(l.instr, Some(Instr::Cmp { .. }))),
+        "stanza verifies the target"
+    );
 }
 
 #[test]
@@ -77,12 +101,18 @@ fn two_way_probe_emits_both_way_offsets() {
     let sdt = run_sdt(JR_PROGRAM, cfg);
     let lines = dispatch_lines(&sdt);
     let lw_off = |off: i16| {
-        lines.iter().any(|l| matches!(l.instr, Some(Instr::Lw { off: o, .. }) if o == off))
+        lines
+            .iter()
+            .any(|l| matches!(l.instr, Some(Instr::Lw { off: o, .. }) if o == off))
     };
     assert!(lw_off(0) && lw_off(4), "way-0 tag/value loads");
     assert!(lw_off(8) && lw_off(12), "way-1 tag/value loads");
-    assert!(lines.iter().any(|l| matches!(l.instr, Some(Instr::Slli { shamt: 4, .. }))),
-        "16-byte set scaling");
+    assert!(
+        lines
+            .iter()
+            .any(|l| matches!(l.instr, Some(Instr::Slli { shamt: 4, .. }))),
+        "16-byte set scaling"
+    );
 }
 
 #[test]
@@ -107,7 +137,9 @@ fn fragment_linking_patches_trampoline_heads_in_place() {
         .filter(|l| l.origin == Origin::Trampoline)
         .collect();
     assert!(
-        trampolines.iter().any(|l| matches!(l.instr, Some(Instr::Jmp { .. }))),
+        trampolines
+            .iter()
+            .any(|l| matches!(l.instr, Some(Instr::Jmp { .. }))),
         "linked exits must be direct jumps"
     );
 }
@@ -117,11 +149,15 @@ fn reentry_dispatch_has_no_probe_at_all() {
     let sdt = run_sdt(JR_PROGRAM, SdtConfig::reentry());
     let lines = dispatch_lines(&sdt);
     assert!(
-        !lines.iter().any(|l| matches!(l.instr, Some(Instr::Cmp { .. }))),
+        !lines
+            .iter()
+            .any(|l| matches!(l.instr, Some(Instr::Cmp { .. }))),
         "re-entry never compares in the cache"
     );
     assert!(
-        !lines.iter().any(|l| matches!(l.instr, Some(Instr::Jmem { .. }))),
+        !lines
+            .iter()
+            .any(|l| matches!(l.instr, Some(Instr::Jmem { .. }))),
         "re-entry never transfers through a jump slot from dispatch code"
     );
 }
@@ -131,7 +167,9 @@ fn out_of_line_sites_call_the_shared_routine() {
     let sdt = run_sdt(JR_PROGRAM, SdtConfig::ibtc_out_of_line(256));
     let lines = dispatch_lines(&sdt);
     assert!(
-        lines.iter().any(|l| matches!(l.instr, Some(Instr::Call { .. }))),
+        lines
+            .iter()
+            .any(|l| matches!(l.instr, Some(Instr::Call { .. }))),
         "site must call the lookup routine"
     );
     assert!(

@@ -68,16 +68,16 @@ fn configs() -> Vec<SdtConfig> {
 }
 
 fn check_equivalence(prog: &Program) {
-    let native =
-        run_native(prog, ArchProfile::x86_like(), FUEL).expect("native run succeeds");
+    let native = run_native(prog, ArchProfile::x86_like(), FUEL).expect("native run succeeds");
     for cfg in configs() {
         let mut sdt = Sdt::new(cfg, prog).expect("sdt constructs");
-        let report = sdt.run(ArchProfile::x86_like(), FUEL * 20).unwrap_or_else(|e| {
-            panic!("[{}] {} failed: {e}", prog.name, cfg.describe())
-        });
+        let report = sdt
+            .run(ArchProfile::x86_like(), FUEL * 20)
+            .unwrap_or_else(|e| panic!("[{}] {} failed: {e}", prog.name, cfg.describe()));
         assert!(report.halted);
         assert_eq!(
-            report.checksum, native.checksum,
+            report.checksum,
+            native.checksum,
             "[{}] checksum mismatch under {}",
             prog.name,
             cfg.describe()
@@ -372,8 +372,14 @@ fn flags_policy_none_is_cheaper_when_flags_dead() {
     let mut without = with_flags;
     without.flags = FlagsPolicy::None;
 
-    let ra = Sdt::new(with_flags, &prog).unwrap().run(ArchProfile::x86_like(), FUEL * 20).unwrap();
-    let rb = Sdt::new(without, &prog).unwrap().run(ArchProfile::x86_like(), FUEL * 20).unwrap();
+    let ra = Sdt::new(with_flags, &prog)
+        .unwrap()
+        .run(ArchProfile::x86_like(), FUEL * 20)
+        .unwrap();
+    let rb = Sdt::new(without, &prog)
+        .unwrap()
+        .run(ArchProfile::x86_like(), FUEL * 20)
+        .unwrap();
     assert_eq!(ra.checksum, native.checksum);
     assert_eq!(rb.checksum, native.checksum);
     assert!(
@@ -433,12 +439,11 @@ fn self_modifying_code_is_detected_not_miscompiled() {
         trap 0x1
         halt
         ",
-            replacement =
-                strata_isa::encode(&strata_isa::Instr::Addi {
-                    rd: strata_isa::Reg::R4,
-                    rs1: strata_isa::Reg::R4,
-                    imm: 7
-                }),
+            replacement = strata_isa::encode(&strata_isa::Instr::Addi {
+                rd: strata_isa::Reg::R4,
+                rs1: strata_isa::Reg::R4,
+                imm: 7
+            }),
         ),
     );
     let native = run_native(&prog, ArchProfile::x86_like(), FUEL).unwrap();

@@ -21,8 +21,15 @@ fn elision_preserves_semantics_on_all_workloads() {
         let native = run_native(&p, ArchProfile::x86_like(), FUEL).unwrap();
         let mut cfg = SdtConfig::ibtc_inline(1024);
         cfg.elide_direct_jumps = true;
-        let report = Sdt::new(cfg, &p).unwrap().run(ArchProfile::x86_like(), FUEL).unwrap();
-        assert_eq!(report.checksum, native.checksum, "[{}] elision broke semantics", spec.name);
+        let report = Sdt::new(cfg, &p)
+            .unwrap()
+            .run(ArchProfile::x86_like(), FUEL)
+            .unwrap();
+        assert_eq!(
+            report.checksum, native.checksum,
+            "[{}] elision broke semantics",
+            spec.name
+        );
     }
 }
 
@@ -33,11 +40,21 @@ fn elision_removes_jumps_and_grows_code() {
     let mut elide_cfg = base_cfg;
     elide_cfg.elide_direct_jumps = true;
 
-    let plain = Sdt::new(base_cfg, &p).unwrap().run(ArchProfile::x86_like(), FUEL).unwrap();
-    let elided = Sdt::new(elide_cfg, &p).unwrap().run(ArchProfile::x86_like(), FUEL).unwrap();
+    let plain = Sdt::new(base_cfg, &p)
+        .unwrap()
+        .run(ArchProfile::x86_like(), FUEL)
+        .unwrap();
+    let elided = Sdt::new(elide_cfg, &p)
+        .unwrap()
+        .run(ArchProfile::x86_like(), FUEL)
+        .unwrap();
 
     assert_eq!(plain.mech.elided_jumps, 0);
-    assert!(elided.mech.elided_jumps > 50, "{}", elided.mech.elided_jumps);
+    assert!(
+        elided.mech.elided_jumps > 50,
+        "{}",
+        elided.mech.elided_jumps
+    );
     assert!(
         elided.mech.translated_app_instrs > plain.mech.translated_app_instrs,
         "tail duplication must translate more instructions"
@@ -85,8 +102,14 @@ fn elision_wins_on_single_predecessor_jump_chains() {
     let base_cfg = SdtConfig::ibtc_inline(64);
     let mut elide_cfg = base_cfg;
     elide_cfg.elide_direct_jumps = true;
-    let plain = Sdt::new(base_cfg, &p).unwrap().run(ArchProfile::x86_like(), FUEL).unwrap();
-    let elided = Sdt::new(elide_cfg, &p).unwrap().run(ArchProfile::x86_like(), FUEL).unwrap();
+    let plain = Sdt::new(base_cfg, &p)
+        .unwrap()
+        .run(ArchProfile::x86_like(), FUEL)
+        .unwrap();
+    let elided = Sdt::new(elide_cfg, &p)
+        .unwrap()
+        .run(ArchProfile::x86_like(), FUEL)
+        .unwrap();
     assert_eq!(plain.checksum, native.checksum);
     assert_eq!(elided.checksum, native.checksum);
     assert!(elided.mech.elided_jumps >= 3);
@@ -119,7 +142,10 @@ fn elision_handles_self_loops() {
     let native = run_native(&p, ArchProfile::x86_like(), FUEL).unwrap();
     let mut cfg = SdtConfig::ibtc_inline(64);
     cfg.elide_direct_jumps = true;
-    let report = Sdt::new(cfg, &p).unwrap().run(ArchProfile::x86_like(), FUEL).unwrap();
+    let report = Sdt::new(cfg, &p)
+        .unwrap()
+        .run(ArchProfile::x86_like(), FUEL)
+        .unwrap();
     assert_eq!(report.checksum, native.checksum);
 }
 
@@ -169,8 +195,14 @@ fn two_way_ibtc_equivalent_and_less_conflicty() {
     let mut two_way = direct;
     two_way.ibtc_ways = 2;
 
-    let rd = Sdt::new(direct, &p).unwrap().run(ArchProfile::x86_like(), FUEL).unwrap();
-    let r2 = Sdt::new(two_way, &p).unwrap().run(ArchProfile::x86_like(), FUEL).unwrap();
+    let rd = Sdt::new(direct, &p)
+        .unwrap()
+        .run(ArchProfile::x86_like(), FUEL)
+        .unwrap();
+    let r2 = Sdt::new(two_way, &p)
+        .unwrap()
+        .run(ArchProfile::x86_like(), FUEL)
+        .unwrap();
     assert_eq!(rd.checksum, native.checksum);
     assert_eq!(r2.checksum, native.checksum);
     if rd.mech.ib_misses > 100 {
@@ -202,7 +234,10 @@ fn two_way_works_per_site_and_with_flushes() {
     };
     cfg.ibtc_ways = 2;
     cfg.cache_limit = Some(16 * 1024);
-    let report = Sdt::new(cfg, &p).unwrap().run(ArchProfile::x86_like(), FUEL).unwrap();
+    let report = Sdt::new(cfg, &p)
+        .unwrap()
+        .run(ArchProfile::x86_like(), FUEL)
+        .unwrap();
     assert_eq!(report.checksum, native.checksum);
 }
 

@@ -26,22 +26,34 @@ fn counts_are_exact_on_a_known_loop() {
         addi r4, r4, 2
         ret
     ";
-    let program = Program::new("counted", assemble(layout::APP_BASE, src).unwrap(), Vec::new());
+    let program = Program::new(
+        "counted",
+        assemble(layout::APP_BASE, src).unwrap(),
+        Vec::new(),
+    );
     let native = run_native(&program, ArchProfile::x86_like(), FUEL).unwrap();
 
     let mut cfg = SdtConfig::ibtc_inline(64);
     cfg.instrument_blocks = true;
     let mut sdt = Sdt::new(cfg, &program).unwrap();
     let report = sdt.run(ArchProfile::x86_like(), FUEL).unwrap();
-    assert_eq!(report.checksum, native.checksum, "instrumentation must be transparent");
+    assert_eq!(
+        report.checksum, native.checksum,
+        "instrumentation must be transparent"
+    );
 
     let profile = sdt.block_profile();
     assert!(!profile.is_empty());
     // `f`'s body and the loop-continuation block both run 17 times.
     let seventeens = profile.iter().filter(|&&(_, c)| c == 17).count();
-    assert!(seventeens >= 2, "expected loop-body counts of 17, got {profile:?}");
+    assert!(
+        seventeens >= 2,
+        "expected loop-body counts of 17, got {profile:?}"
+    );
     // The entry block runs exactly once.
-    assert!(profile.iter().any(|&(addr, c)| addr == layout::APP_BASE && c == 1));
+    assert!(profile
+        .iter()
+        .any(|&(addr, c)| addr == layout::APP_BASE && c == 1));
     // Instrumentation cycles are attributed, not smeared into app work.
     assert!(report.cycles_for(Origin::Instrumentation) > 0);
 }

@@ -60,13 +60,20 @@ fn shadow_stack_is_transparent_to_stack_inspection() {
         trap 0x1
         ret
     ";
-    let p = Program::new("snoop", assemble(layout::APP_BASE, src).unwrap(), Vec::new());
+    let p = Program::new(
+        "snoop",
+        assemble(layout::APP_BASE, src).unwrap(),
+        Vec::new(),
+    );
     let native = run_native(&p, ArchProfile::x86_like(), FUEL).unwrap();
     let report = Sdt::new(shadow_cfg(64), &p)
         .unwrap()
         .run(ArchProfile::x86_like(), FUEL)
         .unwrap();
-    assert_eq!(report.checksum, native.checksum, "shadow stack must stay transparent");
+    assert_eq!(
+        report.checksum, native.checksum,
+        "shadow stack must stay transparent"
+    );
 }
 
 #[test]
@@ -82,14 +89,21 @@ fn underflow_falls_back_gracefully() {
         trap 0x1
         halt
     ";
-    let p = Program::new("underflow", assemble(layout::APP_BASE, src).unwrap(), Vec::new());
+    let p = Program::new(
+        "underflow",
+        assemble(layout::APP_BASE, src).unwrap(),
+        Vec::new(),
+    );
     let native = run_native(&p, ArchProfile::x86_like(), FUEL).unwrap();
     let report = Sdt::new(shadow_cfg(64), &p)
         .unwrap()
         .run(ArchProfile::x86_like(), FUEL)
         .unwrap();
     assert_eq!(report.checksum, native.checksum);
-    assert!(report.mech.rc_misses >= 1, "underflow must be a counted fallback");
+    assert!(
+        report.mech.rc_misses >= 1,
+        "underflow must be a counted fallback"
+    );
 }
 
 #[test]
@@ -159,7 +173,10 @@ fn shadow_stack_survives_cache_flushes() {
     let native = run_native(&p, ArchProfile::x86_like(), FUEL).unwrap();
     let mut cfg = shadow_cfg(256);
     cfg.cache_limit = Some(16 * 1024);
-    let report = Sdt::new(cfg, &p).unwrap().run(ArchProfile::x86_like(), FUEL).unwrap();
+    let report = Sdt::new(cfg, &p)
+        .unwrap()
+        .run(ArchProfile::x86_like(), FUEL)
+        .unwrap();
     assert_eq!(report.checksum, native.checksum);
     assert!(report.mech.cache_flushes > 0, "test needs flush pressure");
 }

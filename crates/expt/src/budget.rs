@@ -146,13 +146,23 @@ mod tests {
         let profile = ArchProfile::x86_like();
         (0..n)
             .map(|i| {
-                CellKey::native("gzip", profile.clone(), Params { scale: 1, variant: i as u64 })
+                CellKey::native(
+                    "gzip",
+                    profile.clone(),
+                    Params {
+                        scale: 1,
+                        variant: i as u64,
+                    },
+                )
             })
             .collect()
     }
 
     fn durations(order: &[CellKey], book: &BudgetBook) -> Vec<u64> {
-        order.iter().map(|c| book.get(&c.key_string()).unwrap_or(0)).collect()
+        order
+            .iter()
+            .map(|c| book.get(&c.key_string()).unwrap_or(0))
+            .collect()
     }
 
     #[test]
@@ -170,7 +180,10 @@ mod tests {
         // The known-expensive cell moves to the front; the unknown cells
         // keep their relative FIFO order.
         assert_eq!(ordered[0], set[2]);
-        assert_eq!(&ordered[1..], &[set[0].clone(), set[1].clone(), set[3].clone()]);
+        assert_eq!(
+            &ordered[1..],
+            &[set[0].clone(), set[1].clone(), set[3].clone()]
+        );
     }
 
     #[test]

@@ -43,7 +43,12 @@ pub struct CellKey {
 impl CellKey {
     /// A native-baseline cell.
     pub fn native(workload: &'static str, profile: ArchProfile, params: Params) -> CellKey {
-        CellKey { workload, kind: RunKind::Native, profile, params }
+        CellKey {
+            workload,
+            kind: RunKind::Native,
+            profile,
+            params,
+        }
     }
 
     /// A translated cell.
@@ -53,7 +58,12 @@ impl CellKey {
         profile: ArchProfile,
         params: Params,
     ) -> CellKey {
-        CellKey { workload, kind: RunKind::Translated(cfg), profile, params }
+        CellKey {
+            workload,
+            kind: RunKind::Translated(cfg),
+            profile,
+            params,
+        }
     }
 
     /// The native counterpart of this cell (identity for native cells).
@@ -163,11 +173,28 @@ mod tests {
         let a = CellKey::native("gzip", x86.clone(), p);
         let b = CellKey::native("gcc", x86.clone(), p);
         let c = CellKey::native("gzip", ArchProfile::mips_like(), p);
-        let d = CellKey::native("gzip", x86.clone(), Params { scale: 2, variant: 0 });
-        let e = CellKey::native("gzip", x86.clone(), Params { scale: 1, variant: 3 });
+        let d = CellKey::native(
+            "gzip",
+            x86.clone(),
+            Params {
+                scale: 2,
+                variant: 0,
+            },
+        );
+        let e = CellKey::native(
+            "gzip",
+            x86.clone(),
+            Params {
+                scale: 1,
+                variant: 3,
+            },
+        );
         let f = CellKey::translated("gzip", SdtConfig::ibtc_inline(64), x86.clone(), p);
         let g = CellKey::translated("gzip", SdtConfig::ibtc_inline(128), x86, p);
-        let keys: Vec<String> = [&a, &b, &c, &d, &e, &f, &g].iter().map(|k| k.key_string()).collect();
+        let keys: Vec<String> = [&a, &b, &c, &d, &e, &f, &g]
+            .iter()
+            .map(|k| k.key_string())
+            .collect();
         let mut dedup = keys.clone();
         dedup.sort();
         dedup.dedup();

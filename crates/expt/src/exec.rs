@@ -48,16 +48,20 @@ pub fn build_program(workload: &str, params: Params) -> Program {
 pub fn cell_result(store: &Store, key: &CellKey, program: &Program) -> Arc<CellResult> {
     match &key.kind {
         RunKind::Native => store.get_or_compute(key, || {
-            CellResult::Native(run_native(program, key.profile.clone(), FUEL).unwrap_or_else(
-                |e| panic!("native {} on {}: {e}", key.workload, key.profile.name),
-            ))
+            CellResult::Native(
+                run_native(program, key.profile.clone(), FUEL).unwrap_or_else(|e| {
+                    panic!("native {} on {}: {e}", key.workload, key.profile.name)
+                }),
+            )
         }),
         RunKind::Translated(cfg) => {
             let native = cell_result(store, &key.native_counterpart(), program);
             let cfg = *cfg;
             store.get_or_compute(key, || {
                 let report = Sdt::new(cfg, program)
-                    .unwrap_or_else(|e| panic!("sdt for {} / {}: {e}", key.workload, cfg.describe()))
+                    .unwrap_or_else(|e| {
+                        panic!("sdt for {} / {}: {e}", key.workload, cfg.describe())
+                    })
                     .run(key.profile.clone(), FUEL)
                     .unwrap_or_else(|e| {
                         panic!(

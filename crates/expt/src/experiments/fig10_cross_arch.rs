@@ -61,8 +61,15 @@ pub fn render(view: &View) -> Output {
             .map(|(l, v)| (*l, v[i]))
             .collect();
         ranked.sort_by(|a, b| a.1.total_cmp(&b.1));
-        let order: Vec<String> = ranked.iter().map(|(l, v)| format!("{l} ({})", fx(*v))).collect();
-        out.note(format!("{:<11} ranking: {}", profile.name, order.join("  >  ")));
+        let order: Vec<String> = ranked
+            .iter()
+            .map(|(l, v)| format!("{l} ({})", fx(*v)))
+            .collect();
+        out.note(format!(
+            "{:<11} ranking: {}",
+            profile.name,
+            order.join("  >  ")
+        ));
     }
     out.note(
         "Reading: re-entry is disproportionately catastrophic on the trap-expensive\n\

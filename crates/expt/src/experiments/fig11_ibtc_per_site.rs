@@ -16,7 +16,11 @@ const SIZES: [u32; 3] = [16, 64, 256];
 
 fn cfg(entries: u32, scope: IbtcScope) -> SdtConfig {
     SdtConfig {
-        ib: IbMechanism::Ibtc { entries, scope, placement: IbtcPlacement::Inline },
+        ib: IbMechanism::Ibtc {
+            entries,
+            scope,
+            placement: IbtcPlacement::Inline,
+        },
         ..SdtConfig::ibtc_inline(entries)
     }
 }
@@ -37,7 +41,13 @@ pub fn render(view: &View) -> Output {
     let x86 = ArchProfile::x86_like();
     let mut t = Table::new(
         "Fig. 11: per-site vs shared IBTC (inline, x86-like)",
-        &["entries", "shared geomean", "shared miss", "per-site geomean", "per-site miss"],
+        &[
+            "entries",
+            "shared geomean",
+            "shared miss",
+            "per-site geomean",
+            "per-site miss",
+        ],
     );
     for entries in SIZES {
         let mut row = vec![entries.to_string()];

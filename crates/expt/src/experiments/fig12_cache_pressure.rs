@@ -19,7 +19,10 @@ const ENTRIES: u32 = 4096;
 /// mips-like.
 pub fn cells(params: Params) -> Vec<CellKey> {
     grid(
-        &[SdtConfig::ibtc_inline(ENTRIES), SdtConfig::ibtc_out_of_line(ENTRIES)],
+        &[
+            SdtConfig::ibtc_inline(ENTRIES),
+            SdtConfig::ibtc_out_of_line(ENTRIES),
+        ],
         &[ArchProfile::mips_like()],
         params,
     )

@@ -32,7 +32,12 @@ pub fn render(view: &View) -> Output {
     let (linked, unlinked) = configs();
     let mut t = Table::new(
         "Fig. 13: fragment linking ablation (IBTC 4096, x86-like)",
-        &["benchmark", "linked", "unlinked", "unlinked translator entries"],
+        &[
+            "benchmark",
+            "linked",
+            "unlinked",
+            "unlinked translator entries",
+        ],
     );
     let mut l = Vec::new();
     let mut u = Vec::new();

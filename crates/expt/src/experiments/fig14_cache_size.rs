@@ -39,7 +39,13 @@ pub fn render(view: &View) -> Output {
     let x86 = ArchProfile::x86_like();
     let mut t = Table::new(
         "Fig. 14: fragment-cache size sweep (IBTC 1024, x86-like)",
-        &["cache bytes", "gcc slowdown", "gcc flushes", "perlbmk slowdown", "perlbmk flushes"],
+        &[
+            "cache bytes",
+            "gcc slowdown",
+            "gcc flushes",
+            "perlbmk slowdown",
+            "perlbmk flushes",
+        ],
     );
     for kib in KIBS {
         let mut row = vec![format!("{}K", kib)];

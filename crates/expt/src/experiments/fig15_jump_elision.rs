@@ -37,7 +37,14 @@ pub fn render(view: &View) -> Output {
     for profile in profiles() {
         let mut t = Table::new(
             format!("Fig. 15: direct-jump elision ({})", profile.name),
-            &["benchmark", "plain", "elided", "delta", "jumps elided", "cache bytes plain/elided"],
+            &[
+                "benchmark",
+                "plain",
+                "elided",
+                "delta",
+                "jumps elided",
+                "cache bytes plain/elided",
+            ],
         );
         let mut p_all = Vec::new();
         let mut e_all = Vec::new();

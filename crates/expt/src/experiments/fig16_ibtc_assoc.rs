@@ -37,7 +37,13 @@ pub fn render(view: &View) -> Output {
     let x86 = ArchProfile::x86_like();
     let mut t = Table::new(
         "Fig. 16: IBTC associativity at equal entry budgets (x86-like)",
-        &["entries", "direct geomean", "direct miss", "2-way geomean", "2-way miss"],
+        &[
+            "entries",
+            "direct geomean",
+            "direct miss",
+            "2-way geomean",
+            "2-way miss",
+        ],
     );
     for entries in SIZES {
         let mut row = vec![entries.to_string()];

@@ -21,7 +21,12 @@ fn cfg() -> SdtConfig {
 
 /// The parameter points swept: variants `0..VARIANTS` at the suite scale.
 fn points(params: Params) -> Vec<Params> {
-    (0..VARIANTS).map(|variant| Params { scale: params.scale, variant }).collect()
+    (0..VARIANTS)
+        .map(|variant| Params {
+            scale: params.scale,
+            variant,
+        })
+        .collect()
 }
 
 /// Cells: the headline configuration across workload variants, x86-like.
@@ -65,8 +70,10 @@ pub fn render(view: &View) -> Output {
             format!("{:.1}%", (max / min - 1.0) * 100.0),
         ]);
     }
-    let geos: Vec<f64> =
-        geo_by_variant.iter().map(|v| geomean(v.iter().copied()).expect("nonempty")).collect();
+    let geos: Vec<f64> = geo_by_variant
+        .iter()
+        .map(|v| geomean(v.iter().copied()).expect("nonempty"))
+        .collect();
     let gmin = geos.iter().copied().fold(f64::INFINITY, f64::min);
     let gmax = geos.iter().copied().fold(0.0f64, f64::max);
     t.row([

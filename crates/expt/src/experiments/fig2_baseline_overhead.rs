@@ -21,7 +21,12 @@ pub fn render(view: &View) -> Output {
     let x86 = ArchProfile::x86_like();
     let mut t = Table::new(
         "Fig. 2: slowdown vs native with translator re-entry for all IBs (x86-like)",
-        &["benchmark", "slowdown", "IB dispatches", "translator entries"],
+        &[
+            "benchmark",
+            "slowdown",
+            "IB dispatches",
+            "translator entries",
+        ],
     );
     let mut slowdowns = Vec::new();
     for name in names() {

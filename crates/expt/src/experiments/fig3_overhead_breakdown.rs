@@ -26,7 +26,14 @@ fn breakdown(view: &View, cfg: SdtConfig, title: &str) -> Table {
     let x86 = ArchProfile::x86_like();
     let mut t = Table::new(
         title,
-        &["benchmark", "app%", "dispatch%", "ctx-switch%", "tramp+glue%", "translator%"],
+        &[
+            "benchmark",
+            "app%",
+            "dispatch%",
+            "ctx-switch%",
+            "tramp+glue%",
+            "translator%",
+        ],
     );
     for name in names() {
         let r = view.translated(name, cfg, &x86);

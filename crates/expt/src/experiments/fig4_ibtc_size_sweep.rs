@@ -16,8 +16,10 @@ const SHIFTS: [u32; 7] = [4, 6, 8, 10, 12, 14, 16];
 
 /// Cells: the IBTC size ladder on every benchmark, x86-like.
 pub fn cells(params: Params) -> Vec<CellKey> {
-    let configs: Vec<SdtConfig> =
-        SHIFTS.iter().map(|&s| SdtConfig::ibtc_inline(1 << s)).collect();
+    let configs: Vec<SdtConfig> = SHIFTS
+        .iter()
+        .map(|&s| SdtConfig::ibtc_inline(1 << s))
+        .collect();
     grid(&configs, &[ArchProfile::x86_like()], params)
 }
 
@@ -26,7 +28,14 @@ pub fn render(view: &View) -> Output {
     let x86 = ArchProfile::x86_like();
     let mut t = Table::new(
         "Fig. 4: shared inlined IBTC size sweep (x86-like)",
-        &["entries", "geomean slowdown", "miss rate", "perlbmk", "gcc", "eon"],
+        &[
+            "entries",
+            "geomean slowdown",
+            "miss rate",
+            "perlbmk",
+            "gcc",
+            "eon",
+        ],
     );
     for shift in SHIFTS {
         let entries = 1u32 << shift;

@@ -17,7 +17,10 @@ const ENTRIES: u32 = 4096;
 /// Cells: inline and out-of-line placements on every benchmark, x86-like.
 pub fn cells(params: Params) -> Vec<CellKey> {
     grid(
-        &[SdtConfig::ibtc_inline(ENTRIES), SdtConfig::ibtc_out_of_line(ENTRIES)],
+        &[
+            SdtConfig::ibtc_inline(ENTRIES),
+            SdtConfig::ibtc_out_of_line(ENTRIES),
+        ],
         &[ArchProfile::x86_like()],
         params,
     )
@@ -28,7 +31,13 @@ pub fn render(view: &View) -> Output {
     let x86 = ArchProfile::x86_like();
     let mut t = Table::new(
         "Fig. 5: inlined vs out-of-line IBTC lookup (4096 entries, x86-like)",
-        &["benchmark", "inline", "out-of-line", "outline penalty", "cache bytes in/out"],
+        &[
+            "benchmark",
+            "inline",
+            "out-of-line",
+            "outline penalty",
+            "cache bytes in/out",
+        ],
     );
     let mut inl = Vec::new();
     let mut out_s = Vec::new();

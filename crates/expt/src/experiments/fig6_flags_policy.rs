@@ -25,7 +25,11 @@ fn configs() -> (SdtConfig, SdtConfig) {
 /// sparc-like.
 pub fn cells(params: Params) -> Vec<CellKey> {
     let (with, without) = configs();
-    grid(&[with, without], &[ArchProfile::x86_like(), ArchProfile::sparc_like()], params)
+    grid(
+        &[with, without],
+        &[ArchProfile::x86_like(), ArchProfile::sparc_like()],
+        params,
+    )
 }
 
 /// Renders Figure 6.
@@ -33,7 +37,15 @@ pub fn render(view: &View) -> Output {
     let (with, without) = configs();
     let mut t = Table::new(
         "Fig. 6: flags save/restore tax on IBTC dispatch (4096 entries)",
-        &["benchmark", "x86 save", "x86 none", "x86 tax", "sparc save", "sparc none", "sparc tax"],
+        &[
+            "benchmark",
+            "x86 save",
+            "x86 none",
+            "x86 tax",
+            "sparc save",
+            "sparc none",
+            "sparc tax",
+        ],
     );
     let mut tax_x86 = Vec::new();
     let mut tax_sparc = Vec::new();

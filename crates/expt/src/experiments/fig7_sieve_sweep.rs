@@ -25,7 +25,14 @@ pub fn render(view: &View) -> Output {
     let x86 = ArchProfile::x86_like();
     let mut t = Table::new(
         "Fig. 7: sieve bucket-count sweep (x86-like)",
-        &["buckets", "geomean slowdown", "mean chain", "max chain", "perlbmk", "gcc"],
+        &[
+            "buckets",
+            "geomean slowdown",
+            "mean chain",
+            "max chain",
+            "perlbmk",
+            "gcc",
+        ],
     );
     for shift in SHIFTS {
         let buckets = 1u32 << shift;

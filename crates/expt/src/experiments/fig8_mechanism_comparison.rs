@@ -40,7 +40,13 @@ pub fn render(view: &View) -> Output {
     let configs = head_to_head();
     let mut t = Table::new(
         "Fig. 8: IB mechanism comparison, slowdown vs native (x86-like)",
-        &["benchmark", "reentry", "ibtc-outline", "ibtc-inline", "sieve"],
+        &[
+            "benchmark",
+            "reentry",
+            "ibtc-outline",
+            "ibtc-inline",
+            "sieve",
+        ],
     );
     let mut per_cfg: Vec<Vec<f64>> = vec![Vec::new(); configs.len()];
     for name in names() {

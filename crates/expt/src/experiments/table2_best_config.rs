@@ -20,8 +20,11 @@ fn config_grid() -> Vec<SdtConfig> {
         SdtConfig::sieve(4096),
         SdtConfig::sieve(16384),
     ];
-    let ret_choices =
-        [RetMechanism::AsIb, RetMechanism::ReturnCache { entries: 1024 }, RetMechanism::FastReturn];
+    let ret_choices = [
+        RetMechanism::AsIb,
+        RetMechanism::ReturnCache { entries: 1024 },
+        RetMechanism::FastReturn,
+    ];
     let mut out = Vec::new();
     for ib in ib_choices {
         for ret in ret_choices {
@@ -53,14 +56,23 @@ pub fn render(view: &View) -> Output {
         scored.sort_by(|a, b| a.1.total_cmp(&b.1));
         for (rank, (cfg, g)) in scored.iter().take(3).enumerate() {
             t.row([
-                if rank == 0 { profile.name.to_string() } else { String::new() },
+                if rank == 0 {
+                    profile.name.to_string()
+                } else {
+                    String::new()
+                },
                 (rank + 1).to_string(),
                 cfg.describe(),
                 fx(*g),
             ]);
         }
         let worst = scored.last().expect("grid nonempty");
-        t.row([String::new(), "worst".to_string(), worst.0.describe(), fx(worst.1)]);
+        t.row([
+            String::new(),
+            "worst".to_string(),
+            worst.0.describe(),
+            fx(worst.1),
+        ]);
     }
     let mut out = Output::default();
     out.table(t).note(

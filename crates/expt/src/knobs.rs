@@ -34,15 +34,24 @@ impl EnvKnobs {
             .and_then(|s| s.parse().ok())
             .filter(|&s| s >= 1)
             .unwrap_or(1);
-        let variant =
-            std::env::var("STRATA_VARIANT").ok().and_then(|s| s.parse().ok()).unwrap_or(0);
+        let variant = std::env::var("STRATA_VARIANT")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
         let csv = std::env::var("STRATA_CSV").is_ok_and(|v| v == "1");
-        EnvKnobs { scale, variant, csv }
+        EnvKnobs {
+            scale,
+            variant,
+            csv,
+        }
     }
 
     /// The workload parameters these knobs select.
     pub fn params(&self) -> Params {
-        Params { scale: self.scale, variant: self.variant }
+        Params {
+            scale: self.scale,
+            variant: self.variant,
+        }
     }
 }
 
@@ -50,7 +59,11 @@ impl Default for EnvKnobs {
     /// Scale 1, canonical variant, no CSV — the documented defaults,
     /// independent of the process environment.
     fn default() -> EnvKnobs {
-        EnvKnobs { scale: 1, variant: 0, csv: false }
+        EnvKnobs {
+            scale: 1,
+            variant: 0,
+            csv: false,
+        }
     }
 }
 
@@ -61,7 +74,13 @@ mod tests {
     #[test]
     fn defaults() {
         let k = EnvKnobs::default();
-        assert_eq!(k.params(), Params { scale: 1, variant: 0 });
+        assert_eq!(
+            k.params(),
+            Params {
+                scale: 1,
+                variant: 0
+            }
+        );
         assert!(!k.csv);
     }
 }

@@ -58,7 +58,7 @@ pub use knobs::EnvKnobs;
 pub use registry::{by_id, registry, Experiment};
 pub use store::{Store, StoreStats};
 pub use suite::{
-    baseline_gate, run_shard, run_single, run_suite, validate_filter, write_artifacts,
+    baseline_gate, run_shard, run_single, run_suite, select, validate_filter, write_artifacts,
     OutputFormat, Shard, ShardReport, SuiteOptions, SuiteReport,
 };
 pub use view::View;

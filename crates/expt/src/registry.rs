@@ -43,17 +43,53 @@ pub fn registry() -> &'static [Experiment] {
             table1_ib_characteristics,
             "Dynamic indirect-branch characteristics per benchmark"
         ),
-        experiment!("fig2", fig2_baseline_overhead, "Baseline slowdown under translator re-entry"),
-        experiment!("fig3", fig3_overhead_breakdown, "Cycle breakdown by overhead source"),
-        experiment!("fig4", fig4_ibtc_size_sweep, "Shared inlined IBTC size sweep"),
-        experiment!("fig5", fig5_ibtc_inline_vs_shared, "Inlined vs out-of-line IBTC lookup"),
-        experiment!("fig6", fig6_flags_policy, "Flags save/restore tax on dispatch"),
+        experiment!(
+            "fig2",
+            fig2_baseline_overhead,
+            "Baseline slowdown under translator re-entry"
+        ),
+        experiment!(
+            "fig3",
+            fig3_overhead_breakdown,
+            "Cycle breakdown by overhead source"
+        ),
+        experiment!(
+            "fig4",
+            fig4_ibtc_size_sweep,
+            "Shared inlined IBTC size sweep"
+        ),
+        experiment!(
+            "fig5",
+            fig5_ibtc_inline_vs_shared,
+            "Inlined vs out-of-line IBTC lookup"
+        ),
+        experiment!(
+            "fig6",
+            fig6_flags_policy,
+            "Flags save/restore tax on dispatch"
+        ),
         experiment!("fig7", fig7_sieve_sweep, "Sieve bucket-count sweep"),
-        experiment!("fig8", fig8_mechanism_comparison, "IB mechanism head-to-head comparison"),
+        experiment!(
+            "fig8",
+            fig8_mechanism_comparison,
+            "IB mechanism head-to-head comparison"
+        ),
         experiment!("fig9", fig9_return_mechanisms, "Return handling mechanisms"),
-        experiment!("fig10", fig10_cross_arch, "Mechanisms across architecture profiles"),
-        experiment!("fig11", fig11_ibtc_per_site, "Per-site vs shared IBTC tables"),
-        experiment!("fig12", fig12_cache_pressure, "I-cache pressure of inlined lookups"),
+        experiment!(
+            "fig10",
+            fig10_cross_arch,
+            "Mechanisms across architecture profiles"
+        ),
+        experiment!(
+            "fig11",
+            fig11_ibtc_per_site,
+            "Per-site vs shared IBTC tables"
+        ),
+        experiment!(
+            "fig12",
+            fig12_cache_pressure,
+            "I-cache pressure of inlined lookups"
+        ),
         experiment!("fig13", fig13_fragment_linking, "Fragment linking ablation"),
         experiment!("fig14", fig14_cache_size, "Fragment-cache capacity sweep"),
         experiment!("fig15", fig15_jump_elision, "Direct-jump elision ablation"),
@@ -63,7 +99,21 @@ pub fn registry() -> &'static [Experiment] {
             fig17_workload_sensitivity,
             "Sensitivity across generated workload instances"
         ),
-        experiment!("table2", table2_best_config, "Best configuration per architecture"),
+        experiment!(
+            "fig18",
+            fig18_mixed_policy,
+            "Mixed per-class dispatch policies vs single mechanisms"
+        ),
+        experiment!(
+            "fig19",
+            fig19_adaptive_policy,
+            "Adaptive promotion vs fixed mechanisms"
+        ),
+        experiment!(
+            "table2",
+            table2_best_config,
+            "Best configuration per architecture"
+        ),
     ];
     REGISTRY
 }
@@ -80,10 +130,10 @@ mod tests {
     #[test]
     fn ids_are_unique_and_lookup_works() {
         let mut ids: Vec<_> = registry().iter().map(|e| e.id).collect();
-        assert_eq!(ids.len(), 18);
+        assert_eq!(ids.len(), 20);
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 18, "duplicate experiment ids");
+        assert_eq!(ids.len(), 20, "duplicate experiment ids");
         assert!(by_id("table1").is_some());
         assert!(by_id("fig10").is_some());
         assert!(by_id("fig1").is_none());

@@ -10,8 +10,8 @@
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 use std::sync::Arc;
+use std::sync::Mutex;
 
 use strata_core::{MechanismStats, NativeRun, RunReport};
 
@@ -19,7 +19,7 @@ use crate::budget::BudgetBook;
 use crate::cell::{CellKey, CellResult};
 
 /// On-disk record format version; bump on any layout change.
-const DISK_VERSION: &str = "strata-cell-v1";
+const DISK_VERSION: &str = "strata-cell-v2";
 
 /// Hit/miss counters for one suite run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -87,7 +87,11 @@ impl Store {
 
     /// The memoized result for `key`, if already present in memory.
     pub fn get(&self, key: &CellKey) -> Option<Arc<CellResult>> {
-        self.cells.lock().expect("store lock").get(&key.key_string()).cloned()
+        self.cells
+            .lock()
+            .expect("store lock")
+            .get(&key.key_string())
+            .cloned()
     }
 
     /// A snapshot of the cycle-budget book (recorded this run plus any
@@ -100,7 +104,9 @@ impl Store {
     /// over any records already there (so filtered runs keep budgets for
     /// cells they did not touch). No-op for in-memory stores.
     pub fn flush_budgets(&self) {
-        let Some(dir) = self.disk.as_ref() else { return };
+        let Some(dir) = self.disk.as_ref() else {
+            return;
+        };
         let mut merged = BudgetBook::load(dir);
         merged.merge(&self.budgets.lock().expect("budget lock"));
         merged.save(dir);
@@ -110,8 +116,10 @@ impl Store {
     /// deterministic iteration order the per-cell artifact renders in.
     pub fn snapshot(&self) -> Vec<(String, Arc<CellResult>)> {
         let cells = self.cells.lock().expect("store lock");
-        let mut all: Vec<(String, Arc<CellResult>)> =
-            cells.iter().map(|(k, v)| (k.clone(), Arc::clone(v))).collect();
+        let mut all: Vec<(String, Arc<CellResult>)> = cells
+            .iter()
+            .map(|(k, v)| (k.clone(), Arc::clone(v)))
+            .collect();
         all.sort_by(|a, b| a.0.cmp(&b.0));
         all
     }
@@ -145,7 +153,10 @@ impl Store {
             self.computed.fetch_add(1, Ordering::Relaxed);
             self.save_to_disk(key, &ks, &result);
         }
-        self.budgets.lock().expect("budget lock").record(&ks, result.total_cycles());
+        self.budgets
+            .lock()
+            .expect("budget lock")
+            .record(&ks, result.total_cycles());
         let mut cells = self.cells.lock().expect("store lock");
         Arc::clone(cells.entry(ks).or_insert_with(|| Arc::new(result)))
     }
@@ -157,7 +168,9 @@ impl Store {
     }
 
     fn save_to_disk(&self, key: &CellKey, ks: &str, result: &CellResult) {
-        let Some(dir) = self.disk.as_ref() else { return };
+        let Some(dir) = self.disk.as_ref() else {
+            return;
+        };
         // Cache writes are best-effort: an unwritable directory degrades
         // to recomputation on the next run, never to an error.
         if std::fs::create_dir_all(dir).is_err() {
@@ -197,14 +210,17 @@ fn render_record(key: &str, result: &CellResult) -> String {
             for (name, value) in fields {
                 out.push_str(&format!("{name}={value}\n"));
             }
-            out.push_str(&format!("regs={}\n", join_u64(n.regs.iter().map(|&r| r as u64))));
+            out.push_str(&format!(
+                "regs={}\n",
+                join_u64(n.regs.iter().map(|&r| r as u64))
+            ));
         }
         CellResult::Translated(r) => {
             out.push_str("kind=translated\n");
             out.push_str(&format!("config={}\n", r.config));
             out.push_str(&format!("arch={}\n", r.arch));
             out.push_str(&format!("halted={}\n", r.halted as u64));
-            let fields: [(&str, u64); 20] = [
+            let fields: [(&str, u64); 23] = [
                 ("checksum", r.checksum as u64),
                 ("instructions", r.instructions),
                 ("total_cycles", r.total_cycles),
@@ -214,6 +230,9 @@ fn render_record(key: &str, result: &CellResult) -> String {
                 ("indirect_mispredicts", r.indirect_mispredicts),
                 ("cond_mispredicts", r.cond_mispredicts),
                 ("ib_dispatches", r.mech.ib_dispatches),
+                ("jump_dispatches", r.mech.jump_dispatches),
+                ("call_dispatches", r.mech.call_dispatches),
+                ("adaptive_promotions", r.mech.adaptive_promotions),
                 ("ib_misses", r.mech.ib_misses),
                 ("ret_dispatches", r.mech.ret_dispatches),
                 ("rc_misses", r.mech.rc_misses),
@@ -229,10 +248,27 @@ fn render_record(key: &str, result: &CellResult) -> String {
             for (name, value) in fields {
                 out.push_str(&format!("{name}={value}\n"));
             }
-            out.push_str(&format!("sieve_mean_chain={:016x}\n", r.mech.sieve_mean_chain.to_bits()));
+            out.push_str(&format!(
+                "sieve_mean_chain={:016x}\n",
+                r.mech.sieve_mean_chain.to_bits()
+            ));
             out.push_str(&format!("sieve_max_chain={}\n", r.mech.sieve_max_chain));
-            out.push_str(&format!("cycles_by_origin={}\n", join_u64(r.cycles_by_origin.iter().copied())));
-            out.push_str(&format!("instrs_by_origin={}\n", join_u64(r.instrs_by_origin.iter().copied())));
+            out.push_str(&format!(
+                "cycles_by_origin={}\n",
+                join_u64(r.cycles_by_origin.iter().copied())
+            ));
+            out.push_str(&format!(
+                "instrs_by_origin={}\n",
+                join_u64(r.instrs_by_origin.iter().copied())
+            ));
+            // One row per class: `mechanism|dispatches|misses|promotions`
+            // (mechanism labels never contain `|` or `=`).
+            for c in &r.per_class {
+                out.push_str(&format!(
+                    "class.{}={}|{}|{}|{}\n",
+                    c.class, c.mechanism, c.dispatches, c.misses, c.promotions
+                ));
+            }
         }
     }
     out
@@ -280,6 +316,9 @@ fn parse_record(text: &str, expected_key: &str) -> Option<CellResult> {
         "translated" => {
             let mech = MechanismStats {
                 ib_dispatches: u("ib_dispatches")?,
+                jump_dispatches: u("jump_dispatches")?,
+                call_dispatches: u("call_dispatches")?,
+                adaptive_promotions: u("adaptive_promotions")?,
                 ib_misses: u("ib_misses")?,
                 ret_dispatches: u("ret_dispatches")?,
                 rc_misses: u("rc_misses")?,
@@ -296,6 +335,28 @@ fn parse_record(text: &str, expected_key: &str) -> Option<CellResult> {
                 ),
                 sieve_max_chain: u("sieve_max_chain")? as u32,
             };
+            let mut per_class = Vec::new();
+            for class in ["jump", "call", "ret"] {
+                let Some(row) = map.get(format!("class.{class}").as_str()) else {
+                    continue;
+                };
+                let mut parts = row.split('|');
+                let mechanism = parts.next()?.to_string();
+                let dispatches: u64 = parts.next()?.parse().ok()?;
+                let misses: u64 = parts.next()?.parse().ok()?;
+                let promotions: u64 = parts.next()?.parse().ok()?;
+                per_class.push(strata_core::ClassReport {
+                    class: match class {
+                        "jump" => "jump",
+                        "call" => "call",
+                        _ => "ret",
+                    },
+                    mechanism,
+                    dispatches,
+                    misses,
+                    promotions,
+                });
+            }
             Some(CellResult::Translated(Box::new(RunReport {
                 config: map.get("config")?.to_string(),
                 arch: arch_static(map.get("arch")?)?,
@@ -307,6 +368,7 @@ fn parse_record(text: &str, expected_key: &str) -> Option<CellResult> {
                 instrs_by_origin: fixed6(split_u64(map.get("instrs_by_origin")?)?)?,
                 translator_cycles: u("translator_cycles")?,
                 mech,
+                per_class,
                 icache_misses: u("icache_misses")?,
                 dcache_misses: u("dcache_misses")?,
                 indirect_mispredicts: u("indirect_mispredicts")?,
@@ -376,7 +438,18 @@ mod tests {
             cycles_by_origin: [1, 2, 3, 4, 5, 6],
             instrs_by_origin: [6, 5, 4, 3, 2, 1],
             translator_cycles: 1234,
-            mech: MechanismStats { ib_dispatches: 10, sieve_mean_chain: 1.75, ..Default::default() },
+            mech: MechanismStats {
+                ib_dispatches: 10,
+                sieve_mean_chain: 1.75,
+                ..Default::default()
+            },
+            per_class: vec![strata_core::ClassReport {
+                class: "jump",
+                mechanism: "ibtc(64,shared,inline)".into(),
+                dispatches: 10,
+                misses: 3,
+                promotions: 0,
+            }],
             icache_misses: 8,
             dcache_misses: 9,
             indirect_mispredicts: 10,
@@ -422,7 +495,14 @@ mod tests {
             });
         }
         assert_eq!(calls, 1);
-        assert_eq!(store.stats(), StoreStats { computed: 1, memo_hits: 2, disk_hits: 0 });
+        assert_eq!(
+            store.stats(),
+            StoreStats {
+                computed: 1,
+                memo_hits: 2,
+                disk_hits: 0
+            }
+        );
         assert_eq!(store.len(), 1);
     }
 }

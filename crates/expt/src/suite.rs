@@ -62,7 +62,9 @@ pub struct SuiteOptions {
 impl Default for SuiteOptions {
     fn default() -> SuiteOptions {
         SuiteOptions {
-            jobs: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            jobs: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
             filter: None,
             format: OutputFormat::Text,
             params: Params::default(),
@@ -98,7 +100,12 @@ pub struct SuiteReport {
 }
 
 fn patterns(filter: Option<&str>) -> Vec<&str> {
-    filter.unwrap_or("").split(',').map(str::trim).filter(|p| !p.is_empty()).collect()
+    filter
+        .unwrap_or("")
+        .split(',')
+        .map(str::trim)
+        .filter(|p| !p.is_empty())
+        .collect()
 }
 
 /// Selects experiments matching `filter` (comma-separated substrings of
@@ -203,13 +210,17 @@ pub fn run_shard(opts: &SuiteOptions, shard: Shard) -> Result<ShardReport, Strin
     }
     validate_filter(opts.filter.as_deref())?;
     let Some(cache_dir) = &opts.cache_dir else {
-        return Err("--shard requires the disk cache (a shard's only output is results/cache/)"
-            .into());
+        return Err(
+            "--shard requires the disk cache (a shard's only output is results/cache/)".into(),
+        );
     };
     let selected = select(opts.filter.as_deref());
     let all = expand_cells(&selected, opts.params);
-    let mine: Vec<CellKey> =
-        all.iter().filter(|c| c.shard_of(shard.count) == shard.index).cloned().collect();
+    let mine: Vec<CellKey> = all
+        .iter()
+        .filter(|c| c.shard_of(shard.count) == shard.index)
+        .cloned()
+        .collect();
 
     let store = Store::with_disk_cache(cache_dir.clone());
     execute(&store, &mine, opts.jobs);
@@ -241,13 +252,20 @@ pub fn run_suite(opts: &SuiteOptions) -> Result<SuiteReport, String> {
     let view = View::new(&store, opts.params);
     let sections: Vec<SuiteSection> = selected
         .iter()
-        .map(|e| SuiteSection { id: e.id, title: e.title, output: (e.render)(&view) })
+        .map(|e| SuiteSection {
+            id: e.id,
+            title: e.title,
+            output: (e.render)(&view),
+        })
         .collect();
 
     let mut artifacts: Vec<(String, String)> = sections
         .iter()
         .map(|s| {
-            (format!("{}.json", s.id), section_json(s, opts.params).render_pretty() + "\n")
+            (
+                format!("{}.json", s.id),
+                section_json(s, opts.params).render_pretty() + "\n",
+            )
         })
         .collect();
     // Per-cell raw metrics, rendered after the sections so cells computed
@@ -255,7 +273,10 @@ pub fn run_suite(opts: &SuiteOptions) -> Result<SuiteReport, String> {
     // artifact the baseline gate diffs.
     let cells_doc = Json::obj([
         ("id", Json::str("cells")),
-        ("title", Json::str("Per-cell raw metrics for the selected experiments")),
+        (
+            "title",
+            Json::str("Per-cell raw metrics for the selected experiments"),
+        ),
         ("params", params_json(opts.params)),
         ("tables", Json::arr([view.cells_table().to_json()])),
         ("notes", Json::arr([])),
@@ -268,7 +289,10 @@ pub fn run_suite(opts: &SuiteOptions) -> Result<SuiteReport, String> {
         OutputFormat::Json => {
             let doc = Json::obj([
                 ("params", params_json(opts.params)),
-                ("experiments", Json::arr(sections.iter().map(|s| section_json(s, opts.params)))),
+                (
+                    "experiments",
+                    Json::arr(sections.iter().map(|s| section_json(s, opts.params))),
+                ),
             ]);
             doc.render_pretty() + "\n"
         }
@@ -358,10 +382,17 @@ pub fn baseline_gate(
     baseline_dir: &Path,
     tolerance_pct: f64,
 ) -> Result<DeltaReport, String> {
-    let baseline = Snapshot::load_dir(baseline_dir)
-        .map_err(|e| format!("baseline: {e} (capture one with `strata bench --artifacts-dir {}`)", baseline_dir.display()))?;
+    let baseline = Snapshot::load_dir(baseline_dir).map_err(|e| {
+        format!(
+            "baseline: {e} (capture one with `strata bench --artifacts-dir {}`)",
+            baseline_dir.display()
+        )
+    })?;
     let fresh = Snapshot::from_documents(
-        report.artifacts.iter().map(|(name, content)| (name.as_str(), content.as_str())),
+        report
+            .artifacts
+            .iter()
+            .map(|(name, content)| (name.as_str(), content.as_str())),
     )?;
     Ok(baseline::diff(&baseline, &fresh, tolerance_pct))
 }
@@ -378,8 +409,14 @@ fn section_json(section: &SuiteSection, params: Params) -> Json {
         ("id", Json::str(section.id)),
         ("title", Json::str(section.title)),
         ("params", params_json(params)),
-        ("tables", Json::arr(section.output.tables.iter().map(|t| t.to_json()))),
-        ("notes", Json::arr(section.output.notes.iter().map(Json::str))),
+        (
+            "tables",
+            Json::arr(section.output.tables.iter().map(|t| t.to_json())),
+        ),
+        (
+            "notes",
+            Json::arr(section.output.notes.iter().map(Json::str)),
+        ),
     ])
 }
 
@@ -418,14 +455,14 @@ mod tests {
 
     #[test]
     fn select_filters_by_substring() {
-        assert_eq!(select(None).len(), 18);
-        assert_eq!(select(Some("")).len(), 18);
+        assert_eq!(select(None).len(), 20);
+        assert_eq!(select(Some("")).len(), 20);
         let tables: Vec<&str> = select(Some("table")).iter().map(|e| e.id).collect();
         assert_eq!(tables, ["table1", "table2"]);
         let picked: Vec<&str> = select(Some("fig4, fig7")).iter().map(|e| e.id).collect();
         assert_eq!(picked, ["fig4", "fig7"]);
-        // fig1 is a substring of fig10..fig17.
-        assert_eq!(select(Some("fig1")).len(), 8);
+        // fig1 is a substring of fig10..fig19.
+        assert_eq!(select(Some("fig1")).len(), 10);
         assert!(select(Some("nope")).is_empty());
     }
 
@@ -439,7 +476,10 @@ mod tests {
 
     #[test]
     fn empty_filter_error_names_ids() {
-        let opts = SuiteOptions { filter: Some("zzz".into()), ..SuiteOptions::default() };
+        let opts = SuiteOptions {
+            filter: Some("zzz".into()),
+            ..SuiteOptions::default()
+        };
         let err = run_suite(&opts).unwrap_err();
         assert!(err.contains("table1"), "{err}");
     }
@@ -448,18 +488,24 @@ mod tests {
     fn shard_partition_is_disjoint_and_complete() {
         let selected = select(None);
         let all = expand_cells(&selected, Params::default());
-        assert!(all.len() > 100, "expected the full suite grid, got {}", all.len());
+        assert!(
+            all.len() > 100,
+            "expected the full suite grid, got {}",
+            all.len()
+        );
         for count in [1u32, 2, 3, 8] {
             let mut covered = 0usize;
             for index in 0..count {
-                let mine: Vec<_> =
-                    all.iter().filter(|c| c.shard_of(count) == index).collect();
+                let mine: Vec<_> = all.iter().filter(|c| c.shard_of(count) == index).collect();
                 covered += mine.len();
             }
             // Every cell's shard index is in range and deterministic, so
             // counting per-index membership covers each cell exactly once.
             assert_eq!(covered, all.len(), "count={count}");
-            assert!(all.iter().all(|c| c.shard_of(count) < count), "count={count}");
+            assert!(
+                all.iter().all(|c| c.shard_of(count) < count),
+                "count={count}"
+            );
         }
         // One shard owns everything.
         assert!(all.iter().all(|c| c.shard_of(1) == 0));
@@ -492,16 +538,24 @@ mod tests {
     fn dead_pattern_among_valid_ones_errors() {
         // `fig4` matches, `fgi7` does not: the whole run must fail rather
         // than silently measuring less than asked.
-        let opts =
-            SuiteOptions { filter: Some("fig4,fgi7".into()), ..SuiteOptions::default() };
+        let opts = SuiteOptions {
+            filter: Some("fig4,fgi7".into()),
+            ..SuiteOptions::default()
+        };
         let err = run_suite(&opts).unwrap_err();
         assert!(err.contains("`fgi7`"), "{err}");
-        assert!(err.contains("fig17"), "error must list the valid ids: {err}");
+        assert!(
+            err.contains("fig17"),
+            "error must list the valid ids: {err}"
+        );
 
         assert!(validate_filter(None).is_ok());
         assert!(validate_filter(Some("")).is_ok());
         assert!(validate_filter(Some("fig4, fig7")).is_ok());
-        assert!(validate_filter(Some("fig4,,")).is_ok(), "empty segments are ignored");
+        assert!(
+            validate_filter(Some("fig4,,")).is_ok(),
+            "empty segments are ignored"
+        );
         assert!(validate_filter(Some("fig4,nope")).is_err());
     }
 }

@@ -44,10 +44,18 @@ impl<'a> View<'a> {
     }
 
     /// Native baseline at explicit params (fig17 sweeps variants).
-    pub fn native_at(&self, name: &'static str, profile: &ArchProfile, params: Params) -> NativeRun {
+    pub fn native_at(
+        &self,
+        name: &'static str,
+        profile: &ArchProfile,
+        params: Params,
+    ) -> NativeRun {
         let key = CellKey::native(name, profile.clone(), params);
         let result = cell_result(self.store, &key, &build_program(name, params));
-        result.as_native().expect("native key yields native result").clone()
+        result
+            .as_native()
+            .expect("native key yields native result")
+            .clone()
     }
 
     /// Translated run at the view's params.
@@ -70,7 +78,10 @@ impl<'a> View<'a> {
     ) -> RunReport {
         let key = CellKey::translated(name, cfg, profile.clone(), params);
         let result = cell_result(self.store, &key, &build_program(name, params));
-        result.as_translated().expect("translated key yields report").clone()
+        result
+            .as_translated()
+            .expect("translated key yields report")
+            .clone()
     }
 
     /// Slowdown of `cfg` on `name` under `profile`.
@@ -95,13 +106,20 @@ impl<'a> View<'a> {
     pub fn cells_table(&self) -> Table {
         let mut t = Table::new(
             "per-cell metrics",
-            &["cell", "total_cycles", "instructions", "ib_dispatches", "ret_dispatches"],
+            &[
+                "cell",
+                "total_cycles",
+                "instructions",
+                "ib_dispatches",
+                "ret_dispatches",
+            ],
         );
         for (key, result) in self.store.snapshot() {
             let (ib, ret) = match result.as_translated() {
-                Some(r) => {
-                    (r.mech.ib_dispatches.to_string(), r.mech.ret_dispatches.to_string())
-                }
+                Some(r) => (
+                    r.mech.ib_dispatches.to_string(),
+                    r.mech.ret_dispatches.to_string(),
+                ),
                 None => (String::new(), String::new()),
             };
             t.row([

@@ -26,8 +26,14 @@ fn suite(jobs: usize, format: OutputFormat) -> strata_expt::SuiteReport {
 fn parallel_suite_is_byte_identical_to_serial() {
     let serial = suite(1, OutputFormat::Text);
     let parallel = suite(4, OutputFormat::Text);
-    assert_eq!(serial.rendered, parallel.rendered, "text output depends on --jobs");
-    assert_eq!(serial.artifacts, parallel.artifacts, "JSON artifacts depend on --jobs");
+    assert_eq!(
+        serial.rendered, parallel.rendered,
+        "text output depends on --jobs"
+    );
+    assert_eq!(
+        serial.artifacts, parallel.artifacts,
+        "JSON artifacts depend on --jobs"
+    );
     assert_eq!(serial.unique_cells, parallel.unique_cells);
 }
 
@@ -45,14 +51,21 @@ fn memoization_dedupes_across_experiments() {
     let report = suite(2, OutputFormat::Text);
     let stats = report.store_stats;
     assert_eq!(stats.computed as usize, report.unique_cells);
-    assert!(stats.memo_hits > 0, "shared natives should hit the memo store");
+    assert!(
+        stats.memo_hits > 0,
+        "shared natives should hit the memo store"
+    );
 }
 
 #[test]
 fn distinct_cells_never_share_a_key() {
     // Walk every dimension the key must separate; any two distinct cells
     // must yield distinct key strings.
-    let profiles = [ArchProfile::x86_like(), ArchProfile::sparc_like(), ArchProfile::mips_like()];
+    let profiles = [
+        ArchProfile::x86_like(),
+        ArchProfile::sparc_like(),
+        ArchProfile::mips_like(),
+    ];
     let configs = [
         SdtConfig::reentry(),
         SdtConfig::ibtc_inline(512),
@@ -61,11 +74,20 @@ fn distinct_cells_never_share_a_key() {
         SdtConfig::sieve(1024),
         SdtConfig::tuned(4096, 1024),
     ];
-    let params =
-        [Params { scale: 1, variant: 0 }, Params { scale: 2, variant: 0 }, Params {
+    let params = [
+        Params {
+            scale: 1,
+            variant: 0,
+        },
+        Params {
+            scale: 2,
+            variant: 0,
+        },
+        Params {
             scale: 1,
             variant: 7,
-        }];
+        },
+    ];
     let mut keys = std::collections::HashSet::new();
     let mut total = 0usize;
     for workload in ["gzip", "gcc"] {
@@ -120,7 +142,10 @@ fn disk_cache_round_trips_suite_cells() {
     assert_eq!(cold.store_stats.disk_hits, 0);
 
     let warm = run_suite(&opts).expect("warm run");
-    assert_eq!(warm.store_stats.computed, 0, "warm run must be served from disk");
+    assert_eq!(
+        warm.store_stats.computed, 0,
+        "warm run must be served from disk"
+    );
     assert_eq!(warm.store_stats.disk_hits as usize, warm.unique_cells);
     assert_eq!(cold.rendered, warm.rendered, "disk cache changed results");
     assert_eq!(cold.artifacts, warm.artifacts);

@@ -83,8 +83,14 @@ fn gate_detects_a_perturbed_metric_and_names_the_experiment() {
     let delta = baseline_gate(&run, &baseline_dir, 5.0).expect("gate");
     assert_eq!(delta.regressions(), 1);
     let rendered = delta.render_text();
-    assert!(rendered.contains("table1"), "report must name the experiment: {rendered}");
-    assert!(rendered.contains("gzip"), "report must name the row: {rendered}");
+    assert!(
+        rendered.contains("table1"),
+        "report must name the experiment: {rendered}"
+    );
+    assert!(
+        rendered.contains("gzip"),
+        "report must name the row: {rendered}"
+    );
     assert!(rendered.contains("FAIL"), "{rendered}");
 
     // Within tolerance, the same drift is visible but does not fail.

@@ -33,8 +33,12 @@ fn assert_golden(name: &str, actual: &str) {
         std::fs::write(&path, actual).expect("write golden");
         return;
     }
-    let expected = std::fs::read_to_string(&path)
-        .unwrap_or_else(|e| panic!("missing golden file {} ({e}); regenerate with STRATA_UPDATE_GOLDEN=1", path.display()));
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); regenerate with STRATA_UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
     assert_eq!(
         actual,
         expected,
@@ -113,16 +117,16 @@ fn delta_report_rendering_is_pinned() {
   }]
 }"#;
     let extra_doc = r#"{"id": "fig9", "params": {"scale": 1, "variant": 0}, "tables": []}"#;
-    let baseline = Snapshot::from_documents([
-        ("fig4.json", base_doc),
-        ("fig9.json", extra_doc),
-    ])
-    .expect("baseline parses");
+    let baseline = Snapshot::from_documents([("fig4.json", base_doc), ("fig9.json", extra_doc)])
+        .expect("baseline parses");
     let fresh = Snapshot::from_documents([("fig4.json", fresh_doc)]).expect("fresh parses");
     let report = diff(&baseline, &fresh, 5.0);
     assert!(!report.is_clean());
     assert_golden("delta_report.txt", &report.render_text());
-    assert_golden("delta_report.json", &(report.to_json().render_pretty() + "\n"));
+    assert_golden(
+        "delta_report.json",
+        &(report.to_json().render_pretty() + "\n"),
+    );
 }
 
 /// End-to-end: artifacts written by one run gate cleanly against a second
@@ -136,7 +140,11 @@ fn self_baseline_gates_clean() {
     let second = table1(OutputFormat::Text);
     let delta = baseline_gate(&second, &dir, 5.0).expect("gate runs");
     assert!(delta.is_clean(), "{}", delta.render_text());
-    assert_eq!(delta.deltas.len(), 0, "identical runs must not drift at all");
+    assert_eq!(
+        delta.deltas.len(),
+        0,
+        "identical runs must not drift at all"
+    );
     assert!(delta.compared > 50, "the gate must actually compare cells");
     let _ = std::fs::remove_dir_all(&dir);
 }

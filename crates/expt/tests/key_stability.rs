@@ -32,7 +32,10 @@ fn all_keys(order: impl Iterator<Item = &'static strata_expt::Experiment>) -> BT
 fn key_set_is_invariant_under_registration_order() {
     let forward = all_keys(registry().iter());
     let reverse = all_keys(registry().iter().rev());
-    assert_eq!(forward, reverse, "cell keys depend on job-spec registration order");
+    assert_eq!(
+        forward, reverse,
+        "cell keys depend on job-spec registration order"
+    );
     assert!(!forward.is_empty());
 }
 
@@ -43,7 +46,10 @@ fn key_strings_are_pure_functions_of_cell_content() {
             "gcc",
             SdtConfig::tuned(4096, 1024),
             ArchProfile::sparc_like(),
-            Params { scale: 2, variant: 5 },
+            Params {
+                scale: 2,
+                variant: 5,
+            },
         )
     };
     let a = make();
@@ -100,7 +106,12 @@ fn every_knob_change_changes_the_key() {
         ),
         (
             "profile",
-            CellKey::translated("gzip", base_cfg, ArchProfile::mips_like(), Params::default()),
+            CellKey::translated(
+                "gzip",
+                base_cfg,
+                ArchProfile::mips_like(),
+                Params::default(),
+            ),
         ),
         (
             "scale",
@@ -108,7 +119,10 @@ fn every_knob_change_changes_the_key() {
                 "gzip",
                 base_cfg,
                 ArchProfile::x86_like(),
-                Params { scale: 2, variant: 0 },
+                Params {
+                    scale: 2,
+                    variant: 0,
+                },
             ),
         ),
         (
@@ -117,7 +131,10 @@ fn every_knob_change_changes_the_key() {
                 "gzip",
                 base_cfg,
                 ArchProfile::x86_like(),
-                Params { scale: 1, variant: 3 },
+                Params {
+                    scale: 1,
+                    variant: 3,
+                },
             ),
         ),
         (
@@ -201,7 +218,13 @@ fn every_knob_change_changes_the_key() {
     let mut seen = BTreeSet::from([base_key.clone()]);
     for (label, cell) in &variants {
         let key = cell.key_string();
-        assert_ne!(key, base_key, "changing `{label}` did not change the cell key");
-        assert!(seen.insert(key.clone()), "`{label}` collides with another variant: {key}");
+        assert_ne!(
+            key, base_key,
+            "changing `{label}` did not change the cell key"
+        );
+        assert!(
+            seen.insert(key.clone()),
+            "`{label}` collides with another variant: {key}"
+        );
     }
 }

@@ -24,11 +24,20 @@ fn shards_cover_the_suite_and_merge_renders_from_disk() {
     let mut shard_cells = 0;
     let mut total_cells = None;
     for index in 0..COUNT {
-        let report = run_shard(&opts(Some(dir.clone())), Shard { index, count: COUNT })
-            .expect("shard run");
+        let report = run_shard(
+            &opts(Some(dir.clone())),
+            Shard {
+                index,
+                count: COUNT,
+            },
+        )
+        .expect("shard run");
         shard_cells += report.shard_cells;
         // Every shard sees the same suite-wide work list.
-        assert_eq!(*total_cells.get_or_insert(report.total_cells), report.total_cells);
+        assert_eq!(
+            *total_cells.get_or_insert(report.total_cells),
+            report.total_cells
+        );
     }
     // The partition is exhaustive and disjoint.
     assert_eq!(Some(shard_cells), total_cells);
@@ -37,7 +46,10 @@ fn shards_cover_the_suite_and_merge_renders_from_disk() {
     // translated cells all land as disk hits (only natives recomputed by
     // other shards may overlap, and those are also already on disk).
     let merged = run_suite(&opts(Some(dir.clone()))).expect("merged render");
-    assert_eq!(merged.store_stats.computed, 0, "merge-then-render must not simulate");
+    assert_eq!(
+        merged.store_stats.computed, 0,
+        "merge-then-render must not simulate"
+    );
 
     // And it matches a from-scratch in-memory run byte for byte. (The
     // store's unique-cell count exceeds `total_cells` in both runs: it

@@ -108,10 +108,25 @@ impl Instr {
     pub fn class(&self) -> InstrClass {
         use Instr::*;
         match self {
-            Add { .. } | Sub { .. } | And { .. } | Or { .. } | Xor { .. } | Sll { .. }
-            | Srl { .. } | Sra { .. } | Mov { .. } | Addi { .. } | Andi { .. } | Ori { .. }
-            | Xori { .. } | Slli { .. } | Srli { .. } | Srai { .. } | Lui { .. }
-            | Cmp { .. } | Cmpi { .. } => InstrClass::Alu,
+            Add { .. }
+            | Sub { .. }
+            | And { .. }
+            | Or { .. }
+            | Xor { .. }
+            | Sll { .. }
+            | Srl { .. }
+            | Sra { .. }
+            | Mov { .. }
+            | Addi { .. }
+            | Andi { .. }
+            | Ori { .. }
+            | Xori { .. }
+            | Slli { .. }
+            | Srli { .. }
+            | Srai { .. }
+            | Lui { .. }
+            | Cmp { .. }
+            | Cmpi { .. } => InstrClass::Alu,
             Mul { .. } => InstrClass::Mul,
             Divu { .. } | Remu { .. } => InstrClass::Div,
             Lw { .. } | Lb { .. } | Lbu { .. } | Lwa { .. } | Pop { .. } => InstrClass::Load,
@@ -162,10 +177,29 @@ mod tests {
     #[test]
     fn classes_cover_memory_ops() {
         assert_eq!(Instr::Push { rs: Reg::R1 }.class(), InstrClass::Store);
-        assert_eq!(Instr::Lwa { rd: Reg::R1, addr: 0x100 }.class(), InstrClass::Load);
-        assert_eq!(Instr::Swa { rs: Reg::R1, addr: 0x100 }.class(), InstrClass::Store);
         assert_eq!(
-            Instr::Sb { rs2: Reg::R1, rs1: Reg::R2, off: 0 }.class(),
+            Instr::Lwa {
+                rd: Reg::R1,
+                addr: 0x100
+            }
+            .class(),
+            InstrClass::Load
+        );
+        assert_eq!(
+            Instr::Swa {
+                rs: Reg::R1,
+                addr: 0x100
+            }
+            .class(),
+            InstrClass::Store
+        );
+        assert_eq!(
+            Instr::Sb {
+                rs2: Reg::R1,
+                rs1: Reg::R2,
+                off: 0
+            }
+            .class(),
             InstrClass::Store
         );
     }
@@ -174,10 +208,16 @@ mod tests {
     fn control_kinds() {
         assert_eq!(Instr::Jmp { target: 0 }.control_kind(), ControlKind::Direct);
         assert_eq!(Instr::Call { target: 0 }.control_kind(), ControlKind::Call);
-        assert_eq!(Instr::Beq { off: 0 }.control_kind(), ControlKind::Conditional);
+        assert_eq!(
+            Instr::Beq { off: 0 }.control_kind(),
+            ControlKind::Conditional
+        );
         assert_eq!(Instr::Nop.control_kind(), ControlKind::None);
         assert_eq!(Instr::Trap { code: 0 }.control_kind(), ControlKind::None);
-        assert_eq!(Instr::Jmem { addr: 0x100 }.control_kind(), ControlKind::Indirect);
+        assert_eq!(
+            Instr::Jmem { addr: 0x100 }.control_kind(),
+            ControlKind::Indirect
+        );
     }
 
     #[test]

@@ -73,18 +73,44 @@ pub fn decode(word: u32) -> Result<Instr, DecodeError> {
         op::ANDI => Instr::Andi { rd, rs1, imm },
         op::ORI => Instr::Ori { rd, rs1, imm },
         op::XORI => Instr::Xori { rd, rs1, imm },
-        op::SLLI => Instr::Slli { rd, rs1, shamt: shamt(imm)? },
-        op::SRLI => Instr::Srli { rd, rs1, shamt: shamt(imm)? },
-        op::SRAI => Instr::Srai { rd, rs1, shamt: shamt(imm)? },
+        op::SLLI => Instr::Slli {
+            rd,
+            rs1,
+            shamt: shamt(imm)?,
+        },
+        op::SRLI => Instr::Srli {
+            rd,
+            rs1,
+            shamt: shamt(imm)?,
+        },
+        op::SRAI => Instr::Srai {
+            rd,
+            rs1,
+            shamt: shamt(imm)?,
+        },
         op::LUI => Instr::Lui { rd, imm },
 
         op::LW => Instr::Lw { rd, rs1, off: simm },
-        op::SW => Instr::Sw { rs2: rd, rs1, off: simm },
+        op::SW => Instr::Sw {
+            rs2: rd,
+            rs1,
+            off: simm,
+        },
         op::LB => Instr::Lb { rd, rs1, off: simm },
         op::LBU => Instr::Lbu { rd, rs1, off: simm },
-        op::SB => Instr::Sb { rs2: rd, rs1, off: simm },
-        op::LWA => Instr::Lwa { rd, addr: aligned(abs)? },
-        op::SWA => Instr::Swa { rs: rd, addr: aligned(abs)? },
+        op::SB => Instr::Sb {
+            rs2: rd,
+            rs1,
+            off: simm,
+        },
+        op::LWA => Instr::Lwa {
+            rd,
+            addr: aligned(abs)?,
+        },
+        op::SWA => Instr::Swa {
+            rs: rd,
+            addr: aligned(abs)?,
+        },
         op::PUSH => Instr::Push { rs: rd },
         op::POP => Instr::Pop { rd },
         op::PUSHF => Instr::Pushf,
@@ -146,37 +172,148 @@ mod tests {
             Ret,
             Pushf,
             Popf,
-            Add { rd: r(1), rs1: r(2), rs2: r(3) },
-            Sub { rd: r(15), rs1: r(0), rs2: r(7) },
-            Mul { rd: r(4), rs1: r(4), rs2: r(4) },
-            Divu { rd: r(5), rs1: r(6), rs2: r(7) },
-            Remu { rd: r(8), rs1: r(9), rs2: r(10) },
-            And { rd: r(1), rs1: r(1), rs2: r(2) },
-            Or { rd: r(1), rs1: r(1), rs2: r(2) },
-            Xor { rd: r(1), rs1: r(1), rs2: r(2) },
-            Sll { rd: r(1), rs1: r(1), rs2: r(2) },
-            Srl { rd: r(1), rs1: r(1), rs2: r(2) },
-            Sra { rd: r(1), rs1: r(1), rs2: r(2) },
-            Mov { rd: r(3), rs: r(12) },
-            Addi { rd: r(2), rs1: r(3), imm: -32768 },
-            Addi { rd: r(2), rs1: r(3), imm: 32767 },
-            Andi { rd: r(2), rs1: r(3), imm: 0xFFFF },
-            Ori { rd: r(2), rs1: r(3), imm: 0xABCD },
-            Xori { rd: r(2), rs1: r(3), imm: 1 },
-            Slli { rd: r(2), rs1: r(3), shamt: 31 },
-            Srli { rd: r(2), rs1: r(3), shamt: 0 },
-            Srai { rd: r(2), rs1: r(3), shamt: 16 },
-            Lui { rd: r(9), imm: 0xDEAD },
-            Lw { rd: r(1), rs1: r(15), off: -4 },
-            Sw { rs2: r(1), rs1: r(15), off: 8 },
-            Lb { rd: r(1), rs1: r(2), off: 3 },
-            Lbu { rd: r(1), rs1: r(2), off: -1 },
-            Sb { rs2: r(1), rs1: r(2), off: 0 },
-            Lwa { rd: r(1), addr: 0xF_FFFC },
-            Swa { rs: r(14), addr: 0x100 },
+            Add {
+                rd: r(1),
+                rs1: r(2),
+                rs2: r(3),
+            },
+            Sub {
+                rd: r(15),
+                rs1: r(0),
+                rs2: r(7),
+            },
+            Mul {
+                rd: r(4),
+                rs1: r(4),
+                rs2: r(4),
+            },
+            Divu {
+                rd: r(5),
+                rs1: r(6),
+                rs2: r(7),
+            },
+            Remu {
+                rd: r(8),
+                rs1: r(9),
+                rs2: r(10),
+            },
+            And {
+                rd: r(1),
+                rs1: r(1),
+                rs2: r(2),
+            },
+            Or {
+                rd: r(1),
+                rs1: r(1),
+                rs2: r(2),
+            },
+            Xor {
+                rd: r(1),
+                rs1: r(1),
+                rs2: r(2),
+            },
+            Sll {
+                rd: r(1),
+                rs1: r(1),
+                rs2: r(2),
+            },
+            Srl {
+                rd: r(1),
+                rs1: r(1),
+                rs2: r(2),
+            },
+            Sra {
+                rd: r(1),
+                rs1: r(1),
+                rs2: r(2),
+            },
+            Mov {
+                rd: r(3),
+                rs: r(12),
+            },
+            Addi {
+                rd: r(2),
+                rs1: r(3),
+                imm: -32768,
+            },
+            Addi {
+                rd: r(2),
+                rs1: r(3),
+                imm: 32767,
+            },
+            Andi {
+                rd: r(2),
+                rs1: r(3),
+                imm: 0xFFFF,
+            },
+            Ori {
+                rd: r(2),
+                rs1: r(3),
+                imm: 0xABCD,
+            },
+            Xori {
+                rd: r(2),
+                rs1: r(3),
+                imm: 1,
+            },
+            Slli {
+                rd: r(2),
+                rs1: r(3),
+                shamt: 31,
+            },
+            Srli {
+                rd: r(2),
+                rs1: r(3),
+                shamt: 0,
+            },
+            Srai {
+                rd: r(2),
+                rs1: r(3),
+                shamt: 16,
+            },
+            Lui {
+                rd: r(9),
+                imm: 0xDEAD,
+            },
+            Lw {
+                rd: r(1),
+                rs1: r(15),
+                off: -4,
+            },
+            Sw {
+                rs2: r(1),
+                rs1: r(15),
+                off: 8,
+            },
+            Lb {
+                rd: r(1),
+                rs1: r(2),
+                off: 3,
+            },
+            Lbu {
+                rd: r(1),
+                rs1: r(2),
+                off: -1,
+            },
+            Sb {
+                rs2: r(1),
+                rs1: r(2),
+                off: 0,
+            },
+            Lwa {
+                rd: r(1),
+                addr: 0xF_FFFC,
+            },
+            Swa {
+                rs: r(14),
+                addr: 0x100,
+            },
             Push { rs: r(7) },
             Pop { rd: r(8) },
-            Cmp { rs1: r(1), rs2: r(2) },
+            Cmp {
+                rs1: r(1),
+                rs2: r(2),
+            },
             Cmpi { rs1: r(1), imm: -7 },
             Beq { off: -100 },
             Bne { off: 100 },
@@ -215,7 +352,10 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert_eq!(DecodeError::InvalidOpcode(0xE1).to_string(), "invalid opcode 0xe1");
+        assert_eq!(
+            DecodeError::InvalidOpcode(0xE1).to_string(),
+            "invalid opcode 0xe1"
+        );
         assert_eq!(
             DecodeError::InvalidShiftAmount(40).to_string(),
             "invalid shift amount 40 (must be 0..32)"

@@ -73,14 +73,23 @@ mod tests {
     #[test]
     fn representative_syntax() {
         assert_eq!(
-            Instr::Lw { rd: Reg::R2, rs1: Reg::SP, off: -8 }.to_string(),
+            Instr::Lw {
+                rd: Reg::R2,
+                rs1: Reg::SP,
+                off: -8
+            }
+            .to_string(),
             "lw r2, -8(sp)"
         );
         assert_eq!(Instr::Jmem { addr: 0x104 }.to_string(), "jmem [0x104]");
         assert_eq!(Instr::Trap { code: 0xF001 }.to_string(), "trap 0xf001");
         assert_eq!(Instr::Beq { off: -3 }.to_string(), "beq -3");
         assert_eq!(
-            Instr::Lwa { rd: Reg::R1, addr: 0x200 }.to_string(),
+            Instr::Lwa {
+                rd: Reg::R1,
+                addr: 0x200
+            }
+            .to_string(),
             "lwa r1, [0x200]"
         );
     }

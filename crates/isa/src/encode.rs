@@ -81,7 +81,10 @@ fn abs_type(opcode: u8, rd: Reg, addr: u32) -> u32 {
         addr <= MAX_ABS_ADDR,
         "absolute address {addr:#x} exceeds the 20-bit lwa/swa range"
     );
-    assert!(addr.is_multiple_of(4), "absolute address {addr:#x} is not word aligned");
+    assert!(
+        addr.is_multiple_of(4),
+        "absolute address {addr:#x} is not word aligned"
+    );
     ((opcode as u32) << 24) | ((rd.index() as u32) << 20) | addr
 }
 
@@ -91,7 +94,10 @@ fn j_type(opcode: u8, target: u32) -> u32 {
         target <= MAX_JUMP_TARGET,
         "jump target {target:#x} exceeds the 24-bit word-address range"
     );
-    assert!(target.is_multiple_of(4), "jump target {target:#x} is not word aligned");
+    assert!(
+        target.is_multiple_of(4),
+        "jump target {target:#x} is not word aligned"
+    );
     ((opcode as u32) << 24) | (target >> 2)
 }
 
@@ -174,7 +180,10 @@ pub fn encode(instr: &Instr) -> u32 {
 
 #[inline]
 fn shift_imm(opcode: u8, rd: Reg, rs1: Reg, shamt: u8) -> u32 {
-    assert!(shamt < 32, "shift amount {shamt} out of range (must be 0..32)");
+    assert!(
+        shamt < 32,
+        "shift amount {shamt} out of range (must be 0..32)"
+    );
     i_type(opcode, rd, rs1, shamt as u16)
 }
 
@@ -185,7 +194,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "shift amount")]
     fn shift_out_of_range_panics() {
-        encode(&Instr::Slli { rd: Reg::R1, rs1: Reg::R1, shamt: 32 });
+        encode(&Instr::Slli {
+            rd: Reg::R1,
+            rs1: Reg::R1,
+            shamt: 32,
+        });
     }
 
     #[test]
@@ -197,13 +210,18 @@ mod tests {
     #[test]
     #[should_panic(expected = "24-bit")]
     fn oversized_jump_panics() {
-        encode(&Instr::Jmp { target: MAX_JUMP_TARGET + 5 });
+        encode(&Instr::Jmp {
+            target: MAX_JUMP_TARGET + 5,
+        });
     }
 
     #[test]
     #[should_panic(expected = "20-bit")]
     fn oversized_abs_panics() {
-        encode(&Instr::Lwa { rd: Reg::R1, addr: MAX_ABS_ADDR + 5 });
+        encode(&Instr::Lwa {
+            rd: Reg::R1,
+            addr: MAX_ABS_ADDR + 5,
+        });
     }
 
     #[test]

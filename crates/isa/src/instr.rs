@@ -245,6 +245,10 @@ mod tests {
         assert!(!Instr::Trap { code: 1 }.ends_block());
         assert!(!Instr::Nop.ends_block());
         assert!(!Instr::Push { rs: Reg::R2 }.ends_block());
-        assert!(!Instr::Cmp { rs1: Reg::R1, rs2: Reg::R2 }.ends_block());
+        assert!(!Instr::Cmp {
+            rs1: Reg::R1,
+            rs2: Reg::R2
+        }
+        .ends_block());
     }
 }

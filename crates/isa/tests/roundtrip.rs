@@ -30,52 +30,170 @@ fn rand_u16(rng: &mut SmallRng) -> u16 {
 fn rand_instr(rng: &mut SmallRng) -> Instr {
     let r = |rng: &mut SmallRng| rand_reg(rng);
     match rng.gen_range(0u32..47) {
-        0 => Instr::Add { rd: r(rng), rs1: r(rng), rs2: r(rng) },
-        1 => Instr::Sub { rd: r(rng), rs1: r(rng), rs2: r(rng) },
-        2 => Instr::Mul { rd: r(rng), rs1: r(rng), rs2: r(rng) },
-        3 => Instr::Divu { rd: r(rng), rs1: r(rng), rs2: r(rng) },
-        4 => Instr::Remu { rd: r(rng), rs1: r(rng), rs2: r(rng) },
-        5 => Instr::And { rd: r(rng), rs1: r(rng), rs2: r(rng) },
-        6 => Instr::Or { rd: r(rng), rs1: r(rng), rs2: r(rng) },
-        7 => Instr::Xor { rd: r(rng), rs1: r(rng), rs2: r(rng) },
-        8 => Instr::Sll { rd: r(rng), rs1: r(rng), rs2: r(rng) },
-        9 => Instr::Srl { rd: r(rng), rs1: r(rng), rs2: r(rng) },
-        10 => Instr::Sra { rd: r(rng), rs1: r(rng), rs2: r(rng) },
-        11 => Instr::Mov { rd: r(rng), rs: r(rng) },
-        12 => Instr::Addi { rd: r(rng), rs1: r(rng), imm: rand_i16(rng) },
-        13 => Instr::Andi { rd: r(rng), rs1: r(rng), imm: rand_u16(rng) },
-        14 => Instr::Ori { rd: r(rng), rs1: r(rng), imm: rand_u16(rng) },
-        15 => Instr::Xori { rd: r(rng), rs1: r(rng), imm: rand_u16(rng) },
-        16 => Instr::Slli { rd: r(rng), rs1: r(rng), shamt: rng.gen_range(0u8..32) },
-        17 => Instr::Srli { rd: r(rng), rs1: r(rng), shamt: rng.gen_range(0u8..32) },
-        18 => Instr::Srai { rd: r(rng), rs1: r(rng), shamt: rng.gen_range(0u8..32) },
-        19 => Instr::Lui { rd: r(rng), imm: rand_u16(rng) },
-        20 => Instr::Lw { rd: r(rng), rs1: r(rng), off: rand_i16(rng) },
-        21 => Instr::Sw { rs2: r(rng), rs1: r(rng), off: rand_i16(rng) },
-        22 => Instr::Lb { rd: r(rng), rs1: r(rng), off: rand_i16(rng) },
-        23 => Instr::Lbu { rd: r(rng), rs1: r(rng), off: rand_i16(rng) },
-        24 => Instr::Sb { rs2: r(rng), rs1: r(rng), off: rand_i16(rng) },
-        25 => Instr::Lwa { rd: r(rng), addr: rand_abs_addr(rng) },
-        26 => Instr::Swa { rs: r(rng), addr: rand_abs_addr(rng) },
+        0 => Instr::Add {
+            rd: r(rng),
+            rs1: r(rng),
+            rs2: r(rng),
+        },
+        1 => Instr::Sub {
+            rd: r(rng),
+            rs1: r(rng),
+            rs2: r(rng),
+        },
+        2 => Instr::Mul {
+            rd: r(rng),
+            rs1: r(rng),
+            rs2: r(rng),
+        },
+        3 => Instr::Divu {
+            rd: r(rng),
+            rs1: r(rng),
+            rs2: r(rng),
+        },
+        4 => Instr::Remu {
+            rd: r(rng),
+            rs1: r(rng),
+            rs2: r(rng),
+        },
+        5 => Instr::And {
+            rd: r(rng),
+            rs1: r(rng),
+            rs2: r(rng),
+        },
+        6 => Instr::Or {
+            rd: r(rng),
+            rs1: r(rng),
+            rs2: r(rng),
+        },
+        7 => Instr::Xor {
+            rd: r(rng),
+            rs1: r(rng),
+            rs2: r(rng),
+        },
+        8 => Instr::Sll {
+            rd: r(rng),
+            rs1: r(rng),
+            rs2: r(rng),
+        },
+        9 => Instr::Srl {
+            rd: r(rng),
+            rs1: r(rng),
+            rs2: r(rng),
+        },
+        10 => Instr::Sra {
+            rd: r(rng),
+            rs1: r(rng),
+            rs2: r(rng),
+        },
+        11 => Instr::Mov {
+            rd: r(rng),
+            rs: r(rng),
+        },
+        12 => Instr::Addi {
+            rd: r(rng),
+            rs1: r(rng),
+            imm: rand_i16(rng),
+        },
+        13 => Instr::Andi {
+            rd: r(rng),
+            rs1: r(rng),
+            imm: rand_u16(rng),
+        },
+        14 => Instr::Ori {
+            rd: r(rng),
+            rs1: r(rng),
+            imm: rand_u16(rng),
+        },
+        15 => Instr::Xori {
+            rd: r(rng),
+            rs1: r(rng),
+            imm: rand_u16(rng),
+        },
+        16 => Instr::Slli {
+            rd: r(rng),
+            rs1: r(rng),
+            shamt: rng.gen_range(0u8..32),
+        },
+        17 => Instr::Srli {
+            rd: r(rng),
+            rs1: r(rng),
+            shamt: rng.gen_range(0u8..32),
+        },
+        18 => Instr::Srai {
+            rd: r(rng),
+            rs1: r(rng),
+            shamt: rng.gen_range(0u8..32),
+        },
+        19 => Instr::Lui {
+            rd: r(rng),
+            imm: rand_u16(rng),
+        },
+        20 => Instr::Lw {
+            rd: r(rng),
+            rs1: r(rng),
+            off: rand_i16(rng),
+        },
+        21 => Instr::Sw {
+            rs2: r(rng),
+            rs1: r(rng),
+            off: rand_i16(rng),
+        },
+        22 => Instr::Lb {
+            rd: r(rng),
+            rs1: r(rng),
+            off: rand_i16(rng),
+        },
+        23 => Instr::Lbu {
+            rd: r(rng),
+            rs1: r(rng),
+            off: rand_i16(rng),
+        },
+        24 => Instr::Sb {
+            rs2: r(rng),
+            rs1: r(rng),
+            off: rand_i16(rng),
+        },
+        25 => Instr::Lwa {
+            rd: r(rng),
+            addr: rand_abs_addr(rng),
+        },
+        26 => Instr::Swa {
+            rs: r(rng),
+            addr: rand_abs_addr(rng),
+        },
         27 => Instr::Push { rs: r(rng) },
         28 => Instr::Pop { rd: r(rng) },
         29 => Instr::Pushf,
         30 => Instr::Popf,
-        31 => Instr::Cmp { rs1: r(rng), rs2: r(rng) },
-        32 => Instr::Cmpi { rs1: r(rng), imm: rand_i16(rng) },
+        31 => Instr::Cmp {
+            rs1: r(rng),
+            rs2: r(rng),
+        },
+        32 => Instr::Cmpi {
+            rs1: r(rng),
+            imm: rand_i16(rng),
+        },
         33 => Instr::Beq { off: rand_i16(rng) },
         34 => Instr::Bne { off: rand_i16(rng) },
         35 => Instr::Blt { off: rand_i16(rng) },
         36 => Instr::Bge { off: rand_i16(rng) },
         37 => Instr::Bltu { off: rand_i16(rng) },
         38 => Instr::Bgeu { off: rand_i16(rng) },
-        39 => Instr::Jmp { target: rand_jump_target(rng) },
-        40 => Instr::Call { target: rand_jump_target(rng) },
+        39 => Instr::Jmp {
+            target: rand_jump_target(rng),
+        },
+        40 => Instr::Call {
+            target: rand_jump_target(rng),
+        },
         41 => Instr::Jr { rs: r(rng) },
         42 => Instr::Callr { rs: r(rng) },
         43 => Instr::Ret,
-        44 => Instr::Jmem { addr: rand_jump_target(rng) },
-        45 => Instr::Trap { code: rand_u16(rng) },
+        44 => Instr::Jmem {
+            addr: rand_jump_target(rng),
+        },
+        45 => Instr::Trap {
+            code: rand_u16(rng),
+        },
         46 => Instr::Halt,
         _ => Instr::Nop,
     }
@@ -87,7 +205,11 @@ fn encode_decode_roundtrip() {
     for _ in 0..20_000 {
         let instr = rand_instr(&mut rng);
         let word = encode(&instr);
-        assert_eq!(decode(word).expect("decode of encoded instr"), instr, "{instr:?}");
+        assert_eq!(
+            decode(word).expect("decode of encoded instr"),
+            instr,
+            "{instr:?}"
+        );
     }
 }
 

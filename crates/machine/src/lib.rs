@@ -43,15 +43,17 @@
 
 mod cpu;
 mod event;
+pub mod layout;
 mod machine;
 mod memory;
-mod program;
-pub mod layout;
 pub mod observers;
+mod program;
 pub mod syscall;
 
 pub use cpu::Cpu;
-pub use event::{ControlEvent, ExecutionObserver, InstrCounter, MemAccess, NullObserver, RetireEvent};
+pub use event::{
+    ControlEvent, ExecutionObserver, InstrCounter, MemAccess, NullObserver, RetireEvent,
+};
 pub use machine::{Machine, MachineError, StepOutcome};
 pub use memory::Memory;
 pub use program::Program;

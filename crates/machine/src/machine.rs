@@ -22,7 +22,10 @@ impl fmt::Display for MachineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MachineError::OutOfBounds { addr, len } => {
-                write!(f, "memory access of {len} byte(s) at {addr:#x} is out of bounds")
+                write!(
+                    f,
+                    "memory access of {len} byte(s) at {addr:#x} is out of bounds"
+                )
             }
             MachineError::UnalignedPc { pc } => write!(f, "unaligned pc {pc:#x}"),
             MachineError::Decode { pc, source } => write!(f, "at pc {pc:#x}: {source}"),
@@ -192,14 +195,22 @@ impl Machine {
         macro_rules! load_w {
             ($addr:expr) => {{
                 let a = $addr;
-                mem_access = Some(MemAccess { addr: a, len: 4, is_store: false });
+                mem_access = Some(MemAccess {
+                    addr: a,
+                    len: 4,
+                    is_store: false,
+                });
                 mem.read_u32(a)?
             }};
         }
         macro_rules! store_w {
             ($addr:expr, $val:expr) => {{
                 let a = $addr;
-                mem_access = Some(MemAccess { addr: a, len: 4, is_store: true });
+                mem_access = Some(MemAccess {
+                    addr: a,
+                    len: 4,
+                    is_store: true,
+                });
                 mem.write_u32(a, $val)?
             }};
         }
@@ -216,7 +227,11 @@ impl Machine {
             }
             Remu { rd, rs1, rs2 } => {
                 let d = cpu.reg(rs2);
-                let v = if d == 0 { cpu.reg(rs1) } else { cpu.reg(rs1) % d };
+                let v = if d == 0 {
+                    cpu.reg(rs1)
+                } else {
+                    cpu.reg(rs1) % d
+                };
                 cpu.set_reg(rd, v);
             }
             And { rd, rs1, rs2 } => cpu.set_reg(rd, cpu.reg(rs1) & cpu.reg(rs2)),
@@ -229,17 +244,13 @@ impl Machine {
             }
             Mov { rd, rs } => cpu.set_reg(rd, cpu.reg(rs)),
 
-            Addi { rd, rs1, imm } => {
-                cpu.set_reg(rd, cpu.reg(rs1).wrapping_add(imm as i32 as u32))
-            }
+            Addi { rd, rs1, imm } => cpu.set_reg(rd, cpu.reg(rs1).wrapping_add(imm as i32 as u32)),
             Andi { rd, rs1, imm } => cpu.set_reg(rd, cpu.reg(rs1) & imm as u32),
             Ori { rd, rs1, imm } => cpu.set_reg(rd, cpu.reg(rs1) | imm as u32),
             Xori { rd, rs1, imm } => cpu.set_reg(rd, cpu.reg(rs1) ^ imm as u32),
             Slli { rd, rs1, shamt } => cpu.set_reg(rd, cpu.reg(rs1) << shamt),
             Srli { rd, rs1, shamt } => cpu.set_reg(rd, cpu.reg(rs1) >> shamt),
-            Srai { rd, rs1, shamt } => {
-                cpu.set_reg(rd, ((cpu.reg(rs1) as i32) >> shamt) as u32)
-            }
+            Srai { rd, rs1, shamt } => cpu.set_reg(rd, ((cpu.reg(rs1) as i32) >> shamt) as u32),
             Lui { rd, imm } => cpu.set_reg(rd, (imm as u32) << 16),
 
             Lw { rd, rs1, off } => {
@@ -253,19 +264,31 @@ impl Machine {
             }
             Lb { rd, rs1, off } => {
                 let a = cpu.reg(rs1).wrapping_add(off as i32 as u32);
-                mem_access = Some(MemAccess { addr: a, len: 1, is_store: false });
+                mem_access = Some(MemAccess {
+                    addr: a,
+                    len: 1,
+                    is_store: false,
+                });
                 let v = mem.read_u8(a)? as i8 as i32 as u32;
                 cpu.set_reg(rd, v);
             }
             Lbu { rd, rs1, off } => {
                 let a = cpu.reg(rs1).wrapping_add(off as i32 as u32);
-                mem_access = Some(MemAccess { addr: a, len: 1, is_store: false });
+                mem_access = Some(MemAccess {
+                    addr: a,
+                    len: 1,
+                    is_store: false,
+                });
                 let v = mem.read_u8(a)? as u32;
                 cpu.set_reg(rd, v);
             }
             Sb { rs2, rs1, off } => {
                 let a = cpu.reg(rs1).wrapping_add(off as i32 as u32);
-                mem_access = Some(MemAccess { addr: a, len: 1, is_store: true });
+                mem_access = Some(MemAccess {
+                    addr: a,
+                    len: 1,
+                    is_store: true,
+                });
                 mem.write_u8(a, cpu.reg(rs2) as u8)?;
             }
             Lwa { rd, addr } => {
@@ -298,9 +321,7 @@ impl Machine {
             }
 
             Cmp { rs1, rs2 } => cpu.flags = Flags::from_compare(cpu.reg(rs1), cpu.reg(rs2)),
-            Cmpi { rs1, imm } => {
-                cpu.flags = Flags::from_compare(cpu.reg(rs1), imm as i32 as u32)
-            }
+            Cmpi { rs1, imm } => cpu.flags = Flags::from_compare(cpu.reg(rs1), imm as i32 as u32),
 
             Beq { off } => branch(cpu.flags.eq, off, pc, &mut new_pc, &mut control),
             Bne { off } => branch(!cpu.flags.eq, off, pc, &mut new_pc, &mut control),
@@ -376,7 +397,9 @@ impl Machine {
 fn branch(cond: bool, off: i16, pc: u32, new_pc: &mut u32, control: &mut ControlEvent) {
     debug_assert_eq!(control.kind, ControlKind::Conditional);
     if cond {
-        let target = pc.wrapping_add(4).wrapping_add((off as i32 as u32).wrapping_mul(4));
+        let target = pc
+            .wrapping_add(4)
+            .wrapping_add((off as i32 as u32).wrapping_mul(4));
         *new_pc = target;
         control.taken = true;
         control.target = target;
@@ -574,7 +597,8 @@ mod tests {
                 }
             }
         }
-        let mut m = machine_with(r"
+        let mut m = machine_with(
+            r"
             li r1, 3
         top:
             addi r1, r1, -1
@@ -585,7 +609,8 @@ mod tests {
         out:
             push r1
             halt
-        ");
+        ",
+        );
         let mut w = Watcher::default();
         m.run(&mut w, 1000).unwrap();
         assert_eq!(w.indirect_taken, 1);

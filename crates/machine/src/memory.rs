@@ -86,7 +86,9 @@ impl Memory {
     #[inline]
     pub fn read_u32(&self, addr: u32) -> Result<u32, MachineError> {
         let i = self.check(addr, 4)?;
-        Ok(u32::from_le_bytes(self.bytes[i..i + 4].try_into().expect("4-byte slice")))
+        Ok(u32::from_le_bytes(
+            self.bytes[i..i + 4].try_into().expect("4-byte slice"),
+        ))
     }
 
     /// Writes a little-endian word, invalidating any cached decodes it
@@ -290,8 +292,14 @@ mod tests {
     #[test]
     fn out_of_bounds_reported() {
         let mut m = Memory::new(16);
-        assert_eq!(m.read_u32(13), Err(MachineError::OutOfBounds { addr: 13, len: 4 }));
-        assert_eq!(m.read_u32(16), Err(MachineError::OutOfBounds { addr: 16, len: 4 }));
+        assert_eq!(
+            m.read_u32(13),
+            Err(MachineError::OutOfBounds { addr: 13, len: 4 })
+        );
+        assert_eq!(
+            m.read_u32(16),
+            Err(MachineError::OutOfBounds { addr: 16, len: 4 })
+        );
         assert_eq!(
             m.write_u8(16, 0),
             Err(MachineError::OutOfBounds { addr: 16, len: 1 })
@@ -322,7 +330,8 @@ mod tests {
     #[test]
     fn byte_store_invalidates_containing_word() {
         let mut m = Memory::new(64);
-        m.write_u32(8, encode(&Instr::Push { rs: Reg::R1 })).unwrap();
+        m.write_u32(8, encode(&Instr::Push { rs: Reg::R1 }))
+            .unwrap();
         m.fetch(8).unwrap();
         // Rewrite the opcode byte (little-endian: opcode is byte 3).
         m.write_u8(11, 0x51).unwrap(); // HALT opcode
@@ -355,7 +364,11 @@ mod tests {
         m.fetch(0).unwrap(); // allocate the page so the range compare passes
         m.write_bytes(0, &[]).unwrap();
         m.write_bytes(4, &[]).unwrap();
-        assert_eq!(m.fetch(0).unwrap(), Instr::Nop, "empty write must not invalidate");
+        assert_eq!(
+            m.fetch(0).unwrap(),
+            Instr::Nop,
+            "empty write must not invalidate"
+        );
         // Out-of-bounds starting address with zero length is still in
         // bounds (it touches nothing at the very end of memory).
         assert!(m.write_bytes(64, &[]).is_ok());
@@ -399,6 +412,10 @@ mod tests {
         assert_eq!(m.fetch_predecoded(0), Some(Instr::Nop));
         assert_eq!(m.fetch(4096).unwrap(), Instr::Halt);
         m.write_u32(4096, encode(&Instr::Nop)).unwrap();
-        assert_eq!(m.fetch(4096).unwrap(), Instr::Nop, "post-fetch stores invalidate");
+        assert_eq!(
+            m.fetch(4096).unwrap(),
+            Instr::Nop,
+            "post-fetch stores invalidate"
+        );
     }
 }

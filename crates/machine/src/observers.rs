@@ -76,7 +76,11 @@ impl TraceRecorder {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> TraceRecorder {
         assert!(capacity > 0, "trace capacity must be nonzero");
-        TraceRecorder { ring: VecDeque::with_capacity(capacity), capacity, total: 0 }
+        TraceRecorder {
+            ring: VecDeque::with_capacity(capacity),
+            capacity,
+            total: 0,
+        }
     }
 
     /// The recorded events, oldest first.

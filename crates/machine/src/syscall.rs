@@ -69,7 +69,11 @@ impl SyscallState {
     }
 
     fn fold(&mut self, value: u32) {
-        self.checksum = self.checksum.wrapping_mul(31).wrapping_add(value).rotate_left(1);
+        self.checksum = self
+            .checksum
+            .wrapping_mul(31)
+            .wrapping_add(value)
+            .rotate_left(1);
     }
 }
 

@@ -26,8 +26,9 @@ fn run_code(b: CodeBuilder) -> Machine {
 fn push_pop_sequences_preserve_sp() {
     let mut rng = SmallRng::seed_from_u64(0x3AC8_0001);
     for _ in 0..50 {
-        let values: Vec<u32> =
-            (0..rng.gen_range(1usize..16)).map(|_| rng.next_u32()).collect();
+        let values: Vec<u32> = (0..rng.gen_range(1usize..16))
+            .map(|_| rng.next_u32())
+            .collect();
         let mut b = CodeBuilder::new(layout::APP_BASE);
         for (i, v) in values.iter().enumerate() {
             let r = Reg::try_from((1 + i % 12) as u8).unwrap();
@@ -209,7 +210,11 @@ fn decode_cache_tracks_self_modifying_code() {
     let mut b = CodeBuilder::new(layout::APP_BASE);
     let patch_site = b.new_label();
     // Overwrite the instruction at `patch_site` with `addi r4, r4, 7`:
-    let replacement = strata_isa::encode(&Instr::Addi { rd: Reg::R4, rs1: Reg::R4, imm: 7 });
+    let replacement = strata_isa::encode(&Instr::Addi {
+        rd: Reg::R4,
+        rs1: Reg::R4,
+        imm: 7,
+    });
     b.li(Reg::R1, replacement);
     b.li_label(Reg::R2, patch_site);
     b.sw(Reg::R1, Reg::R2, 0);

@@ -80,8 +80,7 @@ impl Snapshot {
     /// Fails when the directory is unreadable, contains no `*.json`
     /// files, or any file fails to parse.
     pub fn load_dir(dir: &Path) -> Result<Snapshot, String> {
-        let entries =
-            std::fs::read_dir(dir).map_err(|e| format!("read {}: {e}", dir.display()))?;
+        let entries = std::fs::read_dir(dir).map_err(|e| format!("read {}: {e}", dir.display()))?;
         let mut paths: Vec<_> = entries
             .filter_map(|e| e.ok().map(|e| e.path()))
             .filter(|p| p.extension().is_some_and(|x| x == "json"))
@@ -92,7 +91,11 @@ impl Snapshot {
         }
         let mut texts = Vec::new();
         for path in paths {
-            let name = path.file_name().unwrap_or_default().to_string_lossy().into_owned();
+            let name = path
+                .file_name()
+                .unwrap_or_default()
+                .to_string_lossy()
+                .into_owned();
             let text = std::fs::read_to_string(&path)
                 .map_err(|e| format!("read {}: {e}", path.display()))?;
             texts.push((name, text));
@@ -124,7 +127,12 @@ fn parse_doc(source: &str, value: &Json) -> Option<ExperimentDoc> {
             .get("rows")?
             .as_arr()?
             .iter()
-            .map(|r| r.as_arr()?.iter().map(|c| c.as_str().map(str::to_string)).collect())
+            .map(|r| {
+                r.as_arr()?
+                    .iter()
+                    .map(|c| c.as_str().map(str::to_string))
+                    .collect()
+            })
             .collect();
         tables.push(TableDoc {
             title: t.get("title")?.as_str()?.to_string(),
@@ -216,7 +224,16 @@ impl DeltaReport {
         if !self.deltas.is_empty() {
             let mut t = Table::new(
                 "deltas vs baseline",
-                &["experiment", "table", "row", "column", "baseline", "fresh", "Δ%", "gate"],
+                &[
+                    "experiment",
+                    "table",
+                    "row",
+                    "column",
+                    "baseline",
+                    "fresh",
+                    "Δ%",
+                    "gate",
+                ],
             );
             for d in self.sorted_deltas() {
                 t.row([
@@ -226,7 +243,9 @@ impl DeltaReport {
                     d.column.as_str(),
                     d.baseline.as_str(),
                     d.fresh.as_str(),
-                    &d.delta_pct.map(|p| format!("{p:+.2}")).unwrap_or_else(|| "—".into()),
+                    &d.delta_pct
+                        .map(|p| format!("{p:+.2}"))
+                        .unwrap_or_else(|| "—".into()),
                     if d.regressed { "FAIL" } else { "ok" },
                 ]);
             }
@@ -241,8 +260,14 @@ impl DeltaReport {
             ("tolerance_pct", Json::num(self.tolerance_pct)),
             ("regressions", Json::uint(self.regressions() as u64)),
             ("compared", Json::uint(self.compared)),
-            ("skipped_experiments", Json::arr(self.skipped_experiments.iter().map(Json::str))),
-            ("new_experiments", Json::arr(self.new_experiments.iter().map(Json::str))),
+            (
+                "skipped_experiments",
+                Json::arr(self.skipped_experiments.iter().map(Json::str)),
+            ),
+            (
+                "new_experiments",
+                Json::arr(self.new_experiments.iter().map(Json::str)),
+            ),
             ("skipped_rows", Json::uint(self.skipped_rows)),
             (
                 "deltas",
@@ -270,9 +295,9 @@ impl DeltaReport {
     fn sorted_deltas(&self) -> Vec<&Delta> {
         let mut sorted: Vec<&Delta> = self.deltas.iter().collect();
         sorted.sort_by(|a, b| {
-            b.regressed.cmp(&a.regressed).then(
-                magnitude(b).total_cmp(&magnitude(a)),
-            )
+            b.regressed
+                .cmp(&a.regressed)
+                .then(magnitude(b).total_cmp(&magnitude(a)))
         });
         sorted
     }
@@ -375,7 +400,13 @@ fn diff_experiment(base: &ExperimentDoc, fresh: &ExperimentDoc, report: &mut Del
     }
     for base_table in &base.tables {
         let Some(fresh_table) = fresh.tables.iter().find(|t| t.title == base_table.title) else {
-            shape_delta(report, &base.id, &base_table.title, "table present", "table missing");
+            shape_delta(
+                report,
+                &base.id,
+                &base_table.title,
+                "table present",
+                "table missing",
+            );
             continue;
         };
         diff_table(&base.id, base_table, fresh_table, report);
@@ -412,17 +443,29 @@ fn diff_table(id: &str, base: &TableDoc, fresh: &TableDoc, report: &mut DeltaRep
     };
     let fresh_keys = occurrence_keys(&fresh.rows);
     for (base_row, key) in base.rows.iter().zip(occurrence_keys(&base.rows)) {
-        let Some(fresh_row) =
-            fresh_keys.iter().position(|k| *k == key).map(|i| &fresh.rows[i])
+        let Some(fresh_row) = fresh_keys
+            .iter()
+            .position(|k| *k == key)
+            .map(|i| &fresh.rows[i])
         else {
             report.skipped_rows += 1;
             continue;
         };
         for (ci, column) in base.columns.iter().enumerate() {
-            let Some(fci) = fresh_col(column) else { continue };
+            let Some(fci) = fresh_col(column) else {
+                continue;
+            };
             let base_cell = base_row.get(ci).map(String::as_str).unwrap_or("");
             let fresh_cell = fresh_row.get(fci).map(String::as_str).unwrap_or("");
-            diff_cell(id, &base.title, &key.0, column, base_cell, fresh_cell, report);
+            diff_cell(
+                id,
+                &base.title,
+                &key.0,
+                column,
+                base_cell,
+                fresh_cell,
+                report,
+            );
         }
     }
 }
@@ -477,10 +520,16 @@ mod tests {
     fn doc(id: &str, rows: &[(&str, &str, &str)]) -> String {
         let table = Json::obj([
             ("title", Json::str("metrics")),
-            ("columns", Json::arr(["benchmark", "slowdown", "label"].map(Json::str))),
+            (
+                "columns",
+                Json::arr(["benchmark", "slowdown", "label"].map(Json::str)),
+            ),
             (
                 "rows",
-                Json::arr(rows.iter().map(|&(a, b, c)| Json::arr([a, b, c].map(Json::str)))),
+                Json::arr(
+                    rows.iter()
+                        .map(|&(a, b, c)| Json::arr([a, b, c].map(Json::str))),
+                ),
             ),
         ]);
         Json::obj([
@@ -535,7 +584,10 @@ mod tests {
     fn tolerance_boundary_is_exclusive() {
         let base = snapshot(&[("f.json", &doc("fig4", &[("gzip", "100", "a")]))]);
         let fresh = snapshot(&[("f.json", &doc("fig4", &[("gzip", "105", "a")]))]);
-        assert!(diff(&base, &fresh, 5.0).is_clean(), "exactly 5% passes a 5% gate");
+        assert!(
+            diff(&base, &fresh, 5.0).is_clean(),
+            "exactly 5% passes a 5% gate"
+        );
         assert_eq!(diff(&base, &fresh, 4.9).regressions(), 1);
     }
 
@@ -589,8 +641,14 @@ mod tests {
         let narrower = {
             let table = Json::obj([
                 ("title", Json::str("metrics")),
-                ("columns", Json::arr(["benchmark", "slowdown"].map(Json::str))),
-                ("rows", Json::arr([Json::arr(["gzip", "1.0x"].map(Json::str))])),
+                (
+                    "columns",
+                    Json::arr(["benchmark", "slowdown"].map(Json::str)),
+                ),
+                (
+                    "rows",
+                    Json::arr([Json::arr(["gzip", "1.0x"].map(Json::str))]),
+                ),
             ]);
             let mut doc = narrower;
             if let Json::Obj(members) = &mut doc {
@@ -603,14 +661,17 @@ mod tests {
             doc.render()
         };
         let fresh = snapshot(&[("f.json", &narrower)]);
-        assert_eq!(diff(&base, &fresh, 5.0).regressions(), 1, "missing column fails");
+        assert_eq!(
+            diff(&base, &fresh, 5.0).regressions(),
+            1,
+            "missing column fails"
+        );
     }
 
     #[test]
     fn params_mismatch_is_a_single_shape_regression() {
         let base = snapshot(&[("f.json", &doc("fig4", &[("gzip", "1.0x", "a")]))]);
-        let other = doc("fig4", &[("gzip", "9.0x", "a")])
-            .replace("\"scale\": 1", "\"scale\": 2");
+        let other = doc("fig4", &[("gzip", "9.0x", "a")]).replace("\"scale\": 1", "\"scale\": 2");
         let fresh = snapshot(&[("f.json", &other)]);
         let report = diff(&base, &fresh, 5.0);
         assert_eq!(report.regressions(), 1);
@@ -619,13 +680,22 @@ mod tests {
 
     #[test]
     fn duration_units_are_normalized() {
-        let base = snapshot(&[("m.json", &doc("microbench", &[("isa/encode", "1.00 µs", "")]))]);
-        let fresh = snapshot(&[("m.json", &doc("microbench", &[("isa/encode", "1020 ns", "")]))]);
+        let base = snapshot(&[(
+            "m.json",
+            &doc("microbench", &[("isa/encode", "1.00 µs", "")]),
+        )]);
+        let fresh = snapshot(&[(
+            "m.json",
+            &doc("microbench", &[("isa/encode", "1020 ns", "")]),
+        )]);
         let report = diff(&base, &fresh, 5.0);
         assert!(report.is_clean(), "{report:?}");
         assert_eq!(report.deltas.len(), 1);
         assert!((report.deltas[0].delta_pct.unwrap() - 2.0).abs() < 1e-9);
-        let slow = snapshot(&[("m.json", &doc("microbench", &[("isa/encode", "1.20 ms", "")]))]);
+        let slow = snapshot(&[(
+            "m.json",
+            &doc("microbench", &[("isa/encode", "1.20 ms", "")]),
+        )]);
         assert_eq!(diff(&base, &slow, 5.0).regressions(), 1);
     }
 

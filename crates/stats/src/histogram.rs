@@ -80,7 +80,11 @@ impl Histogram {
 
     /// Iterates over `(value, count)` pairs with nonzero counts.
     pub fn iter(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
-        self.buckets.iter().copied().enumerate().filter(|&(_, c)| c > 0)
+        self.buckets
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|&(_, c)| c > 0)
     }
 }
 

@@ -162,7 +162,10 @@ impl Json {
     ///
     /// Returns a message with the byte offset of the first syntax error.
     pub fn parse(text: &str) -> Result<Json, String> {
-        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
         p.skip_ws();
         let value = p.value()?;
         p.skip_ws();
@@ -317,7 +320,10 @@ impl Parser<'_> {
                 }
                 Some(b'\\') => {
                     self.pos += 1;
-                    let escape = *self.bytes.get(self.pos).ok_or_else(|| self.err("bad escape"))?;
+                    let escape = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| self.err("bad escape"))?;
                     self.pos += 1;
                     match escape {
                         b'"' => out.push('"'),
@@ -338,8 +344,7 @@ impl Parser<'_> {
                                 if !(0xDC00..0xE000).contains(&low) {
                                     return Err(self.err("bad low surrogate"));
                                 }
-                                let combined =
-                                    0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00);
+                                let combined = 0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00);
                                 char::from_u32(combined)
                             } else {
                                 char::from_u32(unit)
@@ -355,8 +360,8 @@ impl Parser<'_> {
                     // boundary math is safe).
                     let rest = &self.bytes[self.pos..];
                     let len = utf8_len(rest[0]);
-                    let s = std::str::from_utf8(&rest[..len])
-                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let s =
+                        std::str::from_utf8(&rest[..len]).map_err(|_| self.err("invalid UTF-8"))?;
                     out.push_str(s);
                     self.pos += len;
                 }
@@ -448,7 +453,10 @@ impl Table {
     pub fn to_json(&self) -> Json {
         Json::obj([
             ("title", Json::str(self.title())),
-            ("columns", Json::arr(self.column_names().iter().map(Json::str))),
+            (
+                "columns",
+                Json::arr(self.column_names().iter().map(Json::str)),
+            ),
             (
                 "rows",
                 Json::arr(
@@ -477,7 +485,10 @@ mod tests {
 
     #[test]
     fn string_escaping() {
-        assert_eq!(Json::str("a\"b\\c\nd\te\u{1}").render(), "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+        assert_eq!(
+            Json::str("a\"b\\c\nd\te\u{1}").render(),
+            "\"a\\\"b\\\\c\\nd\\te\\u0001\""
+        );
         assert_eq!(Json::str("unicode ✓").render(), "\"unicode ✓\"");
     }
 
@@ -509,7 +520,10 @@ mod tests {
             ("count", Json::uint(18446744073709551615)),
             ("ratio", Json::num(1.503)),
             ("neg", Json::num(-2.5)),
-            ("rows", Json::arr([Json::str("a\"b\\c\nd"), Json::str("unicode ✓")])),
+            (
+                "rows",
+                Json::arr([Json::str("a\"b\\c\nd"), Json::str("unicode ✓")]),
+            ),
             ("empty_arr", Json::arr([])),
             ("empty_obj", Json::obj::<&str>([])),
         ]);
@@ -524,12 +538,18 @@ mod tests {
         assert_eq!(Json::parse("1.5").unwrap(), Json::Num(1.5));
         assert_eq!(Json::parse("-3").unwrap(), Json::Num(-3.0));
         assert_eq!(Json::parse("1e3").unwrap(), Json::Num(1000.0));
-        assert_eq!(Json::parse("18446744073709551615").unwrap(), Json::UInt(u64::MAX));
+        assert_eq!(
+            Json::parse("18446744073709551615").unwrap(),
+            Json::UInt(u64::MAX)
+        );
     }
 
     #[test]
     fn parse_escapes() {
-        assert_eq!(Json::parse(r#""a\u0041\n\t\\\" \u00e9""#).unwrap(), Json::str("aA\n\t\\\" é"));
+        assert_eq!(
+            Json::parse(r#""a\u0041\n\t\\\" \u00e9""#).unwrap(),
+            Json::str("aA\n\t\\\" é")
+        );
         // Surrogate pair for U+1F600.
         assert_eq!(Json::parse(r#""\ud83d\ude00""#).unwrap(), Json::str("😀"));
     }
@@ -537,8 +557,18 @@ mod tests {
     #[test]
     fn parse_rejects_malformed() {
         for bad in [
-            "", "{", "[1,", "{\"a\":}", "tru", "\"unterminated", "1.2.3", "[1] extra",
-            "{\"a\" 1}", "\"\\q\"", "\"\\ud83d\"", "nan",
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "tru",
+            "\"unterminated",
+            "1.2.3",
+            "[1] extra",
+            "{\"a\" 1}",
+            "\"\\q\"",
+            "\"\\ud83d\"",
+            "nan",
         ] {
             assert!(Json::parse(bad).is_err(), "`{bad}` must be rejected");
         }
@@ -549,7 +579,10 @@ mod tests {
         let doc = Json::parse(r#"{"id":"x","n":2,"arr":[1,2]}"#).unwrap();
         assert_eq!(doc.get("id").and_then(Json::as_str), Some("x"));
         assert_eq!(doc.get("n").and_then(Json::as_f64), Some(2.0));
-        assert_eq!(doc.get("arr").and_then(Json::as_arr).map(|a| a.len()), Some(2));
+        assert_eq!(
+            doc.get("arr").and_then(Json::as_arr).map(|a| a.len()),
+            Some(2)
+        );
         assert!(doc.get("missing").is_none());
         assert!(Json::Null.get("id").is_none());
     }

@@ -71,7 +71,10 @@ impl SmallRng {
     ///
     /// Panics unless `0.0 <= p <= 1.0`.
     pub fn gen_bool(&mut self, p: f64) -> bool {
-        assert!((0.0..=1.0).contains(&p), "gen_bool probability {p} out of range");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability {p} out of range"
+        );
         // 53 uniform mantissa bits, the same construction rand uses.
         let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
         unit < p
@@ -146,7 +149,10 @@ mod tests {
         assert!(!rng.gen_bool(0.0));
         assert!(rng.gen_bool(1.0));
         let hits = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
-        assert!((4_000..6_000).contains(&hits), "p=0.5 produced {hits}/10000");
+        assert!(
+            (4_000..6_000).contains(&hits),
+            "p=0.5 produced {hits}/10000"
+        );
     }
 
     #[test]

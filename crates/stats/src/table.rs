@@ -112,7 +112,14 @@ impl Table {
             }
         };
         let mut out = String::new();
-        out.push_str(&self.columns.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+        out.push_str(
+            &self
+                .columns
+                .iter()
+                .map(|c| escape(c))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
@@ -128,7 +135,11 @@ impl Table {
         out.push_str(&format!("| {} |\n", self.columns.join(" | ")));
         out.push_str(&format!(
             "|{}|\n",
-            self.columns.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            self.columns
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
         ));
         for row in &self.rows {
             out.push_str(&format!("| {} |\n", row.join(" | ")));

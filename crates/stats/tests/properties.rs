@@ -13,12 +13,16 @@ fn rand_f64(rng: &mut SmallRng, lo: f64, hi: f64) -> f64 {
 fn geomean_is_bounded_by_min_and_max() {
     let mut rng = SmallRng::seed_from_u64(0x57A7_0001);
     for _ in 0..200 {
-        let values: Vec<f64> =
-            (0..rng.gen_range(1usize..50)).map(|_| rand_f64(&mut rng, 0.001, 1e6)).collect();
+        let values: Vec<f64> = (0..rng.gen_range(1usize..50))
+            .map(|_| rand_f64(&mut rng, 0.001, 1e6))
+            .collect();
         let g = geomean(values.iter().copied()).expect("nonempty positive input");
         let min = values.iter().copied().fold(f64::INFINITY, f64::min);
         let max = values.iter().copied().fold(0.0f64, f64::max);
-        assert!(g >= min * 0.999_999 && g <= max * 1.000_001, "{min} <= {g} <= {max}");
+        assert!(
+            g >= min * 0.999_999 && g <= max * 1.000_001,
+            "{min} <= {g} <= {max}"
+        );
     }
 }
 
@@ -37,8 +41,9 @@ fn geomean_of_constant_is_constant() {
 fn mean_bounded() {
     let mut rng = SmallRng::seed_from_u64(0x57A7_0003);
     for _ in 0..200 {
-        let values: Vec<f64> =
-            (0..rng.gen_range(1usize..50)).map(|_| rand_f64(&mut rng, -1e6, 1e6)).collect();
+        let values: Vec<f64> = (0..rng.gen_range(1usize..50))
+            .map(|_| rand_f64(&mut rng, -1e6, 1e6))
+            .collect();
         let m = mean(values.iter().copied()).unwrap();
         let min = values.iter().copied().fold(f64::INFINITY, f64::min);
         let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
@@ -61,8 +66,9 @@ fn ratio_never_nan() {
 fn histogram_percentiles_are_monotone() {
     let mut rng = SmallRng::seed_from_u64(0x57A7_0005);
     for _ in 0..100 {
-        let samples: Vec<usize> =
-            (0..rng.gen_range(1usize..200)).map(|_| rng.gen_range(0usize..64)).collect();
+        let samples: Vec<usize> = (0..rng.gen_range(1usize..200))
+            .map(|_| rng.gen_range(0usize..64))
+            .collect();
         let mut h = Histogram::new();
         for s in &samples {
             h.record(*s);

@@ -2,9 +2,9 @@
 //! stream, with helper calls and a bounded recursive evaluator — the
 //! dispatch-plus-call-tree shape of 176.gcc's RTL passes.
 
-use strata_stats::rng::SmallRng;
 use strata_asm::assemble;
 use strata_machine::{layout, Program};
+use strata_stats::rng::SmallRng;
 
 use crate::Params;
 
@@ -131,8 +131,16 @@ mod tests {
     fn gcc_profile() {
         let p = build_gcc(&Params::default());
         let r = reference::run(&p, 100_000_000).unwrap();
-        assert!(r.indirect_jumps >= (IR_LEN as u64) * 12, "{}", r.indirect_jumps);
-        assert!(r.direct_calls > 1000, "case handlers call helpers: {}", r.direct_calls);
+        assert!(
+            r.indirect_jumps >= (IR_LEN as u64) * 12,
+            "{}",
+            r.indirect_jumps
+        );
+        assert!(
+            r.direct_calls > 1000,
+            "case handlers call helpers: {}",
+            r.direct_calls
+        );
         assert!(r.returns > 1000);
         assert_ne!(r.checksum, 0);
         // Deterministic.

@@ -3,9 +3,9 @@
 //! indirect branches — the control case showing SDT overhead when IB
 //! handling barely matters.
 
-use strata_stats::rng::SmallRng;
 use strata_asm::assemble;
 use strata_machine::{layout, Program};
+use strata_stats::rng::SmallRng;
 
 use crate::Params;
 

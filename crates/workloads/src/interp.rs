@@ -2,9 +2,9 @@
 //! polymorphic indirect jump) and `gap` (a stack-machine interpreter mixed
 //! with arithmetic kernels).
 
-use strata_stats::rng::SmallRng;
 use strata_asm::assemble;
 use strata_machine::{layout, Program};
+use strata_stats::rng::SmallRng;
 
 use crate::Params;
 
@@ -23,7 +23,9 @@ pub fn build_perlbmk(params: &Params) -> Program {
     let passes = 40 * params.scale;
 
     let mut rng = SmallRng::seed_from_u64(params.seed(0x9E3779B97F4A7C15));
-    let bytecode: Vec<u8> = (0..PERL_CODE_LEN).map(|_| rng.gen_range(0..PERL_OPS as u8)).collect();
+    let bytecode: Vec<u8> = (0..PERL_CODE_LEN)
+        .map(|_| rng.gen_range(0..PERL_OPS as u8))
+        .collect();
 
     let mut src = String::new();
     // Initialize the handler table (the interpreter's computed-goto table).
@@ -95,7 +97,9 @@ pub fn build_gap(params: &Params) -> Program {
     let passes = 22 * params.scale;
 
     let mut rng = SmallRng::seed_from_u64(params.seed(0xA5A5_5A5A_1234_5678));
-    let bytecode: Vec<u8> = (0..GAP_CODE_LEN).map(|_| rng.gen_range(0..GAP_OPS as u8)).collect();
+    let bytecode: Vec<u8> = (0..GAP_CODE_LEN)
+        .map(|_| rng.gen_range(0..GAP_OPS as u8))
+        .collect();
 
     let mut src = String::new();
     src.push_str(&format!("    li r13, {table}\n"));

@@ -37,9 +37,9 @@ mod interp;
 mod mcf;
 mod oo;
 mod parser;
+pub mod reference;
 mod search;
 mod sort;
-pub mod reference;
 
 use strata_machine::Program;
 
@@ -62,7 +62,10 @@ impl Params {
 
     /// The canonical instance at a given scale.
     pub fn at_scale(scale: u32) -> Params {
-        Params { scale, ..Params::default() }
+        Params {
+            scale,
+            ..Params::default()
+        }
     }
 
     /// Derives a generator seed from a workload's base seed and the
@@ -74,7 +77,10 @@ impl Params {
 
 impl Default for Params {
     fn default() -> Params {
-        Params { scale: 1, variant: 0 }
+        Params {
+            scale: 1,
+            variant: 0,
+        }
     }
 }
 
@@ -92,18 +98,66 @@ pub struct Spec {
 /// All twelve stand-ins, in SPEC numbering order.
 pub fn registry() -> &'static [Spec] {
     const REGISTRY: &[Spec] = &[
-        Spec { name: "gzip", summary: "LZ hash-chain compression loops, few IBs", build: gzip::build_gzip },
-        Spec { name: "vpr", summary: "annealing with monomorphic indirect cost calls", build: oo::build_vpr },
-        Spec { name: "gcc", summary: "jump-table switch dispatch over an IR stream", build: gcc::build_gcc },
-        Spec { name: "mcf", summary: "pointer-chasing over a shuffled next-array", build: mcf::build_mcf },
-        Spec { name: "crafty", summary: "recursive game-tree search, call/return heavy", build: search::build_crafty },
-        Spec { name: "parser", summary: "recursive-descent parsing of a token stream", build: parser::build_parser },
-        Spec { name: "eon", summary: "virtual dispatch through per-class vtables", build: oo::build_eon },
-        Spec { name: "perlbmk", summary: "bytecode interpreter with a hot indirect jump", build: interp::build_perlbmk },
-        Spec { name: "gap", summary: "stack-machine interpreter plus arithmetic kernels", build: interp::build_gap },
-        Spec { name: "vortex", summary: "record operations via function-pointer tables", build: oo::build_vortex },
-        Spec { name: "bzip2", summary: "shell sort and run-length loops, few IBs", build: sort::build_bzip2 },
-        Spec { name: "twolf", summary: "annealing with a small move-dispatch table", build: search::build_twolf },
+        Spec {
+            name: "gzip",
+            summary: "LZ hash-chain compression loops, few IBs",
+            build: gzip::build_gzip,
+        },
+        Spec {
+            name: "vpr",
+            summary: "annealing with monomorphic indirect cost calls",
+            build: oo::build_vpr,
+        },
+        Spec {
+            name: "gcc",
+            summary: "jump-table switch dispatch over an IR stream",
+            build: gcc::build_gcc,
+        },
+        Spec {
+            name: "mcf",
+            summary: "pointer-chasing over a shuffled next-array",
+            build: mcf::build_mcf,
+        },
+        Spec {
+            name: "crafty",
+            summary: "recursive game-tree search, call/return heavy",
+            build: search::build_crafty,
+        },
+        Spec {
+            name: "parser",
+            summary: "recursive-descent parsing of a token stream",
+            build: parser::build_parser,
+        },
+        Spec {
+            name: "eon",
+            summary: "virtual dispatch through per-class vtables",
+            build: oo::build_eon,
+        },
+        Spec {
+            name: "perlbmk",
+            summary: "bytecode interpreter with a hot indirect jump",
+            build: interp::build_perlbmk,
+        },
+        Spec {
+            name: "gap",
+            summary: "stack-machine interpreter plus arithmetic kernels",
+            build: interp::build_gap,
+        },
+        Spec {
+            name: "vortex",
+            summary: "record operations via function-pointer tables",
+            build: oo::build_vortex,
+        },
+        Spec {
+            name: "bzip2",
+            summary: "shell sort and run-length loops, few IBs",
+            build: sort::build_bzip2,
+        },
+        Spec {
+            name: "twolf",
+            summary: "annealing with a small move-dispatch table",
+            build: search::build_twolf,
+        },
     ];
     REGISTRY
 }
@@ -141,8 +195,16 @@ mod tests {
     #[test]
     fn variant_zero_is_canonical_and_variants_differ() {
         assert_eq!(Params::default().seed(42), 42, "variant 0 keeps base seeds");
-        let a = Params { scale: 1, variant: 1 }.seed(42);
-        let b = Params { scale: 1, variant: 2 }.seed(42);
+        let a = Params {
+            scale: 1,
+            variant: 1,
+        }
+        .seed(42);
+        let b = Params {
+            scale: 1,
+            variant: 2,
+        }
+        .seed(42);
         assert_ne!(a, 42);
         assert_ne!(a, b);
     }
@@ -153,8 +215,14 @@ mod tests {
         // deterministic per variant and still run to completion.
         for name in ["perlbmk", "mcf", "parser"] {
             let build = by_name(name).unwrap().build;
-            let v0 = build(&Params { scale: 1, variant: 0 });
-            let v1 = build(&Params { scale: 1, variant: 1 });
+            let v0 = build(&Params {
+                scale: 1,
+                variant: 0,
+            });
+            let v1 = build(&Params {
+                scale: 1,
+                variant: 1,
+            });
             assert_ne!(v0.data, v1.data, "[{name}] variants must differ");
             let r1a = crate::reference::run(&v1, 200_000_000).unwrap();
             let r1b = crate::reference::run(&v1, 200_000_000).unwrap();
@@ -179,9 +247,15 @@ mod tests {
             .iter()
             .map(|s| {
                 let p = (s.build)(&Params::default());
-                (s.name, crate::reference::run(&p, 500_000_000).unwrap().checksum)
+                (
+                    s.name,
+                    crate::reference::run(&p, 500_000_000).unwrap().checksum,
+                )
             })
             .collect();
-        assert_eq!(goldens, recomputed, "workload generation must be deterministic");
+        assert_eq!(
+            goldens, recomputed,
+            "workload generation must be deterministic"
+        );
     }
 }

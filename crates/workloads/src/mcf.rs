@@ -3,9 +3,9 @@
 //! indirect branches; under an SDT its slowdown is dominated by everything
 //! *except* IB handling, making it a useful contrast point.
 
-use strata_stats::rng::SmallRng;
 use strata_asm::assemble;
 use strata_machine::{layout, Program};
+use strata_stats::rng::SmallRng;
 
 use crate::Params;
 

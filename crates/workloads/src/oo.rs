@@ -7,9 +7,9 @@
 //! * `vpr` — an annealing loop whose cost function is called through a
 //!   rarely-changing pointer, i.e. *monomorphic* indirect calls (175.vpr).
 
-use strata_stats::rng::SmallRng;
 use strata_asm::assemble;
 use strata_machine::{layout, Program};
+use strata_stats::rng::SmallRng;
 
 use crate::Params;
 
@@ -24,7 +24,9 @@ pub fn build_eon(params: &Params) -> Program {
     let passes = 28 * params.scale;
 
     let mut rng = SmallRng::seed_from_u64(params.seed(0x252_E011 ^ 0xE0E0));
-    let objects: Vec<u8> = (0..OBJECTS).map(|_| rng.gen_range(0..CLASSES as u8)).collect();
+    let objects: Vec<u8> = (0..OBJECTS)
+        .map(|_| rng.gen_range(0..CLASSES as u8))
+        .collect();
 
     let mut src = String::new();
     // Fill the vtables: class c, method m at vtables + (c*METHODS + m)*4.
@@ -215,7 +217,11 @@ mod tests {
     fn eon_is_virtual_call_heavy() {
         let p = build_eon(&Params::default());
         let r = reference::run(&p, 100_000_000).unwrap();
-        assert!(r.indirect_calls >= (OBJECTS as u64) * 28, "{}", r.indirect_calls);
+        assert!(
+            r.indirect_calls >= (OBJECTS as u64) * 28,
+            "{}",
+            r.indirect_calls
+        );
         assert_eq!(r.indirect_calls, r.returns);
         assert_ne!(r.checksum, 0);
     }

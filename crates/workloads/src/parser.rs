@@ -3,9 +3,9 @@
 //! data-dependent conditional branches and call/return pairs from the
 //! mutually recursive grammar procedures.
 
-use strata_stats::rng::SmallRng;
 use strata_asm::assemble;
 use strata_machine::{layout, Program};
+use strata_stats::rng::SmallRng;
 
 use crate::Params;
 

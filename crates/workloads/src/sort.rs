@@ -3,9 +3,9 @@
 //! loops with dense conditional branches and essentially no indirect
 //! branches.
 
-use strata_stats::rng::SmallRng;
 use strata_asm::assemble;
 use strata_machine::{layout, Program};
+use strata_stats::rng::SmallRng;
 
 use crate::Params;
 
@@ -31,7 +31,10 @@ pub fn build_bzip2(params: &Params) -> Program {
 
     let mut src = String::new();
     for (i, g) in GAPS.iter().enumerate() {
-        src.push_str(&format!("    li r1, {g}\n    li r2, {}\n    sw r1, 0(r2)\n", gaps + (i as u32) * 4));
+        src.push_str(&format!(
+            "    li r1, {g}\n    li r2, {}\n    sw r1, 0(r2)\n",
+            gaps + (i as u32) * 4
+        ));
     }
     src.push_str(&format!(
         r"

@@ -32,12 +32,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     cfg.instrument_blocks = true;
     let mut sdt = Sdt::new(cfg, &program)?;
     let report = sdt.run(profile, FUEL)?;
-    assert_eq!(report.checksum, plain.checksum, "instrumentation must be transparent");
+    assert_eq!(
+        report.checksum, plain.checksum,
+        "instrumentation must be transparent"
+    );
 
     let blocks = sdt.block_profile();
     let total_execs: u64 = blocks.iter().map(|&(_, c)| c).sum();
     let mut t = Table::new(
-        format!("hottest basic blocks in `{name}` ({} blocks, {} executions)", blocks.len(), total_execs),
+        format!(
+            "hottest basic blocks in `{name}` ({} blocks, {} executions)",
+            blocks.len(),
+            total_execs
+        ),
         &["app address", "executions", "share"],
     );
     for &(addr, count) in blocks.iter().take(12) {

@@ -11,10 +11,8 @@
 use std::collections::{BTreeMap, HashSet};
 
 use strata_lab::isa::ControlKind;
-use strata_lab::machine::{
-    layout, ExecutionObserver, Machine, RetireEvent, StepOutcome,
-};
 use strata_lab::machine::syscall::SyscallState;
+use strata_lab::machine::{layout, ExecutionObserver, Machine, RetireEvent, StepOutcome};
 use strata_lab::stats::Table;
 use strata_lab::workloads::{by_name, Params};
 
@@ -47,7 +45,9 @@ impl ExecutionObserver for IbProfiler {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "perlbmk".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "perlbmk".to_string());
     let spec = by_name(&name).unwrap_or_else(|| {
         eprintln!("unknown workload `{name}`; try: perlbmk, eon, gcc, crafty, ...");
         std::process::exit(2);
@@ -73,7 +73,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut t = Table::new(
         format!("hottest indirect-branch sites in `{name}`"),
-        &["site pc", "kind", "executions", "distinct targets", "polymorphic?"],
+        &[
+            "site pc",
+            "kind",
+            "executions",
+            "distinct targets",
+            "polymorphic?",
+        ],
     );
     for (pc, s) in sites.iter().take(10) {
         t.row([
@@ -86,9 +92,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("{}", t.render_text());
 
-    let total_targets: usize =
-        sites.iter().map(|(_, s)| s.targets.len()).sum();
-    println!("total IB sites: {}, total distinct dynamic targets: {}", sites.len(), total_targets);
+    let total_targets: usize = sites.iter().map(|(_, s)| s.targets.len()).sum();
+    println!(
+        "total IB sites: {}, total distinct dynamic targets: {}",
+        sites.len(),
+        total_targets
+    );
     println!(
         "sizing hint: a shared IBTC needs roughly {} entries to avoid capacity\n\
          misses (next power of two above the distinct-target count).",

@@ -47,7 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Native baseline under an x86-like cost model.
     let profile = ArchProfile::x86_like();
     let native = run_native(&program, profile.clone(), 10_000_000)?;
-    println!("native    : {:>10} cycles (checksum {:#010x})", native.total_cycles, native.checksum);
+    println!(
+        "native    : {:>10} cycles (checksum {:#010x})",
+        native.total_cycles, native.checksum
+    );
 
     // 2. The same program under translation, three ways.
     for cfg in [
@@ -57,7 +60,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ] {
         let mut sdt = Sdt::new(cfg, &program)?;
         let report = sdt.run(profile.clone(), 100_000_000)?;
-        assert_eq!(report.checksum, native.checksum, "translation must be transparent");
+        assert_eq!(
+            report.checksum, native.checksum,
+            "translation must be transparent"
+        );
         println!(
             "{:<28}: {:>10} cycles = {:.2}x native  (dispatch {:>6.1}%, ctx-switch {:>5.1}%, IB hit rate {:>6.2}%)",
             report.config,

@@ -56,7 +56,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     println!("\nThe fast-return run produced a different checksum because `snoop`");
-    println!("observed a fragment-cache address (≥ {:#x}) where it expected its", layout::CACHE_BASE);
+    println!(
+        "observed a fragment-cache address (≥ {:#x}) where it expected its",
+        layout::CACHE_BASE
+    );
     println!("application return address — the transparency violation that makes");
     println!("fast returns unsafe for programs that inspect their own stacks.");
     Ok(())

@@ -2,13 +2,13 @@
 //!
 //! ```text
 //! strata list
-//! strata run <workload> [--config <spec>] [--arch <name>] [--scale N]
-//!            [--instrument] [--cache-limit BYTES] [--dump-cache N]
+//! strata run <workload> [--config <spec>] [--ib-policy <spec>] [--arch <name>]
+//!            [--scale N] [--instrument] [--cache-limit BYTES] [--dump-cache N]
 //! strata compare <workload> [--arch <name>] [--scale N]
 //! strata bench [--jobs N] [--filter <ids>] [--format text|csv|json]
 //!              [--scale N] [--variant N] [--cache] [--no-artifacts]
 //!              [--artifacts-dir DIR] [--baseline DIR] [--tolerance PCT]
-//!              [--shard I/N]
+//!              [--shard I/N] [--list]
 //! ```
 //!
 //! `--baseline DIR` diffs the run's artifacts against the committed
@@ -24,11 +24,15 @@
 //! `reentry`, `ibtc:<entries>`, `ibtc-outline:<entries>`,
 //! `ibtc-persite:<entries>`, `sieve:<buckets>`, `tuned:<ibtc>,<rc>`,
 //! `fastret:<ibtc>`, `shadow:<ibtc>,<depth>`; append `+noflags` or `+nolink`.
+//!
+//! `--ib-policy` overrides per-branch-class dispatch strategies on top of
+//! the base config, e.g. `--ib-policy jump=sieve:4096,call=ibtc:512x2,ret=retcache:1024`
+//! (see `strata_lab::cli::parse_policy` for the full grammar).
 
 use std::process::ExitCode;
 
 use strata_lab::arch::ArchProfile;
-use strata_lab::cli::{parse_config, parse_flag, parse_shard};
+use strata_lab::cli::{parse_config, parse_flag, parse_policy, parse_shard};
 use strata_lab::core::{run_native, Origin, RetMechanism, Sdt, SdtConfig};
 use strata_lab::expt::{self, EnvKnobs, OutputFormat, SuiteOptions};
 use strata_lab::stats::Table;
@@ -51,17 +55,22 @@ fn main() -> ExitCode {
                 "usage: strata <list|run|compare> ...\n\
                  \n\
                  strata list\n\
-                 strata run <workload> [--config SPEC] [--arch x86|sparc|mips]\n\
+                 strata run <workload> [--config SPEC] [--ib-policy SPEC] [--arch x86|sparc|mips]\n\
                  \x20          [--scale N] [--instrument] [--cache-limit BYTES] [--dump-cache N]\n\
                  strata compare <workload> [--arch NAME] [--scale N]\n\
                  strata bench [--jobs N] [--filter IDS] [--format text|csv|json]\n\
                  \x20            [--scale N] [--variant N] [--cache] [--no-artifacts]\n\
                  \x20            [--artifacts-dir DIR] [--baseline DIR] [--tolerance PCT]\n\
-                 \x20            [--shard I/N]\n\
+                 \x20            [--shard I/N] [--list]\n\
                  \n\
                  config SPECs: reentry | ibtc:4096 | ibtc-outline:4096 | ibtc-persite:64\n\
                  \x20             | sieve:4096 | tuned:4096,1024 | fastret:4096\n\
-                 \x20             | shadow:4096,1024  (+noflags, +nolink)"
+                 \x20             | shadow:4096,1024  (+noflags, +nolink)\n\
+                 policy SPECs: jump=sieve:4096,call=ibtc:512x2,ret=retcache:1024\n\
+                 \x20             classes jump|call|ret; strategies inherit | reentry\n\
+                 \x20             | ibtc:N[x2] | ibtc-outline:N | ibtc-persite:N[x2]\n\
+                 \x20             | sieve:N | adaptive[:ibtc,sieve[,arity]];\n\
+                 \x20             ret: asib | retcache:N | rc:N | fastret | shadow:N"
             );
             ExitCode::from(2)
         }
@@ -93,7 +102,9 @@ struct CommonArgs {
 }
 
 fn parse_common(args: &[String]) -> Result<CommonArgs, String> {
-    let name = args.first().ok_or("missing workload name (try `strata list`)")?;
+    let name = args
+        .first()
+        .ok_or("missing workload name (try `strata list`)")?;
     let workload =
         by_name(name).ok_or_else(|| format!("unknown workload `{name}` (try `strata list`)"))?;
     let profile = match parse_flag(args, "--arch").as_deref() {
@@ -110,7 +121,11 @@ fn parse_common(args: &[String]) -> Result<CommonArgs, String> {
         Some(v) => v.parse().map_err(|_| format!("bad --variant `{v}`"))?,
         None => 0,
     };
-    Ok(CommonArgs { workload, profile, params: Params { scale, variant } })
+    Ok(CommonArgs {
+        workload,
+        profile,
+        params: Params { scale, variant },
+    })
 }
 
 fn run_cmd(args: &[String]) -> Result<(), String> {
@@ -119,11 +134,18 @@ fn run_cmd(args: &[String]) -> Result<(), String> {
         Some(spec) => parse_config(&spec)?,
         None => SdtConfig::ibtc_inline(4096),
     };
+    if let Some(spec) = parse_flag(args, "--ib-policy") {
+        parse_policy(&spec, &mut cfg)?;
+    }
     if args.iter().any(|a| a == "--instrument") {
         cfg.instrument_blocks = true;
     }
     if let Some(limit) = parse_flag(args, "--cache-limit") {
-        cfg.cache_limit = Some(limit.parse().map_err(|_| format!("bad --cache-limit `{limit}`"))?);
+        cfg.cache_limit = Some(
+            limit
+                .parse()
+                .map_err(|_| format!("bad --cache-limit `{limit}`"))?,
+        );
     }
 
     let program = (common.workload.build)(&common.params);
@@ -133,24 +155,51 @@ fn run_cmd(args: &[String]) -> Result<(), String> {
 
     let pct = |c: u64| format!("{:.1}%", c as f64 * 100.0 / report.total_cycles as f64);
     let mut t = Table::new(
-        format!("{} under {} on {}", program.name, report.config, report.arch),
+        format!(
+            "{} under {} on {}",
+            program.name, report.config, report.arch
+        ),
         &["metric", "value"],
     );
-    t.row(["slowdown vs native", &format!("{:.3}x", report.slowdown(native.total_cycles))]);
+    t.row([
+        "slowdown vs native",
+        &format!("{:.3}x", report.slowdown(native.total_cycles)),
+    ]);
     t.row(["total cycles", &report.total_cycles.to_string()]);
     t.row(["native cycles", &native.total_cycles.to_string()]);
     t.row(["guest instructions", &report.instructions.to_string()]);
     for origin in Origin::ALL {
-        t.row([&format!("cycles: {}", origin.label()), &pct(report.cycles_for(origin))]);
+        t.row([
+            &format!("cycles: {}", origin.label()),
+            &pct(report.cycles_for(origin)),
+        ]);
     }
     t.row(["cycles: translator", &pct(report.translator_cycles)]);
     t.row(["IB dispatches", &report.mech.ib_dispatches.to_string()]);
-    t.row(["IB hit rate", &format!("{:.2}%", report.mech.ib_hit_rate() * 100.0)]);
+    t.row([
+        "IB hit rate",
+        &format!("{:.2}%", report.mech.ib_hit_rate() * 100.0),
+    ]);
     t.row(["ret dispatches", &report.mech.ret_dispatches.to_string()]);
     t.row(["fragments", &report.mech.fragments.to_string()]);
     t.row(["cache bytes", &report.mech.cache_used_bytes.to_string()]);
     t.row(["cache flushes", &report.mech.cache_flushes.to_string()]);
     println!("{}", t.render_text());
+
+    let mut ct = Table::new(
+        "per-class dispatch breakdown",
+        &["class", "mechanism", "dispatches", "misses", "promotions"],
+    );
+    for c in &report.per_class {
+        ct.row([
+            c.class.to_string(),
+            c.mechanism.clone(),
+            c.dispatches.to_string(),
+            c.misses.to_string(),
+            c.promotions.to_string(),
+        ]);
+    }
+    println!("{}", ct.render_text());
 
     if cfg.instrument_blocks {
         let blocks = sdt.block_profile();
@@ -173,7 +222,31 @@ fn run_cmd(args: &[String]) -> Result<(), String> {
 /// `--variant`; JSON artifacts land in `results/` unless `--no-artifacts`.
 fn bench_cmd(args: &[String]) -> Result<(), String> {
     let knobs = EnvKnobs::from_env();
-    let mut opts = SuiteOptions { params: knobs.params(), ..SuiteOptions::default() };
+    let mut opts = SuiteOptions {
+        params: knobs.params(),
+        ..SuiteOptions::default()
+    };
+    // `--list` prints the selected experiments (honoring `--filter`) with
+    // their cell counts and runs nothing.
+    if args.iter().any(|a| a == "--list") {
+        let filter = parse_flag(args, "--filter");
+        expt::validate_filter(filter.as_deref())?;
+        let selected = expt::select(filter.as_deref());
+        let params = knobs.params();
+        let mut t = Table::new(
+            format!("{} experiment(s) selected", selected.len()),
+            &["id", "cells", "title"],
+        );
+        let mut total = 0usize;
+        for e in &selected {
+            let count = (e.cells)(params).len();
+            total += count;
+            t.row([e.id.to_string(), count.to_string(), e.title.to_string()]);
+        }
+        println!("{}", t.render_text());
+        eprintln!("{total} cell(s) before cross-experiment dedup");
+        return Ok(());
+    }
     if let Some(jobs) = parse_flag(args, "--jobs") {
         opts.jobs = jobs.parse().map_err(|_| format!("bad --jobs `{jobs}`"))?;
         if opts.jobs == 0 {
@@ -185,11 +258,14 @@ fn bench_cmd(args: &[String]) -> Result<(), String> {
         opts.format = OutputFormat::parse(&format)?;
     }
     if let Some(scale) = parse_flag(args, "--scale") {
-        opts.params.scale = scale.parse().map_err(|_| format!("bad --scale `{scale}`"))?;
+        opts.params.scale = scale
+            .parse()
+            .map_err(|_| format!("bad --scale `{scale}`"))?;
     }
     if let Some(variant) = parse_flag(args, "--variant") {
-        opts.params.variant =
-            variant.parse().map_err(|_| format!("bad --variant `{variant}`"))?;
+        opts.params.variant = variant
+            .parse()
+            .map_err(|_| format!("bad --variant `{variant}`"))?;
     }
     if args.iter().any(|a| a == "--cache") {
         opts.cache_dir = Some("results/cache".into());
@@ -203,11 +279,15 @@ fn bench_cmd(args: &[String]) -> Result<(), String> {
     if let Some(spec) = parse_flag(args, "--shard") {
         let (index, count) = parse_shard(&spec)?;
         if baseline_dir.is_some() {
-            return Err("--baseline needs the full suite; run it on the merged cache, not a shard"
-                .into());
+            return Err(
+                "--baseline needs the full suite; run it on the merged cache, not a shard".into(),
+            );
         }
         // A shard's only output is the cell cache, so imply `--cache`.
-        let cache_dir = opts.cache_dir.get_or_insert_with(|| "results/cache".into()).clone();
+        let cache_dir = opts
+            .cache_dir
+            .get_or_insert_with(|| "results/cache".into())
+            .clone();
         let report = expt::run_shard(&opts, expt::Shard { index, count })?;
         let s = report.store_stats;
         eprintln!(
@@ -227,7 +307,9 @@ fn bench_cmd(args: &[String]) -> Result<(), String> {
         Some(t) => {
             let pct: f64 = t.parse().map_err(|_| format!("bad --tolerance `{t}`"))?;
             if !pct.is_finite() || pct < 0.0 {
-                return Err(format!("--tolerance must be a nonnegative percentage, got `{t}`"));
+                return Err(format!(
+                    "--tolerance must be a nonnegative percentage, got `{t}`"
+                ));
             }
             pct
         }
@@ -302,7 +384,10 @@ fn compare_cmd(args: &[String]) -> Result<(), String> {
         fast,
     ];
     let mut t = Table::new(
-        format!("{} on {}: all mechanisms", program.name, common.profile.name),
+        format!(
+            "{} on {}: all mechanisms",
+            program.name, common.profile.name
+        ),
         &["configuration", "slowdown", "IB hit rate"],
     );
     for cfg in configs {

@@ -1,11 +1,16 @@
 //! Parsing helpers for the `strata` command-line driver, kept in the
 //! library so they are unit-testable.
 
-use strata_core::{FlagsPolicy, IbMechanism, IbtcPlacement, IbtcScope, RetMechanism, SdtConfig};
+use strata_core::{
+    ClassPolicy, FlagsPolicy, IbMechanism, IbtcPlacement, IbtcScope, RetMechanism, SdtConfig,
+};
 
 /// Returns the value following `flag` in `args`, if present.
 pub fn parse_flag(args: &[String], flag: &str) -> Option<String> {
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
 }
 
 /// Parses a `--shard` spec of the form `i/n` into `(index, count)` with
@@ -19,13 +24,19 @@ pub fn parse_shard(spec: &str) -> Result<(u32, u32), String> {
     let (i, n) = spec
         .split_once('/')
         .ok_or_else(|| format!("bad --shard `{spec}` (expected `i/n`, e.g. `0/4`)"))?;
-    let index: u32 = i.parse().map_err(|_| format!("bad shard index `{i}` in `{spec}`"))?;
-    let count: u32 = n.parse().map_err(|_| format!("bad shard count `{n}` in `{spec}`"))?;
+    let index: u32 = i
+        .parse()
+        .map_err(|_| format!("bad shard index `{i}` in `{spec}`"))?;
+    let count: u32 = n
+        .parse()
+        .map_err(|_| format!("bad shard count `{n}` in `{spec}`"))?;
     if count == 0 {
         return Err(format!("shard count must be at least 1 in `{spec}`"));
     }
     if index >= count {
-        return Err(format!("shard index {index} out of range for {count} shard(s)"));
+        return Err(format!(
+            "shard index {index} out of range for {count} shard(s)"
+        ));
     }
     Ok((index, count))
 }
@@ -50,7 +61,8 @@ pub fn parse_config(spec: &str) -> Result<SdtConfig, String> {
         None => (head, ""),
     };
     let size = |s: &str| -> Result<u32, String> {
-        s.parse().map_err(|_| format!("bad size `{s}` in config `{spec}`"))
+        s.parse()
+            .map_err(|_| format!("bad size `{s}` in config `{spec}`"))
     };
     let mut cfg = match kind {
         "reentry" => SdtConfig::reentry(),
@@ -96,6 +108,183 @@ pub fn parse_config(spec: &str) -> Result<SdtConfig, String> {
     Ok(cfg)
 }
 
+/// Parses an `--ib-policy` spec and applies it to `cfg`.
+///
+/// The spec is a comma-separated list of `class=strategy` assignments:
+///
+/// ```text
+/// jump=sieve:4096,call=ibtc:512x2,ret=retcache:1024
+/// ```
+///
+/// Classes: `jump`, `call` (indirect-branch strategies) and `ret`
+/// (return mechanisms). Jump/call strategies: `inherit`, `reentry`,
+/// `ibtc:<entries>[x2]`, `ibtc-outline:<entries>`,
+/// `ibtc-persite:<entries>[x2]`, `sieve:<buckets>`, and
+/// `adaptive[:<ibtc>,<sieve>[,<arity>]]` (defaults `512,1024,8`). Ret
+/// mechanisms: `asib`, `retcache:<entries>` (alias `rc:<entries>`),
+/// `fastret`, `shadow:<depth>`.
+///
+/// Commas inside `adaptive:...` parameter lists are handled: a segment
+/// without `=` continues the previous assignment.
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown classes or strategies,
+/// malformed sizes, and duplicate class assignments. (Range validation
+/// happens later in [`SdtConfig::validate`].)
+pub fn parse_policy(spec: &str, cfg: &mut SdtConfig) -> Result<(), String> {
+    // Re-join comma-separated segments that belong to the previous
+    // assignment (adaptive's parameter list contains commas).
+    let mut assignments: Vec<String> = Vec::new();
+    for segment in spec.split(',') {
+        if segment.contains('=') {
+            assignments.push(segment.trim().to_string());
+        } else if let Some(last) = assignments.last_mut() {
+            last.push(',');
+            last.push_str(segment.trim());
+        } else {
+            return Err(format!(
+                "bad --ib-policy `{spec}` (expected `class=strategy,...`)"
+            ));
+        }
+    }
+    let mut seen = [false; 3];
+    for assignment in &assignments {
+        let (class, strategy) = assignment
+            .split_once('=')
+            .ok_or_else(|| format!("bad policy assignment `{assignment}`"))?;
+        let slot = match class {
+            "jump" => 0,
+            "call" => 1,
+            "ret" => 2,
+            other => return Err(format!("unknown policy class `{other}` (jump|call|ret)")),
+        };
+        if seen[slot] {
+            return Err(format!("class `{class}` assigned twice in `{spec}`"));
+        }
+        seen[slot] = true;
+        if slot == 2 {
+            cfg.ret = parse_ret_strategy(strategy, spec)?;
+        } else {
+            let policy = parse_class_strategy(strategy, spec)?;
+            match slot {
+                0 => cfg.policy.jump = policy,
+                _ => cfg.policy.call = policy,
+            }
+        }
+    }
+    Ok(())
+}
+
+fn parse_class_strategy(strategy: &str, spec: &str) -> Result<ClassPolicy, String> {
+    let (kind, sizes) = match strategy.split_once(':') {
+        Some((k, s)) => (k, s),
+        None => (strategy, ""),
+    };
+    let size = |s: &str| -> Result<u32, String> {
+        s.parse()
+            .map_err(|_| format!("bad size `{s}` in policy `{spec}`"))
+    };
+    // `<entries>` with an optional `x2` associativity suffix.
+    let sized_ways = |s: &str| -> Result<(u32, u8), String> {
+        match s.split_once('x') {
+            Some((n, "2")) => Ok((size(n)?, 2)),
+            Some((_, w)) => Err(format!(
+                "bad associativity `x{w}` in policy `{spec}` (only x2)"
+            )),
+            None => Ok((size(s)?, 1)),
+        }
+    };
+    let fixed = |mech: IbMechanism, ways: u8| ClassPolicy::Fixed { mech, ways };
+    Ok(match kind {
+        "inherit" => ClassPolicy::Inherit,
+        "reentry" => fixed(IbMechanism::Reentry, 1),
+        "ibtc" => {
+            let (entries, ways) = sized_ways(sizes)?;
+            fixed(
+                IbMechanism::Ibtc {
+                    entries,
+                    scope: IbtcScope::Shared,
+                    placement: IbtcPlacement::Inline,
+                },
+                ways,
+            )
+        }
+        "ibtc-outline" => fixed(
+            IbMechanism::Ibtc {
+                entries: size(sizes)?,
+                scope: IbtcScope::Shared,
+                placement: IbtcPlacement::OutOfLine,
+            },
+            1,
+        ),
+        "ibtc-persite" => {
+            let (entries, ways) = sized_ways(sizes)?;
+            fixed(
+                IbMechanism::Ibtc {
+                    entries,
+                    scope: IbtcScope::PerSite,
+                    placement: IbtcPlacement::Inline,
+                },
+                ways,
+            )
+        }
+        "sieve" => fixed(
+            IbMechanism::Sieve {
+                buckets: size(sizes)?,
+            },
+            1,
+        ),
+        "adaptive" => {
+            let (ibtc_entries, sieve_buckets, sieve_arity) = if sizes.is_empty() {
+                (512, 1024, 8)
+            } else {
+                let mut parts = sizes.split(',');
+                let i = size(parts.next().unwrap_or_default())?;
+                let s = size(parts.next().ok_or_else(|| {
+                    format!("adaptive needs `<ibtc>,<sieve>[,<arity>]` in `{spec}`")
+                })?)?;
+                let a = match parts.next() {
+                    Some(p) => size(p)?,
+                    None => 8,
+                };
+                if parts.next().is_some() {
+                    return Err(format!("too many adaptive parameters in `{spec}`"));
+                }
+                (i, s, a)
+            };
+            ClassPolicy::Adaptive {
+                ibtc_entries,
+                sieve_buckets,
+                sieve_arity,
+            }
+        }
+        other => return Err(format!("unknown class strategy `{other}` in `{spec}`")),
+    })
+}
+
+fn parse_ret_strategy(strategy: &str, spec: &str) -> Result<RetMechanism, String> {
+    let (kind, sizes) = match strategy.split_once(':') {
+        Some((k, s)) => (k, s),
+        None => (strategy, ""),
+    };
+    let size = |s: &str| -> Result<u32, String> {
+        s.parse()
+            .map_err(|_| format!("bad size `{s}` in policy `{spec}`"))
+    };
+    Ok(match kind {
+        "asib" => RetMechanism::AsIb,
+        "retcache" | "rc" => RetMechanism::ReturnCache {
+            entries: size(sizes)?,
+        },
+        "fastret" => RetMechanism::FastReturn,
+        "shadow" => RetMechanism::ShadowStack {
+            depth: size(sizes)?,
+        },
+        other => return Err(format!("unknown ret strategy `{other}` in `{spec}`")),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -134,6 +323,70 @@ mod tests {
     }
 
     #[test]
+    fn policy_specs_roundtrip_through_describe() {
+        for (spec, described) in [
+            (
+                "jump=sieve:4096,call=ibtc:512x2,ret=retcache:1024",
+                "ibtc(4096,shared,inline)+rc(1024)\
+                 +jump=sieve(4096)+call=ibtc(512,shared,inline)x2",
+            ),
+            (
+                "jump=adaptive:512,1024,8",
+                "ibtc(4096,shared,inline)+jump=adaptive(512,1024,8)",
+            ),
+            (
+                "jump=adaptive",
+                "ibtc(4096,shared,inline)+jump=adaptive(512,1024,8)",
+            ),
+            (
+                "call=reentry,ret=fastret",
+                "ibtc(4096,shared,inline)+fastret+call=reentry",
+            ),
+            (
+                "jump=ibtc-persite:64,ret=shadow:256",
+                "ibtc(4096,shared,inline)+shadow(256)+jump=ibtc(64,per-site,inline)",
+            ),
+            (
+                "jump=inherit,call=inherit,ret=asib",
+                "ibtc(4096,shared,inline)",
+            ),
+            (
+                "ret=rc:512,call=adaptive:256,512,4",
+                "ibtc(4096,shared,inline)+rc(512)+call=adaptive(256,512,4)",
+            ),
+        ] {
+            let mut cfg = SdtConfig::ibtc_inline(4096);
+            parse_policy(spec, &mut cfg).unwrap_or_else(|e| panic!("{spec}: {e}"));
+            assert_eq!(cfg.describe(), described, "{spec}");
+            assert!(cfg.validate().is_ok(), "{spec}: {:?}", cfg.validate());
+        }
+    }
+
+    #[test]
+    fn malformed_policy_specs_rejected() {
+        for bad in [
+            "",
+            "jump",
+            "512,1024",
+            "frob=sieve:64",
+            "jump=frob",
+            "jump=sieve:abc",
+            "jump=ibtc:512x3",
+            "jump=adaptive:512",
+            "jump=adaptive:1,2,3,4",
+            "jump=sieve:64,jump=sieve:128",
+            "ret=sieve:64",
+            "ret=frob",
+        ] {
+            let mut cfg = SdtConfig::ibtc_inline(4096);
+            assert!(
+                parse_policy(bad, &mut cfg).is_err(),
+                "`{bad}` must be rejected"
+            );
+        }
+    }
+
+    #[test]
     fn shard_specs() {
         assert_eq!(parse_shard("0/1"), Ok((0, 1)));
         assert_eq!(parse_shard("3/8"), Ok((3, 8)));
@@ -144,8 +397,10 @@ mod tests {
 
     #[test]
     fn flag_parsing() {
-        let args: Vec<String> =
-            ["gcc", "--arch", "sparc", "--scale", "2"].iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = ["gcc", "--arch", "sparc", "--scale", "2"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         assert_eq!(parse_flag(&args, "--arch").as_deref(), Some("sparc"));
         assert_eq!(parse_flag(&args, "--scale").as_deref(), Some("2"));
         assert_eq!(parse_flag(&args, "--missing"), None);

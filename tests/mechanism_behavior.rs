@@ -39,7 +39,10 @@ fn reentry_is_worst_on_interpreter_dispatch() {
         reentry > 2.0 * ibtc,
         "re-entry ({reentry:.2}x) must dwarf IBTC ({ibtc:.2}x)"
     );
-    assert!(reentry > sieve, "re-entry ({reentry:.2}x) vs sieve ({sieve:.2}x)");
+    assert!(
+        reentry > sieve,
+        "re-entry ({reentry:.2}x) vs sieve ({sieve:.2}x)"
+    );
 }
 
 #[test]
@@ -92,8 +95,14 @@ fn return_mechanisms_rank_as_expected() {
     let mut fast_cfg = SdtConfig::ibtc_inline(4096);
     fast_cfg.ret = RetMechanism::FastReturn;
     let fast = slowdown("crafty", fast_cfg, x86);
-    assert!(fast < rc, "fast returns ({fast:.3}x) must beat the return cache ({rc:.3}x)");
-    assert!(fast < as_ib_inline, "fast returns ({fast:.3}x) vs returns-as-IB ({as_ib_inline:.3}x)");
+    assert!(
+        fast < rc,
+        "fast returns ({fast:.3}x) must beat the return cache ({rc:.3}x)"
+    );
+    assert!(
+        fast < as_ib_inline,
+        "fast returns ({fast:.3}x) vs returns-as-IB ({as_ib_inline:.3}x)"
+    );
     // The return cache clearly beats routing returns through the shared
     // out-of-line lookup (the paper's comparison point) and stays within a
     // few percent of the fully inlined IBTC on a RISC guest, where its
@@ -117,7 +126,10 @@ fn return_cache_verification_catches_mismatches() {
     let native = run_native(&program, ArchProfile::x86_like(), FUEL).unwrap();
     let mut sdt = Sdt::new(SdtConfig::tuned(1024, 4), &program).unwrap();
     let report = sdt.run(ArchProfile::x86_like(), FUEL).unwrap();
-    assert_eq!(report.checksum, native.checksum, "rc conflicts must not corrupt");
+    assert_eq!(
+        report.checksum, native.checksum,
+        "rc conflicts must not corrupt"
+    );
     assert!(report.mech.rc_misses > 0, "a 4-entry rc must conflict");
     let big = Sdt::new(SdtConfig::tuned(1024, 4096), &program)
         .unwrap()
@@ -152,7 +164,11 @@ fn reentry_penalty_explodes_where_traps_are_expensive() {
     let x86_re = slowdown("eon", SdtConfig::reentry(), ArchProfile::x86_like());
     let x86_ibtc = slowdown("eon", SdtConfig::ibtc_inline(4096), ArchProfile::x86_like());
     let sparc_re = slowdown("eon", SdtConfig::reentry(), ArchProfile::sparc_like());
-    let sparc_ibtc = slowdown("eon", SdtConfig::ibtc_inline(4096), ArchProfile::sparc_like());
+    let sparc_ibtc = slowdown(
+        "eon",
+        SdtConfig::ibtc_inline(4096),
+        ArchProfile::sparc_like(),
+    );
     let x86_benefit = x86_re / x86_ibtc;
     let sparc_benefit = sparc_re / sparc_ibtc;
     assert!(
@@ -181,7 +197,10 @@ fn sieve_chains_grow_with_fewer_buckets() {
     let large = run("perlbmk", SdtConfig::sieve(4096), ArchProfile::x86_like());
     assert!(small.mech.sieve_max_chain > large.mech.sieve_max_chain);
     assert!(small.mech.sieve_mean_chain > large.mech.sieve_mean_chain);
-    assert_eq!(small.checksum, large.checksum, "bucket count is performance-only");
+    assert_eq!(
+        small.checksum, large.checksum,
+        "bucket count is performance-only"
+    );
 }
 
 #[test]

@@ -162,9 +162,14 @@ fn random_programs_translate_equivalently() {
 
         for cfg in configs() {
             let mut sdt = Sdt::new(cfg, &program).expect("sdt constructs");
-            let report = sdt.run(ArchProfile::x86_like(), FUEL * 40).unwrap_or_else(|e| {
-                panic!("case {case}: {} failed: {e}\nactions: {actions:?}", cfg.describe())
-            });
+            let report = sdt
+                .run(ArchProfile::x86_like(), FUEL * 40)
+                .unwrap_or_else(|e| {
+                    panic!(
+                        "case {case}: {} failed: {e}\nactions: {actions:?}",
+                        cfg.describe()
+                    )
+                });
             assert_eq!(
                 report.checksum,
                 native.checksum,

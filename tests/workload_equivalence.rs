@@ -26,7 +26,11 @@ fn all_workloads_translate_correctly() {
         let program = (spec.build)(&params);
         let native = run_native(&program, ArchProfile::x86_like(), FUEL)
             .unwrap_or_else(|e| panic!("[{}] native run failed: {e}", spec.name));
-        assert!(native.instructions > 100_000, "[{}] workload too small", spec.name);
+        assert!(
+            native.instructions > 100_000,
+            "[{}] workload too small",
+            spec.name
+        );
 
         for cfg in configs() {
             let mut sdt = Sdt::new(cfg, &program).expect("sdt constructs");
@@ -34,7 +38,8 @@ fn all_workloads_translate_correctly() {
                 .run(ArchProfile::x86_like(), FUEL)
                 .unwrap_or_else(|e| panic!("[{}] {} failed: {e}", spec.name, cfg.describe()));
             assert_eq!(
-                report.checksum, native.checksum,
+                report.checksum,
+                native.checksum,
                 "[{}] checksum mismatch under {}",
                 spec.name,
                 cfg.describe()
@@ -77,7 +82,10 @@ fn ib_heavy_workloads_visit_the_dispatch_path() {
         let report = sdt.run(ArchProfile::x86_like(), FUEL).unwrap();
         let expected = native.indirect_jumps + native.indirect_calls + native.returns;
         let seen = report.mech.ib_dispatches + report.mech.ret_dispatches;
-        assert_eq!(seen, expected, "[{name}] every native IB must dispatch exactly once");
+        assert_eq!(
+            seen, expected,
+            "[{name}] every native IB must dispatch exactly once"
+        );
         assert!(
             report.mech.ib_hit_rate() > 0.95,
             "[{name}] a 4K-entry IBTC should hit nearly always: {}",

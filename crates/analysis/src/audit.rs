@@ -1,0 +1,447 @@
+//! Structural audits that complement the dataflow pass: lookup-table
+//! integrity (every entry resolves to a legitimate fragment entry or miss
+//! path), exit-site link states, adaptive probe constants, undecodable
+//! words, reachability accounting, and orphan-fragment detection.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use strata_core::protocol::SLOT_R1;
+use strata_core::{AdaptiveStageMeta, FragKind, Origin, TableKind, TableMeta};
+use strata_isa::{Instr, Reg};
+
+use crate::cfg::Labels;
+use crate::dataflow::DataflowResult;
+use crate::diag::{Diagnostic, Lint, VerifyReport};
+use crate::image::CacheImage;
+
+/// Runs every structural audit, appending findings and filling coverage
+/// stats into `report`.
+pub(crate) fn run(
+    img: &CacheImage,
+    labels: &Labels,
+    flow: &DataflowResult,
+    report: &mut VerifyReport,
+) {
+    let aud = Auditor::new(img, labels);
+    let mut diags = Vec::new();
+    let mut table_entries = 0;
+
+    aud.undecodable_words(&mut diags);
+    aud.tables(&mut diags, &mut table_entries);
+    aud.shadow(&mut diags, &mut table_entries);
+    aud.exit_sites(&mut diags);
+    aud.adaptive_sites(&mut diags);
+    aud.reachability(flow, &mut diags, &mut report.stats);
+    aud.orphans(flow, &mut diags);
+
+    report.stats.words = img.lines.len();
+    report.stats.visited_words = flow.visited.len();
+    report.stats.fragments = img.meta.fragments.len();
+    report.stats.table_entries = table_entries;
+    let (blocks, edges) = crate::cfg::block_stats(&flow.visited, &flow.edges, &flow.seeds);
+    report.stats.blocks = blocks;
+    report.stats.edges = edges;
+    report.diagnostics.extend(diags);
+}
+
+struct Auditor<'a> {
+    img: &'a CacheImage,
+    labels: &'a Labels,
+    /// Body fragment entries keyed by application address.
+    body_by_app: HashMap<u32, u32>,
+    /// Return-point application addresses keyed by fragment entry.
+    rp_by_entry: HashMap<u32, u32>,
+    /// Every Body fragment entry address.
+    body_entries: HashSet<u32>,
+}
+
+impl<'a> Auditor<'a> {
+    fn new(img: &'a CacheImage, labels: &'a Labels) -> Auditor<'a> {
+        let mut body_by_app = HashMap::new();
+        let mut rp_by_entry = HashMap::new();
+        let mut body_entries = HashSet::new();
+        for f in &img.meta.fragments {
+            match f.kind {
+                FragKind::Body => {
+                    body_by_app.insert(f.app_addr, f.entry);
+                    body_entries.insert(f.entry);
+                }
+                FragKind::ReturnPoint => {
+                    rp_by_entry.insert(f.entry, f.app_addr);
+                }
+            }
+        }
+        Auditor {
+            img,
+            labels,
+            body_by_app,
+            rp_by_entry,
+            body_entries,
+        }
+    }
+
+    fn diag(&self, out: &mut Vec<Diagnostic>, lint: Lint, addr: u32, message: String) {
+        let excerpt = if self.img.in_cache(addr) {
+            self.img.excerpt(addr, 2)
+        } else {
+            Vec::new()
+        };
+        out.push(Diagnostic {
+            lint,
+            addr,
+            location: self.labels.locate(addr),
+            message,
+            excerpt,
+        });
+    }
+
+    /// Every occupied cache word must decode.
+    fn undecodable_words(&self, out: &mut Vec<Diagnostic>) {
+        for l in &self.img.lines {
+            if l.instr.is_none() {
+                self.diag(
+                    out,
+                    Lint::UndecodableWord,
+                    l.addr,
+                    format!(
+                        "{:#010x} in the occupied cache does not decode ({} origin)",
+                        l.word,
+                        l.origin.label()
+                    ),
+                );
+            }
+        }
+    }
+
+    /// Audits every lookup table the translator registered.
+    fn tables(&self, out: &mut Vec<Diagnostic>, entries: &mut usize) {
+        // Dedup by base: a table can be referenced both as a bind table and
+        // through a site.
+        let mut by_base: BTreeMap<u32, TableMeta> = BTreeMap::new();
+        for t in self.img.meta.all_tables() {
+            by_base.entry(t.base).or_insert(t);
+        }
+        for t in by_base.values() {
+            match t.kind {
+                TableKind::IbtcTagged { ways } => self.ibtc_table(t, ways, out, entries),
+                TableKind::SieveBuckets => self.sieve_table(t, out, entries),
+                TableKind::ReturnCache => self.rc_table(t, out, entries),
+            }
+        }
+    }
+
+    /// Tagged IBTC sets: a non-zero tag's value must be the Body fragment
+    /// entry for exactly that application address.
+    fn ibtc_table(&self, t: &TableMeta, ways: u8, out: &mut Vec<Diagnostic>, entries: &mut usize) {
+        let words = self.img.table_words(t.base);
+        let set_words = (t.entry_bytes / 4) as usize;
+        for (set, chunk) in words.chunks(set_words).enumerate() {
+            for way in 0..ways as usize {
+                let (tag, val) = (chunk[2 * way], chunk[2 * way + 1]);
+                *entries += 1;
+                if tag == 0 {
+                    continue;
+                }
+                let addr = t.base + (set * set_words * 4 + way * 8) as u32;
+                match self.body_by_app.get(&tag) {
+                    Some(&entry) if entry == val => {}
+                    Some(&entry) => self.diag(
+                        out,
+                        Lint::TableAudit,
+                        addr,
+                        format!(
+                            "ibtc set {set} way {way}: tag {tag:#x} maps to {val:#010x} \
+                             but its fragment entry is {} ({entry:#010x})",
+                            self.labels.locate(entry)
+                        ),
+                    ),
+                    None => self.diag(
+                        out,
+                        Lint::TableAudit,
+                        addr,
+                        format!(
+                            "ibtc set {set} way {way}: tag {tag:#x} has no translated \
+                             body fragment (value {val:#010x})"
+                        ),
+                    ),
+                }
+            }
+        }
+    }
+
+    /// Sieve buckets: every bucket points at the bind's miss glue or at an
+    /// in-cache dispatch stanza.
+    fn sieve_table(&self, t: &TableMeta, out: &mut Vec<Diagnostic>, entries: &mut usize) {
+        let glues: HashSet<u32> = self
+            .img
+            .meta
+            .binds
+            .iter()
+            .filter(|b| b.table.is_some_and(|bt| bt.base == t.base))
+            .map(|b| self.img.meta.glue_for(b.index))
+            .collect();
+        for (i, &v) in self.img.table_words(t.base).iter().enumerate() {
+            *entries += 1;
+            let stanza = self
+                .img
+                .line_at(v)
+                .is_some_and(|l| l.origin == Origin::Dispatch);
+            if !glues.contains(&v) && !stanza {
+                self.diag(
+                    out,
+                    Lint::TableAudit,
+                    t.base + 4 * i as u32,
+                    format!(
+                        "sieve bucket {i} points at {v:#010x} ({}), neither the bind's \
+                         miss glue nor a dispatch stanza",
+                        self.labels.locate(v)
+                    ),
+                );
+            }
+        }
+    }
+
+    /// Return-cache entries: the miss stub, or a return-point fragment
+    /// whose application address hashes to this index.
+    fn rc_table(&self, t: &TableMeta, out: &mut Vec<Diagnostic>, entries: &mut usize) {
+        let rc_miss = self.img.meta.stubs.rc_miss;
+        for (i, &v) in self.img.table_words(t.base).iter().enumerate() {
+            *entries += 1;
+            if v == rc_miss {
+                continue;
+            }
+            match self.rp_by_entry.get(&v) {
+                Some(&app) if t.index_of(app) == i as u32 => {}
+                Some(&app) => self.diag(
+                    out,
+                    Lint::TableAudit,
+                    t.base + 4 * i as u32,
+                    format!(
+                        "return-cache entry {i} holds return point for {app:#x}, which \
+                         hashes to index {}",
+                        t.index_of(app)
+                    ),
+                ),
+                None => self.diag(
+                    out,
+                    Lint::TableAudit,
+                    t.base + 4 * i as u32,
+                    format!(
+                        "return-cache entry {i} points at {v:#010x} ({}), neither \
+                         rc_miss nor a return-point fragment entry",
+                        self.labels.locate(v)
+                    ),
+                ),
+            }
+        }
+    }
+
+    /// Shadow-stack pairs: a filled slot's translated half must be a Body
+    /// fragment entry (the patched return-site fragment).
+    fn shadow(&self, out: &mut Vec<Diagnostic>, entries: &mut usize) {
+        let words = self.img.shadow_words();
+        let Some((base, _)) = self.img.meta.shadow else {
+            return;
+        };
+        for (i, pair) in words.chunks(2).enumerate() {
+            if pair.len() < 2 {
+                break;
+            }
+            let (_app_ret, translated) = (pair[0], pair[1]);
+            *entries += 1;
+            if translated != 0 && !self.body_entries.contains(&translated) {
+                self.diag(
+                    out,
+                    Lint::TableAudit,
+                    base + 8 * i as u32,
+                    format!(
+                        "shadow slot {i} translated half {translated:#010x} ({}) is not \
+                         a body fragment entry",
+                        self.labels.locate(translated)
+                    ),
+                );
+            }
+        }
+    }
+
+    /// Exit trampoline heads are either still the spill head (`swa r1`) or
+    /// a direct link to the target's Body fragment entry.
+    fn exit_sites(&self, out: &mut Vec<Diagnostic>) {
+        for e in &self.img.meta.exit_sites {
+            let Some(line) = self.img.line_at(e.patch_addr) else {
+                self.diag(
+                    out,
+                    Lint::IndirectExitIntegrity,
+                    e.patch_addr,
+                    format!(
+                        "exit site for {:#x} lies outside the occupied cache",
+                        e.target
+                    ),
+                );
+                continue;
+            };
+            match line.instr {
+                Some(Instr::Swa { rs, addr }) if rs == Reg::R1 && addr == SLOT_R1 => {}
+                Some(Instr::Jmp { target }) => {
+                    if self.body_by_app.get(&e.target) != Some(&target) {
+                        self.diag(
+                            out,
+                            Lint::IndirectExitIntegrity,
+                            e.patch_addr,
+                            format!(
+                                "linked exit for {:#x} jumps to {target:#010x} ({}), not \
+                                 the target's body fragment entry",
+                                e.target,
+                                self.labels.locate(target)
+                            ),
+                        );
+                    }
+                }
+                _ => self.diag(
+                    out,
+                    Lint::IndirectExitIntegrity,
+                    e.patch_addr,
+                    format!(
+                        "exit site for {:#x} is neither the spill head nor a direct link",
+                        e.target
+                    ),
+                ),
+            }
+        }
+    }
+
+    /// Adaptive inline probes: the patched `li` constants must agree with
+    /// the fragment map, and the entry jump must stay inside the cache.
+    fn adaptive_sites(&self, out: &mut Vec<Diagnostic>) {
+        for (i, s) in self.img.meta.adaptive_sites.iter().enumerate() {
+            match self.img.line_at(s.entry_jmp).and_then(|l| l.instr) {
+                Some(Instr::Jmp { target }) if self.img.in_cache(target) => {}
+                _ => self.diag(
+                    out,
+                    Lint::IndirectExitIntegrity,
+                    s.entry_jmp,
+                    format!("adaptive site {i} entry jump does not target the cache"),
+                ),
+            }
+            let AdaptiveStageMeta::Inline { tag_li, frag_li } = s.stage else {
+                continue;
+            };
+            let (Some(tag), Some(frag)) = (self.li_const(tag_li), self.li_const(frag_li)) else {
+                self.diag(
+                    out,
+                    Lint::TableAudit,
+                    tag_li,
+                    format!("adaptive site {i} inline probe constants do not decode as li pairs"),
+                );
+                continue;
+            };
+            if tag != 0 && self.body_by_app.get(&tag) != Some(&frag) {
+                self.diag(
+                    out,
+                    Lint::TableAudit,
+                    frag_li,
+                    format!(
+                        "adaptive site {i} inline probe: tag {tag:#x} paired with \
+                         {frag:#010x} ({}), not its body fragment entry",
+                        self.labels.locate(frag)
+                    ),
+                );
+            }
+        }
+    }
+
+    /// Decodes the constant materialised by an `lui`/`ori` pair at `addr`.
+    fn li_const(&self, addr: u32) -> Option<u32> {
+        let hi = match self.img.line_at(addr)?.instr? {
+            Instr::Lui { rd, imm } => (rd, (imm as u32) << 16),
+            _ => return None,
+        };
+        match self.img.line_at(addr + 4)?.instr? {
+            Instr::Ori { rd, rs1, imm } if rd == hi.0 && rs1 == hi.0 => Some(hi.1 | imm as u32),
+            _ => None,
+        }
+    }
+
+    /// Unreached application words are a warning (the translator emitted
+    /// app code no path executes); unreached overhead words are normal
+    /// (dead trampoline tails, superseded probes) and only counted.
+    fn reachability(
+        &self,
+        flow: &DataflowResult,
+        out: &mut Vec<Diagnostic>,
+        stats: &mut crate::diag::VerifyStats,
+    ) {
+        let mut dead_overhead = 0usize;
+        let mut run_start: Option<(u32, usize)> = None;
+        let flush = |run: &mut Option<(u32, usize)>, out: &mut Vec<Diagnostic>| {
+            if let Some((start, n)) = run.take() {
+                self.diag(
+                    out,
+                    Lint::UnreachableAppCode,
+                    start,
+                    format!("{n} unreachable application-origin word(s)"),
+                );
+            }
+        };
+        for l in &self.img.lines {
+            if flow.visited.contains(&l.addr) {
+                flush(&mut run_start, out);
+                continue;
+            }
+            if l.origin == Origin::App {
+                match &mut run_start {
+                    Some((_, n)) => *n += 1,
+                    None => run_start = Some((l.addr, 1)),
+                }
+            } else {
+                flush(&mut run_start, out);
+                dead_overhead += 1;
+            }
+        }
+        flush(&mut run_start, out);
+        stats.dead_overhead_words = dead_overhead;
+    }
+
+    /// A fragment nothing references — no static edge, table entry, shadow
+    /// slot, adaptive constant, or linked exit. Informational: the runtime
+    /// may still hold references the snapshot cannot see (fastret return
+    /// addresses on the application stack), so fastret skips this audit.
+    fn orphans(&self, flow: &DataflowResult, out: &mut Vec<Diagnostic>) {
+        if self.img.fastret {
+            return;
+        }
+        let mut referenced: HashSet<u32> = flow.edges.iter().map(|&(_, to)| to).collect();
+        for t in self.img.meta.all_tables() {
+            referenced.extend(self.img.table_words(t.base).iter().copied());
+        }
+        for pair in self.img.shadow_words().chunks(2) {
+            if let [_, translated] = pair {
+                referenced.insert(*translated);
+            }
+        }
+        for s in &self.img.meta.adaptive_sites {
+            if let AdaptiveStageMeta::Inline { frag_li, .. } = s.stage {
+                if let Some(frag) = self.li_const(frag_li) {
+                    referenced.insert(frag);
+                }
+            }
+        }
+        for f in &self.img.meta.fragments {
+            if f.app_addr == self.img.meta.entry_app && f.kind == FragKind::Body {
+                continue;
+            }
+            if !referenced.contains(&f.entry) {
+                self.diag(
+                    out,
+                    Lint::OrphanFragment,
+                    f.entry,
+                    format!(
+                        "{:?} fragment for {:#x} is referenced by no edge, table entry, \
+                         or link",
+                        f.kind, f.app_addr
+                    ),
+                );
+            }
+        }
+    }
+}

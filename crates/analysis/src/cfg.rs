@@ -1,0 +1,131 @@
+//! CFG recovery over the cache image: named landmarks (stubs, glue,
+//! fragment entries, trampolines, lookup routines, sieve stanzas) and
+//! basic-block reconstruction from the edges the dataflow pass discovers.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use strata_core::FragKind;
+
+use crate::image::CacheImage;
+
+/// Named landmarks in the cache, used to render locations like
+/// `miss_tail_reg_flags+0x8` and to seed the dataflow analysis.
+#[derive(Debug, Clone)]
+pub struct Labels {
+    names: BTreeMap<u32, String>,
+}
+
+impl Labels {
+    /// Builds the landmark map from the image's metadata.
+    pub fn build(img: &CacheImage) -> Labels {
+        let m = &img.meta;
+        let mut names = BTreeMap::new();
+        let mut put = |addr: u32, name: String| {
+            names.entry(addr).or_insert(name);
+        };
+
+        put(m.stubs.restore, "restore".into());
+        put(m.stubs.rc_restore, "rc_restore".into());
+        put(
+            m.stubs.miss_tail_stack_flags,
+            "miss_tail_stack_flags".into(),
+        );
+        put(m.stubs.miss_tail_reg_flags, "miss_tail_reg_flags".into());
+        put(m.stubs.shared_miss_glue, "shared_miss_glue".into());
+        put(m.stubs.nofill_miss_glue, "nofill_miss_glue".into());
+        put(m.stubs.rc_miss, "rc_miss".into());
+        for b in &m.binds {
+            if let Some(glue) = b.glue {
+                put(glue, format!("glue[{}:{}]", b.index, b.id));
+            }
+            if let Some(routine) = b.lookup_routine {
+                put(routine, format!("lookup[{}:{}]", b.index, b.id));
+            }
+        }
+        for f in &m.fragments {
+            let kind = match f.kind {
+                FragKind::Body => "frag",
+                FragKind::ReturnPoint => "rp_frag",
+            };
+            put(f.entry, format!("{kind}@{:#x}", f.app_addr));
+            if f.restore_entry != f.entry {
+                put(f.restore_entry, format!("{kind}@{:#x}.restore", f.app_addr));
+            }
+        }
+        for e in &m.exit_sites {
+            put(e.patch_addr, format!("exit->{:#x}", e.target));
+        }
+        for (i, a) in m.adaptive_sites.iter().enumerate() {
+            put(a.entry_jmp, format!("adaptive[{i}]"));
+        }
+        // Sieve stanza heads live in the cache and are only named by the
+        // bucket tables that point at them.
+        for b in &m.binds {
+            if let Some(t) = b.table {
+                if matches!(t.kind, strata_core::TableKind::SieveBuckets) {
+                    for (i, &w) in img.table_words(t.base).iter().enumerate() {
+                        if img.in_cache(w) && !names.contains_key(&w) {
+                            names.insert(w, format!("sieve[{}:{i}]", b.index));
+                        }
+                    }
+                }
+            }
+        }
+        Labels { names }
+    }
+
+    /// Renders `addr` relative to the nearest landmark at or below it.
+    pub fn locate(&self, addr: u32) -> String {
+        match self.names.range(..=addr).next_back() {
+            Some((&base, name)) if addr - base < 0x400 => {
+                if base == addr {
+                    name.clone()
+                } else {
+                    format!("{name}+{:#x}", addr - base)
+                }
+            }
+            _ => format!("{addr:#010x}"),
+        }
+    }
+
+    /// The landmark exactly at `addr`, if any.
+    pub fn at(&self, addr: u32) -> Option<&str> {
+        self.names.get(&addr).map(String::as_str)
+    }
+}
+
+/// Basic-block statistics recovered from the traversal: leaders are the
+/// landmark/seed addresses plus every edge target; a block runs from its
+/// leader to the next leader or the first non-fallthrough transfer.
+pub fn block_stats(
+    visited: &BTreeSet<u32>,
+    edges: &BTreeSet<(u32, u32)>,
+    seeds: &[u32],
+) -> (usize, usize) {
+    let mut leaders: BTreeSet<u32> = seeds.iter().copied().collect();
+    for &(from, to) in edges {
+        // A non-adjacent edge makes its target a leader; fallthrough
+        // (from + 4 == to) extends the block.
+        if from + 4 != to {
+            leaders.insert(to);
+        }
+    }
+    leaders.retain(|a| visited.contains(a));
+    (leaders.len(), edges.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_stats_counts_leaders_and_edges() {
+        let visited: BTreeSet<u32> = [0x100, 0x104, 0x108, 0x200].into_iter().collect();
+        let edges: BTreeSet<(u32, u32)> = [(0x100, 0x104), (0x104, 0x108), (0x108, 0x200)]
+            .into_iter()
+            .collect();
+        let (blocks, n_edges) = block_stats(&visited, &edges, &[0x100]);
+        assert_eq!(blocks, 2, "seed block plus the jump target");
+        assert_eq!(n_edges, 3);
+    }
+}

@@ -1,0 +1,1063 @@
+//! The dataflow core: a forward abstract interpretation over every word
+//! of the occupied fragment cache.
+//!
+//! The abstract state tracks exactly the invariants the emitted dispatch
+//! code is supposed to maintain around application code:
+//!
+//! - **where the application's flags live** (still in the machine, pushed
+//!   on the stack, held in a scratch register, or parked in `SLOT_FLAGS`),
+//! - **what overhead code has pushed** on the application stack (flags
+//!   words, lookup-routine return addresses) and that it unwinds them,
+//! - **scratch-register discipline**: `r1`–`r3` may only be written after
+//!   the spill prologue saved them, every other register only by the
+//!   context-switch restore sequence,
+//! - **value provenance** for the handful of values that matter: table
+//!   pointers built from hashed branch targets, table loads, the flags
+//!   word, and the constants that feed `SLOT_JUMP_TARGET`,
+//! - **exit integrity**: every way out of overhead code lands on a
+//!   translated fragment entry, a registered miss path, or a translator
+//!   trap, with the right context for each.
+//!
+//! Application-origin words are walked for reachability only — the
+//! application may do anything to its own state. The interesting edges
+//! are the boundaries: leaving app code injects the "full application
+//! context" state; re-entering app code asserts it has been restored.
+
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+
+use strata_core::protocol::{
+    reg_slot, SLOT_FLAGS, SLOT_JUMP_TARGET, SLOT_R1, SLOT_R2, SLOT_R3, SLOT_RESUME, SLOT_SHADOW_SP,
+    SLOT_SITE, SLOT_TARGET, TRAP_MISS, TRAP_RC_MISS,
+};
+use strata_core::{FlagsPolicy, FragKind, Origin, TableKind};
+use strata_isa::{Instr, Reg};
+use strata_machine::syscall::SDT_TRAP_BASE;
+
+use crate::cfg::Labels;
+use crate::diag::{Diagnostic, Lint};
+use crate::image::CacheImage;
+
+/// Where the application's flags value currently lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FlagsLoc {
+    /// Still in the machine's flags register (live, clobberable).
+    Live,
+    /// Pushed on the application stack by `pushf`.
+    OnStack,
+    /// Popped into a scratch register.
+    InReg,
+    /// Stored to `SLOT_FLAGS` for the runtime.
+    InSlot,
+}
+
+/// What a word pushed by overhead code on the application stack is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Token {
+    /// A flags word from `pushf`.
+    Flags,
+    /// A lookup-routine return address pushed by `call`.
+    CallerRet,
+}
+
+/// Whether a scratch register still holds the live application value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Scratch {
+    /// Unsaved application value — writing it loses application state.
+    AppLive,
+    /// Spilled to its save slot — free for dispatch use.
+    Saved,
+}
+
+/// Provenance of a register value, tracked only as far as the checks need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Value {
+    Unknown,
+    /// A known constant (from `lui`/`ori` materialization).
+    Const(u32),
+    /// The application flags word (loaded from `SLOT_FLAGS` or popped).
+    FlagsWord,
+    /// A branch-target hash index in construction (`srli 2` chain).
+    HashIdx,
+    /// The shadow-stack cursor (loaded from `SLOT_SHADOW_SP`).
+    ShadowOff,
+    /// `table base + scaled index`.
+    TablePtr(u32),
+    /// A word loaded from offset `off` of the table based at `base`.
+    TableVal(u32, i16),
+}
+
+/// What was last stored to `SLOT_JUMP_TARGET`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JumpSlot {
+    Unset,
+    /// A fragment entry (tagged-table hit, shadow hit, or patched
+    /// constant) — `jmem` through it re-enters application code.
+    FragEntry,
+    /// A sieve bucket head from the table based at the given address —
+    /// `jmem` through it continues dispatch in a stanza chain.
+    SieveEntry(u32),
+}
+
+/// Bit for register `i` in the bulk save/restore bitmaps.
+fn bulk_bit(i: usize) -> u16 {
+    1 << i
+}
+
+/// All registers the context switch must save: `r0`, `r4`–`r15`
+/// (`r1`–`r3` travel through their own slots).
+const BULK_MASK: u16 = 0xFFF1;
+
+#[derive(Debug, Clone, PartialEq)]
+struct State {
+    flags: FlagsLoc,
+    tokens: Vec<Token>,
+    scratch: [Scratch; 3],
+    vals: [Value; 16],
+    bulk_saved: u16,
+    bulk_restored: u16,
+    target_stored: bool,
+    site_stored: bool,
+    jump_slot: JumpSlot,
+}
+
+impl State {
+    /// The full application context: what holds at every fragment entry.
+    fn boundary() -> State {
+        State {
+            flags: FlagsLoc::Live,
+            tokens: Vec::new(),
+            scratch: [Scratch::AppLive; 3],
+            vals: [Value::Unknown; 16],
+            bulk_saved: 0,
+            bulk_restored: 0,
+            target_stored: false,
+            site_stored: false,
+            jump_slot: JumpSlot::Unset,
+        }
+    }
+
+    /// Dispatch state right after the spill prologue (and `pushf` under
+    /// [`FlagsPolicy::Always`]).
+    fn dispatch(always: bool) -> State {
+        State {
+            flags: if always {
+                FlagsLoc::OnStack
+            } else {
+                FlagsLoc::Live
+            },
+            tokens: if always {
+                vec![Token::Flags]
+            } else {
+                Vec::new()
+            },
+            scratch: [Scratch::Saved; 3],
+            ..State::boundary()
+        }
+    }
+
+    fn all_saved(&self) -> bool {
+        self.scratch.iter().all(|&s| s == Scratch::Saved)
+    }
+
+    fn all_app_live(&self) -> bool {
+        self.scratch.iter().all(|&s| s == Scratch::AppLive)
+    }
+}
+
+/// Everything the traversal learned, handed to the audit pass.
+pub struct DataflowResult {
+    pub diagnostics: Vec<Diagnostic>,
+    /// Every word any path reaches (app and overhead alike).
+    pub visited: BTreeSet<u32>,
+    /// Discovered control-flow edges.
+    pub edges: BTreeSet<(u32, u32)>,
+    /// Root addresses the traversal started from.
+    pub seeds: Vec<u32>,
+}
+
+pub fn run(img: &CacheImage, labels: &Labels) -> DataflowResult {
+    Engine::new(img, labels).run()
+}
+
+struct Engine<'a> {
+    img: &'a CacheImage,
+    labels: &'a Labels,
+    always: bool,
+    /// Fragment entries by address (`Body` entries re-enter app context).
+    body_entries: HashSet<u32>,
+    table_kinds: HashMap<u32, TableKind>,
+    shadow_base: Option<u32>,
+    in_states: HashMap<u32, State>,
+    visited: BTreeSet<u32>,
+    edges: BTreeSet<(u32, u32)>,
+    worklist: VecDeque<u32>,
+    queued: HashSet<u32>,
+    diags: Vec<Diagnostic>,
+    reported: HashSet<(Lint, u32)>,
+    seeds: Vec<u32>,
+}
+
+impl<'a> Engine<'a> {
+    fn new(img: &'a CacheImage, labels: &'a Labels) -> Engine<'a> {
+        let body_entries = img
+            .meta
+            .fragments
+            .iter()
+            .filter(|f| f.kind == FragKind::Body)
+            .map(|f| f.entry)
+            .collect();
+        let table_kinds = img
+            .meta
+            .all_tables()
+            .iter()
+            .map(|t| (t.base, t.kind))
+            .collect();
+        Engine {
+            img,
+            labels,
+            always: img.flags == FlagsPolicy::Always,
+            body_entries,
+            table_kinds,
+            shadow_base: img.meta.shadow.map(|(base, _)| base),
+            in_states: HashMap::new(),
+            visited: BTreeSet::new(),
+            edges: BTreeSet::new(),
+            worklist: VecDeque::new(),
+            queued: HashSet::new(),
+            diags: Vec::new(),
+            reported: HashSet::new(),
+            seeds: Vec::new(),
+        }
+    }
+
+    fn run(mut self) -> DataflowResult {
+        self.seed();
+        while let Some(addr) = self.worklist.pop_front() {
+            self.queued.remove(&addr);
+            self.visited.insert(addr);
+            let Some(line) = self.img.line_at(addr) else {
+                continue;
+            };
+            let line = *line;
+            let Some(instr) = line.instr else {
+                // The audit pass reports undecodable words; nothing to
+                // interpret and no successors to follow.
+                continue;
+            };
+            if line.origin == Origin::App {
+                self.step_app(addr, instr);
+            } else if let Some(state) = self.in_states.get(&addr).cloned() {
+                self.step_overhead(addr, instr, line.origin, state);
+            }
+        }
+        DataflowResult {
+            diagnostics: self.diags,
+            visited: self.visited,
+            edges: self.edges,
+            seeds: self.seeds,
+        }
+    }
+
+    fn add_seed(&mut self, addr: u32, mut s: State) {
+        // Under FlagsPolicy::None the emitted code carries no flags
+        // anywhere; collapse the seed conventions so merged stubs (e.g.
+        // the unified miss tail) join cleanly.
+        if !self.always {
+            s.flags = FlagsLoc::Live;
+            s.tokens.retain(|&t| t != Token::Flags);
+        }
+        self.seeds.push(addr);
+        self.join(addr, s);
+    }
+
+    fn seed(&mut self) {
+        let m = self.img.meta.clone();
+        let always = self.always;
+        // Runtime-entered stubs (the interpreter sets pc here directly).
+        let restore_entry = State {
+            flags: FlagsLoc::InSlot,
+            scratch: [Scratch::Saved; 3],
+            ..State::boundary()
+        };
+        self.add_seed(m.stubs.restore, restore_entry);
+        self.add_seed(m.stubs.rc_restore, State::dispatch(always));
+        // Miss paths (also reached by emitted jumps; seeding checks them
+        // even in configurations that never emit a caller).
+        let stack_tail = State {
+            site_stored: true,
+            ..State::dispatch(always)
+        };
+        self.add_seed(m.stubs.miss_tail_stack_flags, stack_tail);
+        let reg_tail = State {
+            flags: FlagsLoc::Live,
+            tokens: Vec::new(),
+            site_stored: true,
+            ..State::dispatch(always)
+        };
+        self.add_seed(m.stubs.miss_tail_reg_flags, reg_tail);
+        self.add_seed(m.stubs.shared_miss_glue, State::dispatch(always));
+        self.add_seed(m.stubs.nofill_miss_glue, State::dispatch(always));
+        self.add_seed(m.stubs.rc_miss, State::dispatch(always));
+        for i in 0..m.binds.len() {
+            if let Some(glue) = m.binds[i].glue {
+                self.add_seed(glue, State::dispatch(always));
+            }
+        }
+        // Fragment entries: bodies are entered in full application
+        // context; return points are entered by return-cache transfers in
+        // dispatch state.
+        for f in &m.fragments {
+            let s = match f.kind {
+                FragKind::Body => State::boundary(),
+                FragKind::ReturnPoint => State::dispatch(always),
+            };
+            self.add_seed(f.entry, s);
+        }
+    }
+
+    fn diag(&mut self, lint: Lint, addr: u32, message: String) {
+        if self.reported.insert((lint, addr)) {
+            self.diags.push(Diagnostic {
+                lint,
+                addr,
+                location: self.labels.locate(addr),
+                message,
+                excerpt: self.img.excerpt(addr, 2),
+            });
+        }
+    }
+
+    fn enqueue(&mut self, addr: u32) {
+        if self.queued.insert(addr) {
+            self.worklist.push_back(addr);
+        }
+    }
+
+    /// Joins `incoming` into the recorded in-state at `addr`, enqueueing
+    /// on change. Contradictory protocol facts (flags location, stack
+    /// shape, scratch discipline) raise a warning and keep the first
+    /// state, which guarantees termination.
+    fn join(&mut self, addr: u32, incoming: State) {
+        match self.in_states.get_mut(&addr) {
+            None => {
+                self.in_states.insert(addr, incoming);
+                self.enqueue(addr);
+            }
+            Some(cur) => {
+                let mut changed = false;
+                let mut conflict = false;
+                if cur.flags != incoming.flags {
+                    conflict = true;
+                }
+                if cur.tokens != incoming.tokens {
+                    conflict = true;
+                }
+                if cur.scratch != incoming.scratch {
+                    conflict = true;
+                }
+                for (v, w) in cur.vals.iter_mut().zip(incoming.vals.iter()) {
+                    if *v != *w && *v != Value::Unknown {
+                        *v = Value::Unknown;
+                        changed = true;
+                    }
+                }
+                let merged_saved = cur.bulk_saved & incoming.bulk_saved;
+                if merged_saved != cur.bulk_saved {
+                    cur.bulk_saved = merged_saved;
+                    changed = true;
+                }
+                let merged_restored = cur.bulk_restored & incoming.bulk_restored;
+                if merged_restored != cur.bulk_restored {
+                    cur.bulk_restored = merged_restored;
+                    changed = true;
+                }
+                if cur.target_stored && !incoming.target_stored {
+                    cur.target_stored = false;
+                    changed = true;
+                }
+                if cur.site_stored && !incoming.site_stored {
+                    cur.site_stored = false;
+                    changed = true;
+                }
+                if cur.jump_slot != incoming.jump_slot && cur.jump_slot != JumpSlot::Unset {
+                    cur.jump_slot = JumpSlot::Unset;
+                    changed = true;
+                }
+                if changed {
+                    self.enqueue(addr);
+                }
+                if conflict {
+                    self.diag(
+                        Lint::InconsistentState,
+                        addr,
+                        "control-flow join merges incompatible dispatch states \
+                         (flags location, stack shape, or scratch discipline differ)"
+                            .into(),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Asserts the full application context before control re-enters
+    /// application code.
+    fn check_app_entry(&mut self, at: u32, s: &State) {
+        if self.always && s.flags != FlagsLoc::Live {
+            self.diag(
+                Lint::BadAppEntry,
+                at,
+                format!(
+                    "re-enters application code with flags {:?}, not restored",
+                    s.flags
+                ),
+            );
+        }
+        if !s.tokens.is_empty() {
+            self.diag(
+                Lint::BadAppEntry,
+                at,
+                format!(
+                    "re-enters application code with {} overhead word(s) left on the stack",
+                    s.tokens.len()
+                ),
+            );
+        }
+        if !s.all_app_live() {
+            self.diag(
+                Lint::BadAppEntry,
+                at,
+                "re-enters application code without reloading r1-r3 from their save slots".into(),
+            );
+        }
+    }
+
+    /// Asserts the preserved-dispatch-context contract for transfers that
+    /// continue dispatch elsewhere (sieve chains, return-cache jumps).
+    fn check_dispatch_transfer(&mut self, at: u32, s: &State, what: &str) {
+        if !s.all_saved() {
+            self.diag(
+                Lint::IndirectExitIntegrity,
+                at,
+                format!("{what} with r1-r3 not spilled"),
+            );
+        }
+        if self.always && (s.flags != FlagsLoc::OnStack || s.tokens != vec![Token::Flags]) {
+            self.diag(
+                Lint::IndirectExitIntegrity,
+                at,
+                format!("{what} without the flags word on the stack"),
+            );
+        }
+        if !self.always && !s.tokens.is_empty() {
+            self.diag(
+                Lint::IndirectExitIntegrity,
+                at,
+                format!("{what} with overhead words left on the stack"),
+            );
+        }
+    }
+
+    /// Records the edge `from -> to` and delivers the right state.
+    fn flow(&mut self, from: u32, from_app: bool, to: u32, state: Option<&State>) {
+        self.edges.insert((from, to));
+        let Some(target) = self.img.line_at(to) else {
+            self.diag(
+                Lint::IndirectExitIntegrity,
+                from,
+                format!("branch to {to:#010x}, outside the occupied cache"),
+            );
+            return;
+        };
+        let to_app = target.origin == Origin::App;
+        let to_body_entry = self.body_entries.contains(&to);
+        if !from_app && (to_app || to_body_entry) {
+            if let Some(s) = state {
+                self.check_app_entry(from, s);
+            }
+        }
+        if to_app {
+            if !self.visited.contains(&to) {
+                self.enqueue(to);
+            }
+        } else if to_body_entry || from_app {
+            self.join(to, State::boundary());
+        } else if let Some(s) = state {
+            self.join(to, s.clone());
+        }
+    }
+
+    /// Walks one application-origin word: reachability plus the few
+    /// checks that apply to application code living in the cache.
+    fn step_app(&mut self, addr: u32, instr: Instr) {
+        match instr {
+            Instr::Jmp { target } => self.flow(addr, true, target, None),
+            Instr::Beq { .. }
+            | Instr::Bne { .. }
+            | Instr::Blt { .. }
+            | Instr::Bge { .. }
+            | Instr::Bltu { .. }
+            | Instr::Bgeu { .. } => {
+                if let Some(t) = instr.static_target(addr) {
+                    self.flow(addr, true, t, None);
+                }
+                self.flow(addr, true, addr + 4, None);
+            }
+            Instr::Call { target } => {
+                if !self.img.fastret {
+                    self.diag(
+                        Lint::IndirectExitIntegrity,
+                        addr,
+                        "untranslated direct call in the cache (translated return address \
+                         would be pushed, but fast-return is off)"
+                            .into(),
+                    );
+                }
+                self.flow(addr, true, target, None);
+                self.flow(addr, true, addr + 4, None);
+            }
+            Instr::Ret => {
+                if !self.img.fastret {
+                    self.diag(
+                        Lint::IndirectExitIntegrity,
+                        addr,
+                        "untranslated return in the cache (only fast-return leaves returns \
+                         in place)"
+                            .into(),
+                    );
+                }
+            }
+            Instr::Jr { .. } | Instr::Callr { .. } | Instr::Jmem { .. } => {
+                self.diag(
+                    Lint::IndirectExitIntegrity,
+                    addr,
+                    "untranslated indirect branch in the cache escapes dispatch".into(),
+                );
+            }
+            Instr::Trap { code } => {
+                if code >= SDT_TRAP_BASE {
+                    self.diag(
+                        Lint::ProtocolViolation,
+                        addr,
+                        format!("application-origin trap {code:#x} in the translator's range"),
+                    );
+                }
+                self.flow(addr, true, addr + 4, None);
+            }
+            Instr::Halt => {}
+            _ => self.flow(addr, true, addr + 4, None),
+        }
+    }
+
+    /// Interprets one overhead word against the abstract state.
+    fn step_overhead(&mut self, addr: u32, instr: Instr, origin: Origin, mut s: State) {
+        let val = |s: &State, r: Reg| s.vals[r.index()];
+
+        // Scratch and bulk register discipline.
+        if let Some(rd) = instr.dest_reg() {
+            let i = rd.index();
+            if (1..=3).contains(&i) {
+                if s.scratch[i - 1] == Scratch::AppLive {
+                    self.diag(
+                        Lint::ScratchClobber,
+                        addr,
+                        format!("writes r{i} before the spill prologue saved it"),
+                    );
+                }
+            } else {
+                let legit_restore =
+                    matches!(instr, Instr::Lwa { addr: a, .. } if a == reg_slot(i as u32));
+                if !legit_restore {
+                    self.diag(
+                        Lint::BulkClobber,
+                        addr,
+                        format!("overhead code writes r{i}, which dispatch never owns"),
+                    );
+                }
+            }
+        }
+        // Flags liveness: only `popf` may touch live flags, and only via
+        // its own token check below.
+        if self.always
+            && instr.writes_flags()
+            && !matches!(instr, Instr::Popf)
+            && s.flags == FlagsLoc::Live
+        {
+            self.diag(
+                Lint::FlagsClobber,
+                addr,
+                "clobbers live application flags before any save".into(),
+            );
+        }
+
+        match instr {
+            Instr::Lui { rd, imm } => {
+                s.vals[rd.index()] = Value::Const((imm as u32) << 16);
+            }
+            Instr::Ori { rd, rs1, imm } => {
+                s.vals[rd.index()] = match val(&s, rs1) {
+                    Value::Const(c) if rd == rs1 => Value::Const(c | imm as u32),
+                    _ => Value::Unknown,
+                };
+            }
+            Instr::Srli { rd, shamt, .. } => {
+                s.vals[rd.index()] = if shamt == 2 {
+                    Value::HashIdx
+                } else {
+                    Value::Unknown
+                };
+            }
+            Instr::Andi { rd, rs1, .. } => {
+                s.vals[rd.index()] = match val(&s, rs1) {
+                    v @ (Value::HashIdx | Value::ShadowOff) => v,
+                    _ => Value::Unknown,
+                };
+            }
+            Instr::Slli { rd, rs1, .. } => {
+                s.vals[rd.index()] = match val(&s, rs1) {
+                    Value::HashIdx => Value::HashIdx,
+                    _ => Value::Unknown,
+                };
+            }
+            Instr::Addi { rd, rs1, imm } => {
+                s.vals[rd.index()] = match val(&s, rs1) {
+                    Value::ShadowOff => Value::ShadowOff,
+                    Value::Const(c) => Value::Const(c.wrapping_add_signed(imm as i32)),
+                    _ => Value::Unknown,
+                };
+            }
+            Instr::Add { rd, rs1, rs2 } => {
+                s.vals[rd.index()] = match (val(&s, rs1), val(&s, rs2)) {
+                    (Value::HashIdx | Value::ShadowOff, Value::Const(b))
+                    | (Value::Const(b), Value::HashIdx | Value::ShadowOff) => Value::TablePtr(b),
+                    _ => Value::Unknown,
+                };
+            }
+            Instr::Mov { rd, rs } => {
+                s.vals[rd.index()] = val(&s, rs);
+            }
+            Instr::Lw { rd, rs1, off } => {
+                s.vals[rd.index()] = match val(&s, rs1) {
+                    Value::TablePtr(b) => Value::TableVal(b, off),
+                    _ => Value::Unknown,
+                };
+            }
+            Instr::Lwa { rd, addr: a } => {
+                s.vals[rd.index()] = match a {
+                    SLOT_SHADOW_SP => Value::ShadowOff,
+                    SLOT_FLAGS => Value::FlagsWord,
+                    _ => Value::Unknown,
+                };
+                match (rd.index(), a) {
+                    (1, SLOT_R1) => s.scratch[0] = Scratch::AppLive,
+                    (2, SLOT_R2) => s.scratch[1] = Scratch::AppLive,
+                    (3, SLOT_R3) => s.scratch[2] = Scratch::AppLive,
+                    (i, a) if a == reg_slot(i as u32) && !(1..=3).contains(&i) => {
+                        s.bulk_restored |= bulk_bit(i);
+                    }
+                    _ => {}
+                }
+            }
+            Instr::Swa { rs, addr: a } => self.do_swa(addr, rs, a, &mut s),
+            Instr::Sw { rs1, off, .. } => {
+                let (base, end) = self.img.meta.table_region;
+                let target = match val(&s, rs1) {
+                    Value::TablePtr(b) => Some(b),
+                    Value::Const(c) => Some(c.wrapping_add_signed(off as i32)),
+                    _ => None,
+                };
+                match target {
+                    Some(t) if t >= base && t < end => {}
+                    Some(t) => self.diag(
+                        Lint::ProtocolViolation,
+                        addr,
+                        format!("overhead store to {t:#010x}, outside the table region"),
+                    ),
+                    None => self.diag(
+                        Lint::ProtocolViolation,
+                        addr,
+                        "overhead store through an untracked pointer".into(),
+                    ),
+                }
+            }
+            Instr::Sb { .. } => {
+                self.diag(
+                    Lint::ProtocolViolation,
+                    addr,
+                    "byte store in overhead code".into(),
+                );
+            }
+            Instr::Push { rs } => {
+                if origin == Origin::CallGlue {
+                    // Call glue materializes the application's return
+                    // address: an application-semantic push, not overhead
+                    // the dispatch must unwind.
+                } else if val(&s, rs) == Value::FlagsWord {
+                    s.tokens.push(Token::Flags);
+                    s.flags = FlagsLoc::OnStack;
+                } else {
+                    self.diag(
+                        Lint::ProtocolViolation,
+                        addr,
+                        "overhead code pushes a non-flags value on the application stack".into(),
+                    );
+                }
+            }
+            Instr::Pushf => {
+                s.tokens.push(Token::Flags);
+                s.flags = FlagsLoc::OnStack;
+            }
+            Instr::Pop { rd } => match s.tokens.pop() {
+                Some(Token::Flags) => {
+                    s.vals[rd.index()] = Value::FlagsWord;
+                    s.flags = FlagsLoc::InReg;
+                }
+                Some(Token::CallerRet) => s.vals[rd.index()] = Value::Unknown,
+                // Nothing overhead-pushed: an application-semantic pop
+                // (the popped-return prologue taking the return address).
+                None => s.vals[rd.index()] = Value::Unknown,
+            },
+            Instr::Popf => {
+                if s.tokens.last() == Some(&Token::Flags) {
+                    s.tokens.pop();
+                    s.flags = FlagsLoc::Live;
+                } else {
+                    self.diag(
+                        Lint::BadPopf,
+                        addr,
+                        "popf without a flags word on top of the stack".into(),
+                    );
+                }
+            }
+            _ => {}
+        }
+
+        // Successors.
+        match instr {
+            Instr::Jmp { target } => self.flow(addr, false, target, Some(&s)),
+            Instr::Beq { .. }
+            | Instr::Bne { .. }
+            | Instr::Blt { .. }
+            | Instr::Bge { .. }
+            | Instr::Bltu { .. }
+            | Instr::Bgeu { .. } => {
+                if let Some(t) = instr.static_target(addr) {
+                    self.flow(addr, false, t, Some(&s));
+                }
+                self.flow(addr, false, addr + 4, Some(&s));
+            }
+            Instr::Call { target } => {
+                // An out-of-line lookup call: the routine sees the caller's
+                // state plus its return address; the hit path returns with
+                // SLOT_JUMP_TARGET holding a fragment entry and the
+                // scratch values disturbed.
+                let mut callee = s.clone();
+                callee.tokens.push(Token::CallerRet);
+                self.flow(addr, false, target, Some(&callee));
+                let mut cont = s.clone();
+                cont.jump_slot = JumpSlot::FragEntry;
+                cont.vals[2] = Value::Unknown;
+                cont.vals[3] = Value::Unknown;
+                self.flow(addr, false, addr + 4, Some(&cont));
+            }
+            Instr::Ret => {
+                if s.tokens.last() == Some(&Token::CallerRet) {
+                    s.tokens.pop();
+                    if s.jump_slot == JumpSlot::Unset {
+                        self.diag(
+                            Lint::UnknownProvenance,
+                            addr,
+                            "lookup routine returns without a tracked SLOT_JUMP_TARGET".into(),
+                        );
+                    }
+                } else {
+                    self.diag(
+                        Lint::StackImbalance,
+                        addr,
+                        "overhead ret without a pushed return address to consume".into(),
+                    );
+                }
+            }
+            Instr::Jr { rs } => match val(&s, rs) {
+                Value::TableVal(b, 0)
+                    if self.table_kinds.get(&b) == Some(&TableKind::ReturnCache) =>
+                {
+                    self.check_dispatch_transfer(addr, &s, "return-cache transfer");
+                    let succs: BTreeSet<u32> = self.img.table_words(b).iter().copied().collect();
+                    for to in succs {
+                        if self.img.in_cache(to) {
+                            self.flow(addr, false, to, Some(&s));
+                        }
+                    }
+                }
+                _ => self.diag(
+                    Lint::IndirectExitIntegrity,
+                    addr,
+                    "jr through a value that is not a return-cache entry".into(),
+                ),
+            },
+            Instr::Callr { .. } => {
+                self.diag(
+                    Lint::IndirectExitIntegrity,
+                    addr,
+                    "indirect call in overhead code escapes dispatch".into(),
+                );
+            }
+            Instr::Jmem { addr: a } => self.do_jmem(addr, a, &s),
+            Instr::Trap { code } => self.do_trap(addr, code, &s),
+            Instr::Halt => {
+                self.diag(
+                    Lint::ProtocolViolation,
+                    addr,
+                    "halt in overhead code".into(),
+                );
+            }
+            _ => self.flow(addr, false, addr + 4, Some(&s)),
+        }
+    }
+
+    fn do_swa(&mut self, addr: u32, rs: Reg, a: u32, s: &mut State) {
+        let v = s.vals[rs.index()];
+        match a {
+            SLOT_R1 | SLOT_R2 | SLOT_R3 => {
+                let slot_idx = ((a - SLOT_R1) / 4 + 1) as usize;
+                if rs.index() == slot_idx {
+                    s.scratch[slot_idx - 1] = Scratch::Saved;
+                } else {
+                    self.diag(
+                        Lint::ProtocolViolation,
+                        addr,
+                        format!("saves r{} to r{slot_idx}'s slot", rs.index()),
+                    );
+                }
+            }
+            SLOT_TARGET => s.target_stored = true,
+            SLOT_SITE => s.site_stored = true,
+            SLOT_FLAGS => {
+                if self.always {
+                    if v != Value::FlagsWord {
+                        self.diag(
+                            Lint::UnknownProvenance,
+                            addr,
+                            "stores a non-flags value to SLOT_FLAGS".into(),
+                        );
+                    }
+                    s.flags = FlagsLoc::InSlot;
+                }
+            }
+            SLOT_SHADOW_SP => {}
+            SLOT_JUMP_TARGET => {
+                s.jump_slot = match v {
+                    // Zero is the empty-entry sentinel: statically
+                    // storable (an unfilled probe), dynamically dead
+                    // because no tag matches it.
+                    Value::Const(0) => JumpSlot::FragEntry,
+                    Value::Const(c) if self.body_entries.contains(&c) => JumpSlot::FragEntry,
+                    Value::TableVal(b, off) => match self.table_kinds.get(&b) {
+                        Some(TableKind::IbtcTagged { .. }) if off == 4 => JumpSlot::FragEntry,
+                        Some(TableKind::IbtcTagged { ways }) if *ways == 2 && off == 12 => {
+                            JumpSlot::FragEntry
+                        }
+                        Some(TableKind::SieveBuckets) if off == 0 => JumpSlot::SieveEntry(b),
+                        _ if Some(b) == self.shadow_base && off == 4 => JumpSlot::FragEntry,
+                        _ => {
+                            self.diag(
+                                Lint::UnknownProvenance,
+                                addr,
+                                format!(
+                                    "SLOT_JUMP_TARGET written from table {b:#x} offset {off}, \
+                                     which is not a translated-address column"
+                                ),
+                            );
+                            JumpSlot::Unset
+                        }
+                    },
+                    _ => {
+                        self.diag(
+                            Lint::UnknownProvenance,
+                            addr,
+                            "SLOT_JUMP_TARGET written from an untracked value".into(),
+                        );
+                        JumpSlot::Unset
+                    }
+                };
+            }
+            SLOT_RESUME => {
+                self.diag(
+                    Lint::ProtocolViolation,
+                    addr,
+                    "emitted code writes SLOT_RESUME (runtime-owned)".into(),
+                );
+            }
+            _ => {
+                let i = rs.index();
+                if a == reg_slot(i as u32) {
+                    s.bulk_saved |= bulk_bit(i);
+                } else if (SLOT_R1..reg_slot(16)).contains(&a) {
+                    self.diag(
+                        Lint::ProtocolViolation,
+                        addr,
+                        format!("saves r{i} to the wrong context slot {a:#x}"),
+                    );
+                } else {
+                    self.diag(
+                        Lint::ProtocolViolation,
+                        addr,
+                        format!("store to unexpected absolute address {a:#x}"),
+                    );
+                }
+            }
+        }
+    }
+
+    fn do_jmem(&mut self, addr: u32, a: u32, s: &State) {
+        match a {
+            SLOT_JUMP_TARGET => match s.jump_slot {
+                JumpSlot::FragEntry => self.check_app_entry(addr, s),
+                JumpSlot::SieveEntry(b) => {
+                    self.check_dispatch_transfer(addr, s, "sieve chain transfer");
+                    let succs: BTreeSet<u32> = self.img.table_words(b).iter().copied().collect();
+                    for to in succs {
+                        if self.img.in_cache(to) {
+                            self.flow(addr, false, to, Some(s));
+                        }
+                    }
+                }
+                JumpSlot::Unset => {
+                    self.diag(
+                        Lint::UnknownProvenance,
+                        addr,
+                        "jumps through SLOT_JUMP_TARGET with unknown provenance".into(),
+                    );
+                }
+            },
+            SLOT_RESUME => {
+                if s.bulk_restored != BULK_MASK {
+                    self.diag(
+                        Lint::BadResume,
+                        addr,
+                        format!(
+                            "resumes with bulk registers unrestored (mask {:#06x} of {BULK_MASK:#06x})",
+                            s.bulk_restored
+                        ),
+                    );
+                }
+                let full_restore = (!self.always || s.flags == FlagsLoc::Live)
+                    && s.tokens.is_empty()
+                    && s.all_app_live();
+                let partial_restore = s.all_saved()
+                    && if self.always {
+                        s.flags == FlagsLoc::OnStack && s.tokens == vec![Token::Flags]
+                    } else {
+                        s.tokens.is_empty()
+                    };
+                if !full_restore && !partial_restore {
+                    self.diag(
+                        Lint::BadResume,
+                        addr,
+                        "resumes without either the full-restore or the return-cache \
+                         restore contract established"
+                            .into(),
+                    );
+                }
+            }
+            _ => {
+                self.diag(
+                    Lint::ProtocolViolation,
+                    addr,
+                    format!("jmem through unexpected slot {a:#x}"),
+                );
+            }
+        }
+    }
+
+    fn do_trap(&mut self, addr: u32, code: u16, s: &State) {
+        if code == TRAP_MISS {
+            if !s.tokens.is_empty() {
+                self.diag(
+                    Lint::StackImbalance,
+                    addr,
+                    "miss trap with overhead words left on the stack".into(),
+                );
+            }
+            if !s.target_stored {
+                self.diag(
+                    Lint::ProtocolViolation,
+                    addr,
+                    "miss trap without the branch target in SLOT_TARGET".into(),
+                );
+            }
+            if !s.site_stored {
+                self.diag(
+                    Lint::ProtocolViolation,
+                    addr,
+                    "miss trap without a site id in SLOT_SITE".into(),
+                );
+            }
+            if self.always && s.flags != FlagsLoc::InSlot {
+                self.diag(
+                    Lint::ProtocolViolation,
+                    addr,
+                    "miss trap without the flags parked in SLOT_FLAGS".into(),
+                );
+            }
+            if s.bulk_saved != BULK_MASK {
+                self.diag(
+                    Lint::ProtocolViolation,
+                    addr,
+                    format!(
+                        "miss trap with bulk registers unsaved (mask {:#06x} of {BULK_MASK:#06x})",
+                        s.bulk_saved
+                    ),
+                );
+            }
+            if !s.all_saved() {
+                self.diag(
+                    Lint::ProtocolViolation,
+                    addr,
+                    "miss trap with r1-r3 not spilled".into(),
+                );
+            }
+        } else if code == TRAP_RC_MISS {
+            let stack_ok = if self.always {
+                s.flags == FlagsLoc::OnStack && s.tokens == vec![Token::Flags]
+            } else {
+                s.tokens.is_empty()
+            };
+            if !stack_ok {
+                self.diag(
+                    Lint::StackImbalance,
+                    addr,
+                    "return-cache miss trap without the flags word (and only it) on the stack"
+                        .into(),
+                );
+            }
+            if !s.target_stored {
+                self.diag(
+                    Lint::ProtocolViolation,
+                    addr,
+                    "return-cache miss trap without the return address in SLOT_TARGET".into(),
+                );
+            }
+            if s.bulk_saved != BULK_MASK {
+                self.diag(
+                    Lint::ProtocolViolation,
+                    addr,
+                    "return-cache miss trap with bulk registers unsaved".into(),
+                );
+            }
+            if !s.all_saved() {
+                self.diag(
+                    Lint::ProtocolViolation,
+                    addr,
+                    "return-cache miss trap with r1-r3 not spilled".into(),
+                );
+            }
+        } else {
+            self.diag(
+                Lint::ProtocolViolation,
+                addr,
+                format!("unexpected trap {code:#x} in overhead code"),
+            );
+        }
+    }
+}

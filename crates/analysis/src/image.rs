@@ -1,0 +1,171 @@
+//! A self-contained snapshot of the fragment cache and everything the
+//! checker needs to audit it: disassembled words with origin tags, the
+//! translator's structural metadata, and copies of every lookup table.
+//!
+//! Capturing an image decouples verification from the live [`Sdt`]: the
+//! checker only reads the image, and tests can deliberately corrupt one
+//! word ([`CacheImage::patch_word`]) to prove a lint fires.
+
+use std::collections::HashMap;
+
+use strata_core::{CacheLine, CacheMeta, FlagsPolicy, RetMechanism, Sdt};
+
+/// An immutable snapshot of one SDT run's emitted code and tables.
+#[derive(Debug, Clone)]
+pub struct CacheImage {
+    /// Disassembled cache words in address order.
+    pub lines: Vec<CacheLine>,
+    /// Structural metadata exported by the translator.
+    pub meta: CacheMeta,
+    /// The flags-preservation policy the code was emitted under.
+    pub flags: FlagsPolicy,
+    /// Whether returns use the fast-return mechanism (translated return
+    /// addresses on the application stack — the only configuration where
+    /// application-origin `call`/`ret` legitimately appear in the cache).
+    pub fastret: bool,
+    /// Per-class dispatch summary (`jump=…, call=…, ret=…`).
+    pub config: String,
+    /// Snapshots of every lookup table, keyed by base address.
+    tables: HashMap<u32, Vec<u32>>,
+    /// Snapshot of the shadow return stack region, when enabled.
+    shadow_words: Vec<u32>,
+}
+
+impl CacheImage {
+    /// Captures the occupied cache, metadata, and table contents of `sdt`.
+    pub fn capture(sdt: &Sdt) -> CacheImage {
+        let lines = sdt.disassemble_cache(usize::MAX);
+        let meta = sdt.cache_meta();
+        let mem = sdt.machine().mem();
+        let read = |addr: u32| mem.read_u32(addr).unwrap_or(0);
+
+        let mut tables = HashMap::new();
+        for t in meta.all_tables() {
+            let words = (t.size_bytes() / 4) as usize;
+            tables
+                .entry(t.base)
+                .or_insert_with(|| (0..words).map(|i| read(t.base + 4 * i as u32)).collect());
+        }
+        let shadow_words = match meta.shadow {
+            Some((base, mask)) => {
+                let words = ((mask + 1) / 4) as usize;
+                (0..words).map(|i| read(base + 4 * i as u32)).collect()
+            }
+            None => Vec::new(),
+        };
+
+        let config = sdt
+            .policy_summary()
+            .into_iter()
+            .map(|(class, mech)| format!("{class}={mech}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+
+        CacheImage {
+            lines,
+            meta,
+            flags: sdt.config().flags,
+            fastret: sdt.config().ret == RetMechanism::FastReturn,
+            config,
+            tables,
+            shadow_words,
+        }
+    }
+
+    /// The line at cache address `addr`, if within the occupied cache.
+    pub fn line_at(&self, addr: u32) -> Option<&CacheLine> {
+        let base = self.meta.cache_base;
+        if addr < base || !(addr - base).is_multiple_of(4) {
+            return None;
+        }
+        self.lines.get(((addr - base) / 4) as usize)
+    }
+
+    /// True when `addr` lies inside the occupied cache.
+    pub fn in_cache(&self, addr: u32) -> bool {
+        self.line_at(addr).is_some()
+    }
+
+    /// The snapshot of the table based at `base` (empty if unknown).
+    pub fn table_words(&self, base: u32) -> &[u32] {
+        self.tables.get(&base).map_or(&[], Vec::as_slice)
+    }
+
+    /// The shadow return stack snapshot (empty when disabled).
+    pub fn shadow_words(&self) -> &[u32] {
+        &self.shadow_words
+    }
+
+    /// Overwrites one cache word in the snapshot (test hook: prove the
+    /// checker catches a deliberately corrupted instruction). Panics if
+    /// `addr` is outside the occupied cache.
+    pub fn patch_word(&mut self, addr: u32, word: u32) {
+        let base = self.meta.cache_base;
+        let idx = ((addr - base) / 4) as usize;
+        let line = &mut self.lines[idx];
+        line.word = word;
+        line.instr = strata_isa::decode(word).ok();
+    }
+
+    /// A short disassembly excerpt around `addr`, the anchor marked `>`.
+    pub fn excerpt(&self, addr: u32, context: usize) -> Vec<String> {
+        let base = self.meta.cache_base;
+        if addr < base {
+            return Vec::new();
+        }
+        let idx = ((addr - base) / 4) as usize;
+        let lo = idx.saturating_sub(context);
+        let hi = (idx + context + 1).min(self.lines.len());
+        self.lines[lo..hi]
+            .iter()
+            .map(|l| {
+                let mark = if l.addr == addr { '>' } else { ' ' };
+                format!(
+                    "{mark} {:#010x}  {:<24} ; {}",
+                    l.addr,
+                    l.text(),
+                    l.origin.label()
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strata_arch::ArchProfile;
+    use strata_asm::assemble;
+    use strata_core::SdtConfig;
+    use strata_machine::{layout, Program};
+
+    fn image_for(src: &str, cfg: SdtConfig) -> CacheImage {
+        let code = assemble(layout::APP_BASE, src).unwrap();
+        let program = Program::new("t", code, Vec::new());
+        let mut sdt = Sdt::new(cfg, &program).unwrap();
+        sdt.run(ArchProfile::x86_like(), 1_000_000).unwrap();
+        CacheImage::capture(&sdt)
+    }
+
+    #[test]
+    fn capture_snapshots_lines_and_tables() {
+        let img = image_for(
+            "li r9, t\njr r9\nt:\nli r4, 1\ntrap 0x1\nhalt\n",
+            SdtConfig::ibtc_inline(64),
+        );
+        assert_eq!(img.lines.len() * 4, img.meta.cache_used as usize);
+        let t = img.meta.binds[0].table.unwrap();
+        assert_eq!(img.table_words(t.base).len(), (t.size_bytes() / 4) as usize);
+        // The taken indirect branch filled at least one tagged entry.
+        assert!(img.table_words(t.base).iter().any(|&w| w != 0));
+    }
+
+    #[test]
+    fn patch_word_redecodes() {
+        let mut img = image_for("halt\n", SdtConfig::reentry());
+        let addr = img.meta.cache_base;
+        img.patch_word(addr, 0xFFFF_FFFF);
+        assert!(img.line_at(addr).unwrap().instr.is_none());
+        assert!(img.excerpt(addr, 1).iter().any(|l| l.contains(".word")));
+    }
+}

@@ -1,0 +1,58 @@
+//! strata-verify: a static checker for the code the translator emits.
+//!
+//! The fragment cache mixes copied application instructions with emitted
+//! overhead — dispatch probes, miss trampolines, context-switch stubs —
+//! and the correctness argument for every indirect-branch mechanism in
+//! the paper rests on invariants that nothing in the translator itself
+//! enforces: overhead code must not clobber application flags before
+//! saving them, must only touch the scratch registers it spilled, must
+//! keep the application stack balanced, and every indirect exit from the
+//! cache must land on a registered dispatch path.
+//!
+//! This crate checks those invariants after the fact. [`CacheImage`]
+//! snapshots the occupied cache, the translator's structural metadata,
+//! and every lookup table; [`verify_image`] then:
+//!
+//! 1. recovers a CFG (labeled landmarks + edges discovered by abstract
+//!    interpretation over every reachable word),
+//! 2. runs a word-level dataflow pass tracking flags location, pushed
+//!    tokens, scratch/bulk register discipline, and the provenance of
+//!    values flowing into dispatch transfers, and
+//! 3. audits the tables: IBTC tags against the fragment map, sieve
+//!    buckets against stanza heads, return-cache and shadow-stack
+//!    entries, adaptive probe constants, and exit-site link states.
+//!
+//! Findings come back as a [`VerifyReport`] of [`Diagnostic`]s with
+//! severities ([`Severity`]); a report [`is_clean`](VerifyReport::is_clean)
+//! when nothing at warning level or above fired.
+
+mod audit;
+mod cfg;
+mod dataflow;
+mod diag;
+mod image;
+
+pub use cfg::Labels;
+pub use diag::{Diagnostic, Lint, Severity, VerifyReport, VerifyStats};
+pub use image::CacheImage;
+
+use strata_core::Sdt;
+
+/// Captures `sdt`'s cache and verifies it.
+pub fn verify(sdt: &Sdt) -> VerifyReport {
+    verify_image(&CacheImage::capture(sdt))
+}
+
+/// Verifies a previously captured (possibly deliberately corrupted) image.
+pub fn verify_image(img: &CacheImage) -> VerifyReport {
+    let labels = Labels::build(img);
+    let flow = dataflow::run(img, &labels);
+    let mut report = VerifyReport {
+        config: img.config.clone(),
+        diagnostics: flow.diagnostics.clone(),
+        stats: VerifyStats::default(),
+    };
+    audit::run(img, &labels, &flow, &mut report);
+    report.finish();
+    report
+}

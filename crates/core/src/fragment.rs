@@ -1,8 +1,8 @@
 use std::collections::HashMap;
 
 /// What kind of entry a fragment provides.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub(crate) enum FragKind {
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FragKind {
     /// A plain translated basic block, entered at its first body
     /// instruction.
     Body,
@@ -46,6 +46,11 @@ impl FragmentMap {
 
     pub fn len(&self) -> usize {
         self.map.len()
+    }
+
+    /// Iterates over `((app_addr, kind), fragment)` entries in map order.
+    pub fn iter(&self) -> impl Iterator<Item = (&(u32, FragKind), &Fragment)> {
+        self.map.iter()
     }
 }
 

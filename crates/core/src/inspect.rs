@@ -10,11 +10,25 @@ use crate::{Origin, Sdt};
 pub struct CacheLine {
     /// Cache address of the instruction.
     pub addr: u32,
+    /// The raw instruction word, kept so dumps and verifier excerpts can
+    /// render undecodable words instead of truncating mid-fragment.
+    pub word: u32,
     /// The decoded instruction (`None` for undecodable words, which the
     /// translator never emits but a dump should survive).
     pub instr: Option<Instr>,
     /// Why the translator emitted it.
     pub origin: Origin,
+}
+
+impl CacheLine {
+    /// Renders the instruction text: the canonical disassembly, or a
+    /// `.word 0x????????` directive for undecodable words.
+    pub fn text(&self) -> String {
+        match self.instr {
+            Some(i) => i.to_string(),
+            None => format!(".word {:#010x}", self.word),
+        }
+    }
 }
 
 impl Sdt {
@@ -39,15 +53,12 @@ impl Sdt {
         let mut out = Vec::new();
         let mut addr = base;
         while addr < base + used && out.len() < max_lines {
-            let instr = self
-                .machine()
-                .mem()
-                .read_u32(addr)
-                .ok()
-                .and_then(|w| strata_isa::decode(w).ok());
+            let word = self.machine().mem().read_u32(addr).unwrap_or(0);
+            let instr = strata_isa::decode(word).ok();
             let origin = self.origin_at(addr).unwrap_or(Origin::App);
             out.push(CacheLine {
                 addr,
+                word,
                 instr,
                 origin,
             });
@@ -57,17 +68,15 @@ impl Sdt {
     }
 
     /// Renders a human-readable dump of the occupied fragment cache.
+    /// Undecodable words render as `.word 0x????????` so the dump never
+    /// truncates mid-fragment.
     pub fn dump_cache(&self, max_lines: usize) -> String {
         let mut s = String::new();
         for line in self.disassemble_cache(max_lines) {
-            let text = match line.instr {
-                Some(i) => i.to_string(),
-                None => "<invalid>".to_string(),
-            };
             s.push_str(&format!(
                 "{:#010x}  {:<24} ; {}\n",
                 line.addr,
-                text,
+                line.text(),
                 line.origin.label()
             ));
         }
@@ -119,5 +128,27 @@ mod tests {
     fn max_lines_bounds_output() {
         let sdt = sdt_for("halt\n", SdtConfig::reentry());
         assert_eq!(sdt.disassemble_cache(3).len(), 3);
+    }
+
+    #[test]
+    fn lines_carry_the_raw_word() {
+        let sdt = sdt_for("halt\n", SdtConfig::reentry());
+        for line in sdt.disassemble_cache(usize::MAX) {
+            assert_eq!(line.word, sdt.machine().mem().read_u32(line.addr).unwrap());
+        }
+    }
+
+    #[test]
+    fn undecodable_words_render_as_word_directives() {
+        // 0xFFFF_FFFF is not a valid SimRISC encoding; a dump line built
+        // from it must render a `.word` directive, not error or truncate.
+        let line = CacheLine {
+            addr: 0x60_0000,
+            word: 0xFFFF_FFFF,
+            instr: strata_isa::decode(0xFFFF_FFFF).ok(),
+            origin: Origin::App,
+        };
+        assert!(line.instr.is_none(), "0xFFFFFFFF must not decode");
+        assert_eq!(line.text(), ".word 0xffffffff");
     }
 }

@@ -71,6 +71,7 @@ mod error;
 mod fragment;
 mod harness;
 mod inspect;
+mod meta;
 mod origin;
 pub mod protocol;
 mod report;
@@ -86,8 +87,13 @@ pub use config::{
     RetMechanism, SdtConfig,
 };
 pub use error::SdtError;
+pub use fragment::FragKind;
 pub use harness::{run_native, NativeRun};
 pub use inspect::CacheLine;
+pub use meta::{
+    AdaptiveSiteMeta, AdaptiveStageMeta, BindMeta, CacheMeta, ExitSiteMeta, FragmentMeta,
+    StubsMeta, TableKind, TableMeta,
+};
 pub use origin::Origin;
 pub use report::{ClassReport, MechanismStats, RunReport};
 pub use sdt::Sdt;

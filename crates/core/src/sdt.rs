@@ -278,6 +278,21 @@ impl Sdt {
         self.state.cache.origin_at(pc)
     }
 
+    /// Translator state, for in-crate metadata export.
+    pub(crate) fn state(&self) -> &SdtState {
+        &self.state
+    }
+
+    /// The program's entry application address.
+    pub(crate) fn entry_app(&self) -> u32 {
+        self.entry
+    }
+
+    /// Application code bounds as `(base, end)`.
+    pub(crate) fn app_code_range(&self) -> (u32, u32) {
+        (self.app_code.start, self.app_code.end)
+    }
+
     /// Basic-block execution counts collected by
     /// [`SdtConfig::instrument_blocks`], as `(application address, count)`
     /// pairs sorted by descending count. Counts survive cache flushes.

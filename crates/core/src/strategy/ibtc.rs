@@ -60,6 +60,10 @@ impl IbStrategy for Ibtc {
         format!("ibtc({},{scope},{placement}){ways}", self.entries)
     }
 
+    fn site_table_geometry(&self) -> Option<(u32, u8)> {
+        Some((self.entries, self.ways))
+    }
+
     fn alloc_fixed(&self, bind: &mut Bind, alloc: &mut TableAlloc) -> Result<(), SdtError> {
         if self.scope == IbtcScope::Shared {
             let base = alloc.alloc(self.entries * 8, 0x1_0000)?;

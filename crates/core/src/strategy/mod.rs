@@ -156,6 +156,15 @@ pub(crate) trait IbStrategy: std::fmt::Debug + Send + Sync {
         Ok(())
     }
 
+    /// Geometry `(entries, ways)` of the IBTC tables this strategy hangs
+    /// off individual sites ([`Site::Ib`](crate::fragment::Site::Ib) with
+    /// a table base). `None` for strategies whose sites carry no private
+    /// table. Used by cache-metadata export to reconstruct per-site
+    /// [`TableRef`]s for external auditing.
+    fn site_table_geometry(&self) -> Option<(u32, u8)> {
+        None
+    }
+
     /// Emits per-binding stub support (out-of-line probe routines) right
     /// after the shared stubs. `miss_glue` is where a routine's miss path
     /// must jump.

@@ -306,12 +306,161 @@ mod tests {
         assert_eq!(cache.origin_at(s.restore), Some(Origin::ContextSwitch));
     }
 
+    /// Decodes the stub instructions at `addr`, stopping after the first
+    /// control transfer (`trap`/`jmem`/`jmp`).
+    fn decode_stub(mem: &Memory, addr: u32) -> Vec<Instr> {
+        let mut out = Vec::new();
+        for i in 0..64 {
+            let word = mem.read_u32(addr + 4 * i).unwrap();
+            let instr = strata_isa::decode(word).unwrap();
+            let done = matches!(
+                instr,
+                Instr::Trap { .. } | Instr::Jmem { .. } | Instr::Jmp { .. }
+            );
+            out.push(instr);
+            if done {
+                break;
+            }
+        }
+        out
+    }
+
     #[test]
     fn flags_none_merges_tails() {
         let mut cfg = SdtConfig::reentry();
         cfg.flags = FlagsPolicy::None;
-        let (_, _, s) = setup(cfg);
+        let (_, mem, s) = setup(cfg);
         assert_eq!(s.miss_tail_stack_flags, s.miss_tail_reg_flags);
+        // The merged tail spills the target, saves the bulk registers, and
+        // traps — it must not touch flags or the application stack.
+        let tail = decode_stub(&mem, s.miss_tail_stack_flags);
+        assert_eq!(
+            tail[0],
+            Instr::Swa {
+                rs: Reg::R1,
+                addr: SLOT_TARGET
+            }
+        );
+        assert_eq!(tail.last(), Some(&Instr::Trap { code: TRAP_MISS }));
+        assert!(
+            !tail.iter().any(|i| matches!(
+                i,
+                Instr::Pushf | Instr::Popf | Instr::Push { .. } | Instr::Pop { .. }
+            )),
+            "merged tail must not touch flags or the stack: {tail:?}"
+        );
+    }
+
+    /// Under [`FlagsPolicy::Always`] the two miss tails are distinct and
+    /// each honors its documented entry convention: the stack-flags tail
+    /// pops the flags word its caller already pushed, while the reg-flags
+    /// tail pushes the still-live flags itself before popping.
+    #[test]
+    fn flags_always_keeps_tails_distinct() {
+        let cfg = SdtConfig::reentry();
+        assert_eq!(cfg.flags, FlagsPolicy::Always);
+        let (_, mem, s) = setup(cfg);
+        assert_ne!(s.miss_tail_stack_flags, s.miss_tail_reg_flags);
+
+        let spill_target = Instr::Swa {
+            rs: Reg::R1,
+            addr: SLOT_TARGET,
+        };
+        let save_flags = [
+            Instr::Pop { rd: Reg::R3 },
+            Instr::Swa {
+                rs: Reg::R3,
+                addr: SLOT_FLAGS,
+            },
+        ];
+        let stack = decode_stub(&mem, s.miss_tail_stack_flags);
+        assert_eq!(stack[0], spill_target);
+        assert_eq!(&stack[1..3], &save_flags, "caller already pushed flags");
+
+        let reg = decode_stub(&mem, s.miss_tail_reg_flags);
+        assert_eq!(reg[0], spill_target);
+        assert_eq!(reg[1], Instr::Pushf, "flags still live: push them first");
+        assert_eq!(&reg[2..4], &save_flags);
+
+        for tail in [&stack, &reg] {
+            assert_eq!(tail.last(), Some(&Instr::Trap { code: TRAP_MISS }));
+        }
+    }
+
+    /// The restore stubs honor their doc comments: the full restore
+    /// reloads flags (under Always) and all of `r1`–`r3`; the return-cache
+    /// partial restore reloads only the bulk registers — flags and the
+    /// scratch registers stay saved for the target fragment's prologue.
+    #[test]
+    fn restore_stubs_match_documented_conventions() {
+        let (_, mem, s) = setup(SdtConfig::reentry());
+        let restore = decode_stub(&mem, s.restore);
+        assert_eq!(restore.last(), Some(&Instr::Jmem { addr: SLOT_RESUME }));
+        assert!(
+            restore.contains(&Instr::Popf),
+            "full restore must reload flags under FlagsPolicy::Always"
+        );
+        for (reg, slot) in [(Reg::R1, SLOT_R1), (Reg::R2, SLOT_R2), (Reg::R3, SLOT_R3)] {
+            assert!(restore.contains(&Instr::Lwa {
+                rd: reg,
+                addr: slot
+            }));
+        }
+
+        let rc = decode_stub(&mem, s.rc_restore);
+        assert_eq!(rc.last(), Some(&Instr::Jmem { addr: SLOT_RESUME }));
+        assert!(
+            !rc.iter().any(|i| matches!(
+                i,
+                Instr::Popf
+                    | Instr::Lwa {
+                        addr: SLOT_R1 | SLOT_R2 | SLOT_R3,
+                        ..
+                    }
+            )),
+            "partial restore must leave flags and r1-r3 to the fragment prologue: {rc:?}"
+        );
+        // Exactly the bulk registers (r0, r4-r15) reload from their slots.
+        let reloads = rc.iter().filter(|i| matches!(i, Instr::Lwa { .. })).count();
+        assert_eq!(reloads, 13);
+    }
+
+    /// The canned glue stubs materialise their site sentinel and fall into
+    /// the stack-flags miss tail.
+    #[test]
+    fn glue_stubs_store_sentinel_and_enter_stack_flags_tail() {
+        let (_, mem, s) = setup(SdtConfig::ibtc_inline(256));
+        for (glue, sentinel) in [
+            (s.shared_miss_glue, SITE_SHARED),
+            (s.nofill_miss_glue, SITE_NOFILL),
+        ] {
+            let code = decode_stub(&mem, glue);
+            assert_eq!(
+                code[0],
+                Instr::Lui {
+                    rd: Reg::R2,
+                    imm: (sentinel >> 16) as u16
+                }
+            );
+            assert_eq!(
+                code[1],
+                Instr::Ori {
+                    rd: Reg::R2,
+                    rs1: Reg::R2,
+                    imm: (sentinel & 0xFFFF) as u16
+                }
+            );
+            assert!(code.contains(&Instr::Swa {
+                rs: Reg::R2,
+                addr: SLOT_SITE
+            }));
+            assert_eq!(
+                code.last(),
+                Some(&Instr::Jmp {
+                    target: s.miss_tail_stack_flags
+                })
+            );
+        }
     }
 
     #[test]

@@ -160,6 +160,103 @@ impl Instr {
                 | Instr::Halt
         )
     }
+
+    /// Returns `true` for instructions that overwrite the condition flags
+    /// (`cmp`/`cmpi` and `popf`). Static analyses over emitted dispatch
+    /// code use this to prove the application's flags survive a lookup.
+    ///
+    /// ```
+    /// use strata_isa::{Instr, Reg};
+    /// assert!(Instr::Cmp { rs1: Reg::R1, rs2: Reg::R2 }.writes_flags());
+    /// assert!(Instr::Popf.writes_flags());
+    /// assert!(!Instr::Add { rd: Reg::R1, rs1: Reg::R2, rs2: Reg::R3 }.writes_flags());
+    /// ```
+    pub fn writes_flags(&self) -> bool {
+        matches!(self, Instr::Cmp { .. } | Instr::Cmpi { .. } | Instr::Popf)
+    }
+
+    /// Returns `true` for instructions whose behaviour depends on the
+    /// current condition flags (the conditional branches and `pushf`).
+    pub fn reads_flags(&self) -> bool {
+        matches!(
+            self,
+            Instr::Beq { .. }
+                | Instr::Bne { .. }
+                | Instr::Blt { .. }
+                | Instr::Bge { .. }
+                | Instr::Bltu { .. }
+                | Instr::Bgeu { .. }
+                | Instr::Pushf
+        )
+    }
+
+    /// The general-purpose register this instruction writes, if any.
+    ///
+    /// `Pop` reports its explicit destination (the implicit stack-pointer
+    /// update is not a "destination" in the dataflow sense, matching how
+    /// `push`/`pushf`/`popf` and stores report `None`).
+    ///
+    /// ```
+    /// use strata_isa::{Instr, Reg};
+    /// assert_eq!(Instr::Mov { rd: Reg::R3, rs: Reg::R1 }.dest_reg(), Some(Reg::R3));
+    /// assert_eq!(Instr::Pop { rd: Reg::R1 }.dest_reg(), Some(Reg::R1));
+    /// assert_eq!(Instr::Push { rs: Reg::R1 }.dest_reg(), None);
+    /// assert_eq!(Instr::Swa { rs: Reg::R1, addr: 0x100 }.dest_reg(), None);
+    /// ```
+    pub fn dest_reg(&self) -> Option<Reg> {
+        use Instr::*;
+        match *self {
+            Add { rd, .. }
+            | Sub { rd, .. }
+            | Mul { rd, .. }
+            | Divu { rd, .. }
+            | Remu { rd, .. }
+            | And { rd, .. }
+            | Or { rd, .. }
+            | Xor { rd, .. }
+            | Sll { rd, .. }
+            | Srl { rd, .. }
+            | Sra { rd, .. }
+            | Mov { rd, .. }
+            | Addi { rd, .. }
+            | Andi { rd, .. }
+            | Ori { rd, .. }
+            | Xori { rd, .. }
+            | Slli { rd, .. }
+            | Srli { rd, .. }
+            | Srai { rd, .. }
+            | Lui { rd, .. }
+            | Lw { rd, .. }
+            | Lb { rd, .. }
+            | Lbu { rd, .. }
+            | Lwa { rd, .. }
+            | Pop { rd } => Some(rd),
+            _ => None,
+        }
+    }
+
+    /// The statically known control-transfer target of the instruction at
+    /// address `pc`: the absolute target of `jmp`/`call`, or the resolved
+    /// `pc + 4 + off * 4` destination of a conditional branch. Indirect
+    /// transfers and non-branches return `None`.
+    ///
+    /// ```
+    /// use strata_isa::{Instr, Reg};
+    /// assert_eq!(Instr::Jmp { target: 0x40 }.static_target(0x100), Some(0x40));
+    /// assert_eq!(Instr::Beq { off: 2 }.static_target(0x100), Some(0x10C));
+    /// assert_eq!(Instr::Beq { off: -1 }.static_target(0x100), Some(0x100));
+    /// assert_eq!(Instr::Jr { rs: Reg::R1 }.static_target(0x100), None);
+    /// ```
+    pub fn static_target(&self, pc: u32) -> Option<u32> {
+        use Instr::*;
+        match *self {
+            Jmp { target } | Call { target } => Some(target),
+            Beq { off } | Bne { off } | Blt { off } | Bge { off } | Bltu { off } | Bgeu { off } => {
+                Some((pc as i64 + 4 + off as i64 * 4) as u32)
+            }
+            _ => None,
+        }
+    }
 }
 
 /// The SimRISC condition flags, written by `cmp`/`cmpi` and read by the
@@ -232,6 +329,82 @@ mod tests {
         for bits in 0..8 {
             assert_eq!(Flags::from_bits(bits).to_bits(), bits);
         }
+    }
+
+    #[test]
+    fn flags_readers_and_writers() {
+        use crate::Reg;
+        assert!(Instr::Cmpi {
+            rs1: Reg::R1,
+            imm: 3
+        }
+        .writes_flags());
+        assert!(Instr::Popf.writes_flags());
+        assert!(!Instr::Pushf.writes_flags());
+        assert!(Instr::Pushf.reads_flags());
+        assert!(Instr::Bgeu { off: -2 }.reads_flags());
+        assert!(!Instr::Jmp { target: 0 }.reads_flags());
+        // ALU ops never touch flags on SimRISC (unlike x86) — that is
+        // exactly what makes the pushf tax avoidable around hash code.
+        assert!(!Instr::Addi {
+            rd: Reg::R2,
+            rs1: Reg::R2,
+            imm: 1
+        }
+        .writes_flags());
+    }
+
+    #[test]
+    fn dest_regs() {
+        use crate::Reg;
+        assert_eq!(
+            Instr::Lwa {
+                rd: Reg::R7,
+                addr: 0x120
+            }
+            .dest_reg(),
+            Some(Reg::R7)
+        );
+        assert_eq!(
+            Instr::Lui {
+                rd: Reg::R2,
+                imm: 0x60
+            }
+            .dest_reg(),
+            Some(Reg::R2)
+        );
+        for none in [
+            Instr::Pushf,
+            Instr::Popf,
+            Instr::Push { rs: Reg::R3 },
+            Instr::Sw {
+                rs2: Reg::R1,
+                rs1: Reg::R2,
+                off: 0,
+            },
+            Instr::Cmp {
+                rs1: Reg::R1,
+                rs2: Reg::R2,
+            },
+            Instr::Ret,
+            Instr::Jmem { addr: 0x100 },
+        ] {
+            assert_eq!(none.dest_reg(), None, "{none:?}");
+        }
+    }
+
+    #[test]
+    fn static_targets() {
+        use crate::Reg;
+        assert_eq!(
+            Instr::Call { target: 0x200 }.static_target(0x80),
+            Some(0x200)
+        );
+        assert_eq!(Instr::Bne { off: 0 }.static_target(0x80), Some(0x84));
+        assert_eq!(Instr::Blt { off: -3 }.static_target(0x80), Some(0x78));
+        assert_eq!(Instr::Ret.static_target(0x80), None);
+        assert_eq!(Instr::Callr { rs: Reg::R4 }.static_target(0x80), None);
+        assert_eq!(Instr::Jmem { addr: 0x100 }.static_target(0x80), None);
     }
 
     #[test]

@@ -5,6 +5,8 @@
 //! strata run <workload> [--config <spec>] [--ib-policy <spec>] [--arch <name>]
 //!            [--scale N] [--instrument] [--cache-limit BYTES] [--dump-cache N]
 //! strata compare <workload> [--arch <name>] [--scale N]
+//! strata verify [<workload>] [--config <spec>] [--ib-policy <spec>] [--all]
+//!               [--arch <name>] [--scale N] [--format text|json]
 //! strata bench [--jobs N] [--filter <ids>] [--format text|csv|json]
 //!              [--scale N] [--variant N] [--cache] [--no-artifacts]
 //!              [--artifacts-dir DIR] [--baseline DIR] [--tolerance PCT]
@@ -50,6 +52,7 @@ fn main() -> ExitCode {
         Some("run") => dispatch(run_cmd(&args[1..])),
         Some("compare") => dispatch(compare_cmd(&args[1..])),
         Some("bench") => dispatch(bench_cmd(&args[1..])),
+        Some("verify") => dispatch(verify_cmd(&args[1..])),
         _ => {
             eprintln!(
                 "usage: strata <list|run|compare> ...\n\
@@ -58,6 +61,8 @@ fn main() -> ExitCode {
                  strata run <workload> [--config SPEC] [--ib-policy SPEC] [--arch x86|sparc|mips]\n\
                  \x20          [--scale N] [--instrument] [--cache-limit BYTES] [--dump-cache N]\n\
                  strata compare <workload> [--arch NAME] [--scale N]\n\
+                 strata verify [<workload>] [--config SPEC] [--ib-policy SPEC] [--all]\n\
+                 \x20            [--arch NAME] [--scale N] [--format text|json]\n\
                  strata bench [--jobs N] [--filter IDS] [--format text|csv|json]\n\
                  \x20            [--scale N] [--variant N] [--cache] [--no-artifacts]\n\
                  \x20            [--artifacts-dir DIR] [--baseline DIR] [--tolerance PCT]\n\
@@ -367,6 +372,111 @@ fn bench_cmd(args: &[String]) -> Result<(), String> {
     }
     Ok(())
 }
+
+/// Statically verifies the code the translator emits: runs the workload
+/// under each requested configuration, snapshots the fragment cache, and
+/// checks it with `strata-analysis` (CFG recovery, dataflow lints, table
+/// audits). Exits nonzero if any report has findings at warning severity
+/// or above. `--all` sweeps every registered mechanism plus the
+/// mixed-policy configurations of the fig. 18 experiment.
+fn verify_cmd(args: &[String]) -> Result<(), String> {
+    use strata_lab::analysis;
+    use strata_lab::stats::Json;
+
+    // The workload is optional (default `perlbmk`); everything else is
+    // flag-driven, so only a non-flag first argument names a workload.
+    let name = match args.first() {
+        Some(a) if !a.starts_with("--") => a.clone(),
+        _ => "perlbmk".to_string(),
+    };
+    let workload =
+        by_name(&name).ok_or_else(|| format!("unknown workload `{name}` (try `strata list`)"))?;
+    let profile = match parse_flag(args, "--arch").as_deref() {
+        None | Some("x86") => ArchProfile::x86_like(),
+        Some("sparc") => ArchProfile::sparc_like(),
+        Some("mips") => ArchProfile::mips_like(),
+        Some(other) => return Err(format!("unknown arch `{other}` (x86|sparc|mips)")),
+    };
+    let scale = match parse_flag(args, "--scale") {
+        Some(s) => s.parse().map_err(|_| format!("bad --scale `{s}`"))?,
+        None => 1,
+    };
+    let params = Params { scale, variant: 0 };
+    let json = match parse_flag(args, "--format").as_deref() {
+        None | Some("text") => false,
+        Some("json") => true,
+        Some(other) => return Err(format!("unknown --format `{other}` (text|json)")),
+    };
+
+    // (config spec, policy spec) pairs to verify.
+    let specs: Vec<(String, String)> = if args.iter().any(|a| a == "--all") {
+        VERIFY_SWEEP
+            .iter()
+            .map(|&(c, p)| (c.to_string(), p.to_string()))
+            .collect()
+    } else {
+        vec![(
+            parse_flag(args, "--config").unwrap_or_else(|| "ibtc:4096".into()),
+            parse_flag(args, "--ib-policy").unwrap_or_default(),
+        )]
+    };
+
+    let program = (workload.build)(&params);
+    let mut reports = Vec::new();
+    for (config, policy) in &specs {
+        let mut cfg = parse_config(config)?;
+        if !policy.is_empty() {
+            parse_policy(policy, &mut cfg)?;
+        }
+        let mut sdt = Sdt::new(cfg, &program).map_err(|e| e.to_string())?;
+        sdt.run(profile.clone(), FUEL).map_err(|e| e.to_string())?;
+        reports.push(analysis::verify(&sdt));
+    }
+
+    let dirty = reports.iter().filter(|r| !r.is_clean()).count();
+    if json {
+        let out = Json::obj([
+            ("workload", Json::str(&name)),
+            ("clean", Json::Bool(dirty == 0)),
+            ("reports", Json::arr(reports.iter().map(|r| r.to_json()))),
+        ]);
+        println!("{}", out.render_pretty());
+    } else {
+        for r in &reports {
+            print!("{}", r.render_text());
+        }
+    }
+    if dirty > 0 {
+        return Err(format!(
+            "{dirty} of {} configuration(s) failed verification on {name}",
+            specs.len()
+        ));
+    }
+    eprintln!("{} configuration(s) verified clean on {name}", specs.len());
+    Ok(())
+}
+
+/// The `verify --all` sweep: every registered mechanism in its canonical
+/// shapes plus the mixed-policy configurations of the fig. 18 experiment.
+const VERIFY_SWEEP: &[(&str, &str)] = &[
+    ("reentry", ""),
+    ("ibtc:4096", ""),
+    ("ibtc-outline:4096", ""),
+    ("ibtc-persite:64", ""),
+    ("ibtc:512", "jump=ibtc:512x2,call=ibtc:512x2"),
+    ("sieve:4096", ""),
+    ("ibtc:512", "jump=adaptive:64,256,4,call=adaptive:64,256,4"),
+    ("tuned:512,1024", ""),
+    ("fastret:4096", ""),
+    ("shadow:4096,1024", ""),
+    ("ibtc:4096+noflags", ""),
+    ("tuned:512,1024", "jump=sieve:4096,call=ibtc:512x2"),
+    ("tuned:4096,1024", "call=sieve:1024"),
+    (
+        "tuned:512,1024",
+        "jump=sieve:4096,call=ibtc:512x2,ret=shadow:1024",
+    ),
+];
 
 fn compare_cmd(args: &[String]) -> Result<(), String> {
     let common = parse_common(args)?;

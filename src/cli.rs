@@ -108,6 +108,23 @@ pub fn parse_config(spec: &str) -> Result<SdtConfig, String> {
     Ok(cfg)
 }
 
+/// Renders a parse error pointing at the offending token of `spec`:
+///
+/// ```text
+/// bad associativity `x` (only x2)
+///   jump=ibtc:512x,call=sieve:64
+///                ^
+/// ```
+fn point_at(spec: &str, start: usize, len: usize, msg: String) -> String {
+    let start = start.min(spec.len());
+    let len = len.clamp(1, (spec.len() - start).max(1));
+    format!(
+        "{msg}\n  {spec}\n  {blank}{carets}",
+        blank = " ".repeat(start),
+        carets = "^".repeat(len)
+    )
+}
+
 /// Parses an `--ib-policy` spec and applies it to `cfg`.
 ///
 /// The spec is a comma-separated list of `class=strategy` assignments:
@@ -129,44 +146,73 @@ pub fn parse_config(spec: &str) -> Result<SdtConfig, String> {
 ///
 /// # Errors
 ///
-/// Returns a human-readable message for unknown classes or strategies,
-/// malformed sizes, and duplicate class assignments. (Range validation
+/// Returns a multi-line message with a caret line pointing at the
+/// offending token — unknown classes or strategies, malformed sizes and
+/// associativities, and duplicate class assignments. (Range validation
 /// happens later in [`SdtConfig::validate`].)
 pub fn parse_policy(spec: &str, cfg: &mut SdtConfig) -> Result<(), String> {
-    // Re-join comma-separated segments that belong to the previous
+    // Byte ranges of each `class=strategy` assignment in `spec`. A
+    // comma-separated segment without `=` continues the previous
     // assignment (adaptive's parameter list contains commas).
-    let mut assignments: Vec<String> = Vec::new();
+    let mut assignments: Vec<(usize, usize)> = Vec::new();
+    let mut cursor = 0usize;
     for segment in spec.split(',') {
+        let (start, end) = (cursor, cursor + segment.len());
+        cursor = end + 1;
         if segment.contains('=') {
-            assignments.push(segment.trim().to_string());
+            assignments.push((start, end));
         } else if let Some(last) = assignments.last_mut() {
-            last.push(',');
-            last.push_str(segment.trim());
+            last.1 = end;
         } else {
-            return Err(format!(
-                "bad --ib-policy `{spec}` (expected `class=strategy,...`)"
+            return Err(point_at(
+                spec,
+                start,
+                segment.len(),
+                "bad --ib-policy (expected `class=strategy,...`)".into(),
             ));
         }
     }
     let mut seen = [false; 3];
-    for assignment in &assignments {
-        let (class, strategy) = assignment
-            .split_once('=')
-            .ok_or_else(|| format!("bad policy assignment `{assignment}`"))?;
+    for &(start, end) in &assignments {
+        let raw = &spec[start..end];
+        let lead = raw.len() - raw.trim_start().len();
+        let a_start = start + lead;
+        let assignment = raw.trim();
+        let Some((class, strategy)) = assignment.split_once('=') else {
+            return Err(point_at(
+                spec,
+                a_start,
+                assignment.len(),
+                format!("bad policy assignment `{assignment}`"),
+            ));
+        };
+        let strat_start = a_start + class.len() + 1;
         let slot = match class {
             "jump" => 0,
             "call" => 1,
             "ret" => 2,
-            other => return Err(format!("unknown policy class `{other}` (jump|call|ret)")),
+            other => {
+                return Err(point_at(
+                    spec,
+                    a_start,
+                    class.len(),
+                    format!("unknown policy class `{other}` (jump|call|ret)"),
+                ))
+            }
         };
         if seen[slot] {
-            return Err(format!("class `{class}` assigned twice in `{spec}`"));
+            return Err(point_at(
+                spec,
+                a_start,
+                class.len(),
+                format!("class `{class}` assigned twice"),
+            ));
         }
         seen[slot] = true;
         if slot == 2 {
-            cfg.ret = parse_ret_strategy(strategy, spec)?;
+            cfg.ret = parse_ret_strategy(strategy, spec, strat_start)?;
         } else {
-            let policy = parse_class_strategy(strategy, spec)?;
+            let policy = parse_class_strategy(strategy, spec, strat_start)?;
             match slot {
                 0 => cfg.policy.jump = policy,
                 _ => cfg.policy.call = policy,
@@ -176,23 +222,30 @@ pub fn parse_policy(spec: &str, cfg: &mut SdtConfig) -> Result<(), String> {
     Ok(())
 }
 
-fn parse_class_strategy(strategy: &str, spec: &str) -> Result<ClassPolicy, String> {
+/// Parses the `strategy` half of a jump/call assignment. `at` is the
+/// strategy's byte offset in `spec`, used to anchor caret diagnostics.
+fn parse_class_strategy(strategy: &str, spec: &str, at: usize) -> Result<ClassPolicy, String> {
     let (kind, sizes) = match strategy.split_once(':') {
         Some((k, s)) => (k, s),
         None => (strategy, ""),
     };
-    let size = |s: &str| -> Result<u32, String> {
-        s.parse()
-            .map_err(|_| format!("bad size `{s}` in policy `{spec}`"))
+    let sizes_at = at + kind.len() + 1;
+    let size = |s: &str, s_at: usize| -> Result<u32, String> {
+        s.trim()
+            .parse()
+            .map_err(|_| point_at(spec, s_at, s.len(), format!("bad size `{}`", s.trim())))
     };
     // `<entries>` with an optional `x2` associativity suffix.
-    let sized_ways = |s: &str| -> Result<(u32, u8), String> {
+    let sized_ways = |s: &str, s_at: usize| -> Result<(u32, u8), String> {
         match s.split_once('x') {
-            Some((n, "2")) => Ok((size(n)?, 2)),
-            Some((_, w)) => Err(format!(
-                "bad associativity `x{w}` in policy `{spec}` (only x2)"
+            Some((n, "2")) => Ok((size(n, s_at)?, 2)),
+            Some((n, w)) => Err(point_at(
+                spec,
+                s_at + n.len(),
+                w.len() + 1,
+                format!("bad associativity `x{w}` (only x2)"),
             )),
-            None => Ok((size(s)?, 1)),
+            None => Ok((size(s, s_at)?, 1)),
         }
     };
     let fixed = |mech: IbMechanism, ways: u8| ClassPolicy::Fixed { mech, ways };
@@ -200,7 +253,7 @@ fn parse_class_strategy(strategy: &str, spec: &str) -> Result<ClassPolicy, Strin
         "inherit" => ClassPolicy::Inherit,
         "reentry" => fixed(IbMechanism::Reentry, 1),
         "ibtc" => {
-            let (entries, ways) = sized_ways(sizes)?;
+            let (entries, ways) = sized_ways(sizes, sizes_at)?;
             fixed(
                 IbMechanism::Ibtc {
                     entries,
@@ -212,14 +265,14 @@ fn parse_class_strategy(strategy: &str, spec: &str) -> Result<ClassPolicy, Strin
         }
         "ibtc-outline" => fixed(
             IbMechanism::Ibtc {
-                entries: size(sizes)?,
+                entries: size(sizes, sizes_at)?,
                 scope: IbtcScope::Shared,
                 placement: IbtcPlacement::OutOfLine,
             },
             1,
         ),
         "ibtc-persite" => {
-            let (entries, ways) = sized_ways(sizes)?;
+            let (entries, ways) = sized_ways(sizes, sizes_at)?;
             fixed(
                 IbMechanism::Ibtc {
                     entries,
@@ -231,7 +284,7 @@ fn parse_class_strategy(strategy: &str, spec: &str) -> Result<ClassPolicy, Strin
         }
         "sieve" => fixed(
             IbMechanism::Sieve {
-                buckets: size(sizes)?,
+                buckets: size(sizes, sizes_at)?,
             },
             1,
         ),
@@ -239,18 +292,35 @@ fn parse_class_strategy(strategy: &str, spec: &str) -> Result<ClassPolicy, Strin
             let (ibtc_entries, sieve_buckets, sieve_arity) = if sizes.is_empty() {
                 (512, 1024, 8)
             } else {
-                let mut parts = sizes.split(',');
-                let i = size(parts.next().unwrap_or_default())?;
-                let s = size(parts.next().ok_or_else(|| {
-                    format!("adaptive needs `<ibtc>,<sieve>[,<arity>]` in `{spec}`")
-                })?)?;
-                let a = match parts.next() {
-                    Some(p) => size(p)?,
+                // Track each parameter's offset for precise carets.
+                let mut parts = Vec::new();
+                let mut p_at = sizes_at;
+                for p in sizes.split(',') {
+                    parts.push((p, p_at));
+                    p_at += p.len() + 1;
+                }
+                if parts.len() > 3 {
+                    return Err(point_at(
+                        spec,
+                        parts[3].1,
+                        sizes_at + sizes.len() - parts[3].1,
+                        "too many adaptive parameters (at most `<ibtc>,<sieve>,<arity>`)".into(),
+                    ));
+                }
+                let i = size(parts[0].0, parts[0].1)?;
+                let Some(&(s, s_at)) = parts.get(1) else {
+                    return Err(point_at(
+                        spec,
+                        sizes_at,
+                        sizes.len(),
+                        "adaptive needs `<ibtc>,<sieve>[,<arity>]`".into(),
+                    ));
+                };
+                let s = size(s, s_at)?;
+                let a = match parts.get(2) {
+                    Some(&(a, a_at)) => size(a, a_at)?,
                     None => 8,
                 };
-                if parts.next().is_some() {
-                    return Err(format!("too many adaptive parameters in `{spec}`"));
-                }
                 (i, s, a)
             };
             ClassPolicy::Adaptive {
@@ -259,18 +329,28 @@ fn parse_class_strategy(strategy: &str, spec: &str) -> Result<ClassPolicy, Strin
                 sieve_arity,
             }
         }
-        other => return Err(format!("unknown class strategy `{other}` in `{spec}`")),
+        other => {
+            return Err(point_at(
+                spec,
+                at,
+                kind.len(),
+                format!("unknown class strategy `{other}`"),
+            ))
+        }
     })
 }
 
-fn parse_ret_strategy(strategy: &str, spec: &str) -> Result<RetMechanism, String> {
+/// Parses the `strategy` half of a `ret=` assignment; `at` anchors carets.
+fn parse_ret_strategy(strategy: &str, spec: &str, at: usize) -> Result<RetMechanism, String> {
     let (kind, sizes) = match strategy.split_once(':') {
         Some((k, s)) => (k, s),
         None => (strategy, ""),
     };
+    let sizes_at = at + kind.len() + 1;
     let size = |s: &str| -> Result<u32, String> {
-        s.parse()
-            .map_err(|_| format!("bad size `{s}` in policy `{spec}`"))
+        s.trim()
+            .parse()
+            .map_err(|_| point_at(spec, sizes_at, s.len(), format!("bad size `{}`", s.trim())))
     };
     Ok(match kind {
         "asib" => RetMechanism::AsIb,
@@ -281,7 +361,14 @@ fn parse_ret_strategy(strategy: &str, spec: &str) -> Result<RetMechanism, String
         "shadow" => RetMechanism::ShadowStack {
             depth: size(sizes)?,
         },
-        other => return Err(format!("unknown ret strategy `{other}` in `{spec}`")),
+        other => {
+            return Err(point_at(
+                spec,
+                at,
+                kind.len(),
+                format!("unknown ret strategy `{other}`"),
+            ))
+        }
     })
 }
 
@@ -382,6 +469,41 @@ mod tests {
             assert!(
                 parse_policy(bad, &mut cfg).is_err(),
                 "`{bad}` must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn policy_errors_point_at_offending_token() {
+        // (spec, expected message fragment, caret column, caret width)
+        for (spec, msg, col, width) in [
+            ("call=ibtc:512x", "bad associativity `x`", 13, 1),
+            ("call=ibtc:512x4", "bad associativity `x4`", 13, 2),
+            ("jump=sieve:12kb", "bad size `12kb`", 11, 4),
+            ("jump=sieve:64,jump=sieve:128", "assigned twice", 14, 4),
+            ("frob=sieve:64", "unknown policy class `frob`", 0, 4),
+            ("jump=frob", "unknown class strategy `frob`", 5, 4),
+            ("ret=warp", "unknown ret strategy `warp`", 4, 4),
+            ("ret=shadow:deep", "bad size `deep`", 11, 4),
+            ("512,1024", "expected `class=strategy", 0, 3),
+            (
+                "jump=adaptive:512,1024,8,9",
+                "too many adaptive parameters",
+                25,
+                1,
+            ),
+            ("call=adaptive:64,2x,4", "bad size `2x`", 17, 2),
+        ] {
+            let mut cfg = SdtConfig::ibtc_inline(4096);
+            let err =
+                parse_policy(spec, &mut cfg).expect_err(&format!("`{spec}` must be rejected"));
+            let lines: Vec<&str> = err.lines().collect();
+            assert!(lines[0].contains(msg), "`{spec}`: {err}");
+            assert_eq!(lines[1], format!("  {spec}"), "`{spec}` echoed");
+            assert_eq!(
+                lines[2],
+                format!("  {}{}", " ".repeat(col), "^".repeat(width)),
+                "`{spec}` caret must sit under the offending token:\n{err}"
             );
         }
     }

@@ -10,6 +10,8 @@
 //!   MIPS-like),
 //! * [`core`] — the software dynamic translator with pluggable
 //!   indirect-branch handling mechanisms (the paper's subject),
+//! * [`analysis`] — `strata verify`: static CFG + dataflow checker over
+//!   the emitted fragment cache,
 //! * [`workloads`] — SPEC CINT2000 stand-in programs,
 //! * [`stats`] — tables/series for the experiment binaries,
 //! * [`expt`] — the parallel experiment orchestrator behind `strata bench`.
@@ -20,6 +22,7 @@
 
 pub mod cli;
 
+pub use strata_analysis as analysis;
 pub use strata_arch as arch;
 pub use strata_asm as asm;
 pub use strata_core as core;

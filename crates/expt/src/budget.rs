@@ -91,9 +91,17 @@ impl BudgetBook {
         }
     }
 
+    /// Keeps only the records whose key satisfies `keep` — the pruning
+    /// hook the store uses to drop keys the registry no longer produces.
+    pub fn retain(&mut self, mut keep: impl FnMut(&str) -> bool) {
+        self.cycles.retain(|key, _| keep(key));
+    }
+
     /// Writes the book to `dir/budgets.v1`, sorted by key so the file is
-    /// byte-stable for identical contents. Best-effort, like the cell
-    /// cache: an unwritable directory costs scheduling quality only.
+    /// byte-stable for identical contents, via temp-file + atomic rename
+    /// so a killed process never leaves a truncated book. Best-effort,
+    /// like the cell cache: an unwritable directory costs scheduling
+    /// quality only.
     pub fn save(&self, dir: &Path) {
         if std::fs::create_dir_all(dir).is_err() {
             return;
@@ -105,7 +113,7 @@ impl BudgetBook {
         for (key, cycles) in entries {
             out.push_str(&format!("{cycles}\t{key}\n"));
         }
-        let _ = std::fs::write(dir.join(BUDGET_FILE), out);
+        let _ = crate::fsutil::atomic_write(&dir.join(BUDGET_FILE), &out);
     }
 }
 
@@ -262,6 +270,16 @@ mod tests {
         assert!(BudgetBook::load(&dir).is_empty());
         let _ = std::fs::remove_dir_all(&dir);
         assert!(BudgetBook::load(&dir).is_empty(), "missing dir loads empty");
+    }
+
+    #[test]
+    fn retain_drops_rejected_keys() {
+        let mut book = BudgetBook::new();
+        book.record("keep", 1);
+        book.record("drop", 2);
+        book.retain(|k| k == "keep");
+        assert_eq!(book.get("keep"), Some(1));
+        assert_eq!(book.len(), 1);
     }
 
     #[test]

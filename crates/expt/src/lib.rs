@@ -44,6 +44,7 @@ pub mod budget;
 pub mod cell;
 pub mod exec;
 pub mod experiments;
+pub mod fsutil;
 pub mod knobs;
 pub mod registry;
 pub mod store;
@@ -54,11 +55,13 @@ pub use budget::{makespan, order_longest_first, BudgetBook};
 pub use cell::{CellKey, CellResult, RunKind};
 pub use exec::{execute, FUEL};
 pub use experiments::Output;
+pub use fsutil::atomic_write;
 pub use knobs::EnvKnobs;
 pub use registry::{by_id, registry, Experiment};
-pub use store::{Store, StoreStats};
+pub use store::{parse_record, render_record, Store, StoreStats};
 pub use suite::{
-    baseline_gate, run_shard, run_single, run_suite, select, validate_filter, write_artifacts,
-    OutputFormat, Shard, ShardReport, SuiteOptions, SuiteReport,
+    baseline_gate, manifest_fingerprint, render_from_store, run_shard, run_single, run_suite,
+    select, validate_filter, work_manifest, write_artifacts, OutputFormat, Shard, ShardReport,
+    SuiteOptions, SuiteReport,
 };
 pub use view::View;

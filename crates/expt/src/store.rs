@@ -7,16 +7,18 @@
 //! persisted as versioned flat-text records that embed their full key, so
 //! stale or hash-colliding files are ignored rather than trusted.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::sync::Mutex;
 
 use strata_core::{MechanismStats, NativeRun, RunReport};
+use strata_workloads::Params;
 
 use crate::budget::BudgetBook;
 use crate::cell::{CellKey, CellResult};
+use crate::fsutil::atomic_write;
 
 /// On-disk record format version; bump on any layout change.
 const DISK_VERSION: &str = "strata-cell-v2";
@@ -102,13 +104,15 @@ impl Store {
 
     /// Persists the budget book into the disk-cache directory, merged
     /// over any records already there (so filtered runs keep budgets for
-    /// cells they did not touch). No-op for in-memory stores.
+    /// cells they did not touch) and pruned of keys the registry no
+    /// longer produces. No-op for in-memory stores.
     pub fn flush_budgets(&self) {
         let Some(dir) = self.disk.as_ref() else {
             return;
         };
         let mut merged = BudgetBook::load(dir);
         merged.merge(&self.budgets.lock().expect("budget lock"));
+        prune_stale(&mut merged);
         merged.save(dir);
     }
 
@@ -161,6 +165,46 @@ impl Store {
         Arc::clone(cells.entry(ks).or_insert_with(|| Arc::new(result)))
     }
 
+    /// Inserts an externally computed result — e.g. one streamed back
+    /// from a fleet worker — memoizing it, persisting it to the disk
+    /// cache, and recording its cycle budget, exactly as if it had been
+    /// computed locally. The first result for a key wins; a duplicate
+    /// (at-least-once delivery) returns the existing result unchanged.
+    pub fn put(&self, key: &CellKey, result: CellResult) -> Arc<CellResult> {
+        let ks = key.key_string();
+        if let Some(hit) = self.cells.lock().expect("store lock").get(&ks) {
+            return Arc::clone(hit);
+        }
+        self.save_to_disk(key, &ks, &result);
+        self.budgets
+            .lock()
+            .expect("budget lock")
+            .record(&ks, result.total_cycles());
+        let mut cells = self.cells.lock().expect("store lock");
+        Arc::clone(cells.entry(ks).or_insert_with(|| Arc::new(result)))
+    }
+
+    /// The result for `key` from memory or the disk cache, **without
+    /// computing it** on a miss. Lets a resumed fleet run mark already
+    /// cached cells done before dispatching anything.
+    pub fn cached(&self, key: &CellKey) -> Option<Arc<CellResult>> {
+        let ks = key.key_string();
+        if let Some(hit) = self.cells.lock().expect("store lock").get(&ks) {
+            self.memo_hits.fetch_add(1, Ordering::Relaxed);
+            return Some(Arc::clone(hit));
+        }
+        let result = self.load_from_disk(key, &ks)?;
+        self.disk_hits.fetch_add(1, Ordering::Relaxed);
+        self.budgets
+            .lock()
+            .expect("budget lock")
+            .record(&ks, result.total_cycles());
+        let mut cells = self.cells.lock().expect("store lock");
+        Some(Arc::clone(
+            cells.entry(ks).or_insert_with(|| Arc::new(result)),
+        ))
+    }
+
     fn load_from_disk(&self, key: &CellKey, ks: &str) -> Option<CellResult> {
         let dir = self.disk.as_ref()?;
         let text = std::fs::read_to_string(dir.join(key.cache_file_name())).ok()?;
@@ -172,20 +216,63 @@ impl Store {
             return;
         };
         // Cache writes are best-effort: an unwritable directory degrades
-        // to recomputation on the next run, never to an error.
+        // to recomputation on the next run, never to an error. The write
+        // itself is temp-file + rename, so a killed process can truncate
+        // nothing.
         if std::fs::create_dir_all(dir).is_err() {
             return;
         }
-        let _ = std::fs::write(dir.join(key.cache_file_name()), render_record(ks, result));
+        let _ = atomic_write(&dir.join(key.cache_file_name()), &render_record(ks, result));
     }
+}
+
+/// Drops budget entries whose cell keys the registry no longer produces
+/// (configs removed from experiments, renamed workloads), so the LPT
+/// schedule never sorts on dead keys. Keys are grouped by the params
+/// embedded in their tail and checked against the full registry's
+/// manifest at those params; a key whose params do not parse is stale by
+/// definition. If the manifest itself cannot be built, everything is
+/// conservatively kept.
+fn prune_stale(book: &mut BudgetBook) {
+    let mut live: HashMap<(u32, u64), Option<HashSet<String>>> = HashMap::new();
+    book.retain(|key| {
+        let Some(params) = params_of_key(key) else {
+            return false;
+        };
+        live.entry((params.scale, params.variant))
+            .or_insert_with(|| {
+                crate::suite::work_manifest(None, params)
+                    .ok()
+                    .map(|cells| cells.iter().map(|c| c.key_string()).collect())
+            })
+            .as_ref()
+            .is_none_or(|set| set.contains(key))
+    });
+}
+
+/// Parses the `s{scale}v{variant}` tail every cell key ends with.
+fn params_of_key(key: &str) -> Option<Params> {
+    let tail = key.rsplit('|').next()?;
+    let (scale, variant) = tail.strip_prefix('s')?.split_once('v')?;
+    Some(Params {
+        scale: scale.parse().ok()?,
+        variant: variant.parse().ok()?,
+    })
 }
 
 // --- flat-text serialization -------------------------------------------
 //
 // One `field=value` pair per line; u64 arrays comma-separated; f64 stored
 // as IEEE-754 bit patterns in hex so round-trips are exact.
+//
+// The same records travel over the fleet wire: workers serialize results
+// with `render_record` and the coordinator validates them with
+// `parse_record` against the assigned key, so the on-disk format and the
+// streaming format can never diverge.
 
-fn render_record(key: &str, result: &CellResult) -> String {
+/// Serializes a cell result as a versioned flat-text record embedding its
+/// full key — the on-disk `*.cell` format and the fleet result payload.
+pub fn render_record(key: &str, result: &CellResult) -> String {
     let mut out = String::new();
     out.push_str(DISK_VERSION);
     out.push('\n');
@@ -274,7 +361,11 @@ fn render_record(key: &str, result: &CellResult) -> String {
     out
 }
 
-fn parse_record(text: &str, expected_key: &str) -> Option<CellResult> {
+/// Parses a flat-text cell record, validating its version header and
+/// embedded key against `expected_key`. Returns `None` for truncated,
+/// stale-version, corrupt, or mis-keyed records — callers recompute (disk
+/// cache) or requeue (fleet) instead of trusting the bytes.
+pub fn parse_record(text: &str, expected_key: &str) -> Option<CellResult> {
     let mut lines = text.lines();
     if lines.next()? != DISK_VERSION {
         return None;
@@ -476,6 +567,81 @@ mod tests {
         let text = render_record("k", &CellResult::Native(sample_native()));
         let old = text.replace(DISK_VERSION, "strata-cell-v0");
         assert!(parse_record(&old, "k").is_none());
+    }
+
+    #[test]
+    fn put_first_result_wins_and_persists() {
+        let dir = std::env::temp_dir().join(format!("strata-store-put-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Store::with_disk_cache(dir.clone());
+        let key = CellKey::native("gzip", ArchProfile::x86_like(), Params::default());
+        let first = sample_native();
+        let mut second = sample_native();
+        second.total_cycles += 1;
+        let a = store.put(&key, CellResult::Native(first.clone()));
+        // At-least-once delivery: the duplicate is dropped, not applied.
+        let b = store.put(&key, CellResult::Native(second));
+        assert_eq!(a, b);
+        assert_eq!(a.as_native().unwrap(), &first);
+        assert_eq!(store.len(), 1);
+        // The result is on disk under its key, loadable by a fresh store.
+        let fresh = Store::with_disk_cache(dir.clone());
+        let loaded = fresh.cached(&key).expect("disk hit");
+        assert_eq!(loaded.as_native().unwrap(), &first);
+        assert_eq!(fresh.stats().disk_hits, 1);
+        assert!(fresh.cached(&key).is_some(), "memoized after first load");
+        assert_eq!(fresh.stats().memo_hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cached_never_computes() {
+        let store = Store::in_memory();
+        let key = CellKey::native("gzip", ArchProfile::x86_like(), Params::default());
+        assert!(store.cached(&key).is_none());
+        assert_eq!(store.stats(), StoreStats::default());
+    }
+
+    #[test]
+    fn flush_prunes_stale_budget_keys() {
+        let dir = std::env::temp_dir().join(format!("strata-store-prune-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // Seed the budget file with one live key, one key the registry
+        // never produces, and one unparsable key.
+        let live = CellKey::native("gzip", ArchProfile::x86_like(), Params::default());
+        let mut book = BudgetBook::new();
+        book.record(&live.key_string(), 111);
+        book.record("ghost|sdt:ibtc(9,shared,inline)|x86-like|s1v0", 222);
+        book.record("not a cell key at all", 333);
+        book.save(&dir);
+
+        let store = Store::with_disk_cache(dir.clone());
+        store.flush_budgets();
+        let pruned = BudgetBook::load(&dir);
+        assert_eq!(pruned.get(&live.key_string()), Some(111));
+        assert_eq!(pruned.len(), 1, "stale and unparsable keys dropped");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn params_parse_from_key_tails() {
+        assert_eq!(
+            params_of_key("gzip|native|x86-like|s1v0"),
+            Some(Params {
+                scale: 1,
+                variant: 0
+            })
+        );
+        assert_eq!(
+            params_of_key("gcc|sdt:ibtc(64,shared,inline)|mips-like|s3v12"),
+            Some(Params {
+                scale: 3,
+                variant: 12
+            })
+        );
+        for bad in ["", "gzip", "gzip|native|x86-like|v0s1", "a|b|c|s1vx"] {
+            assert_eq!(params_of_key(bad), None, "`{bad}`");
+        }
     }
 
     #[test]

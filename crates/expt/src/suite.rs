@@ -155,6 +155,55 @@ fn expand_cells(selected: &[&'static Experiment], params: Params) -> Vec<CellKey
     cells
 }
 
+/// The canonical work manifest for a distributed run: the selected
+/// experiments' cells **plus** every translated cell's implied native
+/// counterpart (a worker must verify against the native checksum, and the
+/// coordinator must be able to render slowdowns), deduped by key string
+/// in deterministic order — each native counterpart directly precedes the
+/// first translated cell that implies it.
+///
+/// Coordinator and workers both derive this list independently from
+/// (filter, params), so work can be assigned by *manifest index* over the
+/// wire and verified against the full key string; no cell-key codec is
+/// needed, and any registry skew between the two binaries is caught by
+/// [`manifest_fingerprint`] before any work is handed out.
+///
+/// # Errors
+///
+/// Returns an error when any filter pattern matches no experiment.
+pub fn work_manifest(filter: Option<&str>, params: Params) -> Result<Vec<CellKey>, String> {
+    validate_filter(filter)?;
+    let selected = select(filter);
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for cell in expand_cells(&selected, params) {
+        if let crate::cell::RunKind::Translated(_) = cell.kind {
+            let native = cell.native_counterpart();
+            if seen.insert(native.key_string()) {
+                out.push(native);
+            }
+        }
+        if seen.insert(cell.key_string()) {
+            out.push(cell);
+        }
+    }
+    Ok(out)
+}
+
+/// A stable fingerprint of a work manifest (FNV-1a over every key string
+/// in order). Coordinator and workers compare fingerprints during the
+/// fleet handshake: a mismatch means the two binaries expand different
+/// cell sets — version skew — and the worker refuses the session instead
+/// of silently computing the wrong grid.
+pub fn manifest_fingerprint(cells: &[CellKey]) -> u64 {
+    let mut joined = String::new();
+    for cell in cells {
+        joined.push_str(&cell.key_string());
+        joined.push('\n');
+    }
+    crate::cell::fnv1a64(joined.as_bytes())
+}
+
 /// One `--shard index/count` slice of a suite run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Shard {
@@ -247,9 +296,24 @@ pub fn run_suite(opts: &SuiteOptions) -> Result<SuiteReport, String> {
 
     let cells = expand_cells(&selected, opts.params);
     execute(&store, &cells, opts.jobs);
+    render_from_store(&store, opts)
+}
+
+/// Renders the selected experiments from an already-populated store — the
+/// tail half of [`run_suite`], shared with the fleet coordinator. Cells
+/// missing from the store are computed on the spot by the [`View`]'s lazy
+/// path (serially), so the output is total regardless of how the store
+/// was filled — and byte-identical to a local run over the same cells.
+///
+/// # Errors
+///
+/// Returns an error when any filter pattern matches no experiment.
+pub fn render_from_store(store: &Store, opts: &SuiteOptions) -> Result<SuiteReport, String> {
+    validate_filter(opts.filter.as_deref())?;
+    let selected = select(opts.filter.as_deref());
     let unique_cells = store.len();
 
-    let view = View::new(&store, opts.params);
+    let view = View::new(store, opts.params);
     let sections: Vec<SuiteSection> = selected
         .iter()
         .map(|e| SuiteSection {

@@ -1,0 +1,43 @@
+//! # strata-fleet — distributed suite runs over TCP
+//!
+//! The full paper grid is embarrassingly parallel at the **cell** level
+//! (one workload × config × architecture simulation), and `strata-expt`
+//! already memoizes cells behind stable content keys. This crate spreads
+//! that cell set across machines with nothing shared but a TCP
+//! connection:
+//!
+//! * [`coordinator`] — `strata fleet serve` loads the cell manifest for
+//!   the selected experiments, orders it by observed budgets (longest
+//!   first), and leases cells to workers over the wire protocol.
+//!   Results stream back, land in the same memoized [`Store`] a local
+//!   run fills, and the final render goes through the same code path —
+//!   so fleet output is **byte-identical** to a single-machine
+//!   `strata bench` of the same selection.
+//! * [`worker`] — `strata fleet work` connects, verifies it derives the
+//!   exact same manifest (fingerprint handshake), then pulls, executes,
+//!   and streams results until the coordinator says the suite is done.
+//! * [`protocol`] — the versioned, length-prefixed, checksummed frame
+//!   format both sides speak. Hand-rolled and serde-free, like the rest
+//!   of the workspace's serialization.
+//!
+//! Crash-safety is end to end: leases expire and reassign, worker
+//! disconnects requeue instantly, delivery is at-least-once with
+//! first-result-wins dedup at the coordinator, and the disk cache doubles
+//! as a resume log — restarting the coordinator redispatches only the
+//! cells without cached results.
+//!
+//! ```text
+//! machine A$ strata fleet serve --filter fig4,fig7 --cache
+//! machine B$ strata fleet work --connect a.example:7841
+//! machine C$ strata fleet work --connect a.example:7841
+//! ```
+//!
+//! [`Store`]: strata_expt::Store
+
+pub mod coordinator;
+pub mod protocol;
+pub mod worker;
+
+pub use coordinator::{Coordinator, FleetReport, FleetStats, Progress, ServeOptions};
+pub use protocol::{Frame, ProtoError, MAX_PAYLOAD, PROTO_VERSION};
+pub use worker::{work, WorkOptions, WorkerReport};

@@ -1,0 +1,139 @@
+//! Property tests for the fleet wire protocol: randomized frames must
+//! round-trip exactly, and every way of mutilating a valid frame —
+//! truncation at any prefix, corruption of any single byte — must yield
+//! a [`ProtoError`] value, never a panic and never a silently wrong
+//! frame.
+
+use strata_fleet::protocol::{Frame, ProtoError, MAGIC};
+use strata_stats::rng::SmallRng;
+
+/// Random printable-ish string, including pipes/newlines like real cell
+/// keys and records.
+fn rand_string(rng: &mut SmallRng, max_len: usize) -> String {
+    let len = rng.gen_range(0..max_len as u64 + 1) as usize;
+    let alphabet: Vec<char> = ('a'..='z')
+        .chain('0'..='9')
+        .chain(['|', '(', ')', '=', '\n', ' ', '.', '-'])
+        .collect();
+    (0..len)
+        .map(|_| alphabet[rng.gen_range(0..alphabet.len() as u64) as usize])
+        .collect()
+}
+
+fn rand_frame(rng: &mut SmallRng) -> Frame {
+    match rng.gen_range(0u64..8) {
+        0 => Frame::Welcome {
+            filter: rand_string(rng, 60),
+            scale: rng.next_u32(),
+            variant: rng.next_u64(),
+            manifest_len: rng.next_u32(),
+            fingerprint: rng.next_u64(),
+        },
+        1 => Frame::Register {
+            worker: rand_string(rng, 30),
+        },
+        2 => Frame::Fetch,
+        3 => Frame::Assign {
+            index: rng.next_u32(),
+            key: rand_string(rng, 80),
+        },
+        4 => Frame::Wait {
+            millis: rng.next_u32(),
+        },
+        5 => Frame::Finished,
+        6 => Frame::Result {
+            index: rng.next_u32(),
+            key: rand_string(rng, 80),
+            record: rand_string(rng, 400),
+        },
+        _ => Frame::Ping,
+    }
+}
+
+#[test]
+fn random_frames_roundtrip() {
+    let mut rng = SmallRng::seed_from_u64(0x5EED_F1EE_7000_0001);
+    for _ in 0..500 {
+        let frame = rand_frame(&mut rng);
+        let bytes = frame.encode();
+        let (decoded, used) = Frame::decode(&bytes).expect("valid frame decodes");
+        assert_eq!(decoded, frame);
+        assert_eq!(used, bytes.len(), "decode must consume the whole frame");
+        let streamed = Frame::read_from(&mut &bytes[..]).expect("valid frame reads");
+        assert_eq!(streamed, frame);
+    }
+}
+
+#[test]
+fn truncation_at_every_length_errors_never_panics() {
+    let mut rng = SmallRng::seed_from_u64(0x5EED_F1EE_7000_0002);
+    for _ in 0..50 {
+        let bytes = rand_frame(&mut rng).encode();
+        for cut in 0..bytes.len() {
+            let prefix = &bytes[..cut];
+            assert!(
+                Frame::decode(prefix).is_err(),
+                "prefix of {cut}/{} bytes must not decode",
+                bytes.len()
+            );
+            // The stream reader reports truncation as an I/O error
+            // (EOF mid-frame).
+            assert!(Frame::read_from(&mut &prefix[..]).is_err());
+        }
+    }
+}
+
+#[test]
+fn single_byte_corruption_errors_never_panics() {
+    let mut rng = SmallRng::seed_from_u64(0x5EED_F1EE_7000_0003);
+    for _ in 0..40 {
+        let frame = rand_frame(&mut rng);
+        let bytes = frame.encode();
+        for at in 0..bytes.len() {
+            let flip = 1u8 << rng.gen_range(0u64..8);
+            let mut bad = bytes.clone();
+            bad[at] ^= flip;
+            // Either decoder rejects the frame, or — impossible with a
+            // single flipped bit given the checksum — returns the
+            // original. It must never return a *different* frame.
+            match Frame::decode(&bad) {
+                Err(_) => {}
+                Ok((got, _)) => panic!(
+                    "flipping bit {flip:#04x} at byte {at} yielded {got:?} instead of an error"
+                ),
+            }
+            assert!(Frame::read_from(&mut &bad[..]).is_err());
+        }
+    }
+}
+
+#[test]
+fn corrupt_magic_and_checksum_report_specific_errors() {
+    let bytes = Frame::Fetch.encode();
+
+    let mut bad = bytes.clone();
+    bad[0] ^= 0xFF;
+    assert!(matches!(
+        Frame::decode(&bad).unwrap_err(),
+        ProtoError::BadMagic(m) if m != MAGIC
+    ));
+
+    let mut bad = bytes.clone();
+    let last = bad.len() - 1;
+    bad[last] ^= 0x01; // trailing checksum byte
+    assert_eq!(Frame::decode(&bad).unwrap_err(), ProtoError::BadChecksum);
+}
+
+#[test]
+fn appended_garbage_is_not_consumed() {
+    let frame = Frame::Assign {
+        index: 3,
+        key: "gzip|native|x86-like|s1v0".into(),
+    };
+    let mut bytes = frame.encode();
+    let frame_len = bytes.len();
+    bytes.extend_from_slice(b"TRAILING JUNK");
+    let (decoded, used) = Frame::decode(&bytes).expect("frame before junk decodes");
+    assert_eq!(decoded, frame);
+    assert_eq!(used, frame_len);
+}

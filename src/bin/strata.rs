@@ -11,6 +11,10 @@
 //!              [--scale N] [--variant N] [--cache] [--no-artifacts]
 //!              [--artifacts-dir DIR] [--baseline DIR] [--tolerance PCT]
 //!              [--shard I/N] [--list]
+//! strata fleet serve [--bind ADDR] [--filter <ids>] [--format text|csv|json]
+//!              [--scale N] [--variant N] [--cache] [--lease SECS]
+//!              [--progress text|json|none] [--no-artifacts] [--artifacts-dir DIR]
+//! strata fleet work --connect ADDR [--name NAME] [--retries N]
 //! ```
 //!
 //! `--baseline DIR` diffs the run's artifacts against the committed
@@ -52,6 +56,7 @@ fn main() -> ExitCode {
         Some("run") => dispatch(run_cmd(&args[1..])),
         Some("compare") => dispatch(compare_cmd(&args[1..])),
         Some("bench") => dispatch(bench_cmd(&args[1..])),
+        Some("fleet") => dispatch(fleet_cmd(&args[1..])),
         Some("verify") => dispatch(verify_cmd(&args[1..])),
         _ => {
             eprintln!(
@@ -67,6 +72,11 @@ fn main() -> ExitCode {
                  \x20            [--scale N] [--variant N] [--cache] [--no-artifacts]\n\
                  \x20            [--artifacts-dir DIR] [--baseline DIR] [--tolerance PCT]\n\
                  \x20            [--shard I/N] [--list]\n\
+                 strata fleet serve [--bind ADDR] [--filter IDS] [--format text|csv|json]\n\
+                 \x20            [--scale N] [--variant N] [--cache] [--lease SECS]\n\
+                 \x20            [--progress text|json|none] [--no-artifacts]\n\
+                 \x20            [--artifacts-dir DIR]\n\
+                 strata fleet work --connect ADDR [--name NAME] [--retries N]\n\
                  \n\
                  config SPECs: reentry | ibtc:4096 | ibtc-outline:4096 | ibtc-persite:64\n\
                  \x20             | sieve:4096 | tuned:4096,1024 | fastret:4096\n\
@@ -371,6 +381,123 @@ fn bench_cmd(args: &[String]) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// Runs the distributed-fleet commands: `serve` hosts a coordinator that
+/// leases the selected suite's cells to TCP workers and renders the
+/// merged result exactly like a local `strata bench`; `work` connects to
+/// a coordinator and executes cells until the suite is done.
+fn fleet_cmd(args: &[String]) -> Result<(), String> {
+    use strata_lab::fleet;
+
+    match args.first().map(String::as_str) {
+        Some("serve") => {
+            let args = &args[1..];
+            let knobs = EnvKnobs::from_env();
+            let mut serve = fleet::ServeOptions {
+                suite: SuiteOptions {
+                    params: knobs.params(),
+                    ..SuiteOptions::default()
+                },
+                ..fleet::ServeOptions::default()
+            };
+            if let Some(bind) = parse_flag(args, "--bind") {
+                serve.bind = bind;
+            }
+            serve.suite.filter = parse_flag(args, "--filter");
+            if let Some(format) = parse_flag(args, "--format") {
+                serve.suite.format = OutputFormat::parse(&format)?;
+            }
+            if let Some(scale) = parse_flag(args, "--scale") {
+                serve.suite.params.scale = scale
+                    .parse()
+                    .map_err(|_| format!("bad --scale `{scale}`"))?;
+            }
+            if let Some(variant) = parse_flag(args, "--variant") {
+                serve.suite.params.variant = variant
+                    .parse()
+                    .map_err(|_| format!("bad --variant `{variant}`"))?;
+            }
+            if args.iter().any(|a| a == "--cache") {
+                serve.suite.cache_dir = Some("results/cache".into());
+            }
+            if let Some(lease) = parse_flag(args, "--lease") {
+                let secs: u64 = lease
+                    .parse()
+                    .map_err(|_| format!("bad --lease `{lease}`"))?;
+                if secs == 0 {
+                    return Err("--lease must be at least 1 second".into());
+                }
+                serve.lease = std::time::Duration::from_secs(secs);
+            }
+            if let Some(mode) = parse_flag(args, "--progress") {
+                serve.progress = fleet::Progress::parse(&mode)?;
+            }
+            let artifacts_dir =
+                parse_flag(args, "--artifacts-dir").unwrap_or_else(|| "results".into());
+
+            let coordinator = fleet::Coordinator::bind(serve)?;
+            eprintln!(
+                "fleet: serving on {}; point workers at it with \
+                 `strata fleet work --connect <host:port>`",
+                coordinator.local_addr()?
+            );
+            let report = coordinator.run()?;
+            print!("{}", report.suite.rendered);
+            if !args.iter().any(|a| a == "--no-artifacts") {
+                let written = expt::write_artifacts(&report.suite, artifacts_dir.as_ref())?;
+                eprintln!("wrote {} artifact(s) under {artifacts_dir}/", written.len());
+            }
+            let s = &report.stats;
+            let per_worker = s
+                .per_worker
+                .iter()
+                .map(|(name, n)| format!("{name}:{n}"))
+                .collect::<Vec<_>>()
+                .join(" ");
+            eprintln!(
+                "fleet: {} cell(s): {} preloaded, {} received, {} requeued, \
+                 {} duplicate(s), {} rejected, {} worker(s){}",
+                s.cells,
+                s.preloaded,
+                s.received,
+                s.requeued,
+                s.duplicates,
+                s.rejected,
+                s.workers_seen,
+                if per_worker.is_empty() {
+                    String::new()
+                } else {
+                    format!(" [{per_worker}]")
+                },
+            );
+            Ok(())
+        }
+        Some("work") => {
+            let args = &args[1..];
+            let mut opts = fleet::WorkOptions {
+                connect: parse_flag(args, "--connect")
+                    .ok_or("fleet work needs --connect <host:port>")?,
+                ..fleet::WorkOptions::default()
+            };
+            if let Some(name) = parse_flag(args, "--name") {
+                opts.name = name;
+            }
+            if let Some(retries) = parse_flag(args, "--retries") {
+                opts.retries = retries
+                    .parse()
+                    .map_err(|_| format!("bad --retries `{retries}`"))?;
+            }
+            let name = opts.name.clone();
+            let report = fleet::work(opts)?;
+            eprintln!(
+                "fleet: {name} executed {} cell(s), {} reconnect(s)",
+                report.executed, report.reconnects
+            );
+            Ok(())
+        }
+        _ => Err("usage: strata fleet <serve|work> ... (see `strata` for flags)".into()),
+    }
 }
 
 /// Statically verifies the code the translator emits: runs the workload

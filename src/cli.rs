@@ -14,22 +14,23 @@ pub fn parse_flag(args: &[String], flag: &str) -> Option<String> {
 }
 
 /// Parses a `--shard` spec of the form `i/n` into `(index, count)` with
-/// `index < count` and `count >= 1`.
+/// `index < count` and `count >= 1`. Both sides must be plain decimal
+/// digits — shard specs are copied between machines, so decorated forms
+/// (`+1/2`, ` 1/2`) that `u32::parse` would tolerate are rejected too.
 ///
 /// # Errors
 ///
 /// Returns a human-readable message for malformed specs (`3`, `a/b`,
-/// `1/0`) and out-of-range indices (`2/2`).
+/// `1/0`, `+1/2`) and out-of-range indices (`2/2`).
 pub fn parse_shard(spec: &str) -> Result<(u32, u32), String> {
     let (i, n) = spec
         .split_once('/')
         .ok_or_else(|| format!("bad --shard `{spec}` (expected `i/n`, e.g. `0/4`)"))?;
-    let index: u32 = i
-        .parse()
-        .map_err(|_| format!("bad shard index `{i}` in `{spec}`"))?;
-    let count: u32 = n
-        .parse()
-        .map_err(|_| format!("bad shard count `{n}` in `{spec}`"))?;
+    let digits = |s: &str| !s.is_empty() && s.bytes().all(|b| b.is_ascii_digit());
+    let index: u32 = if digits(i) { i.parse().ok() } else { None }
+        .ok_or_else(|| format!("bad shard index `{i}` in `{spec}`"))?;
+    let count: u32 = if digits(n) { n.parse().ok() } else { None }
+        .ok_or_else(|| format!("bad shard count `{n}` in `{spec}`"))?;
     if count == 0 {
         return Err(format!("shard count must be at least 1 in `{spec}`"));
     }
@@ -512,9 +513,27 @@ mod tests {
     fn shard_specs() {
         assert_eq!(parse_shard("0/1"), Ok((0, 1)));
         assert_eq!(parse_shard("3/8"), Ok((3, 8)));
-        for bad in ["", "3", "a/b", "1/0", "2/2", "-1/2", "1/2/3"] {
+        assert_eq!(parse_shard("0/4294967295"), Ok((0, u32::MAX)));
+        #[rustfmt::skip]
+        let bad_specs = [
+            // structurally malformed
+            "", "3", "a/b", "1/2/3", "/", "1/", "/4",
+            // zero shards or index out of range
+            "1/0", "0/0", "2/2", "5/4",
+            // decorated or non-decimal numbers
+            "-1/2", "+1/2", "1/+2", " 1/2", "1/2 ", "0x1/4", "1_0/20",
+            // overflow
+            "0/4294967296", "99999999999/4",
+        ];
+        for bad in bad_specs {
             assert!(parse_shard(bad).is_err(), "`{bad}` must be rejected");
         }
+        // Errors carry the offending spec so multi-machine scripts fail
+        // debuggably.
+        assert!(parse_shard("7/4")
+            .expect_err("err")
+            .contains("out of range"));
+        assert!(parse_shard("1/0").expect_err("err").contains("at least 1"));
     }
 
     #[test]

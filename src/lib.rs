@@ -14,7 +14,9 @@
 //!   the emitted fragment cache,
 //! * [`workloads`] — SPEC CINT2000 stand-in programs,
 //! * [`stats`] — tables/series for the experiment binaries,
-//! * [`expt`] — the parallel experiment orchestrator behind `strata bench`.
+//! * [`expt`] — the parallel experiment orchestrator behind `strata bench`,
+//! * [`fleet`] — the coordinator/worker pair behind `strata fleet`, for
+//!   spreading a suite run across machines over TCP.
 //!
 //! See `examples/quickstart.rs` for a end-to-end tour and the
 //! `strata-bench` crate for the binaries that regenerate each table and
@@ -27,6 +29,7 @@ pub use strata_arch as arch;
 pub use strata_asm as asm;
 pub use strata_core as core;
 pub use strata_expt as expt;
+pub use strata_fleet as fleet;
 pub use strata_isa as isa;
 pub use strata_machine as machine;
 pub use strata_stats as stats;

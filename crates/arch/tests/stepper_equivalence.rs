@@ -6,7 +6,8 @@
 //! depend on which one drove execution — that invariant is what lets the
 //! hot loop be optimized freely without perturbing any experiment.
 //!
-//! Each trial builds a random SimRISC program (ALU ops, memory traffic,
+//! Each trial draws a random SimRISC program from the shared
+//! `strata-testgen` word generator (ALU ops, memory traffic,
 //! calls/returns, indirect jumps, traps, deliberate error cases, and
 //! **self-modifying stores into the code region**), then runs it twice
 //! from identical initial state: once with `run` in random fuel slices,
@@ -14,286 +15,25 @@
 //! every boundary (trap, halt, out-of-fuel, error) the CPU state, the
 //! full retire-event streams, and the [`ArchModel`] cost/cache/predictor
 //! counters must agree exactly.
+//!
+//! The tier-vs-tier analogue of this test (interp vs threaded) lives in
+//! the workspace-level `difftest` suite on the same generator.
 
-use strata_arch::{ArchModel, ArchProfile};
-use strata_isa::{encode, Instr, Reg};
-use strata_machine::{layout, ExecutionObserver, Machine, MachineError, RetireEvent, StepOutcome};
+use strata_machine::{MachineError, StepOutcome};
 use strata_stats::rng::SmallRng;
-
-const CODE_LEN: usize = 48;
-
-fn reg(i: u8) -> Reg {
-    Reg::try_from(i).unwrap()
-}
-
-/// Scratch destinations; r5..r8 are reserved as pre-seeded address /
-/// payload registers so most generated traffic stays in bounds.
-fn scratch(rng: &mut SmallRng) -> Reg {
-    const SCRATCH: [u8; 8] = [1, 2, 3, 4, 9, 10, 11, 12];
-    reg(SCRATCH[rng.gen_range(0usize..SCRATCH.len())])
-}
-
-/// Any register as a source operand.
-fn any_reg(rng: &mut SmallRng) -> Reg {
-    reg(rng.gen_range(0u8..16))
-}
-
-fn code_slot(rng: &mut SmallRng) -> u32 {
-    layout::APP_BASE + rng.gen_range(0u32..CODE_LEN as u32) * 4
-}
-
-/// A word slot for the absolutely-addressed ops (`lwa`/`swa`/`jmem`),
-/// whose encoding caps addresses at 20 bits — use low memory, below the
-/// code region at `APP_BASE`.
-fn low_slot(rng: &mut SmallRng) -> u32 {
-    0x400 + rng.gen_range(0u32..256) * 4
-}
-
-/// A conditional-branch offset from slot `i` landing inside the region.
-fn branch_off(rng: &mut SmallRng, i: usize) -> i16 {
-    let target = rng.gen_range(0u32..CODE_LEN as u32) as i32;
-    (target - i as i32 - 1) as i16
-}
-
-/// A random instruction for slot `i` of the program.
-fn gen_instr(rng: &mut SmallRng, i: usize) -> Instr {
-    let rd = scratch(rng);
-    let rs1 = any_reg(rng);
-    let rs2 = any_reg(rng);
-    match rng.gen_range(0u32..100) {
-        0..=11 => match rng.gen_range(0u32..6) {
-            0 => Instr::Add { rd, rs1, rs2 },
-            1 => Instr::Sub { rd, rs1, rs2 },
-            2 => Instr::Xor { rd, rs1, rs2 },
-            3 => Instr::And { rd, rs1, rs2 },
-            4 => Instr::Or { rd, rs1, rs2 },
-            _ => Instr::Sll { rd, rs1, rs2 },
-        },
-        12..=21 => match rng.gen_range(0u32..4) {
-            0 => Instr::Addi {
-                rd,
-                rs1,
-                imm: (rng.gen_range(0u32..1000) as i32 - 500) as i16,
-            },
-            1 => Instr::Ori {
-                rd,
-                rs1,
-                imm: rng.next_u32() as u16,
-            },
-            2 => Instr::Slli {
-                rd,
-                rs1,
-                shamt: rng.gen_range(0u32..32) as u8,
-            },
-            _ => Instr::Lui {
-                rd,
-                imm: rng.next_u32() as u16,
-            },
-        },
-        22..=27 => match rng.gen_range(0u32..3) {
-            0 => Instr::Mul { rd, rs1, rs2 },
-            1 => Instr::Divu { rd, rs1, rs2 },
-            _ => Instr::Remu { rd, rs1, rs2 },
-        },
-        // Loads/stores through the pre-seeded data pointer in r5.
-        28..=39 => {
-            let off = rng.gen_range(0u32..64) as i16;
-            match rng.gen_range(0u32..4) {
-                0 => Instr::Lw {
-                    rd,
-                    rs1: reg(5),
-                    off,
-                },
-                1 => Instr::Sw {
-                    rs2: rs1,
-                    rs1: reg(5),
-                    off,
-                },
-                2 => Instr::Lbu {
-                    rd,
-                    rs1: reg(5),
-                    off,
-                },
-                _ => Instr::Sb {
-                    rs2: rs1,
-                    rs1: reg(5),
-                    off,
-                },
-            }
-        }
-        40..=45 => match rng.gen_range(0u32..2) {
-            0 => Instr::Cmp { rs1, rs2 },
-            _ => Instr::Cmpi {
-                rs1,
-                imm: (rng.gen_range(0u32..200) as i32 - 100) as i16,
-            },
-        },
-        46..=55 => {
-            let off = branch_off(rng, i);
-            match rng.gen_range(0u32..4) {
-                0 => Instr::Beq { off },
-                1 => Instr::Bne { off },
-                2 => Instr::Blt { off },
-                _ => Instr::Bgeu { off },
-            }
-        }
-        56..=61 => match rng.gen_range(0u32..2) {
-            0 => Instr::Jmp {
-                target: code_slot(rng),
-            },
-            _ => Instr::Call {
-                target: code_slot(rng),
-            },
-        },
-        // r6 holds an aligned code address; r8 a deliberately unaligned
-        // one, so both paths must surface the same UnalignedPc error.
-        62..=66 => {
-            let rs = if rng.gen_range(0u32..8) == 0 {
-                reg(8)
-            } else {
-                reg(6)
-            };
-            if rng.gen_bool(0.5) {
-                Instr::Jr { rs }
-            } else {
-                Instr::Callr { rs }
-            }
-        }
-        67..=70 => Instr::Ret,
-        71..=76 => {
-            if rng.gen_bool(0.5) {
-                Instr::Push { rs: rs1 }
-            } else {
-                Instr::Pop { rd }
-            }
-        }
-        // Self-modifying store: r7 holds a valid encoded instruction and
-        // r6 a code address, so this patches live code and must
-        // invalidate the predecoded page.
-        77..=82 => Instr::Sw {
-            rs2: reg(7),
-            rs1: reg(6),
-            off: (rng.gen_range(0u32..8) * 4) as i16,
-        },
-        83..=87 => {
-            if rng.gen_bool(0.5) {
-                Instr::Swa {
-                    rs: rs1,
-                    addr: low_slot(rng),
-                }
-            } else {
-                Instr::Lwa {
-                    rd,
-                    addr: low_slot(rng),
-                }
-            }
-        }
-        88..=89 => {
-            if rng.gen_bool(0.5) {
-                Instr::Pushf
-            } else {
-                Instr::Popf
-            }
-        }
-        90..=92 => Instr::Trap {
-            code: rng.gen_range(0u32..1000) as u16,
-        },
-        93 => Instr::Jmem {
-            addr: low_slot(rng),
-        },
-        94 => Instr::Halt,
-        _ => Instr::Nop,
-    }
-}
-
-/// Records the retire stream and forwards it to a cost model.
-struct Recorder {
-    events: Vec<RetireEvent>,
-    model: ArchModel,
-}
-
-impl ExecutionObserver for Recorder {
-    fn on_retire(&mut self, ev: &RetireEvent) {
-        self.events.push(*ev);
-        self.model.on_retire(ev);
-    }
-}
-
-/// Reference semantics of [`Machine::run`], expressed with `step` only.
-fn run_by_steps(
-    m: &mut Machine,
-    obs: &mut Recorder,
-    fuel: u64,
-) -> Result<StepOutcome, MachineError> {
-    for _ in 0..fuel {
-        match m.step(obs)? {
-            StepOutcome::Running => {}
-            outcome => return Ok(outcome),
-        }
-    }
-    Err(MachineError::OutOfFuel { steps: fuel })
-}
-
-fn profile_for(trial: u64) -> ArchProfile {
-    match trial % 4 {
-        0 => ArchProfile::x86_like(),
-        1 => ArchProfile::sparc_like(),
-        2 => ArchProfile::mips_like(),
-        _ => ArchProfile::ideal(),
-    }
-}
+use strata_testgen::harness::{profile_for, run_by_steps, Recorder};
+use strata_testgen::wordgen::WordProgram;
 
 #[test]
 fn fused_run_loop_matches_single_stepping() {
     let mut rng = SmallRng::seed_from_u64(0x57E9_0001);
     let mut total_retired = 0usize;
     for trial in 0..120u64 {
-        let program: Vec<u32> = (0..CODE_LEN - 1)
-            .map(|i| encode(&gen_instr(&mut rng, i)))
-            .chain([encode(&Instr::Halt)])
-            .collect();
-        // The payload r7 patches into code must itself be decodable.
-        let patch = match rng.gen_range(0u32..3) {
-            0 => Instr::Nop,
-            1 => Instr::Addi {
-                rd: scratch(&mut rng),
-                rs1: scratch(&mut rng),
-                imm: (rng.gen_range(0u32..200) as i32 - 100) as i16,
-            },
-            _ => Instr::Halt,
-        };
-        let seeds: [u32; 4] = [
-            rng.next_u32(),
-            rng.next_u32(),
-            rng.next_u32(),
-            rng.next_u32(),
-        ];
-        let code_target = code_slot(&mut rng);
-
-        let setup = || {
-            let mut m = Machine::new(layout::DEFAULT_MEM_BYTES);
-            m.write_code(layout::APP_BASE, &program).unwrap();
-            let cpu = m.cpu_mut();
-            cpu.pc = layout::APP_BASE;
-            for (i, &v) in seeds.iter().enumerate() {
-                cpu.set_reg(reg(1 + i as u8), v);
-            }
-            cpu.set_reg(reg(5), layout::APP_DATA_BASE);
-            cpu.set_reg(reg(6), code_target);
-            cpu.set_reg(reg(7), encode(&patch));
-            cpu.set_reg(reg(8), code_target + 2); // unaligned
-            m
-        };
-        let mut fast = setup();
-        let mut reference = setup();
-        let mut rec_fast = Recorder {
-            events: Vec::new(),
-            model: ArchModel::new(profile_for(trial)),
-        };
-        let mut rec_ref = Recorder {
-            events: Vec::new(),
-            model: ArchModel::new(profile_for(trial)),
-        };
+        let prog = WordProgram::generate(&mut rng);
+        let mut fast = prog.instantiate();
+        let mut reference = prog.instantiate();
+        let mut rec_fast = Recorder::new(profile_for(trial));
+        let mut rec_ref = Recorder::new(profile_for(trial));
 
         let mut steps = 0u64;
         while steps < 3_000 {

@@ -26,7 +26,7 @@ use strata_arch::{ArchModel, ArchProfile, Btb, CacheConfig, CacheSim, CondPredic
 use strata_asm::assemble;
 use strata_core::{ClassPolicy, Sdt, SdtConfig};
 use strata_isa::{decode, encode, Instr, Reg};
-use strata_machine::{layout, Machine, NullObserver, Program, StepOutcome};
+use strata_machine::{layout, ExecTier, Machine, NullObserver, Program, StepOutcome, TierConfig};
 use strata_stats::Table;
 use strata_workloads::{by_name, Params};
 
@@ -214,6 +214,33 @@ fn main() {
         black_box(model.total_cycles());
     });
 
+    // The same two workloads under the threaded execution tier: identical
+    // retire streams (and therefore identical charged cycles), different
+    // host dispatch. The costed variant is Amdahl-bound by the cost
+    // model's own per-instruction work, which the tier cannot remove.
+    let tier = ExecTier::Threaded(TierConfig::default());
+    b.run("machine/interpret_400k_instrs_threaded", 400_002, || {
+        let mut m = Machine::new(layout::DEFAULT_MEM_BYTES);
+        program.load(&mut m).unwrap();
+        m.set_tier(tier);
+        assert_eq!(
+            m.run(&mut NullObserver, 10_000_000).unwrap(),
+            StepOutcome::Halted
+        );
+    });
+    b.run(
+        "machine/interpret_400k_instrs_costed_threaded",
+        400_002,
+        || {
+            let mut m = Machine::new(layout::DEFAULT_MEM_BYTES);
+            program.load(&mut m).unwrap();
+            m.set_tier(tier);
+            let mut model = ArchModel::new(ArchProfile::x86_like());
+            assert_eq!(m.run(&mut model, 10_000_000).unwrap(), StepOutcome::Halted);
+            black_box(model.total_cycles());
+        },
+    );
+
     // Stepper dispatch in isolation: construction cost (dominated by guest
     // RAM + predecode-page setup) and warm-dispatch throughput (the fused
     // fetch/exec loop on already-predecoded pages, no per-iteration
@@ -231,6 +258,23 @@ fn main() {
             StepOutcome::Halted
         );
     });
+    // Warm threaded dispatch: the superblocks survive across iterations
+    // (the code is never invalidated), so this is the steady-state cost
+    // of hot-region execution — the headline the tier exists for.
+    let mut warm_threaded = Machine::new(layout::DEFAULT_MEM_BYTES);
+    program.load(&mut warm_threaded).unwrap();
+    warm_threaded.set_tier(tier);
+    b.run(
+        "machine/dispatch_warm_400k_instrs_threaded",
+        400_002,
+        || {
+            warm_threaded.cpu_mut().pc = layout::APP_BASE;
+            assert_eq!(
+                warm_threaded.run(&mut NullObserver, 10_000_000).unwrap(),
+                StepOutcome::Halted
+            );
+        },
+    );
 
     // Microarchitecture simulators.
     let mut cache = CacheSim::new(CacheConfig {

@@ -4,7 +4,9 @@
 use strata_arch::{ArchModel, ArchProfile};
 use strata_isa::{ControlKind, Reg};
 use strata_machine::syscall::{SyscallState, SDT_TRAP_BASE};
-use strata_machine::{layout, ExecutionObserver, Machine, Program, RetireEvent, StepOutcome};
+use strata_machine::{
+    layout, ExecTier, ExecutionObserver, Machine, Program, RetireEvent, StepOutcome,
+};
 
 use crate::SdtError;
 
@@ -80,8 +82,30 @@ pub fn run_native(
     profile: ArchProfile,
     fuel: u64,
 ) -> Result<NativeRun, SdtError> {
+    run_native_tiered(program, profile, fuel, ExecTier::Interp)
+}
+
+/// [`run_native`] with an explicit execution tier.
+///
+/// The tier decides how the host executes guest instructions (pure
+/// interpretation vs direct-threaded superblock translation of hot
+/// regions); the retire-event stream — and therefore every charged
+/// cycle, cache access, and predictor outcome — is bit-identical across
+/// tiers, so tier choice can never move a reported metric. Only
+/// wall-clock changes.
+///
+/// # Errors
+///
+/// Same contract as [`run_native`].
+pub fn run_native_tiered(
+    program: &Program,
+    profile: ArchProfile,
+    fuel: u64,
+    tier: ExecTier,
+) -> Result<NativeRun, SdtError> {
     let mut machine = Machine::new(layout::DEFAULT_MEM_BYTES);
     program.load(&mut machine)?;
+    machine.set_tier(tier);
     let mut syscalls = SyscallState::new();
     let mut obs = NativeObserver {
         model: ArchModel::new(profile),

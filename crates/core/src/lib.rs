@@ -88,7 +88,7 @@ pub use config::{
 };
 pub use error::SdtError;
 pub use fragment::FragKind;
-pub use harness::{run_native, NativeRun};
+pub use harness::{run_native, run_native_tiered, NativeRun};
 pub use inspect::CacheLine;
 pub use meta::{
     AdaptiveSiteMeta, AdaptiveStageMeta, BindMeta, CacheMeta, ExitSiteMeta, FragmentMeta,

@@ -24,10 +24,10 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
-use strata_core::{run_native, Sdt};
-use strata_machine::Program;
+use strata_core::{run_native_tiered, Sdt};
+use strata_machine::{ExecTier, Program};
 use strata_workloads::{by_name, Params};
 
 use crate::budget::order_longest_first;
@@ -36,6 +36,31 @@ use crate::store::Store;
 
 /// Fuel ceiling for every run — far above any workload at default scale.
 pub const FUEL: u64 = 4_000_000_000;
+
+/// Process-wide execution tier for native (untranslated) runs.
+///
+/// Tier choice cannot change any rendered number — retire streams are
+/// bit-identical across tiers — so it is process-global configuration
+/// like `--jobs`, not part of any cell key. Resolved once: an explicit
+/// [`set_exec_tier`] (the CLI's `--tier` flag) wins; otherwise the
+/// `STRATA_TIER` environment variable (`interp`, `threaded`,
+/// `threaded:<threshold>`) so fleet workers inherit the tier from their
+/// environment; otherwise the interpreter.
+static EXEC_TIER: OnceLock<ExecTier> = OnceLock::new();
+
+/// Pins the execution tier for this process (first caller wins; later
+/// calls and the env fallback are ignored).
+pub fn set_exec_tier(tier: ExecTier) {
+    let _ = EXEC_TIER.set(tier);
+}
+
+/// The resolved process-wide execution tier.
+pub fn exec_tier() -> ExecTier {
+    *EXEC_TIER.get_or_init(|| match std::env::var("STRATA_TIER") {
+        Ok(spec) => ExecTier::parse(&spec).unwrap_or_else(|e| panic!("STRATA_TIER: {e}")),
+        Err(_) => ExecTier::Interp,
+    })
+}
 
 /// Builds the program a cell runs (workload at the cell's params).
 pub fn build_program(workload: &str, params: Params) -> Program {
@@ -49,9 +74,9 @@ pub fn cell_result(store: &Store, key: &CellKey, program: &Program) -> Arc<CellR
     match &key.kind {
         RunKind::Native => store.get_or_compute(key, || {
             CellResult::Native(
-                run_native(program, key.profile.clone(), FUEL).unwrap_or_else(|e| {
-                    panic!("native {} on {}: {e}", key.workload, key.profile.name)
-                }),
+                run_native_tiered(program, key.profile.clone(), FUEL, exec_tier()).unwrap_or_else(
+                    |e| panic!("native {} on {}: {e}", key.workload, key.profile.name),
+                ),
             )
         }),
         RunKind::Translated(cfg) => {

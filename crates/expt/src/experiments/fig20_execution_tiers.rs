@@ -1,0 +1,131 @@
+//! Figure 20 (methodology) — execution-tier comparison.
+//!
+//! The threaded tier translates hot guest regions into direct-threaded
+//! superblocks but is required to produce a bit-identical retire-event
+//! stream, so **no simulated number can move**: the table below holds
+//! only tier-independent quantities (retired instructions, checksum,
+//! and the cross-tier agreement verdict), all of which the baseline
+//! gate may diff. Agreement is re-verified on every render: each
+//! workload is re-run natively under the threaded tier and its
+//! checksum, register file, and total cycles are asserted equal to the
+//! memoized suite baseline — a divergence aborts the suite rather than
+//! rendering a wrong table.
+//!
+//! The host wall-clock comparison — the entire point of the tier — is
+//! inherently machine- and run-dependent, so it is opt-in: set
+//! `STRATA_TIER_TIMING=1` to time both tiers per workload and emit the
+//! measurements as notes. The gate ignores notes, and the default
+//! render omits them entirely so suite output stays byte-identical
+//! across runs (the fleet end-to-end tests and the warm-cache
+//! determinism tests rely on that).
+
+use std::time::Instant;
+
+use strata_arch::ArchProfile;
+use strata_stats::{geomean, Table};
+use strata_workloads::registry;
+
+use super::Output;
+use crate::cell::CellKey;
+use crate::exec::{build_program, FUEL};
+use crate::view::View;
+use strata_core::run_native_tiered;
+use strata_machine::{ExecTier, TierConfig};
+
+/// The threaded tier under test: default promotion threshold and block cap.
+fn threaded() -> ExecTier {
+    ExecTier::Threaded(TierConfig::default())
+}
+
+/// Whether to measure and report host wall-clock (`STRATA_TIER_TIMING=1`).
+fn timing_enabled() -> bool {
+    std::env::var("STRATA_TIER_TIMING").is_ok_and(|v| v == "1")
+}
+
+/// Cells: one native baseline per workload, x86-like. These are shared
+/// with (and deduped against) fig2/fig3/table1; the verification and
+/// timing runs happen in `render` because wall-clock cannot be memoized.
+pub fn cells(params: strata_workloads::Params) -> Vec<CellKey> {
+    let x86 = ArchProfile::x86_like();
+    registry()
+        .iter()
+        .map(|spec| CellKey::native(spec.name, x86.clone(), params))
+        .collect()
+}
+
+/// Renders Figure 20.
+pub fn render(view: &View) -> Output {
+    let x86 = ArchProfile::x86_like();
+    let timing = timing_enabled();
+    let mut out = Output::default();
+    let mut t = Table::new(
+        "Fig. 20: execution tiers are observationally identical (x86-like)",
+        &["benchmark", "instructions", "checksum", "tiers agree"],
+    );
+    let mut speedups = Vec::new();
+    let mut lines = Vec::new();
+    for spec in registry() {
+        let program = build_program(spec.name, view.params());
+        let timed = |tier: ExecTier| {
+            let start = Instant::now();
+            let run = run_native_tiered(&program, x86.clone(), FUEL, tier)
+                .unwrap_or_else(|e| panic!("fig20: native {} ({tier:?}): {e}", spec.name));
+            (start.elapsed(), run)
+        };
+        let (threaded_time, thr) = timed(threaded());
+        // The verification that earns the table's "yes": the threaded
+        // re-run must match the memoized suite baseline bit for bit.
+        let native = view.native(spec.name, &x86);
+        assert_eq!(
+            (native.checksum, &native.regs, native.total_cycles),
+            (thr.checksum, &thr.regs, thr.total_cycles),
+            "fig20: threaded tier diverged on {}",
+            spec.name
+        );
+        t.row([
+            spec.name.to_string(),
+            native.instructions.to_string(),
+            format!("{:#010x}", native.checksum),
+            "yes".to_string(),
+        ]);
+        if timing {
+            let (interp_time, interp) = timed(ExecTier::Interp);
+            assert_eq!(interp.checksum, thr.checksum, "fig20: {}", spec.name);
+            let speedup = interp_time.as_secs_f64() / threaded_time.as_secs_f64().max(1e-9);
+            speedups.push(speedup);
+            lines.push(format!(
+                "  {:<10} interp {:>8.2} ms, threaded {:>8.2} ms, speedup {:.2}x",
+                spec.name,
+                interp_time.as_secs_f64() * 1e3,
+                threaded_time.as_secs_f64() * 1e3,
+                speedup,
+            ));
+        }
+    }
+    out.table(t);
+    if timing {
+        out.note(
+            "Host wall-clock per tier (single run, this machine; excluded from \
+             the baseline gate because it is not a simulated quantity):",
+        );
+        for line in lines {
+            out.note(line);
+        }
+        let geo = geomean(speedups.iter().copied()).expect("nonempty registry");
+        out.note(format!(
+            "geomean speedup {geo:.2}x. Both tiers drive the same cost-model \
+             observer (~7 ns/instr of charged-cycle accounting), so Amdahl caps \
+             the costed speedup well below the >=2x the tier shows on uncosted \
+             hot loops (see results/microbench.json, machine/dispatch_warm_400k_instrs \
+             vs its threaded variant)."
+        ));
+    } else {
+        out.note(
+            "Wall-clock timing is machine-dependent and therefore opt-in: \
+             re-render with STRATA_TIER_TIMING=1 (e.g. `STRATA_TIER_TIMING=1 \
+             strata bench --filter fig20`) to measure both tiers per workload. \
+             EXPERIMENTS.md records one such measurement.",
+        );
+    }
+    out
+}

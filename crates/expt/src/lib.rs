@@ -53,7 +53,7 @@ pub mod view;
 
 pub use budget::{makespan, order_longest_first, BudgetBook};
 pub use cell::{CellKey, CellResult, RunKind};
-pub use exec::{execute, FUEL};
+pub use exec::{exec_tier, execute, set_exec_tier, FUEL};
 pub use experiments::Output;
 pub use fsutil::atomic_write;
 pub use knobs::EnvKnobs;

@@ -110,6 +110,11 @@ pub fn registry() -> &'static [Experiment] {
             "Adaptive promotion vs fixed mechanisms"
         ),
         experiment!(
+            "fig20",
+            fig20_execution_tiers,
+            "Execution tiers: threaded-translation wall-clock vs interpreter"
+        ),
+        experiment!(
             "table2",
             table2_best_config,
             "Best configuration per architecture"
@@ -130,10 +135,10 @@ mod tests {
     #[test]
     fn ids_are_unique_and_lookup_works() {
         let mut ids: Vec<_> = registry().iter().map(|e| e.id).collect();
-        assert_eq!(ids.len(), 20);
+        assert_eq!(ids.len(), 21);
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 20, "duplicate experiment ids");
+        assert_eq!(ids.len(), 21, "duplicate experiment ids");
         assert!(by_id("table1").is_some());
         assert!(by_id("fig10").is_some());
         assert!(by_id("fig1").is_none());

@@ -519,14 +519,16 @@ mod tests {
 
     #[test]
     fn select_filters_by_substring() {
-        assert_eq!(select(None).len(), 20);
-        assert_eq!(select(Some("")).len(), 20);
+        assert_eq!(select(None).len(), 21);
+        assert_eq!(select(Some("")).len(), 21);
         let tables: Vec<&str> = select(Some("table")).iter().map(|e| e.id).collect();
         assert_eq!(tables, ["table1", "table2"]);
         let picked: Vec<&str> = select(Some("fig4, fig7")).iter().map(|e| e.id).collect();
         assert_eq!(picked, ["fig4", "fig7"]);
         // fig1 is a substring of fig10..fig19.
         assert_eq!(select(Some("fig1")).len(), 10);
+        // fig2 is likewise a substring of fig20.
+        assert_eq!(select(Some("fig2")).len(), 2);
         assert!(select(Some("nope")).is_empty());
     }
 

@@ -49,6 +49,7 @@ mod memory;
 pub mod observers;
 mod program;
 pub mod syscall;
+mod tier;
 
 pub use cpu::Cpu;
 pub use event::{
@@ -57,3 +58,4 @@ pub use event::{
 pub use machine::{Machine, MachineError, StepOutcome};
 pub use memory::Memory;
 pub use program::Program;
+pub use tier::{ExecTier, TierConfig, TierStats};

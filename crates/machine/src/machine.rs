@@ -3,7 +3,8 @@ use std::fmt;
 use strata_isa::{ControlKind, DecodeError, Flags, Instr};
 
 use crate::event::{ControlEvent, ExecutionObserver, MemAccess, RetireEvent};
-use crate::{Cpu, Memory};
+use crate::tier::{ExitKind, TierEngine};
+use crate::{Cpu, ExecTier, Memory, TierStats};
 
 /// Errors surfaced by machine execution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,6 +66,10 @@ pub enum StepOutcome {
 pub struct Machine {
     cpu: Cpu,
     mem: Memory,
+    /// Threaded-tier state; `None` runs the pure interpreter (the
+    /// default — no field access on the interpreter's per-instruction
+    /// path, only one check at [`Machine::run`] entry).
+    tier: Option<Box<TierEngine>>,
 }
 
 impl Machine {
@@ -74,7 +79,39 @@ impl Machine {
         let mem = Memory::new(mem_bytes);
         let mut cpu = Cpu::new();
         cpu.set_sp(mem.size());
-        Machine { cpu, mem }
+        Machine {
+            cpu,
+            mem,
+            tier: None,
+        }
+    }
+
+    /// Selects the execution tier driving [`Machine::run`].
+    ///
+    /// Switching to [`ExecTier::Threaded`] installs a fresh tier engine
+    /// (empty translation cache, zeroed profile); switching back to
+    /// [`ExecTier::Interp`] discards it. Guest-visible behavior is
+    /// identical either way — only wall-clock changes.
+    pub fn set_tier(&mut self, tier: ExecTier) {
+        self.tier = match tier {
+            ExecTier::Interp => None,
+            ExecTier::Threaded(cfg) => Some(Box::new(TierEngine::new(cfg, &self.mem))),
+        };
+    }
+
+    /// Translation-tier counters, when the threaded tier is active.
+    pub fn tier_stats(&self) -> Option<TierStats> {
+        self.tier.as_ref().map(|t| t.stats())
+    }
+
+    /// Mutation-testing hook: corrupts the side-exit target of the first
+    /// translated conditional branch, if any. See
+    /// `TierEngine::corrupt_side_exit`.
+    #[doc(hidden)]
+    pub fn corrupt_translated_side_exit(&mut self) -> bool {
+        self.tier
+            .as_mut()
+            .is_some_and(|tier| tier.corrupt_side_exit())
     }
 
     /// Shared view of CPU state.
@@ -135,6 +172,9 @@ impl Machine {
         observer: &mut O,
         fuel: u64,
     ) -> Result<StepOutcome, MachineError> {
+        if self.tier.is_some() {
+            return self.run_tiered(observer, fuel);
+        }
         for _ in 0..fuel {
             let pc = self.cpu.pc;
             let instr = match self.mem.fetch_predecoded(pc) {
@@ -145,6 +185,67 @@ impl Machine {
                 StepOutcome::Running => {}
                 outcome => return Ok(outcome),
             }
+        }
+        Err(MachineError::OutOfFuel { steps: fuel })
+    }
+
+    /// [`Machine::run`] with the threaded tier installed: profile region
+    /// heads at control-transfer arrivals, dispatch into translated
+    /// superblocks when one starts at `pc`, interpret everything else.
+    /// Guest semantics, retire streams, and fuel accounting are
+    /// bit-identical to the interpreter loop above.
+    fn run_tiered<O: ExecutionObserver>(
+        &mut self,
+        observer: &mut O,
+        fuel: u64,
+    ) -> Result<StepOutcome, MachineError> {
+        let mut tier = self.tier.take().expect("run_tiered requires a tier");
+        let result = self.run_tiered_inner(&mut tier, observer, fuel);
+        self.tier = Some(tier);
+        result
+    }
+
+    fn run_tiered_inner<O: ExecutionObserver>(
+        &mut self,
+        tier: &mut TierEngine,
+        observer: &mut O,
+        fuel: u64,
+    ) -> Result<StepOutcome, MachineError> {
+        let mut left = fuel;
+        // `arrived` is true exactly when `pc` was reached by a control
+        // transfer (or is the resume point): those are the only pcs that
+        // can head a superblock, so lookup/profile work happens only
+        // there and straight-line interpretation stays one compare away
+        // from the untiered loop.
+        let mut arrived = true;
+        while left > 0 {
+            let pc = self.cpu.pc;
+            if arrived {
+                tier.sync_version(self.mem.code_version());
+                if let Some(idx) = tier.lookup(pc) {
+                    let exit = tier.exec_block(idx, &mut self.cpu, &mut self.mem, left, observer);
+                    left -= exit.retired;
+                    match exit.kind {
+                        ExitKind::Continue => continue,
+                        ExitKind::Trap(code) => return Ok(StepOutcome::Trap(code)),
+                        ExitKind::Halted => return Ok(StepOutcome::Halted),
+                        ExitKind::Fault(err) => return Err(err),
+                    }
+                }
+                if tier.profile(pc, &self.mem) {
+                    continue; // freshly translated: re-dispatch at `pc`
+                }
+            }
+            let instr = match self.mem.fetch_predecoded(pc) {
+                Some(instr) => instr,
+                None => self.mem.fetch(pc)?,
+            };
+            match self.exec(pc, instr, observer)? {
+                StepOutcome::Running => {}
+                outcome => return Ok(outcome),
+            }
+            left -= 1;
+            arrived = self.cpu.pc != pc.wrapping_add(4);
         }
         Err(MachineError::OutOfFuel { steps: fuel })
     }

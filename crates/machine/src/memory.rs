@@ -3,11 +3,11 @@ use strata_isa::{decode, Instr};
 use crate::machine::MachineError;
 
 /// log2 of the predecode page size in bytes.
-const PAGE_SHIFT: u32 = 12;
+pub(crate) const PAGE_SHIFT: u32 = 12;
 /// Predecode page size in bytes (4 KiB).
-const PAGE_BYTES: u32 = 1 << PAGE_SHIFT;
+pub(crate) const PAGE_BYTES: u32 = 1 << PAGE_SHIFT;
 /// Instruction words per predecode page.
-const PAGE_WORDS: usize = (PAGE_BYTES / 4) as usize;
+pub(crate) const PAGE_WORDS: usize = (PAGE_BYTES / 4) as usize;
 
 /// One dense page of predecoded instructions. `None` means the word has
 /// not been decoded (or failed to decode) since it was last written.
@@ -46,6 +46,13 @@ pub struct Memory {
     code_lo: u32,
     /// Exclusive upper byte bound of the union of allocated code pages.
     code_hi: u32,
+    /// Generation counter bumped every time a store invalidates decoded
+    /// code. Consumers holding derived views of code (the translated
+    /// superblocks of the threaded execution tier) compare it against
+    /// the value they captured at derivation time and discard on
+    /// mismatch — a cross-structure "icache flush" signal that costs
+    /// nothing on the overwhelming store-misses-code path.
+    code_version: u64,
 }
 
 impl Memory {
@@ -59,12 +66,21 @@ impl Memory {
             pages: (0..pages).map(|_| None).collect(),
             code_lo: u32::MAX,
             code_hi: 0,
+            code_version: 0,
         }
     }
 
     /// Memory size in bytes.
     pub fn size(&self) -> u32 {
         self.bytes.len() as u32
+    }
+
+    /// The code-invalidation generation: incremented whenever a store
+    /// clears predecoded words. Structures derived from decoded code
+    /// (translated superblocks) are stale once this moves.
+    #[inline]
+    pub fn code_version(&self) -> u64 {
+        self.code_version
     }
 
     #[inline]
@@ -256,6 +272,7 @@ impl Memory {
             // last-word computation below underflows for `addr == 0`.
             return;
         }
+        self.code_version += 1;
         let first = addr >> 2;
         let last = (addr + len - 1) >> 2;
         for word in first..=last {
@@ -399,6 +416,127 @@ mod tests {
         m.register_code_region(60, 400); // clamped to memory size
         m.register_code_region(100, 50); // entirely out of range
         assert_eq!(m.fetch_predecoded(0), None);
+    }
+
+    #[test]
+    fn store_on_code_lo_boundary_invalidates() {
+        // Register a region whose page starts at 4096, so code_lo == 4096
+        // exactly. A store landing on the first byte of the boundary must
+        // invalidate; the word just below must not.
+        let mut m = Memory::new(3 * 4096);
+        m.write_u32(4096, encode(&Instr::Nop)).unwrap();
+        m.register_code_region(4096, 4);
+        assert_eq!(m.fetch_predecoded(4096), Some(Instr::Nop));
+        let v0 = m.code_version();
+
+        // One word below the boundary: outside every code page, no
+        // invalidation, version unchanged.
+        m.write_u32(4092, 0xFFFF_FFFF).unwrap();
+        assert_eq!(m.code_version(), v0, "store below code_lo must be free");
+        assert_eq!(m.fetch_predecoded(4096), Some(Instr::Nop));
+
+        // Exactly on code_lo: must clear the decoded slot and bump the
+        // generation.
+        m.write_u32(4096, encode(&Instr::Halt)).unwrap();
+        assert!(m.code_version() > v0, "store at code_lo must invalidate");
+        assert_eq!(m.fetch_predecoded(4096), None);
+        assert_eq!(m.fetch(4096).unwrap(), Instr::Halt);
+    }
+
+    #[test]
+    fn store_on_code_hi_boundary_is_outside() {
+        // code_hi is exclusive: with one registered page [4096, 8192), a
+        // store at 8192 is entirely outside and must not invalidate, while
+        // a store at 8188 (last word of the page) must.
+        let mut m = Memory::new(3 * 4096);
+        m.write_u32(8188, encode(&Instr::Nop)).unwrap();
+        m.register_code_region(4096, 4096);
+        assert_eq!(m.fetch_predecoded(8188), Some(Instr::Nop));
+        let v0 = m.code_version();
+
+        m.write_u32(8192, 0xFFFF_FFFF).unwrap();
+        assert_eq!(m.code_version(), v0, "store at code_hi must be free");
+        assert_eq!(m.fetch_predecoded(8188), Some(Instr::Nop));
+
+        m.write_u32(8188, encode(&Instr::Halt)).unwrap();
+        assert!(m.code_version() > v0);
+        assert_eq!(m.fetch_predecoded(8188), None);
+    }
+
+    #[test]
+    fn straddling_stores_invalidate_across_boundaries() {
+        // An unaligned word store straddling code_lo (bytes 4094..4098)
+        // touches the first code word and must invalidate it.
+        let mut m = Memory::new(3 * 4096);
+        m.write_u32(4096, encode(&Instr::Nop)).unwrap();
+        m.register_code_region(4096, 4);
+        m.write_u32(4094, 0x1234_5678).unwrap();
+        assert_eq!(
+            m.fetch_predecoded(4096),
+            None,
+            "store straddling code_lo must invalidate the first code word"
+        );
+
+        // And one straddling code_hi from inside (bytes 8190..8194)
+        // touches the last code word of the page.
+        let mut m = Memory::new(3 * 4096);
+        m.write_u32(8188, encode(&Instr::Nop)).unwrap();
+        m.register_code_region(4096, 4096);
+        m.write_u32(8190, 0x1234_5678).unwrap();
+        assert_eq!(
+            m.fetch_predecoded(8188),
+            None,
+            "store straddling code_hi must invalidate the last code word"
+        );
+    }
+
+    #[test]
+    fn cross_page_straddle_invalidates_both_pages() {
+        // Two adjacent registered pages; a byte-span store crossing the
+        // page boundary (4 bytes at 8190: bytes 8190..8194) must clear the
+        // last word of page 1 and the first word of page 2.
+        let mut m = Memory::new(3 * 4096);
+        m.write_u32(8188, encode(&Instr::Nop)).unwrap();
+        m.write_u32(8192, encode(&Instr::Halt)).unwrap();
+        m.register_code_region(4096, 2 * 4096);
+        assert_eq!(m.fetch_predecoded(8188), Some(Instr::Nop));
+        assert_eq!(m.fetch_predecoded(8192), Some(Instr::Halt));
+        let v0 = m.code_version();
+
+        m.write_u32(8190, 0xAABB_CCDD).unwrap();
+        assert_eq!(m.fetch_predecoded(8188), None, "tail of the lower page");
+        assert_eq!(m.fetch_predecoded(8192), None, "head of the upper page");
+        assert!(m.code_version() > v0);
+
+        // An untouched word on each page survives.
+        let mut m = Memory::new(3 * 4096);
+        m.write_u32(4096, encode(&Instr::Nop)).unwrap();
+        m.write_u32(8192, encode(&Instr::Nop)).unwrap();
+        m.register_code_region(4096, 2 * 4096);
+        m.write_bytes(8188, &[1, 2, 3, 4, 5, 6, 7, 8]).unwrap();
+        assert_eq!(m.fetch_predecoded(4096), Some(Instr::Nop));
+        assert_eq!(m.fetch_predecoded(8192), None);
+    }
+
+    #[test]
+    fn code_version_tracks_only_real_invalidations() {
+        let mut m = Memory::new(2 * 4096);
+        assert_eq!(m.code_version(), 0);
+        // No code pages yet: stores are free.
+        m.write_u32(0, 0xDEAD_BEEF).unwrap();
+        assert_eq!(m.code_version(), 0);
+        m.write_u32(0, encode(&Instr::Nop)).unwrap();
+        m.fetch(0).unwrap(); // allocates the page
+        let v1 = m.code_version();
+        m.write_u8(1, 0x00).unwrap();
+        assert!(m.code_version() > v1, "byte store into code invalidates");
+        // Zero-length writes never bump the generation.
+        let v2 = m.code_version();
+        m.write_bytes(0, &[]).unwrap();
+        assert_eq!(m.code_version(), v2);
+        // Stores into the other, never-executed page are free.
+        m.write_u32(4096, 7).unwrap();
+        assert_eq!(m.code_version(), v2);
     }
 
     #[test]

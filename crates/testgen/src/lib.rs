@@ -1,0 +1,29 @@
+//! # strata-testgen — shared program generators and the difftest harness
+//!
+//! Test-support crate (a `dev-dependency` everywhere it is used; never
+//! shipped in a library path). It exists so the repo's property suites
+//! stop duplicating program generators, and so any two execution tiers
+//! can be proven observationally equivalent by one harness:
+//!
+//! * [`wordgen`] — the word-level random program generator from the
+//!   stepper-equivalence property test: unstructured instruction soup
+//!   with ALU traffic, loads/stores, calls/returns, indirect jumps,
+//!   deliberate fault cases, and **self-modifying stores into live
+//!   code**. Programs are not guaranteed to terminate; they are run
+//!   under fuel.
+//! * [`progen`] — the structured generator from the SDT equivalence
+//!   test: terminating counted loops over a random mix of arithmetic,
+//!   memory round-trips, and direct/indirect calls through a function
+//!   table.
+//! * [`harness`] — the differential harness: run one program on two
+//!   [`Machine`](strata_machine::Machine)s (any two
+//!   [`ExecTier`](strata_machine::ExecTier)s, or `run` vs single
+//!   `step`) in lockstep over randomized fuel slices and assert
+//!   identical outcomes, CPU state, retire streams, architecture-model
+//!   counters, and memory at every boundary. Failures shrink by
+//!   binary-search truncation to a minimal reproducer written as a
+//!   re-runnable `.sasm` file under `target/difftest-failures/`.
+
+pub mod harness;
+pub mod progen;
+pub mod wordgen;

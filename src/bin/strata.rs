@@ -38,9 +38,10 @@
 use std::process::ExitCode;
 
 use strata_lab::arch::ArchProfile;
-use strata_lab::cli::{parse_config, parse_flag, parse_policy, parse_shard};
-use strata_lab::core::{run_native, Origin, RetMechanism, Sdt, SdtConfig};
+use strata_lab::cli::{parse_config, parse_flag, parse_policy, parse_shard, parse_tier};
+use strata_lab::core::{run_native_tiered, Origin, RetMechanism, Sdt, SdtConfig};
 use strata_lab::expt::{self, EnvKnobs, OutputFormat, SuiteOptions};
+use strata_lab::machine::ExecTier;
 use strata_lab::stats::Table;
 use strata_lab::workloads::{by_name, registry, Params};
 
@@ -65,18 +66,20 @@ fn main() -> ExitCode {
                  strata list\n\
                  strata run <workload> [--config SPEC] [--ib-policy SPEC] [--arch x86|sparc|mips]\n\
                  \x20          [--scale N] [--instrument] [--cache-limit BYTES] [--dump-cache N]\n\
-                 strata compare <workload> [--arch NAME] [--scale N]\n\
+                 \x20          [--tier interp|threaded[:M]] [--tier-threshold M]\n\
+                 strata compare <workload> [--arch NAME] [--scale N] [--tier SPEC]\n\
                  strata verify [<workload>] [--config SPEC] [--ib-policy SPEC] [--all]\n\
                  \x20            [--arch NAME] [--scale N] [--format text|json]\n\
                  strata bench [--jobs N] [--filter IDS] [--format text|csv|json]\n\
                  \x20            [--scale N] [--variant N] [--cache] [--no-artifacts]\n\
                  \x20            [--artifacts-dir DIR] [--baseline DIR] [--tolerance PCT]\n\
                  \x20            [--shard I/N] [--list]\n\
+                 \x20            [--tier interp|threaded[:M]] [--tier-threshold M]\n\
                  strata fleet serve [--bind ADDR] [--filter IDS] [--format text|csv|json]\n\
                  \x20            [--scale N] [--variant N] [--cache] [--lease SECS]\n\
                  \x20            [--progress text|json|none] [--no-artifacts]\n\
                  \x20            [--artifacts-dir DIR]\n\
-                 strata fleet work --connect ADDR [--name NAME] [--retries N]\n\
+                 strata fleet work --connect ADDR [--name NAME] [--retries N] [--tier SPEC]\n\
                  \n\
                  config SPECs: reentry | ibtc:4096 | ibtc-outline:4096 | ibtc-persite:64\n\
                  \x20             | sieve:4096 | tuned:4096,1024 | fastret:4096\n\
@@ -163,8 +166,14 @@ fn run_cmd(args: &[String]) -> Result<(), String> {
         );
     }
 
+    // The tier only changes how the host executes the native baseline;
+    // retire streams are bit-identical, so every reported number below
+    // is tier-independent (only wall-clock moves).
+    let tier = parse_tier(args)?.unwrap_or(ExecTier::Interp);
+
     let program = (common.workload.build)(&common.params);
-    let native = run_native(&program, common.profile.clone(), FUEL).map_err(|e| e.to_string())?;
+    let native = run_native_tiered(&program, common.profile.clone(), FUEL, tier)
+        .map_err(|e| e.to_string())?;
     let mut sdt = Sdt::new(cfg, &program).map_err(|e| e.to_string())?;
     let report = sdt.run(common.profile, FUEL).map_err(|e| e.to_string())?;
 
@@ -237,6 +246,12 @@ fn run_cmd(args: &[String]) -> Result<(), String> {
 /// `--variant`; JSON artifacts land in `results/` unless `--no-artifacts`.
 fn bench_cmd(args: &[String]) -> Result<(), String> {
     let knobs = EnvKnobs::from_env();
+    // Pin the process-wide execution tier for native cells before any
+    // cell runs. Absent flags, `exec_tier()` falls back to the
+    // STRATA_TIER environment variable, then the interpreter.
+    if let Some(tier) = parse_tier(args)? {
+        expt::set_exec_tier(tier);
+    }
     let mut opts = SuiteOptions {
         params: knobs.params(),
         ..SuiteOptions::default()
@@ -475,6 +490,13 @@ fn fleet_cmd(args: &[String]) -> Result<(), String> {
         }
         Some("work") => {
             let args = &args[1..];
+            // Workers run native cells through the same process-global
+            // tier as `strata bench`; results are bit-identical either
+            // way, so tier choice is per-worker and never part of the
+            // protocol. Absent the flag, STRATA_TIER applies.
+            if let Some(tier) = parse_tier(args)? {
+                expt::set_exec_tier(tier);
+            }
             let mut opts = fleet::WorkOptions {
                 connect: parse_flag(args, "--connect")
                     .ok_or("fleet work needs --connect <host:port>")?,
@@ -607,8 +629,10 @@ const VERIFY_SWEEP: &[(&str, &str)] = &[
 
 fn compare_cmd(args: &[String]) -> Result<(), String> {
     let common = parse_common(args)?;
+    let tier = parse_tier(args)?.unwrap_or(ExecTier::Interp);
     let program = (common.workload.build)(&common.params);
-    let native = run_native(&program, common.profile.clone(), FUEL).map_err(|e| e.to_string())?;
+    let native = run_native_tiered(&program, common.profile.clone(), FUEL, tier)
+        .map_err(|e| e.to_string())?;
 
     let mut fast = SdtConfig::ibtc_inline(4096);
     fast.ret = RetMechanism::FastReturn;

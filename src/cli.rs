@@ -4,6 +4,7 @@
 use strata_core::{
     ClassPolicy, FlagsPolicy, IbMechanism, IbtcPlacement, IbtcScope, RetMechanism, SdtConfig,
 };
+use strata_machine::{ExecTier, TierConfig};
 
 /// Returns the value following `flag` in `args`, if present.
 pub fn parse_flag(args: &[String], flag: &str) -> Option<String> {
@@ -40,6 +41,42 @@ pub fn parse_shard(spec: &str) -> Result<(u32, u32), String> {
         ));
     }
     Ok((index, count))
+}
+
+/// Resolves the execution-tier flags: `--tier interp|threaded[:threshold]`
+/// plus the standalone `--tier-threshold N` knob (which implies
+/// `--tier threaded`). Returns `None` when neither flag is present so
+/// callers can fall through to their own default (usually the `STRATA_TIER`
+/// environment variable, then the interpreter).
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown tier names, malformed
+/// thresholds, and the contradictory `--tier interp --tier-threshold N`.
+pub fn parse_tier(args: &[String]) -> Result<Option<ExecTier>, String> {
+    let mut tier = match parse_flag(args, "--tier") {
+        Some(spec) => Some(ExecTier::parse(&spec).map_err(|e| format!("bad --tier: {e}"))?),
+        None => None,
+    };
+    if let Some(raw) = parse_flag(args, "--tier-threshold") {
+        let threshold: u32 =
+            raw.parse().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                format!("bad --tier-threshold `{raw}` (expected an integer >= 1)")
+            })?;
+        match &mut tier {
+            Some(ExecTier::Threaded(cfg)) => cfg.threshold = threshold,
+            Some(ExecTier::Interp) => {
+                return Err("--tier-threshold needs --tier threaded".into());
+            }
+            None => {
+                tier = Some(ExecTier::Threaded(TierConfig {
+                    threshold,
+                    ..TierConfig::default()
+                }));
+            }
+        }
+    }
+    Ok(tier)
 }
 
 /// Parses a CLI configuration spec into an [`SdtConfig`].
@@ -548,5 +585,46 @@ mod tests {
         // A trailing flag with no value yields None rather than panicking.
         let args = vec!["--arch".to_string()];
         assert_eq!(parse_flag(&args, "--arch"), None);
+    }
+
+    #[test]
+    fn tier_flag_parsing() {
+        let to_args =
+            |words: &[&str]| -> Vec<String> { words.iter().map(|s| s.to_string()).collect() };
+        assert_eq!(parse_tier(&to_args(&[])), Ok(None));
+        assert_eq!(
+            parse_tier(&to_args(&["--tier", "interp"])),
+            Ok(Some(ExecTier::Interp))
+        );
+        assert_eq!(
+            parse_tier(&to_args(&["--tier", "threaded"])),
+            Ok(Some(ExecTier::Threaded(TierConfig::default())))
+        );
+        // `threaded:N` and the standalone knob agree; the knob alone
+        // implies the threaded tier.
+        let expect = Some(ExecTier::Threaded(TierConfig {
+            threshold: 16,
+            ..TierConfig::default()
+        }));
+        assert_eq!(parse_tier(&to_args(&["--tier", "threaded:16"])), Ok(expect));
+        assert_eq!(
+            parse_tier(&to_args(&["--tier", "threaded", "--tier-threshold", "16"])),
+            Ok(expect)
+        );
+        assert_eq!(
+            parse_tier(&to_args(&["--tier-threshold", "16"])),
+            Ok(expect)
+        );
+        for bad in [
+            &["--tier", "jit"][..],
+            &["--tier-threshold", "0"],
+            &["--tier-threshold", "many"],
+            &["--tier", "interp", "--tier-threshold", "4"],
+        ] {
+            assert!(
+                parse_tier(&to_args(bad)).is_err(),
+                "`{bad:?}` must be rejected"
+            );
+        }
     }
 }

@@ -362,6 +362,21 @@ fn main() {
         });
     }
 
+    // Trace codec: block-compressed encode/decode of a real recorded
+    // retire trace — the cost sampled mode pays per trace load, and the
+    // rate at which replay streams records off disk. Per-element is one
+    // retired instruction.
+    let recorded = strata_trace::record(&gcc, 50_000_000, ExecTier::Interp).unwrap();
+    let n = recorded.log.records().len() as u64;
+    let trace = recorded.into_trace("gcc", 1, 0, 1529);
+    let bytes = trace.to_bytes();
+    b.run(&format!("trace/encode_{n}_records"), n, || {
+        black_box(black_box(&trace).to_bytes());
+    });
+    b.run(&format!("trace/decode_{n}_records"), n, || {
+        black_box(strata_trace::Trace::from_bytes(black_box(&bytes)).unwrap());
+    });
+
     println!("{}", b.table.render_text());
 
     // `cargo bench` sets the working directory to the package root

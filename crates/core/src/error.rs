@@ -39,6 +39,15 @@ pub enum SdtError {
         /// Application code address that was written.
         addr: u32,
     },
+    /// The trace-replay engine lost sync with the recorded control-flow
+    /// stream: an event does not match the translated fragment graph
+    /// (wrong trace for the program, or a corrupted stream).
+    ReplayDesync {
+        /// Application pc of the offending trace event.
+        pc: u32,
+        /// What the replay expected instead.
+        detail: String,
+    },
     /// The underlying machine faulted.
     Machine(MachineError),
 }
@@ -60,6 +69,9 @@ impl fmt::Display for SdtError {
                 f,
                 "store to application code {addr:#x} (from {pc:#x}): self-modifying code is unsupported"
             ),
+            SdtError::ReplayDesync { pc, detail } => {
+                write!(f, "trace replay desynchronized at {pc:#x}: {detail}")
+            }
             SdtError::Machine(e) => write!(f, "machine fault: {e}"),
         }
     }

@@ -54,6 +54,44 @@ impl FragmentMap {
     }
 }
 
+/// How a translated fragment's body ends, recorded at translation time so
+/// the trace-replay engine ([`crate::DispatchReplay`]) can mirror control
+/// flow without decoding cache code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Terminal {
+    /// Conditional branch: fall-through and taken exit trampolines.
+    Cond { next_site: u32, taken_site: u32 },
+    /// Unconditional direct jump through an exit trampoline.
+    DirectJump { site: u32 },
+    /// Direct call: return glue (which may push a shadow-stack entry for
+    /// `ret_app`), then an exit trampoline to the callee.
+    DirectCall { site: u32, ret_app: u32 },
+    /// Indirect jump dispatch (`jr`/`jmem`); `site` when the serving
+    /// strategy gave the site its own id.
+    IndirectJump { site: Option<u32> },
+    /// Indirect call dispatch (`callr`); the call returns to `ret_app`.
+    IndirectCall { site: Option<u32>, ret_app: u32 },
+    /// Return dispatch (`site` only when returns dispatch through a
+    /// per-site jump-class strategy).
+    Ret { site: Option<u32> },
+    /// The fragment ends the program.
+    Halt,
+}
+
+/// Control-flow metadata for one translated fragment: where its body ends
+/// and which direct jumps were elided (inlined) along the way. Keyed like
+/// the fragment map and cleared with it on cache flushes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct FragMeta {
+    /// Application pc of the instruction that ends the fragment.
+    pub term_pc: u32,
+    /// Application pcs of direct jumps elided mid-fragment (tail
+    /// duplication): their retire events are plain fall-through here.
+    pub elided_jmp_pcs: Vec<u32>,
+    /// The terminal's shape.
+    pub terminal: Terminal,
+}
+
 /// A recorded miss site: who trapped, and what the runtime should do about
 /// it. Site ids index into the site table and travel through
 /// [`SLOT_SITE`](crate::protocol::SLOT_SITE).

@@ -74,6 +74,7 @@ mod inspect;
 mod meta;
 mod origin;
 pub mod protocol;
+mod replay;
 mod report;
 mod runtime;
 mod sdt;
@@ -95,6 +96,7 @@ pub use meta::{
     StubsMeta, TableKind, TableMeta,
 };
 pub use origin::Origin;
+pub use replay::DispatchReplay;
 pub use report::{ClassReport, MechanismStats, RunReport};
 pub use sdt::Sdt;
 pub use strategy::{mechanism_registry, MechanismInfo};

@@ -1,0 +1,535 @@
+//! Trace-driven dispatch replay: feeds a recorded native control-flow
+//! stream through the real translator and dispatch structures without
+//! re-executing guest code.
+//!
+//! [`DispatchReplay`] owns a full [`Sdt`] — fragment cache, strategy
+//! bindings, guest lookup tables — and walks a retire stream's *control
+//! events*. Every hit/miss decision is made against the same guest-memory
+//! structures exact execution would probe (IBTC tags, return-cache slots,
+//! patched exit trampolines), and every miss is serviced by the *real*
+//! runtime trap handlers, so fragments, fills, links, promotions, and
+//! cache flushes are exact by construction. Only the structures exact
+//! mode keeps in emitted code rather than in tables are mirrored
+//! host-side: sieve chain membership, the shadow return stack, and the
+//! elided-jump bookkeeping captured in
+//! [`FragMeta`](crate::fragment::FragMeta).
+//!
+//! On a gap-free walk of a full trace the resulting mechanism counters
+//! equal exact mode's [`RunReport::mech`](crate::RunReport); sampled
+//! (SimPoint) execution instead [`seek`](DispatchReplay::seek)s between
+//! intervals and pays only for the events it measures.
+
+use std::collections::HashSet;
+
+use strata_arch::{ArchModel, ArchProfile};
+use strata_isa::{ControlKind, Instr};
+use strata_machine::observers::CompactRetire;
+use strata_machine::{Memory, Program};
+
+use crate::config::{BranchClass, RetMechanism};
+use crate::dispatch::ibtc_table_ref;
+use crate::fragment::{FragKind, Site, Terminal};
+use crate::protocol::{bind_sentinel, SITE_NOFILL, SITE_SHARED, SLOT_SITE, SLOT_TARGET};
+use crate::report::{ClassReport, MechanismStats};
+use crate::strategy::adaptive::AdaptiveStage;
+use crate::strategy::Bind;
+use crate::tables::TableRef;
+use crate::{Sdt, SdtConfig, SdtError};
+
+/// Dispatch-model replay over a recorded retire stream.
+#[derive(Debug)]
+pub struct DispatchReplay {
+    sdt: Sdt,
+    model: ArchModel,
+    translator_cycles: u64,
+    jump_dispatches: u64,
+    call_dispatches: u64,
+    ret_dispatches: u64,
+    /// The fragment the replayed control flow is currently inside.
+    cur: Option<(u32, FragKind)>,
+    /// Sieve chain membership per `(binding, application target)` — the
+    /// host-side mirror of the installed stanza chains.
+    sim_sieve: HashSet<(usize, u32)>,
+    /// Shadow return stack mirror: application return addresses per slot
+    /// (empty unless the shadow-stack mechanism is configured).
+    shadow_slots: Vec<u32>,
+    shadow_sp: usize,
+}
+
+impl DispatchReplay {
+    /// Builds a replay instance: a fresh [`Sdt`] for `config` and
+    /// `program`, costing translator work under `profile`.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Sdt::new`].
+    pub fn new(
+        config: SdtConfig,
+        program: &Program,
+        profile: ArchProfile,
+    ) -> Result<DispatchReplay, SdtError> {
+        let sdt = Sdt::new(config, program)?;
+        let depth = match sdt.config().ret {
+            RetMechanism::ShadowStack { depth } => depth as usize,
+            _ => 0,
+        };
+        Ok(DispatchReplay {
+            sdt,
+            model: ArchModel::new(profile),
+            translator_cycles: 0,
+            jump_dispatches: 0,
+            call_dispatches: 0,
+            ret_dispatches: 0,
+            cur: None,
+            sim_sieve: HashSet::new(),
+            shadow_slots: vec![0; depth],
+            shadow_sp: 0,
+        })
+    }
+
+    /// The configuration under replay.
+    pub fn config(&self) -> &SdtConfig {
+        self.sdt.config()
+    }
+
+    /// (Re)positions the replay at application address `app_pc`,
+    /// translating its fragment on demand — the replay analogue of the
+    /// translator's initial entry, also used to jump between simulation
+    /// intervals.
+    ///
+    /// # Errors
+    ///
+    /// Propagates translation failures ([`SdtError::CacheFull`] when the
+    /// mechanism forbids flushing, reserved traps, machine faults).
+    pub fn seek(&mut self, app_pc: u32) -> Result<(), SdtError> {
+        let before = self.sdt.state.stats.translated_app_instrs;
+        let flushes_before = self.sdt.state.stats.cache_flushes;
+        self.sdt.state.ensure_fragment_flushing(
+            self.sdt.machine.mem_mut(),
+            app_pc,
+            FragKind::Body,
+        )?;
+        self.translator_cycles += self
+            .model
+            .charge_translator(self.sdt.state.stats.translated_app_instrs - before, 1);
+        if self.sdt.state.stats.cache_flushes > flushes_before {
+            self.clear_sim();
+        }
+        self.cur = Some((app_pc, FragKind::Body));
+        Ok(())
+    }
+
+    /// Feeds one recorded retire event. Non-control events return
+    /// immediately; control events advance the replay through the
+    /// fragment graph, probing and filling dispatch structures exactly as
+    /// translated execution would.
+    ///
+    /// # Errors
+    ///
+    /// [`SdtError::ReplayDesync`] when the event stream does not match
+    /// the fragment graph (wrong trace, or no [`seek`](Self::seek) yet);
+    /// translation failures propagate as from [`Sdt::run`].
+    pub fn step(&mut self, ev: &CompactRetire) -> Result<(), SdtError> {
+        if ev.kind == ControlKind::None {
+            return Ok(());
+        }
+        let (cur_app, cur_kind) = self.cur.ok_or(SdtError::ReplayDesync {
+            pc: ev.pc,
+            detail: String::new(),
+        })?;
+        let meta = self
+            .sdt
+            .state
+            .frag_meta
+            .get(&(cur_app, cur_kind))
+            .cloned()
+            .ok_or_else(|| SdtError::ReplayDesync {
+                pc: ev.pc,
+                detail: format!("no metadata for fragment {cur_app:#x} ({cur_kind:?})"),
+            })?;
+        if ev.pc != meta.term_pc {
+            if meta.elided_jmp_pcs.contains(&ev.pc) {
+                // An elided direct jump: translation inlined its target,
+                // so execution just continues inside this fragment.
+                return Ok(());
+            }
+            return Err(SdtError::ReplayDesync {
+                pc: ev.pc,
+                detail: format!(
+                    "expected terminal {:#x} of fragment {cur_app:#x}",
+                    meta.term_pc
+                ),
+            });
+        }
+        match meta.terminal {
+            Terminal::Cond {
+                next_site,
+                taken_site,
+            } => {
+                let site = if ev.taken { taken_site } else { next_site };
+                self.traverse_exit(site, ev.target)?;
+                self.cur = Some((ev.target, FragKind::Body));
+            }
+            Terminal::DirectJump { site } => {
+                self.traverse_exit(site, ev.target)?;
+                self.cur = Some((ev.target, FragKind::Body));
+            }
+            Terminal::DirectCall { site, ret_app } => {
+                self.shadow_push(ret_app);
+                self.traverse_exit(site, ev.target)?;
+                self.cur = Some((ev.target, FragKind::Body));
+            }
+            Terminal::IndirectJump { site } => {
+                self.jump_dispatches += 1;
+                let bind = self.sdt.state.bind_for(BranchClass::Jump);
+                self.dispatch_ib(bind, site, ev.target)?;
+                self.cur = Some((ev.target, FragKind::Body));
+            }
+            Terminal::IndirectCall { site, ret_app } => {
+                self.call_dispatches += 1;
+                self.shadow_push(ret_app);
+                let bind = self.sdt.state.bind_for(BranchClass::Call);
+                self.dispatch_ib(bind, site, ev.target)?;
+                self.cur = Some((ev.target, FragKind::Body));
+            }
+            Terminal::Ret { site } => self.replay_ret(site, ev.target)?,
+            Terminal::Halt => {
+                return Err(SdtError::ReplayDesync {
+                    pc: ev.pc,
+                    detail: "control event at a halt terminal".into(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// One return dispatch, per the configured mechanism.
+    fn replay_ret(&mut self, site: Option<u32>, target: u32) -> Result<(), SdtError> {
+        match self.sdt.state.cfg.ret {
+            RetMechanism::FastReturn => {
+                // Calls pushed the translated return address; the ret is a
+                // single native instruction with no dispatch at all. On a
+                // gap-free walk the return point always exists (the call's
+                // translation created it), but after a seek the pushing
+                // call may lie outside the replayed window — translate the
+                // return point on demand, like the seek itself.
+                self.ensure_body(target)?;
+                self.cur = Some((target, FragKind::Body));
+            }
+            RetMechanism::ReturnCache { .. } => {
+                self.ret_dispatches += 1;
+                let rc = self.sdt.state.rc_tab.expect("return cache allocated");
+                let slot = self.sdt.machine.mem().read_u32(rc.entry_addr(target))?;
+                // The table is tagless: a hit requires the slot to hold
+                // *this* return point's prologue (a colliding entry fails
+                // the prologue's verification and re-traps).
+                let hit = self
+                    .sdt
+                    .state
+                    .map
+                    .get(target, FragKind::ReturnPoint)
+                    .is_some_and(|f| f.entry == slot);
+                if !hit {
+                    self.service_rc_miss(target)?;
+                }
+                self.cur = Some((target, FragKind::ReturnPoint));
+            }
+            RetMechanism::ShadowStack { .. } => {
+                self.ret_dispatches += 1;
+                let popped = self.shadow_pop();
+                if popped != target {
+                    // The emitted fallback jumps through the no-fill miss
+                    // glue: translate/find the target, fill nothing.
+                    self.service_miss(target, SITE_NOFILL)?;
+                }
+                self.cur = Some((target, FragKind::Body));
+            }
+            RetMechanism::AsIb => {
+                self.ret_dispatches += 1;
+                let bind = self.sdt.state.bind_for(BranchClass::Ret);
+                self.dispatch_ib(bind, site, target)?;
+                self.cur = Some((target, FragKind::Body));
+            }
+        }
+        Ok(())
+    }
+
+    /// Translates a body fragment at `app_pc` if none exists yet — a
+    /// no-op on gap-free walks, so exact-equivalence is unaffected; only
+    /// seeked replays whose fragment-creating event fell in a skipped
+    /// interval pay for it (as warmup translator work).
+    fn ensure_body(&mut self, app_pc: u32) -> Result<(), SdtError> {
+        if self
+            .sdt
+            .state
+            .frag_meta
+            .contains_key(&(app_pc, FragKind::Body))
+        {
+            return Ok(());
+        }
+        let before = self.sdt.state.stats.translated_app_instrs;
+        let flushes_before = self.sdt.state.stats.cache_flushes;
+        self.sdt.state.ensure_fragment_flushing(
+            self.sdt.machine.mem_mut(),
+            app_pc,
+            FragKind::Body,
+        )?;
+        self.translator_cycles += self
+            .model
+            .charge_translator(self.sdt.state.stats.translated_app_instrs - before, 1);
+        if self.sdt.state.stats.cache_flushes > flushes_before {
+            self.clear_sim();
+        }
+        Ok(())
+    }
+
+    /// Walks a direct-branch exit trampoline: a linked head (patched into
+    /// a direct jump) is a hit; an unlinked head traps into the translator
+    /// exactly as the emitted context save would.
+    fn traverse_exit(&mut self, site: u32, target: u32) -> Result<(), SdtError> {
+        let Some(&Site::Exit { patch_addr, .. }) = self.sdt.state.sites.get(site as usize) else {
+            return Err(SdtError::ReplayDesync {
+                pc: target,
+                detail: format!("exit site {site} unknown"),
+            });
+        };
+        let head = self.sdt.machine.mem().read_u32(patch_addr)?;
+        if matches!(strata_isa::decode(head), Ok(Instr::Jmp { .. })) {
+            return Ok(());
+        }
+        self.service_miss(target, site)?;
+        Ok(())
+    }
+
+    /// One indirect dispatch through strategy binding `bind`: probe the
+    /// structures the emitted sequence reads; on a miss, trap into the
+    /// real handler and mirror any sieve install.
+    fn dispatch_ib(&mut self, bind: usize, site: Option<u32>, target: u32) -> Result<(), SdtError> {
+        if self.probe_ib(bind, site, target)? {
+            return Ok(());
+        }
+        // Route the miss as the emitted miss path would: per-site paths
+        // store their site id; shared structures — and sieve-stage
+        // adaptive probes, whose chains end in the binding's glue — store
+        // the binding sentinel.
+        let shared_word = if self.sdt.state.binds[bind].glue.is_some() {
+            bind_sentinel(bind)
+        } else {
+            SITE_SHARED
+        };
+        let site_word = match site {
+            Some(s) => match self.sdt.state.sites[s as usize] {
+                Site::Adaptive { idx, .. }
+                    if matches!(
+                        self.sdt.state.adaptive[idx as usize].stage,
+                        AdaptiveStage::Sieve
+                    ) =>
+                {
+                    shared_word
+                }
+                _ => s,
+            },
+            None => shared_word,
+        };
+        let flushed = self.service_miss(target, site_word)?;
+        if flushed {
+            return Ok(());
+        }
+        // Mirror stanza installs: a miss serviced by (or promoting into)
+        // a sieve appended a chain entry for this target.
+        let now_sieve = match site {
+            None => self.sdt.state.binds[bind].strategy.id() == "sieve",
+            Some(s) => match self.sdt.state.sites[s as usize] {
+                Site::Adaptive { idx, .. } => matches!(
+                    self.sdt.state.adaptive[idx as usize].stage,
+                    AdaptiveStage::Sieve
+                ),
+                _ => false,
+            },
+        };
+        if now_sieve {
+            self.sim_sieve.insert((bind, target));
+        }
+        Ok(())
+    }
+
+    /// Whether the dispatch structure serving (`bind`, `site`) currently
+    /// hits for `target`, reading the same guest state the emitted probe
+    /// sequence reads.
+    fn probe_ib(&self, bind: usize, site: Option<u32>, target: u32) -> Result<bool, SdtError> {
+        let st = &self.sdt.state;
+        let mem = self.sdt.machine.mem();
+        let hit = match site {
+            None => match st.binds[bind].strategy.id() {
+                "sieve" => self.sim_sieve.contains(&(bind, target)),
+                _ => {
+                    let table = st.binds[bind].table.expect("shared table allocated");
+                    probe_tagged(mem, table, target)?
+                }
+            },
+            Some(s) => match st.sites[s as usize] {
+                // Translator re-entry: every dispatch is a full context
+                // switch (the runtime never fills anything).
+                Site::Ib { table: None, .. } => false,
+                Site::Ib {
+                    table: Some(base), ..
+                } => {
+                    let (entries, ways) = st.binds[bind]
+                        .strategy
+                        .site_table_geometry()
+                        .expect("per-site table has a geometry");
+                    probe_tagged(mem, ibtc_table_ref(base, entries, ways)?, target)?
+                }
+                Site::Adaptive { idx, .. } => {
+                    let a = &st.adaptive[idx as usize];
+                    match a.stage {
+                        AdaptiveStage::Inline { .. } => a.targets.first() == Some(&target),
+                        AdaptiveStage::Ibtc { table } => probe_tagged(mem, table, target)?,
+                        AdaptiveStage::Sieve => self.sim_sieve.contains(&(bind, target)),
+                    }
+                }
+                Site::Exit { .. } => {
+                    return Err(SdtError::ReplayDesync {
+                        pc: target,
+                        detail: format!("indirect dispatch through exit site {s}"),
+                    });
+                }
+            },
+        };
+        Ok(hit)
+    }
+
+    /// Stages `SLOT_TARGET`/`SLOT_SITE` like the emitted miss tail and
+    /// runs the real `TRAP_MISS` handler. Returns whether the handler
+    /// flushed the cache (invalidating every host-side mirror).
+    fn service_miss(&mut self, target: u32, site_word: u32) -> Result<bool, SdtError> {
+        let mem = self.sdt.machine.mem_mut();
+        mem.write_u32(SLOT_TARGET, target)?;
+        mem.write_u32(SLOT_SITE, site_word)?;
+        let flushes_before = self.sdt.state.stats.cache_flushes;
+        let w = self.sdt.state.handle_trap_miss(&mut self.sdt.machine)?;
+        self.translator_cycles += self.model.charge_translator(w.new_instrs, w.lookups);
+        let flushed = self.sdt.state.stats.cache_flushes > flushes_before;
+        if flushed {
+            self.clear_sim();
+        }
+        Ok(flushed)
+    }
+
+    /// Stages `SLOT_TARGET` and runs the real `TRAP_RC_MISS` handler.
+    fn service_rc_miss(&mut self, target: u32) -> Result<(), SdtError> {
+        self.sdt.machine.mem_mut().write_u32(SLOT_TARGET, target)?;
+        let flushes_before = self.sdt.state.stats.cache_flushes;
+        let w = self.sdt.state.handle_trap_rc_miss(&mut self.sdt.machine)?;
+        self.translator_cycles += self.model.charge_translator(w.new_instrs, w.lookups);
+        if self.sdt.state.stats.cache_flushes > flushes_before {
+            self.clear_sim();
+        }
+        Ok(())
+    }
+
+    /// A cache flush discarded every fragment, site, and stanza chain and
+    /// zeroed the guest shadow stack; drop the host-side mirrors with
+    /// them.
+    fn clear_sim(&mut self) {
+        self.sim_sieve.clear();
+        self.shadow_slots.fill(0);
+        self.shadow_sp = 0;
+    }
+
+    /// Pushes a shadow-stack entry (no-op unless shadow returns are
+    /// configured), mirroring the emitted circular-buffer write.
+    fn shadow_push(&mut self, ret_app: u32) {
+        let depth = self.shadow_slots.len();
+        if depth == 0 {
+            return;
+        }
+        self.shadow_slots[self.shadow_sp] = ret_app;
+        self.shadow_sp = (self.shadow_sp + 1) % depth;
+    }
+
+    /// Pops the shadow stack, mirroring the emitted pre-decrement read.
+    fn shadow_pop(&mut self) -> u32 {
+        let depth = self.shadow_slots.len();
+        debug_assert!(depth > 0, "shadow pop without a shadow stack");
+        self.shadow_sp = (self.shadow_sp + depth - 1) % depth;
+        self.shadow_slots[self.shadow_sp]
+    }
+
+    /// Mechanism counters in exact-mode shape. After a gap-free walk of a
+    /// full trace these equal the exact run's
+    /// [`RunReport::mech`](crate::RunReport).
+    pub fn stats(&self) -> MechanismStats {
+        let st = &self.sdt.state;
+        let s = &st.stats;
+        let (sieve_mean_chain, sieve_max_chain) = st.sieve_chain_stats();
+        let promotions = |b: &Bind| b.promotions_to_ibtc + b.promotions_to_sieve;
+        MechanismStats {
+            ib_dispatches: self.jump_dispatches + self.call_dispatches,
+            jump_dispatches: self.jump_dispatches,
+            call_dispatches: self.call_dispatches,
+            ib_misses: s.ib_misses,
+            ret_dispatches: self.ret_dispatches,
+            rc_misses: s.rc_misses,
+            exit_misses: s.exit_misses,
+            exit_links: s.exit_links,
+            translator_entries: s.translator_entries,
+            fragments: s.fragments,
+            translated_app_instrs: s.translated_app_instrs,
+            cache_used_bytes: st.cache.used_bytes() as u64,
+            cache_flushes: s.cache_flushes,
+            elided_jumps: s.elided_jumps,
+            adaptive_promotions: st.binds.iter().map(promotions).sum(),
+            sieve_mean_chain,
+            sieve_max_chain,
+        }
+    }
+
+    /// Per-branch-class dispatch breakdown, exact-mode shape.
+    pub fn per_class(&self) -> Vec<ClassReport> {
+        let st = &self.sdt.state;
+        let promotions = |b: &Bind| b.promotions_to_ibtc + b.promotions_to_sieve;
+        let jump_bind = &st.binds[st.class_bind[0]];
+        let call_bind = &st.binds[st.class_bind[1]];
+        vec![
+            ClassReport {
+                class: BranchClass::Jump.label(),
+                mechanism: jump_bind.strategy.describe(),
+                dispatches: self.jump_dispatches,
+                misses: jump_bind.misses,
+                promotions: promotions(jump_bind),
+            },
+            ClassReport {
+                class: BranchClass::Call.label(),
+                mechanism: call_bind.strategy.describe(),
+                dispatches: self.call_dispatches,
+                misses: call_bind.misses,
+                promotions: promotions(call_bind),
+            },
+            ClassReport {
+                class: BranchClass::Ret.label(),
+                mechanism: st.ret_strat.describe(),
+                dispatches: self.ret_dispatches,
+                misses: st.stats.rc_misses,
+                promotions: 0,
+            },
+        ]
+    }
+
+    /// Host-side translator cycles charged so far (translation work plus
+    /// fragment-map lookups, same accounting as exact mode).
+    pub fn translator_cycles(&self) -> u64 {
+        self.translator_cycles
+    }
+}
+
+/// Probes a tagged IBTC table exactly as the emitted sequence does: one
+/// tag compare per way.
+fn probe_tagged(mem: &Memory, table: TableRef, target: u32) -> Result<bool, SdtError> {
+    let e = table.entry_addr(target);
+    Ok(match table.entry_bytes {
+        8 => mem.read_u32(e)? == target,
+        16 => mem.read_u32(e)? == target || mem.read_u32(e + 8)? == target,
+        other => unreachable!("tagged probe of {other}-byte entries"),
+    })
+}

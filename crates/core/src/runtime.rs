@@ -46,6 +46,7 @@ impl SdtState {
         // Adaptive probes (and promoted per-site tables) lived in the
         // flushed region; sites re-learn their arity from scratch.
         self.adaptive.clear();
+        self.frag_meta.clear();
         self.reset_mechanism_structures(mem)
     }
 

@@ -8,7 +8,7 @@ use strata_machine::{
 
 use crate::config::{BranchClass, IbtcPlacement, IbtcScope};
 use crate::emitter::{Cache, Mark, TableAlloc};
-use crate::fragment::{FragKind, FragmentMap, Site};
+use crate::fragment::{FragKind, FragMeta, FragmentMap, Site};
 use crate::protocol::{bind_sentinel, MAX_BINDS, TRAP_MISS, TRAP_RC_MISS};
 use crate::report::{ClassReport, HostStats, MechanismStats};
 use crate::strategy::adaptive::AdaptiveSite;
@@ -39,6 +39,13 @@ pub(crate) struct SdtState {
     /// Shadow return stack region: (base, byte mask) when enabled.
     pub shadow: Option<(u32, u32)>,
     pub stats: HostStats,
+    /// Control-flow metadata per translated fragment, for trace replay;
+    /// keyed like the fragment map and cleared with it on flushes.
+    pub frag_meta: std::collections::HashMap<(u32, FragKind), FragMeta>,
+    /// Exit-site ids recorded by `emit_exit` during the current
+    /// `translate_fragment` invocation (saved/restored around nested
+    /// translations, so each fragment sees only its own exits).
+    pub exit_scratch: Vec<u32>,
     /// Live (app_addr, guest counter slot) pairs for block instrumentation.
     pub block_counters: Vec<(u32, u32)>,
     /// Block counts folded in from before cache flushes.
@@ -93,11 +100,11 @@ impl SdtState {
 /// See the [crate-level documentation](crate) for an end-to-end example.
 #[derive(Debug)]
 pub struct Sdt {
-    machine: Machine,
-    state: SdtState,
-    syscalls: SyscallState,
-    entry: u32,
-    app_code: std::ops::Range<u32>,
+    pub(crate) machine: Machine,
+    pub(crate) state: SdtState,
+    pub(crate) syscalls: SyscallState,
+    pub(crate) entry: u32,
+    pub(crate) app_code: std::ops::Range<u32>,
 }
 
 impl Sdt {
@@ -200,6 +207,8 @@ impl Sdt {
             rc_tab,
             shadow,
             stats: HostStats::default(),
+            frag_meta: std::collections::HashMap::new(),
+            exit_scratch: Vec::new(),
             block_counters: Vec::new(),
             flushed_counts: std::collections::HashMap::new(),
             post_stub_cursor,

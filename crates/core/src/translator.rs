@@ -11,7 +11,7 @@ use strata_machine::Memory;
 
 use crate::config::BranchClass;
 use crate::dispatch::{CallPush, TargetSource};
-use crate::fragment::{FragKind, Fragment, Site};
+use crate::fragment::{FragKind, FragMeta, Fragment, Site, Terminal};
 use crate::protocol::{SLOT_R1, SLOT_R2, SLOT_R3, SLOT_SITE};
 use crate::sdt::SdtState;
 use crate::{Origin, SdtError};
@@ -33,6 +33,21 @@ impl SdtState {
     }
 
     pub(crate) fn translate_fragment(
+        &mut self,
+        mem: &mut Memory,
+        app_addr: u32,
+        kind: FragKind,
+    ) -> Result<Fragment, SdtError> {
+        // The exit-site scratch is per-invocation: nested translations
+        // (fast-return fall-through fragments, shadow return sites) must
+        // not leak their exits into this fragment's terminal record.
+        let saved = std::mem::take(&mut self.exit_scratch);
+        let result = self.translate_fragment_inner(mem, app_addr, kind);
+        self.exit_scratch = saved;
+        result
+    }
+
+    fn translate_fragment_inner(
         &mut self,
         mem: &mut Memory,
         app_addr: u32,
@@ -178,7 +193,9 @@ impl SdtState {
         let mut pc = app_addr;
         // Block starts already inlined into this fragment (jump elision).
         let mut elided: Vec<u32> = vec![app_addr];
-        loop {
+        // Application pcs of the elided jumps themselves (for replay).
+        let mut elided_jmp_pcs: Vec<u32> = Vec::new();
+        let (term_pc, terminal) = loop {
             let instr = mem.fetch(pc)?;
             let next = pc + 4;
             self.stats.translated_app_instrs += 1;
@@ -195,10 +212,17 @@ impl SdtState {
                     let off = branch_off(instr);
                     let taken = next.wrapping_add((off as i32 as u32).wrapping_mul(4));
                     let bxx = self.cache.emit(mem, instr, Origin::App)?;
+                    let scratch_base = self.exit_scratch.len();
                     self.emit_exit(mem, next)?;
                     let taken_head = self.emit_exit(mem, taken)?;
                     self.cache.patch_branch(mem, bxx, instr, taken_head)?;
-                    break;
+                    break (
+                        pc,
+                        Terminal::Cond {
+                            next_site: self.exit_scratch[scratch_base],
+                            taken_site: self.exit_scratch[scratch_base + 1],
+                        },
+                    );
                 }
                 Instr::Jmp { target } => {
                     // Jump elision: keep translating at the target instead
@@ -211,61 +235,102 @@ impl SdtState {
                         && self.map.get(target, FragKind::Body).is_none()
                     {
                         elided.push(target);
+                        elided_jmp_pcs.push(pc);
                         self.stats.elided_jumps += 1;
                         pc = target;
                         continue;
                     }
+                    let scratch_base = self.exit_scratch.len();
                     self.emit_exit(mem, target)?;
-                    break;
+                    break (
+                        pc,
+                        Terminal::DirectJump {
+                            site: self.exit_scratch[scratch_base],
+                        },
+                    );
                 }
                 Instr::Call { target } => {
+                    let scratch_base = self.exit_scratch.len();
                     let ret = self.ret_strat.clone();
                     ret.emit_direct_call(self, mem, target, next)?;
-                    break;
+                    debug_assert_eq!(
+                        self.exit_scratch.len(),
+                        scratch_base + 1,
+                        "direct-call glue emits exactly one exit at this level"
+                    );
+                    break (
+                        pc,
+                        Terminal::DirectCall {
+                            site: self.exit_scratch[scratch_base],
+                            ret_app: next,
+                        },
+                    );
                 }
                 Instr::Callr { rs } => {
                     let push = self.ret_strat.call_push(next);
+                    let sites_before = self.sites.len();
                     let patch =
                         self.emit_ib_dispatch(mem, TargetSource::Reg(rs), push, BranchClass::Call)?;
+                    let site = (self.sites.len() > sites_before).then_some(sites_before as u32);
                     if let Some(at) = patch {
                         let ret_frag = self.ensure_fragment(mem, next, FragKind::Body)?;
                         self.cache.patch_li(mem, at, Reg::R2, ret_frag.entry)?;
                     }
-                    break;
+                    break (
+                        pc,
+                        Terminal::IndirectCall {
+                            site,
+                            ret_app: next,
+                        },
+                    );
                 }
                 Instr::Jr { rs } => {
+                    let sites_before = self.sites.len();
                     self.emit_ib_dispatch(
                         mem,
                         TargetSource::Reg(rs),
                         CallPush::None,
                         BranchClass::Jump,
                     )?;
-                    break;
+                    let site = (self.sites.len() > sites_before).then_some(sites_before as u32);
+                    break (pc, Terminal::IndirectJump { site });
                 }
                 Instr::Jmem { addr } => {
+                    let sites_before = self.sites.len();
                     self.emit_ib_dispatch(
                         mem,
                         TargetSource::MemSlot(addr),
                         CallPush::None,
                         BranchClass::Jump,
                     )?;
-                    break;
+                    let site = (self.sites.len() > sites_before).then_some(sites_before as u32);
+                    break (pc, Terminal::IndirectJump { site });
                 }
                 Instr::Ret => {
+                    let sites_before = self.sites.len();
                     let ret = self.ret_strat.clone();
                     ret.emit_ret(self, mem)?;
-                    break;
+                    let site = (self.sites.len() > sites_before).then_some(sites_before as u32);
+                    break (pc, Terminal::Ret { site });
                 }
                 Instr::Halt => {
                     self.cache.emit(mem, Instr::Halt, Origin::App)?;
-                    break;
+                    break (pc, Terminal::Halt);
                 }
                 other => {
                     self.cache.emit(mem, other, Origin::App)?;
                     pc = next;
                 }
             }
-        }
+        };
+        self.frag_meta.insert(
+            (app_addr, kind),
+            FragMeta {
+                term_pc,
+                elided_jmp_pcs,
+                terminal,
+            },
+        );
         Ok(frag)
     }
 
@@ -319,6 +384,7 @@ impl SdtState {
             target,
             patch_addr: head,
         });
+        self.exit_scratch.push(site);
         self.cache.emit_li(mem, Reg::R1, target, o)?;
         self.cache.emit(
             mem,

@@ -1,0 +1,340 @@
+//! Trace replay exactness: feeding a native retire stream through
+//! [`DispatchReplay`] must reproduce exact-mode mechanism counters —
+//! every dispatch, miss, link, fill, promotion, and flush — for every
+//! mechanism configuration. This is the fidelity contract the sampled
+//! execution mode is built on.
+
+use strata_arch::ArchProfile;
+use strata_asm::assemble;
+use strata_core::{
+    ClassPolicy, DispatchReplay, IbMechanism, IbtcPlacement, IbtcScope, RetMechanism, Sdt,
+    SdtConfig,
+};
+use strata_machine::observers::{CompactRetire, RetireLog};
+use strata_machine::syscall::{SyscallState, SDT_TRAP_BASE};
+use strata_machine::{layout, Machine, Program, StepOutcome};
+
+const FUEL: u64 = 20_000_000;
+
+fn program(name: &str, src: &str) -> Program {
+    let code = assemble(layout::APP_BASE, src).expect("program assembles");
+    Program::new(name, code, Vec::new())
+}
+
+/// Runs `prog` natively (no SDT) and returns its retire stream.
+fn native_log(prog: &Program) -> Vec<CompactRetire> {
+    let mut machine = Machine::new(layout::DEFAULT_MEM_BYTES);
+    prog.load(&mut machine).expect("program loads");
+    let mut syscalls = SyscallState::new();
+    let mut log = RetireLog::new();
+    loop {
+        match machine.run(&mut log, FUEL).expect("native run succeeds") {
+            StepOutcome::Halted => break,
+            StepOutcome::Trap(code) => {
+                assert!(code < SDT_TRAP_BASE, "app programs use app traps only");
+                syscalls.handle(code, &machine);
+            }
+            StepOutcome::Running => unreachable!("run returns only on halt/trap"),
+        }
+    }
+    log.into_records()
+}
+
+/// Mechanism configurations the replay must track exactly.
+fn configs() -> Vec<SdtConfig> {
+    let mut cfgs = vec![
+        SdtConfig::reentry(),
+        SdtConfig::ibtc_inline(4), // tiny: forces conflict misses
+        SdtConfig::ibtc_inline(1024),
+        SdtConfig::ibtc_out_of_line(256),
+        SdtConfig::sieve(4),
+        SdtConfig::sieve(256),
+        SdtConfig::tuned(512, 128),
+    ];
+    cfgs.push(SdtConfig {
+        ib: IbMechanism::Ibtc {
+            entries: 16,
+            scope: IbtcScope::PerSite,
+            placement: IbtcPlacement::Inline,
+        },
+        ..SdtConfig::ibtc_inline(16)
+    });
+    let mut fast = SdtConfig::ibtc_inline(256);
+    fast.ret = RetMechanism::FastReturn;
+    cfgs.push(fast);
+    let mut shadow = SdtConfig::ibtc_inline(256);
+    shadow.ret = RetMechanism::ShadowStack { depth: 8 };
+    cfgs.push(shadow);
+    let mut sieve_shadow = SdtConfig::sieve(64);
+    sieve_shadow.ret = RetMechanism::ShadowStack { depth: 16 };
+    cfgs.push(sieve_shadow);
+    let mut sieve_rc = SdtConfig::sieve(64);
+    sieve_rc.ret = RetMechanism::ReturnCache { entries: 16 };
+    cfgs.push(sieve_rc);
+    let mut outline_rc = SdtConfig::ibtc_out_of_line(64);
+    outline_rc.ret = RetMechanism::ReturnCache { entries: 16 };
+    cfgs.push(outline_rc);
+    let mut two_way = SdtConfig::ibtc_inline(64);
+    two_way.ibtc_ways = 2;
+    cfgs.push(two_way);
+    // Unlinked fragments: every exit traversal must trap, every time.
+    let mut nolink = SdtConfig::ibtc_inline(256);
+    nolink.link_fragments = false;
+    cfgs.push(nolink);
+    // Adaptive promotion chain: inline → per-site IBTC → sieve.
+    let mut adaptive = SdtConfig::ibtc_inline(256);
+    adaptive.policy.jump = ClassPolicy::Adaptive {
+        ibtc_entries: 16,
+        sieve_buckets: 64,
+        sieve_arity: 2,
+    };
+    cfgs.push(adaptive);
+    // Split policy: distinct jump/call bindings (multi-bind sentinels).
+    let mut split = SdtConfig::ibtc_inline(256);
+    split.policy.call = ClassPolicy::Fixed {
+        mech: IbMechanism::Sieve { buckets: 32 },
+        ways: 1,
+    };
+    cfgs.push(split);
+    // Tiny cache: exercises flush handling through the replay path.
+    let mut tiny = SdtConfig::ibtc_inline(64);
+    tiny.cache_limit = Some(8192);
+    cfgs.push(tiny);
+    cfgs
+}
+
+fn check_replay_exact(prog: &Program) {
+    let log = native_log(prog);
+    for cfg in configs() {
+        let mut sdt = Sdt::new(cfg, prog).expect("sdt constructs");
+        let report = match sdt.run(ArchProfile::x86_like(), FUEL) {
+            Ok(r) => r,
+            // Configurations that cannot run this program (cache too
+            // small without flushing, etc.) are skipped, not failures.
+            Err(e) => panic!("[{}] {} failed: {e}", prog.name, cfg.describe()),
+        };
+        let mut rp =
+            DispatchReplay::new(cfg, prog, ArchProfile::x86_like()).expect("replay constructs");
+        rp.seek(layout::APP_BASE).expect("seek to entry");
+        for ev in &log {
+            rp.step(ev).unwrap_or_else(|e| {
+                panic!("[{}] {}: replay desync: {e}", prog.name, cfg.describe())
+            });
+        }
+        assert_eq!(
+            rp.stats(),
+            report.mech,
+            "[{}] mechanism counters diverge under {}",
+            prog.name,
+            cfg.describe()
+        );
+        assert_eq!(
+            rp.per_class(),
+            report.per_class,
+            "[{}] per-class counters diverge under {}",
+            prog.name,
+            cfg.describe()
+        );
+        assert_eq!(
+            rp.translator_cycles(),
+            report.translator_cycles,
+            "[{}] translator cycles diverge under {}",
+            prog.name,
+            cfg.describe()
+        );
+    }
+}
+
+#[test]
+fn replay_matches_exact_mode_on_jump_table_loop() {
+    check_replay_exact(&program(
+        "switch",
+        &format!(
+            r"
+        li r10, {data}
+        li r1, case0
+        sw r1, 0(r10)
+        li r1, case1
+        sw r1, 4(r10)
+        li r1, case2
+        sw r1, 8(r10)
+        li r1, case3
+        sw r1, 12(r10)
+        li r5, 40
+        li r4, 0
+        li r6, 0
+    top:
+        andi r7, r6, 3
+        slli r7, r7, 2
+        add r7, r7, r10
+        lw r7, 0(r7)
+        jr r7               ; 4-way polymorphic indirect jump
+    case0:
+        addi r4, r4, 1
+        jmp next
+    case1:
+        addi r4, r4, 10
+        jmp next
+    case2:
+        addi r4, r4, 100
+        jmp next
+    case3:
+        addi r4, r4, 1000
+    next:
+        addi r6, r6, 1
+        addi r5, r5, -1
+        cmpi r5, 0
+        bne top
+        trap 0x1
+        halt
+        ",
+            data = layout::APP_DATA_BASE
+        ),
+    ));
+}
+
+#[test]
+fn replay_matches_exact_mode_on_indirect_calls() {
+    check_replay_exact(&program(
+        "fnptr",
+        r"
+        li r8, add_one
+        li r9, add_two
+        li r5, 25
+        li r4, 0
+    top:
+        andi r7, r5, 1
+        cmpi r7, 0
+        beq even
+        callr r8
+        jmp next
+    even:
+        callr r9
+    next:
+        addi r5, r5, -1
+        cmpi r5, 0
+        bne top
+        trap 0x1
+        halt
+    add_one:
+        addi r4, r4, 1
+        ret
+    add_two:
+        addi r4, r4, 2
+        ret
+        ",
+    ));
+}
+
+#[test]
+fn replay_matches_exact_mode_on_recursion() {
+    check_replay_exact(&program(
+        "recursion",
+        r"
+        li r1, 12
+        li r4, 0
+        call fib_acc
+        trap 0x1
+        halt
+    fib_acc:
+        cmpi r1, 1
+        bge  recurse
+        addi r4, r4, 1
+        ret
+    recurse:
+        push r1
+        addi r1, r1, -1
+        call fib_acc
+        pop r1
+        push r1
+        addi r1, r1, -2
+        call fib_acc
+        pop r1
+        ret
+        ",
+    ));
+}
+
+#[test]
+fn replay_matches_exact_mode_on_call_loop() {
+    check_replay_exact(&program(
+        "call-loop",
+        r"
+        li r1, 40
+        li r4, 0
+    top:
+        call bump
+        addi r1, r1, -1
+        cmpi r1, 0
+        bne top
+        trap 0x1
+        halt
+    bump:
+        addi r4, r4, 3
+        ret
+        ",
+    ));
+}
+
+#[test]
+fn replay_with_elision_tracks_elided_jumps() {
+    // Jump elision inlines direct-jump targets; the replay must consume
+    // those control events inside the fragment instead of traversing an
+    // exit.
+    let prog = program(
+        "elide",
+        r"
+        li r5, 30
+        li r4, 0
+    top:
+        addi r4, r4, 1
+        jmp mid
+    mid:
+        addi r4, r4, 2
+        jmp tail
+    tail:
+        addi r5, r5, -1
+        cmpi r5, 0
+        bne top
+        trap 0x1
+        halt
+        ",
+    );
+    let log = native_log(&prog);
+    let mut cfg = SdtConfig::ibtc_inline(256);
+    cfg.elide_direct_jumps = true;
+    let mut sdt = Sdt::new(cfg, &prog).unwrap();
+    let report = sdt.run(ArchProfile::x86_like(), FUEL).unwrap();
+    assert!(report.mech.elided_jumps > 0, "elision engaged");
+    let mut rp = DispatchReplay::new(cfg, &prog, ArchProfile::x86_like()).unwrap();
+    rp.seek(layout::APP_BASE).unwrap();
+    for ev in &log {
+        rp.step(ev).unwrap();
+    }
+    assert_eq!(rp.stats(), report.mech);
+}
+
+#[test]
+fn desync_is_reported_not_miscounted() {
+    let prog = program(
+        "tiny",
+        r"
+        li r4, 1
+        trap 0x1
+        halt
+        ",
+    );
+    let mut rp =
+        DispatchReplay::new(SdtConfig::ibtc_inline(64), &prog, ArchProfile::x86_like()).unwrap();
+    // Stepping before seek is a desync, not a panic.
+    let ev = CompactRetire {
+        pc: layout::APP_BASE,
+        kind: strata_isa::ControlKind::Direct,
+        taken: true,
+        indirect: false,
+        target: layout::APP_BASE,
+        mem: strata_machine::observers::MemClass::None,
+    };
+    let err = rp.step(&ev).unwrap_err();
+    assert!(err.to_string().contains("desynchronized"), "{err}");
+}

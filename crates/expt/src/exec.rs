@@ -70,7 +70,21 @@ pub fn build_program(workload: &str, params: Params) -> Program {
 
 /// Computes (or recalls) the result of one cell. Translated cells verify
 /// their checksum against the memoized native baseline.
+///
+/// In sampled mode (`--sampled`) every cell is served from trace-driven
+/// estimation instead of exact simulation; see [`crate::sampled`]. Exact
+/// mode refuses scaled-tier workloads — their full runs are exactly what
+/// sampled mode exists to avoid.
 pub fn cell_result(store: &Store, key: &CellKey, program: &Program) -> Arc<CellResult> {
+    if let Some(dir) = crate::sampled::sampled_mode() {
+        return crate::sampled::sampled_cell_result(store, key, dir);
+    }
+    assert!(
+        key.params.scale < strata_workloads::SAMPLED_ONLY_SCALE,
+        "{} at scale {} is sampled-only; run with --sampled",
+        key.workload,
+        key.params.scale
+    );
     match &key.kind {
         RunKind::Native => store.get_or_compute(key, || {
             CellResult::Native(
@@ -148,7 +162,12 @@ pub fn execute(store: &Store, cells: &[CellKey], jobs: usize) {
     let book = store.budget_book();
     let jobs = jobs.max(1);
     for phase in [&natives, &translated] {
-        run_phase(store, &order_longest_first(phase, &book), &programs, jobs);
+        run_phase(
+            store,
+            &order_longest_first(phase, &book, store.key_prefix()),
+            &programs,
+            jobs,
+        );
     }
     store.flush_budgets();
 }

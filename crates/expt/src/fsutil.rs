@@ -28,6 +28,16 @@ static SEQ: AtomicU64 = AtomicU64::new(0);
 ///
 /// Propagates the underlying I/O error; the temp file is cleaned up.
 pub fn atomic_write(path: &Path, contents: &str) -> std::io::Result<()> {
+    atomic_write_bytes(path, contents.as_bytes())
+}
+
+/// Byte-level twin of [`atomic_write`] for binary artifacts (trace
+/// files); same temp-file + rename discipline.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error; the temp file is cleaned up.
+pub fn atomic_write_bytes(path: &Path, contents: &[u8]) -> std::io::Result<()> {
     let dir = match path.parent() {
         Some(p) if !p.as_os_str().is_empty() => p,
         _ => Path::new("."),

@@ -47,6 +47,7 @@ pub mod experiments;
 pub mod fsutil;
 pub mod knobs;
 pub mod registry;
+pub mod sampled;
 pub mod store;
 pub mod suite;
 pub mod view;
@@ -55,9 +56,10 @@ pub use budget::{makespan, order_longest_first, BudgetBook};
 pub use cell::{CellKey, CellResult, RunKind};
 pub use exec::{exec_tier, execute, set_exec_tier, FUEL};
 pub use experiments::Output;
-pub use fsutil::atomic_write;
+pub use fsutil::{atomic_write, atomic_write_bytes};
 pub use knobs::EnvKnobs;
 pub use registry::{by_id, registry, Experiment};
+pub use sampled::{sampled_mode, set_sampled, SampledCell, DEFAULT_TRACES_DIR};
 pub use store::{parse_record, render_record, Store, StoreStats};
 pub use suite::{
     baseline_gate, manifest_fingerprint, render_from_store, run_shard, run_single, run_suite,

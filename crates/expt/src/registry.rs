@@ -115,6 +115,11 @@ pub fn registry() -> &'static [Experiment] {
             "Execution tiers: threaded-translation wall-clock vs interpreter"
         ),
         experiment!(
+            "fig21",
+            fig21_sampled_fidelity,
+            "Sampled-simulation fidelity: estimates vs exact trace replay"
+        ),
+        experiment!(
             "table2",
             table2_best_config,
             "Best configuration per architecture"
@@ -135,10 +140,10 @@ mod tests {
     #[test]
     fn ids_are_unique_and_lookup_works() {
         let mut ids: Vec<_> = registry().iter().map(|e| e.id).collect();
-        assert_eq!(ids.len(), 21);
+        assert_eq!(ids.len(), 22);
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 21, "duplicate experiment ids");
+        assert_eq!(ids.len(), 22, "duplicate experiment ids");
         assert!(by_id("table1").is_some());
         assert!(by_id("fig10").is_some());
         assert!(by_id("fig1").is_none());

@@ -6,6 +6,13 @@
 //! on-disk layer (`results/cache/`) makes re-runs resumable: cells are
 //! persisted as versioned flat-text records that embed their full key, so
 //! stale or hash-colliding files are ignored rather than trusted.
+//!
+//! Sampled mode stores its estimated results under a `sampled/` key
+//! prefix (see [`crate::sampled::key_prefix`]): memo entries, disk
+//! records, and budget-book rows all carry the prefix, so estimates can
+//! never be served for exact cells (or pollute the exact LPT schedule)
+//! and vice versa — the two populations share a cache directory but are
+//! fully disjoint.
 
 use std::collections::{HashMap, HashSet};
 use std::path::PathBuf;
@@ -17,7 +24,7 @@ use strata_core::{MechanismStats, NativeRun, RunReport};
 use strata_workloads::Params;
 
 use crate::budget::BudgetBook;
-use crate::cell::{CellKey, CellResult};
+use crate::cell::{fnv1a64, CellKey, CellResult};
 use crate::fsutil::atomic_write;
 
 /// On-disk record format version; bump on any layout change.
@@ -39,18 +46,28 @@ pub struct Store {
     cells: Mutex<HashMap<String, Arc<CellResult>>>,
     disk: Option<PathBuf>,
     budgets: Mutex<BudgetBook>,
+    /// Key-namespace prefix (`""` exact, `"sampled/"` sampled mode).
+    prefix: &'static str,
     computed: AtomicU64,
     memo_hits: AtomicU64,
     disk_hits: AtomicU64,
 }
 
 impl Store {
-    /// A purely in-memory store.
+    /// A purely in-memory store in the current mode's key namespace.
     pub fn in_memory() -> Store {
+        Store::in_memory_prefixed(crate::sampled::key_prefix())
+    }
+
+    /// An in-memory store with an explicit key prefix (tests use this to
+    /// exercise the sampled namespace without flipping the process-wide
+    /// mode).
+    pub fn in_memory_prefixed(prefix: &'static str) -> Store {
         Store {
             cells: Mutex::new(HashMap::new()),
             disk: None,
             budgets: Mutex::new(BudgetBook::new()),
+            prefix,
             computed: AtomicU64::new(0),
             memo_hits: AtomicU64::new(0),
             disk_hits: AtomicU64::new(0),
@@ -58,14 +75,33 @@ impl Store {
     }
 
     /// A store that additionally persists cells under `dir` (created on
-    /// first write). Previously recorded per-cell cycle budgets are loaded
-    /// from the same directory for longest-first scheduling.
+    /// first write), in the current mode's key namespace. Previously
+    /// recorded per-cell cycle budgets are loaded from the same directory
+    /// for longest-first scheduling.
     pub fn with_disk_cache(dir: PathBuf) -> Store {
+        Store::with_disk_cache_prefixed(dir, crate::sampled::key_prefix())
+    }
+
+    /// Disk-backed store with an explicit key prefix (see
+    /// [`Store::in_memory_prefixed`]).
+    pub fn with_disk_cache_prefixed(dir: PathBuf, prefix: &'static str) -> Store {
         Store {
             budgets: Mutex::new(BudgetBook::load(&dir)),
             disk: Some(dir),
-            ..Store::in_memory()
+            ..Store::in_memory_prefixed(prefix)
         }
+    }
+
+    /// This store's key-namespace prefix (`""` in exact mode).
+    pub fn key_prefix(&self) -> &'static str {
+        self.prefix
+    }
+
+    /// The namespaced key string results are stored under. With the empty
+    /// prefix this is exactly [`CellKey::key_string`], so exact-mode disk
+    /// caches and budget books from before sampled mode remain valid.
+    fn eff_key(&self, key: &CellKey) -> String {
+        format!("{}{}", self.prefix, key.key_string())
     }
 
     /// Number of distinct cells held in memory.
@@ -92,7 +128,7 @@ impl Store {
         self.cells
             .lock()
             .expect("store lock")
-            .get(&key.key_string())
+            .get(&self.eff_key(key))
             .cloned()
     }
 
@@ -142,12 +178,12 @@ impl Store {
         key: &CellKey,
         compute: impl FnOnce() -> CellResult,
     ) -> Arc<CellResult> {
-        let ks = key.key_string();
+        let ks = self.eff_key(key);
         if let Some(hit) = self.cells.lock().expect("store lock").get(&ks) {
             self.memo_hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(hit);
         }
-        let (result, from_disk) = match self.load_from_disk(key, &ks) {
+        let (result, from_disk) = match self.load_from_disk(&ks) {
             Some(r) => (r, true),
             None => (compute(), false),
         };
@@ -155,7 +191,7 @@ impl Store {
             self.disk_hits.fetch_add(1, Ordering::Relaxed);
         } else {
             self.computed.fetch_add(1, Ordering::Relaxed);
-            self.save_to_disk(key, &ks, &result);
+            self.save_to_disk(&ks, &result);
         }
         self.budgets
             .lock()
@@ -171,11 +207,11 @@ impl Store {
     /// computed locally. The first result for a key wins; a duplicate
     /// (at-least-once delivery) returns the existing result unchanged.
     pub fn put(&self, key: &CellKey, result: CellResult) -> Arc<CellResult> {
-        let ks = key.key_string();
+        let ks = self.eff_key(key);
         if let Some(hit) = self.cells.lock().expect("store lock").get(&ks) {
             return Arc::clone(hit);
         }
-        self.save_to_disk(key, &ks, &result);
+        self.save_to_disk(&ks, &result);
         self.budgets
             .lock()
             .expect("budget lock")
@@ -188,12 +224,12 @@ impl Store {
     /// computing it** on a miss. Lets a resumed fleet run mark already
     /// cached cells done before dispatching anything.
     pub fn cached(&self, key: &CellKey) -> Option<Arc<CellResult>> {
-        let ks = key.key_string();
+        let ks = self.eff_key(key);
         if let Some(hit) = self.cells.lock().expect("store lock").get(&ks) {
             self.memo_hits.fetch_add(1, Ordering::Relaxed);
             return Some(Arc::clone(hit));
         }
-        let result = self.load_from_disk(key, &ks)?;
+        let result = self.load_from_disk(&ks)?;
         self.disk_hits.fetch_add(1, Ordering::Relaxed);
         self.budgets
             .lock()
@@ -205,13 +241,13 @@ impl Store {
         ))
     }
 
-    fn load_from_disk(&self, key: &CellKey, ks: &str) -> Option<CellResult> {
+    fn load_from_disk(&self, ks: &str) -> Option<CellResult> {
         let dir = self.disk.as_ref()?;
-        let text = std::fs::read_to_string(dir.join(key.cache_file_name())).ok()?;
+        let text = std::fs::read_to_string(dir.join(disk_file_name(ks))).ok()?;
         parse_record(&text, ks)
     }
 
-    fn save_to_disk(&self, key: &CellKey, ks: &str, result: &CellResult) {
+    fn save_to_disk(&self, ks: &str, result: &CellResult) {
         let Some(dir) = self.disk.as_ref() else {
             return;
         };
@@ -222,8 +258,15 @@ impl Store {
         if std::fs::create_dir_all(dir).is_err() {
             return;
         }
-        let _ = atomic_write(&dir.join(key.cache_file_name()), &render_record(ks, result));
+        let _ = atomic_write(&dir.join(disk_file_name(ks)), &render_record(ks, result));
     }
+}
+
+/// Disk file name for a (possibly prefixed) key string. With the empty
+/// prefix this equals [`CellKey::cache_file_name`], so existing exact-mode
+/// caches stay valid; the `sampled/` prefix hashes to disjoint names.
+fn disk_file_name(ks: &str) -> String {
+    format!("{:016x}.cell", fnv1a64(ks.as_bytes()))
 }
 
 /// Drops budget entries whose cell keys the registry no longer produces
@@ -231,11 +274,14 @@ impl Store {
 /// schedule never sorts on dead keys. Keys are grouped by the params
 /// embedded in their tail and checked against the full registry's
 /// manifest at those params; a key whose params do not parse is stale by
-/// definition. If the manifest itself cannot be built, everything is
-/// conservatively kept.
+/// definition. Sampled-namespace keys (`sampled/...`) are validated
+/// against the same manifest after stripping the prefix — the estimated
+/// population is the same cell grid, just measured differently. If the
+/// manifest itself cannot be built, everything is conservatively kept.
 fn prune_stale(book: &mut BudgetBook) {
     let mut live: HashMap<(u32, u64), Option<HashSet<String>>> = HashMap::new();
     book.retain(|key| {
+        let key = key.strip_prefix("sampled/").unwrap_or(key);
         let Some(params) = params_of_key(key) else {
             return false;
         };
@@ -620,6 +666,75 @@ mod tests {
         let pruned = BudgetBook::load(&dir);
         assert_eq!(pruned.get(&live.key_string()), Some(111));
         assert_eq!(pruned.len(), 1, "stale and unparsable keys dropped");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sampled_and_exact_namespaces_are_disjoint() {
+        let dir = std::env::temp_dir().join(format!("strata-store-ns-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let key = CellKey::native("gzip", ArchProfile::x86_like(), Params::default());
+        let exact = Store::with_disk_cache_prefixed(dir.clone(), "");
+        let sampled = Store::with_disk_cache_prefixed(dir.clone(), "sampled/");
+
+        let mut estimated = sample_native();
+        estimated.total_cycles = 42; // deliberately different from exact
+        exact.put(&key, CellResult::Native(sample_native()));
+        sampled.put(&key, CellResult::Native(estimated.clone()));
+
+        // Each namespace serves its own result, through memory and disk.
+        assert_eq!(
+            exact.get(&key).unwrap().as_native().unwrap(),
+            &sample_native()
+        );
+        assert_eq!(sampled.get(&key).unwrap().as_native().unwrap(), &estimated);
+        let fresh_exact = Store::with_disk_cache_prefixed(dir.clone(), "");
+        let fresh_sampled = Store::with_disk_cache_prefixed(dir.clone(), "sampled/");
+        assert_eq!(
+            fresh_exact.cached(&key).unwrap().as_native().unwrap(),
+            &sample_native()
+        );
+        assert_eq!(
+            fresh_sampled.cached(&key).unwrap().as_native().unwrap(),
+            &estimated
+        );
+
+        // Budget rows are namespaced too: each store records under its
+        // own prefix, so the exact LPT schedule never sorts on estimates.
+        exact.flush_budgets();
+        sampled.flush_budgets();
+        let book = BudgetBook::load(&dir);
+        assert_eq!(
+            book.get(&key.key_string()),
+            Some(sample_native().total_cycles)
+        );
+        assert_eq!(
+            book.get(&format!("sampled/{}", key.key_string())),
+            Some(42),
+            "both rows visible in the shared book file"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flush_keeps_live_sampled_keys_and_prunes_ghosts() {
+        let dir = std::env::temp_dir().join(format!("strata-store-sns-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let live = CellKey::native("gzip", ArchProfile::x86_like(), Params::default());
+        let mut book = BudgetBook::new();
+        book.record(&live.key_string(), 1);
+        book.record(&format!("sampled/{}", live.key_string()), 2);
+        book.record("sampled/ghost|native|x86-like|s1v0", 3);
+        book.save(&dir);
+
+        Store::with_disk_cache_prefixed(dir.clone(), "").flush_budgets();
+        let pruned = BudgetBook::load(&dir);
+        assert_eq!(pruned.get(&live.key_string()), Some(1));
+        assert_eq!(
+            pruned.get(&format!("sampled/{}", live.key_string())),
+            Some(2)
+        );
+        assert_eq!(pruned.len(), 2, "ghost sampled key dropped");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

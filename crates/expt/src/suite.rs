@@ -191,12 +191,18 @@ pub fn work_manifest(filter: Option<&str>, params: Params) -> Result<Vec<CellKey
 }
 
 /// A stable fingerprint of a work manifest (FNV-1a over every key string
-/// in order). Coordinator and workers compare fingerprints during the
-/// fleet handshake: a mismatch means the two binaries expand different
-/// cell sets — version skew — and the worker refuses the session instead
-/// of silently computing the wrong grid.
+/// in order, prefixed by the execution mode). Coordinator and workers
+/// compare fingerprints during the fleet handshake: a mismatch means the
+/// two binaries expand different cell sets — version skew — and the
+/// worker refuses the session instead of silently computing the wrong
+/// grid. Sampled mode salts the fingerprint, so a sampled coordinator
+/// and an exact worker (or vice versa) refuse each other at handshake
+/// instead of mixing estimated and exact results in one store.
 pub fn manifest_fingerprint(cells: &[CellKey]) -> u64 {
     let mut joined = String::new();
+    if crate::sampled::sampled_mode().is_some() {
+        joined.push_str("sampled\n");
+    }
     for cell in cells {
         joined.push_str(&cell.key_string());
         joined.push('\n');
@@ -519,16 +525,16 @@ mod tests {
 
     #[test]
     fn select_filters_by_substring() {
-        assert_eq!(select(None).len(), 21);
-        assert_eq!(select(Some("")).len(), 21);
+        assert_eq!(select(None).len(), 22);
+        assert_eq!(select(Some("")).len(), 22);
         let tables: Vec<&str> = select(Some("table")).iter().map(|e| e.id).collect();
         assert_eq!(tables, ["table1", "table2"]);
         let picked: Vec<&str> = select(Some("fig4, fig7")).iter().map(|e| e.id).collect();
         assert_eq!(picked, ["fig4", "fig7"]);
         // fig1 is a substring of fig10..fig19.
         assert_eq!(select(Some("fig1")).len(), 10);
-        // fig2 is likewise a substring of fig20.
-        assert_eq!(select(Some("fig2")).len(), 2);
+        // fig2 is likewise a substring of fig20 and fig21.
+        assert_eq!(select(Some("fig2")).len(), 3);
         assert!(select(Some("nope")).is_empty());
     }
 

@@ -1,0 +1,244 @@
+//! Estimators for stratified (SimPoint-style) sampled measurement.
+//!
+//! Sampled execution measures each phase cluster at a few representative
+//! intervals and extrapolates: the population estimate is the
+//! cluster-weighted mean, and its confidence interval comes from the
+//! classical stratified-sampling variance formula — within-cluster sample
+//! variance scaled by the squared cluster weight. Clusters measured at a
+//! single point contribute no variance term (their within-cluster spread
+//! is unobservable), so intervals are honest only when most clusters carry
+//! at least two samples; the SimPoint selector pairs every representative
+//! with a runner-up for exactly this reason.
+
+/// A point estimate with a symmetric 95% confidence half-width.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    /// The weighted point estimate.
+    pub mean: f64,
+    /// Half-width of the 95% confidence interval.
+    pub ci95: f64,
+}
+
+impl Estimate {
+    /// Lower edge of the interval.
+    pub fn lo(&self) -> f64 {
+        self.mean - self.ci95
+    }
+
+    /// Upper edge of the interval.
+    pub fn hi(&self) -> f64 {
+        self.mean + self.ci95
+    }
+
+    /// Whether `value` falls inside the interval (inclusive).
+    pub fn contains(&self, value: f64) -> bool {
+        value >= self.lo() && value <= self.hi()
+    }
+
+    /// Relative error of this estimate against a known true value
+    /// (`|mean - truth| / truth`); 0.0 when both are zero, infinite when
+    /// only the truth is.
+    pub fn rel_error(&self, truth: f64) -> f64 {
+        if truth == 0.0 {
+            if self.mean == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            (self.mean - truth).abs() / truth.abs()
+        }
+    }
+}
+
+/// One measured stratum: a phase cluster's share of the population and the
+/// per-interval measurements taken inside it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stratum {
+    /// The cluster's fraction of all intervals (weights need not be
+    /// pre-normalized; the estimator normalizes).
+    pub weight: f64,
+    /// Measurements at this cluster's sampled intervals.
+    pub samples: Vec<f64>,
+}
+
+/// Weighted arithmetic mean of `(value, weight)` pairs.
+///
+/// `None` when the total weight is zero (no positive-weight values).
+///
+/// ```
+/// use strata_stats::weighted_mean;
+/// let m = weighted_mean([(1.0, 3.0), (5.0, 1.0)]).unwrap();
+/// assert!((m - 2.0).abs() < 1e-12);
+/// assert_eq!(weighted_mean([(1.0, 0.0)]), None);
+/// ```
+pub fn weighted_mean<I>(pairs: I) -> Option<f64>
+where
+    I: IntoIterator<Item = (f64, f64)>,
+{
+    let mut sum = 0.0;
+    let mut total_w = 0.0;
+    for (v, w) in pairs {
+        if w > 0.0 {
+            sum += v * w;
+            total_w += w;
+        }
+    }
+    if total_w > 0.0 {
+        Some(sum / total_w)
+    } else {
+        None
+    }
+}
+
+/// Stratified estimate of a population mean from per-cluster samples.
+///
+/// mean = Σ wᶜ·x̄ᶜ, var = Σ wᶜ²·sᶜ²/nᶜ, ci95 = 1.96·√var, with weights
+/// normalized to sum to one. Empty strata and non-positive weights are
+/// skipped; `None` when nothing remains.
+///
+/// ```
+/// use strata_stats::{stratified_estimate, Stratum};
+/// let est = stratified_estimate(&[
+///     Stratum { weight: 0.75, samples: vec![10.0, 12.0] },
+///     Stratum { weight: 0.25, samples: vec![40.0, 40.0] },
+/// ])
+/// .unwrap();
+/// assert!((est.mean - 18.25).abs() < 1e-9);
+/// assert!(est.contains(18.25));
+/// ```
+pub fn stratified_estimate(strata: &[Stratum]) -> Option<Estimate> {
+    let total_w: f64 = strata
+        .iter()
+        .filter(|s| s.weight > 0.0 && !s.samples.is_empty())
+        .map(|s| s.weight)
+        .sum();
+    if total_w <= 0.0 {
+        return None;
+    }
+    let mut mean = 0.0;
+    let mut var = 0.0;
+    for s in strata {
+        if s.weight <= 0.0 || s.samples.is_empty() {
+            continue;
+        }
+        let w = s.weight / total_w;
+        let n = s.samples.len() as f64;
+        let m = s.samples.iter().sum::<f64>() / n;
+        mean += w * m;
+        if s.samples.len() > 1 {
+            let ss: f64 = s.samples.iter().map(|x| (x - m) * (x - m)).sum();
+            let sample_var = ss / (n - 1.0);
+            var += w * w * sample_var / n;
+        }
+    }
+    Some(Estimate {
+        mean,
+        ci95: 1.96 * var.sqrt(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weighted_mean_matches_plain_mean_on_equal_weights() {
+        let m = weighted_mean([(1.0, 1.0), (2.0, 1.0), (3.0, 1.0)]).unwrap();
+        assert!((m - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_mean_skips_nonpositive_weights() {
+        let m = weighted_mean([(100.0, -1.0), (7.0, 2.0)]).unwrap();
+        assert!((m - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stratified_point_estimate_is_weight_normalized() {
+        // Weights 3:1, unnormalized.
+        let est = stratified_estimate(&[
+            Stratum {
+                weight: 3.0,
+                samples: vec![10.0],
+            },
+            Stratum {
+                weight: 1.0,
+                samples: vec![50.0],
+            },
+        ])
+        .unwrap();
+        assert!((est.mean - 20.0).abs() < 1e-9);
+        // Single-sample strata contribute no variance.
+        assert_eq!(est.ci95, 0.0);
+    }
+
+    #[test]
+    fn stratified_variance_shrinks_with_more_samples() {
+        let spread = |n: usize| {
+            let samples: Vec<f64> = (0..n).map(|i| if i % 2 == 0 { 1.0 } else { 3.0 }).collect();
+            stratified_estimate(&[Stratum {
+                weight: 1.0,
+                samples,
+            }])
+            .unwrap()
+            .ci95
+        };
+        assert!(spread(16) < spread(4));
+        assert!(spread(4) > 0.0);
+    }
+
+    #[test]
+    fn interval_covers_truth_on_homogeneous_clusters() {
+        // Clusters internally uniform: the estimate is exact and the
+        // interval collapses around it.
+        let est = stratified_estimate(&[
+            Stratum {
+                weight: 0.5,
+                samples: vec![4.0, 4.0, 4.0],
+            },
+            Stratum {
+                weight: 0.5,
+                samples: vec![8.0, 8.0],
+            },
+        ])
+        .unwrap();
+        assert!((est.mean - 6.0).abs() < 1e-12);
+        assert_eq!(est.ci95, 0.0);
+        assert!(est.contains(6.0));
+    }
+
+    #[test]
+    fn empty_and_zero_weight_strata_yield_none() {
+        assert_eq!(stratified_estimate(&[]), None);
+        assert_eq!(
+            stratified_estimate(&[Stratum {
+                weight: 0.0,
+                samples: vec![1.0],
+            }]),
+            None
+        );
+        assert_eq!(
+            stratified_estimate(&[Stratum {
+                weight: 1.0,
+                samples: vec![],
+            }]),
+            None
+        );
+    }
+
+    #[test]
+    fn rel_error_handles_zero_truth() {
+        let e = Estimate {
+            mean: 0.0,
+            ci95: 0.0,
+        };
+        assert_eq!(e.rel_error(0.0), 0.0);
+        let e = Estimate {
+            mean: 1.0,
+            ci95: 0.0,
+        };
+        assert!(e.rel_error(0.0).is_infinite());
+        assert!((e.rel_error(2.0) - 0.5).abs() < 1e-12);
+    }
+}

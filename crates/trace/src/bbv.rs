@@ -1,0 +1,153 @@
+//! Basic-block-vector extraction over fixed-size intervals.
+//!
+//! Following the SimPoint methodology, the retire stream is cut into
+//! fixed-length instruction intervals; each interval is summarized as a
+//! vector counting, per basic block, the instructions spent in that
+//! block. Block identity is the block-head pc hashed into a fixed number
+//! of dimensions ([`BBV_DIMS`]) — random projection down to a tractable
+//! width, standard for phase classification. Vectors are L1-normalized
+//! so intervals compare by *distribution* of execution, not raw length
+//! (the final partial interval would otherwise look artificially small).
+
+use strata_machine::observers::CompactRetire;
+
+/// Dimensionality of the hashed basic-block vectors.
+pub const BBV_DIMS: usize = 64;
+
+/// Hashes a block-head pc into a vector dimension.
+///
+/// Word-aligned pcs differ only above bit 1, so the low bits are shifted
+/// out before a multiplicative (Fibonacci) hash spreads the head across
+/// dimensions.
+fn dim_of(head: u32) -> usize {
+    ((head >> 2).wrapping_mul(0x9E37_79B1) >> 26) as usize
+}
+
+/// Cuts `records` into `interval`-instruction windows and returns one
+/// L1-normalized BBV per window (the trailing partial window included).
+///
+/// A basic block ends at every control-flow instruction — taken or not —
+/// and the successor block's head is the recorded next pc, so the
+/// attribution needs no static CFG: it replays the dynamic block
+/// structure straight off the trace.
+///
+/// # Panics
+///
+/// Panics if `interval` is zero.
+pub fn bbvs(records: &[CompactRetire], interval: u64) -> Vec<[f64; BBV_DIMS]> {
+    assert!(interval > 0, "interval must be nonzero");
+    let mut out = Vec::new();
+    if records.is_empty() {
+        return out;
+    }
+    let mut vec = [0f64; BBV_DIMS];
+    let mut in_interval = 0u64;
+    let mut head = records[0].pc;
+    for r in records {
+        vec[dim_of(head)] += 1.0;
+        in_interval += 1;
+        if r.kind != strata_isa::ControlKind::None {
+            head = r.target;
+        }
+        if in_interval == interval {
+            normalize(&mut vec);
+            out.push(vec);
+            vec = [0f64; BBV_DIMS];
+            in_interval = 0;
+        }
+    }
+    if in_interval > 0 {
+        normalize(&mut vec);
+        out.push(vec);
+    }
+    out
+}
+
+fn normalize(vec: &mut [f64; BBV_DIMS]) {
+    let sum: f64 = vec.iter().sum();
+    if sum > 0.0 {
+        for v in vec.iter_mut() {
+            *v /= sum;
+        }
+    }
+}
+
+/// Squared Euclidean distance between two BBVs.
+pub fn dist2(a: &[f64; BBV_DIMS], b: &[f64; BBV_DIMS]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strata_isa::ControlKind;
+    use strata_machine::observers::MemClass;
+
+    fn straight(pc: u32) -> CompactRetire {
+        CompactRetire {
+            pc,
+            kind: ControlKind::None,
+            taken: false,
+            indirect: false,
+            target: pc + 4,
+            mem: MemClass::None,
+        }
+    }
+
+    fn jump(pc: u32, target: u32) -> CompactRetire {
+        CompactRetire {
+            pc,
+            kind: ControlKind::Direct,
+            taken: true,
+            indirect: false,
+            target,
+            mem: MemClass::None,
+        }
+    }
+
+    #[test]
+    fn interval_cutting_and_normalization() {
+        let mut records = Vec::new();
+        for i in 0..25u32 {
+            records.push(straight(0x1000 + i * 4));
+        }
+        let vecs = bbvs(&records, 10);
+        assert_eq!(vecs.len(), 3, "two full windows + one partial");
+        for v in &vecs {
+            let sum: f64 = v.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "L1-normalized, got {sum}");
+        }
+    }
+
+    #[test]
+    fn distinct_phases_yield_distant_vectors() {
+        // Phase A loops at 0x1000, phase B loops at 0x8000: their BBVs
+        // must land in different dimensions (distance far from zero),
+        // while two windows of the same phase are identical.
+        let mut records = Vec::new();
+        for _ in 0..50 {
+            records.push(jump(0x1000, 0x1000));
+        }
+        for _ in 0..50 {
+            records.push(jump(0x8000, 0x8000));
+        }
+        let vecs = bbvs(&records, 25);
+        assert_eq!(vecs.len(), 4);
+        assert!(dist2(&vecs[0], &vecs[1]) < 1e-12, "same phase, same vector");
+        // vecs[2] is the transition window (one instruction still
+        // attributed to the old head), vecs[3] is pure phase B.
+        assert!(dist2(&vecs[0], &vecs[3]) > 0.1, "phases must separate");
+        assert!(dist2(&vecs[2], &vecs[3]) < dist2(&vecs[0], &vecs[2]));
+    }
+
+    #[test]
+    fn empty_stream_yields_no_vectors() {
+        assert!(bbvs(&[], 100).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_interval_rejected() {
+        bbvs(&[straight(0)], 0);
+    }
+}

@@ -1,0 +1,531 @@
+//! The on-disk `.strace` container: header + checksummed record blocks.
+//!
+//! ```text
+//! magic   8 bytes  "STRACE01"
+//! header  u32 len ‖ u64 fnv1a64(payload) ‖ payload
+//! blocks  repeated: u32 payload_len ‖ u32 record_count ‖
+//!         u64 fnv1a64(payload) ‖ payload   (codec-packed records)
+//! eof     u32 0xFFFF_FFFF
+//! ```
+//!
+//! The header payload carries the workload identity (name, scale,
+//! variant), the sampling interval the trace was cut for, the total
+//! record count, the reference syscall checksum, and one full
+//! [`NativeRun`] per architecture profile — captured in the same pass
+//! that recorded the stream, so sampled mode serves native cells exactly
+//! without re-running the guest.
+//!
+//! Everything is little-endian and byte-deterministic: recording the
+//! same workload twice produces identical files. All read failures are
+//! [`TraceError`] values.
+
+use std::path::Path;
+
+use strata_core::NativeRun;
+use strata_isa::Reg;
+use strata_machine::observers::CompactRetire;
+
+use crate::codec::{decode_block, encode_block, CodecError};
+use crate::fnv1a64;
+
+/// File magic, first eight bytes of every `.strace`.
+pub const MAGIC: &[u8; 8] = b"STRACE01";
+
+/// Records per block. 64 Ki records keeps blocks around 100 KiB packed —
+/// large enough to amortize framing, small enough to bound the damage of
+/// a bad length field.
+pub const BLOCK_RECORDS: usize = 1 << 16;
+
+/// Upper bound on any length field; a corrupt length cannot OOM the
+/// reader.
+pub const MAX_BLOCK: u32 = 16 * 1024 * 1024;
+
+/// End-of-blocks sentinel in the `payload_len` position.
+const EOF_MARK: u32 = 0xFFFF_FFFF;
+
+/// Why a trace failed to load.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// Underlying filesystem error.
+    Io(String),
+    /// First eight bytes were not [`MAGIC`].
+    BadMagic,
+    /// File ended before the structure did.
+    Truncated,
+    /// A length field exceeded [`MAX_BLOCK`].
+    Oversized(u32),
+    /// A block or header checksum disagreed with its payload.
+    BadChecksum,
+    /// Header structure invalid (bad UTF-8, short fields, bad counts).
+    Malformed(String),
+    /// A record block failed to unpack.
+    Codec(CodecError),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "i/o error: {e}"),
+            TraceError::BadMagic => write!(f, "not a strata trace (bad magic)"),
+            TraceError::Truncated => write!(f, "trace truncated"),
+            TraceError::Oversized(n) => write!(f, "block length {n} exceeds cap"),
+            TraceError::BadChecksum => write!(f, "checksum mismatch (corrupt trace)"),
+            TraceError::Malformed(m) => write!(f, "malformed trace: {m}"),
+            TraceError::Codec(e) => write!(f, "record block: {e}"),
+        }
+    }
+}
+
+impl From<CodecError> for TraceError {
+    fn from(e: CodecError) -> TraceError {
+        TraceError::Codec(e)
+    }
+}
+
+/// Per-profile native baseline captured at record time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NativeSummary {
+    /// Profile name (`ArchProfile::name`).
+    pub profile: String,
+    /// The full native measurement under that profile.
+    pub run: NativeRun,
+}
+
+/// A loaded (or about-to-be-written) trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    /// Workload name.
+    pub workload: String,
+    /// Workload scale the trace was recorded at.
+    pub scale: u32,
+    /// Workload variant.
+    pub variant: u64,
+    /// Sampling interval (instructions) the trace was cut for.
+    pub interval: u64,
+    /// Reference syscall checksum of the recorded run.
+    pub checksum: u32,
+    /// One native baseline per architecture profile.
+    pub natives: Vec<NativeSummary>,
+    /// The full retire stream.
+    pub records: Vec<CompactRetire>,
+}
+
+/// Header-only view for `strata trace info` — everything except the
+/// record stream, plus size accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceInfo {
+    /// Workload name.
+    pub workload: String,
+    /// Workload scale.
+    pub scale: u32,
+    /// Workload variant.
+    pub variant: u64,
+    /// Sampling interval (instructions).
+    pub interval: u64,
+    /// Total recorded instructions.
+    pub instructions: u64,
+    /// Reference syscall checksum.
+    pub checksum: u32,
+    /// Profile names with baselines in the header.
+    pub profiles: Vec<String>,
+    /// Total file size in bytes.
+    pub file_bytes: u64,
+    /// Number of record blocks.
+    pub blocks: u64,
+}
+
+fn push_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_str(out: &mut Vec<u8>, s: &str) {
+    let bytes = s.as_bytes();
+    push_u16(out, bytes.len() as u16);
+    out.extend_from_slice(bytes);
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], TraceError> {
+        let end = self.pos.checked_add(n).ok_or(TraceError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(TraceError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u16(&mut self) -> Result<u16, TraceError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, TraceError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, TraceError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn string(&mut self) -> Result<String, TraceError> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| TraceError::Malformed("non-UTF-8 string".into()))
+    }
+}
+
+fn encode_native(out: &mut Vec<u8>, s: &NativeSummary) {
+    push_str(out, &s.profile);
+    push_u32(out, s.run.checksum);
+    for v in [
+        s.run.total_cycles,
+        s.run.instructions,
+        s.run.indirect_jumps,
+        s.run.indirect_calls,
+        s.run.returns,
+        s.run.direct_calls,
+        s.run.cond_branches,
+        s.run.icache_misses,
+        s.run.dcache_misses,
+    ] {
+        push_u64(out, v);
+    }
+    push_u16(out, s.run.regs.len() as u16);
+    for r in s.run.regs {
+        push_u32(out, r);
+    }
+}
+
+fn decode_native(r: &mut Reader) -> Result<NativeSummary, TraceError> {
+    let profile = r.string()?;
+    let checksum = r.u32()?;
+    let mut fields = [0u64; 9];
+    for f in fields.iter_mut() {
+        *f = r.u64()?;
+    }
+    let nregs = r.u16()? as usize;
+    if nregs != Reg::COUNT {
+        return Err(TraceError::Malformed(format!(
+            "native summary has {nregs} registers, expected {}",
+            Reg::COUNT
+        )));
+    }
+    let mut regs = [0u32; Reg::COUNT];
+    for reg in regs.iter_mut() {
+        *reg = r.u32()?;
+    }
+    Ok(NativeSummary {
+        profile,
+        run: NativeRun {
+            checksum,
+            total_cycles: fields[0],
+            instructions: fields[1],
+            indirect_jumps: fields[2],
+            indirect_calls: fields[3],
+            returns: fields[4],
+            direct_calls: fields[5],
+            cond_branches: fields[6],
+            icache_misses: fields[7],
+            dcache_misses: fields[8],
+            regs,
+        },
+    })
+}
+
+impl Trace {
+    /// The native baseline for `profile`, if the header carries one.
+    pub fn native_for(&self, profile: &str) -> Option<&NativeRun> {
+        self.natives
+            .iter()
+            .find(|n| n.profile == profile)
+            .map(|n| &n.run)
+    }
+
+    fn header_payload(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        push_str(&mut out, &self.workload);
+        push_u32(&mut out, self.scale);
+        push_u64(&mut out, self.variant);
+        push_u64(&mut out, self.interval);
+        push_u64(&mut out, self.records.len() as u64);
+        push_u32(&mut out, self.checksum);
+        push_u16(&mut out, self.natives.len() as u16);
+        for n in &self.natives {
+            encode_native(&mut out, n);
+        }
+        out
+    }
+
+    /// Serializes the trace to bytes (the exact `.strace` file image).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.records.len() * 2 + 256);
+        out.extend_from_slice(MAGIC);
+        let header = self.header_payload();
+        push_u32(&mut out, header.len() as u32);
+        push_u64(&mut out, fnv1a64(&header));
+        out.extend_from_slice(&header);
+        for chunk in self.records.chunks(BLOCK_RECORDS) {
+            let payload = encode_block(chunk);
+            push_u32(&mut out, payload.len() as u32);
+            push_u32(&mut out, chunk.len() as u32);
+            push_u64(&mut out, fnv1a64(&payload));
+            out.extend_from_slice(&payload);
+        }
+        push_u32(&mut out, EOF_MARK);
+        out
+    }
+
+    /// Parses a `.strace` image.
+    ///
+    /// # Errors
+    ///
+    /// Any structural defect yields a [`TraceError`]; this function never
+    /// panics on arbitrary input.
+    pub fn from_bytes(buf: &[u8]) -> Result<Trace, TraceError> {
+        let mut r = Reader { buf, pos: 0 };
+        if r.take(8)? != MAGIC {
+            return Err(TraceError::BadMagic);
+        }
+        let header_len = r.u32()?;
+        if header_len > MAX_BLOCK {
+            return Err(TraceError::Oversized(header_len));
+        }
+        let header_sum = r.u64()?;
+        let header = r.take(header_len as usize)?;
+        if fnv1a64(header) != header_sum {
+            return Err(TraceError::BadChecksum);
+        }
+        let mut h = Reader {
+            buf: header,
+            pos: 0,
+        };
+        let workload = h.string()?;
+        let scale = h.u32()?;
+        let variant = h.u64()?;
+        let interval = h.u64()?;
+        let instructions = h.u64()?;
+        let checksum = h.u32()?;
+        let native_count = h.u16()?;
+        let mut natives = Vec::with_capacity(native_count as usize);
+        for _ in 0..native_count {
+            natives.push(decode_native(&mut h)?);
+        }
+        if h.pos != header.len() {
+            return Err(TraceError::Malformed("trailing header bytes".into()));
+        }
+
+        let mut records = Vec::new();
+        loop {
+            let payload_len = r.u32()?;
+            if payload_len == EOF_MARK {
+                break;
+            }
+            if payload_len > MAX_BLOCK {
+                return Err(TraceError::Oversized(payload_len));
+            }
+            let count = r.u32()?;
+            if count as usize > BLOCK_RECORDS {
+                return Err(TraceError::Oversized(count));
+            }
+            let sum = r.u64()?;
+            let payload = r.take(payload_len as usize)?;
+            if fnv1a64(payload) != sum {
+                return Err(TraceError::BadChecksum);
+            }
+            records.extend(decode_block(payload, count)?);
+        }
+        if r.pos != buf.len() {
+            return Err(TraceError::Malformed(
+                "trailing bytes after eof mark".into(),
+            ));
+        }
+        if records.len() as u64 != instructions {
+            return Err(TraceError::Malformed(format!(
+                "header promises {instructions} records, blocks hold {}",
+                records.len()
+            )));
+        }
+        Ok(Trace {
+            workload,
+            scale,
+            variant,
+            interval,
+            checksum,
+            natives,
+            records,
+        })
+    }
+
+    /// Reads a trace from disk.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures surface as [`TraceError::Io`]; structural
+    /// defects as the other variants.
+    pub fn read(path: &Path) -> Result<Trace, TraceError> {
+        let buf = std::fs::read(path).map_err(|e| TraceError::Io(e.to_string()))?;
+        Trace::from_bytes(&buf)
+    }
+
+    /// Header-only summary of a trace file on disk.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Trace::read`] (the record blocks are still
+    /// checksum-verified and counted).
+    pub fn info(path: &Path) -> Result<TraceInfo, TraceError> {
+        let buf = std::fs::read(path).map_err(|e| TraceError::Io(e.to_string()))?;
+        let trace = Trace::from_bytes(&buf)?;
+        let blocks = (trace.records.len() as u64).div_ceil(BLOCK_RECORDS as u64);
+        Ok(TraceInfo {
+            workload: trace.workload,
+            scale: trace.scale,
+            variant: trace.variant,
+            interval: trace.interval,
+            instructions: trace.records.len() as u64,
+            checksum: trace.checksum,
+            profiles: trace.natives.iter().map(|n| n.profile.clone()).collect(),
+            file_bytes: buf.len() as u64,
+            blocks,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strata_isa::ControlKind;
+    use strata_machine::observers::MemClass;
+    use strata_stats::rng::SmallRng;
+
+    fn sample_trace(n: usize) -> Trace {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut records = Vec::with_capacity(n);
+        let mut pc = 0x1000u32;
+        for _ in 0..n {
+            let branch = rng.gen_bool(0.2);
+            let (kind, taken, target) = if branch {
+                let t = rng.gen_range(0x1000u32..0x9000) & !3;
+                (ControlKind::Direct, true, t)
+            } else {
+                (ControlKind::None, false, pc.wrapping_add(4))
+            };
+            records.push(CompactRetire {
+                pc,
+                kind,
+                taken,
+                indirect: false,
+                target,
+                mem: MemClass::None,
+            });
+            pc = target;
+        }
+        Trace {
+            workload: "gzip".into(),
+            scale: 1,
+            variant: 0,
+            interval: 2000,
+            checksum: 0xdead_beef,
+            natives: vec![NativeSummary {
+                profile: "x86-like".into(),
+                run: NativeRun {
+                    checksum: 0xdead_beef,
+                    total_cycles: 123_456,
+                    instructions: n as u64,
+                    indirect_jumps: 7,
+                    indirect_calls: 3,
+                    returns: 11,
+                    direct_calls: 11,
+                    cond_branches: 99,
+                    icache_misses: 5,
+                    dcache_misses: 6,
+                    regs: [1; Reg::COUNT],
+                },
+            }],
+            records,
+        }
+    }
+
+    #[test]
+    fn round_trips_including_multi_block() {
+        for n in [0usize, 5, BLOCK_RECORDS, BLOCK_RECORDS + 13] {
+            let t = sample_trace(n);
+            let bytes = t.to_bytes();
+            let back = Trace::from_bytes(&bytes).unwrap();
+            assert_eq!(back, t, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn serialization_is_deterministic() {
+        let t = sample_trace(10_000);
+        assert_eq!(t.to_bytes(), t.to_bytes());
+    }
+
+    #[test]
+    fn native_lookup_by_profile() {
+        let t = sample_trace(10);
+        assert!(t.native_for("x86-like").is_some());
+        assert!(t.native_for("sparc-like").is_none());
+    }
+
+    #[test]
+    fn every_prefix_truncation_is_an_error() {
+        let bytes = sample_trace(300).to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(
+                Trace::from_bytes(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes parsed cleanly"
+            );
+        }
+    }
+
+    #[test]
+    fn every_byte_corruption_is_an_error() {
+        // Unlike the raw codec, the framed file detects *every* flip:
+        // header and blocks are checksummed, lengths are bounded, and
+        // the eof mark is position-checked.
+        let bytes = sample_trace(200).to_bytes();
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x01;
+            assert!(
+                Trace::from_bytes(&bad).is_err(),
+                "flipping byte {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut bytes = sample_trace(10).to_bytes();
+        bytes.push(0);
+        assert_eq!(
+            Trace::from_bytes(&bytes),
+            Err(TraceError::Malformed(
+                "trailing bytes after eof mark".into()
+            ))
+        );
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = sample_trace(10).to_bytes();
+        bytes[0] ^= 0xff;
+        assert_eq!(Trace::from_bytes(&bytes), Err(TraceError::BadMagic));
+    }
+}

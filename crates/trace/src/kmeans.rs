@@ -1,0 +1,197 @@
+//! Deterministic seeded k-means over basic-block vectors.
+//!
+//! k-means++ initialization drives both the first centroid pick and the
+//! subsequent distance-weighted picks from a [`SmallRng`] (SplitMix64)
+//! stream, so clustering is a pure function of `(points, k, seed)` —
+//! part of the repo's determinism contract, like workload generation.
+//! Lloyd iterations run to assignment fixpoint (bounded), and an emptied
+//! cluster is reseeded to the point farthest from its centroid, so every
+//! returned cluster is non-empty whenever `k <= points.len()`.
+
+use strata_stats::rng::SmallRng;
+
+use crate::bbv::{dist2, BBV_DIMS};
+
+/// Maximum Lloyd iterations; real BBV sets converge in well under this.
+const MAX_ITERS: usize = 100;
+
+/// The result of a clustering run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Clustering {
+    /// Cluster index per input point.
+    pub assignments: Vec<usize>,
+    /// Final centroids, `k` of them.
+    pub centroids: Vec<[f64; BBV_DIMS]>,
+}
+
+/// Clusters `points` into `k` groups, deterministically for a given
+/// `seed`.
+///
+/// # Panics
+///
+/// Panics if `k` is zero or exceeds the number of points.
+pub fn kmeans(points: &[[f64; BBV_DIMS]], k: usize, seed: u64) -> Clustering {
+    assert!(k > 0, "k must be nonzero");
+    assert!(k <= points.len(), "k = {k} exceeds {} points", points.len());
+    let mut rng = SmallRng::seed_from_u64(seed);
+
+    // k-means++ seeding: first centroid uniform, the rest proportional
+    // to squared distance from the nearest chosen centroid.
+    let mut centroids: Vec<[f64; BBV_DIMS]> = Vec::with_capacity(k);
+    centroids.push(points[rng.gen_range(0usize..points.len())]);
+    let mut d2: Vec<f64> = points.iter().map(|p| dist2(p, &centroids[0])).collect();
+    while centroids.len() < k {
+        let total: f64 = d2.iter().sum();
+        let next = if total <= 0.0 {
+            // All remaining points coincide with a centroid; any pick
+            // works — take the lowest index not yet chosen for
+            // determinism.
+            (0..points.len())
+                .find(|&i| d2[i] > 0.0 || !centroids.contains(&points[i]))
+                .unwrap_or(0)
+        } else {
+            // Inverse-CDF sample over the d² weights using 53 random
+            // mantissa bits.
+            let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            let mut acc = 0.0;
+            let mut pick = None;
+            for (i, &w) in d2.iter().enumerate() {
+                if w <= 0.0 {
+                    continue; // already a centroid (or a duplicate of one)
+                }
+                pick = Some(i);
+                acc += w;
+                if acc >= unit * total {
+                    break;
+                }
+            }
+            pick.expect("total > 0 implies a positive-weight point")
+        };
+        centroids.push(points[next]);
+        for (i, p) in points.iter().enumerate() {
+            let d = dist2(p, &centroids[centroids.len() - 1]);
+            if d < d2[i] {
+                d2[i] = d;
+            }
+        }
+    }
+
+    let mut assignments = vec![0usize; points.len()];
+    for _ in 0..MAX_ITERS {
+        // Assign.
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let mut best = 0usize;
+            let mut best_d = f64::INFINITY;
+            for (c, centroid) in centroids.iter().enumerate() {
+                let d = dist2(p, centroid);
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            if assignments[i] != best {
+                assignments[i] = best;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+        // Update.
+        let mut sums = vec![[0f64; BBV_DIMS]; k];
+        let mut counts = vec![0usize; k];
+        for (i, p) in points.iter().enumerate() {
+            let c = assignments[i];
+            counts[c] += 1;
+            for (s, v) in sums[c].iter_mut().zip(p) {
+                *s += v;
+            }
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Reseed an emptied cluster to the globally worst-fit
+                // point so no cluster vanishes.
+                let (far, _) = points
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| (i, dist2(p, &centroids[assignments[i]])))
+                    .fold((0, -1.0), |acc, x| if x.1 > acc.1 { x } else { acc });
+                centroids[c] = points[far];
+            } else {
+                for (s, centroid) in sums[c].iter().zip(centroids[c].iter_mut()) {
+                    *centroid = s / counts[c] as f64;
+                }
+            }
+        }
+    }
+    Clustering {
+        assignments,
+        centroids,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(dim: usize, weight: f64) -> [f64; BBV_DIMS] {
+        let mut p = [0f64; BBV_DIMS];
+        p[dim] = weight;
+        p
+    }
+
+    #[test]
+    fn separates_obvious_clusters() {
+        // Two tight groups in orthogonal dimensions.
+        let mut points = Vec::new();
+        for i in 0..10 {
+            points.push(point(3, 1.0 + i as f64 * 1e-6));
+        }
+        for i in 0..10 {
+            points.push(point(40, 1.0 + i as f64 * 1e-6));
+        }
+        let c = kmeans(&points, 2, 7);
+        let first = c.assignments[0];
+        assert!(c.assignments[..10].iter().all(|&a| a == first));
+        assert!(c.assignments[10..].iter().all(|&a| a != first));
+    }
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let points: Vec<_> = (0..30)
+            .map(|i| point(i % BBV_DIMS, 1.0 + (i as f64) * 0.1))
+            .collect();
+        let a = kmeans(&points, 4, 99);
+        let b = kmeans(&points, 4, 99);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn every_cluster_nonempty() {
+        let points: Vec<_> = (0..20).map(|i| point(i % 5, 1.0)).collect();
+        let c = kmeans(&points, 5, 3);
+        for cluster in 0..5 {
+            assert!(
+                c.assignments.contains(&cluster),
+                "cluster {cluster} is empty"
+            );
+        }
+    }
+
+    #[test]
+    fn k_equals_n_is_identity_partition() {
+        let points: Vec<_> = (0..6).map(|i| point(i, 1.0)).collect();
+        let c = kmeans(&points, 6, 1);
+        let mut seen = c.assignments.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 6, "each point its own cluster");
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_k_rejected() {
+        kmeans(&[point(0, 1.0)], 0, 0);
+    }
+}

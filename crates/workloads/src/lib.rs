@@ -167,6 +167,23 @@ pub fn by_name(name: &str) -> Option<&'static Spec> {
     registry().iter().find(|s| s.name == name)
 }
 
+/// Scales at or above this are the **reference tier**: full runs at such
+/// scales cost tens of billions of simulated instructions, so exact mode
+/// refuses them and they exist only for sampled (SimPoint) execution.
+pub const SAMPLED_ONLY_SCALE: u32 = 10;
+
+/// The scaled reference-input tier: 10–100× instances of the sort-,
+/// search-, and reference-family workloads, runnable only under
+/// `--sampled`. Returned as `(workload, params)` pairs so callers can
+/// record traces or expand cells directly.
+pub fn reference_tier() -> Vec<(&'static str, Params)> {
+    vec![
+        ("bzip2", Params::at_scale(10)),
+        ("crafty", Params::at_scale(25)),
+        ("twolf", Params::at_scale(100)),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -181,6 +198,18 @@ mod tests {
         assert_eq!(sorted.len(), 12, "duplicate workload names");
         assert!(by_name("gcc").is_some());
         assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn reference_tier_is_sampled_only_and_registered() {
+        for (name, params) in reference_tier() {
+            assert!(by_name(name).is_some(), "{name} not registered");
+            assert!(
+                (SAMPLED_ONLY_SCALE..=100).contains(&params.scale),
+                "{name} scale {} outside the 10–100× reference band",
+                params.scale
+            );
+        }
     }
 
     #[test]

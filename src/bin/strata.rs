@@ -58,6 +58,7 @@ fn main() -> ExitCode {
         Some("compare") => dispatch(compare_cmd(&args[1..])),
         Some("bench") => dispatch(bench_cmd(&args[1..])),
         Some("fleet") => dispatch(fleet_cmd(&args[1..])),
+        Some("trace") => dispatch(trace_cmd(&args[1..])),
         Some("verify") => dispatch(verify_cmd(&args[1..])),
         _ => {
             eprintln!(
@@ -73,13 +74,18 @@ fn main() -> ExitCode {
                  strata bench [--jobs N] [--filter IDS] [--format text|csv|json]\n\
                  \x20            [--scale N] [--variant N] [--cache] [--no-artifacts]\n\
                  \x20            [--artifacts-dir DIR] [--baseline DIR] [--tolerance PCT]\n\
-                 \x20            [--shard I/N] [--list]\n\
+                 \x20            [--shard I/N] [--list] [--sampled] [--traces DIR]\n\
                  \x20            [--tier interp|threaded[:M]] [--tier-threshold M]\n\
                  strata fleet serve [--bind ADDR] [--filter IDS] [--format text|csv|json]\n\
                  \x20            [--scale N] [--variant N] [--cache] [--lease SECS]\n\
                  \x20            [--progress text|json|none] [--no-artifacts]\n\
-                 \x20            [--artifacts-dir DIR]\n\
+                 \x20            [--artifacts-dir DIR] [--sampled] [--traces DIR]\n\
                  strata fleet work --connect ADDR [--name NAME] [--retries N] [--tier SPEC]\n\
+                 \x20            [--sampled] [--traces DIR]\n\
+                 strata trace record <workload|all> [--scale N] [--variant N]\n\
+                 \x20            [--traces DIR] [--tier SPEC]\n\
+                 strata trace info <file.strace>\n\
+                 strata trace simpoints <workload> [--scale N] [--variant N] [--traces DIR]\n\
                  \n\
                  config SPECs: reentry | ibtc:4096 | ibtc-outline:4096 | ibtc-persite:64\n\
                  \x20             | sieve:4096 | tuned:4096,1024 | fastret:4096\n\
@@ -93,6 +99,26 @@ fn main() -> ExitCode {
             ExitCode::from(2)
         }
     }
+}
+
+/// Parses `--sampled` / `--traces DIR` and pins sampled mode for the
+/// process (like `parse_tier` + `set_exec_tier`). `--traces` without
+/// `--sampled` is rejected so a typo cannot silently run exact mode.
+/// Absent both flags, the `STRATA_SAMPLED` environment variable applies.
+fn parse_sampled(args: &[String]) -> Result<(), String> {
+    let sampled = args.iter().any(|a| a == "--sampled");
+    let traces = parse_flag(args, "--traces");
+    if traces.is_some() && !sampled {
+        return Err("--traces only applies with --sampled".into());
+    }
+    if sampled {
+        expt::set_sampled(
+            traces
+                .unwrap_or_else(|| expt::DEFAULT_TRACES_DIR.into())
+                .into(),
+        );
+    }
+    Ok(())
 }
 
 fn dispatch(result: Result<(), String>) -> ExitCode {
@@ -252,6 +278,7 @@ fn bench_cmd(args: &[String]) -> Result<(), String> {
     if let Some(tier) = parse_tier(args)? {
         expt::set_exec_tier(tier);
     }
+    parse_sampled(args)?;
     let mut opts = SuiteOptions {
         params: knobs.params(),
         ..SuiteOptions::default()
@@ -302,6 +329,13 @@ fn bench_cmd(args: &[String]) -> Result<(), String> {
     }
     let artifacts_dir = parse_flag(args, "--artifacts-dir").unwrap_or_else(|| "results".into());
     let baseline_dir = parse_flag(args, "--baseline");
+    if baseline_dir.is_some() && expt::sampled_mode().is_some() {
+        return Err(
+            "--baseline gates exact results; estimated (--sampled) runs cannot be gated \
+             against it"
+                .into(),
+        );
+    }
 
     // Shard mode: execute this machine's slice of the cell set into the
     // disk cache and stop — no rendering, no artifacts, no gate. Merge
@@ -408,6 +442,7 @@ fn fleet_cmd(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
         Some("serve") => {
             let args = &args[1..];
+            parse_sampled(args)?;
             let knobs = EnvKnobs::from_env();
             let mut serve = fleet::ServeOptions {
                 suite: SuiteOptions {
@@ -497,6 +532,10 @@ fn fleet_cmd(args: &[String]) -> Result<(), String> {
             if let Some(tier) = parse_tier(args)? {
                 expt::set_exec_tier(tier);
             }
+            // Sampled mode must match the coordinator's — the suite
+            // fingerprint is salted by mode, so a mismatched worker is
+            // refused at handshake rather than mixing result kinds.
+            parse_sampled(args)?;
             let mut opts = fleet::WorkOptions {
                 connect: parse_flag(args, "--connect")
                     .ok_or("fleet work needs --connect <host:port>")?,
@@ -519,6 +558,152 @@ fn fleet_cmd(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         _ => Err("usage: strata fleet <serve|work> ... (see `strata` for flags)".into()),
+    }
+}
+
+/// `strata trace` — records reference retire traces, inspects them, and
+/// elects SimPoints, independent of any bench run. `record all`
+/// refreshes the canonical per-workload traces that `bench --sampled`
+/// replays; `record` always re-records (it never trusts a stale file),
+/// while `simpoints` reuses an existing valid trace.
+fn trace_cmd(args: &[String]) -> Result<(), String> {
+    use strata_lab::expt::sampled;
+    use strata_lab::trace::{select, Trace};
+
+    let verb = args.first().map(String::as_str);
+    let rest = if args.is_empty() { args } else { &args[1..] };
+    let dir_of = |a: &[String]| {
+        std::path::PathBuf::from(
+            parse_flag(a, "--traces").unwrap_or_else(|| sampled::DEFAULT_TRACES_DIR.into()),
+        )
+    };
+    let params_of = |a: &[String]| -> Result<Params, String> {
+        let scale = match parse_flag(a, "--scale") {
+            Some(s) => s.parse().map_err(|_| format!("bad --scale `{s}`"))?,
+            None => 1,
+        };
+        let variant = match parse_flag(a, "--variant") {
+            Some(v) => v.parse().map_err(|_| format!("bad --variant `{v}`"))?,
+            None => 0,
+        };
+        Ok(Params { scale, variant })
+    };
+
+    match verb {
+        Some("record") => {
+            if let Some(tier) = parse_tier(rest)? {
+                expt::set_exec_tier(tier);
+            }
+            let target = rest
+                .first()
+                .filter(|a| !a.starts_with("--"))
+                .ok_or("usage: strata trace record <workload|all> ...")?;
+            let dir = dir_of(rest);
+            let params = params_of(rest)?;
+            let names: Vec<&str> = if target == "all" {
+                registry().iter().map(|s| s.name).collect()
+            } else {
+                vec![
+                    by_name(target)
+                        .ok_or_else(|| format!("unknown workload `{target}` (try `strata list`)"))?
+                        .name,
+                ]
+            };
+            let mut t = Table::new(
+                format!("recorded {} trace(s) under {}", names.len(), dir.display()),
+                &[
+                    "workload",
+                    "instructions",
+                    "interval",
+                    "points",
+                    "coverage",
+                    "bytes",
+                ],
+            );
+            for name in names {
+                let trace = sampled::record_trace(&dir, name, params)?;
+                // `record_trace` elected and persisted the sidecar;
+                // re-electing here is deterministic, so the printed rows
+                // match the file even if the directory is unwritable.
+                let points = select(&trace);
+                let path = dir.join(sampled::trace_file_name(name, params));
+                let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+                t.row([
+                    name.to_string(),
+                    trace.records.len().to_string(),
+                    trace.interval.to_string(),
+                    points.points.len().to_string(),
+                    format!("{:.1}%", points.coverage() * 100.0),
+                    bytes.to_string(),
+                ]);
+            }
+            println!("{}", t.render_text());
+            Ok(())
+        }
+        Some("info") => {
+            let path = rest
+                .first()
+                .filter(|a| !a.starts_with("--"))
+                .ok_or("usage: strata trace info <file.strace>")?;
+            let info = Trace::info(std::path::Path::new(path)).map_err(|e| e.to_string())?;
+            let mut t = Table::new(format!("trace {path}"), &["field", "value"]);
+            t.row(["workload", &info.workload]);
+            t.row(["scale", &info.scale.to_string()]);
+            t.row(["variant", &info.variant.to_string()]);
+            t.row(["instructions", &info.instructions.to_string()]);
+            t.row(["interval", &info.interval.to_string()]);
+            t.row(["blocks", &info.blocks.to_string()]);
+            t.row(["checksum", &format!("{:#010x}", info.checksum)]);
+            t.row(["baselines", &info.profiles.join(", ")]);
+            t.row(["file bytes", &info.file_bytes.to_string()]);
+            t.row([
+                "bytes/instr",
+                &format!(
+                    "{:.3}",
+                    info.file_bytes as f64 / info.instructions.max(1) as f64
+                ),
+            ]);
+            println!("{}", t.render_text());
+            Ok(())
+        }
+        Some("simpoints") => {
+            let name = rest
+                .first()
+                .filter(|a| !a.starts_with("--"))
+                .ok_or("usage: strata trace simpoints <workload> ...")?;
+            let spec = by_name(name)
+                .ok_or_else(|| format!("unknown workload `{name}` (try `strata list`)"))?;
+            let dir = dir_of(rest);
+            let params = params_of(rest)?;
+            let bundle = sampled::ensure_bundle(&dir, spec.name, params)?;
+            let p = &bundle.points;
+            let mut t = Table::new(
+                format!(
+                    "{}: {} point(s) over {} interval(s) of {} instr ({} phase(s))",
+                    spec.name,
+                    p.points.len(),
+                    p.intervals,
+                    p.interval,
+                    p.k
+                ),
+                &["interval", "weight", "cluster"],
+            );
+            for pt in &p.points {
+                t.row([
+                    pt.interval.to_string(),
+                    pt.weight.to_string(),
+                    pt.cluster.to_string(),
+                ]);
+            }
+            println!("{}", t.render_text());
+            eprintln!(
+                "coverage {:.2}% of {} recorded instruction(s)",
+                p.coverage() * 100.0,
+                p.instructions
+            );
+            Ok(())
+        }
+        _ => Err("usage: strata trace <record|info|simpoints> ... (see `strata` for flags)".into()),
     }
 }
 

@@ -15,6 +15,8 @@
 //! * [`workloads`] — SPEC CINT2000 stand-in programs,
 //! * [`stats`] — tables/series for the experiment binaries,
 //! * [`expt`] — the parallel experiment orchestrator behind `strata bench`,
+//! * [`trace`] — compressed retire-trace recording plus BBV/SimPoint
+//!   phase analysis, the substrate of `strata trace` and `bench --sampled`,
 //! * [`fleet`] — the coordinator/worker pair behind `strata fleet`, for
 //!   spreading a suite run across machines over TCP.
 //!
@@ -33,4 +35,5 @@ pub use strata_fleet as fleet;
 pub use strata_isa as isa;
 pub use strata_machine as machine;
 pub use strata_stats as stats;
+pub use strata_trace as trace;
 pub use strata_workloads as workloads;

@@ -13,8 +13,12 @@
 //! * a per-[`InstrClass`](strata_isa::InstrClass) base cost table,
 //! * set-associative L1 instruction and data cache simulators ([`CacheSim`]),
 //! * a gshare conditional-branch predictor ([`CondPredictor`]),
-//! * a branch target buffer for indirect transfers ([`Btb`]) — profiles may
-//!   have none, modeling era SPARC/MIPS parts with no indirect predictor,
+//! * a pluggable indirect-target predictor ([`TargetPredictor`]): the
+//!   profile's direct-mapped [`Btb`] by default — profiles may have none,
+//!   modeling era SPARC/MIPS parts with no indirect predictor — or, via
+//!   [`PredictorSpec`] (`--predictor`), [`NoPredict`], a set-associative
+//!   LRU BTB ([`SetAssocBtb`]), an ITTAGE-class tagged-geometric target
+//!   predictor ([`Ittage`]), or an [`IdealOracle`],
 //! * a return-address stack ([`Ras`]),
 //! * per-event costs for flags save/restore and traps.
 //!
@@ -43,10 +47,15 @@ mod cache;
 mod model;
 mod predictor;
 mod profile;
+mod target;
 
 pub use cache::{CacheConfig, CacheSim};
 pub use model::{ArchModel, ModelStats};
 pub use predictor::{Btb, CondPredictor, Ras};
 pub use profile::ArchProfile;
+pub use target::{
+    predictor, set_predictor, IdealOracle, Ittage, NoPredict, PredictorParseError, PredictorSpec,
+    SetAssocBtb, TargetPredictor,
+};
 
 pub use strata_machine::RetireEvent;

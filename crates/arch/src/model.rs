@@ -1,7 +1,8 @@
 use strata_isa::{ControlKind, InstrClass};
 use strata_machine::{ExecutionObserver, RetireEvent};
 
-use crate::{ArchProfile, Btb, CacheSim, CondPredictor, Ras};
+use crate::target::{PredictorSpec, TargetPredictor};
+use crate::{ArchProfile, CacheSim, CondPredictor, Ras};
 
 /// Detailed cycle and event accounting produced by an [`ArchModel`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -53,7 +54,10 @@ pub struct ArchModel {
     icache: CacheSim,
     dcache: CacheSim,
     cond: CondPredictor,
-    btb: Btb,
+    /// Indirect-target predictor — the active [`PredictorSpec`] model.
+    /// [`PredictorSpec::Legacy`] (the default) is the profile's own
+    /// direct-mapped BTB, keeping historical charge streams bit-identical.
+    target: Box<dyn TargetPredictor>,
     ras: Ras,
     stats: ModelStats,
 }
@@ -81,8 +85,17 @@ fn class_cost(p: &ArchProfile, class: InstrClass) -> (u64, u64) {
 }
 
 impl ArchModel {
-    /// Creates a cold model for the given profile.
+    /// Creates a cold model for the given profile, using the process-wide
+    /// predictor selection ([`crate::predictor`]; [`PredictorSpec::Legacy`]
+    /// unless `--predictor`/`STRATA_PREDICTOR` chose otherwise).
     pub fn new(profile: ArchProfile) -> ArchModel {
+        ArchModel::with_predictor_spec(profile, crate::predictor())
+    }
+
+    /// Creates a cold model charging indirect transfers with the given
+    /// predictor spec, ignoring the process-wide selection — how fig22
+    /// sweeps every model in one process.
+    pub fn with_predictor_spec(profile: ArchProfile, spec: PredictorSpec) -> ArchModel {
         let mut class_costs = [(0, 0); InstrClass::COUNT];
         for class in InstrClass::ALL {
             class_costs[class.index()] = class_cost(&profile, class);
@@ -91,12 +104,20 @@ impl ArchModel {
             class_costs,
             icache: CacheSim::new(profile.icache),
             dcache: CacheSim::new(profile.dcache),
-            cond: CondPredictor::new(profile.cond_predictor_bits),
-            btb: Btb::new(profile.btb_entries),
+            cond: CondPredictor::with_history(
+                profile.cond_predictor_bits,
+                profile.cond_history_bits,
+            ),
+            target: spec.build(&profile),
             ras: Ras::new(profile.ras_depth),
             stats: ModelStats::default(),
             profile,
         }
+    }
+
+    /// The active indirect-target predictor's model name.
+    pub fn predictor_name(&self) -> &'static str {
+        self.target.name()
     }
 
     /// The profile this model was built from.
@@ -124,9 +145,9 @@ impl ArchModel {
         &self.dcache
     }
 
-    /// Indirect-transfer mispredictions (BTB + RAS) so far.
+    /// Indirect-transfer mispredictions (target predictor + RAS) so far.
     pub fn indirect_mispredicts(&self) -> u64 {
-        self.btb.mispredicts() + self.ras.mispredicts()
+        self.target.mispredicts() + self.ras.mispredicts()
     }
 
     /// Conditional-branch mispredictions so far.
@@ -179,7 +200,7 @@ impl ArchModel {
                 self.ras.push(ev.pc.wrapping_add(4));
                 if ev.control.indirect {
                     self.stats.indirect_transfers += 1;
-                    if !self.btb.predict_and_update(ev.pc, ev.control.target) {
+                    if !self.target.predict_and_update(ev.pc, ev.control.target) {
                         branch_stall += p.mispredict_penalty;
                     }
                 }
@@ -187,7 +208,7 @@ impl ArchModel {
             ControlKind::Indirect => {
                 self.stats.indirect_transfers += 1;
                 branch_stall += p.taken_branch_cost;
-                if !self.btb.predict_and_update(ev.pc, ev.control.target) {
+                if !self.target.predict_and_update(ev.pc, ev.control.target) {
                     branch_stall += p.mispredict_penalty;
                 }
             }
@@ -366,6 +387,63 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn predictor_spec_moves_charged_cycles() {
+        // The same retire stream under better indirect prediction must
+        // cost fewer cycles; the legacy spec must match the default path.
+        let src = r"
+            li r1, 64
+            li r9, body
+        top:
+            jr r9
+        body:
+            addi r1, r1, -1
+            cmpi r1, 0
+            bne top
+            halt
+        ";
+        let run_spec = |spec: PredictorSpec| {
+            let code = assemble(layout::APP_BASE, src).unwrap();
+            let mut m = Machine::new(layout::DEFAULT_MEM_BYTES);
+            m.write_code(layout::APP_BASE, &code).unwrap();
+            m.cpu_mut().pc = layout::APP_BASE;
+            let mut model = ArchModel::with_predictor_spec(ArchProfile::x86_like(), spec);
+            loop {
+                match m.run(&mut model, 1_000_000).unwrap() {
+                    StepOutcome::Trap(_) => continue,
+                    StepOutcome::Halted => break,
+                    StepOutcome::Running => unreachable!(),
+                }
+            }
+            (model.total_cycles(), model.indirect_mispredicts())
+        };
+        let (ideal_cycles, ideal_miss) = run_spec(PredictorSpec::Ideal);
+        let (none_cycles, none_miss) = run_spec(PredictorSpec::None);
+        let (legacy_cycles, _) = run_spec(PredictorSpec::Legacy);
+        let (default_cycles, _) = {
+            let code = assemble(layout::APP_BASE, src).unwrap();
+            let mut m = Machine::new(layout::DEFAULT_MEM_BYTES);
+            m.write_code(layout::APP_BASE, &code).unwrap();
+            m.cpu_mut().pc = layout::APP_BASE;
+            let mut model = ArchModel::new(ArchProfile::x86_like());
+            loop {
+                match m.run(&mut model, 1_000_000).unwrap() {
+                    StepOutcome::Trap(_) => continue,
+                    StepOutcome::Halted => break,
+                    StepOutcome::Running => unreachable!(),
+                }
+            }
+            (model.total_cycles(), model.indirect_mispredicts())
+        };
+        assert_eq!(ideal_miss, 0);
+        assert_eq!(none_miss, 64, "64 jr retires, none predicted");
+        assert!(ideal_cycles < none_cycles);
+        assert_eq!(
+            legacy_cycles, default_cycles,
+            "ArchModel::new defaults to the legacy spec"
+        );
     }
 
     #[test]

@@ -13,30 +13,70 @@
 pub struct CondPredictor {
     counters: Vec<u8>,
     mask: u32,
+    index_bits: u32,
+    /// Global-history register, masked to its *own* length — historically
+    /// this reused the counter-index mask, silently clamping the history
+    /// to `index_bits` outcomes.
     history: u32,
+    hist_mask: u32,
     hits: u64,
     misses: u64,
 }
 
 impl CondPredictor {
     /// Creates a predictor with `2^index_bits` counters, initialized to
-    /// weakly-not-taken.
+    /// weakly-not-taken, tracking `index_bits` of global history.
     ///
     /// # Panics
     ///
     /// Panics if `index_bits` is 0 or greater than 24.
     pub fn new(index_bits: u32) -> CondPredictor {
+        CondPredictor::with_history(index_bits, index_bits)
+    }
+
+    /// Creates a predictor with `2^index_bits` counters and a
+    /// `history_bits`-deep global history register. Histories longer than
+    /// the index are folded (XOR of `index_bits`-wide chunks) into the
+    /// counter index; `history_bits == 0` degenerates to a bimodal
+    /// (pc-indexed) predictor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index_bits` is 0 or greater than 24, or `history_bits`
+    /// exceeds 32.
+    pub fn with_history(index_bits: u32, history_bits: u32) -> CondPredictor {
         assert!(
             (1..=24).contains(&index_bits),
             "index_bits must be in 1..=24"
         );
+        assert!(history_bits <= 32, "history_bits must be at most 32");
         CondPredictor {
             counters: vec![1; 1 << index_bits],
             mask: (1 << index_bits) - 1,
+            index_bits,
             history: 0,
+            hist_mask: if history_bits >= 32 {
+                u32::MAX
+            } else {
+                (1u32 << history_bits).wrapping_sub(1)
+            },
             hits: 0,
             misses: 0,
         }
+    }
+
+    /// The history register folded down to the counter-index width. When
+    /// the history is no longer than the index this is the history itself,
+    /// preserving the classic gshare indexing bit-for-bit.
+    #[inline]
+    fn folded_history(&self) -> u32 {
+        let mut h = self.history;
+        let mut f = 0;
+        while h != 0 {
+            f ^= h & self.mask;
+            h >>= self.index_bits;
+        }
+        f
     }
 
     /// Returns the prediction for (`pc`, current history), then updates the
@@ -44,7 +84,7 @@ impl CondPredictor {
     /// *prediction was correct*.
     #[inline]
     pub fn predict_and_update(&mut self, pc: u32, taken: bool) -> bool {
-        let idx = (((pc >> 2) ^ self.history) & self.mask) as usize;
+        let idx = (((pc >> 2) ^ self.folded_history()) & self.mask) as usize;
         let counter = self.counters[idx];
         let predicted_taken = counter >= 2;
         let correct = predicted_taken == taken;
@@ -53,7 +93,7 @@ impl CondPredictor {
         } else {
             counter.saturating_sub(1)
         };
-        self.history = ((self.history << 1) | taken as u32) & self.mask;
+        self.history = ((self.history << 1) | taken as u32) & self.hist_mask;
         if correct {
             self.hits += 1;
         } else {
@@ -232,6 +272,69 @@ mod tests {
             p.predict_and_update(pc, true);
         }
         assert_eq!(p.mispredicts(), before);
+    }
+
+    #[test]
+    fn history_length_is_decoupled_from_index_bits() {
+        // Regression: history used to be masked with the counter-index
+        // mask, so a "with more history" configuration silently behaved
+        // like the short one. A period-6 pattern whose 4-outcome windows
+        // are ambiguous (TTTT precedes both T and N) needs more than 4
+        // bits of history to predict perfectly.
+        let pattern = [true, true, true, true, true, false];
+        let run = |mut p: CondPredictor| {
+            for i in 0..600 {
+                p.predict_and_update(0x1000, pattern[i % pattern.len()]);
+            }
+            let warm = p.mispredicts();
+            for i in 600..1200 {
+                p.predict_and_update(0x1000, pattern[i % pattern.len()]);
+            }
+            p.mispredicts() - warm
+        };
+        let short = run(CondPredictor::with_history(8, 4));
+        let long = run(CondPredictor::with_history(8, 12));
+        assert_eq!(long, 0, "12-bit history disambiguates the period");
+        assert!(short > 0, "4-bit history stays ambiguous");
+    }
+
+    #[test]
+    fn zero_history_degenerates_to_bimodal() {
+        // An alternating branch defeats a pure bimodal predictor but is
+        // trivial for any history-indexed one.
+        let run = |mut p: CondPredictor| {
+            for i in 0..200 {
+                p.predict_and_update(0x2000, i % 2 == 0);
+            }
+            let warm = p.mispredicts();
+            for i in 200..400 {
+                p.predict_and_update(0x2000, i % 2 == 0);
+            }
+            p.mispredicts() - warm
+        };
+        assert_eq!(run(CondPredictor::new(10)), 0);
+        assert!(run(CondPredictor::with_history(10, 0)) >= 100);
+    }
+
+    #[test]
+    fn equal_history_matches_legacy_new() {
+        // `new(n)` must stay bit-identical to `with_history(n, n)` — the
+        // profiles set both fields equal precisely so charged cycles do
+        // not move.
+        let mut a = CondPredictor::new(8);
+        let mut b = CondPredictor::with_history(8, 8);
+        let mut state = 0x1234_5678_u32;
+        for _ in 0..5000 {
+            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+            let pc = 0x1000 + (state & 0xFFC);
+            let taken = state & 0x10000 != 0;
+            assert_eq!(
+                a.predict_and_update(pc, taken),
+                b.predict_and_update(pc, taken)
+            );
+        }
+        assert_eq!(a.mispredicts(), b.mispredicts());
+        assert_eq!(a.correct(), b.correct());
     }
 
     #[test]

@@ -58,6 +58,11 @@ pub struct ArchProfile {
     pub ras_depth: usize,
     /// log2 of the gshare conditional predictor table size.
     pub cond_predictor_bits: u32,
+    /// Global-history length (bits) of the conditional predictor. The
+    /// built-in profiles keep it equal to `cond_predictor_bits` — the
+    /// historical coupling — so charged cycles are unchanged; custom
+    /// profiles may lengthen or zero it independently.
+    pub cond_history_bits: u32,
 
     /// Host-side translator cost charged per newly translated instruction.
     pub translation_cost_per_instr: u64,
@@ -100,6 +105,7 @@ impl ArchProfile {
             btb_entries: 512,
             ras_depth: 16,
             cond_predictor_bits: 12,
+            cond_history_bits: 12,
             translation_cost_per_instr: 40,
             translator_lookup_cost: 80,
         }
@@ -139,6 +145,7 @@ impl ArchProfile {
             btb_entries: 0,
             ras_depth: 8,
             cond_predictor_bits: 11,
+            cond_history_bits: 11,
             translation_cost_per_instr: 50,
             translator_lookup_cost: 100,
         }
@@ -176,6 +183,7 @@ impl ArchProfile {
             btb_entries: 64,
             ras_depth: 4,
             cond_predictor_bits: 10,
+            cond_history_bits: 10,
             translation_cost_per_instr: 45,
             translator_lookup_cost: 90,
         }
@@ -217,6 +225,7 @@ impl ArchProfile {
             btb_entries: 512,
             ras_depth: 16,
             cond_predictor_bits: 10,
+            cond_history_bits: 10,
             translation_cost_per_instr: 0,
             translator_lookup_cost: 0,
         }

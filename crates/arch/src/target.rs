@@ -1,0 +1,895 @@
+//! Pluggable indirect-branch target prediction.
+//!
+//! The paper's mechanism rankings were measured on machines whose indirect
+//! predictors ranged from nonexistent (UltraSPARC) to a simple
+//! direct-mapped BTB (Pentium-era x86). Modern cores span a much wider
+//! space — set-associative BTBs with true LRU and ITTAGE-class
+//! tagged-geometric target predictors — and how well the *hardware*
+//! predicts the translated dispatch sequence's final `jmem`/`jr` decides
+//! how much a software mechanism's extra instructions actually cost.
+//!
+//! [`TargetPredictor`] abstracts the model: [`ArchModel`](crate::ArchModel)
+//! charges `mispredict_penalty` whenever the active predictor misses on an
+//! indirect transfer. The zoo:
+//!
+//! * [`NoPredict`] — every indirect transfer mispredicts (era SPARC/MIPS).
+//! * [`Btb`](crate::Btb) — the legacy direct-mapped BTB (the default:
+//!   [`PredictorSpec::Legacy`] builds it from the profile's `btb_entries`,
+//!   so existing configurations stay byte-identical).
+//! * [`SetAssocBtb`] — set-associative geometry with true-LRU replacement,
+//!   the organization BTB reverse-engineering work documents on Arm cores.
+//! * [`Ittage`] — an ITTAGE-class tagged-geometric target predictor:
+//!   a tagless base table plus tagged tables indexed by folded global
+//!   target history of geometrically increasing lengths.
+//! * [`IdealOracle`] — always correct; bounds prediction-limited speedup.
+//!
+//! The active model is selected process-wide by [`set_predictor`] (the CLI
+//! `--predictor` flag) or the `STRATA_PREDICTOR` environment variable
+//! (fleet workers), mirroring the `--tier`/`--sampled` pattern; embedders
+//! that sweep predictors per run use
+//! [`ArchModel::with_predictor_spec`](crate::ArchModel::with_predictor_spec)
+//! instead of the global.
+
+use std::sync::OnceLock;
+
+use crate::{ArchProfile, Btb};
+
+/// An indirect-branch target predictor: one `predict → train` step per
+/// retired indirect transfer, with cumulative hit/miss counters.
+///
+/// Object-safe so [`ArchModel`](crate::ArchModel) can hold any model
+/// behind one box on the retire fast path.
+pub trait TargetPredictor: std::fmt::Debug + Send {
+    /// Predicts the target of the indirect transfer at `pc`, then trains
+    /// on the actual `target`. Returns whether the prediction was correct.
+    fn predict_and_update(&mut self, pc: u32, target: u32) -> bool;
+
+    /// Mispredictions so far.
+    fn mispredicts(&self) -> u64;
+
+    /// Correct predictions so far.
+    fn correct(&self) -> u64;
+
+    /// Short model name for reports.
+    fn name(&self) -> &'static str;
+}
+
+impl TargetPredictor for Btb {
+    fn predict_and_update(&mut self, pc: u32, target: u32) -> bool {
+        Btb::predict_and_update(self, pc, target)
+    }
+
+    fn mispredicts(&self) -> u64 {
+        Btb::mispredicts(self)
+    }
+
+    fn correct(&self) -> u64 {
+        Btb::correct(self)
+    }
+
+    fn name(&self) -> &'static str {
+        "btb"
+    }
+}
+
+/// No indirect-branch prediction: every transfer pays the full mispredict
+/// penalty, as on the era SPARC and MIPS parts the paper measured.
+#[derive(Debug, Default)]
+pub struct NoPredict {
+    misses: u64,
+}
+
+impl TargetPredictor for NoPredict {
+    fn predict_and_update(&mut self, _pc: u32, _target: u32) -> bool {
+        self.misses += 1;
+        false
+    }
+
+    fn mispredicts(&self) -> u64 {
+        self.misses
+    }
+
+    fn correct(&self) -> u64 {
+        0
+    }
+
+    fn name(&self) -> &'static str {
+        "none"
+    }
+}
+
+/// A perfect oracle: every indirect transfer predicts correctly. Renders
+/// the cost a mechanism would have on a machine whose predictor never
+/// stalls it — the bound the ITTAGE-class models approach.
+#[derive(Debug, Default)]
+pub struct IdealOracle {
+    hits: u64,
+}
+
+impl TargetPredictor for IdealOracle {
+    fn predict_and_update(&mut self, _pc: u32, _target: u32) -> bool {
+        self.hits += 1;
+        true
+    }
+
+    fn mispredicts(&self) -> u64 {
+        0
+    }
+
+    fn correct(&self) -> u64 {
+        self.hits
+    }
+
+    fn name(&self) -> &'static str {
+        "ideal"
+    }
+}
+
+/// One set-associative BTB entry.
+#[derive(Debug, Clone, Copy)]
+struct SaEntry {
+    /// Full `pc` tag; `u32::MAX` marks an invalid way (no aligned
+    /// instruction address can equal it).
+    pc: u32,
+    target: u32,
+    /// LRU stamp: monotone per-access counter, smallest = oldest.
+    stamp: u64,
+}
+
+/// A set-associative branch target buffer with true-LRU replacement — the
+/// organization documented by BTB reverse-engineering on Arm cores, where
+/// associativity (not raw capacity) decides how many concurrently-hot
+/// indirect sites survive without conflict evictions.
+#[derive(Debug)]
+pub struct SetAssocBtb {
+    /// `sets * ways` entries, way-major within each set.
+    entries: Vec<SaEntry>,
+    set_mask: usize,
+    ways: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl SetAssocBtb {
+    /// Creates a `sets × ways` BTB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a power of two or `ways` is not in `1..=16`.
+    pub fn new(sets: u32, ways: u32) -> SetAssocBtb {
+        assert!(
+            sets.is_power_of_two(),
+            "set-associative BTB sets must be a power of two"
+        );
+        assert!((1..=16).contains(&ways), "BTB ways must be in 1..=16");
+        SetAssocBtb {
+            entries: vec![
+                SaEntry {
+                    pc: u32::MAX,
+                    target: 0,
+                    stamp: 0,
+                };
+                (sets * ways) as usize
+            ],
+            set_mask: (sets - 1) as usize,
+            ways: ways as usize,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+}
+
+impl TargetPredictor for SetAssocBtb {
+    fn predict_and_update(&mut self, pc: u32, target: u32) -> bool {
+        self.tick += 1;
+        let set = ((pc >> 2) as usize) & self.set_mask;
+        let base = set * self.ways;
+        let ways = &mut self.entries[base..base + self.ways];
+        if let Some(e) = ways.iter_mut().find(|e| e.pc == pc) {
+            let correct = e.target == target;
+            e.target = target;
+            e.stamp = self.tick;
+            if correct {
+                self.hits += 1;
+            } else {
+                self.misses += 1;
+            }
+            return correct;
+        }
+        // Miss: evict the least recently used way (lowest index on ties,
+        // which also consumes invalid ways first — their stamp is 0).
+        let victim = ways
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, e)| (e.stamp, *i))
+            .map(|(i, _)| i)
+            .expect("ways >= 1");
+        ways[victim] = SaEntry {
+            pc,
+            target,
+            stamp: self.tick,
+        };
+        self.misses += 1;
+        false
+    }
+
+    fn mispredicts(&self) -> u64 {
+        self.misses
+    }
+
+    fn correct(&self) -> u64 {
+        self.hits
+    }
+
+    fn name(&self) -> &'static str {
+        "sa-btb"
+    }
+}
+
+/// One ITTAGE tagged-table entry.
+#[derive(Debug, Clone, Copy)]
+struct TaggedEntry {
+    valid: bool,
+    tag: u32,
+    target: u32,
+    /// Saturating confidence (0..=3): replacement target on 0.
+    conf: u8,
+    /// Saturating usefulness (0..=3): allocation victim on 0.
+    useful: u8,
+}
+
+const TAGGED_EMPTY: TaggedEntry = TaggedEntry {
+    valid: false,
+    tag: 0,
+    target: 0,
+    conf: 0,
+    useful: 0,
+};
+
+/// One tagged component with its geometric history length.
+#[derive(Debug)]
+struct TaggedTable {
+    hist_len: u32,
+    entries: Vec<TaggedEntry>,
+    index_bits: u32,
+}
+
+impl TaggedTable {
+    fn index(&self, pc: u32, ghr: u64) -> usize {
+        let folded = fold(ghr, self.hist_len, self.index_bits);
+        (((pc >> 2) ^ folded) & ((1 << self.index_bits) - 1)) as usize
+    }
+
+    fn tag(&self, pc: u32, ghr: u64) -> u32 {
+        // A different fold width decorrelates the tag from the index.
+        let folded = fold(ghr, self.hist_len, ITTAGE_TAG_BITS);
+        ((pc >> 2) ^ (pc >> 9) ^ folded.rotate_left(3)) & ((1 << ITTAGE_TAG_BITS) - 1)
+    }
+}
+
+/// Folds the low `len` bits of `h` into `bits`-wide chunks by XOR.
+fn fold(h: u64, len: u32, bits: u32) -> u32 {
+    let mut h = if len >= 64 {
+        h
+    } else {
+        h & ((1u64 << len) - 1)
+    };
+    let mut f = 0u64;
+    let chunk = (1u64 << bits) - 1;
+    while h != 0 {
+        f ^= h & chunk;
+        h >>= bits;
+    }
+    f as u32
+}
+
+const ITTAGE_TAG_BITS: u32 = 9;
+const ITTAGE_BASE_BITS: u32 = 9;
+const ITTAGE_TABLE_BITS: u32 = 8;
+
+/// An ITTAGE-class indirect target predictor: a tagless direct-mapped base
+/// table plus `tables` tagged components indexed by folded global target
+/// history of geometrically increasing lengths (4, 8, 16, …). The
+/// longest-history tag match provides the prediction; mispredictions
+/// allocate into a longer-history component whose victim entry has gone
+/// un-useful. Correlated target sequences a BTB can never capture (a site
+/// alternating between callees in a repeating pattern) train in a few
+/// hundred transfers.
+#[derive(Debug)]
+pub struct Ittage {
+    /// Direct-mapped `(pc, target)` base pairs (`pc == u32::MAX` invalid).
+    base: Vec<(u32, u32)>,
+    tables: Vec<TaggedTable>,
+    /// Global target-path history: two target bits shifted in per transfer.
+    ghr: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Ittage {
+    /// Creates a predictor with `tables` tagged components (`1..=8`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tables` is not in `1..=8`.
+    pub fn new(tables: u32) -> Ittage {
+        assert!((1..=8).contains(&tables), "ittage tables must be in 1..=8");
+        Ittage {
+            base: vec![(u32::MAX, 0); 1 << ITTAGE_BASE_BITS],
+            tables: (0..tables)
+                .map(|i| TaggedTable {
+                    hist_len: 4 << i,
+                    entries: vec![TAGGED_EMPTY; 1 << ITTAGE_TABLE_BITS],
+                    index_bits: ITTAGE_TABLE_BITS,
+                })
+                .collect(),
+            ghr: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+}
+
+impl TargetPredictor for Ittage {
+    fn predict_and_update(&mut self, pc: u32, target: u32) -> bool {
+        let base_idx = ((pc >> 2) as usize) & (self.base.len() - 1);
+
+        // Provider: the longest-history tagged component whose entry
+        // matches, else the base table.
+        let mut provider: Option<(usize, usize)> = None;
+        for (t, table) in self.tables.iter().enumerate().rev() {
+            let idx = table.index(pc, self.ghr);
+            let e = &table.entries[idx];
+            if e.valid && e.tag == table.tag(pc, self.ghr) {
+                provider = Some((t, idx));
+                break;
+            }
+        }
+        let predicted = match provider {
+            Some((t, idx)) => Some(self.tables[t].entries[idx].target),
+            None => {
+                let (tag, tgt) = self.base[base_idx];
+                (tag == pc).then_some(tgt)
+            }
+        };
+        let correct = predicted == Some(target);
+
+        // Train the provider.
+        match provider {
+            Some((t, idx)) => {
+                let e = &mut self.tables[t].entries[idx];
+                if e.target == target {
+                    e.conf = (e.conf + 1).min(3);
+                    e.useful = (e.useful + 1).min(3);
+                } else {
+                    if e.conf == 0 {
+                        e.target = target;
+                        e.conf = 1;
+                    } else {
+                        e.conf -= 1;
+                    }
+                    e.useful = e.useful.saturating_sub(1);
+                }
+            }
+            None => {
+                self.base[base_idx] = (pc, target);
+            }
+        }
+        // The base learns alongside a mispredicting tagged provider too,
+        // so evictions fall back to the last observed target.
+        if !correct {
+            self.base[base_idx] = (pc, target);
+        }
+
+        // On a misprediction, allocate in one component with a longer
+        // history than the provider (decaying usefulness when every
+        // candidate victim is still protected).
+        if !correct {
+            let from = provider.map_or(0, |(t, _)| t + 1);
+            let mut allocated = false;
+            for t in from..self.tables.len() {
+                let idx = self.tables[t].index(pc, self.ghr);
+                let tag = self.tables[t].tag(pc, self.ghr);
+                let e = &mut self.tables[t].entries[idx];
+                if !e.valid || e.useful == 0 {
+                    *e = TaggedEntry {
+                        valid: true,
+                        tag,
+                        target,
+                        conf: 1,
+                        useful: 0,
+                    };
+                    allocated = true;
+                    break;
+                }
+            }
+            if !allocated {
+                for t in from..self.tables.len() {
+                    let idx = self.tables[t].index(pc, self.ghr);
+                    let e = &mut self.tables[t].entries[idx];
+                    e.useful = e.useful.saturating_sub(1);
+                }
+            }
+        }
+
+        // Shift two bits of the resolved target into the path history —
+        // folded from the whole word, so any pair of distinct targets
+        // produces distinct history symbols (aligned targets share their
+        // low bits).
+        self.ghr = (self.ghr << 2) | (fold((target >> 2) as u64, 32, 2) as u64);
+
+        if correct {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+        correct
+    }
+
+    fn mispredicts(&self) -> u64 {
+        self.misses
+    }
+
+    fn correct(&self) -> u64 {
+        self.hits
+    }
+
+    fn name(&self) -> &'static str {
+        "ittage"
+    }
+}
+
+/// A `--predictor` specification: which [`TargetPredictor`] the cost model
+/// charges indirect transfers with.
+///
+/// Grammar (see [`PredictorSpec::parse`]):
+///
+/// ```text
+/// legacy | none | ideal | btb:<entries> | btb:<sets>x<ways> | ittage[:<tables>]
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredictorSpec {
+    /// The profile's own direct-mapped BTB (`btb_entries`) — the default;
+    /// byte-identical to the pre-predictor-layer cost model.
+    Legacy,
+    /// No indirect prediction at all, regardless of profile.
+    None,
+    /// Perfect prediction, regardless of profile.
+    Ideal,
+    /// A direct-mapped BTB of the given size (overrides the profile).
+    Btb {
+        /// Entries (0 = none, else a power of two `1..=65536`).
+        entries: u32,
+    },
+    /// A set-associative BTB with true-LRU replacement.
+    SetAssoc {
+        /// Sets (power of two `1..=65536`).
+        sets: u32,
+        /// Ways (`1..=16`).
+        ways: u32,
+    },
+    /// An ITTAGE-class tagged-geometric target predictor.
+    Ittage {
+        /// Tagged components (`1..=8`).
+        tables: u32,
+    },
+}
+
+/// A `--predictor` parse failure, with the byte span of the offending
+/// token inside the original spec (for caret diagnostics).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PredictorParseError {
+    /// What was wrong.
+    pub msg: String,
+    /// Byte offset of the offending token.
+    pub start: usize,
+    /// Byte length of the offending token (at least 1).
+    pub len: usize,
+}
+
+impl PredictorParseError {
+    fn new(msg: impl Into<String>, start: usize, len: usize) -> PredictorParseError {
+        PredictorParseError {
+            msg: msg.into(),
+            start,
+            len: len.max(1),
+        }
+    }
+}
+
+impl std::fmt::Display for PredictorParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for PredictorParseError {}
+
+fn parse_num(s: &str, what: &str, at: usize) -> Result<u32, PredictorParseError> {
+    if s.is_empty() {
+        return Err(PredictorParseError::new(format!("missing {what}"), at, 1));
+    }
+    if !s.bytes().all(|b| b.is_ascii_digit()) {
+        return Err(PredictorParseError::new(
+            format!("{what} must be a number, got '{s}'"),
+            at,
+            s.len(),
+        ));
+    }
+    s.parse::<u32>()
+        .map_err(|_| PredictorParseError::new(format!("{what} '{s}' out of range"), at, s.len()))
+}
+
+impl PredictorSpec {
+    /// Parses a `--predictor` spec. Errors carry the offending token's
+    /// span for caret diagnostics.
+    pub fn parse(spec: &str) -> Result<PredictorSpec, PredictorParseError> {
+        let (head, arg) = match spec.find(':') {
+            Some(i) => (&spec[..i], Some((&spec[i + 1..], i + 1))),
+            None => (spec, None),
+        };
+        let no_arg = |v: PredictorSpec| match arg {
+            Some((a, at)) => Err(PredictorParseError::new(
+                format!("'{head}' takes no argument"),
+                at,
+                a.len(),
+            )),
+            None => Ok(v),
+        };
+        match head {
+            "legacy" => no_arg(PredictorSpec::Legacy),
+            "none" => no_arg(PredictorSpec::None),
+            "ideal" => no_arg(PredictorSpec::Ideal),
+            "btb" => {
+                let (a, at) = arg.ok_or_else(|| {
+                    PredictorParseError::new(
+                        "btb needs a size: btb:<entries> or btb:<sets>x<ways>",
+                        spec.len(),
+                        1,
+                    )
+                })?;
+                match a.find('x') {
+                    Some(i) => {
+                        let sets = parse_num(&a[..i], "btb sets", at)?;
+                        if !sets.is_power_of_two() || sets > 65536 {
+                            return Err(PredictorParseError::new(
+                                format!("btb sets {sets} must be a power of two in 1..=65536"),
+                                at,
+                                i,
+                            ));
+                        }
+                        let ways = parse_num(&a[i + 1..], "btb ways", at + i + 1)?;
+                        if !(1..=16).contains(&ways) {
+                            return Err(PredictorParseError::new(
+                                format!("btb ways {ways} must be in 1..=16"),
+                                at + i + 1,
+                                a.len() - i - 1,
+                            ));
+                        }
+                        Ok(PredictorSpec::SetAssoc { sets, ways })
+                    }
+                    None => {
+                        let entries = parse_num(a, "btb entries", at)?;
+                        if entries != 0 && (!entries.is_power_of_two() || entries > 65536) {
+                            return Err(PredictorParseError::new(
+                                format!("btb entries {entries} must be 0 or a power of two in 1..=65536"),
+                                at,
+                                a.len(),
+                            ));
+                        }
+                        Ok(PredictorSpec::Btb { entries })
+                    }
+                }
+            }
+            "ittage" => {
+                let tables = match arg {
+                    Some((a, at)) => {
+                        let t = parse_num(a, "ittage tables", at)?;
+                        if !(1..=8).contains(&t) {
+                            return Err(PredictorParseError::new(
+                                format!("ittage tables {t} must be in 1..=8"),
+                                at,
+                                a.len(),
+                            ));
+                        }
+                        t
+                    }
+                    None => 4,
+                };
+                Ok(PredictorSpec::Ittage { tables })
+            }
+            other => Err(PredictorParseError::new(
+                format!(
+                    "unknown predictor '{other}' (expected legacy, none, ideal, btb:<n>, btb:<s>x<w>, or ittage[:<t>])"
+                ),
+                0,
+                other.len(),
+            )),
+        }
+    }
+
+    /// Canonical stable label — used to salt manifest fingerprints and
+    /// store keys, and as the row label in fig22.
+    pub fn label(&self) -> String {
+        match *self {
+            PredictorSpec::Legacy => "legacy".to_string(),
+            PredictorSpec::None => "none".to_string(),
+            PredictorSpec::Ideal => "ideal".to_string(),
+            PredictorSpec::Btb { entries } => format!("btb:{entries}"),
+            PredictorSpec::SetAssoc { sets, ways } => format!("btb:{sets}x{ways}"),
+            PredictorSpec::Ittage { tables } => format!("ittage:{tables}"),
+        }
+    }
+
+    /// Builds the predictor this spec selects under `profile`.
+    pub fn build(&self, profile: &ArchProfile) -> Box<dyn TargetPredictor> {
+        match *self {
+            PredictorSpec::Legacy => Box::new(Btb::new(profile.btb_entries)),
+            PredictorSpec::None => Box::new(NoPredict::default()),
+            PredictorSpec::Ideal => Box::new(IdealOracle::default()),
+            PredictorSpec::Btb { entries } => Box::new(Btb::new(entries)),
+            PredictorSpec::SetAssoc { sets, ways } => Box::new(SetAssocBtb::new(sets, ways)),
+            PredictorSpec::Ittage { tables } => Box::new(Ittage::new(tables)),
+        }
+    }
+}
+
+static PREDICTOR: OnceLock<PredictorSpec> = OnceLock::new();
+
+/// Selects the process-wide predictor model. First caller wins (matching
+/// `--tier`/`--sampled` semantics); call before any [`ArchModel`]
+/// construction. The CLI forwards `--predictor` here.
+///
+/// [`ArchModel`]: crate::ArchModel
+pub fn set_predictor(spec: PredictorSpec) {
+    let _ = PREDICTOR.set(spec);
+}
+
+/// The process-wide predictor spec: whatever [`set_predictor`] installed,
+/// else the `STRATA_PREDICTOR` environment variable (how fleet workers
+/// inherit the coordinator's mode), else [`PredictorSpec::Legacy`].
+///
+/// # Panics
+///
+/// Panics if `STRATA_PREDICTOR` is set but unparsable.
+pub fn predictor() -> PredictorSpec {
+    *PREDICTOR.get_or_init(|| match std::env::var("STRATA_PREDICTOR") {
+        Ok(s) => PredictorSpec::parse(&s)
+            .unwrap_or_else(|e| panic!("bad STRATA_PREDICTOR value '{s}': {e}")),
+        Err(_) => PredictorSpec::Legacy,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// SplitMix64 — deterministic stream for property tests.
+    struct Rng(u64);
+
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    /// A synthetic indirect-branch trace: `sites` branch pcs, each with a
+    /// target set whose element is chosen by a per-site repeating pattern.
+    fn synthetic_trace(seed: u64, len: usize) -> Vec<(u32, u32)> {
+        let mut rng = Rng(seed);
+        let sites: Vec<(u32, Vec<u32>, usize)> = (0..8)
+            .map(|i| {
+                let pc = 0x1000 + i * 0x40;
+                let arity = 1 + (rng.next() % 4) as usize;
+                let targets: Vec<u32> = (0..arity)
+                    .map(|t| 0x20000 + (t as u32) * 0x100 + i)
+                    .collect();
+                let period = 1 + (rng.next() % 6) as usize;
+                (pc, targets, period)
+            })
+            .collect();
+        let mut out = Vec::with_capacity(len);
+        for step in 0..len {
+            let (pc, targets, period) = &sites[(rng.next() % sites.len() as u64) as usize];
+            out.push((*pc, targets[(step / period) % targets.len()]));
+        }
+        out
+    }
+
+    fn drive(p: &mut dyn TargetPredictor, trace: &[(u32, u32)]) -> (u64, u64) {
+        for &(pc, target) in trace {
+            p.predict_and_update(pc, target);
+        }
+        (p.correct(), p.mispredicts())
+    }
+
+    #[test]
+    fn zoo_is_deterministic_on_seeded_traces() {
+        // Same trace → same counters, for every model in the zoo.
+        for seed in [1u64, 7, 42] {
+            let trace = synthetic_trace(seed, 4000);
+            let specs = [
+                PredictorSpec::None,
+                PredictorSpec::Ideal,
+                PredictorSpec::Btb { entries: 64 },
+                PredictorSpec::SetAssoc { sets: 16, ways: 4 },
+                PredictorSpec::Ittage { tables: 4 },
+            ];
+            for spec in specs {
+                let profile = ArchProfile::x86_like();
+                let a = drive(spec.build(&profile).as_mut(), &trace);
+                let b = drive(spec.build(&profile).as_mut(), &trace);
+                assert_eq!(a, b, "{} not deterministic (seed {seed})", spec.label());
+                assert_eq!(a.0 + a.1, trace.len() as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn no_predict_and_oracle_bound_the_zoo() {
+        let trace = synthetic_trace(3, 2000);
+        let profile = ArchProfile::x86_like();
+        let (none_hits, none_misses) = drive(PredictorSpec::None.build(&profile).as_mut(), &trace);
+        let (ideal_hits, ideal_misses) =
+            drive(PredictorSpec::Ideal.build(&profile).as_mut(), &trace);
+        assert_eq!((none_hits, none_misses), (0, trace.len() as u64));
+        assert_eq!((ideal_hits, ideal_misses), (trace.len() as u64, 0));
+        for spec in [
+            PredictorSpec::Btb { entries: 64 },
+            PredictorSpec::SetAssoc { sets: 16, ways: 4 },
+            PredictorSpec::Ittage { tables: 4 },
+        ] {
+            let (hits, misses) = drive(spec.build(&profile).as_mut(), &trace);
+            assert!(
+                hits <= ideal_hits && misses <= none_misses,
+                "{}",
+                spec.label()
+            );
+        }
+    }
+
+    #[test]
+    fn set_assoc_survives_conflicting_sites_where_direct_mapped_thrashes() {
+        // Four monomorphic sites mapping to the same set: a 4-way BTB keeps
+        // all of them; a direct-mapped table of the same capacity evicts on
+        // every access (all four collide in one entry modulo 4... use 4
+        // sets so pcs 0x1000,0x1010,... stride to the same set index).
+        let sets = 4u32;
+        let pcs: Vec<u32> = (0..4).map(|i| 0x1000 + i * (sets * 4)).collect();
+        let mut sa = SetAssocBtb::new(sets, 4);
+        let mut dm = Btb::new(sets * 4); // same capacity, direct mapped
+        for _ in 0..64 {
+            for &pc in &pcs {
+                TargetPredictor::predict_and_update(&mut sa, pc, pc + 0x100);
+                dm.predict_and_update(pc, pc + 0x100);
+            }
+        }
+        // After the 4 cold misses the set-associative table never misses.
+        assert_eq!(TargetPredictor::mispredicts(&sa), 4);
+        // The direct-mapped table of equal capacity conflicts: pcs stride
+        // by sets*4 bytes = 4 entries apart in a 16-entry table, so they
+        // coexist there — widen the stride to force aliasing instead.
+        let alias_pcs: Vec<u32> = (0..4).map(|i| 0x1000 + i * (sets * 4 * 16)).collect();
+        let mut dm2 = Btb::new(sets * 4);
+        let mut sa2 = SetAssocBtb::new(sets, 4);
+        for _ in 0..64 {
+            for &pc in &alias_pcs {
+                dm2.predict_and_update(pc, pc + 0x100);
+                TargetPredictor::predict_and_update(&mut sa2, pc, pc + 0x100);
+            }
+        }
+        assert_eq!(
+            TargetPredictor::mispredicts(&sa2),
+            4,
+            "4 ways hold 4 aliases"
+        );
+        assert!(
+            dm2.mispredicts() > 200,
+            "direct-mapped aliases thrash: {}",
+            dm2.mispredicts()
+        );
+    }
+
+    #[test]
+    fn ittage_converges_on_patterned_site_btb_cannot() {
+        // One site alternating A,B,A,B…: the last-target BTB mispredicts
+        // every transfer after warmup; ITTAGE's history components lock on.
+        let pc = 0x2000;
+        let targets = [0x30000u32, 0x30400];
+        let mut btb = Btb::new(512);
+        let mut it = Ittage::new(4);
+        for i in 0..1000 {
+            let t = targets[i % 2];
+            btb.predict_and_update(pc, t);
+            TargetPredictor::predict_and_update(&mut it, pc, t);
+        }
+        let btb_before = btb.mispredicts();
+        let it_before = TargetPredictor::mispredicts(&it);
+        for i in 1000..1200 {
+            let t = targets[i % 2];
+            btb.predict_and_update(pc, t);
+            TargetPredictor::predict_and_update(&mut it, pc, t);
+        }
+        assert_eq!(btb.mispredicts() - btb_before, 200, "BTB never adapts");
+        assert_eq!(
+            TargetPredictor::mispredicts(&it) - it_before,
+            0,
+            "ITTAGE fully converged"
+        );
+    }
+
+    #[test]
+    fn ittage_trains_monomorphic_site_quickly() {
+        let mut it = Ittage::new(4);
+        for _ in 0..8 {
+            TargetPredictor::predict_and_update(&mut it, 0x4000, 0x50000);
+        }
+        let before = TargetPredictor::mispredicts(&it);
+        for _ in 0..100 {
+            TargetPredictor::predict_and_update(&mut it, 0x4000, 0x50000);
+        }
+        assert_eq!(TargetPredictor::mispredicts(&it), before);
+    }
+
+    #[test]
+    fn spec_parses_and_labels_round_trip() {
+        let cases = [
+            ("legacy", PredictorSpec::Legacy),
+            ("none", PredictorSpec::None),
+            ("ideal", PredictorSpec::Ideal),
+            ("btb:1024", PredictorSpec::Btb { entries: 1024 }),
+            ("btb:0", PredictorSpec::Btb { entries: 0 }),
+            ("btb:256x4", PredictorSpec::SetAssoc { sets: 256, ways: 4 }),
+            ("ittage:6", PredictorSpec::Ittage { tables: 6 }),
+        ];
+        for (s, spec) in cases {
+            assert_eq!(PredictorSpec::parse(s).unwrap(), spec, "{s}");
+            assert_eq!(spec.label(), s, "label round-trips");
+        }
+        assert_eq!(
+            PredictorSpec::parse("ittage").unwrap(),
+            PredictorSpec::Ittage { tables: 4 },
+            "default table count"
+        );
+    }
+
+    #[test]
+    fn spec_errors_carry_spans() {
+        let err = PredictorSpec::parse("btb:12x4").unwrap_err();
+        assert!(err.msg.contains("power of two"), "{}", err.msg);
+        assert_eq!((err.start, err.len), (4, 2));
+
+        let err = PredictorSpec::parse("btb:256xtwo").unwrap_err();
+        assert!(err.msg.contains("must be a number"), "{}", err.msg);
+        assert_eq!((err.start, err.len), (8, 3));
+
+        let err = PredictorSpec::parse("tage").unwrap_err();
+        assert!(err.msg.contains("unknown predictor"), "{}", err.msg);
+        assert_eq!((err.start, err.len), (0, 4));
+
+        let err = PredictorSpec::parse("ideal:3").unwrap_err();
+        assert!(err.msg.contains("takes no argument"), "{}", err.msg);
+        assert_eq!((err.start, err.len), (6, 1));
+
+        let err = PredictorSpec::parse("ittage:9").unwrap_err();
+        assert!(err.msg.contains("1..=8"), "{}", err.msg);
+        assert_eq!((err.start, err.len), (7, 1));
+    }
+
+    #[test]
+    fn legacy_spec_builds_profile_btb() {
+        let profile = ArchProfile::sparc_like();
+        let mut p = PredictorSpec::Legacy.build(&profile);
+        // sparc has no BTB: every transfer misses, exactly like Btb::new(0).
+        assert!(!p.predict_and_update(0x100, 0x200));
+        assert!(!p.predict_and_update(0x100, 0x200));
+        assert_eq!(p.correct(), 0);
+        assert_eq!(p.name(), "btb");
+    }
+}

@@ -22,7 +22,10 @@ use std::time::Instant;
 
 use strata_stats::Json;
 
-use strata_arch::{ArchModel, ArchProfile, Btb, CacheConfig, CacheSim, CondPredictor};
+use strata_arch::{
+    ArchModel, ArchProfile, Btb, CacheConfig, CacheSim, CondPredictor, Ittage, SetAssocBtb,
+    TargetPredictor,
+};
 use strata_asm::assemble;
 use strata_core::{ClassPolicy, Sdt, SdtConfig};
 use strata_isa::{decode, encode, Instr, Reg};
@@ -299,6 +302,21 @@ fn main() {
             black_box(btb.predict_and_update(i * 4, (i % 7) * 64));
         }
     });
+    // The predictor zoo behind `--predictor`: same access pattern as the
+    // legacy BTB row, so the deltas are pure model cost (LRU search for
+    // the set-associative table, folded-history tag lookups for ITTAGE).
+    let mut sa_btb = SetAssocBtb::new(128, 4);
+    b.run("arch/setassoc_btb_update_4096", 4096, || {
+        for i in 0..4096u32 {
+            black_box(sa_btb.predict_and_update(i * 4, (i % 7) * 64));
+        }
+    });
+    let mut ittage = Ittage::new(4);
+    b.run("arch/ittage_update_4096", 4096, || {
+        for i in 0..4096u32 {
+            black_box(ittage.predict_and_update(i * 4, (i % 7) * 64));
+        }
+    });
 
     // Translation and end-to-end.
     let gcc = (by_name("gcc").unwrap().build)(&Params::default());
@@ -333,7 +351,15 @@ fn main() {
         };
         c
     };
-    let strategies: [(&str, SdtConfig); 7] = [
+    let predictive = {
+        let mut c = SdtConfig::ibtc_inline(512);
+        c.policy.jump = ClassPolicy::Predictive {
+            sieve_buckets: 512,
+            probation: 64,
+        };
+        c
+    };
+    let strategies: [(&str, SdtConfig); 8] = [
         ("emit/reentry_32sites", SdtConfig::reentry()),
         ("emit/ibtc_inline_32sites", SdtConfig::ibtc_inline(512)),
         ("emit/ibtc_2way_32sites", two_way),
@@ -352,6 +378,7 @@ fn main() {
         }),
         ("emit/sieve_32sites", SdtConfig::sieve(512)),
         ("emit/adaptive_32sites", adaptive),
+        ("emit/predictive_32sites", predictive),
     ];
     for (name, cfg) in strategies {
         b.run(name, 32, || {

@@ -131,6 +131,18 @@ pub enum ClassPolicy {
         /// the sieve (`1..=64`).
         sieve_arity: u32,
     },
+    /// Trap every dispatch during a bounded observation window to tally
+    /// exact per-target frequencies, then re-emit the site as a sieve
+    /// probe whose stanza chains are installed hottest-target-first —
+    /// the predictor-aware ordering a hardware BTB cannot provide (it
+    /// caches the dispatch's final indirect jump, not the compare
+    /// ladder in front of it).
+    Predictive {
+        /// Buckets of the shared sieve (power of two, `2..=65536`).
+        sieve_buckets: u32,
+        /// Dispatches observed per site before promotion (`1..=65536`).
+        probation: u32,
+    },
 }
 
 /// Maps each branch class to a strategy independently. Returns are
@@ -364,6 +376,18 @@ impl SdtConfig {
                         });
                     }
                 }
+                ClassPolicy::Predictive {
+                    sieve_buckets,
+                    probation,
+                } => {
+                    check("predictive sieve buckets", sieve_buckets)?;
+                    if !(1..=65536).contains(&probation) {
+                        return Err(SdtError::BadConfig {
+                            what: "predictive probation",
+                            detail: format!("{probation} must be in 1..=65536"),
+                        });
+                    }
+                }
             }
         }
         Ok(())
@@ -440,6 +464,10 @@ impl SdtConfig {
             } => Some(format!(
                 "adaptive({ibtc_entries},{sieve_buckets},{sieve_arity})"
             )),
+            ClassPolicy::Predictive {
+                sieve_buckets,
+                probation,
+            } => Some(format!("predictive({sieve_buckets},{probation})")),
         }
     }
 

@@ -96,7 +96,7 @@ pub use meta::{
     StubsMeta, TableKind, TableMeta,
 };
 pub use origin::Origin;
-pub use replay::DispatchReplay;
+pub use replay::{DispatchReplay, PredictorStats};
 pub use report::{ClassReport, MechanismStats, RunReport};
 pub use sdt::Sdt;
 pub use strategy::{mechanism_registry, MechanismInfo};

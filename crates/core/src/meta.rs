@@ -143,6 +143,9 @@ pub enum AdaptiveStageMeta {
     },
     /// Promoted to the binding's shared sieve.
     Sieve,
+    /// Predictive observation: the probe is a bare jump into the site
+    /// miss path while the translator tallies target frequencies.
+    Observe,
 }
 
 /// One adaptive dispatch site.
@@ -310,6 +313,7 @@ impl Sdt {
                         table: TableMeta::from_ref(table, TableKind::IbtcTagged { ways: 1 }),
                     },
                     AdaptiveStage::Sieve => AdaptiveStageMeta::Sieve,
+                    AdaptiveStage::Observe => AdaptiveStageMeta::Observe,
                 },
             })
             .collect();

@@ -21,12 +21,12 @@
 
 use std::collections::HashSet;
 
-use strata_arch::{ArchModel, ArchProfile};
+use strata_arch::{ArchModel, ArchProfile, PredictorSpec, Ras, TargetPredictor};
 use strata_isa::{ControlKind, Instr};
 use strata_machine::observers::CompactRetire;
 use strata_machine::{Memory, Program};
 
-use crate::config::{BranchClass, RetMechanism};
+use crate::config::{BranchClass, ClassPolicy, IbMechanism, IbtcPlacement, RetMechanism};
 use crate::dispatch::ibtc_table_ref;
 use crate::fragment::{FragKind, Site, Terminal};
 use crate::protocol::{bind_sentinel, SITE_NOFILL, SITE_SHARED, SLOT_SITE, SLOT_TARGET};
@@ -54,6 +54,96 @@ pub struct DispatchReplay {
     /// (empty unless the shadow-stack mechanism is configured).
     shadow_slots: Vec<u32>,
     shadow_sp: usize,
+    /// Hardware indirect-target predictor mirror — how sampled mode
+    /// models predictor stalls per transfer class. Keyed by the
+    /// mechanism's dispatch-site shape (see [`shared_dispatch_key`]):
+    /// per-site probe code retires its final indirect transfer at a
+    /// distinct host pc per site (key = the application branch pc),
+    /// while a shared out-of-line routine — and the translator re-entry
+    /// path — funnels every site through one (key = one synthetic pc
+    /// per class). Predictor state survives cache flushes: it models the
+    /// CPU, not the translator.
+    target_pred: Box<dyn TargetPredictor>,
+    /// Whether the jump class dispatches through one shared host-level
+    /// indirect transfer (see `target_pred`).
+    jump_key_shared: bool,
+    /// Same, for the indirect-call class.
+    call_key_shared: bool,
+    /// Return prediction mode (see [`ret_predictor_mode`]).
+    ret_key_shared: Option<bool>,
+    /// Hardware return-address stack mirror (pushes on every call
+    /// terminal, pops on returns), matching the exact model's RAS role.
+    ras: Ras,
+    jump_mispredicts: u64,
+    call_mispredicts: u64,
+    ret_mispredicts: u64,
+}
+
+/// Per-class indirect mispredictions accumulated by the replay's hardware
+/// predictor mirror.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PredictorStats {
+    /// Indirect-jump dispatches the target predictor missed.
+    pub jump_mispredicts: u64,
+    /// Indirect-call dispatches the target predictor missed.
+    pub call_mispredicts: u64,
+    /// Returns the return-address stack missed.
+    pub ret_mispredicts: u64,
+}
+
+impl PredictorStats {
+    /// All classes combined.
+    pub fn total(&self) -> u64 {
+        self.jump_mispredicts + self.call_mispredicts + self.ret_mispredicts
+    }
+}
+
+/// Synthetic host pcs for shared dispatch routines, one per class —
+/// outside the application address range, so they never collide with a
+/// per-site key.
+const SHARED_JUMP_KEY: u32 = 0xFFFF_FF00;
+const SHARED_CALL_KEY: u32 = 0xFFFF_FF04;
+const SHARED_RET_KEY: u32 = 0xFFFF_FF08;
+
+/// Whether `class` dispatches through one shared host-level indirect
+/// transfer under `cfg` — the translator re-entry context switch or an
+/// out-of-line IBTC routine. Inline probes (shared *table* or not),
+/// sieve hash stanzas, and adaptive/predictive sites all emit per-site
+/// probe code whose final indirect transfer has its own host pc.
+fn shared_dispatch_key(cfg: &SdtConfig, class: BranchClass) -> bool {
+    let policy = match class {
+        BranchClass::Jump => cfg.policy.jump,
+        BranchClass::Call => cfg.policy.call,
+        BranchClass::Ret => return false,
+    };
+    let mech = match policy {
+        ClassPolicy::Inherit => cfg.ib,
+        ClassPolicy::Fixed { mech, .. } => mech,
+        ClassPolicy::Adaptive { .. } | ClassPolicy::Predictive { .. } => return false,
+    };
+    match mech {
+        IbMechanism::Reentry => true,
+        IbMechanism::Ibtc { placement, .. } => placement == IbtcPlacement::OutOfLine,
+        IbMechanism::Sieve { .. } => false,
+    }
+}
+
+/// How the hardware mirror predicts returns under `cfg`: `None` means
+/// the return-address stack (fast returns jump straight to the pushed
+/// translated address — the host-level transfer is call/return paired),
+/// `Some(shared)` means the target predictor (the emitted dispatch is an
+/// indirect *jump*, invisible to a hardware RAS), with the same
+/// shared-vs-per-site key split as `shared_dispatch_key`.
+fn ret_predictor_mode(cfg: &SdtConfig) -> Option<bool> {
+    match cfg.ret {
+        RetMechanism::FastReturn => None,
+        RetMechanism::ReturnCache { .. } | RetMechanism::ShadowStack { .. } => Some(false),
+        RetMechanism::AsIb => Some(match cfg.ib {
+            IbMechanism::Reentry => true,
+            IbMechanism::Ibtc { placement, .. } => placement == IbtcPlacement::OutOfLine,
+            IbMechanism::Sieve { .. } => false,
+        }),
+    }
 }
 
 impl DispatchReplay {
@@ -68,14 +158,31 @@ impl DispatchReplay {
         program: &Program,
         profile: ArchProfile,
     ) -> Result<DispatchReplay, SdtError> {
+        DispatchReplay::with_predictor(config, program, profile, strata_arch::predictor())
+    }
+
+    /// Like [`DispatchReplay::new`], with an explicit predictor spec for
+    /// the hardware mirror instead of the process-wide selection (fig22
+    /// sweeps predictors per cell).
+    pub fn with_predictor(
+        config: SdtConfig,
+        program: &Program,
+        profile: ArchProfile,
+        spec: PredictorSpec,
+    ) -> Result<DispatchReplay, SdtError> {
         let sdt = Sdt::new(config, program)?;
         let depth = match sdt.config().ret {
             RetMechanism::ShadowStack { depth } => depth as usize,
             _ => 0,
         };
+        let target_pred = spec.build(&profile);
+        let ras = Ras::new(profile.ras_depth);
+        let jump_key_shared = shared_dispatch_key(sdt.config(), BranchClass::Jump);
+        let call_key_shared = shared_dispatch_key(sdt.config(), BranchClass::Call);
+        let ret_key_shared = ret_predictor_mode(sdt.config());
         Ok(DispatchReplay {
             sdt,
-            model: ArchModel::new(profile),
+            model: ArchModel::with_predictor_spec(profile, spec),
             translator_cycles: 0,
             jump_dispatches: 0,
             call_dispatches: 0,
@@ -84,6 +191,14 @@ impl DispatchReplay {
             sim_sieve: HashSet::new(),
             shadow_slots: vec![0; depth],
             shadow_sp: 0,
+            target_pred,
+            jump_key_shared,
+            call_key_shared,
+            ret_key_shared,
+            ras,
+            jump_mispredicts: 0,
+            call_mispredicts: 0,
+            ret_mispredicts: 0,
         })
     }
 
@@ -176,11 +291,20 @@ impl DispatchReplay {
             }
             Terminal::DirectCall { site, ret_app } => {
                 self.shadow_push(ret_app);
+                self.ras.push(ret_app);
                 self.traverse_exit(site, ev.target)?;
                 self.cur = Some((ev.target, FragKind::Body));
             }
             Terminal::IndirectJump { site } => {
                 self.jump_dispatches += 1;
+                let key = if self.jump_key_shared {
+                    SHARED_JUMP_KEY
+                } else {
+                    ev.pc
+                };
+                if !self.target_pred.predict_and_update(key, ev.target) {
+                    self.jump_mispredicts += 1;
+                }
                 let bind = self.sdt.state.bind_for(BranchClass::Jump);
                 self.dispatch_ib(bind, site, ev.target)?;
                 self.cur = Some((ev.target, FragKind::Body));
@@ -188,11 +312,32 @@ impl DispatchReplay {
             Terminal::IndirectCall { site, ret_app } => {
                 self.call_dispatches += 1;
                 self.shadow_push(ret_app);
+                self.ras.push(ret_app);
+                let key = if self.call_key_shared {
+                    SHARED_CALL_KEY
+                } else {
+                    ev.pc
+                };
+                if !self.target_pred.predict_and_update(key, ev.target) {
+                    self.call_mispredicts += 1;
+                }
                 let bind = self.sdt.state.bind_for(BranchClass::Call);
                 self.dispatch_ib(bind, site, ev.target)?;
                 self.cur = Some((ev.target, FragKind::Body));
             }
-            Terminal::Ret { site } => self.replay_ret(site, ev.target)?,
+            Terminal::Ret { site } => {
+                let hit = match self.ret_key_shared {
+                    None => self.ras.pop_and_check(ev.target),
+                    Some(shared) => {
+                        let key = if shared { SHARED_RET_KEY } else { ev.pc };
+                        self.target_pred.predict_and_update(key, ev.target)
+                    }
+                };
+                if !hit {
+                    self.ret_mispredicts += 1;
+                }
+                self.replay_ret(site, ev.target)?;
+            }
             Terminal::Halt => {
                 return Err(SdtError::ReplayDesync {
                     pc: ev.pc,
@@ -331,6 +476,20 @@ impl DispatchReplay {
             },
             None => shared_word,
         };
+        // A predictive site still observing before this service: if the
+        // service promotes it, the stanzas installed are exactly its
+        // recorded targets — not necessarily this one (the tracked set
+        // is capped).
+        let was_observe = match site {
+            Some(s) => match self.sdt.state.sites[s as usize] {
+                Site::Adaptive { idx, .. } => matches!(
+                    self.sdt.state.adaptive[idx as usize].stage,
+                    AdaptiveStage::Observe
+                ),
+                _ => false,
+            },
+            None => false,
+        };
         let flushed = self.service_miss(target, site_word)?;
         if flushed {
             return Ok(());
@@ -338,7 +497,10 @@ impl DispatchReplay {
         // Mirror stanza installs: a miss serviced by (or promoting into)
         // a sieve appended a chain entry for this target.
         let now_sieve = match site {
-            None => self.sdt.state.binds[bind].strategy.id() == "sieve",
+            None => matches!(
+                self.sdt.state.binds[bind].strategy.id(),
+                "sieve" | "predictive"
+            ),
             Some(s) => match self.sdt.state.sites[s as usize] {
                 Site::Adaptive { idx, .. } => matches!(
                     self.sdt.state.adaptive[idx as usize].stage,
@@ -348,7 +510,21 @@ impl DispatchReplay {
             },
         };
         if now_sieve {
-            self.sim_sieve.insert((bind, target));
+            if was_observe {
+                // The service crossed a predictive promotion: mirror the
+                // pre-installed hottest-first stanzas, which cover this
+                // target only if it made the tracked set.
+                if let Some(s) = site {
+                    if let Site::Adaptive { idx, .. } = self.sdt.state.sites[s as usize] {
+                        let targets = self.sdt.state.adaptive[idx as usize].targets.clone();
+                        for t in targets {
+                            self.sim_sieve.insert((bind, t));
+                        }
+                    }
+                }
+            } else {
+                self.sim_sieve.insert((bind, target));
+            }
         }
         Ok(())
     }
@@ -361,7 +537,7 @@ impl DispatchReplay {
         let mem = self.sdt.machine.mem();
         let hit = match site {
             None => match st.binds[bind].strategy.id() {
-                "sieve" => self.sim_sieve.contains(&(bind, target)),
+                "sieve" | "predictive" => self.sim_sieve.contains(&(bind, target)),
                 _ => {
                     let table = st.binds[bind].table.expect("shared table allocated");
                     probe_tagged(mem, table, target)?
@@ -386,6 +562,9 @@ impl DispatchReplay {
                         AdaptiveStage::Inline { .. } => a.targets.first() == Some(&target),
                         AdaptiveStage::Ibtc { table } => probe_tagged(mem, table, target)?,
                         AdaptiveStage::Sieve => self.sim_sieve.contains(&(bind, target)),
+                        // An observing predictive site traps every
+                        // dispatch by construction.
+                        AdaptiveStage::Observe => false,
                     }
                 }
                 Site::Exit { .. } => {
@@ -520,6 +699,15 @@ impl DispatchReplay {
     /// fragment-map lookups, same accounting as exact mode).
     pub fn translator_cycles(&self) -> u64 {
         self.translator_cycles
+    }
+
+    /// Per-class mispredictions from the hardware predictor mirror.
+    pub fn predictor_stats(&self) -> PredictorStats {
+        PredictorStats {
+            jump_mispredicts: self.jump_mispredicts,
+            call_mispredicts: self.call_mispredicts,
+            ret_mispredicts: self.ret_mispredicts,
+        }
     }
 }
 

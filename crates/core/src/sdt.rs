@@ -333,7 +333,22 @@ impl Sdt {
     /// machine faults (including fuel exhaustion) as
     /// [`SdtError::Machine`].
     pub fn run(&mut self, profile: ArchProfile, fuel: u64) -> Result<RunReport, SdtError> {
-        let mut model = ArchModel::new(profile);
+        self.run_with_model(ArchModel::new(profile), fuel)
+    }
+
+    /// [`Sdt::run`] with an explicit cost model — how fig22 sweeps
+    /// [`strata_arch::PredictorSpec`]s per run without touching the
+    /// process-wide predictor selection:
+    /// `sdt.run_with_model(ArchModel::with_predictor_spec(profile, spec), fuel)`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Sdt::run`].
+    pub fn run_with_model(
+        &mut self,
+        mut model: ArchModel,
+        fuel: u64,
+    ) -> Result<RunReport, SdtError> {
         let mut buckets = Buckets::default();
         let mut translator_cycles = 0u64;
 

@@ -36,7 +36,7 @@ use crate::strategy::{Bind, IbStrategy};
 use crate::tables::TableRef;
 use crate::{Origin, SdtError};
 
-/// Host-side record of one adaptive dispatch site.
+/// Host-side record of one adaptive (or predictive) dispatch site.
 #[derive(Debug)]
 pub(crate) struct AdaptiveSite {
     /// Patchable `jmp` heading the probe; promotion repoints it.
@@ -45,6 +45,16 @@ pub(crate) struct AdaptiveSite {
     /// Distinct application targets observed (bounded by the sieve
     /// threshold — past promotion to the sieve the exact count is moot).
     pub targets: Vec<u32>,
+    /// Per-target dispatch counts, parallel to `targets`. Only the
+    /// predictive strategy maintains these (its observation stage traps
+    /// every dispatch, so they are exact frequencies); adaptive sites
+    /// leave the vector empty.
+    pub counts: Vec<u64>,
+    /// Per-target fragment entries, parallel to `targets` — again only
+    /// maintained by the predictive strategy, which needs them to
+    /// install every observed target's stanza at promotion time. A
+    /// cache flush discards the whole site, so entries never dangle.
+    pub frags: Vec<u32>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -55,6 +65,10 @@ pub(crate) enum AdaptiveStage {
     Ibtc { table: TableRef },
     /// Hashing into the binding's shared sieve.
     Sieve,
+    /// Predictive observation: every dispatch traps to the translator,
+    /// which tallies exact per-target frequencies before promoting the
+    /// site to a frequency-ordered sieve probe.
+    Observe,
 }
 
 #[derive(Debug)]
@@ -146,6 +160,8 @@ impl IbStrategy for Adaptive {
             entry_jmp,
             stage: AdaptiveStage::Inline { tag_li, frag_li },
             targets: Vec::new(),
+            counts: Vec::new(),
+            frags: Vec::new(),
         });
         Ok(())
     }
@@ -201,6 +217,9 @@ impl IbStrategy for Adaptive {
                 // The hash led to an un-installed chain slot for this
                 // target; extend the chain exactly like a shared miss.
                 st.sieve_install(mem, bind, target, frag.entry)?;
+            }
+            AdaptiveStage::Observe => {
+                unreachable!("observation sites belong to the predictive strategy")
             }
         }
         Ok(())

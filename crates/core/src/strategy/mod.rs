@@ -19,6 +19,7 @@ pub(crate) mod adaptive;
 pub(crate) mod asib;
 pub(crate) mod fastret;
 pub(crate) mod ibtc;
+pub(crate) mod predictive;
 pub(crate) mod reentry;
 pub(crate) mod retcache;
 pub(crate) mod shadow;
@@ -54,6 +55,10 @@ pub(crate) enum StrategySpec {
         ibtc_entries: u32,
         sieve_buckets: u32,
         sieve_arity: u32,
+    },
+    Predictive {
+        sieve_buckets: u32,
+        probation: u32,
     },
 }
 
@@ -95,6 +100,13 @@ impl StrategySpec {
                 ibtc_entries,
                 sieve_buckets,
                 sieve_arity,
+            },
+            ClassPolicy::Predictive {
+                sieve_buckets,
+                probation,
+            } => StrategySpec::Predictive {
+                sieve_buckets,
+                probation,
             },
         }
     }
@@ -289,6 +301,13 @@ pub(crate) fn instantiate(spec: StrategySpec) -> Arc<dyn IbStrategy> {
             sieve_buckets,
             sieve_arity,
         }),
+        StrategySpec::Predictive {
+            sieve_buckets,
+            probation,
+        } => Arc::new(predictive::Predictive {
+            sieve_buckets,
+            probation,
+        }),
     }
 }
 
@@ -351,6 +370,11 @@ pub fn mechanism_registry() -> &'static [MechanismInfo] {
             id: "adaptive",
             classes: "jump|call",
             summary: "inline probe promoted to per-site IBTC then sieve as target arity grows",
+        },
+        MechanismInfo {
+            id: "predictive",
+            classes: "jump|call",
+            summary: "observes exact target frequencies, then sieve with hottest-first chains",
         },
         MechanismInfo {
             id: "asib",
@@ -426,7 +450,14 @@ mod tests {
         sorted.dedup();
         assert_eq!(sorted.len(), ids.len());
         for id in [
-            "reentry", "ibtc", "sieve", "adaptive", "retcache", "fastret", "shadow",
+            "reentry",
+            "ibtc",
+            "sieve",
+            "adaptive",
+            "predictive",
+            "retcache",
+            "fastret",
+            "shadow",
         ] {
             assert!(ids.contains(&id), "{id} missing from registry");
         }

@@ -1,0 +1,225 @@
+//! Predictor-aware sieve dispatch: order stanza chains by observed
+//! target frequency instead of discovery order.
+//!
+//! A plain sieve installs compare-and-direct-jump stanzas in the order
+//! targets first miss, so a site whose hottest target shows up late
+//! pays extra compares on every subsequent dispatch. This strategy
+//! spends a short *observation* stage to fix that:
+//!
+//! * Stage 0 (*observe*): the site's probe is just a patchable entry
+//!   `jmp` into the site miss path — every dispatch traps to the
+//!   translator, which tallies exact per-target frequencies (the same
+//!   observed-frequency statistics the adaptive policy's promotion
+//!   thresholds key off, but kept as full counts rather than arities).
+//! * Stage 1 (*sieve*): once `probation` dispatches have been observed,
+//!   the site is re-emitted as a hash probe into the binding's shared
+//!   sieve bucket table, and stanzas for every observed target are
+//!   installed **in descending frequency order** — the sieve appends at
+//!   each chain's tail, so install order *is* probe order, and the
+//!   hottest target sits first in its chain. Targets that first appear
+//!   after promotion extend chains through the normal miss paths.
+//!
+//! The observation stage is bounded, so its trap cost amortizes to
+//! nothing on long runs; the payoff is shorter average chain walks on
+//! polymorphic sites, which is exactly the term a hardware target
+//! predictor does *not* hide (a BTB caches the final indirect jump of
+//! the dispatch sequence, not the compare ladder in front of it).
+//! Sites reuse the adaptive machinery's [`AdaptiveSite`] records and
+//! [`Site::Adaptive`] ids; a cache flush discards every site, so they
+//! re-observe afterwards.
+
+use strata_isa::{Instr, Reg};
+use strata_machine::Memory;
+
+use crate::config::BranchClass;
+use crate::emitter::TableAlloc;
+use crate::fragment::{Fragment, SieveBucket, Site};
+use crate::protocol::SLOT_JUMP_TARGET;
+use crate::sdt::SdtState;
+use crate::strategy::adaptive::{AdaptiveSite, AdaptiveStage};
+use crate::strategy::{Bind, IbStrategy};
+use crate::tables::TableRef;
+use crate::{Origin, SdtError};
+
+/// Cap on distinct targets tracked (and pre-installed) per site; a
+/// megamorphic site's tail targets install through the ordinary sieve
+/// miss path after promotion instead.
+const MAX_OBSERVED: usize = 64;
+
+#[derive(Debug)]
+pub(crate) struct Predictive {
+    pub sieve_buckets: u32,
+    pub probation: u32,
+}
+
+impl IbStrategy for Predictive {
+    fn id(&self) -> &'static str {
+        "predictive"
+    }
+
+    fn describe(&self) -> String {
+        format!("predictive({},{})", self.sieve_buckets, self.probation)
+    }
+
+    fn alloc_fixed(&self, bind: &mut Bind, alloc: &mut TableAlloc) -> Result<(), SdtError> {
+        let base = alloc.alloc(self.sieve_buckets * 4, 0x1_0000)?;
+        bind.table = Some(TableRef {
+            base,
+            mask: self.sieve_buckets - 1,
+            entry_bytes: 4,
+        });
+        Ok(())
+    }
+
+    fn reset(&self, bind: &mut Bind, mem: &mut Memory, miss_glue: u32) -> Result<(), SdtError> {
+        let t = bind.table.expect("predictive sieve allocated");
+        t.fill_all(mem, miss_glue)?;
+        bind.sieve_buckets = vec![SieveBucket::default(); self.sieve_buckets as usize];
+        Ok(())
+    }
+
+    fn emit_probe(
+        &self,
+        st: &mut SdtState,
+        mem: &mut Memory,
+        bind: usize,
+        _class: BranchClass,
+    ) -> Result<(), SdtError> {
+        let d = Origin::Dispatch;
+        // Patchable entry jump falling straight through to the site miss
+        // path: during observation every dispatch traps, which is what
+        // makes the tallied frequencies exact.
+        let entry_jmp = st.cache.addr();
+        st.cache.emit(
+            mem,
+            Instr::Jmp {
+                target: entry_jmp + 4,
+            },
+            d,
+        )?;
+        let idx = st.adaptive.len() as u32;
+        let site = st.new_site(Site::Adaptive {
+            bind: bind as u8,
+            idx,
+        });
+        st.emit_site_miss_path(mem, site)?;
+        st.adaptive.push(AdaptiveSite {
+            entry_jmp,
+            stage: AdaptiveStage::Observe,
+            targets: Vec::new(),
+            counts: Vec::new(),
+            frags: Vec::new(),
+        });
+        Ok(())
+    }
+
+    fn on_shared_miss(
+        &self,
+        st: &mut SdtState,
+        mem: &mut Memory,
+        bind: usize,
+        target: u32,
+        frag_entry: u32,
+    ) -> Result<(), SdtError> {
+        // A promoted probe's hash led to a chain without this target:
+        // extend the chain, exactly like a plain sieve.
+        st.sieve_install(mem, bind, target, frag_entry)
+    }
+
+    fn on_site_miss(
+        &self,
+        st: &mut SdtState,
+        mem: &mut Memory,
+        bind: usize,
+        site: u32,
+        target: u32,
+        frag: Fragment,
+    ) -> Result<(), SdtError> {
+        let Site::Adaptive { idx, .. } = st.sites[site as usize] else {
+            unreachable!("predictive site misses carry an adaptive site id");
+        };
+        let idx = idx as usize;
+        let stage = st.adaptive[idx].stage;
+        match stage {
+            AdaptiveStage::Observe => {
+                let a = &mut st.adaptive[idx];
+                if let Some(i) = a.targets.iter().position(|&t| t == target) {
+                    a.counts[i] += 1;
+                } else if a.targets.len() < MAX_OBSERVED {
+                    a.targets.push(target);
+                    a.counts.push(1);
+                    a.frags.push(frag.entry);
+                }
+                let observed: u64 = a.counts.iter().sum();
+                if observed >= self.probation as u64 {
+                    self.promote(st, mem, bind, idx)?;
+                }
+            }
+            AdaptiveStage::Sieve => {
+                st.sieve_install(mem, bind, target, frag.entry)?;
+            }
+            _ => unreachable!("predictive sites only observe or sieve"),
+        }
+        Ok(())
+    }
+}
+
+impl Predictive {
+    /// Re-emits the site as a sieve hash probe and pre-installs every
+    /// observed target's stanza in descending (count, first-seen) order.
+    /// On [`SdtError::CacheFull`] the site is left unpromoted (the
+    /// caller flushes anyway, which discards the whole site).
+    fn promote(
+        &self,
+        st: &mut SdtState,
+        mem: &mut Memory,
+        bind: usize,
+        idx: usize,
+    ) -> Result<(), SdtError> {
+        let d = Origin::Dispatch;
+        let table = st.binds[bind].table.expect("predictive sieve allocated");
+        let stub = st.cache.addr();
+        st.emit_hash(mem, table, 2)?;
+        st.cache.emit(
+            mem,
+            Instr::Lw {
+                rd: Reg::R2,
+                rs1: Reg::R2,
+                off: 0,
+            },
+            d,
+        )?;
+        st.cache.emit(
+            mem,
+            Instr::Swa {
+                rs: Reg::R2,
+                addr: SLOT_JUMP_TARGET,
+            },
+            d,
+        )?;
+        st.cache.emit(
+            mem,
+            Instr::Jmem {
+                addr: SLOT_JUMP_TARGET,
+            },
+            d,
+        )?;
+        let entry_jmp = st.adaptive[idx].entry_jmp;
+        st.cache
+            .patch(mem, entry_jmp, Instr::Jmp { target: stub }, None)?;
+        // The sieve appends at each chain's tail, so installing in
+        // descending-frequency order puts the hottest target first in
+        // its chain. Ties break on first-seen order for determinism.
+        let a = &st.adaptive[idx];
+        let mut order: Vec<usize> = (0..a.targets.len()).collect();
+        let counts = a.counts.clone();
+        order.sort_by(|&x, &y| counts[y].cmp(&counts[x]).then(x.cmp(&y)));
+        let pairs: Vec<(u32, u32)> = order.iter().map(|&i| (a.targets[i], a.frags[i])).collect();
+        for (target, frag_entry) in pairs {
+            st.sieve_install(mem, bind, target, frag_entry)?;
+        }
+        st.adaptive[idx].stage = AdaptiveStage::Sieve;
+        st.binds[bind].promotions_to_sieve += 1;
+        Ok(())
+    }
+}

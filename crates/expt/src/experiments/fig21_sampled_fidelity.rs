@@ -8,7 +8,10 @@
 //! counters (a full [`DispatchReplay`] over every record — proven equal
 //! to exact execution by the replay-exactness tests) and the **sampled**
 //! estimate with its 95% confidence interval, then reports relative
-//! error, interval coverage, and the work reduction.
+//! error, interval coverage, and the work reduction. The
+//! `pred_mispredicts` row does the same for the hardware-predictor
+//! mirror (under the process-wide [`PredictorSpec`](strata_arch::PredictorSpec)),
+//! gating the predictor-aware cycle charge sampled mode synthesizes.
 //!
 //! The verdict line (`FIDELITY PASS`/`FAIL`) gates CI: every gated
 //! metric must estimate within [`MAX_REL_ERROR`] and inside its printed
@@ -27,7 +30,7 @@ use strata_stats::{Estimate, Table};
 
 use super::Output;
 use crate::cell::CellKey;
-use crate::sampled::{ensure_bundle, estimate_cell, full_trace_counters, sampled_mode};
+use crate::sampled::{ensure_bundle, estimate_cell, full_trace_counters_with_spec, sampled_mode};
 use crate::view::View;
 
 /// CI gate: maximum relative error of any gated dispatch-count estimate.
@@ -125,11 +128,29 @@ pub fn render(view: &View) -> Output {
         for (figure, cfg) in representatives() {
             let cell = estimate_cell(&dir, workload, view.params(), cfg, x86.clone())
                 .unwrap_or_else(|e| panic!("fig21: {e}"));
-            let truth = full_trace_counters(&bundle, workload, view.params(), cfg, x86.clone())
-                .unwrap_or_else(|e| panic!("fig21: {e}"));
+            let spec = strata_arch::predictor();
+            let (truth, pred_truth) = full_trace_counters_with_spec(
+                &bundle,
+                workload,
+                view.params(),
+                cfg,
+                x86.clone(),
+                spec,
+            )
+            .unwrap_or_else(|e| panic!("fig21: {e}"));
             max_work = max_work.max(cell.work_fraction());
             trace_total += cell.trace_records;
             replayed_total += cell.replayed_records;
+            // The predictor-aware cycle charge is linear in the summed
+            // mispredict estimate, so gating it gates the cycles too.
+            let pred_est = Estimate {
+                mean: cell.est.jump_mispredicts.mean
+                    + cell.est.call_mispredicts.mean
+                    + cell.est.ret_mispredicts.mean,
+                ci95: cell.est.jump_mispredicts.ci95
+                    + cell.est.call_mispredicts.ci95
+                    + cell.est.ret_mispredicts.ci95,
+            };
             // Gated metrics: the dispatch counts every figure's overhead
             // model is linear in. Misses ride along as information — they
             // are rarer events with proportionally wider intervals.
@@ -147,6 +168,7 @@ pub fn render(view: &View) -> Output {
                     true,
                 ),
                 ("ib_misses", &cell.est.ib_misses, truth.ib_misses, false),
+                ("pred_mispredicts", &pred_est, pred_truth.total(), true),
             ];
             for (metric, est, exact, gates) in gated {
                 let err = est.rel_error(exact as f64);

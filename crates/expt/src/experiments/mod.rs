@@ -18,6 +18,7 @@ pub mod fig18_mixed_policy;
 pub mod fig19_adaptive_policy;
 pub mod fig20_execution_tiers;
 pub mod fig21_sampled_fidelity;
+pub mod fig22_predictor_reranking;
 pub mod fig2_baseline_overhead;
 pub mod fig3_overhead_breakdown;
 pub mod fig4_ibtc_size_sweep;

@@ -120,6 +120,11 @@ pub fn registry() -> &'static [Experiment] {
             "Sampled-simulation fidelity: estimates vs exact trace replay"
         ),
         experiment!(
+            "fig22",
+            fig22_predictor_reranking,
+            "Mechanism re-ranking across hardware target-predictor models"
+        ),
+        experiment!(
             "table2",
             table2_best_config,
             "Best configuration per architecture"
@@ -140,10 +145,10 @@ mod tests {
     #[test]
     fn ids_are_unique_and_lookup_works() {
         let mut ids: Vec<_> = registry().iter().map(|e| e.id).collect();
-        assert_eq!(ids.len(), 22);
+        assert_eq!(ids.len(), 23);
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 22, "duplicate experiment ids");
+        assert_eq!(ids.len(), 23, "duplicate experiment ids");
         assert!(by_id("table1").is_some());
         assert!(by_id("fig10").is_some());
         assert!(by_id("fig1").is_none());

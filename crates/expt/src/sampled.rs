@@ -33,8 +33,10 @@ use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, OnceLock};
 
-use strata_arch::ArchProfile;
-use strata_core::{ClassReport, DispatchReplay, MechanismStats, RunReport, SdtConfig};
+use strata_arch::{ArchProfile, PredictorSpec};
+use strata_core::{
+    ClassReport, DispatchReplay, MechanismStats, PredictorStats, RunReport, SdtConfig,
+};
 use strata_machine::Program;
 use strata_stats::{stratified_estimate, Estimate, Stratum};
 use strata_trace::{record, select, SimPoints, Trace};
@@ -79,14 +81,23 @@ pub fn sampled_mode() -> Option<&'static Path> {
 }
 
 /// The store/budget key prefix for the current mode: `"sampled/"` when
-/// sampled mode is on, `""` in exact mode. Keeps estimated results and
-/// their cycle budgets fully disjoint from exact ones.
+/// sampled mode is on, plus a `pred-<label>/` component when a
+/// non-legacy [`PredictorSpec`] is selected, `""` in the default exact
+/// mode. Keeps estimated results, predictor-model results, and their
+/// cycle budgets fully disjoint from exact legacy ones.
 pub fn key_prefix() -> &'static str {
-    if sampled_mode().is_some() {
-        "sampled/"
-    } else {
-        ""
-    }
+    static PREFIX: OnceLock<String> = OnceLock::new();
+    PREFIX.get_or_init(|| {
+        let mut s = String::new();
+        if sampled_mode().is_some() {
+            s.push_str("sampled/");
+        }
+        let spec = strata_arch::predictor();
+        if spec != PredictorSpec::Legacy {
+            s.push_str(&format!("pred-{}/", spec.label()));
+        }
+        s
+    })
 }
 
 /// Deterministic sampling interval for a trace of `instructions`
@@ -283,6 +294,12 @@ pub struct CounterEstimates {
     pub rc_misses: Estimate,
     /// Per class row (replay order): (dispatches, misses).
     pub per_class: Vec<(Estimate, Estimate)>,
+    /// Hardware target-predictor mispredicts on indirect jumps.
+    pub jump_mispredicts: Estimate,
+    /// Hardware target-predictor mispredicts on indirect calls.
+    pub call_mispredicts: Estimate,
+    /// Return-address-stack mispredicts on returns.
+    pub ret_mispredicts: Estimate,
 }
 
 /// One estimated cell: the synthesized [`RunReport`] every renderer
@@ -319,6 +336,7 @@ impl SampledCell {
 struct Snap {
     mech: MechanismStats,
     class: Vec<(u64, u64)>,
+    pred: PredictorStats,
 }
 
 fn snap(rp: &DispatchReplay) -> Snap {
@@ -329,11 +347,14 @@ fn snap(rp: &DispatchReplay) -> Snap {
             .iter()
             .map(|c| (c.dispatches, c.misses))
             .collect(),
+        pred: rp.predictor_stats(),
     }
 }
 
 /// Per-interval deltas, in the fixed layout the estimator strata use:
-/// `[ib, jump, call, ret, ib_miss, rc_miss, class0_d, class0_m, ...]`.
+/// `[ib, jump, call, ret, ib_miss, rc_miss, class0_d, class0_m, ...,
+/// jump_mis, call_mis, ret_mis]`. The predictor counters append after
+/// the per-class pairs so every pre-existing index is unchanged.
 fn deltas(before: &Snap, after: &Snap) -> Vec<f64> {
     let d = |a: u64, b: u64| (a - b) as f64;
     let mut v = vec![
@@ -348,6 +369,9 @@ fn deltas(before: &Snap, after: &Snap) -> Vec<f64> {
         v.push(d(*ad, *bd));
         v.push(d(*am, *bm));
     }
+    v.push(d(after.pred.jump_mispredicts, before.pred.jump_mispredicts));
+    v.push(d(after.pred.call_mispredicts, before.pred.call_mispredicts));
+    v.push(d(after.pred.ret_mispredicts, before.pred.ret_mispredicts));
     v
 }
 
@@ -369,6 +393,31 @@ pub fn estimate_cell(
     cfg: SdtConfig,
     profile: ArchProfile,
 ) -> Result<SampledCell, String> {
+    estimate_cell_with_spec(
+        dir,
+        workload,
+        params,
+        cfg,
+        profile,
+        strata_arch::predictor(),
+    )
+}
+
+/// [`estimate_cell`] with an explicit [`PredictorSpec`] — how fig22
+/// sweeps predictor models per cell without touching the process-wide
+/// selection.
+///
+/// # Errors
+///
+/// As [`estimate_cell`].
+pub fn estimate_cell_with_spec(
+    dir: &Path,
+    workload: &str,
+    params: Params,
+    cfg: SdtConfig,
+    profile: ArchProfile,
+    spec: PredictorSpec,
+) -> Result<SampledCell, String> {
     let bundle = ensure_bundle(dir, workload, params)?;
     let program = program_for(workload, params);
     let trace = &bundle.trace;
@@ -377,7 +426,7 @@ pub fn estimate_cell(
     let records = &trace.records;
     let n_intervals = pts.intervals.max(1);
 
-    let mut rp = DispatchReplay::new(cfg, &program, profile.clone())
+    let mut rp = DispatchReplay::with_predictor(cfg, &program, profile.clone(), spec)
         .map_err(|e| format!("{workload}/{}: {e}", cfg.describe()))?;
     let fail = |e: strata_core::SdtError| format!("{workload}/{}: replay: {e}", cfg.describe());
 
@@ -454,6 +503,19 @@ pub fn estimate_cell(
     };
 
     let final_snap = snap(&rp);
+    let zero = Estimate {
+        mean: 0.0,
+        ci95: 0.0,
+    };
+    // Predictor counters sit after the per-class pairs (see `deltas`).
+    let pred_base = 6 + 2 * final_snap.class.len();
+    let pred_estimate = |off: usize| {
+        if pred_base + off < n_counters {
+            estimate(pred_base + off)
+        } else {
+            zero
+        }
+    };
     let est = CounterEstimates {
         ib_dispatches: estimate(0),
         jump_dispatches: estimate(1),
@@ -467,14 +529,13 @@ pub fn estimate_cell(
                 if base + 1 < n_counters {
                     (estimate(base), estimate(base + 1))
                 } else {
-                    let zero = Estimate {
-                        mean: 0.0,
-                        ci95: 0.0,
-                    };
                     (zero, zero)
                 }
             })
             .collect(),
+        jump_mispredicts: pred_estimate(0),
+        call_mispredicts: pred_estimate(1),
+        ret_mispredicts: pred_estimate(2),
     };
 
     let report = synthesize_report(
@@ -553,10 +614,16 @@ fn synthesize_report(
     let glue_cost = p.store_cost + p.alu_cost;
     let dispatches = mech.ib_dispatches + mech.ret_dispatches;
     let misses = mech.ib_misses + mech.rc_misses;
+    // The hardware target predictor's contribution per transfer class:
+    // every mispredicted dispatch-site indirect eats the profile's
+    // flush penalty on top of the analytic dispatch sequence.
+    let indirect_mispredicts = round_u64(&est.jump_mispredicts)
+        + round_u64(&est.call_mispredicts)
+        + round_u64(&est.ret_mispredicts);
     let cycles_by_origin = [
         native.total_cycles,
         native.direct_calls * glue_cost,
-        dispatches * hit_cost,
+        dispatches * hit_cost + indirect_mispredicts * p.mispredict_penalty,
         misses * miss_cost,
         0,
         0,
@@ -586,8 +653,9 @@ fn synthesize_report(
         per_class,
         icache_misses: native.icache_misses,
         dcache_misses: native.dcache_misses,
-        // Branch-predictor interactions are not modeled in sampled mode.
-        indirect_mispredicts: 0,
+        indirect_mispredicts,
+        // Conditional-predictor interactions are not modeled in sampled
+        // mode (the replay carries no per-branch outcome stream).
         cond_mispredicts: 0,
     })
 }
@@ -606,8 +674,34 @@ pub fn full_trace_counters(
     cfg: SdtConfig,
     profile: ArchProfile,
 ) -> Result<MechanismStats, String> {
+    full_trace_counters_with_spec(
+        bundle,
+        workload,
+        params,
+        cfg,
+        profile,
+        strata_arch::predictor(),
+    )
+    .map(|(mech, _)| mech)
+}
+
+/// [`full_trace_counters`] with an explicit [`PredictorSpec`], also
+/// returning the replay's hardware-predictor mirror counters — the
+/// fidelity ground truth for fig22's predictor-aware cycles.
+///
+/// # Errors
+///
+/// As [`full_trace_counters`].
+pub fn full_trace_counters_with_spec(
+    bundle: &Bundle,
+    workload: &str,
+    params: Params,
+    cfg: SdtConfig,
+    profile: ArchProfile,
+    spec: PredictorSpec,
+) -> Result<(MechanismStats, PredictorStats), String> {
     let program = program_for(workload, params);
-    let mut rp = DispatchReplay::new(cfg, &program, profile)
+    let mut rp = DispatchReplay::with_predictor(cfg, &program, profile, spec)
         .map_err(|e| format!("{workload}/{}: {e}", cfg.describe()))?;
     rp.seek(program.entry)
         .map_err(|e| format!("{workload}: {e}"))?;
@@ -615,7 +709,7 @@ pub fn full_trace_counters(
         rp.step(ev)
             .map_err(|e| format!("{workload}/{}: {e}", cfg.describe()))?;
     }
-    Ok(rp.stats())
+    Ok((rp.stats(), rp.predictor_stats()))
 }
 
 /// The sampled-mode twin of [`crate::exec::cell_result`]: native cells

@@ -197,11 +197,17 @@ pub fn work_manifest(filter: Option<&str>, params: Params) -> Result<Vec<CellKey
 /// worker refuses the session instead of silently computing the wrong
 /// grid. Sampled mode salts the fingerprint, so a sampled coordinator
 /// and an exact worker (or vice versa) refuse each other at handshake
-/// instead of mixing estimated and exact results in one store.
+/// instead of mixing estimated and exact results in one store. A
+/// non-legacy `--predictor` selection salts it the same way, so every
+/// fleet member prices cycles under the same target-predictor model.
 pub fn manifest_fingerprint(cells: &[CellKey]) -> u64 {
     let mut joined = String::new();
     if crate::sampled::sampled_mode().is_some() {
         joined.push_str("sampled\n");
+    }
+    let spec = strata_arch::predictor();
+    if spec != strata_arch::PredictorSpec::Legacy {
+        joined.push_str(&format!("predictor {}\n", spec.label()));
     }
     for cell in cells {
         joined.push_str(&cell.key_string());
@@ -525,16 +531,16 @@ mod tests {
 
     #[test]
     fn select_filters_by_substring() {
-        assert_eq!(select(None).len(), 22);
-        assert_eq!(select(Some("")).len(), 22);
+        assert_eq!(select(None).len(), 23);
+        assert_eq!(select(Some("")).len(), 23);
         let tables: Vec<&str> = select(Some("table")).iter().map(|e| e.id).collect();
         assert_eq!(tables, ["table1", "table2"]);
         let picked: Vec<&str> = select(Some("fig4, fig7")).iter().map(|e| e.id).collect();
         assert_eq!(picked, ["fig4", "fig7"]);
         // fig1 is a substring of fig10..fig19.
         assert_eq!(select(Some("fig1")).len(), 10);
-        // fig2 is likewise a substring of fig20 and fig21.
-        assert_eq!(select(Some("fig2")).len(), 3);
+        // fig2 is likewise a substring of fig20..fig22.
+        assert_eq!(select(Some("fig2")).len(), 4);
         assert!(select(Some("nope")).is_empty());
     }
 

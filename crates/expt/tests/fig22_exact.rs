@@ -1,0 +1,52 @@
+//! Exact-mode guarantees of the predictor re-ranking experiment: the
+//! render is deterministic, and at least one mechanism pair re-ranks
+//! across predictor models — the paper's core claim that no mechanism
+//! ranking is predictor-independent.
+
+use strata_expt::{run_suite, OutputFormat, SuiteOptions};
+use strata_workloads::Params;
+
+fn render_fig22() -> String {
+    let opts = SuiteOptions {
+        jobs: 1,
+        filter: Some("fig22".into()),
+        format: OutputFormat::Text,
+        params: Params::default(),
+        cache_dir: None,
+    };
+    run_suite(&opts).expect("fig22 runs").rendered
+}
+
+/// Pulls `N` out of the `RANKING INVERSIONS: N (...)` note.
+fn inversion_count(rendered: &str) -> u64 {
+    let line = rendered
+        .lines()
+        .find(|l| l.starts_with("RANKING INVERSIONS:"))
+        .expect("fig22 prints an inversion note");
+    line.split(':')
+        .nth(1)
+        .expect("count after colon")
+        .split_whitespace()
+        .next()
+        .expect("leading count")
+        .parse()
+        .expect("numeric inversion count")
+}
+
+#[test]
+fn fig22_reranks_mechanisms_across_predictors() {
+    let rendered = render_fig22();
+    assert!(
+        inversion_count(&rendered) >= 1,
+        "no mechanism pair re-ranked across predictor models:\n{rendered}"
+    );
+    // Every predictor model of the sweep must appear as table rows.
+    for label in ["none", "legacy", "btb:128x4", "ittage:4", "ideal"] {
+        assert!(rendered.contains(label), "missing predictor row {label}");
+    }
+}
+
+#[test]
+fn fig22_render_is_deterministic() {
+    assert_eq!(render_fig22(), render_fig22());
+}

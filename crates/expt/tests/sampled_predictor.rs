@@ -1,0 +1,71 @@
+//! Sampled-mode guarantees of the predictor layer, in a dedicated test
+//! binary because sampled mode is a process-wide switch: fig21's
+//! fidelity gate passes with the predictor-mispredict row armed, and
+//! fig22 still re-ranks mechanisms (and renders deterministically) when
+//! its cells are SimPoint estimates instead of full runs.
+//!
+//! Traces record into `CARGO_TARGET_TMPDIR` on first use, so the test
+//! never touches the reference bundles under `results/traces`.
+
+use std::path::PathBuf;
+
+use strata_expt::{run_suite, set_sampled, OutputFormat, SuiteOptions};
+use strata_workloads::Params;
+
+/// Pins sampled mode to a scratch traces directory (first caller wins,
+/// so every test in this binary sees the same directory).
+fn init_sampled() {
+    set_sampled(PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("predictor-traces"));
+}
+
+fn render(filter: &str) -> String {
+    init_sampled();
+    let opts = SuiteOptions {
+        jobs: 1,
+        filter: Some(filter.into()),
+        format: OutputFormat::Text,
+        params: Params::default(),
+        cache_dir: None,
+    };
+    run_suite(&opts).expect("suite runs").rendered
+}
+
+#[test]
+fn fig21_fidelity_gate_passes_with_predictor_row() {
+    let rendered = render("fig21");
+    assert!(
+        rendered.contains("pred_mispredicts"),
+        "fig21 lost its predictor-mispredict fidelity row:\n{rendered}"
+    );
+    assert!(
+        rendered.contains("FIDELITY PASS"),
+        "sampled fidelity gate failed:\n{rendered}"
+    );
+}
+
+#[test]
+fn fig22_reranks_mechanisms_in_sampled_mode() {
+    let rendered = render("fig22");
+    let line = rendered
+        .lines()
+        .find(|l| l.starts_with("RANKING INVERSIONS:"))
+        .expect("fig22 prints an inversion note");
+    let count: u64 = line
+        .split(':')
+        .nth(1)
+        .expect("count after colon")
+        .split_whitespace()
+        .next()
+        .expect("leading count")
+        .parse()
+        .expect("numeric inversion count");
+    assert!(
+        count >= 1,
+        "sampled mode lost the mechanism re-ranking:\n{rendered}"
+    );
+    assert_eq!(
+        rendered,
+        render("fig22"),
+        "sampled render not deterministic"
+    );
+}

@@ -67,21 +67,22 @@ fn main() -> ExitCode {
                  strata list\n\
                  strata run <workload> [--config SPEC] [--ib-policy SPEC] [--arch x86|sparc|mips]\n\
                  \x20          [--scale N] [--instrument] [--cache-limit BYTES] [--dump-cache N]\n\
-                 \x20          [--tier interp|threaded[:M]] [--tier-threshold M]\n\
+                 \x20          [--tier interp|threaded[:M]] [--tier-threshold M] [--predictor SPEC]\n\
                  strata compare <workload> [--arch NAME] [--scale N] [--tier SPEC]\n\
+                 \x20            [--predictor SPEC]\n\
                  strata verify [<workload>] [--config SPEC] [--ib-policy SPEC] [--all]\n\
                  \x20            [--arch NAME] [--scale N] [--format text|json]\n\
                  strata bench [--jobs N] [--filter IDS] [--format text|csv|json]\n\
                  \x20            [--scale N] [--variant N] [--cache] [--no-artifacts]\n\
                  \x20            [--artifacts-dir DIR] [--baseline DIR] [--tolerance PCT]\n\
                  \x20            [--shard I/N] [--list] [--sampled] [--traces DIR]\n\
-                 \x20            [--tier interp|threaded[:M]] [--tier-threshold M]\n\
+                 \x20            [--tier interp|threaded[:M]] [--tier-threshold M] [--predictor SPEC]\n\
                  strata fleet serve [--bind ADDR] [--filter IDS] [--format text|csv|json]\n\
                  \x20            [--scale N] [--variant N] [--cache] [--lease SECS]\n\
                  \x20            [--progress text|json|none] [--no-artifacts]\n\
-                 \x20            [--artifacts-dir DIR] [--sampled] [--traces DIR]\n\
+                 \x20            [--artifacts-dir DIR] [--sampled] [--traces DIR] [--predictor SPEC]\n\
                  strata fleet work --connect ADDR [--name NAME] [--retries N] [--tier SPEC]\n\
-                 \x20            [--sampled] [--traces DIR]\n\
+                 \x20            [--sampled] [--traces DIR] [--predictor SPEC]\n\
                  strata trace record <workload|all> [--scale N] [--variant N]\n\
                  \x20            [--traces DIR] [--tier SPEC]\n\
                  strata trace info <file.strace>\n\
@@ -93,8 +94,10 @@ fn main() -> ExitCode {
                  policy SPECs: jump=sieve:4096,call=ibtc:512x2,ret=retcache:1024\n\
                  \x20             classes jump|call|ret; strategies inherit | reentry\n\
                  \x20             | ibtc:N[x2] | ibtc-outline:N | ibtc-persite:N[x2]\n\
-                 \x20             | sieve:N | adaptive[:ibtc,sieve[,arity]];\n\
-                 \x20             ret: asib | retcache:N | rc:N | fastret | shadow:N"
+                 \x20             | sieve:N | adaptive[:ibtc,sieve[,arity]]\n\
+                 \x20             | predictive[:sieve,probation];\n\
+                 \x20             ret: asib | retcache:N | rc:N | fastret | shadow:N\n\
+                 predictor SPECs: legacy | none | ideal | btb:N | btb:SxW | ittage[:T]"
             );
             ExitCode::from(2)
         }
@@ -117,6 +120,16 @@ fn parse_sampled(args: &[String]) -> Result<(), String> {
                 .unwrap_or_else(|| expt::DEFAULT_TRACES_DIR.into())
                 .into(),
         );
+    }
+    Ok(())
+}
+
+/// Parses `--predictor SPEC` and pins the process-wide target-predictor
+/// model (like `parse_sampled`). Absent the flag, the `STRATA_PREDICTOR`
+/// environment variable applies, then the legacy direct-mapped BTB.
+fn parse_predictor_flag(args: &[String]) -> Result<(), String> {
+    if let Some(spec) = parse_flag(args, "--predictor") {
+        strata_lab::arch::set_predictor(strata_lab::cli::parse_predictor(&spec)?);
     }
     Ok(())
 }
@@ -174,6 +187,7 @@ fn parse_common(args: &[String]) -> Result<CommonArgs, String> {
 
 fn run_cmd(args: &[String]) -> Result<(), String> {
     let common = parse_common(args)?;
+    parse_predictor_flag(args)?;
     let mut cfg = match parse_flag(args, "--config") {
         Some(spec) => parse_config(&spec)?,
         None => SdtConfig::ibtc_inline(4096),
@@ -279,6 +293,7 @@ fn bench_cmd(args: &[String]) -> Result<(), String> {
         expt::set_exec_tier(tier);
     }
     parse_sampled(args)?;
+    parse_predictor_flag(args)?;
     let mut opts = SuiteOptions {
         params: knobs.params(),
         ..SuiteOptions::default()
@@ -443,6 +458,7 @@ fn fleet_cmd(args: &[String]) -> Result<(), String> {
         Some("serve") => {
             let args = &args[1..];
             parse_sampled(args)?;
+            parse_predictor_flag(args)?;
             let knobs = EnvKnobs::from_env();
             let mut serve = fleet::ServeOptions {
                 suite: SuiteOptions {
@@ -532,10 +548,12 @@ fn fleet_cmd(args: &[String]) -> Result<(), String> {
             if let Some(tier) = parse_tier(args)? {
                 expt::set_exec_tier(tier);
             }
-            // Sampled mode must match the coordinator's — the suite
-            // fingerprint is salted by mode, so a mismatched worker is
-            // refused at handshake rather than mixing result kinds.
+            // Sampled mode and predictor model must match the
+            // coordinator's — the suite fingerprint is salted by both, so
+            // a mismatched worker is refused at handshake rather than
+            // mixing result kinds.
             parse_sampled(args)?;
+            parse_predictor_flag(args)?;
             let mut opts = fleet::WorkOptions {
                 connect: parse_flag(args, "--connect")
                     .ok_or("fleet work needs --connect <host:port>")?,
@@ -814,6 +832,7 @@ const VERIFY_SWEEP: &[(&str, &str)] = &[
 
 fn compare_cmd(args: &[String]) -> Result<(), String> {
     let common = parse_common(args)?;
+    parse_predictor_flag(args)?;
     let tier = parse_tier(args)?.unwrap_or(ExecTier::Interp);
     let program = (common.workload.build)(&common.params);
     let native = run_native_tiered(&program, common.profile.clone(), FUEL, tier)

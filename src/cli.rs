@@ -1,6 +1,7 @@
 //! Parsing helpers for the `strata` command-line driver, kept in the
 //! library so they are unit-testable.
 
+use strata_arch::PredictorSpec;
 use strata_core::{
     ClassPolicy, FlagsPolicy, IbMechanism, IbtcPlacement, IbtcScope, RetMechanism, SdtConfig,
 };
@@ -174,13 +175,14 @@ fn point_at(spec: &str, start: usize, len: usize, msg: String) -> String {
 /// Classes: `jump`, `call` (indirect-branch strategies) and `ret`
 /// (return mechanisms). Jump/call strategies: `inherit`, `reentry`,
 /// `ibtc:<entries>[x2]`, `ibtc-outline:<entries>`,
-/// `ibtc-persite:<entries>[x2]`, `sieve:<buckets>`, and
-/// `adaptive[:<ibtc>,<sieve>[,<arity>]]` (defaults `512,1024,8`). Ret
+/// `ibtc-persite:<entries>[x2]`, `sieve:<buckets>`,
+/// `adaptive[:<ibtc>,<sieve>[,<arity>]]` (defaults `512,1024,8`), and
+/// `predictive[:<sieve>,<probation>]` (defaults `1024,64`). Ret
 /// mechanisms: `asib`, `retcache:<entries>` (alias `rc:<entries>`),
 /// `fastret`, `shadow:<depth>`.
 ///
-/// Commas inside `adaptive:...` parameter lists are handled: a segment
-/// without `=` continues the previous assignment.
+/// Commas inside `adaptive:...` / `predictive:...` parameter lists are
+/// handled: a segment without `=` continues the previous assignment.
 ///
 /// # Errors
 ///
@@ -367,6 +369,40 @@ fn parse_class_strategy(strategy: &str, spec: &str, at: usize) -> Result<ClassPo
                 sieve_arity,
             }
         }
+        "predictive" => {
+            let (sieve_buckets, probation) = if sizes.is_empty() {
+                (1024, 64)
+            } else {
+                let mut parts = Vec::new();
+                let mut p_at = sizes_at;
+                for p in sizes.split(',') {
+                    parts.push((p, p_at));
+                    p_at += p.len() + 1;
+                }
+                if parts.len() > 2 {
+                    return Err(point_at(
+                        spec,
+                        parts[2].1,
+                        sizes_at + sizes.len() - parts[2].1,
+                        "too many predictive parameters (at most `<sieve>,<probation>`)".into(),
+                    ));
+                }
+                let s = size(parts[0].0, parts[0].1)?;
+                let Some(&(p, p_at)) = parts.get(1) else {
+                    return Err(point_at(
+                        spec,
+                        sizes_at,
+                        sizes.len(),
+                        "predictive needs `<sieve>,<probation>`".into(),
+                    ));
+                };
+                (s, size(p, p_at)?)
+            };
+            ClassPolicy::Predictive {
+                sieve_buckets,
+                probation,
+            }
+        }
         other => {
             return Err(point_at(
                 spec,
@@ -376,6 +412,25 @@ fn parse_class_strategy(strategy: &str, spec: &str, at: usize) -> Result<ClassPo
             ))
         }
     })
+}
+
+/// Parses a `--predictor` spec into a [`PredictorSpec`]. The grammar
+/// lives in [`PredictorSpec::parse`]; this wrapper renders its
+/// span-carrying errors with the same caret style as `--ib-policy`:
+///
+/// ```text
+/// bad --predictor: sets `12` must be a power of two
+///   btb:12x4
+///       ^^
+/// ```
+///
+/// # Errors
+///
+/// Returns a multi-line message with a caret line pointing at the
+/// offending token.
+pub fn parse_predictor(spec: &str) -> Result<PredictorSpec, String> {
+    PredictorSpec::parse(spec)
+        .map_err(|e| point_at(spec, e.start, e.len, format!("bad --predictor: {}", e.msg)))
 }
 
 /// Parses the `strategy` half of a `ret=` assignment; `at` anchors carets.
@@ -479,6 +534,18 @@ mod tests {
                 "ret=rc:512,call=adaptive:256,512,4",
                 "ibtc(4096,shared,inline)+rc(512)+call=adaptive(256,512,4)",
             ),
+            (
+                "jump=predictive:2048,128",
+                "ibtc(4096,shared,inline)+jump=predictive(2048,128)",
+            ),
+            (
+                "jump=predictive",
+                "ibtc(4096,shared,inline)+jump=predictive(1024,64)",
+            ),
+            (
+                "call=predictive:256,32,ret=rc:512",
+                "ibtc(4096,shared,inline)+rc(512)+call=predictive(256,32)",
+            ),
         ] {
             let mut cfg = SdtConfig::ibtc_inline(4096);
             parse_policy(spec, &mut cfg).unwrap_or_else(|e| panic!("{spec}: {e}"));
@@ -502,6 +569,9 @@ mod tests {
             "jump=sieve:64,jump=sieve:128",
             "ret=sieve:64",
             "ret=frob",
+            "jump=predictive:512",
+            "jump=predictive:1,2,3",
+            "jump=predictive:abc,64",
         ] {
             let mut cfg = SdtConfig::ibtc_inline(4096);
             assert!(
@@ -531,10 +601,65 @@ mod tests {
                 1,
             ),
             ("call=adaptive:64,2x,4", "bad size `2x`", 17, 2),
+            (
+                "jump=predictive:512",
+                "predictive needs `<sieve>,<probation>`",
+                16,
+                3,
+            ),
+            (
+                "jump=predictive:1,2,3",
+                "too many predictive parameters",
+                20,
+                1,
+            ),
+            ("call=predictive:64,many", "bad size `many`", 19, 4),
         ] {
             let mut cfg = SdtConfig::ibtc_inline(4096);
             let err =
                 parse_policy(spec, &mut cfg).expect_err(&format!("`{spec}` must be rejected"));
+            let lines: Vec<&str> = err.lines().collect();
+            assert!(lines[0].contains(msg), "`{spec}`: {err}");
+            assert_eq!(lines[1], format!("  {spec}"), "`{spec}` echoed");
+            assert_eq!(
+                lines[2],
+                format!("  {}{}", " ".repeat(col), "^".repeat(width)),
+                "`{spec}` caret must sit under the offending token:\n{err}"
+            );
+        }
+    }
+
+    #[test]
+    fn predictor_specs_roundtrip_through_label() {
+        for (spec, label) in [
+            ("legacy", "legacy"),
+            ("none", "none"),
+            ("ideal", "ideal"),
+            ("btb:512", "btb:512"),
+            ("btb:256x4", "btb:256x4"),
+            ("ittage", "ittage:4"),
+            ("ittage:6", "ittage:6"),
+        ] {
+            let parsed = parse_predictor(spec).unwrap_or_else(|e| panic!("{spec}: {e}"));
+            assert_eq!(parsed.label(), label, "{spec}");
+        }
+    }
+
+    #[test]
+    fn predictor_errors_point_at_offending_token() {
+        // (spec, expected message fragment, caret column, caret width) —
+        // same diagnostic shape as `--ib-policy` errors above.
+        for (spec, msg, col, width) in [
+            ("frob", "unknown predictor 'frob'", 0, 4),
+            ("legacy:4", "'legacy' takes no argument", 7, 1),
+            ("btb", "btb needs a size", 3, 1),
+            ("btb:12x4", "btb sets 12 must be a power of two", 4, 2),
+            ("btb:256x32", "btb ways 32 must be in 1..=16", 8, 2),
+            ("btb:12", "btb entries 12 must be 0 or a power of two", 4, 2),
+            ("btb:abc", "must be a number, got 'abc'", 4, 3),
+            ("ittage:9", "ittage tables 9 must be in 1..=8", 7, 1),
+        ] {
+            let err = parse_predictor(spec).expect_err(&format!("`{spec}` must be rejected"));
             let lines: Vec<&str> = err.lines().collect();
             assert!(lines[0].contains(msg), "`{spec}`: {err}");
             assert_eq!(lines[1], format!("  {spec}"), "`{spec}` echoed");

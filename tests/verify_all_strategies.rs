@@ -23,6 +23,7 @@ const SINGLE_CONFIGS: &[(&str, &str)] = &[
     ("ibtc:512", "jump=ibtc:512x2,call=ibtc:512x2"),
     ("sieve:4096", ""),
     ("ibtc:512", "jump=adaptive:64,256,4,call=adaptive:64,256,4"),
+    ("ibtc:512", "jump=predictive:256,64,call=predictive:256,64"),
     ("tuned:512,1024", ""),
     ("fastret:4096", ""),
     ("shadow:4096,1024", ""),
@@ -38,6 +39,7 @@ const MIXED_CONFIGS: &[(&str, &str)] = &[
         "tuned:512,1024",
         "jump=sieve:4096,call=ibtc:512x2,ret=shadow:1024",
     ),
+    ("tuned:512,1024", "jump=predictive:1024,64,call=ibtc:512x2"),
 ];
 
 fn config_for(spec: &str, policy: &str) -> SdtConfig {

@@ -118,6 +118,13 @@ pub fn block_stats(
 mod tests {
     use super::*;
 
+    use strata_arch::ArchProfile;
+    use strata_asm::assemble;
+    use strata_core::{FragmentMeta, Sdt, SdtConfig};
+    use strata_machine::{layout, ExecTier, Machine, NullObserver, Program, TierConfig};
+
+    use crate::image::CacheImage;
+
     #[test]
     fn block_stats_counts_leaders_and_edges() {
         let visited: BTreeSet<u32> = [0x100, 0x104, 0x108, 0x200].into_iter().collect();
@@ -127,5 +134,176 @@ mod tests {
         let (blocks, n_edges) = block_stats(&visited, &edges, &[0x100]);
         assert_eq!(blocks, 2, "seed block plus the jump target");
         assert_eq!(n_edges, 3);
+    }
+
+    /// An orphan block — a seed the traversal visited but that has no
+    /// edges in or out — still counts as a block; an edge whose target
+    /// was never visited (e.g. a jump out of the analyzed region) must
+    /// not fabricate a phantom leader.
+    #[test]
+    fn orphan_blocks_and_unvisited_targets() {
+        let visited: BTreeSet<u32> = [0x100, 0x200].into_iter().collect();
+        let edges: BTreeSet<(u32, u32)> = [(0x100, 0x300)].into_iter().collect();
+        let (blocks, n_edges) = block_stats(&visited, &edges, &[0x100, 0x200]);
+        assert_eq!(blocks, 2, "seed + orphan, but no leader at unvisited 0x300");
+        assert_eq!(n_edges, 1);
+        // Degenerate input: nothing visited at all.
+        assert_eq!(block_stats(&BTreeSet::new(), &BTreeSet::new(), &[]), (0, 0));
+    }
+
+    fn captured_image() -> CacheImage {
+        let src = "\
+main:
+    call f
+    li r5, 3
+    trap 0x1
+    halt
+f:
+    addi r4, r4, 1
+    ret
+";
+        let code = assemble(layout::APP_BASE, src).expect("program assembles");
+        let program = Program::new("cfg-edge", code, Vec::new());
+        let mut sdt = Sdt::new(SdtConfig::ibtc_inline(64), &program).expect("sdt constructs");
+        sdt.run(ArchProfile::x86_like(), 1_000_000)
+            .expect("run completes");
+        CacheImage::capture(&sdt)
+    }
+
+    /// A zero-length fragment — metadata naming an entry with no words
+    /// behind it (the cache cursor itself) — must be labeled and seeded
+    /// without panicking anywhere downstream, and must surface as a
+    /// visited dead end rather than a recovered block with contents.
+    #[test]
+    fn zero_length_fragment_is_labeled_but_inert() {
+        let mut img = captured_image();
+        let ghost = img.meta.cache_base + img.meta.cache_used;
+        img.meta.fragments.push(FragmentMeta {
+            app_addr: 0xdead_0000,
+            kind: FragKind::Body,
+            entry: ghost,
+            restore_entry: ghost,
+            body: ghost,
+        });
+        img.meta.fragments.sort_by_key(|f| f.entry);
+        let labels = Labels::build(&img);
+        assert_eq!(labels.at(ghost), Some("frag@0xdead0000"));
+        let flow = crate::dataflow::run(&img, &labels);
+        assert!(
+            flow.visited.contains(&ghost),
+            "the ghost entry is seeded and visited"
+        );
+        assert!(
+            !flow.edges.iter().any(|&(from, _)| from == ghost),
+            "no words behind the entry, so no successors"
+        );
+        // Block recovery treats it as an empty leader, never a panic.
+        let before = block_stats(&flow.visited, &flow.edges, &flow.seeds);
+        assert!(before.0 > 0);
+    }
+
+    /// A superblock whose head is invalidated by self-modifying code
+    /// mid-session: the tier must retranslate against current memory, so
+    /// the exported metadata never contains the stale lowering, and the
+    /// blocks recovered from it stay consistent (pc-anchored slots, one
+    /// leader per exported base).
+    #[test]
+    fn smc_invalidated_superblock_head_is_retranslated() {
+        let old = strata_isa::encode(&strata_isa::Instr::Addi {
+            rd: strata_isa::Reg::R2,
+            rs1: strata_isa::Reg::R2,
+            imm: 3,
+        });
+        let new = strata_isa::encode(&strata_isa::Instr::Addi {
+            rd: strata_isa::Reg::R2,
+            rs1: strata_isa::Reg::R2,
+            imm: 5,
+        });
+        let src = format!(
+            "\
+main:
+    li r1, 40
+loop:
+    addi r1, r1, -1
+    addi r2, r2, 3
+    cmpi r1, 0
+    bne loop
+    cmpi r10, 1
+    beq done
+    li r10, 1
+    li r9, {new}
+    li r8, PATCH
+    sw r9, 0(r8)
+    li r1, 40
+    jmp loop
+done:
+    halt
+"
+        );
+        // Resolve the patch site (the loop-body `addi r2, r2, 3`) from a
+        // first assembly pass, then splice its address in.
+        let probe = assemble(layout::APP_BASE, &src.replace("PATCH", "0")).expect("assembles");
+        let off = probe.iter().position(|&w| w == old).expect("patch site");
+        let patch_addr = layout::APP_BASE + 4 * off as u32;
+        let code = assemble(
+            layout::APP_BASE,
+            &src.replace("PATCH", &patch_addr.to_string()),
+        )
+        .expect("assembles");
+
+        let mut m = Machine::new(layout::DEFAULT_MEM_BYTES);
+        Program::new("cfg-smc", code, Vec::new())
+            .load(&mut m)
+            .expect("loads");
+        // Threshold 3: the patched word is interpreted (and re-
+        // predecoded) before the post-flush promotion, so the rebuilt
+        // superblock extends across the patch site instead of stopping
+        // at the not-yet-decoded boundary.
+        m.set_tier(ExecTier::Threaded(TierConfig {
+            threshold: 3,
+            ..TierConfig::default()
+        }));
+        m.run(&mut NullObserver, 100_000).expect("halts");
+
+        let blocks = m.tier_blocks();
+        assert!(!blocks.is_empty(), "hot loop must be translated");
+        // The stale lowering (imm 3) must be gone everywhere; the slot at
+        // the patched pc, if exported, carries the new immediate.
+        let mut saw_patch_site = false;
+        for b in &blocks {
+            for (i, s) in b.slots.iter().enumerate() {
+                assert_eq!(s.pc, b.base + 4 * i as u32, "slots stay pc-anchored");
+                if s.pc == patch_addr {
+                    match s.op {
+                        strata_machine::LoweredOp::Addi { imm, .. } => {
+                            saw_patch_site = true;
+                            assert_eq!(imm, 5, "stale pre-SMC lowering exported")
+                        }
+                        // A block ending just before the site lowers the
+                        // boundary as a fall-through stub, not the guest
+                        // instruction — that slot says nothing about SMC.
+                        strata_machine::LoweredOp::FallThrough { .. } => {}
+                        ref other => panic!("unexpected lowering {other:?}"),
+                    }
+                }
+            }
+        }
+        assert!(
+            saw_patch_site,
+            "retranslated loop must cover the patch site"
+        );
+        // CFG recovery over the superblock skeleton: one leader per
+        // exported base when seeded with the bases themselves.
+        let visited: BTreeSet<u32> = blocks
+            .iter()
+            .flat_map(|b| b.slots.iter().map(|s| s.pc))
+            .collect();
+        let edges: BTreeSet<(u32, u32)> = blocks
+            .iter()
+            .flat_map(|b| b.slots.windows(2).map(|w| (w[0].pc, w[1].pc)))
+            .collect();
+        let seeds: Vec<u32> = blocks.iter().map(|b| b.base).collect();
+        let (n_blocks, _) = block_stats(&visited, &edges, &seeds);
+        assert_eq!(n_blocks, seeds.len(), "one leader per superblock");
     }
 }

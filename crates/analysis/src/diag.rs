@@ -2,6 +2,12 @@
 
 use strata_stats::Json;
 
+/// Version of the JSON report shape emitted by [`VerifyReport::to_json`]
+/// (and the `strata verify --format json` envelope). Bump on any
+/// field addition, removal, or rename so downstream tooling can detect
+/// report-shape drift.
+pub const SCHEMA_VERSION: u64 = 2;
+
 /// How bad a finding is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Severity {
@@ -73,6 +79,18 @@ pub enum Lint {
     UnreachableAppCode,
     /// A fragment no table entry, link, or static edge references.
     OrphanFragment,
+    /// A lowered tier op is not symbolically equivalent to the guest
+    /// instruction it was translated from (wrong operand, immediate,
+    /// target, or retire-event field).
+    TierLowering,
+    /// A translated superblock violates a structural obligation: slot
+    /// anchoring, terminator placement, fused-pair/shadow agreement, or
+    /// the fuel-boundary resume pc.
+    TierStructure,
+    /// A dispatch glue path dead-ends without reaching an accepted
+    /// landing (fragment entry, application code, registered trap, or
+    /// transfer slot).
+    TransferContract,
 }
 
 impl Lint {
@@ -89,7 +107,10 @@ impl Lint {
             | Lint::BadAppEntry
             | Lint::IndirectExitIntegrity
             | Lint::TableAudit
-            | Lint::UndecodableWord => Severity::Error,
+            | Lint::UndecodableWord
+            | Lint::TierLowering
+            | Lint::TierStructure
+            | Lint::TransferContract => Severity::Error,
             Lint::InconsistentState | Lint::UnknownProvenance | Lint::UnreachableAppCode => {
                 Severity::Warning
             }
@@ -115,6 +136,9 @@ impl Lint {
             Lint::UnknownProvenance => "unknown-provenance",
             Lint::UnreachableAppCode => "unreachable-app-code",
             Lint::OrphanFragment => "orphan-fragment",
+            Lint::TierLowering => "tier-lowering",
+            Lint::TierStructure => "tier-structure",
+            Lint::TransferContract => "transfer-contract",
         }
     }
 }
@@ -237,6 +261,7 @@ impl VerifyReport {
     pub fn to_json(&self) -> Json {
         let st = &self.stats;
         Json::obj([
+            ("schema_version", Json::uint(SCHEMA_VERSION)),
             ("config", Json::str(&self.config)),
             ("clean", Json::Bool(self.is_clean())),
             (

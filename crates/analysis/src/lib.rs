@@ -31,10 +31,15 @@ mod cfg;
 mod dataflow;
 mod diag;
 mod image;
+mod sym;
+mod validate;
 
 pub use cfg::Labels;
-pub use diag::{Diagnostic, Lint, Severity, VerifyReport, VerifyStats};
+pub use diag::{Diagnostic, Lint, Severity, VerifyReport, VerifyStats, SCHEMA_VERSION};
 pub use image::CacheImage;
+pub use validate::{
+    validate_machine_tier, validate_program_tier, validate_tier_blocks, TierReport,
+};
 
 use strata_core::Sdt;
 
@@ -52,6 +57,7 @@ pub fn verify_image(img: &CacheImage) -> VerifyReport {
         diagnostics: flow.diagnostics.clone(),
         stats: VerifyStats::default(),
     };
+    validate::check_transfer_contract(img, &labels, &flow, &mut report);
     audit::run(img, &labels, &flow, &mut report);
     report.finish();
     report

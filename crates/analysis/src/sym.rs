@@ -1,0 +1,713 @@
+//! Symbolic SimRISC semantics for translation validation.
+//!
+//! Two independently written small-step symbolic evaluators live here:
+//!
+//! * [`step_guest`] mirrors the interpreter's reference semantics
+//!   (`Machine::exec` in `strata-machine`) for one guest instruction,
+//! * [`step_op`] mirrors the threaded tier's dispatch loop (`run_ops`)
+//!   for one lowered op plus its stored retire-event template.
+//!
+//! Both execute from the same fresh symbolic state — every register `r`
+//! holds the opaque entry value `Init(r)`, the flags hold `Init` — and
+//! produce a [`SlotSem`]: the post register file, post flags, the single
+//! data access (the only fault source), the store performed, the retire
+//! event the observer would see, the next pc, and the machine outcome.
+//! Expressions are built canonically from each side's *concrete* code,
+//! so syntactic equality of the two `SlotSem`s is exactly per-slot
+//! observational equivalence: same register/flags/memory effects, same
+//! retire event (including patched dynamic fields), same fault
+//! condition (both sides attempt the same access before committing any
+//! state), and same control outcome.
+//!
+//! Conditional branches are path-split: the validator runs both
+//! evaluators under `assume = taken` and `assume = not taken` and
+//! additionally compares the branch predicates themselves ([`Pred`]),
+//! making the per-slot check path-sensitive without enumerating paths
+//! through the block (induction over anchored slots covers those).
+
+use strata_isa::{ControlKind, Instr, InstrClass, Reg};
+use strata_machine::{LoweredCond, LoweredOp as Op, RetireEvent, TierSlotMeta};
+
+/// A word-valued symbolic expression over the slot-entry state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum SymExpr {
+    /// The value register `r` held when the slot was entered.
+    Init(Reg),
+    /// A compile-time constant.
+    Const(u32),
+    /// The entry flags encoded as `Flags::to_bits()` would.
+    InitFlagsBits,
+    /// A binary operation (wrapping/defined semantics per [`BinOp`]).
+    Bin(BinOp, Box<SymExpr>, Box<SymExpr>),
+    /// Sign-extension of the low byte of the operand.
+    SignExt8(Box<SymExpr>),
+    /// The value loaded from `addr`; `len == 1` yields the
+    /// zero-extended byte, `len == 4` the word.
+    Load { addr: Box<SymExpr>, len: u8 },
+}
+
+/// Binary operators (all with SimRISC's defined semantics: wrapping
+/// arithmetic, division by zero yielding `u32::MAX`, remainder by zero
+/// yielding the dividend, shifts taking the operand as-is).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Divu,
+    Remu,
+    And,
+    Or,
+    Xor,
+    Sll,
+    Srl,
+    Sra,
+}
+
+impl SymExpr {
+    pub(crate) fn c(v: u32) -> SymExpr {
+        SymExpr::Const(v)
+    }
+
+    pub(crate) fn bin(op: BinOp, a: SymExpr, b: SymExpr) -> SymExpr {
+        SymExpr::Bin(op, Box::new(a), Box::new(b))
+    }
+
+    pub(crate) fn load(addr: SymExpr, len: u8) -> SymExpr {
+        SymExpr::Load {
+            addr: Box::new(addr),
+            len,
+        }
+    }
+}
+
+/// Symbolic flags state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum SymFlags {
+    /// The flags the slot was entered with.
+    Init,
+    /// `Flags::from_compare(lhs, rhs)`.
+    Compare(SymExpr, SymExpr),
+    /// `Flags::from_bits(word)` (from `popf`).
+    FromBits(SymExpr),
+}
+
+/// A conditional-branch predicate over the flags it evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Pred {
+    Eq,
+    Ne,
+    Lt,
+    Ge,
+    Ltu,
+    Geu,
+}
+
+impl Pred {
+    /// The predicate a guest conditional branch evaluates (per the
+    /// interpreter's `branch` arms).
+    pub(crate) fn of_instr(instr: Instr) -> Option<Pred> {
+        Some(match instr {
+            Instr::Beq { .. } => Pred::Eq,
+            Instr::Bne { .. } => Pred::Ne,
+            Instr::Blt { .. } => Pred::Lt,
+            Instr::Bge { .. } => Pred::Ge,
+            Instr::Bltu { .. } => Pred::Ltu,
+            Instr::Bgeu { .. } => Pred::Geu,
+            _ => return None,
+        })
+    }
+
+    /// The predicate a lowered condition evaluates (per `Cond::eval`).
+    pub(crate) fn of_cond(cond: LoweredCond) -> Pred {
+        match cond {
+            LoweredCond::Eq => Pred::Eq,
+            LoweredCond::Ne => Pred::Ne,
+            LoweredCond::Lt => Pred::Lt,
+            LoweredCond::Ge => Pred::Ge,
+            LoweredCond::Ltu => Pred::Ltu,
+            LoweredCond::Geu => Pred::Geu,
+        }
+    }
+}
+
+/// The retire event as the observer would see it, with dynamic fields
+/// symbolic.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct SymEvent {
+    pub pc: u32,
+    pub instr: Instr,
+    pub class: InstrClass,
+    /// Data access reported: (address, length, is_store).
+    pub mem: Option<(SymExpr, u8, bool)>,
+    pub kind: ControlKind,
+    pub taken: bool,
+    pub target: SymExpr,
+    pub indirect: bool,
+}
+
+/// Where control goes after the slot.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum NextPc {
+    Const(u32),
+    Expr(SymExpr),
+}
+
+/// Machine-level outcome after the slot retires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SlotOutcome {
+    Running,
+    Trap(u16),
+    Halt,
+}
+
+/// Everything observable about one slot's execution from a fresh
+/// symbolic state. Syntactic equality of two `SlotSem`s is per-slot
+/// observational equivalence.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct SlotSem {
+    /// Post-state of the register file (index order).
+    pub regs: [SymExpr; Reg::COUNT],
+    /// Post-state of the flags.
+    pub flags: SymFlags,
+    /// The single data access attempted, if any: (addr, len, is_store).
+    /// Both sides attempt it before committing any state, so equal
+    /// accesses mean equal fault behavior.
+    pub access: Option<(SymExpr, u8, bool)>,
+    /// The store performed, if any: (addr, len, value).
+    pub store: Option<(SymExpr, u8, SymExpr)>,
+    /// The retire event emitted (`None` for the fall-through stub,
+    /// which retires nothing).
+    pub event: Option<SymEvent>,
+    /// The next pc.
+    pub next: NextPc,
+    /// Trap/halt outcome.
+    pub outcome: SlotOutcome,
+}
+
+fn fresh_regs() -> [SymExpr; Reg::COUNT] {
+    std::array::from_fn(|i| SymExpr::Init(Reg::try_from(i as u8).expect("i < 16")))
+}
+
+/// Names the first field in which two slot semantics differ, for
+/// diagnostics. `None` when they are equal.
+pub(crate) fn first_difference(guest: &SlotSem, op: &SlotSem) -> Option<String> {
+    for r in Reg::all() {
+        let (g, o) = (&guest.regs[r.index()], &op.regs[r.index()]);
+        if g != o {
+            return Some(format!("{r} post-value: guest {g:?}, lowered {o:?}"));
+        }
+    }
+    if guest.flags != op.flags {
+        return Some(format!(
+            "flags: guest {:?}, lowered {:?}",
+            guest.flags, op.flags
+        ));
+    }
+    if guest.access != op.access {
+        return Some(format!(
+            "data access: guest {:?}, lowered {:?}",
+            guest.access, op.access
+        ));
+    }
+    if guest.store != op.store {
+        return Some(format!(
+            "store effect: guest {:?}, lowered {:?}",
+            guest.store, op.store
+        ));
+    }
+    match (&guest.event, &op.event) {
+        (Some(g), Some(o)) if g != o => {
+            let field = if g.pc != o.pc {
+                format!("event pc: guest {:#x}, lowered {:#x}", g.pc, o.pc)
+            } else if g.instr != o.instr {
+                format!("event instr: guest {:?}, lowered {:?}", g.instr, o.instr)
+            } else if g.class != o.class {
+                format!("event class: guest {:?}, lowered {:?}", g.class, o.class)
+            } else if g.mem != o.mem {
+                format!("event mem access: guest {:?}, lowered {:?}", g.mem, o.mem)
+            } else if g.kind != o.kind || g.taken != o.taken || g.indirect != o.indirect {
+                format!(
+                    "event control bits: guest {:?}/{}/{}, lowered {:?}/{}/{}",
+                    g.kind, g.taken, g.indirect, o.kind, o.taken, o.indirect
+                )
+            } else {
+                format!(
+                    "event control target: guest {:?}, lowered {:?}",
+                    g.target, o.target
+                )
+            };
+            return Some(field);
+        }
+        (Some(_), None) => return Some("lowered op retires nothing, guest retires".into()),
+        (None, Some(_)) => return Some("lowered op retires, guest retires nothing".into()),
+        _ => {}
+    }
+    if guest.next != op.next {
+        return Some(format!(
+            "next pc: guest {:?}, lowered {:?}",
+            guest.next, op.next
+        ));
+    }
+    if guest.outcome != op.outcome {
+        return Some(format!(
+            "outcome: guest {:?}, lowered {:?}",
+            guest.outcome, op.outcome
+        ));
+    }
+    None
+}
+
+/// Symbolically executes one guest instruction at `pc` per the
+/// interpreter's reference semantics. For conditional branches the
+/// caller supplies the assumed direction in `assume`.
+pub(crate) fn step_guest(pc: u32, instr: Instr, assume: Option<bool>) -> SlotSem {
+    use BinOp::*;
+    use Instr as I;
+    use SymExpr as E;
+
+    let next = pc.wrapping_add(4);
+    let mut sem = SlotSem {
+        regs: fresh_regs(),
+        flags: SymFlags::Init,
+        access: None,
+        store: None,
+        event: None,
+        next: NextPc::Const(next),
+        outcome: SlotOutcome::Running,
+    };
+    let mut ev = SymEvent {
+        pc,
+        instr,
+        class: instr.class(),
+        mem: None,
+        kind: instr.control_kind(),
+        taken: false,
+        target: E::c(next),
+        indirect: false,
+    };
+    let init = |r: Reg| E::Init(r);
+    macro_rules! set {
+        ($rd:expr, $val:expr) => {
+            sem.regs[$rd.index()] = $val
+        };
+    }
+    // The masked register-operand shift amount (`& 31`), exactly as the
+    // interpreter computes it.
+    let masked = |r: Reg| E::bin(And, init(r), E::c(31));
+
+    match instr {
+        I::Add { rd, rs1, rs2 } => set!(rd, E::bin(Add, init(rs1), init(rs2))),
+        I::Sub { rd, rs1, rs2 } => set!(rd, E::bin(Sub, init(rs1), init(rs2))),
+        I::Mul { rd, rs1, rs2 } => set!(rd, E::bin(Mul, init(rs1), init(rs2))),
+        I::Divu { rd, rs1, rs2 } => set!(rd, E::bin(Divu, init(rs1), init(rs2))),
+        I::Remu { rd, rs1, rs2 } => set!(rd, E::bin(Remu, init(rs1), init(rs2))),
+        I::And { rd, rs1, rs2 } => set!(rd, E::bin(And, init(rs1), init(rs2))),
+        I::Or { rd, rs1, rs2 } => set!(rd, E::bin(Or, init(rs1), init(rs2))),
+        I::Xor { rd, rs1, rs2 } => set!(rd, E::bin(Xor, init(rs1), init(rs2))),
+        I::Sll { rd, rs1, rs2 } => set!(rd, E::bin(Sll, init(rs1), masked(rs2))),
+        I::Srl { rd, rs1, rs2 } => set!(rd, E::bin(Srl, init(rs1), masked(rs2))),
+        I::Sra { rd, rs1, rs2 } => set!(rd, E::bin(Sra, init(rs1), masked(rs2))),
+        I::Mov { rd, rs } => set!(rd, init(rs)),
+        I::Addi { rd, rs1, imm } => set!(rd, E::bin(Add, init(rs1), E::c(imm as i32 as u32))),
+        I::Andi { rd, rs1, imm } => set!(rd, E::bin(And, init(rs1), E::c(imm as u32))),
+        I::Ori { rd, rs1, imm } => set!(rd, E::bin(Or, init(rs1), E::c(imm as u32))),
+        I::Xori { rd, rs1, imm } => set!(rd, E::bin(Xor, init(rs1), E::c(imm as u32))),
+        I::Slli { rd, rs1, shamt } => set!(rd, E::bin(Sll, init(rs1), E::c(shamt as u32))),
+        I::Srli { rd, rs1, shamt } => set!(rd, E::bin(Srl, init(rs1), E::c(shamt as u32))),
+        I::Srai { rd, rs1, shamt } => set!(rd, E::bin(Sra, init(rs1), E::c(shamt as u32))),
+        I::Lui { rd, imm } => set!(rd, E::c((imm as u32) << 16)),
+        I::Lw { rd, rs1, off } => {
+            let a = E::bin(Add, init(rs1), E::c(off as i32 as u32));
+            sem.access = Some((a.clone(), 4, false));
+            ev.mem = Some((a.clone(), 4, false));
+            set!(rd, E::load(a, 4));
+        }
+        I::Sw { rs2, rs1, off } => {
+            let a = E::bin(Add, init(rs1), E::c(off as i32 as u32));
+            sem.access = Some((a.clone(), 4, true));
+            ev.mem = Some((a.clone(), 4, true));
+            sem.store = Some((a, 4, init(rs2)));
+        }
+        I::Lb { rd, rs1, off } => {
+            let a = E::bin(Add, init(rs1), E::c(off as i32 as u32));
+            sem.access = Some((a.clone(), 1, false));
+            ev.mem = Some((a.clone(), 1, false));
+            set!(rd, E::SignExt8(Box::new(E::load(a, 1))));
+        }
+        I::Lbu { rd, rs1, off } => {
+            let a = E::bin(Add, init(rs1), E::c(off as i32 as u32));
+            sem.access = Some((a.clone(), 1, false));
+            ev.mem = Some((a.clone(), 1, false));
+            set!(rd, E::load(a, 1));
+        }
+        I::Sb { rs2, rs1, off } => {
+            let a = E::bin(Add, init(rs1), E::c(off as i32 as u32));
+            sem.access = Some((a.clone(), 1, true));
+            ev.mem = Some((a.clone(), 1, true));
+            sem.store = Some((a, 1, init(rs2)));
+        }
+        I::Lwa { rd, addr } => {
+            let a = E::c(addr);
+            sem.access = Some((a.clone(), 4, false));
+            ev.mem = Some((a.clone(), 4, false));
+            set!(rd, E::load(a, 4));
+        }
+        I::Swa { rs, addr } => {
+            let a = E::c(addr);
+            sem.access = Some((a.clone(), 4, true));
+            ev.mem = Some((a.clone(), 4, true));
+            sem.store = Some((a, 4, init(rs)));
+        }
+        I::Push { rs } => {
+            let sp = E::bin(Sub, init(Reg::SP), E::c(4));
+            sem.access = Some((sp.clone(), 4, true));
+            ev.mem = Some((sp.clone(), 4, true));
+            sem.store = Some((sp.clone(), 4, init(rs)));
+            set!(Reg::SP, sp);
+        }
+        I::Pop { rd } => {
+            let sp = init(Reg::SP);
+            sem.access = Some((sp.clone(), 4, false));
+            ev.mem = Some((sp.clone(), 4, false));
+            set!(Reg::SP, E::bin(Add, sp.clone(), E::c(4)));
+            set!(rd, E::load(sp, 4)); // rd == sp overrides, like the interpreter
+        }
+        I::Pushf => {
+            let sp = E::bin(Sub, init(Reg::SP), E::c(4));
+            sem.access = Some((sp.clone(), 4, true));
+            ev.mem = Some((sp.clone(), 4, true));
+            sem.store = Some((sp.clone(), 4, E::InitFlagsBits));
+            set!(Reg::SP, sp);
+        }
+        I::Popf => {
+            let sp = init(Reg::SP);
+            sem.access = Some((sp.clone(), 4, false));
+            ev.mem = Some((sp.clone(), 4, false));
+            set!(Reg::SP, E::bin(Add, sp.clone(), E::c(4)));
+            sem.flags = SymFlags::FromBits(E::load(sp, 4));
+        }
+        I::Cmp { rs1, rs2 } => sem.flags = SymFlags::Compare(init(rs1), init(rs2)),
+        I::Cmpi { rs1, imm } => sem.flags = SymFlags::Compare(init(rs1), E::c(imm as i32 as u32)),
+        I::Beq { off }
+        | I::Bne { off }
+        | I::Blt { off }
+        | I::Bge { off }
+        | I::Bltu { off }
+        | I::Bgeu { off } => {
+            let taken = assume.expect("conditional branch needs an assumed direction");
+            if taken {
+                let target = next.wrapping_add((off as i32 as u32).wrapping_mul(4));
+                sem.next = NextPc::Const(target);
+                ev.taken = true;
+                ev.target = E::c(target);
+            }
+        }
+        I::Jmp { target } => {
+            sem.next = NextPc::Const(target);
+            ev.taken = true;
+            ev.target = E::c(target);
+        }
+        I::Call { target } => {
+            let sp = E::bin(Sub, init(Reg::SP), E::c(4));
+            sem.access = Some((sp.clone(), 4, true));
+            ev.mem = Some((sp.clone(), 4, true));
+            sem.store = Some((sp.clone(), 4, E::c(next)));
+            set!(Reg::SP, sp);
+            sem.next = NextPc::Const(target);
+            ev.taken = true;
+            ev.target = E::c(target);
+        }
+        I::Jr { rs } => {
+            let t = init(rs);
+            sem.next = NextPc::Expr(t.clone());
+            ev.taken = true;
+            ev.target = t;
+            ev.indirect = true;
+        }
+        I::Callr { rs } => {
+            let t = init(rs);
+            let sp = E::bin(Sub, init(Reg::SP), E::c(4));
+            sem.access = Some((sp.clone(), 4, true));
+            ev.mem = Some((sp.clone(), 4, true));
+            sem.store = Some((sp.clone(), 4, E::c(next)));
+            set!(Reg::SP, sp);
+            sem.next = NextPc::Expr(t.clone());
+            ev.taken = true;
+            ev.target = t;
+            ev.indirect = true;
+        }
+        I::Ret => {
+            let sp = init(Reg::SP);
+            sem.access = Some((sp.clone(), 4, false));
+            ev.mem = Some((sp.clone(), 4, false));
+            set!(Reg::SP, E::bin(Add, sp.clone(), E::c(4)));
+            let t = E::load(sp, 4);
+            sem.next = NextPc::Expr(t.clone());
+            ev.taken = true;
+            ev.target = t;
+            ev.indirect = true;
+        }
+        I::Jmem { addr } => {
+            let a = E::c(addr);
+            sem.access = Some((a.clone(), 4, false));
+            ev.mem = Some((a.clone(), 4, false));
+            let t = E::load(a, 4);
+            sem.next = NextPc::Expr(t.clone());
+            ev.taken = true;
+            ev.target = t;
+            ev.indirect = true;
+        }
+        I::Trap { code } => sem.outcome = SlotOutcome::Trap(code),
+        I::Halt => sem.outcome = SlotOutcome::Halt,
+        I::Nop => {}
+    }
+    sem.event = Some(ev);
+    sem
+}
+
+/// Converts a stored retire-event template to its symbolic form (all
+/// fields as translated, nothing patched yet).
+fn template_event(ev: &RetireEvent) -> SymEvent {
+    SymEvent {
+        pc: ev.pc,
+        instr: ev.instr,
+        class: ev.class,
+        mem: ev.mem.map(|m| (SymExpr::c(m.addr), m.len, m.is_store)),
+        kind: ev.control.kind,
+        taken: ev.control.taken,
+        target: SymExpr::c(ev.control.target),
+        indirect: ev.control.indirect,
+    }
+}
+
+/// Symbolically executes one lowered op per the threaded tier's
+/// dispatch-loop semantics, patching the stored template exactly as
+/// `run_ops` does. Fused `CmpBr`/`CmpiBr` ops contribute only their
+/// compare half here (the branch half executes through the shadow
+/// `CondBr` slot, which the validator checks structurally and
+/// standalone).
+///
+/// # Errors
+///
+/// Returns a message when the slot is malformed in a way the dispatch
+/// loop cannot execute (a load/store op whose template lacks a memory
+/// access).
+pub(crate) fn step_op(slot: &TierSlotMeta, assume: Option<bool>) -> Result<SlotSem, String> {
+    use BinOp::*;
+    use SymExpr as E;
+
+    let pc = slot.pc;
+    let next = pc.wrapping_add(4);
+    let mut sem = SlotSem {
+        regs: fresh_regs(),
+        flags: SymFlags::Init,
+        access: None,
+        store: None,
+        event: None,
+        next: NextPc::Const(next),
+        outcome: SlotOutcome::Running,
+    };
+    let mut ev = template_event(&slot.ev);
+    let init = |r: Reg| E::Init(r);
+    macro_rules! set {
+        ($rd:expr, $val:expr) => {
+            sem.regs[$rd.index()] = $val
+        };
+    }
+    /// The template's access length, which `run_ops`'s retire macros
+    /// reuse when patching in the runtime address.
+    macro_rules! template_len {
+        ($what:literal) => {
+            match slot.ev.mem {
+                Some(m) => m.len,
+                None => {
+                    return Err(format!(
+                        "{} op but the retire template has no memory access",
+                        $what
+                    ))
+                }
+            }
+        };
+    }
+    let masked = |r: Reg| E::bin(And, init(r), E::c(31));
+
+    match slot.op {
+        Op::Add { rd, rs1, rs2 } => set!(rd, E::bin(Add, init(rs1), init(rs2))),
+        Op::Sub { rd, rs1, rs2 } => set!(rd, E::bin(Sub, init(rs1), init(rs2))),
+        Op::Mul { rd, rs1, rs2 } => set!(rd, E::bin(Mul, init(rs1), init(rs2))),
+        Op::Divu { rd, rs1, rs2 } => set!(rd, E::bin(Divu, init(rs1), init(rs2))),
+        Op::Remu { rd, rs1, rs2 } => set!(rd, E::bin(Remu, init(rs1), init(rs2))),
+        Op::And { rd, rs1, rs2 } => set!(rd, E::bin(And, init(rs1), init(rs2))),
+        Op::Or { rd, rs1, rs2 } => set!(rd, E::bin(Or, init(rs1), init(rs2))),
+        Op::Xor { rd, rs1, rs2 } => set!(rd, E::bin(Xor, init(rs1), init(rs2))),
+        Op::Sll { rd, rs1, rs2 } => set!(rd, E::bin(Sll, init(rs1), masked(rs2))),
+        Op::Srl { rd, rs1, rs2 } => set!(rd, E::bin(Srl, init(rs1), masked(rs2))),
+        Op::Sra { rd, rs1, rs2 } => set!(rd, E::bin(Sra, init(rs1), masked(rs2))),
+        Op::Mov { rd, rs } => set!(rd, init(rs)),
+        Op::Addi { rd, rs1, imm } => set!(rd, E::bin(Add, init(rs1), E::c(imm))),
+        Op::Andi { rd, rs1, imm } => set!(rd, E::bin(And, init(rs1), E::c(imm))),
+        Op::Ori { rd, rs1, imm } => set!(rd, E::bin(Or, init(rs1), E::c(imm))),
+        Op::Xori { rd, rs1, imm } => set!(rd, E::bin(Xor, init(rs1), E::c(imm))),
+        Op::Slli { rd, rs1, shamt } => set!(rd, E::bin(Sll, init(rs1), E::c(shamt))),
+        Op::Srli { rd, rs1, shamt } => set!(rd, E::bin(Srl, init(rs1), E::c(shamt))),
+        Op::Srai { rd, rs1, shamt } => set!(rd, E::bin(Sra, init(rs1), E::c(shamt))),
+        Op::Lui { rd, value } => set!(rd, E::c(value)),
+        Op::Lw { rd, rs1, off } => {
+            let a = E::bin(Add, init(rs1), E::c(off));
+            let len = template_len!("load");
+            sem.access = Some((a.clone(), 4, false));
+            ev.mem = Some((a.clone(), len, false));
+            set!(rd, E::load(a, 4));
+        }
+        Op::Sw { rs2, rs1, off } => {
+            let a = E::bin(Add, init(rs1), E::c(off));
+            let len = template_len!("store");
+            sem.access = Some((a.clone(), 4, true));
+            ev.mem = Some((a.clone(), len, true));
+            sem.store = Some((a, 4, init(rs2)));
+        }
+        Op::Lb { rd, rs1, off } => {
+            let a = E::bin(Add, init(rs1), E::c(off));
+            let len = template_len!("load");
+            sem.access = Some((a.clone(), 1, false));
+            ev.mem = Some((a.clone(), len, false));
+            set!(rd, E::SignExt8(Box::new(E::load(a, 1))));
+        }
+        Op::Lbu { rd, rs1, off } => {
+            let a = E::bin(Add, init(rs1), E::c(off));
+            let len = template_len!("load");
+            sem.access = Some((a.clone(), 1, false));
+            ev.mem = Some((a.clone(), len, false));
+            set!(rd, E::load(a, 1));
+        }
+        Op::Sb { rs2, rs1, off } => {
+            let a = E::bin(Add, init(rs1), E::c(off));
+            let len = template_len!("store");
+            sem.access = Some((a.clone(), 1, true));
+            ev.mem = Some((a.clone(), len, true));
+            sem.store = Some((a, 1, init(rs2)));
+        }
+        Op::Lwa { rd, addr } => {
+            // `run_ops` retires the unpatched template for `lwa`.
+            let a = E::c(addr);
+            sem.access = Some((a.clone(), 4, false));
+            set!(rd, E::load(a, 4));
+        }
+        Op::Swa { rs, addr } => {
+            let a = E::c(addr);
+            let len = template_len!("store");
+            sem.access = Some((a.clone(), 4, true));
+            ev.mem = Some((a.clone(), len, true));
+            sem.store = Some((a, 4, init(rs)));
+        }
+        Op::Push { rs } => {
+            let sp = E::bin(Sub, init(Reg::SP), E::c(4));
+            let len = template_len!("store");
+            sem.access = Some((sp.clone(), 4, true));
+            ev.mem = Some((sp.clone(), len, true));
+            sem.store = Some((sp.clone(), 4, init(rs)));
+            set!(Reg::SP, sp);
+        }
+        Op::Pop { rd } => {
+            let sp = init(Reg::SP);
+            let len = template_len!("load");
+            sem.access = Some((sp.clone(), 4, false));
+            ev.mem = Some((sp.clone(), len, false));
+            set!(Reg::SP, E::bin(Add, sp.clone(), E::c(4)));
+            set!(rd, E::load(sp, 4)); // rd == sp overrides, like run_ops
+        }
+        Op::Pushf => {
+            let sp = E::bin(Sub, init(Reg::SP), E::c(4));
+            let len = template_len!("store");
+            sem.access = Some((sp.clone(), 4, true));
+            ev.mem = Some((sp.clone(), len, true));
+            sem.store = Some((sp.clone(), 4, E::InitFlagsBits));
+            set!(Reg::SP, sp);
+        }
+        Op::Popf => {
+            let sp = init(Reg::SP);
+            let len = template_len!("load");
+            sem.access = Some((sp.clone(), 4, false));
+            ev.mem = Some((sp.clone(), len, false));
+            set!(Reg::SP, E::bin(Add, sp.clone(), E::c(4)));
+            sem.flags = SymFlags::FromBits(E::load(sp, 4));
+        }
+        Op::Cmp { rs1, rs2 } => sem.flags = SymFlags::Compare(init(rs1), init(rs2)),
+        Op::Cmpi { rs1, rhs } => sem.flags = SymFlags::Compare(init(rs1), E::c(rhs)),
+        // Fused ops: the compare half only. The branch half runs through
+        // the shadow `CondBr` in the next slot, which the validator
+        // checks structurally (same cond, same target) and standalone.
+        Op::CmpBr { rs1, rs2, .. } => sem.flags = SymFlags::Compare(init(rs1), init(rs2)),
+        Op::CmpiBr { rs1, rhs, .. } => sem.flags = SymFlags::Compare(init(rs1), E::c(rhs)),
+        Op::CondBr { target, .. } => {
+            let taken = assume.expect("conditional branch needs an assumed direction");
+            if taken {
+                ev.taken = true;
+                ev.target = E::c(target);
+                sem.next = NextPc::Const(target);
+            }
+            // Not taken: `run_ops` retires the unpatched template.
+        }
+        Op::Jmp { target } => {
+            // `run_ops` retires the unpatched template (the translator
+            // precomputed taken/target into it).
+            sem.next = NextPc::Const(target);
+        }
+        Op::CallD { target, ret } => {
+            let sp = E::bin(Sub, init(Reg::SP), E::c(4));
+            sem.access = Some((sp.clone(), 4, true));
+            ev.mem = Some((sp.clone(), 4, true));
+            sem.store = Some((sp.clone(), 4, E::c(ret)));
+            set!(Reg::SP, sp);
+            sem.next = NextPc::Const(target);
+        }
+        Op::Jr { rs } => {
+            let t = init(rs);
+            ev.target = t.clone();
+            sem.next = NextPc::Expr(t);
+        }
+        Op::Callr { rs, ret } => {
+            let t = init(rs);
+            let sp = E::bin(Sub, init(Reg::SP), E::c(4));
+            sem.access = Some((sp.clone(), 4, true));
+            ev.mem = Some((sp.clone(), 4, true));
+            sem.store = Some((sp.clone(), 4, E::c(ret)));
+            set!(Reg::SP, sp);
+            ev.target = t.clone();
+            sem.next = NextPc::Expr(t);
+        }
+        Op::Ret => {
+            let sp = init(Reg::SP);
+            sem.access = Some((sp.clone(), 4, false));
+            ev.mem = Some((sp.clone(), 4, false));
+            set!(Reg::SP, E::bin(Add, sp.clone(), E::c(4)));
+            let t = E::load(sp, 4);
+            ev.target = t.clone();
+            sem.next = NextPc::Expr(t);
+        }
+        Op::Jmem { addr } => {
+            let a = E::c(addr);
+            sem.access = Some((a.clone(), 4, false));
+            let t = E::load(a, 4);
+            ev.target = t.clone();
+            sem.next = NextPc::Expr(t);
+        }
+        Op::Trap { code } => {
+            sem.outcome = SlotOutcome::Trap(code);
+        }
+        Op::Halt => {
+            sem.outcome = SlotOutcome::Halt;
+        }
+        Op::Nop => {}
+        Op::FallThrough { next } => {
+            // Retires nothing; transfers to `next` (the validator checks
+            // `next` equals this very slot's pc).
+            sem.next = NextPc::Const(next);
+            sem.event = None;
+            return Ok(sem);
+        }
+    }
+    sem.event = Some(ev);
+    Ok(sem)
+}

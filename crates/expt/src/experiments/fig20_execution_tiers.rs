@@ -9,7 +9,12 @@
 //! workload is re-run natively under the threaded tier and its
 //! checksum, register file, and total cycles are asserted equal to the
 //! memoized suite baseline — a divergence aborts the suite rather than
-//! rendering a wrong table.
+//! rendering a wrong table. On top of that dynamic check, every
+//! superblock the threaded run translated is proved equivalent to its
+//! guest code by the symbolic translation validator
+//! (`strata-analysis::validate`); any finding likewise aborts the
+//! suite. The validated block/slot totals appear as a note, which the
+//! baseline gate ignores.
 //!
 //! The host wall-clock comparison — the entire point of the tier — is
 //! inherently machine- and run-dependent, so it is opt-in: set
@@ -64,6 +69,7 @@ pub fn render(view: &View) -> Output {
     );
     let mut speedups = Vec::new();
     let mut lines = Vec::new();
+    let mut validated = (0usize, 0usize, 0usize);
     for spec in registry() {
         let program = build_program(spec.name, view.params());
         let timed = |tier: ExecTier| {
@@ -73,6 +79,21 @@ pub fn render(view: &View) -> Output {
             (start.elapsed(), run)
         };
         let (threaded_time, thr) = timed(threaded());
+        // Translation validation: the superblocks that same tier config
+        // promotes on this workload must prove equivalent symbolically.
+        // Dirty reports abort the suite — a wrong table is worse than
+        // no table.
+        let tv = strata_analysis::validate_program_tier(&program, threaded(), FUEL)
+            .unwrap_or_else(|e| panic!("fig20: tier validation run {}: {e}", spec.name));
+        assert!(
+            tv.is_clean(),
+            "fig20: translation validator flagged {}:\n{}",
+            spec.name,
+            tv.render_text()
+        );
+        validated.0 += tv.blocks;
+        validated.1 += tv.slots;
+        validated.2 += tv.fused_pairs;
         // The verification that earns the table's "yes": the threaded
         // re-run must match the memoized suite baseline bit for bit.
         let native = view.native(spec.name, &x86);
@@ -103,6 +124,12 @@ pub fn render(view: &View) -> Output {
         }
     }
     out.table(t);
+    out.note(format!(
+        "Translation validation: {} superblock(s), {} lowered slot(s), {} fused \
+         cmp+branch pair(s) proved equivalent to guest code symbolically \
+         (strata verify --validate-tiers re-runs the same check standalone).",
+        validated.0, validated.1, validated.2,
+    ));
     if timing {
         out.note(
             "Host wall-clock per tier (single run, this machine; excluded from \

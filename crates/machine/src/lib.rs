@@ -58,4 +58,7 @@ pub use event::{
 pub use machine::{Machine, MachineError, StepOutcome};
 pub use memory::Memory;
 pub use program::Program;
-pub use tier::{ExecTier, TierConfig, TierStats};
+pub use tier::{
+    Cond as LoweredCond, ExecTier, Op as LoweredOp, TierBlockMeta, TierConfig, TierMutation,
+    TierSlotMeta, TierStats,
+};

@@ -3,7 +3,7 @@ use std::fmt;
 use strata_isa::{ControlKind, DecodeError, Flags, Instr};
 
 use crate::event::{ControlEvent, ExecutionObserver, MemAccess, RetireEvent};
-use crate::tier::{ExitKind, TierEngine};
+use crate::tier::{ExitKind, TierBlockMeta, TierEngine, TierMutation};
 use crate::{Cpu, ExecTier, Memory, TierStats};
 
 /// Errors surfaced by machine execution.
@@ -112,6 +112,29 @@ impl Machine {
         self.tier
             .as_mut()
             .is_some_and(|tier| tier.corrupt_side_exit())
+    }
+
+    /// Structural metadata for every live translated superblock — the
+    /// threaded tier's analogue of `Sdt::cache_meta()`, consumed by the
+    /// translation validator in `strata-analysis`. Empty when the
+    /// threaded tier is off, nothing is hot yet, or the translation
+    /// cache is stale (pending flush at the next block-head arrival).
+    pub fn tier_blocks(&self) -> Vec<TierBlockMeta> {
+        self.tier
+            .as_ref()
+            .map(|tier| tier.export_blocks(self.mem.code_version()))
+            .unwrap_or_default()
+    }
+
+    /// Mutation-testing hook: injects one lowered-op defect of class `m`
+    /// into the first eligible translated op (the stored guest
+    /// instruction stays intact, exactly like a lowering bug). Returns
+    /// `false` when the tier is off or nothing eligible is translated.
+    #[doc(hidden)]
+    pub fn corrupt_lowered_op(&mut self, m: TierMutation) -> bool {
+        self.tier
+            .as_mut()
+            .is_some_and(|tier| tier.corrupt_lowered(m))
     }
 
     /// Shared view of CPU state.

@@ -140,13 +140,23 @@ pub struct TierStats {
 }
 
 /// Condition of a lowered conditional branch.
+///
+/// Public so the translation validator (`strata-analysis`) can check a
+/// lowered branch's predicate against the guest instruction it claims to
+/// lower; execution itself never leaves this crate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Cond {
+pub enum Cond {
+    /// `beq`: flags.eq
     Eq,
+    /// `bne`: !flags.eq
     Ne,
+    /// `blt`: flags.lt
     Lt,
+    /// `bge`: !flags.lt
     Ge,
+    /// `bltu`: flags.ltu
     Ltu,
+    /// `bgeu`: !flags.ltu
     Geu,
 }
 
@@ -168,8 +178,14 @@ impl Cond {
 /// [`Reg`] values, immediates are pre-extended to their runtime width,
 /// and static targets (branch destinations, call return addresses) are
 /// pre-computed, so executing an op touches no encoding logic at all.
+///
+/// Public (read-only, via [`TierSlotMeta`]) so the translation validator
+/// can re-derive each op's semantics and prove it equivalent to the
+/// guest instruction it lowers; nothing outside this crate can construct
+/// a block from ops.
+#[allow(missing_docs)] // operand fields mirror `Instr`'s, post-extension
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Op {
+pub enum Op {
     Add {
         rd: Reg,
         rs1: Reg,
@@ -389,6 +405,75 @@ struct Block {
     ops: Box<[TOp]>,
 }
 
+/// One translated slot as exported for external validation: the guest
+/// pc it claims to lower, the lowered op, and the stored retire-event
+/// template (whose `instr` field is the guest instruction the translator
+/// believed it was lowering).
+#[derive(Debug, Clone, Copy)]
+pub struct TierSlotMeta {
+    /// Guest address of this slot (`block.base + 4 * slot_index`).
+    pub pc: u32,
+    /// The lowered op executed for this slot.
+    pub op: Op,
+    /// The retire-event template emitted (with dynamic fields patched)
+    /// when this slot retires.
+    pub ev: RetireEvent,
+}
+
+/// Structural metadata for one translated superblock — the threaded
+/// tier's analogue of `Sdt::cache_meta()`: everything an external
+/// validator needs to re-derive and check the translation, exported by
+/// [`Machine::tier_blocks`](crate::Machine::tier_blocks).
+#[derive(Debug, Clone)]
+pub struct TierBlockMeta {
+    /// Guest address of the block head.
+    pub base: u32,
+    /// Slots in execution order; `slots[i]` lowers `base + 4 * i`.
+    pub slots: Vec<TierSlotMeta>,
+}
+
+/// A class of translator defect the mutation harness can inject into a
+/// live translated block (leaving the stored guest instruction intact,
+/// exactly like a lowering bug would). Used by both the differential
+/// tester and the translation validator's sensitivity tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TierMutation {
+    /// An immediate was mis-extended/mis-copied: bump the first lowered
+    /// immediate operand by 1.
+    WrongImmediate,
+    /// Operand order lost in lowering: swap `rs1`/`rs2` of the first
+    /// non-commutative ALU op (`sub`/`divu`/`remu`).
+    SwappedOperands,
+    /// A precomputed branch target is off by one word: bump the first
+    /// conditional side-exit target by 4 (fused shadow kept consistent,
+    /// like a systematic translator bug would).
+    BranchTargetSkew,
+    /// The block's resume point is off by one instruction: bump the
+    /// trailing `FallThrough` stub's target by 4, so a block-cap or
+    /// fuel-boundary exit resumes at the wrong pc.
+    FuelBoundarySkew,
+}
+
+impl TierMutation {
+    /// Every defect class, for exhaustive sensitivity sweeps.
+    pub const ALL: [TierMutation; 4] = [
+        TierMutation::WrongImmediate,
+        TierMutation::SwappedOperands,
+        TierMutation::BranchTargetSkew,
+        TierMutation::FuelBoundarySkew,
+    ];
+
+    /// Kebab-case label for reports and test output.
+    pub fn name(self) -> &'static str {
+        match self {
+            TierMutation::WrongImmediate => "wrong-immediate",
+            TierMutation::SwappedOperands => "swapped-operands",
+            TierMutation::BranchTargetSkew => "branch-target-skew",
+            TierMutation::FuelBoundarySkew => "fuel-boundary-skew",
+        }
+    }
+}
+
 /// How a block execution ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum ExitKind {
@@ -580,6 +665,100 @@ impl TierEngine {
         self.stats.block_entries += 1;
         self.stats.translated_retired += exit.retired;
         exit
+    }
+
+    /// Exports structural metadata for every live translated block.
+    ///
+    /// Returns an empty vec when `current_version` does not match the
+    /// generation the blocks were built against: stale blocks are
+    /// guaranteed to be flushed before they can execute again, so
+    /// validating them against the (already different) code bytes would
+    /// only manufacture false mismatches.
+    pub(crate) fn export_blocks(&self, current_version: u64) -> Vec<TierBlockMeta> {
+        if current_version != self.version {
+            return Vec::new();
+        }
+        self.blocks
+            .iter()
+            .map(|b| TierBlockMeta {
+                base: b.base,
+                slots: b
+                    .ops
+                    .iter()
+                    .enumerate()
+                    .map(|(i, t)| TierSlotMeta {
+                        pc: b.base.wrapping_add(i as u32 * 4),
+                        op: t.op,
+                        ev: t.ev,
+                    })
+                    .collect(),
+            })
+            .collect()
+    }
+
+    /// Mutation-testing hook: injects one defect of class `m` into the
+    /// first translated op it applies to, leaving the stored guest
+    /// instruction (and so the validator's reference) intact. Returns
+    /// `false` when no translated op is eligible.
+    #[doc(hidden)]
+    pub(crate) fn corrupt_lowered(&mut self, m: TierMutation) -> bool {
+        match m {
+            TierMutation::BranchTargetSkew => self.corrupt_side_exit(),
+            TierMutation::WrongImmediate => {
+                for block in &mut self.blocks {
+                    for t in block.ops.iter_mut() {
+                        match &mut t.op {
+                            Op::Addi { imm, .. }
+                            | Op::Andi { imm, .. }
+                            | Op::Ori { imm, .. }
+                            | Op::Xori { imm, .. } => {
+                                *imm = imm.wrapping_add(1);
+                                return true;
+                            }
+                            Op::Cmpi { rhs, .. } | Op::CmpiBr { rhs, .. } => {
+                                *rhs = rhs.wrapping_add(1);
+                                return true;
+                            }
+                            Op::Lui { value, .. } => {
+                                *value = value.wrapping_add(1);
+                                return true;
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                false
+            }
+            TierMutation::SwappedOperands => {
+                for block in &mut self.blocks {
+                    for t in block.ops.iter_mut() {
+                        match &mut t.op {
+                            Op::Sub { rs1, rs2, .. }
+                            | Op::Divu { rs1, rs2, .. }
+                            | Op::Remu { rs1, rs2, .. }
+                                if rs1 != rs2 =>
+                            {
+                                std::mem::swap(rs1, rs2);
+                                return true;
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                false
+            }
+            TierMutation::FuelBoundarySkew => {
+                for block in &mut self.blocks {
+                    for t in block.ops.iter_mut() {
+                        if let Op::FallThrough { next } = &mut t.op {
+                            *next = next.wrapping_add(4);
+                            return true;
+                        }
+                    }
+                }
+                false
+            }
+        }
     }
 
     /// Test hook (mutation testing): nudges the first translated

@@ -18,7 +18,7 @@ use std::path::PathBuf;
 
 use strata_arch::{ArchModel, ArchProfile};
 use strata_machine::{
-    ExecTier, ExecutionObserver, Machine, MachineError, RetireEvent, StepOutcome,
+    ExecTier, ExecutionObserver, Machine, MachineError, RetireEvent, StepOutcome, TierMutation,
 };
 use strata_stats::rng::SmallRng;
 
@@ -90,6 +90,12 @@ pub struct LockstepOptions {
     /// translated side-exit target on side B (once). The run is then
     /// *expected* to diverge; see [`LockstepReport::corrupted`].
     pub corrupt_b: bool,
+    /// Lowered-op mutation-testing mode: at each fuel boundary, try to
+    /// inject the given defect class into side B's translated blocks
+    /// (once). Like [`corrupt_b`](LockstepOptions::corrupt_b), a landed
+    /// mutation is expected to diverge — and the same defect classes
+    /// feed the translation validator's sensitivity tests.
+    pub corrupt_b_lowered: Option<TierMutation>,
 }
 
 impl Default for LockstepOptions {
@@ -101,6 +107,7 @@ impl Default for LockstepOptions {
             max_steps: 3_000,
             max_slice: 64,
             corrupt_b: false,
+            corrupt_b_lowered: None,
         }
     }
 }
@@ -210,6 +217,11 @@ pub fn run_lockstep(
         checked_events = rec_a.events.len();
         if opts.corrupt_b && !corrupted {
             corrupted = mb.corrupt_translated_side_exit();
+        }
+        if let Some(mutation) = opts.corrupt_b_lowered {
+            if !corrupted {
+                corrupted = mb.corrupt_lowered_op(mutation);
+            }
         }
         match a {
             Ok(StepOutcome::Halted)

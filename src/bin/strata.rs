@@ -7,6 +7,7 @@
 //! strata compare <workload> [--arch <name>] [--scale N]
 //! strata verify [<workload>] [--config <spec>] [--ib-policy <spec>] [--all]
 //!               [--arch <name>] [--scale N] [--format text|json]
+//!               [--validate-tiers]
 //! strata bench [--jobs N] [--filter <ids>] [--format text|csv|json]
 //!              [--scale N] [--variant N] [--cache] [--no-artifacts]
 //!              [--artifacts-dir DIR] [--baseline DIR] [--tolerance PCT]
@@ -41,7 +42,7 @@ use strata_lab::arch::ArchProfile;
 use strata_lab::cli::{parse_config, parse_flag, parse_policy, parse_shard, parse_tier};
 use strata_lab::core::{run_native_tiered, Origin, RetMechanism, Sdt, SdtConfig};
 use strata_lab::expt::{self, EnvKnobs, OutputFormat, SuiteOptions};
-use strata_lab::machine::ExecTier;
+use strata_lab::machine::{ExecTier, TierConfig};
 use strata_lab::stats::Table;
 use strata_lab::workloads::{by_name, registry, Params};
 
@@ -731,6 +732,13 @@ fn trace_cmd(args: &[String]) -> Result<(), String> {
 /// audits). Exits nonzero if any report has findings at warning severity
 /// or above. `--all` sweeps every registered mechanism plus the
 /// mixed-policy configurations of the fig. 18 experiment.
+///
+/// `--validate-tiers` additionally runs the workload(s) natively under
+/// both execution tiers and checks every superblock the threaded tier
+/// translated by symbolic per-slot equivalence (translation validation;
+/// see `strata-analysis::validate`). With `--all` the tier sweep covers
+/// every registered workload, since tier validation is independent of
+/// the SDT mechanism configuration.
 fn verify_cmd(args: &[String]) -> Result<(), String> {
     use strata_lab::analysis;
     use strata_lab::stats::Json;
@@ -785,26 +793,84 @@ fn verify_cmd(args: &[String]) -> Result<(), String> {
         reports.push(analysis::verify(&sdt));
     }
 
+    // --validate-tiers: translation validation of the execution tiers,
+    // on the superblocks a real native run of each workload promotes.
+    let mut tier_entries: Vec<(&'static str, &'static str, analysis::TierReport)> = Vec::new();
+    if args.iter().any(|a| a == "--validate-tiers") {
+        let sweep: Vec<&'static str> = if args.iter().any(|a| a == "--all") {
+            registry().iter().map(|w| w.name).collect()
+        } else {
+            vec![workload.name]
+        };
+        // A low promotion threshold maximizes translated coverage; the
+        // interpreter row proves the no-tier path exports no blocks.
+        let tiers = [
+            ("interp", ExecTier::Interp),
+            (
+                "threaded:4",
+                ExecTier::Threaded(TierConfig {
+                    threshold: 4,
+                    ..TierConfig::default()
+                }),
+            ),
+        ];
+        for wl in sweep {
+            let spec = by_name(wl).expect("registry name resolves");
+            let prog = (spec.build)(&params);
+            for (label, tier) in tiers {
+                let report = analysis::validate_program_tier(&prog, tier, FUEL)
+                    .map_err(|e| format!("{wl} [{label}]: {e}"))?;
+                tier_entries.push((wl, label, report));
+            }
+        }
+    }
+
     let dirty = reports.iter().filter(|r| !r.is_clean()).count();
+    let tier_dirty = tier_entries
+        .iter()
+        .filter(|(_, _, r)| !r.is_clean())
+        .count();
     if json {
         let out = Json::obj([
             ("workload", Json::str(&name)),
-            ("clean", Json::Bool(dirty == 0)),
+            ("clean", Json::Bool(dirty == 0 && tier_dirty == 0)),
             ("reports", Json::arr(reports.iter().map(|r| r.to_json()))),
+            (
+                "tier_validation",
+                Json::arr(tier_entries.iter().map(|(wl, label, r)| {
+                    Json::obj([
+                        ("workload", Json::str(*wl)),
+                        ("tier", Json::str(*label)),
+                        ("report", r.to_json()),
+                    ])
+                })),
+            ),
         ]);
         println!("{}", out.render_pretty());
     } else {
         for r in &reports {
             print!("{}", r.render_text());
         }
+        for (wl, label, r) in &tier_entries {
+            print!("{wl} [{label}] {}", r.render_text());
+        }
     }
-    if dirty > 0 {
+    if dirty + tier_dirty > 0 {
         return Err(format!(
-            "{dirty} of {} configuration(s) failed verification on {name}",
-            specs.len()
+            "{dirty} of {} configuration(s) and {tier_dirty} of {} tier run(s) failed verification on {name}",
+            specs.len(),
+            tier_entries.len(),
         ));
     }
-    eprintln!("{} configuration(s) verified clean on {name}", specs.len());
+    if tier_entries.is_empty() {
+        eprintln!("{} configuration(s) verified clean on {name}", specs.len());
+    } else {
+        eprintln!(
+            "{} configuration(s) and {} tier run(s) verified clean",
+            specs.len(),
+            tier_entries.len(),
+        );
+    }
     Ok(())
 }
 

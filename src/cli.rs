@@ -52,22 +52,51 @@ pub fn parse_shard(spec: &str) -> Result<(u32, u32), String> {
 ///
 /// # Errors
 ///
-/// Returns a human-readable message for unknown tier names, malformed
-/// thresholds, and the contradictory `--tier interp --tier-threshold N`.
+/// Returns a caret diagnostic pointing at the offending token (the same
+/// shape as `--ib-policy` and `--predictor` errors) for unknown tier
+/// names, malformed thresholds, and the contradictory
+/// `--tier interp --tier-threshold N`.
 pub fn parse_tier(args: &[String]) -> Result<Option<ExecTier>, String> {
     let mut tier = match parse_flag(args, "--tier") {
-        Some(spec) => Some(ExecTier::parse(&spec).map_err(|e| format!("bad --tier: {e}"))?),
+        Some(spec) => match ExecTier::parse(&spec) {
+            Ok(t) => Some(t),
+            Err(_) => {
+                return Err(match spec.strip_prefix("threaded:") {
+                    Some(n) => point_at(
+                        &spec,
+                        "threaded:".len(),
+                        n.len(),
+                        format!("bad --tier threshold `{n}` (expected a number, e.g. threaded:32)"),
+                    ),
+                    None => point_at(
+                        &spec,
+                        0,
+                        spec.len(),
+                        format!("unknown execution tier `{spec}` (interp|threaded[:threshold])"),
+                    ),
+                });
+            }
+        },
         None => None,
     };
     if let Some(raw) = parse_flag(args, "--tier-threshold") {
-        let threshold: u32 =
-            raw.parse().ok().filter(|&n| n >= 1).ok_or_else(|| {
-                format!("bad --tier-threshold `{raw}` (expected an integer >= 1)")
-            })?;
+        let threshold: u32 = raw.parse().ok().filter(|&n| n >= 1).ok_or_else(|| {
+            point_at(
+                &raw,
+                0,
+                raw.len(),
+                format!("bad --tier-threshold `{raw}` (expected an integer >= 1)"),
+            )
+        })?;
         match &mut tier {
             Some(ExecTier::Threaded(cfg)) => cfg.threshold = threshold,
             Some(ExecTier::Interp) => {
-                return Err("--tier-threshold needs --tier threaded".into());
+                return Err(point_at(
+                    "interp",
+                    0,
+                    "interp".len(),
+                    "--tier-threshold needs --tier threaded".into(),
+                ));
             }
             None => {
                 tier = Some(ExecTier::Threaded(TierConfig {
@@ -749,6 +778,61 @@ mod tests {
             assert!(
                 parse_tier(&to_args(bad)).is_err(),
                 "`{bad:?}` must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn tier_errors_point_at_offending_token() {
+        // (args, echoed spec, expected message fragment, caret column,
+        // caret width) — same diagnostic shape as `--ib-policy` and
+        // `--predictor` errors above.
+        for (args, spec, msg, col, width) in [
+            (
+                &["--tier", "jit"][..],
+                "jit",
+                "unknown execution tier `jit`",
+                0,
+                3,
+            ),
+            (
+                &["--tier", "threaded:abc"],
+                "threaded:abc",
+                "bad --tier threshold `abc`",
+                9,
+                3,
+            ),
+            (
+                &["--tier-threshold", "many"],
+                "many",
+                "bad --tier-threshold `many`",
+                0,
+                4,
+            ),
+            (
+                &["--tier-threshold", "0"],
+                "0",
+                "bad --tier-threshold `0`",
+                0,
+                1,
+            ),
+            (
+                &["--tier", "interp", "--tier-threshold", "4"],
+                "interp",
+                "--tier-threshold needs --tier threaded",
+                0,
+                6,
+            ),
+        ] {
+            let argv: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+            let err = parse_tier(&argv).expect_err(&format!("`{args:?}` must be rejected"));
+            let lines: Vec<&str> = err.lines().collect();
+            assert!(lines[0].contains(msg), "`{args:?}`: {err}");
+            assert_eq!(lines[1], format!("  {spec}"), "`{args:?}` echoed");
+            assert_eq!(
+                lines[2],
+                format!("  {}{}", " ".repeat(col), "^".repeat(width)),
+                "`{args:?}` caret must sit under the offending token:\n{err}"
             );
         }
     }

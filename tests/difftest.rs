@@ -12,7 +12,7 @@
 
 use strata_asm::assemble;
 use strata_isa::{encode, Instr, Reg};
-use strata_machine::{layout, ExecTier, TierConfig};
+use strata_machine::{layout, ExecTier, TierConfig, TierMutation};
 use strata_stats::rng::SmallRng;
 use strata_testgen::harness::{run_difftest, run_lockstep, shrink, LockstepOptions};
 use strata_testgen::wordgen::WordProgram;
@@ -131,4 +131,73 @@ fn mutation_injected_tier_bug_is_caught() {
     let min = shrink(&prog, 42, &opts);
     assert!(min.words.len() <= prog.words.len() + 1);
     assert!(run_lockstep(&min, 42, &opts).is_err());
+}
+
+/// Every lowered-op defect class the translation validator proves
+/// sensitivity against must also surface dynamically: injecting it into
+/// a hot translated loop diverges the lockstep harness. This keeps the
+/// static validator and the differential tester honest against the same
+/// mutation vocabulary.
+#[test]
+fn lowered_op_mutation_classes_diverge() {
+    // A hot counted loop with a non-commutative accumulator (`sub`), an
+    // immediate op, and a fused cmp+branch — every defect class has an
+    // eligible op once translated.
+    let words = vec![
+        encode(&Instr::Addi {
+            rd: Reg::R1,
+            rs1: Reg::R1,
+            imm: 200,
+        }),
+        encode(&Instr::Addi {
+            rd: Reg::R1,
+            rs1: Reg::R1,
+            imm: -1,
+        }), // <- loop head
+        encode(&Instr::Sub {
+            rd: Reg::R2,
+            rs1: Reg::R2,
+            rs2: Reg::R1,
+        }),
+        encode(&Instr::Cmpi {
+            rs1: Reg::R1,
+            imm: 0,
+        }),
+        encode(&Instr::Bne { off: -4 }),
+        encode(&Instr::Halt),
+    ];
+    let prog = WordProgram {
+        words,
+        seeds: [0; 4],
+        patch: Instr::Nop,
+        code_target: layout::APP_BASE,
+    };
+    for mutation in TierMutation::ALL {
+        // The fuel-boundary skew needs a block-cap fall-through stub to
+        // target; a tiny block cap guarantees one.
+        let tier_b = if mutation == TierMutation::FuelBoundarySkew {
+            ExecTier::Threaded(TierConfig {
+                threshold: 4,
+                max_block: 2,
+            })
+        } else {
+            threaded(4)
+        };
+        let mut opts = LockstepOptions {
+            tier_a: ExecTier::Interp,
+            tier_b,
+            ..LockstepOptions::default()
+        };
+
+        let clean = run_lockstep(&prog, 42, &opts).expect("clean tiers agree");
+        assert!(clean.retired > 500, "loop must retire enough to go hot");
+
+        opts.corrupt_b_lowered = Some(mutation);
+        let div = run_lockstep(&prog, 42, &opts);
+        assert!(
+            div.is_err(),
+            "injected {} must produce a divergence",
+            mutation.name()
+        );
+    }
 }
